@@ -1,0 +1,20 @@
+//! # xdb-baselines
+//!
+//! The systems the paper evaluates XDB against, re-implemented as
+//! execution *strategies* over the same engine/network substrate so the
+//! comparison isolates exactly what the paper studies — where
+//! cross-database operations run and how intermediate data moves:
+//!
+//! - [`mediator`]: the Mediator-Wrapper architecture. `MediatorConfig::garlic`
+//!   is the single-node Garlic-like system (binary protocol, co-located
+//!   join pushdown); `MediatorConfig::presto` is the Presto/Trino-like
+//!   scaled-out mediator (JDBC connectors, N workers).
+//! - [`sclera`]: the ScleraDB-like naive in-situ system that moves every
+//!   intermediate explicitly through its mediator with heuristic join
+//!   placement.
+
+pub mod mediator;
+pub mod sclera;
+
+pub use mediator::{Mediator, MediatorConfig, MwReport};
+pub use sclera::{Sclera, ScleraReport};

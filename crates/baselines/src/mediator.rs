@@ -1,0 +1,406 @@
+//! The Mediator-Wrapper execution strategy (Section II-B, Figure 4a):
+//! decompose a cross-database query into per-DBMS *local* sub-queries plus
+//! a *global* fragment, push the sub-queries to the DBMSes through
+//! wrappers, fetch all intermediate results into the mediator, and finish
+//! the cross-database operations centrally.
+//!
+//! Decomposition reuses XDB's annotator with
+//! [`PlacementPolicy::Mediator`]: every cross-database operator is
+//! annotated with the mediator node, so the finalized "delegation plan"
+//! degenerates into exactly the MW shape — leaf tasks are the pushed-down
+//! sub-queries and the root task is the mediator's residual plan.
+
+use xdb_core::annotate::{AnnotateOptions, Annotator, PlacementPolicy};
+use xdb_core::global::GlobalCatalog;
+use xdb_core::plan::{placeholder_name, DelegationPlan};
+use xdb_engine::cluster::Cluster;
+use xdb_engine::error::{EngineError, Result};
+use xdb_engine::exec::{Execution, MapResolver};
+use xdb_engine::profile::EngineProfile;
+use xdb_engine::relation::Relation;
+use xdb_net::{mediator_finish, params, NodeId, Purpose};
+use xdb_sql::algebra::plan_to_select;
+use xdb_sql::ast::Statement;
+use xdb_sql::bind::bind_select;
+use xdb_sql::display::render_select_string;
+use xdb_sql::optimize::{optimize, OptimizeOptions};
+
+/// Configuration of one MW system.
+#[derive(Debug, Clone)]
+pub struct MediatorConfig {
+    /// System label for reports.
+    pub name: &'static str,
+    /// Node the mediator runs on (accounted for all fetches).
+    pub node: NodeId,
+    /// Execution profile of the mediator engine.
+    pub profile: EngineProfile,
+    /// Worker nodes executing the mediator's residual plan (Presto
+    /// scale-out; 1 = single-node Garlic).
+    pub workers: usize,
+    /// Whether wrappers can push co-located joins down to the DBMSes
+    /// (Garlic can, Presto-style connectors cannot).
+    pub pushdown_joins: bool,
+    /// Per-byte multiplier of the wrapper fetch protocol (binary vs JDBC).
+    pub protocol_overhead: f64,
+}
+
+impl MediatorConfig {
+    /// Our implementation of the well-known Garlic approach: a single
+    /// PostgreSQL-like mediator using binary transfer protocols that
+    /// pushes selections, projections, and co-located joins.
+    pub fn garlic(node: impl Into<String>) -> MediatorConfig {
+        MediatorConfig {
+            name: "garlic",
+            node: NodeId::new(node),
+            profile: EngineProfile::postgres(),
+            workers: 1,
+            pushdown_joins: true,
+            protocol_overhead: params::BINARY_PROTOCOL_OVERHEAD,
+        }
+    }
+
+    /// Presto/Trino-like scaled-out mediator: JDBC connectors (scan /
+    /// filter / projection pushdown only) and `workers` parallel workers.
+    pub fn presto(node: impl Into<String>, workers: usize) -> MediatorConfig {
+        MediatorConfig {
+            name: "presto",
+            node: NodeId::new(node),
+            profile: EngineProfile::postgres(),
+            workers: workers.max(1),
+            pushdown_joins: false,
+            protocol_overhead: params::JDBC_PROTOCOL_OVERHEAD,
+        }
+    }
+}
+
+/// Parallel-speedup model for the mediator's residual work: near-linear
+/// with a coordination tax (the paper's Fig 11 shows the *processing* part
+/// shrinking with workers while the fetch bottleneck stays).
+fn parallel_work_ms(raw_ms: f64, workers: usize) -> f64 {
+    raw_ms / (workers as f64).powf(0.85)
+}
+
+/// Report of one MW query execution.
+#[derive(Debug, Clone)]
+pub struct MwReport {
+    pub relation: Relation,
+    /// End-to-end simulated time.
+    pub total_ms: f64,
+    /// Portion of `total_ms` attributable to moving intermediate data to
+    /// the mediator (the μ of Fig 1/9, measured exactly by re-composing
+    /// with free transfers).
+    pub transfer_ms: f64,
+    /// Mediator-side residual execution time.
+    pub mediator_work_ms: f64,
+    /// Bytes fetched into the mediator.
+    pub fetch_bytes: u64,
+    pub fetch_rows: u64,
+    pub subqueries: usize,
+}
+
+/// A mediator-wrapper federation frontend.
+pub struct Mediator<'a> {
+    cluster: &'a Cluster,
+    catalog: &'a GlobalCatalog,
+    config: MediatorConfig,
+}
+
+impl<'a> Mediator<'a> {
+    pub fn new(
+        cluster: &'a Cluster,
+        catalog: &'a GlobalCatalog,
+        config: MediatorConfig,
+    ) -> Mediator<'a> {
+        Mediator {
+            cluster,
+            catalog,
+            config,
+        }
+    }
+
+    pub fn config(&self) -> &MediatorConfig {
+        &self.config
+    }
+
+    /// Decompose a query into the MW plan: sub-query tasks + mediator
+    /// residual.
+    pub fn decompose(&self, sql: &str) -> Result<DelegationPlan> {
+        let stmt = xdb_sql::parse_statement(sql)?;
+        let Statement::Select(select) = stmt else {
+            return Err(EngineError::Unsupported(
+                "mediator accepts SELECT queries only".into(),
+            ));
+        };
+        for t in self.catalog.table_names() {
+            self.catalog.consult(self.cluster, &t)?;
+        }
+        let bound = bind_select(&select, self.catalog)?;
+        let optimized = optimize(bound, self.catalog, OptimizeOptions::default());
+        self.catalog.clear_placeholders();
+        let annotation = Annotator::new(
+            self.catalog,
+            self.cluster,
+            AnnotateOptions {
+                placement: PlacementPolicy::Mediator(self.config.node.clone()),
+                no_colocated_fusion: !self.config.pushdown_joins,
+                ..Default::default()
+            },
+        )
+        .run(&optimized)?;
+        Ok(annotation.plan)
+    }
+
+    /// Execute a query MW-style.
+    pub fn submit(&self, sql: &str) -> Result<MwReport> {
+        let plan = self.decompose(sql)?;
+        let root = plan.task(plan.root);
+
+        // 1. Push the sub-queries down and fetch their results.
+        let mut fetched = MapResolver::new();
+        let mut fetches: Vec<(f64, f64)> = Vec::new();
+        let mut fetch_bytes = 0u64;
+        let mut fetch_rows = 0u64;
+        let mut subqueries = 0usize;
+        for id in plan.topo_order() {
+            let task = plan.task(id);
+            if id == plan.root {
+                continue;
+            }
+            let dialect = self.cluster.engine(task.dbms.as_str())?.profile.dialect;
+            let stmt = plan_to_select(&task.plan)?;
+            let task_sql = render_select_string(&stmt, dialect);
+            let (rel, report) = self.cluster.query(task.dbms.as_str(), &task_sql)?;
+            let bytes = rel.wire_bytes();
+            self.cluster.ledger.record(
+                task.dbms.clone(),
+                self.config.node.clone(),
+                bytes,
+                rel.len() as u64,
+                Purpose::SubqueryResult,
+            );
+            let transfer = self.cluster.topology.transfer_ms(
+                &task.dbms,
+                &self.config.node,
+                bytes,
+                self.config.protocol_overhead,
+            );
+            fetches.push((report.finish_ms, transfer));
+            fetch_bytes += bytes;
+            fetch_rows += rel.len() as u64;
+            subqueries += 1;
+            fetched.insert(placeholder_name(id), rel);
+        }
+
+        // 2. Single-DBMS query: the "residual" runs remotely; the mediator
+        // only relays the final result.
+        if root.dbms != self.config.node {
+            debug_assert!(plan.tasks.len() == 1);
+            let dialect = self.cluster.engine(root.dbms.as_str())?.profile.dialect;
+            let stmt = plan_to_select(&root.plan)?;
+            let (rel, report) = self
+                .cluster
+                .query(root.dbms.as_str(), &render_select_string(&stmt, dialect))?;
+            let bytes = rel.wire_bytes();
+            self.cluster.ledger.record(
+                root.dbms.clone(),
+                self.config.node.clone(),
+                bytes,
+                rel.len() as u64,
+                Purpose::SubqueryResult,
+            );
+            let transfer = self.cluster.topology.transfer_ms(
+                &root.dbms,
+                &self.config.node,
+                bytes,
+                self.config.protocol_overhead,
+            );
+            return Ok(MwReport {
+                total_ms: params::DDL_ROUNDTRIP_MS + report.finish_ms + transfer,
+                transfer_ms: transfer,
+                mediator_work_ms: 0.0,
+                fetch_bytes: bytes,
+                fetch_rows: rel.len() as u64,
+                subqueries: 1,
+                relation: rel,
+            });
+        }
+
+        // 3. The mediator executes the residual plan over the fetched
+        // intermediates.
+        let mut exec = Execution::new(&fetched);
+        let relation = exec.run(&root.plan)?;
+        let raw_work = self.config.profile.work_ms(exec.scan_units, exec.olap_units);
+        let mut mediator_work_ms = parallel_work_ms(raw_work, self.config.workers);
+        // Scale-out exchange: repartitioning the fetched data across
+        // workers costs wire time and shows up in the ledger.
+        if self.config.workers > 1 {
+            let exchange_bytes =
+                (fetch_bytes as f64 * (self.config.workers as f64 - 1.0)
+                    / self.config.workers as f64) as u64;
+            for w in 1..self.config.workers {
+                self.cluster.ledger.record(
+                    self.config.node.clone(),
+                    NodeId::new(format!("{}-w{w}", self.config.node)),
+                    exchange_bytes / (self.config.workers as u64 - 1).max(1),
+                    0,
+                    Purpose::WorkerExchange,
+                );
+            }
+            mediator_work_ms +=
+                exchange_bytes as f64 / params::LAN_BANDWIDTH_BYTES_PER_MS;
+        }
+        let startup =
+            self.config.profile.startup_ms * (1.0 + 0.2 * (self.config.workers as f64 - 1.0));
+        // Each sub-query submission is one wrapper round-trip, like XDB's
+        // DDL round-trips.
+        let submission_ms = (subqueries as f64 + 1.0) * params::DDL_ROUNDTRIP_MS;
+        let total_ms = submission_ms + mediator_finish(startup, mediator_work_ms, &fetches);
+        // μ: re-compose with free transfers — the "localized tables"
+        // methodology of Section VI-A.
+        let free: Vec<(f64, f64)> = fetches.iter().map(|(f, _)| (*f, 0.0)).collect();
+        let transfer_ms = total_ms - mediator_finish(startup, mediator_work_ms, &free);
+        Ok(MwReport {
+            relation,
+            total_ms,
+            transfer_ms,
+            mediator_work_ms,
+            fetch_bytes,
+            fetch_rows,
+            subqueries,
+        })
+    }
+}
+
+/// Sanity helper shared by tests/benches: the per-subquery relations of a
+/// decomposition never contain placeholders.
+pub fn assert_subqueries_pure(plan: &DelegationPlan) {
+    for task in &plan.tasks {
+        if task.id == plan.root {
+            continue;
+        }
+        let mut stack = vec![&task.plan];
+        while let Some(p) = stack.pop() {
+            assert!(
+                !matches!(p, xdb_sql::algebra::LogicalPlan::Placeholder { .. }),
+                "sub-query task t{} contains a placeholder",
+                task.id
+            );
+            stack.extend(p.children());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdb_core::scenario::{self, ScenarioConfig};
+
+    fn setup() -> (Cluster, GlobalCatalog) {
+        scenario::build(ScenarioConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn garlic_decomposition_pushes_colocated_joins() {
+        let (cluster, catalog) = setup();
+        let m = Mediator::new(&cluster, &catalog, MediatorConfig::garlic("mediator"));
+        let plan = m.decompose(scenario::EXAMPLE_QUERY).unwrap();
+        assert_subqueries_pure(&plan);
+        // Root is the mediator; sub-queries are one per DBMS (vaccines +
+        // vaccination fused on vdb).
+        assert_eq!(plan.task(plan.root).dbms.as_str(), "mediator");
+        assert_eq!(plan.tasks.len(), 4, "{}", plan.describe());
+    }
+
+    #[test]
+    fn presto_decomposition_does_not_fuse_joins() {
+        let (cluster, catalog) = setup();
+        let m = Mediator::new(&cluster, &catalog, MediatorConfig::presto("mediator", 4));
+        let plan = m.decompose(scenario::EXAMPLE_QUERY).unwrap();
+        assert_subqueries_pure(&plan);
+        // One sub-query per base table + the mediator root.
+        assert_eq!(plan.tasks.len(), 5, "{}", plan.describe());
+    }
+
+    #[test]
+    fn mediator_matches_xdb_results() {
+        let (cluster, catalog) = setup();
+        let xdb = xdb_core::Xdb::new(&cluster, &catalog);
+        let expected = xdb.submit(scenario::EXAMPLE_QUERY).unwrap().relation;
+        for config in [
+            MediatorConfig::garlic("mediator"),
+            MediatorConfig::presto("mediator", 4),
+        ] {
+            let m = Mediator::new(&cluster, &catalog, config);
+            let report = m.submit(scenario::EXAMPLE_QUERY).unwrap();
+            assert!(
+                report.relation.same_bag(&expected),
+                "{} diverged from XDB",
+                m.config().name
+            );
+        }
+    }
+
+    #[test]
+    fn mediator_fetches_more_than_xdb_moves() {
+        let (cluster, catalog) = setup();
+        let m = Mediator::new(&cluster, &catalog, MediatorConfig::garlic("mediator"));
+        let report = m.submit(scenario::EXAMPLE_QUERY).unwrap();
+        let mw_bytes = report.fetch_bytes;
+        cluster.ledger.clear();
+        let xdb = xdb_core::Xdb::new(&cluster, &catalog);
+        xdb.submit(scenario::EXAMPLE_QUERY).unwrap();
+        let xdb_bytes = cluster.ledger.bytes_for(Purpose::InterDbmsPipeline)
+            + cluster.ledger.bytes_for(Purpose::Materialization);
+        assert!(
+            mw_bytes > xdb_bytes,
+            "MW should move more: {mw_bytes} vs {xdb_bytes}"
+        );
+    }
+
+    #[test]
+    fn transfer_dominates_mw_total() {
+        // The Fig 1 observation: most of the MW total is data movement.
+        // Needs realistic data volume for the wire to matter.
+        let (cluster, catalog) = scenario::build(ScenarioConfig {
+            citizens: 20_000,
+            vaccination_events: 40_000,
+            measurements: 120_000,
+            ..Default::default()
+        })
+        .unwrap();
+        let m = Mediator::new(&cluster, &catalog, MediatorConfig::presto("mediator", 4));
+        let report = m.submit(scenario::EXAMPLE_QUERY).unwrap();
+        assert!(
+            report.transfer_ms > 0.3 * report.total_ms,
+            "transfer {} of total {}",
+            report.transfer_ms,
+            report.total_ms
+        );
+    }
+
+    #[test]
+    fn workers_speed_up_processing_not_fetching() {
+        let (cluster, catalog) = setup();
+        let few = Mediator::new(&cluster, &catalog, MediatorConfig::presto("mediator", 2))
+            .submit(scenario::EXAMPLE_QUERY)
+            .unwrap();
+        let many = Mediator::new(&cluster, &catalog, MediatorConfig::presto("mediator", 10))
+            .submit(scenario::EXAMPLE_QUERY)
+            .unwrap();
+        assert!(many.mediator_work_ms < few.mediator_work_ms);
+        // Fetch volume identical regardless of worker count.
+        assert_eq!(many.fetch_bytes, few.fetch_bytes);
+    }
+
+    #[test]
+    fn single_dbms_query_runs_remotely() {
+        let (cluster, catalog) = setup();
+        let m = Mediator::new(&cluster, &catalog, MediatorConfig::garlic("mediator"));
+        let report = m
+            .submit("SELECT count(*) AS n FROM citizen WHERE age > 50")
+            .unwrap();
+        assert_eq!(report.subqueries, 1);
+        assert_eq!(report.mediator_work_ms, 0.0);
+        assert_eq!(report.relation.len(), 1);
+    }
+}

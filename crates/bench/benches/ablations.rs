@@ -1,0 +1,30 @@
+//! Criterion benchmark for ablations — times the full
+//! reproduction pipeline at a small scale factor (shape checks live in the
+//! `repro` binary and EXPERIMENTS.md; this guards the harness's own cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use xdb_bench::experiments as exp;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    g.bench_function("movement_policy", |b| {
+        b.iter(|| exp::ablation_movement(0.002).unwrap())
+    });
+    g.bench_function("candidate_pruning", |b| {
+        b.iter(|| exp::ablation_pruning(0.002).unwrap())
+    });
+    g.bench_function("logical_rewrites", |b| {
+        b.iter(|| exp::ablation_logical(0.002).unwrap())
+    });
+    g.bench_function("bushy_join_trees", |b| {
+        b.iter(|| exp::ablation_bushy(0.002).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion benchmark for fig01 intro — times the full
+//! reproduction pipeline at a small scale factor (shape checks live in the
+//! `repro` binary and EXPERIMENTS.md; this guards the harness's own cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use xdb_bench::experiments as exp;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig01_intro");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    g.bench_function("q3_two_scales", |b| {
+        b.iter(|| exp::fig01(0.002, 0.002 * 2.0).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

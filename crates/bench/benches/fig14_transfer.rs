@@ -1,0 +1,22 @@
+//! Criterion benchmark for fig14 transfer — times the full
+//! reproduction pipeline at a small scale factor (shape checks live in the
+//! `repro` binary and EXPERIMENTS.md; this guards the harness's own cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use xdb_bench::experiments as exp;
+use xdb_tpch::TableDist;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_transfer");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    g.bench_function("onp_geo_transfer_td1", |b| {
+        b.iter(|| exp::fig14(TableDist::Td1, 0.002).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion benchmark for table2 characteristics — times the full
+//! reproduction pipeline at a small scale factor (shape checks live in the
+//! `repro` binary and EXPERIMENTS.md; this guards the harness's own cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_characteristics");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    g.bench_function("render_matrix", |b| {
+        b.iter(xdb_core::characteristics::render_table)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion benchmark for table3 distributions — times the full
+//! reproduction pipeline at a small scale factor (shape checks live in the
+//! `repro` binary and EXPERIMENTS.md; this guards the harness's own cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_distributions");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    g.bench_function("render_distributions", |b| {
+        b.iter(xdb_tpch::distributions::render_table3)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro all              # everything (EXPERIMENTS.md is this output)
+//! repro fig1|fig9|fig10|fig11|fig12|fig13|fig14|fig15
+//! repro table2|table3|table4
+//! repro ablations
+//! repro --sf 0.05 fig9   # override the default scale factor
+//! ```
+
+use xdb_bench::experiments as exp;
+use xdb_tpch::{TableDist, TpchQuery};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut sf = 0.05f64;
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--sf" {
+            sf = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--sf takes a number");
+        } else {
+            targets.push(a.to_ascii_lowercase());
+        }
+    }
+    if targets.is_empty() {
+        eprintln!("usage: repro [--sf X] <all|fig1|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table2|table3|table4|ablations>");
+        std::process::exit(2);
+    }
+    let all = targets.iter().any(|t| t == "all");
+    let want = |name: &str| all || targets.iter().any(|t| t == name);
+    let t0 = std::time::Instant::now();
+
+    if want("table2") {
+        println!("== Table II: system characteristics ==");
+        print!("{}", xdb_core::characteristics::render_table());
+        println!();
+    }
+    if want("table3") {
+        println!("== Table III: table distributions ==");
+        print!("{}", xdb_tpch::distributions::render_table3());
+        println!();
+    }
+    if want("fig1") {
+        print!("{}", exp::fig01(sf / 5.0, sf).expect("fig1").render());
+        println!();
+    }
+    if want("fig9") {
+        for td in TableDist::ALL {
+            print!("{}", exp::fig09(td, sf).expect("fig9").render());
+            println!();
+        }
+    }
+    if want("fig10") {
+        print!("{}", exp::fig10(sf).expect("fig10").render());
+        println!();
+    }
+    if want("fig11") {
+        print!("{}", exp::fig11(sf).expect("fig11").render());
+        println!();
+    }
+    if want("table4") {
+        print!("{}", exp::table4(sf).expect("table4"));
+        println!();
+    }
+    if want("fig12") {
+        let sfs = [sf / 10.0, sf / 2.0, sf, sf * 2.0];
+        for fig in exp::fig12(&sfs).expect("fig12") {
+            print!("{}", fig.render());
+            println!();
+        }
+    }
+    if want("fig13") {
+        let sfs = [sf / 10.0, sf / 2.0, sf, sf * 2.0];
+        print!("{}", exp::fig13(&sfs).expect("fig13").render());
+        println!();
+    }
+    if want("fig14") {
+        for td in [TableDist::Td1, TableDist::Td2] {
+            print!("{}", exp::fig14(td, sf).expect("fig14").render());
+            println!();
+        }
+    }
+    if want("fig15") {
+        let sfs = [sf / 10.0, sf / 2.0, sf, sf * 2.0];
+        print!(
+            "{}",
+            exp::fig15(TpchQuery::Q3, TableDist::Td1, &sfs)
+                .expect("fig15a")
+                .render()
+        );
+        println!();
+        print!(
+            "{}",
+            exp::fig15(TpchQuery::Q8, TableDist::Td3, &sfs)
+                .expect("fig15b")
+                .render()
+        );
+        println!();
+    }
+    if want("ablations") {
+        print!("{}", exp::ablation_movement(sf).expect("a1").render());
+        println!();
+        print!("{}", exp::ablation_pruning(sf).expect("a2").render());
+        println!();
+        print!("{}", exp::ablation_logical(sf).expect("a3").render());
+        println!();
+        print!("{}", exp::ablation_bushy(sf).expect("a4").render());
+        println!();
+    }
+    eprintln!("(repro finished in {:.1?})", t0.elapsed());
+}

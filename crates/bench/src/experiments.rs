@@ -1,0 +1,593 @@
+//! Reproduction runners — one function per table/figure of the paper's
+//! evaluation (see DESIGN.md §4 for the index).
+//!
+//! Scale factors are laptop-scale (default 0.1 ≈ the paper's mid-scale
+//! setting, proportionally); the *shapes* — who wins, by what factor,
+//! where crossovers fall — are the reproduction target, not absolute
+//! seconds.
+
+use crate::report::Figure;
+use xdb_baselines::{Mediator, MediatorConfig, Sclera};
+use xdb_core::annotate::AnnotateOptions;
+use xdb_core::{GlobalCatalog, Xdb, XdbOptions};
+use xdb_engine::cluster::Cluster;
+use xdb_engine::error::Result;
+use xdb_engine::profile::EngineProfile;
+use xdb_net::{Movement, NodeId, Purpose, Scenario};
+use xdb_tpch::{build_cluster, ProfileAssignment, TableDist, TpchQuery};
+
+/// Name of the managed-cloud node hosting the middleware/mediator.
+pub const CLOUD: &str = "cloud";
+
+/// A loaded federation ready for experiments.
+pub struct Env {
+    pub cluster: Cluster,
+    pub catalog: GlobalCatalog,
+    pub sf: f64,
+}
+
+/// Build a TPC-H federation with the middleware/mediator on a metered
+/// cloud node.
+pub fn env(
+    td: TableDist,
+    sf: f64,
+    scenario: Scenario,
+    profiles: &ProfileAssignment,
+) -> Result<Env> {
+    let mut cluster = build_cluster(td, sf, scenario, profiles)?;
+    cluster.topology.add_cloud_node(NodeId::new(CLOUD));
+    let catalog = GlobalCatalog::discover(&cluster)?;
+    Ok(Env {
+        cluster,
+        catalog,
+        sf,
+    })
+}
+
+fn pg() -> ProfileAssignment {
+    ProfileAssignment::uniform(EngineProfile::postgres())
+}
+
+/// "Actual" execution time of a query with localized tables: one engine
+/// holding everything (the paper's methodology for estimating the
+/// data-movement share, Section VI-A).
+pub fn localized_exec_ms(sf: f64, sql: &str) -> Result<f64> {
+    let cluster = Cluster::lan(&["solo"], EngineProfile::postgres());
+    xdb_tpch::distributions::load_all_on(&cluster, "solo", sf)?;
+    let (_, report) = cluster.query("solo", sql)?;
+    Ok(report.finish_ms)
+}
+
+/// Run XDB on an env; returns (exec_ms, total_ms, moved_bytes).
+pub fn run_xdb(env: &Env, sql: &str) -> Result<(f64, f64, u64)> {
+    env.cluster.ledger.clear();
+    let xdb = Xdb::new(&env.cluster, &env.catalog).with_client_node(CLOUD);
+    let out = xdb.submit(sql)?;
+    let moved = env.cluster.ledger.bytes_for(Purpose::InterDbmsPipeline)
+        + env.cluster.ledger.bytes_for(Purpose::Materialization);
+    Ok((out.breakdown.exec_ms, out.breakdown.total_ms(), moved))
+}
+
+// ------------------------------------------------------------------ Fig 1
+
+/// Fig 1: the introduction experiment — total vs actual execution time of
+/// TPC-H Q3 for Garlic and Presto (and XDB) at two scale factors.
+pub fn fig01(sf_small: f64, sf_large: f64) -> Result<Figure> {
+    let mut fig = Figure::new(
+        "Fig 1",
+        "MW overhead on Q3: total vs actual execution",
+        "sim seconds",
+    );
+    for sf in [sf_small, sf_large] {
+        let env = env(TableDist::Td1, sf, Scenario::OnPremise, &pg())?;
+        let q3 = TpchQuery::Q3.sql();
+        let actual = localized_exec_ms(sf, q3)? / 1000.0;
+        let garlic = Mediator::new(&env.cluster, &env.catalog, MediatorConfig::garlic(CLOUD))
+            .submit(q3)?;
+        let presto = Mediator::new(&env.cluster, &env.catalog, MediatorConfig::presto(CLOUD, 4))
+            .submit(q3)?;
+        let (xdb_exec, _, _) = run_xdb(&env, q3)?;
+        let x = format!("sf {sf}");
+        fig.series_mut("garlic total").push(&x, garlic.total_ms / 1000.0);
+        fig.series_mut("garlic actual")
+            .push(&x, (garlic.total_ms - garlic.transfer_ms) / 1000.0);
+        fig.series_mut("presto total").push(&x, presto.total_ms / 1000.0);
+        fig.series_mut("presto actual")
+            .push(&x, (presto.total_ms - presto.transfer_ms) / 1000.0);
+        fig.series_mut("xdb total").push(&x, xdb_exec / 1000.0);
+        fig.series_mut("localized").push(&x, actual);
+    }
+    fig.note("paper: actual ≈ 15% of Garlic's and ≈ 3% of Presto's total; XDB ≈ actual");
+    Ok(fig)
+}
+
+// --------------------------------------------------------------- Fig 9a-c
+
+/// Fig 9a–c: overall runtime of the six queries for XDB / Garlic /
+/// Presto-4 / Sclera under one table distribution.
+pub fn fig09(td: TableDist, sf: f64) -> Result<Figure> {
+    let env = env(td, sf, Scenario::OnPremise, &pg())?;
+    let mut fig = Figure::new(
+        format!("Fig 9 ({})", td.name()),
+        format!("overall runtime, {} sf {sf}", td.name()),
+        "sim seconds",
+    );
+    for q in TpchQuery::ALL {
+        let (xdb_exec, _, _) = run_xdb(&env, q.sql())?;
+        let garlic = Mediator::new(&env.cluster, &env.catalog, MediatorConfig::garlic(CLOUD))
+            .submit(q.sql())?;
+        let presto = Mediator::new(&env.cluster, &env.catalog, MediatorConfig::presto(CLOUD, 4))
+            .submit(q.sql())?;
+        let sclera = Sclera::new(&env.cluster, &env.catalog, CLOUD).submit(q.sql())?;
+        fig.series_mut("xdb").push(q.name(), xdb_exec / 1000.0);
+        fig.series_mut("garlic").push(q.name(), garlic.total_ms / 1000.0);
+        fig.series_mut("presto4").push(q.name(), presto.total_ms / 1000.0);
+        fig.series_mut("sclera").push(q.name(), sclera.total_ms / 1000.0);
+        fig.series_mut("garlic µ").push(q.name(), garlic.transfer_ms / 1000.0);
+        fig.series_mut("presto µ").push(q.name(), presto.transfer_ms / 1000.0);
+    }
+    fig.note("paper: XDB up to 4x vs Garlic, 6x vs Presto, 30x vs Sclera");
+    Ok(fig)
+}
+
+// ----------------------------------------------------------------- Fig 10
+
+/// Fig 10: heterogeneous engines (MariaDB@db2, Hive@db3), XDB vs Presto-4.
+pub fn fig10(sf: f64) -> Result<Figure> {
+    let env = env(
+        TableDist::Td1,
+        sf,
+        Scenario::OnPremise,
+        &ProfileAssignment::heterogeneous(),
+    )?;
+    let mut fig = Figure::new(
+        "Fig 10",
+        format!("heterogeneous DBMSes (TD1, sf {sf})"),
+        "sim seconds",
+    );
+    for q in TpchQuery::ALL {
+        let (xdb_exec, _, _) = run_xdb(&env, q.sql())?;
+        let presto = Mediator::new(&env.cluster, &env.catalog, MediatorConfig::presto(CLOUD, 4))
+            .submit(q.sql())?;
+        fig.series_mut("xdb").push(q.name(), xdb_exec / 1000.0);
+        fig.series_mut("presto4").push(q.name(), presto.total_ms / 1000.0);
+        fig.series_mut("speedup")
+            .push(q.name(), presto.total_ms / xdb_exec);
+    }
+    fig.note("paper: XDB outperforms Presto by ~2x on average here");
+    Ok(fig)
+}
+
+// ----------------------------------------------------------------- Fig 11
+
+/// Fig 11: scaling Presto's workers (2/4/10) vs XDB, TD1.
+pub fn fig11(sf: f64) -> Result<Figure> {
+    let env = env(TableDist::Td1, sf, Scenario::OnPremise, &pg())?;
+    let mut fig = Figure::new(
+        "Fig 11",
+        format!("scaled-out mediator vs decentralized execution (TD1, sf {sf})"),
+        "sim seconds",
+    );
+    for q in TpchQuery::ALL {
+        let (xdb_exec, _, _) = run_xdb(&env, q.sql())?;
+        fig.series_mut("xdb").push(q.name(), xdb_exec / 1000.0);
+        for workers in [2usize, 4, 10] {
+            let presto = Mediator::new(
+                &env.cluster,
+                &env.catalog,
+                MediatorConfig::presto(CLOUD, workers),
+            )
+            .submit(q.sql())?;
+            fig.series_mut(&format!("presto{workers}"))
+                .push(q.name(), presto.total_ms / 1000.0);
+            fig.series_mut(&format!("presto{workers} actual"))
+                .push(q.name(), (presto.total_ms - presto.transfer_ms) / 1000.0);
+        }
+    }
+    fig.note("paper: adding workers shrinks the actual processing, not the total");
+    Ok(fig)
+}
+
+// ---------------------------------------------------------------- Table 4
+
+/// Table IV: delegation plan analysis — the `t_i --x--> t_j` edges of
+/// Q3/Q5/Q8 under TD1/TD2 with *measured* moved row counts.
+pub fn table4(sf: f64) -> Result<String> {
+    let mut out = String::from(
+        "== Table IV: delegation plans with measured inter-DBMS movements ==\n",
+    );
+    for td in [TableDist::Td1, TableDist::Td2] {
+        let env = env(td, sf, Scenario::OnPremise, &pg())?;
+        for q in [TpchQuery::Q3, TpchQuery::Q5, TpchQuery::Q8] {
+            env.cluster.ledger.clear();
+            let xdb = Xdb::new(&env.cluster, &env.catalog).with_client_node(CLOUD);
+            let outcome = xdb.submit(q.sql())?;
+            let transfers = env.cluster.ledger.snapshot();
+            out.push_str(&format!("\n{} {} (sf {sf}):\n", td.name(), q.name()));
+            let mut used = vec![false; transfers.len()];
+            let mut total_rows = 0u64;
+            for e in &outcome.delegation.edges {
+                let from = outcome.delegation.task(e.from);
+                let to = outcome.delegation.task(e.to);
+                let want = match e.movement {
+                    Movement::Implicit => Purpose::InterDbmsPipeline,
+                    Movement::Explicit => Purpose::Materialization,
+                };
+                let rows = transfers
+                    .iter()
+                    .enumerate()
+                    .find(|(i, t)| {
+                        !used[*i] && t.purpose == want && t.from == from.dbms && t.to == to.dbms
+                    })
+                    .map(|(i, t)| {
+                        used[i] = true;
+                        t.rows
+                    })
+                    .unwrap_or(0);
+                total_rows += rows;
+                out.push_str(&format!(
+                    "  {}:{} --{}--> {}:{}   {} rows\n",
+                    from.dbms,
+                    from.plan.compact_notation(),
+                    e.movement,
+                    to.dbms,
+                    to.plan.compact_notation(),
+                    rows
+                ));
+            }
+            out.push_str(&format!(
+                "  Σ moved: {} rows across {} movements ({} tasks)\n",
+                total_rows,
+                outcome.delegation.edges.len(),
+                outcome.delegation.tasks.len()
+            ));
+        }
+    }
+    Ok(out)
+}
+
+// -------------------------------------------------------------- Fig 12/13
+
+/// Fig 12: runtime scaling over data size for Q3 / Q9 / Q8 (TD1).
+pub fn fig12(sfs: &[f64]) -> Result<Vec<Figure>> {
+    let mut figures = Vec::new();
+    for q in [TpchQuery::Q3, TpchQuery::Q9, TpchQuery::Q8] {
+        let mut fig = Figure::new(
+            format!("Fig 12 ({})", q.name()),
+            format!("data scalability of {} (TD1)", q.name()),
+            "sim seconds",
+        );
+        for &sf in sfs {
+            let env = env(TableDist::Td1, sf, Scenario::OnPremise, &pg())?;
+            let x = format!("sf {sf}");
+            let (xdb_exec, _, _) = run_xdb(&env, q.sql())?;
+            let garlic =
+                Mediator::new(&env.cluster, &env.catalog, MediatorConfig::garlic(CLOUD))
+                    .submit(q.sql())?;
+            let presto =
+                Mediator::new(&env.cluster, &env.catalog, MediatorConfig::presto(CLOUD, 4))
+                    .submit(q.sql())?;
+            fig.series_mut("xdb").push(&x, xdb_exec / 1000.0);
+            fig.series_mut("garlic").push(&x, garlic.total_ms / 1000.0);
+            fig.series_mut("presto4").push(&x, presto.total_ms / 1000.0);
+        }
+        fig.note("paper: XDB outperforms at every scale; growth tracks intermediate data");
+        figures.push(fig);
+    }
+    Ok(figures)
+}
+
+/// Fig 13: average runtime over all six queries vs scale factor (TD1).
+pub fn fig13(sfs: &[f64]) -> Result<Figure> {
+    let mut fig = Figure::new(
+        "Fig 13",
+        "average runtime over all queries (TD1)",
+        "sim seconds",
+    );
+    for &sf in sfs {
+        let env = env(TableDist::Td1, sf, Scenario::OnPremise, &pg())?;
+        let x = format!("sf {sf}");
+        let (mut sx, mut sg, mut sp, mut bytes) = (0.0, 0.0, 0.0, 0u64);
+        for q in TpchQuery::ALL {
+            let (xdb_exec, _, moved) = run_xdb(&env, q.sql())?;
+            sx += xdb_exec;
+            bytes += moved;
+            sg += Mediator::new(&env.cluster, &env.catalog, MediatorConfig::garlic(CLOUD))
+                .submit(q.sql())?
+                .total_ms;
+            sp += Mediator::new(&env.cluster, &env.catalog, MediatorConfig::presto(CLOUD, 4))
+                .submit(q.sql())?
+                .total_ms;
+        }
+        let n = TpchQuery::ALL.len() as f64;
+        fig.series_mut("xdb").push(&x, sx / n / 1000.0);
+        fig.series_mut("garlic").push(&x, sg / n / 1000.0);
+        fig.series_mut("presto4").push(&x, sp / n / 1000.0);
+        fig.series_mut("xdb MB moved")
+            .push(&x, bytes as f64 / 1e6 / n);
+    }
+    fig.note("paper: 3x avg speedup vs Garlic, 4x vs Presto; runtime ∝ intermediate data");
+    Ok(fig)
+}
+
+// ----------------------------------------------------------------- Fig 14
+
+/// Fig 14: data transferred during execution — XDB on-premise, XDB
+/// geo-distributed, Garlic, Presto (mediator in the cloud).
+pub fn fig14(td: TableDist, sf: f64) -> Result<Figure> {
+    let mut fig = Figure::new(
+        format!("Fig 14 ({})", td.name()),
+        format!("bytes moved over metered links ({}, sf {sf})", td.name()),
+        "MB",
+    );
+    // On-premise: DBMSes on a LAN, middleware in the cloud. Metered
+    // traffic = anything touching the cloud node.
+    let onp = env(td, sf, Scenario::OnPremise, &pg())?;
+    // Geo-distributed: every DBMS in its own DC; every link is metered.
+    let geo = env(td, sf, Scenario::GeoDistributed, &pg())?;
+    for q in TpchQuery::ALL {
+        onp.cluster.ledger.clear();
+        let xdb = Xdb::new(&onp.cluster, &onp.catalog).with_client_node(CLOUD);
+        xdb.submit(q.sql())?;
+        let xdb_onp = onp.cluster.ledger.bytes_touching(&NodeId::new(CLOUD));
+
+        geo.cluster.ledger.clear();
+        let xdb = Xdb::new(&geo.cluster, &geo.catalog).with_client_node(CLOUD);
+        xdb.submit(q.sql())?;
+        let xdb_geo = geo.cluster.ledger.total_bytes();
+
+        onp.cluster.ledger.clear();
+        let garlic = Mediator::new(&onp.cluster, &onp.catalog, MediatorConfig::garlic(CLOUD))
+            .submit(q.sql())?;
+        let presto = Mediator::new(&onp.cluster, &onp.catalog, MediatorConfig::presto(CLOUD, 4))
+            .submit(q.sql())?;
+        fig.series_mut("xdb (ONP)").push(q.name(), xdb_onp as f64 / 1e6);
+        fig.series_mut("xdb (GEO)").push(q.name(), xdb_geo as f64 / 1e6);
+        fig.series_mut("garlic")
+            .push(q.name(), garlic.fetch_bytes as f64 / 1e6);
+        fig.series_mut("presto")
+            .push(q.name(), presto.fetch_bytes as f64 / 1e6);
+    }
+    fig.note("paper: XDB(ONP) sends only results+control to the cloud — up to 3 orders of magnitude less");
+    Ok(fig)
+}
+
+// ----------------------------------------------------------------- Fig 15
+
+/// Fig 15: XDB query-processing phase breakdown (prep / lopt / ann / exec)
+/// across scale factors.
+pub fn fig15(q: TpchQuery, td: TableDist, sfs: &[f64]) -> Result<Figure> {
+    let mut fig = Figure::new(
+        format!("Fig 15 ({} {})", q.name(), td.name()),
+        format!("phase breakdown of {} on {}", q.name(), td.name()),
+        "sim seconds",
+    );
+    for &sf in sfs {
+        let env = env(td, sf, Scenario::OnPremise, &pg())?;
+        let xdb = Xdb::new(&env.cluster, &env.catalog).with_client_node(CLOUD);
+        let out = xdb.submit(q.sql())?;
+        let x = format!("sf {sf}");
+        let b = out.breakdown;
+        fig.series_mut("prep").push(&x, b.prep_ms / 1000.0);
+        fig.series_mut("lopt").push(&x, b.lopt_ms / 1000.0);
+        fig.series_mut("ann").push(&x, b.ann_ms / 1000.0);
+        fig.series_mut("exec").push(&x, b.exec_ms / 1000.0);
+        fig.series_mut("overhead %")
+            .push(&x, 100.0 * b.overhead_ms() / b.total_ms());
+    }
+    fig.note("paper: prep+lopt+ann stay <10s and sf-independent; exec dominates at scale");
+    Ok(fig)
+}
+
+// -------------------------------------------------------------- ablations
+
+/// Ablation: movement-type choice — cost-based vs all-implicit vs
+/// all-explicit (design-choice study beyond the paper's figures).
+pub fn ablation_movement(sf: f64) -> Result<Figure> {
+    let env = env(TableDist::Td1, sf, Scenario::OnPremise, &pg())?;
+    let mut fig = Figure::new(
+        "Ablation A1",
+        format!("movement-type policy (TD1, sf {sf})"),
+        "sim seconds",
+    );
+    for (name, force) in [
+        ("cost-based", None),
+        ("all-implicit", Some(Movement::Implicit)),
+        ("all-explicit", Some(Movement::Explicit)),
+    ] {
+        for q in TpchQuery::ALL {
+            let xdb = Xdb::new(&env.cluster, &env.catalog)
+                .with_client_node(CLOUD)
+                .with_options(XdbOptions {
+                    annotate: AnnotateOptions {
+                        force_movement: force,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                });
+            let out = xdb.submit(q.sql())?;
+            fig.series_mut(name).push(q.name(), out.breakdown.exec_ms / 1000.0);
+        }
+    }
+    fig.note("cost-based should match or beat both forced policies");
+    Ok(fig)
+}
+
+/// Ablation: annotation search-space pruning on/off — consulting
+/// round-trips and resulting runtime.
+pub fn ablation_pruning(sf: f64) -> Result<Figure> {
+    let env = env(TableDist::Td3, sf, Scenario::OnPremise, &pg())?;
+    let mut fig = Figure::new(
+        "Ablation A2",
+        format!("annotation candidate pruning (TD3, sf {sf})"),
+        "value",
+    );
+    for (name, no_pruning) in [("pruned", false), ("exhaustive", true)] {
+        for q in TpchQuery::ALL {
+            let xdb = Xdb::new(&env.cluster, &env.catalog)
+                .with_client_node(CLOUD)
+                .with_options(XdbOptions {
+                    annotate: AnnotateOptions {
+                        no_pruning,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                });
+            let out = xdb.submit(q.sql())?;
+            fig.series_mut(&format!("{name} consults"))
+                .push(q.name(), out.consult_roundtrips as f64);
+            fig.series_mut(&format!("{name} exec s"))
+                .push(q.name(), out.breakdown.exec_ms / 1000.0);
+        }
+    }
+    fig.note("pruning cuts consulting to 4 options per cross-db op at equal plan quality");
+    Ok(fig)
+}
+
+/// Ablation: logical-optimizer contributions (join reordering and
+/// projection pushdown) measured by data moved and runtime.
+pub fn ablation_logical(sf: f64) -> Result<Figure> {
+    let env = env(TableDist::Td1, sf, Scenario::OnPremise, &pg())?;
+    let mut fig = Figure::new(
+        "Ablation A3",
+        format!("logical optimizations (TD1, sf {sf})"),
+        "value",
+    );
+    for (name, no_reorder, no_prune) in [
+        ("full", false, false),
+        ("no-reorder", true, false),
+        ("no-pruning", false, true),
+    ] {
+        for q in TpchQuery::ALL {
+            let xdb = Xdb::new(&env.cluster, &env.catalog)
+                .with_client_node(CLOUD)
+                .with_options(XdbOptions {
+                    no_join_reorder: no_reorder,
+                    no_column_pruning: no_prune,
+                    ..Default::default()
+                });
+            env.cluster.ledger.clear();
+            let out = xdb.submit(q.sql())?;
+            let moved = env.cluster.ledger.bytes_for(Purpose::InterDbmsPipeline)
+                + env.cluster.ledger.bytes_for(Purpose::Materialization);
+            fig.series_mut(&format!("{name} MB"))
+                .push(q.name(), moved as f64 / 1e6);
+            fig.series_mut(&format!("{name} s"))
+                .push(q.name(), out.breakdown.exec_ms / 1000.0);
+        }
+    }
+    fig.note("both rewrites shrink inter-DBMS movement (Section IV-B1)");
+    Ok(fig)
+}
+
+/// Ablation: left-deep vs bushy join trees (the paper's future-work
+/// extension, footnote 5: bushy plans expose pipeline parallelism that
+/// decentralized execution exploits).
+pub fn ablation_bushy(sf: f64) -> Result<Figure> {
+    let env = env(TableDist::Td3, sf, Scenario::OnPremise, &pg())?;
+    let mut fig = Figure::new(
+        "Ablation A4",
+        format!("left-deep vs bushy join trees (TD3, sf {sf})"),
+        "sim seconds",
+    );
+    for (name, bushy) in [("left-deep", false), ("bushy", true)] {
+        for q in TpchQuery::ALL {
+            let xdb = Xdb::new(&env.cluster, &env.catalog)
+                .with_client_node(CLOUD)
+                .with_options(XdbOptions {
+                    bushy_joins: bushy,
+                    ..Default::default()
+                });
+            let out = xdb.submit(q.sql())?;
+            fig.series_mut(name).push(q.name(), out.breakdown.exec_ms / 1000.0);
+            if bushy {
+                fig.series_mut("bushy tasks")
+                    .push(q.name(), out.delegation.tasks.len() as f64);
+            }
+        }
+    }
+    fig.note("bushy subtrees pipeline in parallel across DBMSes (paper footnote 5)");
+    Ok(fig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEST_SF: f64 = 0.002;
+
+    #[test]
+    fn fig01_runs_and_orders_correctly() {
+        let fig = fig01(TEST_SF, TEST_SF * 2.0).unwrap();
+        let r = fig.render();
+        assert!(r.contains("garlic total"), "{r}");
+        // Actual ≤ total for both MW systems.
+        for sys in ["garlic", "presto"] {
+            for x in [format!("sf {TEST_SF}"), format!("sf {}", TEST_SF * 2.0)] {
+                let total = fig
+                    .series
+                    .iter()
+                    .find(|s| s.name == format!("{sys} total"))
+                    .unwrap()
+                    .get(&x)
+                    .unwrap();
+                let actual = fig
+                    .series
+                    .iter()
+                    .find(|s| s.name == format!("{sys} actual"))
+                    .unwrap()
+                    .get(&x)
+                    .unwrap();
+                assert!(actual <= total, "{sys} {x}: {actual} > {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig09_has_all_queries_and_systems() {
+        let fig = fig09(TableDist::Td1, TEST_SF).unwrap();
+        assert_eq!(fig.series.len(), 6);
+        for s in &fig.series {
+            assert_eq!(s.points.len(), 6, "{} missing queries", s.name);
+        }
+    }
+
+    #[test]
+    fn table4_reports_rows() {
+        let t = table4(TEST_SF).unwrap();
+        assert!(t.contains("TD1 Q3"), "{t}");
+        assert!(t.contains("rows"), "{t}");
+        assert!(t.contains("--i-->") || t.contains("--e-->"), "{t}");
+    }
+
+    #[test]
+    fn fig14_xdb_onp_is_smallest() {
+        let fig = fig14(TableDist::Td1, TEST_SF).unwrap();
+        for q in TpchQuery::ALL {
+            let onp = fig.series[0].get(q.name()).unwrap();
+            let garlic = fig
+                .series
+                .iter()
+                .find(|s| s.name == "garlic")
+                .unwrap()
+                .get(q.name())
+                .unwrap();
+            assert!(onp < garlic, "{}: xdb_onp {onp} >= garlic {garlic}", q.name());
+        }
+    }
+
+    #[test]
+    fn ablation_bushy_runs_and_matches() {
+        let fig = ablation_bushy(TEST_SF).unwrap();
+        assert!(fig.series.len() >= 2, "{}", fig.render());
+    }
+
+    #[test]
+    fn fig15_overhead_sf_independent() {
+        let fig = fig15(TpchQuery::Q3, TableDist::Td1, &[TEST_SF, TEST_SF * 4.0]).unwrap();
+        let ann = fig.series.iter().find(|s| s.name == "ann").unwrap();
+        let a = ann.points[0].1;
+        let b = ann.points[1].1;
+        assert!((a - b).abs() < 1e-9, "ann should not depend on sf: {a} vs {b}");
+    }
+}

@@ -1,0 +1,13 @@
+//! # xdb-bench
+//!
+//! The reproduction harness: one runner per table/figure of the paper's
+//! evaluation ([`experiments`]), rendered as aligned text ([`report`]).
+//!
+//! Two entry points:
+//! - `cargo run --release -p xdb-bench --bin repro -- <experiment|all>` —
+//!   regenerate the tables/figures (this is what EXPERIMENTS.md records);
+//! - `cargo bench -p xdb-bench` — Criterion benchmarks, one per
+//!   table/figure, timing each reproduction pipeline at a small scale.
+
+pub mod experiments;
+pub mod report;

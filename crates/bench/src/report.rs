@@ -1,0 +1,146 @@
+//! Tabular figure/table rendering for the reproduction harness.
+
+/// One named series of (x-label, value) points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub name: String,
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    pub fn new(name: impl Into<String>) -> Series {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, x: impl Into<String>, y: f64) {
+        self.points.push((x.into(), y));
+    }
+
+    pub fn get(&self, x: &str) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(l, _)| l == x)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// A reproduced figure or table: series over a shared x-axis.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    pub id: String,
+    pub title: String,
+    pub unit: &'static str,
+    pub series: Vec<Series>,
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, unit: &'static str) -> Figure {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            unit,
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn series_mut(&mut self, name: &str) -> &mut Series {
+        if let Some(i) = self.series.iter().position(|s| s.name == name) {
+            &mut self.series[i]
+        } else {
+            self.series.push(Series::new(name));
+            self.series.last_mut().unwrap()
+        }
+    }
+
+    pub fn note(&mut self, n: impl Into<String>) {
+        self.notes.push(n.into());
+    }
+
+    /// All x labels in first-appearance order.
+    fn x_labels(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for s in &self.series {
+            for (x, _) in &s.points {
+                if !out.contains(x) {
+                    out.push(x.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Render as an aligned text table: one row per x label, one column
+    /// per series.
+    pub fn render(&self) -> String {
+        let xs = self.x_labels();
+        let mut out = format!("== {}: {} ({}) ==\n", self.id, self.title, self.unit);
+        let xw = xs.iter().map(String::len).max().unwrap_or(4).max(4);
+        let widths: Vec<usize> = self
+            .series
+            .iter()
+            .map(|s| s.name.len().max(9) + 2)
+            .collect();
+        out.push_str(&format!("{:<xw$}", ""));
+        for (s, w) in self.series.iter().zip(&widths) {
+            out.push_str(&format!("{:>w$}", s.name, w = *w));
+        }
+        out.push('\n');
+        for x in &xs {
+            out.push_str(&format!("{x:<xw$}"));
+            for (s, w) in self.series.iter().zip(&widths) {
+                let w = *w;
+                match s.get(x) {
+                    Some(v) => {
+                        if v.abs() >= 1000.0 {
+                            out.push_str(&format!("{v:>w$.0}"));
+                        } else if v.abs() < 0.01 && v != 0.0 {
+                            // Keep orders-of-magnitude differences visible
+                            // (Fig 14's "three orders less" claim).
+                            out.push_str(&format!("{v:>w$.4}"));
+                        } else {
+                            out.push_str(&format!("{v:>w$.2}"));
+                        }
+                    }
+                    None => out.push_str(&format!("{:>w$}", "-", w = w)),
+                }
+            }
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_and_fills_gaps() {
+        let mut f = Figure::new("Fig X", "demo", "s");
+        f.series_mut("a").push("q1", 1.0);
+        f.series_mut("a").push("q2", 2.0);
+        f.series_mut("b").push("q2", 12345.0);
+        f.note("hello");
+        let r = f.render();
+        assert!(r.contains("Fig X"));
+        assert!(r.contains("12345"));
+        assert!(r.contains('-'), "missing gap marker: {r}");
+        assert!(r.contains("note: hello"));
+    }
+
+    #[test]
+    fn series_lookup() {
+        let mut s = Series::new("x");
+        s.push("a", 5.0);
+        assert_eq!(s.get("a"), Some(5.0));
+        assert_eq!(s.get("zz"), None);
+    }
+}

@@ -1,0 +1,869 @@
+//! Plan annotation and finalization (Sections IV-B2 and IV-B3), fused into
+//! one bottom-up pass.
+//!
+//! Rules 1–3 are structural: leaves carry the annotation of the DBMS their
+//! table lives on, unary operators inherit their input's annotation, and
+//! binary operators with same-annotated inputs stay put — successive
+//! operators with the same annotation therefore *fuse into one task*
+//! (exactly the finalization grouping of Section IV-B3). Rule 4 fires at a
+//! cross-database join: Equation 1 picks the operator's annotation and the
+//! movement type per moved input, and each moved input is *cut* into its
+//! own task, leaving a `?` placeholder (dummy operator) behind.
+
+use crate::cost::{decide_placement, InputSide};
+use crate::global::GlobalCatalog;
+use crate::plan::{placeholder_alias, placeholder_name, DelegationPlan, Edge, Task};
+use std::collections::HashMap;
+use xdb_engine::cluster::Cluster;
+use xdb_engine::error::{EngineError, Result};
+use xdb_net::{Movement, NodeId};
+use xdb_sql::algebra::{LogicalPlan, PlanSchema};
+use xdb_sql::ast::Expr;
+use xdb_sql::stats::Estimator;
+use xdb_sql::value::DataType;
+
+/// Where cross-database operators are placed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum PlacementPolicy {
+    /// XDB's Rule 4 / Equation 1 (cost-based).
+    #[default]
+    CostBased,
+    /// Always the left input's DBMS — the ScleraDB-style heuristic the
+    /// paper contrasts against ("employs heuristics to define the join
+    /// operator placement").
+    LeftInput,
+    /// Always a fixed node that hosts no base data — the mediator of MW
+    /// systems. Used by the baselines to *decompose* a query into local
+    /// sub-queries plus a global (mediator) fragment.
+    Mediator(NodeId),
+}
+
+/// Knobs for the annotator (flipped by ablation benches and reused by the
+/// mediator baselines).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AnnotateOptions {
+    /// Disable the paper's candidate pruning: consider *every* DBMS as a
+    /// placement candidate for every cross-database operation.
+    pub no_pruning: bool,
+    /// Force every inter-task movement to the given type.
+    pub force_movement: Option<Movement>,
+    /// Placement rule for cross-database operators.
+    pub placement: PlacementPolicy,
+    /// Fuse co-located joins into one task. MW connectors that cannot push
+    /// joins down (Presto-style) set this to false.
+    pub no_colocated_fusion: bool,
+    /// Restrict the annotation set `A` to these nodes (the paper's
+    /// "other network topologies can be supported by constraining the
+    /// possible values of set A", Section IV-B2). Cross-database
+    /// operators are only placed on listed nodes; leaf tasks still run
+    /// where their tables live.
+    pub allowed_placements: Option<Vec<NodeId>>,
+}
+
+/// Annotation outcome: the delegation plan plus consulting accounting.
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    pub plan: DelegationPlan,
+    /// EXPLAIN-probe round-trips performed (drives the `ann` phase of
+    /// Fig 15).
+    pub consults: u64,
+}
+
+/// Rewrite rule produced by cutting a subtree into a task: references into
+/// the cut subtree's schema become references to the placeholder relation.
+#[derive(Debug, Clone)]
+pub struct Rename {
+    pub cut_schema: PlanSchema,
+    pub ph_alias: String,
+    pub new_names: Vec<String>,
+}
+
+/// A partially-annotated subtree: its (single) annotation, the fused plan
+/// fragment, and pending renames from cuts below it.
+struct Partial {
+    dbms: NodeId,
+    fragment: LogicalPlan,
+    renames: Vec<Rename>,
+}
+
+pub struct Annotator<'a> {
+    catalog: &'a GlobalCatalog,
+    cluster: &'a Cluster,
+    options: AnnotateOptions,
+    tasks: Vec<Task>,
+    /// Movement of each cut task's out-edge.
+    movements: HashMap<usize, Movement>,
+    consults: u64,
+}
+
+impl<'a> Annotator<'a> {
+    pub fn new(
+        catalog: &'a GlobalCatalog,
+        cluster: &'a Cluster,
+        options: AnnotateOptions,
+    ) -> Annotator<'a> {
+        Annotator {
+            catalog,
+            cluster,
+            options,
+            tasks: Vec::new(),
+            movements: HashMap::new(),
+            consults: 0,
+        }
+    }
+
+    /// Annotate and finalize an optimized logical plan into a delegation
+    /// plan.
+    pub fn run(mut self, plan: &LogicalPlan) -> Result<Annotation> {
+        let root_partial = self.annotate(plan)?;
+        let root = self.finalize_root(root_partial)?;
+        let edges = self.collect_edges();
+        Ok(Annotation {
+            plan: DelegationPlan {
+                tasks: self.tasks,
+                edges,
+                root,
+            },
+            consults: self.consults,
+        })
+    }
+
+    fn est(&self) -> Estimator<'_> {
+        Estimator::new(self.catalog)
+    }
+
+    fn annotate(&mut self, plan: &LogicalPlan) -> Result<Partial> {
+        match plan {
+            // Rule 1: leaves are annotated with their home DBMS.
+            LogicalPlan::Scan { relation, .. } => {
+                let dbms = self
+                    .catalog
+                    .location(relation)
+                    .ok_or_else(|| {
+                        EngineError::Catalog(format!("no location for table {relation:?}"))
+                    })?
+                    .clone();
+                Ok(Partial {
+                    dbms,
+                    fragment: plan.clone(),
+                    renames: Vec::new(),
+                })
+            }
+            LogicalPlan::Placeholder { .. } => Err(EngineError::Execution(
+                "placeholder in user plan".into(),
+            )),
+            LogicalPlan::OneRow => Err(EngineError::Unsupported(
+                "cross-database delegation of a FROM-less query".into(),
+            )),
+            // Rule 2: unary operators inherit their input's annotation.
+            LogicalPlan::Filter { input, predicate } => {
+                let child = self.annotate(input)?;
+                let predicate = apply_renames(predicate.clone(), &child.renames);
+                Ok(Partial {
+                    dbms: child.dbms,
+                    fragment: LogicalPlan::Filter {
+                        input: Box::new(child.fragment),
+                        predicate,
+                    },
+                    renames: child.renames,
+                })
+            }
+            LogicalPlan::Project { input, exprs } => {
+                let child = self.annotate(input)?;
+                let exprs = exprs
+                    .iter()
+                    .map(|(e, n)| (apply_renames(e.clone(), &child.renames), n.clone()))
+                    .collect();
+                Ok(Partial {
+                    dbms: child.dbms,
+                    fragment: LogicalPlan::Project {
+                        input: Box::new(child.fragment),
+                        exprs,
+                    },
+                    // A projection re-bases the name scope: ancestor
+                    // references address its bare outputs, never the
+                    // underlying scans, so pending renames end here.
+                    renames: Vec::new(),
+                })
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggregates,
+            } => {
+                let child = self.annotate(input)?;
+                let group_by = group_by
+                    .iter()
+                    .map(|(e, n)| (apply_renames(e.clone(), &child.renames), n.clone()))
+                    .collect();
+                let aggregates = aggregates
+                    .iter()
+                    .map(|(a, n)| {
+                        let mut a = a.clone();
+                        a.arg = a.arg.map(|e| apply_renames(e, &child.renames));
+                        (a, n.clone())
+                    })
+                    .collect();
+                Ok(Partial {
+                    dbms: child.dbms,
+                    fragment: LogicalPlan::Aggregate {
+                        input: Box::new(child.fragment),
+                        group_by,
+                        aggregates,
+                    },
+                    // Aggregates re-base the name scope (see Project).
+                    renames: Vec::new(),
+                })
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let child = self.annotate(input)?;
+                let keys = keys
+                    .iter()
+                    .map(|(e, d)| (apply_renames(e.clone(), &child.renames), *d))
+                    .collect();
+                Ok(Partial {
+                    dbms: child.dbms,
+                    fragment: LogicalPlan::Sort {
+                        input: Box::new(child.fragment),
+                        keys,
+                    },
+                    renames: child.renames,
+                })
+            }
+            LogicalPlan::Limit { input, fetch } => {
+                let child = self.annotate(input)?;
+                Ok(Partial {
+                    dbms: child.dbms,
+                    fragment: LogicalPlan::Limit {
+                        input: Box::new(child.fragment),
+                        fetch: *fetch,
+                    },
+                    renames: child.renames,
+                })
+            }
+            LogicalPlan::Distinct { input } => {
+                let child = self.annotate(input)?;
+                Ok(Partial {
+                    dbms: child.dbms,
+                    fragment: LogicalPlan::Distinct {
+                        input: Box::new(child.fragment),
+                    },
+                    renames: child.renames,
+                })
+            }
+            LogicalPlan::SubqueryAlias { input, alias } => {
+                let child = self.annotate(input)?;
+                Ok(Partial {
+                    dbms: child.dbms,
+                    fragment: LogicalPlan::SubqueryAlias {
+                        input: Box::new(child.fragment),
+                        alias: alias.clone(),
+                    },
+                    // Alias scopes re-base the name space as well.
+                    renames: Vec::new(),
+                })
+            }
+            LogicalPlan::SemiJoin {
+                left,
+                right,
+                on,
+                residual,
+                negated,
+            } => {
+                // Semi joins are binary cross-database operators like any
+                // join: Rule 3 fuses same-annotated inputs, Rule 4 decides
+                // placement + movement otherwise.
+                let join_like = LogicalPlan::Join {
+                    left: left.clone(),
+                    right: right.clone(),
+                    on: on.clone(),
+                    residual: residual.clone(),
+                };
+                let partial = self.annotate(&join_like)?;
+                // Re-shape the top Join node back into a SemiJoin,
+                // preserving the annotated/cut children and rewritten
+                // conditions.
+                match partial.fragment {
+                    LogicalPlan::Join {
+                        left: al,
+                        right: ar,
+                        on: aon,
+                        residual: ares,
+                    } => Ok(Partial {
+                        dbms: partial.dbms,
+                        fragment: LogicalPlan::SemiJoin {
+                            left: al,
+                            right: ar,
+                            on: aon,
+                            residual: ares,
+                            negated: *negated,
+                        },
+                        renames: partial.renames,
+                    }),
+                    other => unreachable!(
+                        "join annotation returned a non-join fragment: {}",
+                        other.tree_string()
+                    ),
+                }
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                on,
+                residual,
+            } => {
+                let l = self.annotate(left)?;
+                let r = self.annotate(right)?;
+                // Rewrite the join condition through the cuts below.
+                let on: Vec<(Expr, Expr)> = on
+                    .iter()
+                    .map(|(le, re)| {
+                        (
+                            apply_renames(le.clone(), &l.renames),
+                            apply_renames(re.clone(), &r.renames),
+                        )
+                    })
+                    .collect();
+                let residual = residual.as_ref().map(|res| {
+                    let res = apply_renames(res.clone(), &l.renames);
+                    apply_renames(res, &r.renames)
+                });
+
+                // Rule 3: same annotation on both inputs → stay fused.
+                // Under `no_colocated_fusion` (Presto-style connectors)
+                // only the mediator fragment itself keeps fusing.
+                let mediator = match &self.options.placement {
+                    PlacementPolicy::Mediator(n) => Some(n.clone()),
+                    _ => None,
+                };
+                let may_fuse =
+                    !self.options.no_colocated_fusion || Some(&l.dbms) == mediator.as_ref();
+                if l.dbms == r.dbms && may_fuse {
+                    let mut renames = l.renames;
+                    renames.extend(r.renames);
+                    return Ok(Partial {
+                        dbms: l.dbms,
+                        fragment: LogicalPlan::Join {
+                            left: Box::new(l.fragment),
+                            right: Box::new(r.fragment),
+                            on,
+                            residual,
+                        },
+                        renames,
+                    });
+                }
+
+                // Cross-database operator: pick its annotation + movement
+                // according to the configured policy.
+                let placement = match &self.options.placement {
+                    // Rule 4: cost-based placement + movement decision.
+                    PlacementPolicy::CostBased => {
+                        let est = Estimator::new(self.catalog);
+                        let l_side = InputSide {
+                            dbms: l.dbms.clone(),
+                            rows: est.rows(&l.fragment),
+                            bytes: est.bytes(&l.fragment),
+                        };
+                        let r_side = InputSide {
+                            dbms: r.dbms.clone(),
+                            rows: est.rows(&r.fragment),
+                            bytes: est.bytes(&r.fragment),
+                        };
+                        let probe = LogicalPlan::Join {
+                            left: Box::new(l.fragment.clone()),
+                            right: Box::new(r.fragment.clone()),
+                            on: on.clone(),
+                            residual: residual.clone(),
+                        };
+                        let out_rows = est.rows(&probe);
+                        let mut candidates: Vec<NodeId> = if self.options.no_pruning {
+                            self.cluster
+                                .node_names()
+                                .into_iter()
+                                .map(NodeId::new)
+                                .collect()
+                        } else {
+                            vec![l.dbms.clone(), r.dbms.clone()]
+                        };
+                        if let Some(allowed) = &self.options.allowed_placements {
+                            let filtered: Vec<NodeId> = candidates
+                                .iter()
+                                .filter(|c| allowed.contains(c))
+                                .cloned()
+                                .collect();
+                            // If neither input's home is admissible, fall
+                            // back to the full allowed set: both inputs
+                            // move to a permitted third party.
+                            candidates = if filtered.is_empty() {
+                                allowed.clone()
+                            } else {
+                                filtered
+                            };
+                        }
+                        let cluster = self.cluster;
+                        let profiles = |n: &NodeId| -> xdb_engine::EngineProfile {
+                            cluster
+                                .engine(n.as_str())
+                                .map(|e| e.profile.clone())
+                                .unwrap_or_else(|_| xdb_engine::EngineProfile::postgres())
+                        };
+                        decide_placement(
+                            &self.cluster.topology,
+                            &profiles,
+                            &l_side,
+                            &r_side,
+                            out_rows,
+                            &candidates,
+                            self.options.force_movement,
+                        )
+                    }
+                    // ScleraDB-style heuristic: the left input's home
+                    // wins; the moved side is materialized.
+                    PlacementPolicy::LeftInput => crate::cost::Placement {
+                        dbms: l.dbms.clone(),
+                        left_move: Movement::Implicit,
+                        right_move: self
+                            .options
+                            .force_movement
+                            .unwrap_or(Movement::Explicit),
+                        cost: 0.0,
+                        consults: 0,
+                    },
+                    // Mediator decomposition: every cross-database
+                    // operator runs at the mediator; inputs are fetched.
+                    PlacementPolicy::Mediator(node) => crate::cost::Placement {
+                        dbms: node.clone(),
+                        left_move: Movement::Implicit,
+                        right_move: Movement::Implicit,
+                        cost: 0.0,
+                        consults: 0,
+                    },
+                };
+                self.consults += placement.consults;
+
+                let mut renames: Vec<Rename> = Vec::new();
+                renames.extend(l.renames.iter().cloned());
+                renames.extend(r.renames.iter().cloned());
+
+                // Cut every input not local to the chosen annotation.
+                let (l_final, l_rename) = if l.dbms != placement.dbms {
+                    let (ph, rename) = self.cut(
+                        Partial {
+                            dbms: l.dbms,
+                            fragment: l.fragment,
+                            renames: l.renames,
+                        },
+                        placement.left_move,
+                    )?;
+                    (ph, Some(rename))
+                } else {
+                    (l.fragment, None)
+                };
+                let (r_final, r_rename) = if r.dbms != placement.dbms {
+                    let (ph, rename) = self.cut(
+                        Partial {
+                            dbms: r.dbms,
+                            fragment: r.fragment,
+                            renames: r.renames,
+                        },
+                        placement.right_move,
+                    )?;
+                    (ph, Some(rename))
+                } else {
+                    (r.fragment, None)
+                };
+                // The join condition must itself address the placeholders.
+                // Each side's expressions are rewritten only through that
+                // side's cut (semi-join scopes may share bare column
+                // names, so cross-application would capture wrongly).
+                let l_cut: Vec<Rename> = l_rename.into_iter().collect();
+                let r_cut: Vec<Rename> = r_rename.into_iter().collect();
+                let on = on
+                    .into_iter()
+                    .map(|(le, re)| {
+                        (apply_renames(le, &l_cut), apply_renames(re, &r_cut))
+                    })
+                    .collect();
+                let residual = residual.map(|res| {
+                    let res = apply_renames(res, &l_cut);
+                    apply_renames(res, &r_cut)
+                });
+                renames.extend(l_cut);
+                renames.extend(r_cut);
+                Ok(Partial {
+                    dbms: placement.dbms,
+                    fragment: LogicalPlan::Join {
+                        left: Box::new(l_final),
+                        right: Box::new(r_final),
+                        on,
+                        residual,
+                    },
+                    renames,
+                })
+            }
+        }
+    }
+
+    /// Cut a subtree into its own task; returns the placeholder leaf that
+    /// replaces it and the rename rule for ancestor expressions.
+    fn cut(&mut self, partial: Partial, movement: Movement) -> Result<(LogicalPlan, Rename)> {
+        let id = self.tasks.len();
+        let schema = partial.fragment.schema();
+        let new_names = unique_names(&schema)?;
+        // Fix the task's output columns with an explicit rename projection.
+        let exprs: Vec<(Expr, String)> = schema
+            .fields
+            .iter()
+            .zip(new_names.iter())
+            .map(|(f, n)| {
+                let e = match &f.qualifier {
+                    Some(q) => Expr::qcol(q.clone(), f.name.clone()),
+                    None => Expr::col(f.name.clone()),
+                };
+                (e, n.clone())
+            })
+            .collect();
+        let task_plan = LogicalPlan::Project {
+            input: Box::new(partial.fragment),
+            exprs,
+        };
+        let out_schema = task_plan.schema();
+        let output_fields: Vec<(String, DataType)> = out_schema
+            .fields
+            .iter()
+            .map(|f| (f.name.clone(), f.data_type))
+            .collect();
+        let est_rows = self.est().rows(&task_plan);
+        self.catalog
+            .register_placeholder(&placeholder_name(id), est_rows);
+        self.tasks.push(Task {
+            id,
+            dbms: partial.dbms,
+            plan: task_plan,
+            output_fields: output_fields.clone(),
+            est_rows,
+        });
+        self.movements.insert(id, movement);
+        let placeholder = LogicalPlan::Placeholder {
+            name: placeholder_name(id),
+            alias: placeholder_alias(id),
+            fields: output_fields,
+        };
+        Ok((
+            placeholder,
+            Rename {
+                cut_schema: schema,
+                ph_alias: placeholder_alias(id),
+                new_names,
+            },
+        ))
+    }
+
+    /// Finalize the root task.
+    fn finalize_root(&mut self, partial: Partial) -> Result<usize> {
+        let id = self.tasks.len();
+        let schema = partial.fragment.schema();
+        // The root view's columns must be unique too; wrap only if needed
+        // (the binder's top projection usually guarantees uniqueness).
+        let needs_wrap = {
+            let mut seen = std::collections::HashSet::new();
+            schema
+                .fields
+                .iter()
+                .any(|f| !seen.insert(f.name.to_ascii_lowercase()))
+        };
+        let (plan, out_schema) = if needs_wrap {
+            let new_names = unique_names(&schema)?;
+            let exprs: Vec<(Expr, String)> = schema
+                .fields
+                .iter()
+                .zip(new_names.iter())
+                .map(|(f, n)| {
+                    let e = match &f.qualifier {
+                        Some(q) => Expr::qcol(q.clone(), f.name.clone()),
+                        None => Expr::col(f.name.clone()),
+                    };
+                    (e, n.clone())
+                })
+                .collect();
+            let p = LogicalPlan::Project {
+                input: Box::new(partial.fragment),
+                exprs,
+            };
+            let s = p.schema();
+            (p, s)
+        } else {
+            (partial.fragment, schema)
+        };
+        let est_rows = self.est().rows(&plan);
+        self.tasks.push(Task {
+            id,
+            dbms: partial.dbms,
+            plan,
+            output_fields: out_schema
+                .fields
+                .iter()
+                .map(|f| (f.name.clone(), f.data_type))
+                .collect(),
+            est_rows,
+        });
+        Ok(id)
+    }
+
+    /// Derive the edge set from placeholder references inside task bodies.
+    fn collect_edges(&self) -> Vec<Edge> {
+        let mut edges = Vec::new();
+        for task in &self.tasks {
+            let mut stack = vec![&task.plan];
+            while let Some(p) = stack.pop() {
+                if let LogicalPlan::Placeholder { name, .. } = p {
+                    if let Some(from) = parse_placeholder(name) {
+                        edges.push(Edge {
+                            from,
+                            to: task.id,
+                            movement: *self
+                                .movements
+                                .get(&from)
+                                .unwrap_or(&Movement::Implicit),
+                        });
+                    }
+                }
+                stack.extend(p.children());
+            }
+        }
+        edges.sort_by_key(|e| (e.to, e.from));
+        edges
+    }
+}
+
+/// Extract the task id from a placeholder name.
+fn parse_placeholder(name: &str) -> Option<usize> {
+    name.strip_prefix("__task_")?.parse().ok()
+}
+
+/// Unique bare output names for a schema: field name, disambiguated with
+/// its qualifier when duplicated.
+pub fn unique_names(schema: &PlanSchema) -> Result<Vec<String>> {
+    let mut used: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(schema.fields.len());
+    for f in &schema.fields {
+        let mut name = f.name.clone();
+        if !used.insert(name.to_ascii_lowercase()) {
+            name = match &f.qualifier {
+                Some(q) => format!("{q}_{}", f.name),
+                None => {
+                    return Err(EngineError::Unsupported(format!(
+                        "duplicate unqualified column {name:?} at a task boundary"
+                    )))
+                }
+            };
+            let mut i = 0;
+            while !used.insert(name.to_ascii_lowercase()) {
+                i += 1;
+                name = format!("{}_{}_{i}", f.qualifier.as_deref().unwrap_or(""), f.name);
+            }
+        }
+        out.push(name);
+    }
+    Ok(out)
+}
+
+/// Apply cut renames (oldest first) to an expression.
+pub fn apply_renames(e: Expr, renames: &[Rename]) -> Expr {
+    let mut out = e;
+    for r in renames {
+        out = out.transform(&mut |x| match &x {
+            Expr::Column { qualifier, name } => {
+                match r.cut_schema.resolve(qualifier.as_deref(), name) {
+                    Ok(idx) => Expr::qcol(r.ph_alias.clone(), r.new_names[idx].clone()),
+                    Err(_) => x,
+                }
+            }
+            _ => x,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdb_sql::bind::bind_select;
+    use xdb_sql::optimize::{optimize, OptimizeOptions};
+    use xdb_sql::parse_select;
+
+    /// The motivating scenario of Table I, generated at a size where the
+    /// optimizer's plan matches the paper's Figure 5a shape.
+    fn vaccination_cluster() -> (Cluster, GlobalCatalog) {
+        crate::scenario::build(crate::scenario::ScenarioConfig::default()).unwrap()
+    }
+
+    /// The example cross-database query of Fig 3 (age-group CASE kept
+    /// short).
+    const EXAMPLE_QUERY: &str = crate::scenario::EXAMPLE_QUERY;
+
+    fn annotate_query(sql: &str) -> (Annotation, Cluster) {
+        let (c, g) = vaccination_cluster();
+        let plan = bind_select(&parse_select(sql).unwrap(), &g).unwrap();
+        let plan = optimize(plan, &g, OptimizeOptions::default());
+        let ann = Annotator::new(&g, &c, AnnotateOptions::default())
+            .run(&plan)
+            .unwrap();
+        (ann, c)
+    }
+
+    #[test]
+    fn single_dbms_query_is_one_task() {
+        let (ann, _) = annotate_query("SELECT name FROM citizen WHERE age > 30");
+        assert_eq!(ann.plan.tasks.len(), 1);
+        assert!(ann.plan.edges.is_empty());
+        assert_eq!(ann.plan.task(ann.plan.root).dbms.as_str(), "cdb");
+        assert_eq!(ann.consults, 0);
+    }
+
+    #[test]
+    fn colocated_join_stays_fused() {
+        let (ann, _) = annotate_query(
+            "SELECT v.vtype FROM vaccines v, vaccination vn WHERE v.id = vn.v_id",
+        );
+        assert_eq!(ann.plan.tasks.len(), 1, "{}", ann.plan.describe());
+        assert_eq!(ann.plan.task(ann.plan.root).dbms.as_str(), "vdb");
+    }
+
+    #[test]
+    fn example_query_produces_three_tasks() {
+        let (ann, _) = annotate_query(EXAMPLE_QUERY);
+        // Three DBMSes → three tasks (Fig 5a shape) with two inter-DBMS
+        // movements.
+        assert_eq!(ann.plan.tasks.len(), 3, "{}", ann.plan.describe());
+        assert_eq!(ann.plan.edges.len(), 2);
+        // Each DBMS hosts exactly one task.
+        let mut hosts: Vec<&str> = ann
+            .plan
+            .tasks
+            .iter()
+            .map(|t| t.dbms.as_str())
+            .collect();
+        hosts.sort();
+        assert_eq!(hosts, vec!["cdb", "hdb", "vdb"]);
+        // Rule-4 consulting happened (2 cross-db joins × 4 options).
+        assert_eq!(ann.consults, 8);
+    }
+
+    #[test]
+    fn annotation_never_places_on_third_party_when_pruned() {
+        let (ann, _) = annotate_query(EXAMPLE_QUERY);
+        // Every edge's consumer is one of the edge's input DBMSes by
+        // construction; tasks live only where their base tables live.
+        for t in &ann.plan.tasks {
+            assert!(["cdb", "vdb", "hdb"].contains(&t.dbms.as_str()));
+        }
+    }
+
+    #[test]
+    fn cut_rewrites_ancestor_references() {
+        // The aggregate at the root references v.vtype, which is cut away
+        // into the VDB task: the reference must have been rewritten to the
+        // placeholder alias.
+        let (ann, _) = annotate_query(EXAMPLE_QUERY);
+        let root = ann.plan.task(ann.plan.root);
+        // Root plan must bind & lower to SQL without unresolved columns.
+        let stmt = xdb_sql::algebra::plan_to_select(&root.plan).unwrap();
+        let sql = xdb_sql::display::render_select_string(&stmt, xdb_sql::Dialect::Generic);
+        assert!(!sql.is_empty());
+    }
+
+    #[test]
+    fn force_movement_applies_to_all_edges() {
+        let (c, g) = vaccination_cluster();
+        let plan = bind_select(&parse_select(EXAMPLE_QUERY).unwrap(), &g).unwrap();
+        let plan = optimize(plan, &g, OptimizeOptions::default());
+        for forced in [Movement::Implicit, Movement::Explicit] {
+            let ann = Annotator::new(
+                &g,
+                &c,
+                AnnotateOptions {
+                    force_movement: Some(forced),
+                    ..Default::default()
+                },
+            )
+            .run(&plan)
+            .unwrap();
+            assert!(ann.plan.edges.iter().all(|e| e.movement == forced));
+        }
+    }
+
+    #[test]
+    fn task_outputs_have_unique_names() {
+        let (ann, _) = annotate_query(EXAMPLE_QUERY);
+        for t in &ann.plan.tasks {
+            let mut seen = std::collections::HashSet::new();
+            for (n, _) in &t.output_fields {
+                assert!(seen.insert(n.to_ascii_lowercase()), "dup {n} in t{}", t.id);
+            }
+        }
+    }
+
+    #[test]
+    fn placeholder_estimates_registered() {
+        let (c, g) = vaccination_cluster();
+        let plan = bind_select(&parse_select(EXAMPLE_QUERY).unwrap(), &g).unwrap();
+        let plan = optimize(plan, &g, OptimizeOptions::default());
+        let ann = Annotator::new(&g, &c, AnnotateOptions::default())
+            .run(&plan)
+            .unwrap();
+        for e in &ann.plan.edges {
+            let name = placeholder_name(e.from);
+            use xdb_sql::stats::StatsProvider;
+            assert!(g.table_rows(&name).is_some(), "{name} unregistered");
+        }
+    }
+
+    #[test]
+    fn constrained_placements_respected() {
+        let (c, g) = vaccination_cluster();
+        let plan = bind_select(&parse_select(EXAMPLE_QUERY).unwrap(), &g).unwrap();
+        let plan = optimize(plan, &g, OptimizeOptions::default());
+        // Forbid placing cross-database operators on hdb (e.g. the health
+        // department's network segment cannot host foreign traffic).
+        let ann = Annotator::new(
+            &g,
+            &c,
+            AnnotateOptions {
+                allowed_placements: Some(vec![NodeId::new("cdb"), NodeId::new("vdb")]),
+                ..Default::default()
+            },
+        )
+        .run(&plan)
+        .unwrap();
+        // Only hdb's own leaf task (scanning measurements) may sit on
+        // hdb; every task with a placeholder input (a cross-database
+        // operator) must be on cdb or vdb.
+        for t in &ann.plan.tasks {
+            if ann.plan.in_edges(t.id).count() > 0 {
+                assert_ne!(t.dbms.as_str(), "hdb", "{}", ann.plan.describe());
+            }
+        }
+    }
+
+    #[test]
+    fn no_pruning_widens_search() {
+        let (c, g) = vaccination_cluster();
+        let plan = bind_select(&parse_select(EXAMPLE_QUERY).unwrap(), &g).unwrap();
+        let plan = optimize(plan, &g, OptimizeOptions::default());
+        let pruned = Annotator::new(&g, &c, AnnotateOptions::default())
+            .run(&plan)
+            .unwrap();
+        let full = Annotator::new(
+            &g,
+            &c,
+            AnnotateOptions {
+                no_pruning: true,
+                ..Default::default()
+            },
+        )
+        .run(&plan)
+        .unwrap();
+        assert!(full.consults > pruned.consults);
+    }
+}

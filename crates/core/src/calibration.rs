@@ -1,0 +1,135 @@
+//! Cost-unit calibration across heterogeneous engines (footnote 6 of the
+//! paper, after refs 45–47).
+//!
+//! EXPLAIN cost estimates from different vendors are expressed in
+//! vendor-specific units (PostgreSQL page fetches, MariaDB cost units,
+//! Hive's planner numbers). Before the annotation cost model can compare
+//! `cost(o, a)` across candidate DBMSes, XDB probes every engine with the
+//! same synthetic workload and derives a per-engine scale factor to a
+//! common unit — the *query sampling* approach of Zhu & Larson.
+
+use std::collections::HashMap;
+use xdb_engine::cluster::Cluster;
+use xdb_engine::error::Result;
+use xdb_sql::value::{DataType, Value};
+
+/// Rows in the synthetic calibration table.
+const PROBE_ROWS: usize = 1000;
+
+/// Per-node multiplicative factors aligning EXPLAIN costs to the
+/// reference unit (the first node probed is the reference).
+#[derive(Debug, Clone, Default)]
+pub struct Calibration {
+    factors: HashMap<String, f64>,
+    reference: Option<String>,
+}
+
+impl Calibration {
+    /// Probe every engine in the cluster: create a temporary table with
+    /// identical content everywhere, `EXPLAIN` an identical scan+filter
+    /// query, and compare the reported costs.
+    pub fn probe(cluster: &Cluster) -> Result<Calibration> {
+        let mut factors = HashMap::new();
+        let mut reference: Option<(String, f64)> = None;
+        for node in cluster.node_names() {
+            let engine = cluster.engine(&node)?;
+            let probe_table = format!("xdb_calib_{node}");
+            let rel = xdb_engine::relation::Relation::new(
+                vec![
+                    ("k".to_string(), DataType::Int),
+                    ("v".to_string(), DataType::Float),
+                ],
+                (0..PROBE_ROWS)
+                    .map(|i| vec![Value::Int(i as i64), Value::Float(i as f64 * 0.5)])
+                    .collect(),
+            );
+            engine.load_table(&probe_table, rel)?;
+            let stmt = xdb_sql::parse_select(&format!(
+                "SELECT k FROM {probe_table} WHERE v > 100"
+            ))?;
+            let info = engine.explain_select(&stmt)?;
+            engine.execute_sql(
+                &format!("DROP TABLE {probe_table}"),
+                &xdb_engine::NoRemote,
+            )?;
+            let cost = info.est_cost.max(1e-9);
+            match &reference {
+                None => {
+                    factors.insert(node.clone(), 1.0);
+                    reference = Some((node.clone(), cost));
+                }
+                Some((_, ref_cost)) => {
+                    factors.insert(node.clone(), ref_cost / cost);
+                }
+            }
+        }
+        Ok(Calibration {
+            factors,
+            reference: reference.map(|(n, _)| n),
+        })
+    }
+
+    /// Convert a cost reported by `node` into reference units.
+    pub fn to_reference(&self, node: &str, cost: f64) -> f64 {
+        cost * self.factors.get(node).copied().unwrap_or(1.0)
+    }
+
+    pub fn factor(&self, node: &str) -> Option<f64> {
+        self.factors.get(node).copied()
+    }
+
+    pub fn reference_node(&self) -> Option<&str> {
+        self.reference.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdb_engine::profile::EngineProfile;
+    use xdb_net::Topology;
+
+    #[test]
+    fn homogeneous_cluster_calibrates_to_unity() {
+        let cluster = Cluster::lan(&["a", "b"], EngineProfile::postgres());
+        let cal = Calibration::probe(&cluster).unwrap();
+        assert_eq!(cal.factor("a"), Some(1.0));
+        let fb = cal.factor("b").unwrap();
+        assert!((fb - 1.0).abs() < 1e-9, "{fb}");
+    }
+
+    #[test]
+    fn heterogeneous_cluster_gets_nontrivial_factors() {
+        let mut cluster = Cluster::new(Topology::lan(&[]));
+        cluster.add_engine("pg", EngineProfile::postgres());
+        cluster.add_engine("maria", EngineProfile::mariadb());
+        let cal = Calibration::probe(&cluster).unwrap();
+        let f = cal.factor("pg").unwrap();
+        // MariaDB reports higher vendor costs for the same probe, so its
+        // factor to the reference unit is below the reference's.
+        let fm = cal.factor("maria").unwrap();
+        assert!(fm < f, "maria {fm} vs pg {f}");
+        // Calibrated costs agree on the identical probe workload.
+        let pg_cost = 100.0;
+        let maria_cost = pg_cost * (f / fm);
+        let a = cal.to_reference("pg", pg_cost);
+        let b = cal.to_reference("maria", maria_cost);
+        assert!((a - b).abs() / a < 1e-6);
+    }
+
+    #[test]
+    fn unknown_node_passes_through() {
+        let cal = Calibration::default();
+        assert_eq!(cal.to_reference("ghost", 5.0), 5.0);
+        assert_eq!(cal.factor("ghost"), None);
+        assert_eq!(cal.reference_node(), None);
+    }
+
+    #[test]
+    fn probe_cleans_up_after_itself() {
+        let cluster = Cluster::lan(&["a"], EngineProfile::postgres());
+        Calibration::probe(&cluster).unwrap();
+        let names = cluster.engine("a").unwrap().with_catalog(|c| c.names());
+        assert!(names.is_empty(), "{names:?}");
+    }
+}

@@ -1,0 +1,332 @@
+//! The cross-database placement/movement cost model (Equations 1–3 of
+//! Section IV-B2).
+//!
+//! For a binary operator `o` whose inputs carry different annotations, the
+//! optimizer solves
+//!
+//! ```text
+//! argmin  cost(o, a) + cost(o_l --x_l--> o, a) + cost(o_r --x_r--> o, a)
+//! a, x_l, x_r
+//! ```
+//!
+//! with `a` pruned to the two input annotations (the `|R|+|S| >
+//! max(|R|,|S|)` argument of the paper) unless pruning is disabled for the
+//! ablation study.
+//!
+//! The paper leaves the dependence of `cost(o, a)` on the movement type
+//! implicit; we make it explicit (see DESIGN.md §3): a join consuming a
+//! *pipelined* foreign input pays the wrapper's per-row fetch overhead γ,
+//! while a join over a *materialized* local input enjoys the
+//! local-optimization discount β (statistics, hash build on a real table).
+//! Without this refinement explicit movement would never be chosen,
+//! contradicting the paper's own optimal plans (Fig 5a).
+
+use xdb_engine::profile::EngineProfile;
+use xdb_net::{Movement, NodeId, Topology};
+
+/// Local-optimization discount for joins over materialized inputs.
+pub const MATERIALIZED_JOIN_DISCOUNT: f64 = 0.9;
+
+/// One candidate input of a cross-database operator.
+#[derive(Debug, Clone)]
+pub struct InputSide {
+    pub dbms: NodeId,
+    /// Estimated rows flowing out of this input.
+    pub rows: f64,
+    /// Estimated bytes flowing out of this input.
+    pub bytes: f64,
+}
+
+/// A resolved placement decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    pub dbms: NodeId,
+    /// Movement for the left input (`Implicit` when it stays local).
+    pub left_move: Movement,
+    /// Movement for the right input.
+    pub right_move: Movement,
+    pub cost: f64,
+    /// Number of EXPLAIN-style consulting round-trips spent evaluating
+    /// alternatives.
+    pub consults: u64,
+}
+
+/// Cost of moving `rows`/`bytes` from `src` into `a` and consuming them
+/// there via movement `x` (Equations 2–3).
+#[allow(clippy::too_many_arguments)] // mirrors Eq. 2–3's parameter list
+pub fn movement_cost(
+    topology: &Topology,
+    src: &NodeId,
+    a: &NodeId,
+    a_profile: &EngineProfile,
+    src_startup_ms: f64,
+    rows: f64,
+    bytes: f64,
+    x: Movement,
+) -> f64 {
+    if src == a {
+        return 0.0;
+    }
+    let move_cost = topology.transfer_ms(src, a, bytes.max(0.0) as u64, a_profile.protocol_overhead);
+    match x {
+        // Implicit: wire cost + per-row wrapper fetch overhead γ at the
+        // consumer. The producer's start-up overlaps with the consumer's
+        // pipeline, so it is not charged here.
+        Movement::Implicit => move_cost + rows * a_profile.foreign_row_cost_ms,
+        // Explicit: wire cost + scanCost — writing the materialized copy
+        // and reading it back once (Eq. 3's scan of the relation at `a`).
+        // Materialization serializes the producer's query *before* the
+        // consumer runs, so the producer's start-up lands on the critical
+        // path.
+        Movement::Explicit => {
+            move_cost
+                + src_startup_ms
+                + rows * a_profile.write_cost_ms
+                + rows * a_profile.cpu_tuple_cost_ms * crate::cost::SCAN_WEIGHT
+        }
+    }
+}
+
+/// Weight of re-scanning a materialized relation (mirrors
+/// `xdb_engine::exec::weights::SCAN`).
+pub const SCAN_WEIGHT: f64 = 0.2;
+
+/// Cost of evaluating the join at `a`, given how each input arrives.
+pub fn join_exec_cost(
+    a_profile: &EngineProfile,
+    left_rows: f64,
+    right_rows: f64,
+    out_rows: f64,
+    any_materialized: bool,
+) -> f64 {
+    let work = (left_rows + right_rows + out_rows) * a_profile.cpu_tuple_cost_ms
+        * a_profile.olap_factor;
+    if any_materialized {
+        work * MATERIALIZED_JOIN_DISCOUNT
+    } else {
+        work
+    }
+}
+
+/// Solve Equation 1 for one cross-database binary operator.
+///
+/// `candidates` is the annotation search space: the two input annotations
+/// under the paper's pruning, or every DBMS when pruning is disabled.
+/// `profiles` resolves a node to its engine profile (the "consulting"
+/// interface); every `(a, x_l, x_r)` option evaluated counts as one
+/// consulting round-trip.
+pub fn decide_placement(
+    topology: &Topology,
+    profiles: &dyn Fn(&NodeId) -> EngineProfile,
+    left: &InputSide,
+    right: &InputSide,
+    out_rows: f64,
+    candidates: &[NodeId],
+    force_movement: Option<Movement>,
+) -> Placement {
+    let movements: &[Movement] = match force_movement {
+        Some(Movement::Implicit) => &[Movement::Implicit],
+        Some(Movement::Explicit) => &[Movement::Explicit],
+        None => &[Movement::Implicit, Movement::Explicit],
+    };
+    let mut best: Option<Placement> = None;
+    let mut consults = 0u64;
+    for a in candidates {
+        let a_profile = &profiles(a);
+        // Per input: if it is already local to `a`, it neither moves nor
+        // offers a movement choice.
+        let left_opts: &[Movement] = if &left.dbms == a {
+            &[Movement::Implicit]
+        } else {
+            movements
+        };
+        let right_opts: &[Movement] = if &right.dbms == a {
+            &[Movement::Implicit]
+        } else {
+            movements
+        };
+        for &xl in left_opts {
+            for &xr in right_opts {
+                consults += 1;
+                let move_l = movement_cost(
+                    topology,
+                    &left.dbms,
+                    a,
+                    a_profile,
+                    profiles(&left.dbms).startup_ms,
+                    left.rows,
+                    left.bytes,
+                    xl,
+                );
+                let move_r = movement_cost(
+                    topology,
+                    &right.dbms,
+                    a,
+                    a_profile,
+                    profiles(&right.dbms).startup_ms,
+                    right.rows,
+                    right.bytes,
+                    xr,
+                );
+                let any_materialized = (xl == Movement::Explicit && &left.dbms != a)
+                    || (xr == Movement::Explicit && &right.dbms != a);
+                let exec = join_exec_cost(
+                    a_profile,
+                    left.rows,
+                    right.rows,
+                    out_rows,
+                    any_materialized,
+                );
+                // Placing the operator at `a` pulls another pipeline stage
+                // onto that engine: its per-query start-up is part of
+                // cost(o, a). This is what steers plans away from
+                // high-start-up engines (Hive) in the heterogeneous setup
+                // (Fig 10).
+                let cost = exec + move_l + move_r + a_profile.startup_ms;
+                let better = match &best {
+                    Some(b) => cost < b.cost - 1e-12,
+                    None => true,
+                };
+                if better {
+                    best = Some(Placement {
+                        dbms: a.clone(),
+                        left_move: xl,
+                        right_move: xr,
+                        cost,
+                        consults: 0,
+                    });
+                }
+            }
+        }
+    }
+    let mut placement = best.expect("at least one candidate");
+    placement.consults = consults;
+    placement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdb_net::Topology;
+
+    fn setup() -> (Topology, EngineProfile) {
+        (
+            Topology::lan(&["db1", "db2", "db3"]),
+            EngineProfile::postgres(),
+        )
+    }
+
+    fn side(dbms: &str, rows: f64) -> InputSide {
+        InputSide {
+            dbms: NodeId::new(dbms),
+            rows,
+            bytes: rows * 50.0,
+        }
+    }
+
+    #[test]
+    fn local_input_costs_nothing_to_move() {
+        let (topo, p) = setup();
+        let c = movement_cost(
+            &topo,
+            &NodeId::new("db1"),
+            &NodeId::new("db1"),
+            &p,
+            p.startup_ms,
+            1e6,
+            5e7,
+            Movement::Implicit,
+        );
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn explicit_costs_more_to_move_than_implicit_for_small_inputs() {
+        let (topo, p) = setup();
+        let (a, b) = (NodeId::new("db1"), NodeId::new("db2"));
+        let i = movement_cost(&topo, &a, &b, &p, p.startup_ms, 1_000.0, 50_000.0, Movement::Implicit);
+        let e = movement_cost(&topo, &a, &b, &p, p.startup_ms, 1_000.0, 50_000.0, Movement::Explicit);
+        assert!(e > i);
+    }
+
+    #[test]
+    fn placement_moves_small_side_to_big_side() {
+        let (topo, pg) = setup();
+        let profiles = move |_: &NodeId| EngineProfile::postgres();
+        let _ = pg;
+        let small = side("db1", 1_000.0);
+        let big = side("db2", 1_000_000.0);
+        let placement = decide_placement(
+            &topo,
+            &profiles,
+            &small,
+            &big,
+            1_000_000.0,
+            &[small.dbms.clone(), big.dbms.clone()],
+            None,
+        );
+        // Moving the small side to db2 is cheaper than moving the big one.
+        assert_eq!(placement.dbms.as_str(), "db2");
+        assert_eq!(placement.right_move, Movement::Implicit); // local side
+        // a=db1: right moves (2 options); a=db2: left moves (2 options) —
+        // the paper's four options per cross-database operation (Sec VI-E).
+        assert_eq!(placement.consults, 4);
+    }
+
+    #[test]
+    fn explicit_chosen_when_moved_side_tiny_vs_huge_local_join() {
+        // Materialization discount on a huge join outweighs the write cost
+        // of a tiny moved input.
+        let (topo, _) = setup();
+        let profiles = |_: &NodeId| EngineProfile::postgres();
+        let moved = side("db1", 10_000.0);
+        let kept = side("db2", 10_000_000.0);
+        let placement = decide_placement(
+            &topo,
+            &profiles,
+            &moved,
+            &kept,
+            10_000_000.0,
+            &[moved.dbms.clone(), kept.dbms.clone()],
+            None,
+        );
+        assert_eq!(placement.dbms.as_str(), "db2");
+        assert_eq!(
+            placement.left_move,
+            Movement::Explicit,
+            "tiny side should be materialized next to the huge join"
+        );
+    }
+
+    #[test]
+    fn force_movement_restricts_options() {
+        let (topo, _) = setup();
+        let profiles = |_: &NodeId| EngineProfile::postgres();
+        let l = side("db1", 10_000.0);
+        let r = side("db2", 10_000_000.0);
+        let forced = decide_placement(
+            &topo,
+            &profiles,
+            &l,
+            &r,
+            1e7,
+            &[l.dbms.clone(), r.dbms.clone()],
+            Some(Movement::Implicit),
+        );
+        assert_eq!(forced.left_move, Movement::Implicit);
+        assert_eq!(forced.right_move, Movement::Implicit);
+    }
+
+    #[test]
+    fn third_party_candidate_is_worse_than_input_annotations() {
+        // The pruning argument: moving both R and S to a third DBMS always
+        // transfers more than moving one into the other (uniform network).
+        let (topo, _) = setup();
+        let profiles = |_: &NodeId| EngineProfile::postgres();
+        let l = side("db1", 100_000.0);
+        let r = side("db2", 200_000.0);
+        let all = [NodeId::new("db1"), NodeId::new("db2"), NodeId::new("db3")];
+        let placement = decide_placement(&topo, &profiles, &l, &r, 200_000.0, &all, None);
+        assert_ne!(placement.dbms.as_str(), "db3");
+    }
+}

@@ -1,0 +1,242 @@
+//! Global catalog: the Global-as-View union of the local schemas
+//! (Section III), plus the statistics XDB gathers by *consulting* the
+//! underlying DBMSes during query preparation.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use xdb_engine::cluster::Cluster;
+use xdb_engine::error::{EngineError, Result};
+use xdb_net::NodeId;
+use xdb_sql::bind::{ResolvedRelation, SchemaProvider};
+use xdb_sql::stats::{ColumnStats, StatsProvider};
+use xdb_sql::value::DataType;
+
+/// Location and schema of one global table.
+#[derive(Debug, Clone)]
+pub struct GlobalTable {
+    pub dbms: NodeId,
+    pub fields: Vec<(String, DataType)>,
+}
+
+/// Consulted statistics for one table.
+#[derive(Debug, Clone, Default)]
+struct ConsultedStats {
+    rows: f64,
+    columns: HashMap<String, ColumnStats>,
+}
+
+/// The middleware's view of the federation: which table lives where
+/// (the global schema is the union of local schemas), and cached statistics
+/// obtained through the DBMS connectors.
+pub struct GlobalCatalog {
+    tables: HashMap<String, GlobalTable>,
+    stats: RwLock<HashMap<String, ConsultedStats>>,
+    /// Estimated row counts registered for task-output placeholders during
+    /// plan annotation.
+    placeholders: RwLock<HashMap<String, f64>>,
+    /// Number of metadata fetches performed (drives the `prep` phase of
+    /// the Fig 15 breakdown).
+    metadata_fetches: RwLock<u64>,
+}
+
+impl GlobalCatalog {
+    pub fn new() -> GlobalCatalog {
+        GlobalCatalog {
+            tables: HashMap::new(),
+            stats: RwLock::new(HashMap::new()),
+            placeholders: RwLock::new(HashMap::new()),
+            metadata_fetches: RwLock::new(0),
+        }
+    }
+
+    /// Register a table of the global schema as residing on `dbms`.
+    pub fn register(&mut self, name: &str, dbms: impl Into<String>, fields: Vec<(String, DataType)>) {
+        self.tables.insert(
+            name.to_ascii_lowercase(),
+            GlobalTable {
+                dbms: NodeId::new(dbms),
+                fields,
+            },
+        );
+    }
+
+    /// Discover every base table of every engine in the cluster — the
+    /// union-of-local-schemas bootstrap.
+    pub fn discover(cluster: &Cluster) -> Result<GlobalCatalog> {
+        let mut catalog = GlobalCatalog::new();
+        for node in cluster.node_names() {
+            let engine = cluster.engine(&node)?;
+            let names = engine.with_catalog(|c| c.names());
+            for name in names {
+                let fields = engine.relation_fields(&name)?;
+                if catalog.tables.contains_key(&name) {
+                    return Err(EngineError::Catalog(format!(
+                        "global name collision for table {name:?}"
+                    )));
+                }
+                catalog.register(&name, node.clone(), fields);
+            }
+        }
+        Ok(catalog)
+    }
+
+    pub fn table(&self, name: &str) -> Option<&GlobalTable> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Home DBMS of a table.
+    pub fn location(&self, name: &str) -> Option<&NodeId> {
+        self.table(name).map(|t| &t.dbms)
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Consult the owning engine for statistics of `table`, caching the
+    /// answer. Each cache miss counts as one metadata fetch.
+    pub fn consult(&self, cluster: &Cluster, table: &str) -> Result<()> {
+        let key = table.to_ascii_lowercase();
+        if self.stats.read().contains_key(&key) {
+            return Ok(());
+        }
+        let Some(gt) = self.table(&key) else {
+            return Err(EngineError::Catalog(format!("unknown table {table:?}")));
+        };
+        let engine = cluster.engine(gt.dbms.as_str())?;
+        let consulted = match engine.consult_stats(&key) {
+            Some((rows, columns)) => ConsultedStats { rows, columns },
+            None => ConsultedStats::default(),
+        };
+        *self.metadata_fetches.write() += 1;
+        self.stats.write().insert(key, consulted);
+        Ok(())
+    }
+
+    /// Number of metadata fetches so far.
+    pub fn metadata_fetches(&self) -> u64 {
+        *self.metadata_fetches.read()
+    }
+
+    pub fn reset_metadata_counter(&self) {
+        *self.metadata_fetches.write() = 0;
+    }
+
+    /// Register the estimated cardinality of a task-output placeholder so
+    /// downstream cost decisions can use it.
+    pub fn register_placeholder(&self, name: &str, rows: f64) {
+        self.placeholders
+            .write()
+            .insert(name.to_ascii_lowercase(), rows);
+    }
+
+    pub fn clear_placeholders(&self) {
+        self.placeholders.write().clear();
+    }
+}
+
+impl Default for GlobalCatalog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SchemaProvider for GlobalCatalog {
+    fn resolve_relation(&self, name: &str) -> Option<ResolvedRelation> {
+        self.table(name).map(|t| ResolvedRelation::Base {
+            fields: t.fields.clone(),
+        })
+    }
+}
+
+impl StatsProvider for GlobalCatalog {
+    fn table_rows(&self, relation: &str) -> Option<f64> {
+        let key = relation.to_ascii_lowercase();
+        if let Some(rows) = self.placeholders.read().get(&key) {
+            return Some(*rows);
+        }
+        self.stats.read().get(&key).map(|s| s.rows)
+    }
+
+    fn column_stats(&self, relation: &str, column: &str) -> Option<ColumnStats> {
+        self.stats
+            .read()
+            .get(&relation.to_ascii_lowercase())?
+            .columns
+            .get(&column.to_ascii_lowercase())
+            .cloned()
+    }
+}
+
+/// Convenience: an `Arc<GlobalCatalog>` is the shape the client holds.
+pub type SharedCatalog = Arc<GlobalCatalog>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdb_engine::profile::EngineProfile;
+
+    fn cluster() -> Cluster {
+        let c = Cluster::lan(&["db1", "db2"], EngineProfile::postgres());
+        c.execute_script(
+            "db1",
+            "CREATE TABLE citizen (id BIGINT, age BIGINT);
+             INSERT INTO citizen VALUES (1, 30), (2, 40);",
+        )
+        .unwrap();
+        c.execute_script(
+            "db2",
+            "CREATE TABLE vaccines (id BIGINT, vtype VARCHAR);
+             INSERT INTO vaccines VALUES (1, 'mRNA');",
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn discover_unions_schemas() {
+        let c = cluster();
+        let g = GlobalCatalog::discover(&c).unwrap();
+        assert_eq!(g.table_names(), vec!["citizen", "vaccines"]);
+        assert_eq!(g.location("citizen").unwrap().as_str(), "db1");
+        assert_eq!(g.location("VACCINES").unwrap().as_str(), "db2");
+        assert!(matches!(
+            g.resolve_relation("citizen"),
+            Some(ResolvedRelation::Base { .. })
+        ));
+    }
+
+    #[test]
+    fn name_collision_detected() {
+        let c = cluster();
+        c.execute("db2", "CREATE TABLE citizen (id BIGINT)").unwrap();
+        assert!(GlobalCatalog::discover(&c).is_err());
+    }
+
+    #[test]
+    fn consultation_caches_and_counts() {
+        let c = cluster();
+        let g = GlobalCatalog::discover(&c).unwrap();
+        assert_eq!(g.table_rows("citizen"), None);
+        g.consult(&c, "citizen").unwrap();
+        assert_eq!(g.table_rows("citizen"), Some(2.0));
+        assert_eq!(g.metadata_fetches(), 1);
+        // Cached: no second fetch.
+        g.consult(&c, "citizen").unwrap();
+        assert_eq!(g.metadata_fetches(), 1);
+        let stats = g.column_stats("citizen", "age").unwrap();
+        assert_eq!(stats.n_distinct, 2.0);
+    }
+
+    #[test]
+    fn placeholder_estimates() {
+        let g = GlobalCatalog::new();
+        g.register_placeholder("__task_0", 1234.0);
+        assert_eq!(g.table_rows("__task_0"), Some(1234.0));
+        g.clear_placeholders();
+        assert_eq!(g.table_rows("__task_0"), None);
+    }
+}

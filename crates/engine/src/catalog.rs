@@ -1,0 +1,402 @@
+//! Per-engine catalog: base tables (with statistics), views, and SQL/MED
+//! foreign tables and servers.
+
+use crate::error::{EngineError, Result};
+use crate::relation::Relation;
+use std::collections::HashMap;
+use std::sync::Arc;
+use xdb_sql::ast::{ColumnDef, ObjectKind, SelectStmt};
+use xdb_sql::bind::{ResolvedRelation, SchemaProvider};
+use xdb_sql::stats::{ColumnStats, StatsProvider};
+use xdb_sql::value::{DataType, Value};
+
+/// Statistics of one base table, recomputed on load.
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    pub row_count: f64,
+    pub columns: HashMap<String, ColumnStats>,
+}
+
+/// A stored base table. Rows are shared via `Arc` so catalog snapshots are
+/// cheap.
+#[derive(Debug, Clone)]
+pub struct TableData {
+    pub fields: Vec<(String, DataType)>,
+    pub rows: Arc<Vec<Vec<Value>>>,
+    pub stats: TableStats,
+}
+
+impl TableData {
+    pub fn to_relation(&self) -> Relation {
+        Relation::new(self.fields.clone(), self.rows.as_ref().clone())
+    }
+}
+
+/// One catalog entry.
+#[derive(Debug, Clone)]
+pub enum CatalogEntry {
+    Table(TableData),
+    /// A view stores its defining query; binding expands it in place.
+    View { query: Box<SelectStmt> },
+    /// A SQL/MED foreign table: schema + pointer to a relation on another
+    /// server.
+    ForeignTable {
+        fields: Vec<(String, DataType)>,
+        server: String,
+        remote_name: String,
+    },
+}
+
+impl CatalogEntry {
+    pub fn kind(&self) -> ObjectKind {
+        match self {
+            CatalogEntry::Table(_) => ObjectKind::Table,
+            CatalogEntry::View { .. } => ObjectKind::View,
+            CatalogEntry::ForeignTable { .. } => ObjectKind::ForeignTable,
+        }
+    }
+}
+
+/// The catalog of one engine. Cloning snapshots the whole catalog (cheap:
+/// table rows are `Arc`-shared).
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    entries: HashMap<String, CatalogEntry>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    fn key(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    pub fn get(&self, name: &str) -> Option<&CatalogEntry> {
+        self.entries.get(&Self::key(name))
+    }
+
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.entries.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn insert_new(&mut self, name: &str, entry: CatalogEntry) -> Result<()> {
+        let key = Self::key(name);
+        if self.entries.contains_key(&key) {
+            return Err(EngineError::Catalog(format!(
+                "relation {name:?} already exists"
+            )));
+        }
+        self.entries.insert(key, entry);
+        Ok(())
+    }
+
+    pub fn create_table(&mut self, name: &str, columns: &[ColumnDef]) -> Result<()> {
+        let fields: Vec<(String, DataType)> = columns
+            .iter()
+            .map(|c| (c.name.clone(), c.data_type))
+            .collect();
+        self.insert_new(
+            name,
+            CatalogEntry::Table(TableData {
+                stats: TableStats {
+                    row_count: 0.0,
+                    columns: HashMap::new(),
+                },
+                fields,
+                rows: Arc::new(Vec::new()),
+            }),
+        )
+    }
+
+    /// Create (or replace the contents of) a table directly from a
+    /// materialized relation — the loader path and CREATE TABLE AS.
+    pub fn create_table_from(&mut self, name: &str, rel: Relation) -> Result<()> {
+        let stats = compute_stats(&rel);
+        self.insert_new(
+            name,
+            CatalogEntry::Table(TableData {
+                fields: rel.fields,
+                rows: Arc::new(rel.rows),
+                stats,
+            }),
+        )
+    }
+
+    pub fn insert_rows(&mut self, name: &str, new_rows: Vec<Vec<Value>>) -> Result<()> {
+        let entry = self
+            .entries
+            .get_mut(&Self::key(name))
+            .ok_or_else(|| EngineError::Catalog(format!("unknown table {name:?}")))?;
+        let CatalogEntry::Table(t) = entry else {
+            return Err(EngineError::Catalog(format!("{name:?} is not a base table")));
+        };
+        for r in &new_rows {
+            if r.len() != t.fields.len() {
+                return Err(EngineError::Catalog(format!(
+                    "row width {} does not match table {name:?} width {}",
+                    r.len(),
+                    t.fields.len()
+                )));
+            }
+        }
+        let rows = Arc::make_mut(&mut t.rows);
+        rows.extend(new_rows);
+        t.stats = compute_stats(&Relation::new(t.fields.clone(), rows.clone()));
+        Ok(())
+    }
+
+    pub fn create_view(&mut self, name: &str, query: SelectStmt, or_replace: bool) -> Result<()> {
+        let key = Self::key(name);
+        if or_replace {
+            if let Some(existing) = self.entries.get(&key) {
+                if existing.kind() != ObjectKind::View {
+                    return Err(EngineError::Catalog(format!(
+                        "{name:?} exists and is not a view"
+                    )));
+                }
+                self.entries.remove(&key);
+            }
+        }
+        self.insert_new(
+            name,
+            CatalogEntry::View {
+                query: Box::new(query),
+            },
+        )
+    }
+
+    pub fn create_foreign_table(
+        &mut self,
+        name: &str,
+        columns: &[ColumnDef],
+        server: &str,
+        remote_name: Option<&str>,
+    ) -> Result<()> {
+        self.insert_new(
+            name,
+            CatalogEntry::ForeignTable {
+                fields: columns
+                    .iter()
+                    .map(|c| (c.name.clone(), c.data_type))
+                    .collect(),
+                server: server.to_string(),
+                remote_name: remote_name.unwrap_or(name).to_string(),
+            },
+        )
+    }
+
+    pub fn drop(&mut self, kind: ObjectKind, name: &str, if_exists: bool) -> Result<()> {
+        let key = Self::key(name);
+        match self.entries.get(&key) {
+            Some(entry) => {
+                if entry.kind() != kind {
+                    return Err(EngineError::Catalog(format!(
+                        "{name:?} is a {:?}, not a {kind:?}",
+                        entry.kind()
+                    )));
+                }
+                self.entries.remove(&key);
+                Ok(())
+            }
+            None if if_exists => Ok(()),
+            None => Err(EngineError::Catalog(format!("unknown object {name:?}"))),
+        }
+    }
+
+    /// Fields of any relation kind, for metadata consultation.
+    pub fn relation_fields(&self, name: &str) -> Option<Vec<(String, DataType)>> {
+        match self.get(name)? {
+            CatalogEntry::Table(t) => Some(t.fields.clone()),
+            CatalogEntry::ForeignTable { fields, .. } => Some(fields.clone()),
+            CatalogEntry::View { .. } => None, // requires binding; engine handles it
+        }
+    }
+}
+
+impl SchemaProvider for Catalog {
+    fn resolve_relation(&self, name: &str) -> Option<ResolvedRelation> {
+        match self.get(name)? {
+            CatalogEntry::Table(t) => Some(ResolvedRelation::Base {
+                fields: t.fields.clone(),
+            }),
+            CatalogEntry::ForeignTable { fields, .. } => Some(ResolvedRelation::Base {
+                fields: fields.clone(),
+            }),
+            CatalogEntry::View { query } => Some(ResolvedRelation::View {
+                query: query.clone(),
+            }),
+        }
+    }
+}
+
+impl StatsProvider for Catalog {
+    fn table_rows(&self, relation: &str) -> Option<f64> {
+        match self.get(relation)? {
+            CatalogEntry::Table(t) => Some(t.stats.row_count),
+            _ => None,
+        }
+    }
+
+    fn column_stats(&self, relation: &str, column: &str) -> Option<ColumnStats> {
+        match self.get(relation)? {
+            CatalogEntry::Table(t) => t.stats.columns.get(&column.to_ascii_lowercase()).cloned(),
+            _ => None,
+        }
+    }
+}
+
+/// Compute row count, per-column distinct counts, and min/max.
+pub fn compute_stats(rel: &Relation) -> TableStats {
+    let mut columns = HashMap::with_capacity(rel.width());
+    for (ci, (name, _)) in rel.fields.iter().enumerate() {
+        let mut distinct: std::collections::HashSet<&Value> =
+            std::collections::HashSet::with_capacity(1024);
+        let mut min: Option<&Value> = None;
+        let mut max: Option<&Value> = None;
+        for row in &rel.rows {
+            let v = &row[ci];
+            if v.is_null() {
+                continue;
+            }
+            distinct.insert(v);
+            match min {
+                Some(m) if v.total_cmp(m) != std::cmp::Ordering::Less => {}
+                _ => min = Some(v),
+            }
+            match max {
+                Some(m) if v.total_cmp(m) != std::cmp::Ordering::Greater => {}
+                _ => max = Some(v),
+            }
+        }
+        columns.insert(
+            name.to_ascii_lowercase(),
+            ColumnStats {
+                n_distinct: distinct.len() as f64,
+                min: min.cloned(),
+                max: max.cloned(),
+            },
+        );
+    }
+    TableStats {
+        row_count: rel.len() as f64,
+        columns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdb_sql::parser::parse_select;
+
+    fn cols(defs: &[(&str, DataType)]) -> Vec<ColumnDef> {
+        defs.iter()
+            .map(|(n, t)| ColumnDef {
+                name: n.to_string(),
+                data_type: *t,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn create_insert_stats() {
+        let mut c = Catalog::new();
+        c.create_table("t", &cols(&[("a", DataType::Int), ("b", DataType::Str)]))
+            .unwrap();
+        c.insert_rows(
+            "t",
+            vec![
+                vec![Value::Int(1), Value::str("x")],
+                vec![Value::Int(2), Value::str("x")],
+                vec![Value::Int(2), Value::Null],
+            ],
+        )
+        .unwrap();
+        assert_eq!(c.table_rows("t"), Some(3.0));
+        let a = c.column_stats("t", "a").unwrap();
+        assert_eq!(a.n_distinct, 2.0);
+        assert_eq!(a.min, Some(Value::Int(1)));
+        assert_eq!(a.max, Some(Value::Int(2)));
+        let b = c.column_stats("t", "b").unwrap();
+        assert_eq!(b.n_distinct, 1.0); // NULL ignored
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut c = Catalog::new();
+        c.create_table("t", &cols(&[("a", DataType::Int)])).unwrap();
+        assert!(c.create_table("T", &cols(&[("a", DataType::Int)])).is_err());
+    }
+
+    #[test]
+    fn row_width_checked() {
+        let mut c = Catalog::new();
+        c.create_table("t", &cols(&[("a", DataType::Int)])).unwrap();
+        assert!(c.insert_rows("t", vec![vec![]]).is_err());
+    }
+
+    #[test]
+    fn views_and_foreign_tables() {
+        let mut c = Catalog::new();
+        c.create_view("v", parse_select("SELECT 1 AS one").unwrap(), false)
+            .unwrap();
+        assert!(matches!(
+            c.resolve_relation("V"),
+            Some(ResolvedRelation::View { .. })
+        ));
+        // OR REPLACE works on views only.
+        c.create_view("v", parse_select("SELECT 2 AS two").unwrap(), true)
+            .unwrap();
+        c.create_foreign_table(
+            "ft",
+            &cols(&[("x", DataType::Int)]),
+            "db2",
+            Some("remote_x"),
+        )
+        .unwrap();
+        match c.get("ft") {
+            Some(CatalogEntry::ForeignTable {
+                server,
+                remote_name,
+                ..
+            }) => {
+                assert_eq!(server, "db2");
+                assert_eq!(remote_name, "remote_x");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_semantics() {
+        let mut c = Catalog::new();
+        c.create_table("t", &cols(&[("a", DataType::Int)])).unwrap();
+        // Wrong kind errors.
+        assert!(c.drop(ObjectKind::View, "t", false).is_err());
+        c.drop(ObjectKind::Table, "t", false).unwrap();
+        assert!(c.drop(ObjectKind::Table, "t", false).is_err());
+        c.drop(ObjectKind::Table, "t", true).unwrap(); // IF EXISTS
+    }
+
+    #[test]
+    fn snapshot_is_cheap_and_isolated() {
+        let mut c = Catalog::new();
+        c.create_table("t", &cols(&[("a", DataType::Int)])).unwrap();
+        c.insert_rows("t", vec![vec![Value::Int(1)]]).unwrap();
+        let snap = c.clone();
+        c.insert_rows("t", vec![vec![Value::Int(2)]]).unwrap();
+        assert_eq!(snap.table_rows("t"), Some(1.0));
+        assert_eq!(c.table_rows("t"), Some(2.0));
+    }
+}

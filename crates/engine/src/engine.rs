@@ -1,0 +1,568 @@
+//! The embedded DBMS engine: SQL in, relations out.
+//!
+//! Each engine stands in for one underlying DBMS of the federation
+//! (PostgreSQL/MariaDB/Hive per its [`EngineProfile`]). It owns a catalog,
+//! binds and locally optimizes incoming SQL (the engine is free to reorder
+//! operations *within* a task — exactly the autonomy the paper grants
+//! underlying DBMSes), executes plans over real tuples, and reports both
+//! measured cardinalities and simulated timing.
+
+use crate::catalog::{Catalog, CatalogEntry};
+use crate::error::{EngineError, Result};
+use crate::exec::{project_columns, Execution, ScanOutput, ScanResolver};
+use crate::profile::EngineProfile;
+use crate::relation::Relation;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use xdb_net::{compose_finish, EdgeTiming, Movement, NodeId, Purpose};
+use xdb_sql::algebra::LogicalPlan;
+use xdb_sql::ast::Statement;
+use xdb_sql::bind::bind_select;
+use xdb_sql::optimize::{optimize, OptimizeOptions};
+use xdb_sql::stats::{ColumnStats, Estimator};
+use xdb_sql::value::{DataType, Value};
+
+/// Maximum depth of cross-engine recursion (cycle guard for view chains).
+pub const MAX_FETCH_DEPTH: usize = 32;
+
+/// Execution report of one statement.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecReport {
+    pub rows: u64,
+    pub bytes: u64,
+    /// Local work on this engine, simulated ms.
+    pub work_ms: f64,
+    /// Finish time including upstream (remote) dependencies, simulated ms
+    /// from query start.
+    pub finish_ms: f64,
+}
+
+/// Result of executing one statement.
+#[derive(Debug, Clone)]
+pub struct StatementOutcome {
+    /// Present for SELECT and EXPLAIN.
+    pub relation: Option<Relation>,
+    pub report: ExecReport,
+}
+
+/// EXPLAIN-style estimate, the engine's answer to a "consulting" probe
+/// (Section IV-B2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainInfo {
+    pub est_rows: f64,
+    pub est_bytes: f64,
+    /// Estimated execution cost in this engine's (calibratable) cost units.
+    pub est_cost: f64,
+}
+
+/// A request to fetch `SELECT * FROM relation` from another engine.
+pub struct FetchRequest<'a> {
+    pub server: &'a str,
+    pub relation: &'a str,
+    pub consumer: NodeId,
+    /// Per-byte protocol multiplier of the *consumer's* wrapper.
+    pub protocol_overhead: f64,
+    pub purpose: Purpose,
+    pub depth: usize,
+}
+
+/// Reply to a fetch: the data plus timing of producer and wire.
+pub struct FetchReply {
+    pub relation: Relation,
+    pub producer_finish_ms: f64,
+    pub transfer_ms: f64,
+}
+
+/// Something that can execute remote fetches on behalf of an engine — in
+/// practice the [`crate::cluster::Cluster`]. Kept as a trait so engines can
+/// run standalone and so tests can inject failures.
+pub trait Remote {
+    fn fetch(&self, request: FetchRequest<'_>) -> Result<FetchReply>;
+}
+
+/// A `Remote` that refuses all fetches (standalone engines).
+pub struct NoRemote;
+
+impl Remote for NoRemote {
+    fn fetch(&self, request: FetchRequest<'_>) -> Result<FetchReply> {
+        Err(EngineError::Remote(format!(
+            "no remote connectivity (fetch of {:?} from {:?})",
+            request.relation, request.server
+        )))
+    }
+}
+
+/// One embedded DBMS instance.
+pub struct Engine {
+    pub node: NodeId,
+    pub profile: EngineProfile,
+    catalog: RwLock<Catalog>,
+}
+
+impl Engine {
+    pub fn new(node: impl Into<String>, profile: EngineProfile) -> Engine {
+        Engine {
+            node: NodeId::new(node),
+            profile,
+            catalog: RwLock::new(Catalog::new()),
+        }
+    }
+
+    /// Run read-only catalog access.
+    pub fn with_catalog<T>(&self, f: impl FnOnce(&Catalog) -> T) -> T {
+        f(&self.catalog.read())
+    }
+
+    /// Run catalog mutation.
+    pub fn with_catalog_mut<T>(&self, f: impl FnOnce(&mut Catalog) -> T) -> T {
+        f(&mut self.catalog.write())
+    }
+
+    /// Bulk-load a table (generator path); replaces nothing, errors on
+    /// duplicates.
+    pub fn load_table(&self, name: &str, rel: Relation) -> Result<()> {
+        self.with_catalog_mut(|c| c.create_table_from(name, rel))
+    }
+
+    /// Parse and execute one statement.
+    pub fn execute_sql(&self, sql: &str, remote: &dyn Remote) -> Result<StatementOutcome> {
+        self.execute_sql_at(sql, remote, 0)
+    }
+
+    pub(crate) fn execute_sql_at(
+        &self,
+        sql: &str,
+        remote: &dyn Remote,
+        depth: usize,
+    ) -> Result<StatementOutcome> {
+        let stmt = xdb_sql::parse_statement(sql)?;
+        self.execute_statement(&stmt, remote, depth)
+    }
+
+    /// Execute a parsed statement.
+    pub fn execute_statement(
+        &self,
+        stmt: &Statement,
+        remote: &dyn Remote,
+        depth: usize,
+    ) -> Result<StatementOutcome> {
+        if depth > MAX_FETCH_DEPTH {
+            return Err(EngineError::Remote(
+                "maximum cross-engine recursion depth exceeded (view cycle?)".into(),
+            ));
+        }
+        match stmt {
+            Statement::Select(s) => {
+                let (rel, report) = self.run_select(s, remote, depth, Purpose::InterDbmsPipeline)?;
+                Ok(StatementOutcome {
+                    relation: Some(rel),
+                    report,
+                })
+            }
+            Statement::Explain(s) => {
+                let info = self.explain_select(s)?;
+                let rel = Relation::new(
+                    vec![
+                        ("est_rows".to_string(), DataType::Float),
+                        ("est_bytes".to_string(), DataType::Float),
+                        ("est_cost".to_string(), DataType::Float),
+                    ],
+                    vec![vec![
+                        Value::Float(info.est_rows),
+                        Value::Float(info.est_bytes),
+                        Value::Float(info.est_cost),
+                    ]],
+                );
+                Ok(StatementOutcome {
+                    relation: Some(rel),
+                    report: ExecReport::default(),
+                })
+            }
+            Statement::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+            } => {
+                let result = self.with_catalog_mut(|c| c.create_table(name, columns));
+                match result {
+                    Err(EngineError::Catalog(_)) if *if_not_exists => {}
+                    other => other?,
+                }
+                Ok(ddl_outcome())
+            }
+            Statement::CreateView {
+                name,
+                query,
+                or_replace,
+            } => {
+                // Validate the view binds against the current catalog.
+                let snapshot = self.catalog.read().clone();
+                bind_select(query, &snapshot)?;
+                self.with_catalog_mut(|c| c.create_view(name, (**query).clone(), *or_replace))?;
+                Ok(ddl_outcome())
+            }
+            Statement::CreateForeignTable {
+                name,
+                columns,
+                server,
+                remote_name,
+            } => {
+                self.with_catalog_mut(|c| {
+                    c.create_foreign_table(name, columns, server, remote_name.as_deref())
+                })?;
+                Ok(ddl_outcome())
+            }
+            Statement::CreateTableAs { name, query } => {
+                // Execute (pulling remote data through the wrapper), then
+                // materialize locally: the paper's explicit data movement.
+                let (rel, mut report) =
+                    self.run_select(query, remote, depth, Purpose::Materialization)?;
+                let import_ms = rel.len() as f64 * self.profile.write_cost_ms;
+                report.work_ms += import_ms;
+                report.finish_ms += import_ms;
+                self.with_catalog_mut(|c| c.create_table_from(name, rel))?;
+                Ok(StatementOutcome {
+                    relation: None,
+                    report,
+                })
+            }
+            Statement::Insert { table, rows } => {
+                let empty = xdb_sql::algebra::PlanSchema::default();
+                let mut evaluated = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let mut out = Vec::with_capacity(row.len());
+                    for e in row {
+                        let c = crate::expr::compile(e, &empty)?;
+                        out.push(c.eval(&[])?);
+                    }
+                    evaluated.push(out);
+                }
+                self.with_catalog_mut(|c| c.insert_rows(table, evaluated))?;
+                Ok(ddl_outcome())
+            }
+            Statement::Drop {
+                kind,
+                name,
+                if_exists,
+            } => {
+                self.with_catalog_mut(|c| c.drop(*kind, name, *if_exists))?;
+                Ok(ddl_outcome())
+            }
+        }
+    }
+
+    /// Bind, locally optimize, and execute a SELECT.
+    fn run_select(
+        &self,
+        stmt: &xdb_sql::SelectStmt,
+        remote: &dyn Remote,
+        depth: usize,
+        purpose: Purpose,
+    ) -> Result<(Relation, ExecReport)> {
+        let snapshot = self.catalog.read().clone();
+        let plan = bind_select(stmt, &snapshot)?;
+        let plan = optimize(plan, &snapshot, OptimizeOptions::default());
+        self.run_plan(&plan, &snapshot, remote, depth, purpose)
+    }
+
+    /// Execute an already-optimized plan against a catalog snapshot.
+    fn run_plan(
+        &self,
+        plan: &LogicalPlan,
+        snapshot: &Catalog,
+        remote: &dyn Remote,
+        depth: usize,
+        purpose: Purpose,
+    ) -> Result<(Relation, ExecReport)> {
+        let resolver = EngineResolver {
+            engine: self,
+            snapshot,
+            remote,
+            depth,
+            purpose,
+            foreign_rows: std::cell::Cell::new(0),
+        };
+        let mut exec = Execution::new(&resolver);
+        let rel = exec.run(plan)?;
+        let foreign_rows = resolver.foreign_rows.get();
+        let work_ms = self.profile.work_ms(exec.scan_units, exec.olap_units)
+            + foreign_rows as f64 * self.profile.foreign_row_cost_ms;
+        let finish_ms = compose_finish(self.profile.startup_ms, work_ms, &exec.edges);
+        let report = ExecReport {
+            rows: rel.len() as u64,
+            bytes: rel.wire_bytes(),
+            work_ms,
+            finish_ms,
+        };
+        Ok((rel, report))
+    }
+
+    /// Answer an EXPLAIN probe without executing: estimated rows, bytes,
+    /// and cost in this engine's units.
+    pub fn explain_select(&self, stmt: &xdb_sql::SelectStmt) -> Result<ExplainInfo> {
+        let snapshot = self.catalog.read().clone();
+        let plan = bind_select(stmt, &snapshot)?;
+        let plan = optimize(plan, &snapshot, OptimizeOptions::default());
+        Ok(self.explain_plan(&plan, &snapshot))
+    }
+
+    /// Cost a plan with this engine's estimator and profile.
+    pub fn explain_plan(&self, plan: &LogicalPlan, snapshot: &Catalog) -> ExplainInfo {
+        let est = Estimator::new(snapshot);
+        let rows = est.rows(plan);
+        let bytes = est.bytes(plan);
+        // Rough cost: every operator touches its input once.
+        let mut cost = 0.0;
+        fn walk(plan: &LogicalPlan, est: &Estimator, cost: &mut f64) {
+            for c in plan.children() {
+                walk(c, est, cost);
+                *cost += est.rows(c);
+            }
+            *cost += est.rows(plan);
+        }
+        walk(plan, &est, &mut cost);
+        ExplainInfo {
+            est_rows: rows,
+            est_bytes: bytes,
+            est_cost: cost * self.profile.cpu_tuple_cost_ms * self.profile.olap_factor,
+        }
+    }
+
+    /// Metadata consultation: fields of a relation (expanding views by
+    /// binding their queries).
+    pub fn relation_fields(&self, name: &str) -> Result<Vec<(String, DataType)>> {
+        let snapshot = self.catalog.read().clone();
+        match snapshot.get(name) {
+            Some(CatalogEntry::View { query }) => {
+                let plan = bind_select(query, &snapshot)?;
+                Ok(plan
+                    .schema()
+                    .fields
+                    .into_iter()
+                    .map(|f| (f.name, f.data_type))
+                    .collect())
+            }
+            Some(_) => snapshot
+                .relation_fields(name)
+                .ok_or_else(|| EngineError::Catalog(format!("unknown relation {name:?}"))),
+            None => Err(EngineError::Catalog(format!("unknown relation {name:?}"))),
+        }
+    }
+
+    /// Statistics consultation for the cross-database optimizer.
+    pub fn consult_stats(&self, relation: &str) -> Option<(f64, HashMap<String, ColumnStats>)> {
+        let catalog = self.catalog.read();
+        match catalog.get(relation) {
+            Some(CatalogEntry::Table(t)) => {
+                Some((t.stats.row_count, t.stats.columns.clone()))
+            }
+            _ => None,
+        }
+    }
+}
+
+fn ddl_outcome() -> StatementOutcome {
+    StatementOutcome {
+        relation: None,
+        report: ExecReport::default(),
+    }
+}
+
+/// Scan resolver over a catalog snapshot: local tables are projected in
+/// place; foreign tables trigger a remote fetch through the wrapper.
+struct EngineResolver<'a> {
+    engine: &'a Engine,
+    snapshot: &'a Catalog,
+    remote: &'a dyn Remote,
+    depth: usize,
+    purpose: Purpose,
+    foreign_rows: std::cell::Cell<u64>,
+}
+
+impl ScanResolver for EngineResolver<'_> {
+    fn scan(&self, relation: &str, wanted: &[(String, DataType)]) -> Result<ScanOutput> {
+        match self.snapshot.get(relation) {
+            Some(CatalogEntry::Table(t)) => {
+                let rel = project_columns(&t.to_relation(), wanted)?;
+                Ok(ScanOutput {
+                    relation: rel,
+                    edge: None,
+                })
+            }
+            Some(CatalogEntry::ForeignTable {
+                server,
+                remote_name,
+                ..
+            }) => {
+                let reply = self.remote.fetch(FetchRequest {
+                    server,
+                    relation: remote_name,
+                    consumer: self.engine.node.clone(),
+                    protocol_overhead: self.engine.profile.protocol_overhead,
+                    purpose: self.purpose,
+                    depth: self.depth + 1,
+                })?;
+                self.foreign_rows
+                    .set(self.foreign_rows.get() + reply.relation.len() as u64);
+                let rel = project_columns(&reply.relation, wanted)?;
+                Ok(ScanOutput {
+                    relation: rel,
+                    edge: Some(EdgeTiming {
+                        producer_finish_ms: reply.producer_finish_ms,
+                        transfer_ms: reply.transfer_ms,
+                        import_ms: 0.0,
+                        movement: Movement::Implicit,
+                    }),
+                })
+            }
+            Some(CatalogEntry::View { .. }) => Err(EngineError::Execution(format!(
+                "view {relation:?} reached the executor unexpanded"
+            ))),
+            None => Err(EngineError::Catalog(format!(
+                "unknown relation {relation:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        let e = Engine::new("db1", EngineProfile::postgres());
+        for sql in [
+            "CREATE TABLE emp (id BIGINT, name VARCHAR, dept VARCHAR, salary DOUBLE)",
+            "INSERT INTO emp VALUES (1, 'ann', 'eng', 100.0), (2, 'bob', 'eng', 80.0), (3, 'cat', 'ops', 90.0)",
+            "CREATE TABLE dept (dname VARCHAR, budget BIGINT)",
+            "INSERT INTO dept VALUES ('eng', 1000), ('ops', 500)",
+        ] {
+            e.execute_sql(sql, &NoRemote).unwrap();
+        }
+        e
+    }
+
+    fn rows(e: &Engine, sql: &str) -> Relation {
+        e.execute_sql(sql, &NoRemote).unwrap().relation.unwrap()
+    }
+
+    #[test]
+    fn end_to_end_select() {
+        let e = engine();
+        let r = rows(
+            &e,
+            "SELECT e.name, d.budget FROM emp e, dept d WHERE e.dept = d.dname AND e.salary >= 90 ORDER BY e.name",
+        );
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows[0][0], Value::str("ann"));
+        assert_eq!(r.rows[0][1], Value::Int(1000));
+    }
+
+    #[test]
+    fn views_expand() {
+        let e = engine();
+        e.execute_sql(
+            "CREATE VIEW rich AS SELECT name, salary FROM emp WHERE salary > 85",
+            &NoRemote,
+        )
+        .unwrap();
+        let r = rows(&e, "SELECT count(*) AS n FROM rich");
+        assert_eq!(r.rows[0][0], Value::Int(2));
+        // Views of views.
+        e.execute_sql(
+            "CREATE VIEW richer AS SELECT name FROM rich WHERE salary > 95",
+            &NoRemote,
+        )
+        .unwrap();
+        let r = rows(&e, "SELECT * FROM richer");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn view_validation_fails_on_bad_column() {
+        let e = engine();
+        let err = e
+            .execute_sql("CREATE VIEW bad AS SELECT nothere FROM emp", &NoRemote)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Bind(_)));
+    }
+
+    #[test]
+    fn create_table_as_materializes() {
+        let e = engine();
+        let out = e
+            .execute_sql(
+                "CREATE TABLE eng_only AS SELECT name, salary FROM emp WHERE dept = 'eng'",
+                &NoRemote,
+            )
+            .unwrap();
+        assert!(out.report.work_ms > 0.0);
+        let r = rows(&e, "SELECT count(*) AS n FROM eng_only");
+        assert_eq!(r.rows[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn foreign_table_without_remote_errors() {
+        let e = engine();
+        e.execute_sql(
+            "CREATE FOREIGN TABLE ft (x BIGINT) SERVER other OPTIONS (remote 'r')",
+            &NoRemote,
+        )
+        .unwrap();
+        let err = e.execute_sql("SELECT * FROM ft", &NoRemote).unwrap_err();
+        assert!(matches!(err, EngineError::Remote(_)));
+    }
+
+    #[test]
+    fn explain_returns_estimates() {
+        let e = engine();
+        let r = rows(&e, "EXPLAIN SELECT * FROM emp WHERE salary > 90");
+        assert_eq!(r.len(), 1);
+        let info = e
+            .explain_select(&xdb_sql::parse_select("SELECT * FROM emp").unwrap())
+            .unwrap();
+        assert_eq!(info.est_rows, 3.0);
+        assert!(info.est_cost > 0.0);
+    }
+
+    #[test]
+    fn reports_include_timing() {
+        let e = engine();
+        let out = e.execute_sql("SELECT * FROM emp", &NoRemote).unwrap();
+        let report = out.report;
+        assert_eq!(report.rows, 3);
+        assert!(report.bytes > 0);
+        assert!(report.finish_ms >= e.profile.startup_ms);
+    }
+
+    #[test]
+    fn drop_and_if_exists() {
+        let e = engine();
+        e.execute_sql("DROP TABLE dept", &NoRemote).unwrap();
+        assert!(e.execute_sql("SELECT * FROM dept", &NoRemote).is_err());
+        e.execute_sql("DROP TABLE IF EXISTS dept", &NoRemote).unwrap();
+    }
+
+    #[test]
+    fn consult_stats_reports_distincts() {
+        let e = engine();
+        let (rows, cols) = e.consult_stats("emp").unwrap();
+        assert_eq!(rows, 3.0);
+        assert_eq!(cols.get("dept").unwrap().n_distinct, 2.0);
+        assert!(e.consult_stats("nope").is_none());
+    }
+
+    #[test]
+    fn relation_fields_expands_views() {
+        let e = engine();
+        e.execute_sql(
+            "CREATE VIEW v AS SELECT name, salary * 2 AS double_pay FROM emp",
+            &NoRemote,
+        )
+        .unwrap();
+        let fields = e.relation_fields("v").unwrap();
+        assert_eq!(fields.len(), 2);
+        assert_eq!(fields[1].0, "double_pay");
+        assert_eq!(fields[1].1, DataType::Float);
+    }
+}

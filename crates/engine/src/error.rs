@@ -1,0 +1,53 @@
+//! Engine error type.
+
+use std::fmt;
+use xdb_sql::algebra::SchemaError;
+use xdb_sql::bind::BindError;
+use xdb_sql::parser::ParseError;
+
+/// Anything that can go wrong inside an engine or across the cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    Parse(String),
+    Bind(String),
+    Catalog(String),
+    Execution(String),
+    /// A remote fetch failed (connector loss, unknown server, ...).
+    Remote(String),
+    Unsupported(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(m) => write!(f, "parse error: {m}"),
+            EngineError::Bind(m) => write!(f, "bind error: {m}"),
+            EngineError::Catalog(m) => write!(f, "catalog error: {m}"),
+            EngineError::Execution(m) => write!(f, "execution error: {m}"),
+            EngineError::Remote(m) => write!(f, "remote error: {m}"),
+            EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Parse(e.to_string())
+    }
+}
+
+impl From<BindError> for EngineError {
+    fn from(e: BindError) -> Self {
+        EngineError::Bind(e.message)
+    }
+}
+
+impl From<SchemaError> for EngineError {
+    fn from(e: SchemaError) -> Self {
+        EngineError::Execution(e.to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,0 +1,884 @@
+//! Materializing executor for logical plans, with work accounting.
+//!
+//! Every operator really runs over real tuples — cardinalities and byte
+//! counts in the experiments are measured, not estimated. The executor also
+//! accumulates *work units* (rows × per-operator weight) which the engine
+//! profile converts into simulated milliseconds, and collects timing edges
+//! for every remote (foreign-table) scan it triggered.
+
+use crate::error::{EngineError, Result};
+use crate::expr::{compile, PhysExpr};
+use crate::relation::Relation;
+use std::collections::HashMap;
+use xdb_net::EdgeTiming;
+use xdb_sql::algebra::{AggCall, AggFunc, LogicalPlan};
+use xdb_sql::value::{DataType, Value};
+
+/// Per-operator work-unit weights (rows processed × weight). Values are
+/// relative; the engine profile's `cpu_tuple_cost_ms` sets the scale.
+pub mod weights {
+    pub const SCAN: f64 = 0.2;
+    pub const FILTER: f64 = 0.4;
+    pub const PROJECT: f64 = 0.3;
+    pub const JOIN: f64 = 1.0;
+    pub const AGGREGATE: f64 = 1.2;
+    pub const SORT: f64 = 0.4;
+    pub const DISTINCT: f64 = 0.8;
+}
+
+/// Output of resolving a leaf scan.
+pub struct ScanOutput {
+    pub relation: Relation,
+    /// Present when the scan pulled data from another engine (foreign
+    /// table): the timing edge to compose into this engine's finish time.
+    pub edge: Option<EdgeTiming>,
+}
+
+/// Resolves leaf relations (base tables, foreign tables, placeholders).
+pub trait ScanResolver {
+    /// Fetch `relation` projected to `wanted` columns (order significant).
+    fn scan(&self, relation: &str, wanted: &[(String, DataType)]) -> Result<ScanOutput>;
+}
+
+/// One plan execution: collects work units and remote edges.
+pub struct Execution<'a> {
+    resolver: &'a dyn ScanResolver,
+    /// Cheap streaming work (scans, filters, projections).
+    pub scan_units: f64,
+    /// Join/aggregate/sort work (scaled by the profile's OLAP factor).
+    pub olap_units: f64,
+    /// Timing edges contributed by remote scans.
+    pub edges: Vec<EdgeTiming>,
+}
+
+impl<'a> Execution<'a> {
+    pub fn new(resolver: &'a dyn ScanResolver) -> Execution<'a> {
+        Execution {
+            resolver,
+            scan_units: 0.0,
+            olap_units: 0.0,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Execute a plan to a materialized relation.
+    pub fn run(&mut self, plan: &LogicalPlan) -> Result<Relation> {
+        match plan {
+            LogicalPlan::Scan {
+                relation, fields, ..
+            }
+            | LogicalPlan::Placeholder {
+                name: relation,
+                fields,
+                ..
+            } => {
+                let out = self.resolver.scan(relation, fields)?;
+                if let Some(edge) = out.edge {
+                    self.edges.push(edge);
+                }
+                self.scan_units += out.relation.len() as f64 * weights::SCAN;
+                Ok(out.relation)
+            }
+            LogicalPlan::OneRow => Ok(Relation::new(vec![], vec![vec![]])),
+            LogicalPlan::Filter { input, predicate } => {
+                let rel = self.run(input)?;
+                let pred = compile(predicate, &input.schema())?;
+                self.scan_units += rel.len() as f64 * weights::FILTER;
+                let mut rows = Vec::new();
+                for row in rel.rows {
+                    if pred.eval_predicate(&row)? {
+                        rows.push(row);
+                    }
+                }
+                Ok(Relation::new(rel.fields, rows))
+            }
+            LogicalPlan::Project { input, exprs } => {
+                let rel = self.run(input)?;
+                let schema = input.schema();
+                let compiled: Vec<(PhysExpr, String, DataType)> = exprs
+                    .iter()
+                    .map(|(e, n)| {
+                        let c = compile(e, &schema)?;
+                        let ty = xdb_sql::algebra::infer_type(e, &schema)
+                            .unwrap_or(DataType::Float);
+                        Ok((c, n.clone(), ty))
+                    })
+                    .collect::<Result<_>>()?;
+                self.scan_units += rel.len() as f64 * weights::PROJECT;
+                let mut rows = Vec::with_capacity(rel.len());
+                for row in &rel.rows {
+                    let mut out = Vec::with_capacity(compiled.len());
+                    for (c, _, _) in &compiled {
+                        out.push(c.eval(row)?);
+                    }
+                    rows.push(out);
+                }
+                Ok(Relation::new(
+                    compiled.into_iter().map(|(_, n, t)| (n, t)).collect(),
+                    rows,
+                ))
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                on,
+                residual,
+            } => self.join(left, right, on, residual.as_ref()),
+            LogicalPlan::SemiJoin {
+                left,
+                right,
+                on,
+                residual,
+                negated,
+            } => self.semi_join(left, right, on, residual.as_ref(), *negated),
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggregates,
+            } => self.aggregate(input, group_by, aggregates),
+            LogicalPlan::Sort { input, keys } => {
+                let rel = self.run(input)?;
+                let schema = input.schema();
+                let compiled: Vec<(PhysExpr, bool)> = keys
+                    .iter()
+                    .map(|(e, desc)| Ok((compile(e, &schema)?, *desc)))
+                    .collect::<Result<_>>()?;
+                let n = rel.len() as f64;
+                self.olap_units += n * (n.max(2.0)).log2() * weights::SORT;
+                // Precompute key tuples, then sort stably.
+                let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rel.len());
+                for row in rel.rows {
+                    let mut k = Vec::with_capacity(compiled.len());
+                    for (c, _) in &compiled {
+                        k.push(c.eval(&row)?);
+                    }
+                    keyed.push((k, row));
+                }
+                keyed.sort_by(|(ka, _), (kb, _)| {
+                    for ((a, b), (_, desc)) in ka.iter().zip(kb.iter()).zip(compiled.iter()) {
+                        let ord = a.total_cmp(b);
+                        let ord = if *desc { ord.reverse() } else { ord };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                Ok(Relation::new(
+                    rel.fields,
+                    keyed.into_iter().map(|(_, r)| r).collect(),
+                ))
+            }
+            LogicalPlan::Limit { input, fetch } => {
+                let mut rel = self.run(input)?;
+                rel.rows.truncate(*fetch as usize);
+                Ok(rel)
+            }
+            LogicalPlan::Distinct { input } => {
+                let rel = self.run(input)?;
+                self.olap_units += rel.len() as f64 * weights::DISTINCT;
+                let mut seen: std::collections::HashSet<Vec<Value>> =
+                    std::collections::HashSet::with_capacity(rel.len());
+                let mut rows = Vec::new();
+                for row in rel.rows {
+                    if seen.insert(row.clone()) {
+                        rows.push(row);
+                    }
+                }
+                Ok(Relation::new(rel.fields, rows))
+            }
+            LogicalPlan::SubqueryAlias { input, .. } => self.run(input),
+        }
+    }
+
+    fn join(
+        &mut self,
+        left: &LogicalPlan,
+        right: &LogicalPlan,
+        on: &[(xdb_sql::Expr, xdb_sql::Expr)],
+        residual: Option<&xdb_sql::Expr>,
+    ) -> Result<Relation> {
+        let lrel = self.run(left)?;
+        let rrel = self.run(right)?;
+        let lschema = left.schema();
+        let rschema = right.schema();
+        let joined_schema = lschema.join(&rschema);
+        let residual_c = match residual {
+            Some(r) => Some(compile(r, &joined_schema)?),
+            None => None,
+        };
+        let mut fields = lrel.fields.clone();
+        fields.extend(rrel.fields.iter().cloned());
+        let mut rows = Vec::new();
+        if on.is_empty() {
+            // Nested-loop (cross) join with optional residual.
+            self.olap_units += (lrel.len() as f64 * rrel.len() as f64) * weights::JOIN;
+            for lr in &lrel.rows {
+                for rr in &rrel.rows {
+                    let mut row = lr.clone();
+                    row.extend(rr.iter().cloned());
+                    if let Some(res) = &residual_c {
+                        if !res.eval_predicate(&row)? {
+                            continue;
+                        }
+                    }
+                    rows.push(row);
+                }
+            }
+        } else {
+            // Hash join: build on the right child.
+            let lkeys: Vec<PhysExpr> = on
+                .iter()
+                .map(|(l, _)| compile(l, &lschema))
+                .collect::<Result<_>>()?;
+            let rkeys: Vec<PhysExpr> = on
+                .iter()
+                .map(|(_, r)| compile(r, &rschema))
+                .collect::<Result<_>>()?;
+            let mut table: HashMap<Vec<Value>, Vec<usize>> =
+                HashMap::with_capacity(rrel.len());
+            'build: for (i, row) in rrel.rows.iter().enumerate() {
+                let mut key = Vec::with_capacity(rkeys.len());
+                for k in &rkeys {
+                    let v = k.eval(row)?;
+                    if v.is_null() {
+                        continue 'build; // NULL keys never match
+                    }
+                    key.push(v);
+                }
+                table.entry(key).or_default().push(i);
+            }
+            self.olap_units +=
+                (lrel.len() as f64 + rrel.len() as f64) * weights::JOIN;
+            'probe: for lr in &lrel.rows {
+                let mut key = Vec::with_capacity(lkeys.len());
+                for k in &lkeys {
+                    let v = k.eval(lr)?;
+                    if v.is_null() {
+                        continue 'probe;
+                    }
+                    key.push(v);
+                }
+                if let Some(matches) = table.get(&key) {
+                    for &ri in matches {
+                        let mut row = lr.clone();
+                        row.extend(rrel.rows[ri].iter().cloned());
+                        if let Some(res) = &residual_c {
+                            if !res.eval_predicate(&row)? {
+                                continue;
+                            }
+                        }
+                        rows.push(row);
+                    }
+                }
+            }
+            self.olap_units += rows.len() as f64 * weights::JOIN * 0.5;
+        }
+        Ok(Relation::new(fields, rows))
+    }
+
+    /// Semi/anti join: emit left rows with at least one (semi) or zero
+    /// (anti) matching right rows.
+    fn semi_join(
+        &mut self,
+        left: &LogicalPlan,
+        right: &LogicalPlan,
+        on: &[(xdb_sql::Expr, xdb_sql::Expr)],
+        residual: Option<&xdb_sql::Expr>,
+        negated: bool,
+    ) -> Result<Relation> {
+        let lrel = self.run(left)?;
+        let rrel = self.run(right)?;
+        let lschema = left.schema();
+        let rschema = right.schema();
+        let residual_c = match residual {
+            Some(r) => Some(compile(r, &lschema.join(&rschema))?),
+            None => None,
+        };
+        let lkeys: Vec<PhysExpr> = on
+            .iter()
+            .map(|(l, _)| compile(l, &lschema))
+            .collect::<Result<_>>()?;
+        let rkeys: Vec<PhysExpr> = on
+            .iter()
+            .map(|(_, r)| compile(r, &rschema))
+            .collect::<Result<_>>()?;
+        // Build side: group right-row indexes by key (all rows under the
+        // unit key when there are no equality conditions).
+        let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(rrel.len());
+        'build: for (i, row) in rrel.rows.iter().enumerate() {
+            let mut key = Vec::with_capacity(rkeys.len());
+            for k in &rkeys {
+                let v = k.eval(row)?;
+                if v.is_null() {
+                    continue 'build; // NULL keys never match
+                }
+                key.push(v);
+            }
+            table.entry(key).or_default().push(i);
+        }
+        self.olap_units += (lrel.len() as f64 + rrel.len() as f64) * weights::JOIN;
+        let mut rows = Vec::new();
+        for lr in &lrel.rows {
+            let mut key = Vec::with_capacity(lkeys.len());
+            let mut null_key = false;
+            for k in &lkeys {
+                let v = k.eval(lr)?;
+                if v.is_null() {
+                    null_key = true;
+                    break;
+                }
+                key.push(v);
+            }
+            let mut matched = false;
+            if !null_key {
+                if let Some(candidates) = table.get(&key) {
+                    match &residual_c {
+                        None => matched = !candidates.is_empty(),
+                        Some(res) => {
+                            for &ri in candidates {
+                                let mut combined = lr.clone();
+                                combined.extend(rrel.rows[ri].iter().cloned());
+                                if res.eval_predicate(&combined)? {
+                                    matched = true;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if matched != negated {
+                rows.push(lr.clone());
+            }
+        }
+        Ok(Relation::new(lrel.fields, rows))
+    }
+
+    fn aggregate(
+        &mut self,
+        input: &LogicalPlan,
+        group_by: &[(xdb_sql::Expr, String)],
+        aggregates: &[(AggCall, String)],
+    ) -> Result<Relation> {
+        let rel = self.run(input)?;
+        let schema = input.schema();
+        let group_c: Vec<PhysExpr> = group_by
+            .iter()
+            .map(|(e, _)| compile(e, &schema))
+            .collect::<Result<_>>()?;
+        let agg_c: Vec<(AggFunc, Option<PhysExpr>, bool)> = aggregates
+            .iter()
+            .map(|(a, _)| {
+                let arg = match &a.arg {
+                    Some(e) => Some(compile(e, &schema)?),
+                    None => None,
+                };
+                Ok((a.func, arg, a.distinct))
+            })
+            .collect::<Result<_>>()?;
+        self.olap_units += rel.len() as f64 * weights::AGGREGATE;
+
+        let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
+        let mut order: Vec<Vec<Value>> = Vec::new(); // first-seen group order
+        for row in &rel.rows {
+            let mut key = Vec::with_capacity(group_c.len());
+            for g in &group_c {
+                key.push(g.eval(row)?);
+            }
+            let accs = match groups.get_mut(&key) {
+                Some(a) => a,
+                None => {
+                    order.push(key.clone());
+                    groups.entry(key.clone()).or_insert_with(|| {
+                        agg_c
+                            .iter()
+                            .map(|(f, _, distinct)| Accumulator::new(*f, *distinct))
+                            .collect()
+                    });
+                    groups.get_mut(&key).unwrap()
+                }
+            };
+            for (acc, (_, arg, _)) in accs.iter_mut().zip(agg_c.iter()) {
+                let v = match arg {
+                    Some(a) => Some(a.eval(row)?),
+                    None => None,
+                };
+                acc.update(v);
+            }
+        }
+        // Global aggregate over empty input still yields one row.
+        if group_c.is_empty() && groups.is_empty() {
+            let accs: Vec<Accumulator> = agg_c
+                .iter()
+                .map(|(f, _, distinct)| Accumulator::new(*f, *distinct))
+                .collect();
+            order.push(vec![]);
+            groups.insert(vec![], accs);
+        }
+
+        // Output schema from the plan node.
+        let out_schema = LogicalPlan::Aggregate {
+            input: Box::new(input.clone()),
+            group_by: group_by.to_vec(),
+            aggregates: aggregates.to_vec(),
+        }
+        .schema();
+        let fields: Vec<(String, DataType)> = out_schema
+            .fields
+            .into_iter()
+            .map(|f| (f.name, f.data_type))
+            .collect();
+        let mut rows = Vec::with_capacity(order.len());
+        for key in order {
+            let accs = groups.remove(&key).expect("group key present");
+            let mut row = key;
+            for acc in accs {
+                row.push(acc.finish());
+            }
+            rows.push(row);
+        }
+        Ok(Relation::new(fields, rows))
+    }
+}
+
+/// Streaming aggregate accumulator.
+enum Accumulator {
+    Sum {
+        int: i128,
+        float: f64,
+        any_float: bool,
+        seen: bool,
+        distinct: Option<std::collections::HashSet<Value>>,
+    },
+    Count {
+        n: i64,
+        /// `None` arg = count(*).
+        distinct: Option<std::collections::HashSet<Value>>,
+    },
+    Avg {
+        sum: f64,
+        n: i64,
+        distinct: Option<std::collections::HashSet<Value>>,
+    },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl Accumulator {
+    fn new(func: AggFunc, distinct: bool) -> Accumulator {
+        let set = || distinct.then(std::collections::HashSet::new);
+        match func {
+            AggFunc::Sum => Accumulator::Sum {
+                int: 0,
+                float: 0.0,
+                any_float: false,
+                seen: false,
+                distinct: set(),
+            },
+            AggFunc::Count => Accumulator::Count {
+                n: 0,
+                distinct: set(),
+            },
+            AggFunc::Avg => Accumulator::Avg {
+                sum: 0.0,
+                n: 0,
+                distinct: set(),
+            },
+            AggFunc::Min => Accumulator::Min(None),
+            AggFunc::Max => Accumulator::Max(None),
+        }
+    }
+
+    fn update(&mut self, v: Option<Value>) {
+        // `None` means count(*) — counts every row.
+        match self {
+            Accumulator::Count { n, distinct } => match v {
+                None => *n += 1,
+                Some(v) if !v.is_null() => {
+                    if let Some(set) = distinct {
+                        if !set.insert(v) {
+                            return;
+                        }
+                    }
+                    *n += 1;
+                }
+                _ => {}
+            },
+            Accumulator::Sum {
+                int,
+                float,
+                any_float,
+                seen,
+                distinct,
+            } => {
+                let Some(v) = v else { return };
+                if v.is_null() {
+                    return;
+                }
+                if let Some(set) = distinct {
+                    if !set.insert(v.clone()) {
+                        return;
+                    }
+                }
+                *seen = true;
+                match v {
+                    Value::Int(i) => *int += i as i128,
+                    Value::Float(f) => {
+                        *float += f;
+                        *any_float = true;
+                    }
+                    _ => {}
+                }
+            }
+            Accumulator::Avg { sum, n, distinct } => {
+                let Some(v) = v else { return };
+                let f = match v {
+                    Value::Int(i) => i as f64,
+                    Value::Float(f) => f,
+                    _ => return,
+                };
+                if let Some(set) = distinct {
+                    if !set.insert(v) {
+                        return;
+                    }
+                }
+                *sum += f;
+                *n += 1;
+            }
+            Accumulator::Min(cur) => {
+                let Some(v) = v else { return };
+                if v.is_null() {
+                    return;
+                }
+                let replace = match cur {
+                    Some(c) => v.total_cmp(c) == std::cmp::Ordering::Less,
+                    None => true,
+                };
+                if replace {
+                    *cur = Some(v);
+                }
+            }
+            Accumulator::Max(cur) => {
+                let Some(v) = v else { return };
+                if v.is_null() {
+                    return;
+                }
+                let replace = match cur {
+                    Some(c) => v.total_cmp(c) == std::cmp::Ordering::Greater,
+                    None => true,
+                };
+                if replace {
+                    *cur = Some(v);
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Accumulator::Sum {
+                int,
+                float,
+                any_float,
+                seen,
+                ..
+            } => {
+                if !seen {
+                    Value::Null
+                } else if any_float {
+                    Value::Float(float + int as f64)
+                } else if let Ok(i) = i64::try_from(int) {
+                    Value::Int(i)
+                } else {
+                    Value::Float(int as f64)
+                }
+            }
+            Accumulator::Count { n, .. } => Value::Int(n),
+            Accumulator::Avg { sum, n, .. } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+            Accumulator::Min(v) | Accumulator::Max(v) => v.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Convenience resolver backed by a map of named relations (tests, and the
+/// mediator baselines' "localized tables" mode).
+pub struct MapResolver {
+    pub relations: HashMap<String, Relation>,
+}
+
+impl MapResolver {
+    pub fn new() -> MapResolver {
+        MapResolver {
+            relations: HashMap::new(),
+        }
+    }
+
+    pub fn insert(&mut self, name: impl Into<String>, rel: Relation) {
+        self.relations.insert(name.into().to_ascii_lowercase(), rel);
+    }
+}
+
+impl Default for MapResolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScanResolver for MapResolver {
+    fn scan(&self, relation: &str, wanted: &[(String, DataType)]) -> Result<ScanOutput> {
+        let rel = self
+            .relations
+            .get(&relation.to_ascii_lowercase())
+            .ok_or_else(|| EngineError::Catalog(format!("unknown relation {relation:?}")))?;
+        Ok(ScanOutput {
+            relation: project_columns(rel, wanted)?,
+            edge: None,
+        })
+    }
+}
+
+/// Project a stored relation to the requested columns, by name.
+pub fn project_columns(rel: &Relation, wanted: &[(String, DataType)]) -> Result<Relation> {
+    let idx: Vec<usize> = wanted
+        .iter()
+        .map(|(n, _)| {
+            rel.column_index(n)
+                .ok_or_else(|| EngineError::Catalog(format!("unknown column {n:?}")))
+        })
+        .collect::<Result<_>>()?;
+    // Identity projection avoids a copy of the row structure rebuild.
+    if idx.len() == rel.width() && idx.iter().enumerate().all(|(i, &j)| i == j) {
+        return Ok(rel.clone());
+    }
+    let rows = rel
+        .rows
+        .iter()
+        .map(|r| idx.iter().map(|&j| r[j].clone()).collect())
+        .collect();
+    Ok(Relation::new(wanted.to_vec(), rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdb_sql::bind::{bind_select, ResolvedRelation, SchemaProvider};
+    use xdb_sql::parser::parse_select;
+
+    struct Fixture {
+        resolver: MapResolver,
+        schemas: HashMap<String, Vec<(String, DataType)>>,
+    }
+
+    impl SchemaProvider for Fixture {
+        fn resolve_relation(&self, name: &str) -> Option<ResolvedRelation> {
+            self.schemas
+                .get(&name.to_ascii_lowercase())
+                .map(|fields| ResolvedRelation::Base {
+                    fields: fields.clone(),
+                })
+        }
+    }
+
+    fn fixture() -> Fixture {
+        let mut resolver = MapResolver::new();
+        let mut schemas = HashMap::new();
+        let emp_fields = vec![
+            ("id".to_string(), DataType::Int),
+            ("name".to_string(), DataType::Str),
+            ("dept".to_string(), DataType::Str),
+            ("salary".to_string(), DataType::Float),
+        ];
+        resolver.insert(
+            "emp",
+            Relation::new(
+                emp_fields.clone(),
+                vec![
+                    vec![Value::Int(1), Value::str("ann"), Value::str("eng"), Value::Float(100.0)],
+                    vec![Value::Int(2), Value::str("bob"), Value::str("eng"), Value::Float(80.0)],
+                    vec![Value::Int(3), Value::str("cat"), Value::str("ops"), Value::Float(90.0)],
+                    vec![Value::Int(4), Value::str("dan"), Value::str("ops"), Value::Null],
+                ],
+            ),
+        );
+        schemas.insert("emp".to_string(), emp_fields);
+        let dept_fields = vec![
+            ("dname".to_string(), DataType::Str),
+            ("budget".to_string(), DataType::Int),
+        ];
+        resolver.insert(
+            "dept",
+            Relation::new(
+                dept_fields.clone(),
+                vec![
+                    vec![Value::str("eng"), Value::Int(1000)],
+                    vec![Value::str("ops"), Value::Int(500)],
+                    vec![Value::str("hr"), Value::Int(100)],
+                ],
+            ),
+        );
+        schemas.insert("dept".to_string(), dept_fields);
+        Fixture { resolver, schemas }
+    }
+
+    fn run(sql: &str) -> Relation {
+        let f = fixture();
+        let plan = bind_select(&parse_select(sql).unwrap(), &f).unwrap();
+        let mut exec = Execution::new(&f.resolver);
+        exec.run(&plan).unwrap()
+    }
+
+    #[test]
+    fn filter_project() {
+        let r = run("SELECT name FROM emp WHERE salary > 85");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows[0][0], Value::str("ann"));
+        assert_eq!(r.rows[1][0], Value::str("cat"));
+    }
+
+    #[test]
+    fn hash_join() {
+        let r = run(
+            "SELECT e.name, d.budget FROM emp e, dept d WHERE e.dept = d.dname AND d.budget > 600",
+        );
+        assert_eq!(r.len(), 2); // only eng members
+    }
+
+    #[test]
+    fn cross_join_count() {
+        let r = run("SELECT count(*) AS n FROM emp, dept");
+        assert_eq!(r.rows[0][0], Value::Int(12));
+    }
+
+    #[test]
+    fn group_by_aggregates() {
+        let r = run(
+            "SELECT dept, count(*) AS n, sum(salary) AS total, avg(salary) AS mean, \
+                    min(salary) AS lo, max(salary) AS hi \
+             FROM emp GROUP BY dept ORDER BY dept",
+        );
+        assert_eq!(r.len(), 2);
+        // eng: 2 rows, sum 180, avg 90.
+        assert_eq!(r.rows[0][0], Value::str("eng"));
+        assert_eq!(r.rows[0][1], Value::Int(2));
+        assert_eq!(r.rows[0][2], Value::Float(180.0));
+        assert_eq!(r.rows[0][3], Value::Float(90.0));
+        // ops: salary NULL ignored by sum/avg/min/max but counted by *.
+        assert_eq!(r.rows[1][1], Value::Int(2));
+        assert_eq!(r.rows[1][2], Value::Float(90.0));
+        assert_eq!(r.rows[1][4], Value::Float(90.0));
+    }
+
+    #[test]
+    fn global_aggregate_empty_input() {
+        let r = run("SELECT count(*) AS n, sum(salary) AS s FROM emp WHERE salary > 1e9");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows[0][0], Value::Int(0));
+        assert_eq!(r.rows[0][1], Value::Null);
+    }
+
+    #[test]
+    fn count_distinct() {
+        let r = run("SELECT count(DISTINCT dept) AS n FROM emp");
+        assert_eq!(r.rows[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn order_and_limit() {
+        let r = run("SELECT name, salary FROM emp ORDER BY salary DESC LIMIT 2");
+        // NULLs sort last in our total order; DESC reverses → NULL first.
+        // SQL engines differ here; ours places NULL first on DESC.
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows[1][0], Value::str("ann"));
+    }
+
+    #[test]
+    fn distinct_rows() {
+        let r = run("SELECT DISTINCT dept FROM emp");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn having_filter() {
+        let r = run("SELECT dept, count(*) AS n FROM emp GROUP BY dept HAVING count(*) > 1");
+        assert_eq!(r.len(), 2);
+        let r = run("SELECT dept, sum(salary) AS s FROM emp GROUP BY dept HAVING sum(salary) > 100");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn null_join_keys_never_match() {
+        let mut f = fixture();
+        f.resolver.insert(
+            "nullkeys",
+            Relation::new(
+                vec![("k".to_string(), DataType::Str)],
+                vec![vec![Value::Null], vec![Value::str("eng")]],
+            ),
+        );
+        f.schemas.insert(
+            "nullkeys".to_string(),
+            vec![("k".to_string(), DataType::Str)],
+        );
+        let plan = bind_select(
+            &parse_select("SELECT count(*) AS n FROM nullkeys, dept WHERE k = dname").unwrap(),
+            &f,
+        )
+        .unwrap();
+        let mut exec = Execution::new(&f.resolver);
+        let r = exec.run(&plan).unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn work_units_accumulate() {
+        let f = fixture();
+        let plan = bind_select(
+            &parse_select("SELECT e.name FROM emp e, dept d WHERE e.dept = d.dname").unwrap(),
+            &f,
+        )
+        .unwrap();
+        let mut exec = Execution::new(&f.resolver);
+        exec.run(&plan).unwrap();
+        assert!(exec.scan_units > 0.0);
+        assert!(exec.olap_units > 0.0);
+    }
+
+    #[test]
+    fn case_in_projection() {
+        let r = run(
+            "SELECT name, case when salary >= 90 then 'high' when salary is null then 'unknown' else 'low' end AS band \
+             FROM emp ORDER BY name",
+        );
+        assert_eq!(r.rows[0][1], Value::str("high"));
+        assert_eq!(r.rows[1][1], Value::str("low"));
+        assert_eq!(r.rows[3][1], Value::str("unknown"));
+    }
+
+    #[test]
+    fn expression_over_aggregates_executes() {
+        let r = run("SELECT sum(salary) / count(salary) AS mean FROM emp");
+        assert_eq!(r.rows[0][0], Value::Float(90.0));
+    }
+
+    #[test]
+    fn project_columns_identity_and_subset() {
+        let f = fixture();
+        let rel = f.resolver.relations.get("dept").unwrap();
+        let sub = project_columns(
+            rel,
+            &[("budget".to_string(), DataType::Int)],
+        )
+        .unwrap();
+        assert_eq!(sub.width(), 1);
+        assert_eq!(sub.rows[0][0], Value::Int(1000));
+        let idt = project_columns(rel, &rel.fields.clone()).unwrap();
+        assert_eq!(&idt, rel);
+    }
+}

@@ -1,0 +1,32 @@
+//! # xdb-engine
+//!
+//! The embedded relational DBMS substrate of the XDB reproduction. Each
+//! [`engine::Engine`] stands in for one underlying DBMS of the paper's
+//! testbed (PostgreSQL / MariaDB / Hive, selected by [`profile`]), complete
+//! with:
+//!
+//! - a catalog of base tables (with statistics), views, and SQL/MED
+//!   foreign tables ([`catalog`]);
+//! - local binding + optimization (the engine reorders operations within a
+//!   task, as the paper's execution-autonomy assumption demands);
+//! - a materializing executor over real tuples with work accounting
+//!   ([`exec`], [`expr`]);
+//! - EXPLAIN-style cost probes answering the XDB optimizer's "consulting"
+//!   requests;
+//! - a [`cluster::Cluster`] that wires engines over the simulated network
+//!   and implements the foreign-data-wrapper fetch path.
+
+pub mod catalog;
+pub mod cluster;
+pub mod engine;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod profile;
+pub mod relation;
+
+pub use cluster::Cluster;
+pub use engine::{Engine, ExecReport, ExplainInfo, NoRemote, Remote, StatementOutcome};
+pub use error::{EngineError, Result};
+pub use profile::EngineProfile;
+pub use relation::Relation;

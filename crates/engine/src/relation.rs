@@ -1,0 +1,200 @@
+//! In-memory relations (materialized operator outputs and table storage).
+
+use xdb_sql::value::{DataType, Value};
+
+/// A materialized relation: a flat schema plus row-major tuples.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Relation {
+    /// Output columns as (name, type) — qualifiers are a plan-level notion
+    /// and never survive materialization.
+    pub fields: Vec<(String, DataType)>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Relation {
+    pub fn new(fields: Vec<(String, DataType)>, rows: Vec<Vec<Value>>) -> Relation {
+        Relation { fields, rows }
+    }
+
+    pub fn empty(fields: Vec<(String, DataType)>) -> Relation {
+        Relation {
+            fields,
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn width(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Total size of this relation on the (simulated) wire.
+    pub fn wire_bytes(&self) -> u64 {
+        // Per-row framing overhead plus per-value payloads.
+        self.rows
+            .iter()
+            .map(|r| 4 + r.iter().map(Value::wire_size).sum::<u64>())
+            .sum()
+    }
+
+    /// Index of a column by case-insensitive name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.fields
+            .iter()
+            .position(|(n, _)| n.eq_ignore_ascii_case(name))
+    }
+
+    /// Render as an aligned text table (examples and the repro binary).
+    pub fn to_table_string(&self, max_rows: usize) -> String {
+        let mut widths: Vec<usize> = self.fields.iter().map(|(n, _)| n.len()).collect();
+        let shown = self.rows.iter().take(max_rows);
+        let rendered: Vec<Vec<String>> = shown
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, (n, _)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" | ");
+            }
+            out.push_str(&format!("{n:<w$}", w = widths[i]));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                out.push_str(&format!("{cell:<w$}", w = widths[i]));
+            }
+            out.push('\n');
+        }
+        if self.rows.len() > max_rows {
+            out.push_str(&format!("... ({} rows total)\n", self.rows.len()));
+        }
+        out
+    }
+
+    /// Multiset equality: same fields (names, order) and the same bag of
+    /// rows regardless of order. The correctness oracle for decentralized
+    /// vs single-engine execution.
+    pub fn same_bag(&self, other: &Relation) -> bool {
+        if self.fields.len() != other.fields.len() || self.rows.len() != other.rows.len() {
+            return false;
+        }
+        let mut a: Vec<&Vec<Value>> = self.rows.iter().collect();
+        let mut b: Vec<&Vec<Value>> = other.rows.iter().collect();
+        let cmp = |x: &&Vec<Value>, y: &&Vec<Value>| {
+            for (vx, vy) in x.iter().zip(y.iter()) {
+                let ord = vx.total_cmp(vy);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        };
+        a.sort_by(cmp);
+        b.sort_by(cmp);
+        a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| approx_row_eq(x, y))
+    }
+}
+
+/// Row equality with small float tolerance (aggregation order may differ
+/// between plans).
+fn approx_row_eq(a: &[Value], b: &[Value]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().zip(b.iter()).all(|(x, y)| match (x, y) {
+        (Value::Float(fx), Value::Float(fy)) => {
+            let scale = fx.abs().max(fy.abs()).max(1.0);
+            (fx - fy).abs() <= 1e-6 * scale
+        }
+        _ => x == y,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(rows: Vec<Vec<Value>>) -> Relation {
+        Relation::new(
+            vec![
+                ("a".to_string(), DataType::Int),
+                ("b".to_string(), DataType::Str),
+            ],
+            rows,
+        )
+    }
+
+    #[test]
+    fn wire_bytes_counts_payload_and_framing() {
+        let r = rel(vec![vec![Value::Int(1), Value::str("xy")]]);
+        // framing 4 + int 8 + (4 + 2) string.
+        assert_eq!(r.wire_bytes(), 18);
+    }
+
+    #[test]
+    fn same_bag_ignores_order() {
+        let r1 = rel(vec![
+            vec![Value::Int(1), Value::str("a")],
+            vec![Value::Int(2), Value::str("b")],
+        ]);
+        let r2 = rel(vec![
+            vec![Value::Int(2), Value::str("b")],
+            vec![Value::Int(1), Value::str("a")],
+        ]);
+        assert!(r1.same_bag(&r2));
+        let r3 = rel(vec![
+            vec![Value::Int(1), Value::str("a")],
+            vec![Value::Int(1), Value::str("a")],
+        ]);
+        assert!(!r1.same_bag(&r3));
+    }
+
+    #[test]
+    fn same_bag_float_tolerance() {
+        let f1 = Relation::new(
+            vec![("x".to_string(), DataType::Float)],
+            vec![vec![Value::Float(1.000000001)]],
+        );
+        let f2 = Relation::new(
+            vec![("x".to_string(), DataType::Float)],
+            vec![vec![Value::Float(1.0)]],
+        );
+        assert!(f1.same_bag(&f2));
+    }
+
+    #[test]
+    fn table_string_truncates() {
+        let r = rel(vec![
+            vec![Value::Int(1), Value::str("a")],
+            vec![Value::Int(2), Value::str("b")],
+        ]);
+        let s = r.to_table_string(1);
+        assert!(s.contains("(2 rows total)"));
+    }
+
+    #[test]
+    fn column_index_case_insensitive() {
+        let r = rel(vec![]);
+        assert_eq!(r.column_index("B"), Some(1));
+        assert_eq!(r.column_index("nope"), None);
+    }
+}

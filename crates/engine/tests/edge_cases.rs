@@ -1,0 +1,238 @@
+//! Engine edge-case suite: behaviours not covered by the module unit
+//! tests — composite keys, self joins, non-equi joins, NULL handling in
+//! every operator, and DDL lifecycle corners.
+
+use xdb_engine::cluster::Cluster;
+use xdb_engine::profile::EngineProfile;
+use xdb_engine::relation::Relation;
+use xdb_engine::{EngineError, NoRemote};
+use xdb_sql::value::{date, Value};
+
+fn cluster() -> Cluster {
+    let c = Cluster::lan(&["db"], EngineProfile::postgres());
+    c.execute_script(
+        "db",
+        "CREATE TABLE pairs (a BIGINT, b BIGINT, tag VARCHAR);
+         INSERT INTO pairs VALUES
+           (1, 1, 'one-one'), (1, 2, 'one-two'), (2, 1, 'two-one'), (2, 2, 'two-two');
+         CREATE TABLE lookup (a BIGINT, b BIGINT, label VARCHAR);
+         INSERT INTO lookup VALUES (1, 2, 'L12'), (2, 2, 'L22'), (3, 3, 'L33');
+         CREATE TABLE events (id BIGINT, day DATE, name VARCHAR);
+         INSERT INTO events VALUES
+           (1, DATE '1995-01-01', 'alpha'), (2, DATE '1995-06-15', 'omega'),
+           (3, DATE '1996-02-29', 'leap'), (4, NULL, NULL);",
+    )
+    .unwrap();
+    c
+}
+
+fn q(c: &Cluster, sql: &str) -> Relation {
+    c.query("db", sql).unwrap().0
+}
+
+#[test]
+fn composite_key_join() {
+    let c = cluster();
+    let r = q(
+        &c,
+        "SELECT p.tag, l.label FROM pairs p, lookup l WHERE p.a = l.a AND p.b = l.b ORDER BY p.tag",
+    );
+    assert_eq!(r.len(), 2);
+    assert_eq!(r.rows[0][0], Value::str("one-two"));
+    assert_eq!(r.rows[0][1], Value::str("L12"));
+    assert_eq!(r.rows[1][0], Value::str("two-two"));
+}
+
+#[test]
+fn self_join_with_aliases() {
+    let c = cluster();
+    // Pairs (x, y) with swapped counterparts.
+    let r = q(
+        &c,
+        "SELECT p1.tag, p2.tag FROM pairs p1, pairs p2 \
+         WHERE p1.a = p2.b AND p1.b = p2.a AND p1.a < p1.b",
+    );
+    assert_eq!(r.len(), 1);
+    assert_eq!(r.rows[0][0], Value::str("one-two"));
+    assert_eq!(r.rows[0][1], Value::str("two-one"));
+}
+
+#[test]
+fn non_equi_join_falls_back_to_nested_loop() {
+    let c = cluster();
+    let r = q(
+        &c,
+        "SELECT count(*) AS n FROM pairs p, lookup l WHERE p.a < l.a",
+    );
+    // pairs.a values {1,1,2,2}; lookup.a values {1,2,3}.
+    // 1<2,1<3 (x2 rows with a=1 → 4), 2<3 (x2 rows with a=2 → 2) = 6.
+    assert_eq!(r.rows[0][0], Value::Int(6));
+}
+
+#[test]
+fn inequality_plus_equality_uses_residual() {
+    let c = cluster();
+    let r = q(
+        &c,
+        "SELECT p.tag FROM pairs p, lookup l WHERE p.a = l.a AND p.b < l.b ORDER BY p.tag",
+    );
+    // a=1: lookup (1,2): pairs (1,1) passes. a=2: lookup (2,2): pairs (2,1).
+    assert_eq!(r.len(), 2);
+    assert_eq!(r.rows[0][0], Value::str("one-one"));
+    assert_eq!(r.rows[1][0], Value::str("two-one"));
+}
+
+#[test]
+fn min_max_over_strings_and_dates() {
+    let c = cluster();
+    let r = q(
+        &c,
+        "SELECT min(name) AS lo, max(name) AS hi, min(day) AS first, max(day) AS last FROM events",
+    );
+    assert_eq!(r.rows[0][0], Value::str("alpha"));
+    assert_eq!(r.rows[0][1], Value::str("omega"));
+    assert_eq!(r.rows[0][2], Value::Date(date::parse("1995-01-01").unwrap()));
+    assert_eq!(r.rows[0][3], Value::Date(date::parse("1996-02-29").unwrap()));
+}
+
+#[test]
+fn distinct_treats_null_as_one_group() {
+    let c = cluster();
+    c.execute_script(
+        "db",
+        "CREATE TABLE n (v BIGINT);
+         INSERT INTO n VALUES (1), (NULL), (1), (NULL), (2);",
+    )
+    .unwrap();
+    let r = q(&c, "SELECT DISTINCT v FROM n");
+    assert_eq!(r.len(), 3);
+    let r = q(&c, "SELECT v, count(*) AS c FROM n GROUP BY v");
+    assert_eq!(r.len(), 3);
+    let null_group = r
+        .rows
+        .iter()
+        .find(|row| row[0].is_null())
+        .expect("null group exists");
+    assert_eq!(null_group[1], Value::Int(2));
+}
+
+#[test]
+fn insert_evaluates_expressions() {
+    let c = cluster();
+    c.execute_script(
+        "db",
+        "CREATE TABLE calc (x BIGINT, y VARCHAR, z DATE);
+         INSERT INTO calc VALUES (2 + 3 * 4, upper('ok'), DATE '1995-01-01' + INTERVAL '2' MONTH);",
+    )
+    .unwrap();
+    let r = q(&c, "SELECT * FROM calc");
+    assert_eq!(r.rows[0][0], Value::Int(14));
+    assert_eq!(r.rows[0][1], Value::str("OK"));
+    assert_eq!(r.rows[0][2], Value::Date(date::parse("1995-03-01").unwrap()));
+}
+
+#[test]
+fn order_by_mixed_directions() {
+    let c = cluster();
+    let r = q(&c, "SELECT a, b FROM pairs ORDER BY a ASC, b DESC");
+    let got: Vec<(i64, i64)> = r
+        .rows
+        .iter()
+        .map(|row| (row[0].as_int().unwrap(), row[1].as_int().unwrap()))
+        .collect();
+    assert_eq!(got, vec![(1, 2), (1, 1), (2, 2), (2, 1)]);
+}
+
+#[test]
+fn view_lifecycle_drop_and_recreate() {
+    let c = cluster();
+    c.execute("db", "CREATE VIEW v AS SELECT a FROM pairs WHERE b = 1")
+        .unwrap();
+    assert_eq!(q(&c, "SELECT count(*) AS n FROM v").rows[0][0], Value::Int(2));
+    c.execute("db", "DROP VIEW v").unwrap();
+    assert!(c.query("db", "SELECT * FROM v").is_err());
+    c.execute("db", "CREATE VIEW v AS SELECT b FROM pairs WHERE a = 2")
+        .unwrap();
+    assert_eq!(q(&c, "SELECT count(*) AS n FROM v").rows[0][0], Value::Int(2));
+}
+
+#[test]
+fn dropping_table_breaks_dependent_view_at_query_time() {
+    let c = cluster();
+    c.execute("db", "CREATE VIEW lv AS SELECT label FROM lookup")
+        .unwrap();
+    c.execute("db", "DROP TABLE lookup").unwrap();
+    let err = c.query("db", "SELECT * FROM lv").unwrap_err();
+    assert!(matches!(err, EngineError::Bind(_)), "{err}");
+}
+
+#[test]
+fn explain_statement_returns_estimates_row() {
+    let c = cluster();
+    let r = q(&c, "EXPLAIN SELECT * FROM pairs WHERE a = 1");
+    assert_eq!(r.width(), 3);
+    assert_eq!(r.len(), 1);
+}
+
+#[test]
+fn group_by_date_extract_with_nulls() {
+    let c = cluster();
+    let r = q(
+        &c,
+        "SELECT extract(year from day) AS y, count(*) AS n FROM events GROUP BY y ORDER BY 1",
+    );
+    // 1995 (x2), 1996, NULL year group.
+    assert_eq!(r.len(), 3);
+}
+
+#[test]
+fn like_on_null_is_not_a_match() {
+    let c = cluster();
+    let r = q(&c, "SELECT count(*) AS n FROM events WHERE name LIKE '%p%'");
+    assert_eq!(r.rows[0][0], Value::Int(2)); // alpha, leap — NULL excluded
+}
+
+#[test]
+fn engine_rejects_unknown_statement_targets() {
+    let c = cluster();
+    assert!(matches!(
+        c.execute("db", "DROP TABLE ghost").unwrap_err(),
+        EngineError::Catalog(_)
+    ));
+    assert!(matches!(
+        c.execute("db", "INSERT INTO ghost VALUES (1)").unwrap_err(),
+        EngineError::Catalog(_)
+    ));
+}
+
+#[test]
+fn load_table_rejects_duplicates() {
+    let c = cluster();
+    let rel = Relation::new(vec![("x".into(), xdb_sql::DataType::Int)], vec![]);
+    c.engine("db").unwrap().load_table("fresh", rel.clone()).unwrap();
+    assert!(c.engine("db").unwrap().load_table("fresh", rel).is_err());
+}
+
+#[test]
+fn create_if_not_exists_is_idempotent() {
+    let c = cluster();
+    c.execute("db", "CREATE TABLE IF NOT EXISTS pairs (zz BIGINT)")
+        .unwrap();
+    // Original schema intact.
+    assert_eq!(q(&c, "SELECT count(*) AS n FROM pairs").rows[0][0], Value::Int(4));
+    // Plain CREATE still errors.
+    assert!(c.execute("db", "CREATE TABLE pairs (zz BIGINT)").is_err());
+}
+
+#[test]
+fn no_remote_is_rejected_for_foreign_scan() {
+    let c = cluster();
+    c.execute(
+        "db",
+        "CREATE FOREIGN TABLE ft (x BIGINT) SERVER elsewhere OPTIONS (remote 'r')",
+    )
+    .unwrap();
+    let engine = c.engine("db").unwrap();
+    let err = engine.execute_sql("SELECT * FROM ft", &NoRemote).unwrap_err();
+    assert!(matches!(err, EngineError::Remote(_)));
+}

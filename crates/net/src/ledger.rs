@@ -1,0 +1,158 @@
+//! Transfer ledger: the simulated equivalent of the paper's "Docker network
+//! statistics" (Section VI-A Methodology).
+//!
+//! Every byte that crosses a link during query execution is recorded here,
+//! tagged with *why* it moved, so the data-transfer experiments (Fig 1's red
+//! bars, Fig 14) read directly off the ledger.
+
+use crate::topology::NodeId;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Why a transfer happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Purpose {
+    /// A mediator fetching a sub-query result from a DBMS (the MW approach).
+    SubqueryResult,
+    /// Inter-DBMS pipeline traffic between two underlying DBMSes (XDB's
+    /// in-situ execution).
+    InterDbmsPipeline,
+    /// Explicit materialization of an intermediate relation.
+    Materialization,
+    /// Final query result returned to the client.
+    FinalResult,
+    /// Optimizer/delegation control messages (EXPLAIN probes, DDLs).
+    ControlMessage,
+    /// Data exchange between mediator workers (scaled-out MW systems).
+    WorkerExchange,
+}
+
+/// One recorded transfer.
+#[derive(Debug, Clone)]
+pub struct Transfer {
+    pub from: NodeId,
+    pub to: NodeId,
+    pub bytes: u64,
+    pub rows: u64,
+    pub purpose: Purpose,
+}
+
+/// Thread-safe, shareable transfer ledger.
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    inner: Arc<Mutex<Vec<Transfer>>>,
+}
+
+impl Ledger {
+    pub fn new() -> Ledger {
+        Ledger::default()
+    }
+
+    pub fn record(&self, from: NodeId, to: NodeId, bytes: u64, rows: u64, purpose: Purpose) {
+        // Loopback traffic never crosses the network; keep the ledger about
+        // actual movement so totals match "data transferred over the wire".
+        if from == to {
+            return;
+        }
+        self.inner.lock().push(Transfer {
+            from,
+            to,
+            bytes,
+            rows,
+            purpose,
+        });
+    }
+
+    /// Total bytes across all recorded transfers.
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.lock().iter().map(|t| t.bytes).sum()
+    }
+
+    /// Total rows across all recorded transfers.
+    pub fn total_rows(&self) -> u64 {
+        self.inner.lock().iter().map(|t| t.rows).sum()
+    }
+
+    /// Total bytes for a given purpose.
+    pub fn bytes_for(&self, purpose: Purpose) -> u64 {
+        self.inner
+            .lock()
+            .iter()
+            .filter(|t| t.purpose == purpose)
+            .map(|t| t.bytes)
+            .sum()
+    }
+
+    /// Total bytes into a specific node (e.g. the cloud mediator, for the
+    /// "cloud vendors charge by incoming data" analysis of Fig 14).
+    pub fn bytes_into(&self, node: &NodeId) -> u64 {
+        self.inner
+            .lock()
+            .iter()
+            .filter(|t| &t.to == node)
+            .map(|t| t.bytes)
+            .sum()
+    }
+
+    /// Total bytes touching (into or out of) a specific node.
+    pub fn bytes_touching(&self, node: &NodeId) -> u64 {
+        self.inner
+            .lock()
+            .iter()
+            .filter(|t| &t.to == node || &t.from == node)
+            .map(|t| t.bytes)
+            .sum()
+    }
+
+    /// Snapshot of all transfers (for plan analysis like Table IV).
+    pub fn snapshot(&self) -> Vec<Transfer> {
+        self.inner.lock().clone()
+    }
+
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_totals() {
+        let l = Ledger::new();
+        l.record("a".into(), "b".into(), 100, 10, Purpose::SubqueryResult);
+        l.record("b".into(), "c".into(), 50, 5, Purpose::InterDbmsPipeline);
+        assert_eq!(l.total_bytes(), 150);
+        assert_eq!(l.total_rows(), 15);
+        assert_eq!(l.bytes_for(Purpose::SubqueryResult), 100);
+        assert_eq!(l.bytes_into(&"c".into()), 50);
+        assert_eq!(l.bytes_touching(&"b".into()), 150);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn loopback_not_recorded() {
+        let l = Ledger::new();
+        l.record("a".into(), "a".into(), 100, 10, Purpose::Materialization);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let l = Ledger::new();
+        let l2 = l.clone();
+        l2.record("a".into(), "b".into(), 7, 1, Purpose::FinalResult);
+        assert_eq!(l.total_bytes(), 7);
+        l.clear();
+        assert!(l2.is_empty());
+    }
+}

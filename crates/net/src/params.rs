@@ -1,0 +1,84 @@
+//! Simulation constants, each tied to the paper observation it models.
+//!
+//! All times are **simulated milliseconds** and all rates **bytes per
+//! simulated millisecond**. Absolute values are not meant to match the
+//! paper's testbed; the *ratios* between them reproduce the relative
+//! behaviours the evaluation section leans on.
+
+/// 1 Gbit/s LAN link (the paper's cluster interconnect): 125 MB/s.
+pub const LAN_BANDWIDTH_BYTES_PER_MS: f64 = 125_000.0;
+
+/// LAN round-trip latency per transfer setup.
+pub const LAN_LATENCY_MS: f64 = 0.5;
+
+/// Inter-datacenter bandwidth for the geo-distributed scenario (Fig 14):
+/// substantially below LAN, as in WAN-aware systems (Sec VII).
+pub const GEO_BANDWIDTH_BYTES_PER_MS: f64 = 20_000.0;
+
+/// Inter-datacenter latency.
+pub const GEO_LATENCY_MS: f64 = 50.0;
+
+/// On-premise/DBMS to managed-cloud link (where the mediator or XDB runs in
+/// the Fig 14 scenarios): metered and slower than LAN.
+pub const CLOUD_BANDWIDTH_BYTES_PER_MS: f64 = 50_000.0;
+
+/// Cloud link latency.
+pub const CLOUD_LATENCY_MS: f64 = 20.0;
+
+/// Per-byte multiplier of the PostgreSQL binary transfer protocol (baseline
+/// protocol; Garlic and XDB use it — Section VI-B). Row-at-a-time wrapper
+/// protocols run well below line rate: 2.5× ≈ 50 MB/s effective, in line
+/// with measured postgres_fdw throughput.
+pub const BINARY_PROTOCOL_OVERHEAD: f64 = 2.5;
+
+/// Per-byte multiplier of JDBC row-at-a-time transfer. The paper observes
+/// μ_Presto ≈ 150s vs μ_Garlic ≈ 80s on the same intermediate data because
+/// "Presto uses JDBC-connectors while our Garlic implementation leverages
+/// PostgreSQL's binary transfer protocols"; the 2× ratio over the binary
+/// protocol reproduces that observation.
+pub const JDBC_PROTOCOL_OVERHEAD: f64 = 5.0;
+
+/// Extra drain time a pipelined consumer needs after its last input tuple
+/// arrives (keeps composed timings strictly monotone in producer time).
+pub const PIPELINE_DRAIN_MS: f64 = 1.0;
+
+/// Cost of one optimizer "consulting" round-trip to a DBMS (EXPLAIN probe,
+/// Section IV-B2). Dominates the `ann` phase of Fig 15. Scaled to the
+/// simulation's compressed time base (the paper's ann phase is a few
+/// seconds against executions of tens to hundreds of seconds).
+pub const CONSULT_ROUNDTRIP_MS: f64 = 12.0;
+
+/// Cost of one metadata/catalog fetch during query preparation (`prep`
+/// phase of Fig 15).
+pub const METADATA_FETCH_MS: f64 = 6.0;
+
+/// Cost of executing one DDL statement during delegation (catalog-only
+/// work plus one LAN round-trip; the paper's delegation overhead is
+/// "negligible (up to 10s)" against executions of tens to hundreds of
+/// seconds).
+pub const DDL_ROUNDTRIP_MS: f64 = 10.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The relative orderings the evaluation's shapes depend on.
+    #[test]
+    fn parameter_orderings_hold() {
+        // JDBC costs more per byte than the binary protocol (μ_Presto >
+        // μ_Garlic in Fig 1/9).
+        assert!(JDBC_PROTOCOL_OVERHEAD > BINARY_PROTOCOL_OVERHEAD);
+        // Geo links are slower and higher-latency than the LAN (Fig 14).
+        assert!(GEO_BANDWIDTH_BYTES_PER_MS < LAN_BANDWIDTH_BYTES_PER_MS);
+        assert!(GEO_LATENCY_MS > LAN_LATENCY_MS);
+        // The metered cloud link sits between them.
+        assert!(CLOUD_BANDWIDTH_BYTES_PER_MS < LAN_BANDWIDTH_BYTES_PER_MS);
+        assert!(CLOUD_BANDWIDTH_BYTES_PER_MS > GEO_BANDWIDTH_BYTES_PER_MS);
+        // Consulting costs more than plain DDL round-trips (EXPLAIN probes
+        // include planning work); both dwarf per-transfer LAN latency.
+        assert!(CONSULT_ROUNDTRIP_MS >= DDL_ROUNDTRIP_MS);
+        assert!(DDL_ROUNDTRIP_MS > LAN_LATENCY_MS);
+        // Pipelined consumers drain quickly relative to any round-trip.
+        assert!(PIPELINE_DRAIN_MS < DDL_ROUNDTRIP_MS);
+    }
+}

@@ -1,0 +1,245 @@
+//! Deterministic timing composition over task DAGs.
+//!
+//! Executions in this repository are *real* (operators run over real
+//! tuples); elapsed wall-clock is *simulated* from the measured work so
+//! that experiments are deterministic and laptop-scale. This module owns
+//! the composition rules:
+//!
+//! - **explicit** (materialized) in-edges serialize: the consumer starts
+//!   only after the producer finished, the data moved, and the local copy
+//!   was written;
+//! - **implicit** (pipelined) in-edges overlap: producer, transfer, and
+//!   consumer run concurrently, so the chain costs roughly the *max* of the
+//!   stages rather than their sum — this is the property that makes XDB's
+//!   inter-DBMS pipelines beat mediator round-trips (Fig 8, Fig 9).
+
+use crate::params::PIPELINE_DRAIN_MS;
+
+/// Movement type of a dataflow edge in a delegation plan (Section IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Movement {
+    /// `t1 --i--> t2`: pipelined via a foreign-table scan.
+    Implicit,
+    /// `t1 --e--> t2`: materialized on the consumer before it runs.
+    Explicit,
+}
+
+impl std::fmt::Display for Movement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Movement::Implicit => "i",
+            Movement::Explicit => "e",
+        })
+    }
+}
+
+/// Timing contribution of one in-edge of a task.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeTiming {
+    /// When the producing task finishes (simulated ms since query start).
+    pub producer_finish_ms: f64,
+    /// Wire time for the edge's data.
+    pub transfer_ms: f64,
+    /// Cost of writing the materialized copy (explicit edges only).
+    pub import_ms: f64,
+    pub movement: Movement,
+}
+
+/// Compute the finish time of a task given its own startup/work and the
+/// timing of its in-edges.
+///
+/// Model:
+/// - `ready` = max over *explicit* edges of `producer_finish + transfer +
+///   import` (all must be materialized before the local query can run);
+/// - the task's own work `W` starts at `ready`;
+/// - each *implicit* edge constrains completion to
+///   `max(producer_finish + drain, ready + transfer)` — the consumer cannot
+///   finish before its slowest pipelined producer, nor before the data
+///   could physically cross the wire.
+pub fn compose_finish(startup_ms: f64, work_ms: f64, edges: &[EdgeTiming]) -> f64 {
+    let mut ready = 0.0f64;
+    for e in edges {
+        if e.movement == Movement::Explicit {
+            ready = ready.max(e.producer_finish_ms + e.transfer_ms + e.import_ms);
+        }
+    }
+    let mut finish = ready + work_ms;
+    for e in edges {
+        if e.movement == Movement::Implicit {
+            let pipeline_bound = (e.producer_finish_ms + PIPELINE_DRAIN_MS)
+                .max(ready + e.transfer_ms);
+            finish = finish.max(pipeline_bound.max(ready + work_ms));
+        }
+    }
+    startup_ms + finish
+}
+
+/// Timing of a mediator-style execution: all fragment results are fetched
+/// (in parallel) into the mediator, then the mediator runs the residual
+/// plan.
+///
+/// - `fetches`: per-fragment `(producer_finish, transfer)` pairs — fetching
+///   overlaps across fragments but each fetch only starts once its fragment
+///   finished;
+/// - `mediator_work_ms`: residual cross-database work at the mediator,
+///   already divided by worker parallelism where applicable;
+/// - returns the query finish time.
+pub fn mediator_finish(
+    mediator_startup_ms: f64,
+    mediator_work_ms: f64,
+    fetches: &[(f64, f64)],
+) -> f64 {
+    let data_ready = fetches
+        .iter()
+        .map(|(finish, xfer)| finish + xfer)
+        .fold(0.0f64, f64::max);
+    mediator_startup_ms + data_ready + mediator_work_ms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn no_edges_is_startup_plus_work() {
+        assert!((compose_finish(5.0, 100.0, &[]) - 105.0).abs() < EPS);
+    }
+
+    #[test]
+    fn explicit_edges_serialize() {
+        let edges = [EdgeTiming {
+            producer_finish_ms: 100.0,
+            transfer_ms: 50.0,
+            import_ms: 10.0,
+            movement: Movement::Explicit,
+        }];
+        // 100 + 50 + 10 = 160 ready, + 40 work + 0 startup.
+        assert!((compose_finish(0.0, 40.0, &edges) - 200.0).abs() < EPS);
+    }
+
+    #[test]
+    fn implicit_edges_overlap() {
+        let edges = [EdgeTiming {
+            producer_finish_ms: 100.0,
+            transfer_ms: 50.0,
+            import_ms: 0.0,
+            movement: Movement::Implicit,
+        }];
+        // Pipelined: finish = max(0 + 40, max(100 + drain, 0 + 50)) = 101.
+        let f = compose_finish(0.0, 40.0, &edges);
+        assert!((f - (100.0 + PIPELINE_DRAIN_MS)).abs() < EPS, "{f}");
+        // A pipelined chain is cheaper than the serialized version.
+        let serialized = compose_finish(
+            0.0,
+            40.0,
+            &[EdgeTiming {
+                movement: Movement::Explicit,
+                ..edges[0]
+            }],
+        );
+        assert!(f < serialized);
+    }
+
+    #[test]
+    fn implicit_bounded_by_transfer_when_slow_link() {
+        let edges = [EdgeTiming {
+            producer_finish_ms: 10.0,
+            transfer_ms: 500.0,
+            import_ms: 0.0,
+            movement: Movement::Implicit,
+        }];
+        // Wire dominates: finish ≈ 500.
+        let f = compose_finish(0.0, 20.0, &edges);
+        assert!((f - 500.0).abs() < EPS, "{f}");
+    }
+
+    #[test]
+    fn mixed_edges_compose() {
+        let edges = [
+            EdgeTiming {
+                producer_finish_ms: 100.0,
+                transfer_ms: 10.0,
+                import_ms: 5.0,
+                movement: Movement::Explicit,
+            },
+            EdgeTiming {
+                producer_finish_ms: 30.0,
+                transfer_ms: 10.0,
+                import_ms: 0.0,
+                movement: Movement::Implicit,
+            },
+        ];
+        // ready = 115; work starts then: 115 + 50 = 165; implicit producer
+        // long done, wire bound 125 < 165.
+        let f = compose_finish(0.0, 50.0, &edges);
+        assert!((f - 165.0).abs() < EPS, "{f}");
+    }
+
+    #[test]
+    fn slow_pipelined_producer_dominates() {
+        let edges = [
+            EdgeTiming {
+                producer_finish_ms: 1000.0,
+                transfer_ms: 5.0,
+                import_ms: 0.0,
+                movement: Movement::Implicit,
+            },
+            EdgeTiming {
+                producer_finish_ms: 50.0,
+                transfer_ms: 5.0,
+                import_ms: 5.0,
+                movement: Movement::Explicit,
+            },
+        ];
+        let f = compose_finish(0.0, 10.0, &edges);
+        assert!((f - (1000.0 + PIPELINE_DRAIN_MS)).abs() < EPS, "{f}");
+    }
+
+    #[test]
+    fn startup_added_last() {
+        let f = compose_finish(7.0, 3.0, &[]);
+        assert!((f - 10.0).abs() < EPS);
+    }
+
+    #[test]
+    fn mediator_fetches_overlap_but_work_serializes() {
+        let fetches = [(100.0, 50.0), (120.0, 10.0), (10.0, 200.0)];
+        // data ready at max(150, 130, 210) = 210; + 100 work + 5 startup.
+        let f = mediator_finish(5.0, 100.0, &fetches);
+        assert!((f - 315.0).abs() < EPS, "{f}");
+    }
+
+    #[test]
+    fn mediator_no_fragments() {
+        let f = mediator_finish(5.0, 100.0, &[]);
+        assert!((f - 105.0).abs() < EPS);
+    }
+
+    #[test]
+    fn monotone_in_producer_time() {
+        // Sanity: pushing a producer later never makes the consumer finish
+        // earlier, for either movement type.
+        for movement in [Movement::Implicit, Movement::Explicit] {
+            let mk = |p: f64| {
+                compose_finish(
+                    1.0,
+                    10.0,
+                    &[EdgeTiming {
+                        producer_finish_ms: p,
+                        transfer_ms: 5.0,
+                        import_ms: 2.0,
+                        movement,
+                    }],
+                )
+            };
+            let mut last = 0.0;
+            for p in [0.0, 10.0, 100.0, 1000.0] {
+                let f = mk(p);
+                assert!(f >= last, "{movement:?} {p} {f} < {last}");
+                last = f;
+            }
+        }
+    }
+}

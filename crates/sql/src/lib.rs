@@ -1,0 +1,27 @@
+//! # xdb-sql
+//!
+//! SQL frontend and relational IR for the XDB federation:
+//!
+//! - [`value`]: runtime values, data types, and calendar-date arithmetic;
+//! - [`lexer`] / [`parser`]: a hand-written SQL parser for the analytical
+//!   dialect shared by every system in the federation;
+//! - [`ast`]: the statement/expression AST, designed to round-trip through
+//!   [`display`] so that delegation-by-query-rewriting is lossless;
+//! - [`algebra`]: the logical relational algebra that local engines execute
+//!   and the XDB cross-database optimizer annotates, with lowering back to
+//!   SQL ([`algebra::plan_to_select`]).
+
+pub mod algebra;
+pub mod bind;
+pub mod ast;
+pub mod display;
+pub mod lexer;
+pub mod parser;
+pub mod optimize;
+pub mod stats;
+pub mod value;
+
+pub use ast::{Expr, SelectStmt, Statement};
+pub use display::Dialect;
+pub use parser::{parse_expr, parse_script, parse_select, parse_statement, ParseError};
+pub use value::{DataType, Value};

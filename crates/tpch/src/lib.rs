@@ -1,0 +1,17 @@
+//! # xdb-tpch
+//!
+//! The paper's evaluation workload: a from-scratch deterministic TPC-H
+//! data generator ([`dbgen`]), the six cross-database queries the paper
+//! evaluates ([`queries`]: Q3, Q5, Q7, Q8, Q9, Q10), and the table
+//! distributions over the seven-DBMS testbed ([`distributions`]: Table
+//! III).
+
+pub mod dbgen;
+pub mod distributions;
+pub mod queries;
+pub mod schema;
+
+pub use dbgen::TpchGen;
+pub use distributions::{build_cluster, ProfileAssignment, TableDist, NODES};
+pub use queries::TpchQuery;
+pub use schema::TpchTable;

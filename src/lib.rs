@@ -1,0 +1,43 @@
+//! # xdb
+//!
+//! Facade crate for the XDB workspace — a from-scratch Rust reproduction
+//! of *"In-Situ Cross-Database Query Processing"* (ICDE 2023).
+//!
+//! XDB is a middleware that runs cross-database analytics over existing
+//! DBMSes **without a mediating execution engine**: it rewrites a query
+//! into a *delegation plan* and deploys it onto the underlying DBMSes as a
+//! chain of views and SQL/MED foreign tables, so the DBMSes execute the
+//! query collaboratively in a fully decentralized pipeline.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use xdb::core::scenario::{self, ScenarioConfig};
+//! use xdb::core::Xdb;
+//!
+//! // Three departmental DBMSes (citizens / vaccination / health records).
+//! let (cluster, catalog) = scenario::build(ScenarioConfig::default()).unwrap();
+//! let xdb = Xdb::new(&cluster, &catalog);
+//! let outcome = xdb.submit(scenario::EXAMPLE_QUERY).unwrap();
+//! assert!(!outcome.relation.is_empty());
+//! // The query ran in-situ: no intermediate data ever reached the client.
+//! println!("{}", outcome.delegation.notation());
+//! ```
+//!
+//! ## Workspace map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`sql`] | SQL parser, AST, logical algebra, shared optimizer passes |
+//! | [`net`] | simulated network: topology, transfer ledger, timing model |
+//! | [`engine`] | embedded DBMS substrate (catalog, executor, SQL/MED, EXPLAIN) |
+//! | [`core`] | the XDB middleware: annotation, delegation, client |
+//! | [`baselines`] | Garlic-, Presto-, and ScleraDB-like comparison systems |
+//! | [`tpch`] | deterministic TPC-H generator, queries, table distributions |
+
+pub use xdb_baselines as baselines;
+pub use xdb_core as core;
+pub use xdb_engine as engine;
+pub use xdb_net as net;
+pub use xdb_sql as sql;
+pub use xdb_tpch as tpch;

@@ -1,0 +1,112 @@
+//! Concurrency: the federation is shared infrastructure — multiple clients
+//! submit cross-database queries against the same engines simultaneously.
+//! Catalog locking, per-query object naming, and the transfer ledger must
+//! all hold up.
+
+use std::sync::Arc;
+use xdb::core::{GlobalCatalog, Xdb};
+use xdb::engine::profile::EngineProfile;
+use xdb::net::Scenario;
+use xdb::tpch::{build_cluster, distributions, ProfileAssignment, TableDist, TpchQuery};
+
+const SF: f64 = 0.002;
+
+#[test]
+fn concurrent_submissions_share_one_federation() {
+    let cluster = Arc::new(
+        build_cluster(
+            TableDist::Td1,
+            SF,
+            Scenario::OnPremise,
+            &ProfileAssignment::uniform(EngineProfile::postgres()),
+        )
+        .unwrap(),
+    );
+    let catalog = Arc::new(GlobalCatalog::discover(&cluster).unwrap());
+
+    // Reference results, computed serially first.
+    let reference: Vec<_> = {
+        let xdb = Xdb::new(&cluster, &catalog);
+        TpchQuery::ALL
+            .iter()
+            .map(|q| xdb.submit(q.sql()).unwrap().relation)
+            .collect()
+    };
+
+    // 4 threads × all queries, interleaved on the same cluster. Each
+    // thread has its own client (its own query-id counter); ids are
+    // globally unique because the counters start from different bases.
+    let results: Vec<Vec<xdb::engine::relation::Relation>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let cluster = Arc::clone(&cluster);
+                let catalog = Arc::clone(&catalog);
+                s.spawn(move || {
+                    let xdb = Xdb::new(&cluster, &catalog);
+                    let mut out = Vec::new();
+                    // Rotate the query order per thread to interleave.
+                    for i in 0..TpchQuery::ALL.len() {
+                        let q = TpchQuery::ALL[(i + t) % TpchQuery::ALL.len()];
+                        out.push((q, xdb.submit(q.sql()).unwrap().relation));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap()
+                    .into_iter()
+                    .map(|(q, rel)| {
+                        let idx = TpchQuery::ALL.iter().position(|x| *x == q).unwrap();
+                        assert!(
+                            rel.same_bag(&reference[idx]),
+                            "{} diverged under concurrency",
+                            q.name()
+                        );
+                        rel
+                    })
+                    .collect()
+            })
+            .collect()
+    });
+    assert_eq!(results.len(), 4);
+
+    // No short-lived objects leaked by any thread.
+    for node in distributions::NODES {
+        let names = cluster.engine(node).unwrap().with_catalog(|c| c.names());
+        assert!(
+            names.iter().all(|n| !n.starts_with("xdb_q")),
+            "{node} leaked {names:?}"
+        );
+    }
+}
+
+#[test]
+fn one_client_is_safe_across_threads_too() {
+    // A single Xdb instance (one shared query-id counter) used from many
+    // threads must still hand out unique object names.
+    let cluster = Arc::new(
+        build_cluster(
+            TableDist::Td1,
+            SF,
+            Scenario::OnPremise,
+            &ProfileAssignment::uniform(EngineProfile::postgres()),
+        )
+        .unwrap(),
+    );
+    let catalog = Arc::new(GlobalCatalog::discover(&cluster).unwrap());
+    let xdb = Xdb::new(&cluster, &catalog);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let xdb = &xdb;
+            s.spawn(move || {
+                for _ in 0..3 {
+                    xdb.submit(TpchQuery::Q3.sql()).unwrap();
+                }
+            });
+        }
+    });
+}

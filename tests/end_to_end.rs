@@ -1,0 +1,194 @@
+//! End-to-end correctness: for every evaluated TPC-H query and every table
+//! distribution, XDB's fully decentralized execution and all three
+//! baselines return exactly the rows a single engine holding all tables
+//! returns.
+
+use xdb::baselines::{Mediator, MediatorConfig, Sclera};
+use xdb::core::{GlobalCatalog, Xdb};
+use xdb::engine::cluster::Cluster;
+use xdb::engine::profile::EngineProfile;
+use xdb::engine::relation::Relation;
+use xdb::net::Scenario;
+use xdb::tpch::{build_cluster, distributions, ProfileAssignment, TableDist, TpchQuery};
+
+const SF: f64 = 0.005;
+
+fn oracle(sql: &str) -> Relation {
+    let cluster = Cluster::lan(&["solo"], EngineProfile::postgres());
+    distributions::load_all_on(&cluster, "solo", SF).unwrap();
+    cluster.query("solo", sql).unwrap().0
+}
+
+fn federation(td: TableDist) -> (Cluster, GlobalCatalog) {
+    let mut cluster = build_cluster(
+        td,
+        SF,
+        Scenario::OnPremise,
+        &ProfileAssignment::uniform(EngineProfile::postgres()),
+    )
+    .unwrap();
+    cluster.topology.add_node("mediator".into());
+    let catalog = GlobalCatalog::discover(&cluster).unwrap();
+    (cluster, catalog)
+}
+
+#[test]
+fn xdb_matches_oracle_on_every_query_and_distribution() {
+    for td in TableDist::ALL {
+        let (cluster, catalog) = federation(td);
+        let xdb = Xdb::new(&cluster, &catalog);
+        for q in TpchQuery::ALL {
+            let expected = oracle(q.sql());
+            let got = xdb
+                .submit(q.sql())
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", q.name(), td.name()));
+            assert!(
+                got.relation.same_bag(&expected),
+                "{} on {} diverged:\n{}\nvs oracle\n{}",
+                q.name(),
+                td.name(),
+                got.relation.to_table_string(8),
+                expected.to_table_string(8)
+            );
+        }
+    }
+}
+
+#[test]
+fn extended_workload_matches_oracle() {
+    // Q1/Q6 (single-relation: one-task delegation plans) and Q12/Q14
+    // (two-relation cross-database joins) — beyond the paper's set.
+    let (cluster, catalog) = federation(TableDist::Td1);
+    let xdb = Xdb::new(&cluster, &catalog);
+    for q in TpchQuery::EXTENDED {
+        let expected = oracle(q.sql());
+        let got = xdb.submit(q.sql()).unwrap();
+        assert!(
+            got.relation.same_bag(&expected),
+            "{} diverged:\n{}\nvs\n{}",
+            q.name(),
+            got.relation.to_table_string(8),
+            expected.to_table_string(8)
+        );
+        // Single-relation queries must delegate as exactly one task with
+        // no inter-DBMS movement.
+        if q.tables().len() == 1 {
+            assert_eq!(got.delegation.tasks.len(), 1, "{}", q.name());
+            assert!(got.delegation.edges.is_empty(), "{}", q.name());
+        }
+    }
+}
+
+#[test]
+fn baselines_match_oracle_td1() {
+    let (cluster, catalog) = federation(TableDist::Td1);
+    for q in TpchQuery::ALL {
+        let expected = oracle(q.sql());
+        let garlic = Mediator::new(&cluster, &catalog, MediatorConfig::garlic("mediator"))
+            .submit(q.sql())
+            .unwrap();
+        assert!(
+            garlic.relation.same_bag(&expected),
+            "garlic {} diverged",
+            q.name()
+        );
+        let presto = Mediator::new(&cluster, &catalog, MediatorConfig::presto("mediator", 4))
+            .submit(q.sql())
+            .unwrap();
+        assert!(
+            presto.relation.same_bag(&expected),
+            "presto {} diverged",
+            q.name()
+        );
+        let sclera = Sclera::new(&cluster, &catalog, "mediator")
+            .submit(q.sql())
+            .unwrap();
+        assert!(
+            sclera.relation.same_bag(&expected),
+            "sclera {} diverged",
+            q.name()
+        );
+    }
+}
+
+#[test]
+fn ordered_queries_preserve_order_through_delegation() {
+    // Q3 and Q10 end with ORDER BY ... LIMIT; the decentralized result
+    // must come back in exactly the oracle's order, not just the same bag.
+    let (cluster, catalog) = federation(TableDist::Td1);
+    let xdb = Xdb::new(&cluster, &catalog);
+    for q in [TpchQuery::Q3, TpchQuery::Q10] {
+        let expected = oracle(q.sql());
+        let got = xdb.submit(q.sql()).unwrap().relation;
+        assert_eq!(got.len(), expected.len());
+        for (i, (g, e)) in got.rows.iter().zip(expected.rows.iter()).enumerate() {
+            // Compare sort keys loosely (floats) via the bag helper on a
+            // single-row relation.
+            let gr = Relation::new(got.fields.clone(), vec![g.clone()]);
+            let er = Relation::new(expected.fields.clone(), vec![e.clone()]);
+            assert!(gr.same_bag(&er), "{} row {i} out of order", q.name());
+        }
+    }
+}
+
+#[test]
+fn no_objects_leak_across_the_whole_workload() {
+    let (cluster, catalog) = federation(TableDist::Td3);
+    let xdb = Xdb::new(&cluster, &catalog);
+    for q in TpchQuery::ALL {
+        xdb.submit(q.sql()).unwrap();
+    }
+    for node in distributions::NODES {
+        let names = cluster.engine(node).unwrap().with_catalog(|c| c.names());
+        assert!(
+            names.iter().all(|n| !n.starts_with("xdb_q") && !n.starts_with("__task_")),
+            "{node} leaked {names:?}"
+        );
+    }
+}
+
+#[test]
+fn geo_distribution_changes_costs_not_results() {
+    let mut geo = build_cluster(
+        TableDist::Td1,
+        SF,
+        Scenario::GeoDistributed,
+        &ProfileAssignment::uniform(EngineProfile::postgres()),
+    )
+    .unwrap();
+    geo.topology.add_node("mediator".into());
+    let catalog = GlobalCatalog::discover(&geo).unwrap();
+    let xdb = Xdb::new(&geo, &catalog);
+    let out = xdb.submit(TpchQuery::Q3.sql()).unwrap();
+    assert!(out.relation.same_bag(&oracle(TpchQuery::Q3.sql())));
+
+    // Same query on a LAN must be no slower than geo.
+    let (lan, lan_catalog) = federation(TableDist::Td1);
+    let lan_out = Xdb::new(&lan, &lan_catalog)
+        .submit(TpchQuery::Q3.sql())
+        .unwrap();
+    assert!(
+        lan_out.breakdown.exec_ms <= out.breakdown.exec_ms,
+        "LAN {} should be <= GEO {}",
+        lan_out.breakdown.exec_ms,
+        out.breakdown.exec_ms
+    );
+}
+
+#[test]
+fn heterogeneous_federation_matches_oracle() {
+    let mut cluster = build_cluster(
+        TableDist::Td1,
+        SF,
+        Scenario::OnPremise,
+        &ProfileAssignment::heterogeneous(),
+    )
+    .unwrap();
+    cluster.topology.add_node("mediator".into());
+    let catalog = GlobalCatalog::discover(&cluster).unwrap();
+    let xdb = Xdb::new(&cluster, &catalog);
+    for q in [TpchQuery::Q3, TpchQuery::Q8] {
+        let got = xdb.submit(q.sql()).unwrap().relation;
+        assert!(got.same_bag(&oracle(q.sql())), "{} diverged", q.name());
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests on the SQL frontend: rendering and re-parsing an
+//! expression (or a whole SELECT) is the identity. This is the load-bearing
+//! invariant behind delegation-by-query-rewriting.
+
+use proptest::prelude::*;
+use xdb::sql::ast::{BinaryOp, DateField, Expr, IntervalUnit, UnaryOp};
+use xdb::sql::display::{render_expr_string, Dialect};
+use xdb::sql::value::Value;
+use xdb::sql::{parse_expr, Dialect as D2};
+
+fn literal() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        any::<i32>().prop_map(|i| Expr::Literal(Value::Int(i as i64))),
+        (-400i32..400, 0u8..4).prop_map(|(n, q)| {
+            Expr::Literal(Value::Float(n as f64 + q as f64 * 0.25))
+        }),
+        "[a-zA-Z0-9 '%_]{0,12}".prop_map(|s| Expr::Literal(Value::str(s))),
+        (1990i32..2000, 1u32..13, 1u32..28).prop_map(|(y, m, d)| {
+            Expr::Literal(Value::Date(xdb::sql::value::date::days_from_ymd(y, m, d)))
+        }),
+        Just(Expr::Literal(Value::Bool(true))),
+        Just(Expr::Literal(Value::Bool(false))),
+        Just(Expr::Literal(Value::Null)),
+    ]
+}
+
+fn column() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        "[a-z][a-z0-9_]{0,8}".prop_map(Expr::col),
+        ("[a-z][a-z0-9]{0,4}", "[a-z][a-z0-9_]{0,8}")
+            .prop_map(|(q, n)| Expr::qcol(q, n)),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![literal(), column()];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinaryOp::Plus),
+                    Just(BinaryOp::Minus),
+                    Just(BinaryOp::Mul),
+                    Just(BinaryOp::Div),
+                    Just(BinaryOp::Mod),
+                    Just(BinaryOp::Eq),
+                    Just(BinaryOp::NotEq),
+                    Just(BinaryOp::Lt),
+                    Just(BinaryOp::LtEq),
+                    Just(BinaryOp::Gt),
+                    Just(BinaryOp::GtEq),
+                    Just(BinaryOp::And),
+                    Just(BinaryOp::Or),
+                    Just(BinaryOp::Concat),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::binary(op, l, r)),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e),
+            }),
+            (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
+                |(e, lo, hi, negated)| Expr::Between {
+                    expr: Box::new(e),
+                    low: Box::new(lo),
+                    high: Box::new(hi),
+                    negated,
+                }
+            ),
+            (inner.clone(), "[a-z%_]{0,8}", any::<bool>()).prop_map(
+                |(e, pattern, negated)| Expr::Like {
+                    expr: Box::new(e),
+                    pattern,
+                    negated,
+                }
+            ),
+            (
+                inner.clone(),
+                prop::collection::vec(inner.clone(), 1..4),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated,
+                }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated,
+            }),
+            (
+                prop::collection::vec((inner.clone(), inner.clone()), 1..3),
+                prop::option::of(inner.clone())
+            )
+                .prop_map(|(branches, else_expr)| Expr::Case {
+                    operand: None,
+                    branches,
+                    else_expr: else_expr.map(Box::new),
+                }),
+            (
+                prop_oneof![
+                    Just(DateField::Year),
+                    Just(DateField::Month),
+                    Just(DateField::Day)
+                ],
+                inner.clone()
+            )
+                .prop_map(|(field, e)| Expr::Extract {
+                    field,
+                    expr: Box::new(e),
+                }),
+            (
+                inner,
+                (1i64..40),
+                prop_oneof![
+                    Just(IntervalUnit::Year),
+                    Just(IntervalUnit::Month),
+                    Just(IntervalUnit::Day)
+                ]
+            )
+                .prop_map(|(e, n, unit)| Expr::binary(
+                    BinaryOp::Plus,
+                    e,
+                    Expr::Interval { n, unit }
+                )),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn expr_roundtrips_through_sql(e in arb_expr()) {
+        let sql = render_expr_string(&e, Dialect::Generic);
+        let reparsed = parse_expr(&sql)
+            .unwrap_or_else(|err| panic!("could not re-parse {sql:?}: {err}"));
+        prop_assert_eq!(&reparsed, &e, "sql was {}", sql);
+    }
+
+    #[test]
+    fn expr_roundtrips_in_every_dialect(e in arb_expr()) {
+        for d in [D2::Generic, D2::PostgresLike, D2::MariaDbLike, D2::HiveLike] {
+            let sql = render_expr_string(&e, d);
+            let reparsed = parse_expr(&sql)
+                .unwrap_or_else(|err| panic!("could not re-parse {sql:?} in {d:?}: {err}"));
+            prop_assert_eq!(&reparsed, &e, "dialect {:?}, sql {}", d, sql);
+        }
+    }
+
+    #[test]
+    fn conjunct_split_and_rejoin_is_identity(parts in prop::collection::vec(arb_expr(), 1..5)) {
+        // Filter out AND at the top of parts (they'd flatten differently).
+        let parts: Vec<Expr> = parts
+            .into_iter()
+            .filter(|p| !matches!(p, Expr::Binary { op: BinaryOp::And, .. }))
+            .collect();
+        prop_assume!(!parts.is_empty());
+        let joined = Expr::conjoin(parts.clone()).unwrap();
+        let split: Vec<Expr> = joined.into_conjuncts();
+        prop_assert_eq!(split, parts);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests on the timing composition model: the documented
+//! semantics of pipelined vs materialized dataflow must hold for arbitrary
+//! edge configurations.
+
+use proptest::prelude::*;
+use xdb::net::{compose_finish, mediator_finish, EdgeTiming, Movement};
+
+fn arb_edge() -> impl Strategy<Value = EdgeTiming> {
+    (
+        0.0f64..5000.0,
+        0.0f64..2000.0,
+        0.0f64..500.0,
+        any::<bool>(),
+    )
+        .prop_map(|(producer, transfer, import, implicit)| EdgeTiming {
+            producer_finish_ms: producer,
+            transfer_ms: transfer,
+            import_ms: import,
+            movement: if implicit {
+                Movement::Implicit
+            } else {
+                Movement::Explicit
+            },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn finish_dominates_every_component(
+        startup in 0.0f64..100.0,
+        work in 0.0f64..2000.0,
+        edges in prop::collection::vec(arb_edge(), 0..6),
+    ) {
+        let finish = compose_finish(startup, work, &edges);
+        // Never faster than doing the local work alone.
+        prop_assert!(finish >= startup + work - 1e-9);
+        // Never faster than any upstream producer.
+        for e in &edges {
+            prop_assert!(
+                finish >= e.producer_finish_ms - 1e-9,
+                "finish {} < producer {}",
+                finish,
+                e.producer_finish_ms
+            );
+        }
+    }
+
+    #[test]
+    fn full_serialization_never_beats_full_pipelining(
+        startup in 0.0f64..100.0,
+        work in 0.0f64..2000.0,
+        edges in prop::collection::vec(arb_edge(), 1..6),
+    ) {
+        // Starting from a fully pipelined configuration, materializing
+        // every edge can only delay completion (up to the per-edge
+        // consumer-drain constant). Note this does NOT hold for *mixed*
+        // configurations: an explicit edge elsewhere can make
+        // materializing a pipelined input profitable by overlapping the
+        // transfers — which is exactly why Equation 1 must choose per
+        // edge.
+        let all_implicit: Vec<EdgeTiming> = edges
+            .iter()
+            .map(|e| EdgeTiming {
+                movement: Movement::Implicit,
+                import_ms: 0.0,
+                ..*e
+            })
+            .collect();
+        let all_explicit: Vec<EdgeTiming> = edges
+            .iter()
+            .map(|e| EdgeTiming {
+                movement: Movement::Explicit,
+                import_ms: 0.0,
+                ..*e
+            })
+            .collect();
+        let pipelined = compose_finish(startup, work, &all_implicit);
+        let serialized = compose_finish(startup, work, &all_explicit);
+        let slack = xdb::net::params::PIPELINE_DRAIN_MS * edges.len() as f64;
+        prop_assert!(
+            serialized >= pipelined - slack - 1e-9,
+            "{serialized} < {pipelined}"
+        );
+    }
+
+    #[test]
+    fn monotone_in_all_inputs(
+        startup in 0.0f64..100.0,
+        work in 0.0f64..2000.0,
+        edges in prop::collection::vec(arb_edge(), 1..5),
+        bump in 1.0f64..500.0,
+        which in 0usize..5,
+    ) {
+        let base = compose_finish(startup, work, &edges);
+        // Bump one edge's producer time.
+        let mut bumped = edges.clone();
+        let i = which % edges.len();
+        bumped[i].producer_finish_ms += bump;
+        prop_assert!(compose_finish(startup, work, &bumped) >= base - 1e-9);
+        // Bump local work.
+        prop_assert!(compose_finish(startup, work + bump, &edges) >= base - 1e-9);
+        // Bump startup.
+        prop_assert!(compose_finish(startup + bump, work, &edges) >= base - 1e-9);
+    }
+
+    #[test]
+    fn mediator_waits_for_slowest_fetch(
+        startup in 0.0f64..100.0,
+        work in 0.0f64..2000.0,
+        fetches in prop::collection::vec((0.0f64..3000.0, 0.0f64..1000.0), 0..6),
+    ) {
+        let total = mediator_finish(startup, work, &fetches);
+        prop_assert!(total >= startup + work - 1e-9);
+        for (f, x) in &fetches {
+            prop_assert!(total >= f + x - 1e-9);
+        }
+        // Removing a fetch never slows the mediator down.
+        if !fetches.is_empty() {
+            let fewer = &fetches[..fetches.len() - 1];
+            prop_assert!(mediator_finish(startup, work, fewer) <= total + 1e-9);
+        }
+    }
+}

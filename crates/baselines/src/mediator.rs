@@ -13,7 +13,7 @@
 use xdb_core::annotate::{AnnotateOptions, Annotator, PlacementPolicy};
 use xdb_core::global::GlobalCatalog;
 use xdb_core::plan::{placeholder_name, DelegationPlan};
-use xdb_engine::cluster::Cluster;
+use xdb_engine::cluster::{Cluster, ScopedCluster};
 use xdb_engine::error::{EngineError, Result};
 use xdb_engine::exec::{Execution, MapResolver};
 use xdb_engine::profile::EngineProfile;
@@ -155,36 +155,67 @@ impl<'a> Mediator<'a> {
         let plan = self.decompose(sql)?;
         let root = plan.task(plan.root);
 
-        // 1. Push the sub-queries down and fetch their results.
+        // 1. Push the sub-queries down and fetch their results. The
+        // fetches are independent leaf queries, so they run concurrently —
+        // one thread per fragment, each recording into a scratch ledger —
+        // and are merged back in topographic order so the ledger and the
+        // simulated accounting are identical to a sequential pass.
         let mut fetched = MapResolver::new();
         let mut fetches: Vec<(f64, f64)> = Vec::new();
         let mut fetch_bytes = 0u64;
         let mut fetch_rows = 0u64;
         let mut subqueries = 0usize;
-        for id in plan.topo_order() {
-            let task = plan.task(id);
-            if id == plan.root {
-                continue;
-            }
-            let dialect = self.cluster.engine(task.dbms.as_str())?.profile.dialect;
-            let stmt = plan_to_select(&task.plan)?;
-            let task_sql = render_select_string(&stmt, dialect);
-            let (rel, report) = self.cluster.query(task.dbms.as_str(), &task_sql)?;
+        let leaf_ids: Vec<usize> = plan
+            .topo_order()
+            .into_iter()
+            .filter(|id| *id != plan.root)
+            .collect();
+        let cluster = self.cluster;
+        let fragments: Vec<Result<_>> = std::thread::scope(|s| {
+            let handles: Vec<_> = leaf_ids
+                .iter()
+                .map(|&id| {
+                    let task = plan.task(id);
+                    let config = &self.config;
+                    s.spawn(move || {
+                        let dialect = cluster.engine(task.dbms.as_str())?.profile.dialect;
+                        let stmt = plan_to_select(&task.plan)?;
+                        let task_sql = render_select_string(&stmt, dialect);
+                        let scoped = ScopedCluster::new(cluster);
+                        let outcome = cluster.with_step_lock(task.dbms.as_str(), || {
+                            scoped.execute(task.dbms.as_str(), &task_sql)
+                        })?;
+                        let rel = outcome.relation.ok_or_else(|| {
+                            EngineError::Execution("sub-query returned no relation".into())
+                        })?;
+                        let bytes = rel.wire_bytes();
+                        scoped.ledger.record(
+                            &task.dbms,
+                            &config.node,
+                            bytes,
+                            rel.len() as u64,
+                            Purpose::SubqueryResult,
+                        );
+                        let transfer = cluster.topology.transfer_ms(
+                            &task.dbms,
+                            &config.node,
+                            bytes,
+                            config.protocol_overhead,
+                        );
+                        Ok((rel, outcome.report.finish_ms, transfer, scoped.ledger))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fragment fetch thread panicked"))
+                .collect()
+        });
+        for (id, fragment) in leaf_ids.into_iter().zip(fragments) {
+            let (rel, finish_ms, transfer, ledger) = fragment?;
+            self.cluster.ledger.absorb(&ledger);
             let bytes = rel.wire_bytes();
-            self.cluster.ledger.record(
-                task.dbms.clone(),
-                self.config.node.clone(),
-                bytes,
-                rel.len() as u64,
-                Purpose::SubqueryResult,
-            );
-            let transfer = self.cluster.topology.transfer_ms(
-                &task.dbms,
-                &self.config.node,
-                bytes,
-                self.config.protocol_overhead,
-            );
-            fetches.push((report.finish_ms, transfer));
+            fetches.push((finish_ms, transfer));
             fetch_bytes += bytes;
             fetch_rows += rel.len() as u64;
             subqueries += 1;
@@ -202,8 +233,8 @@ impl<'a> Mediator<'a> {
                 .query(root.dbms.as_str(), &render_select_string(&stmt, dialect))?;
             let bytes = rel.wire_bytes();
             self.cluster.ledger.record(
-                root.dbms.clone(),
-                self.config.node.clone(),
+                &root.dbms,
+                &self.config.node,
                 bytes,
                 rel.len() as u64,
                 Purpose::SubqueryResult,
@@ -239,8 +270,8 @@ impl<'a> Mediator<'a> {
                     / self.config.workers as f64) as u64;
             for w in 1..self.config.workers {
                 self.cluster.ledger.record(
-                    self.config.node.clone(),
-                    NodeId::new(format!("{}-w{w}", self.config.node)),
+                    &self.config.node,
+                    &NodeId::new(format!("{}-w{w}", self.config.node)),
                     exchange_bytes / (self.config.workers as u64 - 1).max(1),
                     0,
                     Purpose::WorkerExchange,

@@ -111,15 +111,15 @@ impl<'a> Sclera<'a> {
                 let bytes = rel.wire_bytes();
                 let producer = &plan.task(edge.from).dbms;
                 self.cluster.ledger.record(
-                    producer.clone(),
-                    self.mediator.clone(),
+                    producer,
+                    &self.mediator,
                     bytes,
                     rel.len() as u64,
                     Purpose::Materialization,
                 );
                 self.cluster.ledger.record(
-                    self.mediator.clone(),
-                    task.dbms.clone(),
+                    &self.mediator,
+                    &task.dbms,
                     bytes,
                     rel.len() as u64,
                     Purpose::Materialization,

@@ -59,9 +59,18 @@ pub fn localized_exec_ms(sf: f64, sql: &str) -> Result<f64> {
 }
 
 /// Run XDB on an env; returns (exec_ms, total_ms, moved_bytes).
+///
+/// Set `XDB_SEQUENTIAL=1` to fall back to the sequential task executor —
+/// simulated results are identical either way; only the reproduction's own
+/// wall clock changes.
 pub fn run_xdb(env: &Env, sql: &str) -> Result<(f64, f64, u64)> {
     env.cluster.ledger.clear();
-    let xdb = Xdb::new(&env.cluster, &env.catalog).with_client_node(CLOUD);
+    let xdb = Xdb::new(&env.cluster, &env.catalog)
+        .with_client_node(CLOUD)
+        .with_options(XdbOptions {
+            parallel_execution: std::env::var_os("XDB_SEQUENTIAL").is_none(),
+            ..Default::default()
+        });
     let out = xdb.submit(sql)?;
     let moved = env.cluster.ledger.bytes_for(Purpose::InterDbmsPipeline)
         + env.cluster.ledger.bytes_for(Purpose::Materialization);

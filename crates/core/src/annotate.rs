@@ -10,6 +10,7 @@
 //! movement type per moved input, and each moved input is *cut* into its
 //! own task, leaving a `?` placeholder (dummy operator) behind.
 
+use crate::consult_cache::ConsultReply;
 use crate::cost::{decide_placement, InputSide};
 use crate::global::GlobalCatalog;
 use crate::plan::{placeholder_alias, placeholder_name, DelegationPlan, Edge, Task};
@@ -17,10 +18,12 @@ use std::collections::HashMap;
 use xdb_engine::cluster::Cluster;
 use xdb_engine::error::{EngineError, Result};
 use xdb_net::{Movement, NodeId};
-use xdb_sql::algebra::{LogicalPlan, PlanSchema};
+use xdb_sql::algebra::{plan_to_select, LogicalPlan, PlanSchema};
 use xdb_sql::ast::Expr;
+use xdb_sql::display::render_select_string;
 use xdb_sql::stats::Estimator;
 use xdb_sql::value::DataType;
+use xdb_sql::Dialect;
 
 /// Where cross-database operators are placed.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -58,6 +61,10 @@ pub struct AnnotateOptions {
     /// operators are only placed on listed nodes; leaf tasks still run
     /// where their tables live.
     pub allowed_placements: Option<Vec<NodeId>>,
+    /// Bypass the consultation cache: every candidate evaluation of every
+    /// cross-database operator is charged as a fresh consulting
+    /// round-trip, as if the middleware never memoized probe answers.
+    pub no_consult_cache: bool,
 }
 
 /// Annotation outcome: the delegation plan plus consulting accounting.
@@ -401,13 +408,56 @@ impl<'a> Annotator<'a> {
                             };
                         }
                         let cluster = self.cluster;
-                        let profiles = |n: &NodeId| -> xdb_engine::EngineProfile {
-                            cluster
-                                .engine(n.as_str())
-                                .map(|e| e.profile.clone())
-                                .unwrap_or_else(|_| xdb_engine::EngineProfile::postgres())
+                        let catalog = self.catalog;
+                        // Canonical probe text: the sub-query this
+                        // EXPLAIN-style probe ships to each candidate,
+                        // rendered dialect-neutrally so equal sub-plans
+                        // share one cache entry.
+                        let probe_sql = match plan_to_select(&probe) {
+                            Ok(stmt) => render_select_string(&stmt, Dialect::Generic),
+                            Err(_) => probe.tree_string(),
                         };
-                        decide_placement(
+                        let use_cache = !self.options.no_consult_cache;
+                        let mut profile_map: HashMap<NodeId, xdb_engine::EngineProfile> =
+                            HashMap::new();
+                        for cand in &candidates {
+                            let Ok(engine) = cluster.engine(cand.as_str()) else {
+                                continue;
+                            };
+                            let profile = if use_cache {
+                                let generation = engine.ddl_generation();
+                                let cache = catalog.consult_cache();
+                                match cache.lookup(cand, &probe_sql, generation) {
+                                    Some(ConsultReply::Explain(p)) => p,
+                                    _ => {
+                                        // One real round-trip per candidate;
+                                        // the memoized answer serves every
+                                        // later evaluation of this probe.
+                                        self.consults += 1;
+                                        let p = engine.profile.clone();
+                                        cache.store(
+                                            cand,
+                                            &probe_sql,
+                                            generation,
+                                            ConsultReply::Explain(p.clone()),
+                                        );
+                                        p
+                                    }
+                                }
+                            } else {
+                                engine.profile.clone()
+                            };
+                            profile_map.insert(cand.clone(), profile);
+                        }
+                        let profiles = |n: &NodeId| -> xdb_engine::EngineProfile {
+                            profile_map.get(n).cloned().unwrap_or_else(|| {
+                                cluster
+                                    .engine(n.as_str())
+                                    .map(|e| e.profile.clone())
+                                    .unwrap_or_else(|_| xdb_engine::EngineProfile::postgres())
+                            })
+                        };
+                        let placement = decide_placement(
                             &self.cluster.topology,
                             &profiles,
                             &l_side,
@@ -415,7 +465,11 @@ impl<'a> Annotator<'a> {
                             out_rows,
                             &candidates,
                             self.options.force_movement,
-                        )
+                        );
+                        if !use_cache {
+                            self.consults += placement.consults;
+                        }
+                        placement
                     }
                     // ScleraDB-style heuristic: the left input's home
                     // wins; the moved side is materialized.
@@ -439,7 +493,6 @@ impl<'a> Annotator<'a> {
                         consults: 0,
                     },
                 };
-                self.consults += placement.consults;
 
                 let mut renames: Vec<Rename> = Vec::new();
                 renames.extend(l.renames.iter().cloned());
@@ -746,8 +799,43 @@ mod tests {
             .collect();
         hosts.sort();
         assert_eq!(hosts, vec!["cdb", "hdb", "vdb"]);
-        // Rule-4 consulting happened (2 cross-db joins × 4 options).
-        assert_eq!(ann.consults, 8);
+        // Rule-4 consulting happened: one memoized probe per candidate of
+        // each of the 2 cross-db joins (2 × 2 candidates).
+        assert_eq!(ann.consults, 4);
+    }
+
+    #[test]
+    fn consult_cache_halves_probe_roundtrips() {
+        let (c, g) = vaccination_cluster();
+        let plan = bind_select(&parse_select(EXAMPLE_QUERY).unwrap(), &g).unwrap();
+        let plan = optimize(plan, &g, OptimizeOptions::default());
+        // Without memoization every (candidate, movement) option of the 2
+        // cross-db joins is a fresh round-trip: 2 joins × 4 options.
+        let uncached = Annotator::new(
+            &g,
+            &c,
+            AnnotateOptions {
+                no_consult_cache: true,
+                ..Default::default()
+            },
+        )
+        .run(&plan)
+        .unwrap();
+        assert_eq!(uncached.consults, 8);
+        let cached = Annotator::new(&g, &c, AnnotateOptions::default())
+            .run(&plan)
+            .unwrap();
+        assert_eq!(cached.consults, 4);
+        // Same placements either way: the cache changes accounting, never
+        // the plan.
+        assert_eq!(uncached.plan.describe(), cached.plan.describe());
+        // Re-annotating the same query is free: every probe hits.
+        let hits_before = g.consult_cache().hits();
+        let again = Annotator::new(&g, &c, AnnotateOptions::default())
+            .run(&plan)
+            .unwrap();
+        assert_eq!(again.consults, 0);
+        assert!(g.consult_cache().hits() > hits_before);
     }
 
     #[test]
@@ -848,21 +936,26 @@ mod tests {
 
     #[test]
     fn no_pruning_widens_search() {
+        // Separate federations per run: the consultation cache would
+        // otherwise let the second annotation ride on the first's probes.
         let (c, g) = vaccination_cluster();
         let plan = bind_select(&parse_select(EXAMPLE_QUERY).unwrap(), &g).unwrap();
         let plan = optimize(plan, &g, OptimizeOptions::default());
         let pruned = Annotator::new(&g, &c, AnnotateOptions::default())
             .run(&plan)
             .unwrap();
+        let (c2, g2) = vaccination_cluster();
+        let plan2 = bind_select(&parse_select(EXAMPLE_QUERY).unwrap(), &g2).unwrap();
+        let plan2 = optimize(plan2, &g2, OptimizeOptions::default());
         let full = Annotator::new(
-            &g,
-            &c,
+            &g2,
+            &c2,
             AnnotateOptions {
                 no_pruning: true,
                 ..Default::default()
             },
         )
-        .run(&plan)
+        .run(&plan2)
         .unwrap();
         assert!(full.consults > pruned.consults);
     }

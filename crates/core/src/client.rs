@@ -12,7 +12,9 @@
 //! decentralized execution).
 
 use crate::annotate::{AnnotateOptions, Annotator};
-use crate::delegation::{build_script, run_cleanup, run_script, DelegationScript};
+use crate::delegation::{
+    build_script, run_cleanup, run_script, run_script_parallel, DelegationScript,
+};
 use crate::global::GlobalCatalog;
 use crate::plan::DelegationPlan;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -37,6 +39,11 @@ pub struct PhaseBreakdown {
     pub ann_ms: f64,
     /// Delegation DDLs + decentralized execution.
     pub exec_ms: f64,
+    /// Consultation-cache hits during this query's preparation and
+    /// annotation (probes answered without a round-trip).
+    pub consult_cache_hits: u64,
+    /// Consultation-cache misses (probes that did pay a round-trip).
+    pub consult_cache_misses: u64,
 }
 
 impl PhaseBreakdown {
@@ -61,7 +68,7 @@ pub struct QueryOutcome {
 }
 
 /// Middleware configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct XdbOptions {
     pub annotate: AnnotateOptions,
     /// Disable join reordering in logical optimization (ablation).
@@ -75,6 +82,24 @@ pub struct XdbOptions {
     /// Keep the short-lived relations after execution (debugging /
     /// plan-explorer).
     pub keep_objects: bool,
+    /// Execute independent delegation tasks concurrently across engine
+    /// nodes. Observationally equivalent to the sequential executor
+    /// (results, ledger, simulated timings); off switches back to the
+    /// strictly sequential step loop.
+    pub parallel_execution: bool,
+}
+
+impl Default for XdbOptions {
+    fn default() -> XdbOptions {
+        XdbOptions {
+            annotate: AnnotateOptions::default(),
+            no_join_reorder: false,
+            no_column_pruning: false,
+            bushy_joins: false,
+            keep_objects: false,
+            parallel_execution: true,
+        }
+    }
 }
 
 /// Per-logical-plan-operator abstraction of the optimizer's own CPU time
@@ -139,16 +164,23 @@ impl<'a> Xdb<'a> {
         };
 
         // prep: parse + consult metadata/statistics for every referenced
-        // table. Statistics are cached across queries, but each query
-        // still performs one metadata round-trip per referenced table
-        // (schema validation against autonomous DBMSes).
+        // table. Probes answered by the consultation cache cost nothing;
+        // only misses pay the metadata round-trip (the cache is dropped
+        // per node whenever a DDL runs against it).
+        let cache = self.catalog.consult_cache();
+        let (hits_before, misses_before) = (cache.hits(), cache.misses());
         let mut tables = Vec::new();
         collect_tables(&select.from, &mut tables);
+        let mut prep_fetches = 0u64;
         for t in &tables {
             // Unknown names surface at bind; consultation is best-effort.
-            let _ = self.catalog.consult(self.cluster, t);
+            if let Ok(hit) = self.catalog.consult(self.cluster, t) {
+                if !hit {
+                    prep_fetches += 1;
+                }
+            }
         }
-        let prep_ms = PREP_PARSE_MS + tables.len() as f64 * params::METADATA_FETCH_MS;
+        let prep_ms = PREP_PARSE_MS + prep_fetches as f64 * params::METADATA_FETCH_MS;
 
         // lopt.
         let bound = bind_select(&select, self.catalog)?;
@@ -185,6 +217,8 @@ impl<'a> Xdb<'a> {
                 lopt_ms,
                 ann_ms,
                 exec_ms: 0.0,
+                consult_cache_hits: cache.hits() - hits_before,
+                consult_cache_misses: cache.misses() - misses_before,
             },
             annotation.consults,
         ))
@@ -224,14 +258,18 @@ impl<'a> Xdb<'a> {
         // "lightweight control messages").
         for step in &script.steps {
             self.cluster.ledger.record(
-                self.client_node.clone(),
-                step.node.clone(),
+                &self.client_node,
+                &step.node,
                 step.sql.len() as u64,
                 0,
                 Purpose::ControlMessage,
             );
         }
-        let exec = run_script(self.cluster, &delegation, &script);
+        let exec = if self.options.parallel_execution {
+            run_script_parallel(self.cluster, &delegation, &script)
+        } else {
+            run_script(self.cluster, &delegation, &script)
+        };
         let outcome = match exec {
             Ok(o) => o,
             Err(e) => {
@@ -242,8 +280,8 @@ impl<'a> Xdb<'a> {
         };
         // The final result travels from the root DBMS to the client.
         self.cluster.ledger.record(
-            script.root_node.clone(),
-            self.client_node.clone(),
+            &script.root_node,
+            &self.client_node,
             outcome.relation.wire_bytes(),
             outcome.relation.len() as u64,
             Purpose::FinalResult,
@@ -303,7 +341,11 @@ mod tests {
         assert!(outcome.breakdown.lopt_ms > 0.0);
         assert!(outcome.breakdown.ann_ms > 0.0);
         assert!(outcome.breakdown.exec_ms > 0.0);
-        assert_eq!(outcome.consult_roundtrips, 8);
+        assert_eq!(outcome.consult_roundtrips, 4);
+        // The 4 annotation probes miss (first sighting of this query);
+        // the 4 metadata probes hit the cache warmed by scenario::build.
+        assert_eq!(outcome.breakdown.consult_cache_misses, 4);
+        assert_eq!(outcome.breakdown.consult_cache_hits, 4);
         assert!(outcome.ddl_count >= outcome.delegation.tasks.len());
         // Short-lived objects were dropped.
         for node in ["cdb", "vdb", "hdb"] {
@@ -407,6 +449,7 @@ mod tests {
             lopt_ms: 2.0,
             ann_ms: 3.0,
             exec_ms: 4.0,
+            ..Default::default()
         };
         assert_eq!(b.total_ms(), 10.0);
         assert_eq!(b.overhead_ms(), 6.0);

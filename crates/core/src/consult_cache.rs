@@ -1,0 +1,134 @@
+//! Consultation cache: memoized consulting round-trips (Section IV-B2).
+//!
+//! Consulting an autonomous DBMS — a metadata probe during preparation or
+//! an EXPLAIN-style probe while costing candidate placements — is a
+//! network round-trip ([`xdb_net::params::CONSULT_ROUNDTRIP_MS`]). The
+//! answers only change when that DBMS's catalog changes, so the middleware
+//! caches them keyed by `(node, canonical rendered sub-query)` and
+//! validates every entry against the node's DDL generation: *any* DDL
+//! executed against a node invalidates every probe cached for it.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use xdb_engine::profile::EngineProfile;
+use xdb_net::NodeId;
+
+/// What a cached consultation round-trip carried back.
+#[derive(Debug, Clone)]
+pub enum ConsultReply {
+    /// Metadata/statistics probe (schema validation + optimizer stats).
+    Stats,
+    /// EXPLAIN-style probe of a candidate sub-query placement: the
+    /// engine's execution profile as observed at probe time.
+    Explain(EngineProfile),
+}
+
+/// Thread-safe consultation cache with hit/miss accounting.
+#[derive(Debug, Default)]
+pub struct ConsultCache {
+    entries: Mutex<HashMap<(NodeId, String), (u64, ConsultReply)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ConsultCache {
+    pub fn new() -> ConsultCache {
+        ConsultCache::default()
+    }
+
+    /// Look up a probe against `node`. A hit requires the stored entry to
+    /// carry the node's *current* DDL generation; a stale entry counts as
+    /// a miss (and will be overwritten by the following [`store`]).
+    ///
+    /// [`store`]: ConsultCache::store
+    pub fn lookup(&self, node: &NodeId, probe: &str, generation: u64) -> Option<ConsultReply> {
+        let entries = self.entries.lock();
+        match entries.get(&(node.clone(), probe.to_string())) {
+            Some((stored, reply)) if *stored == generation => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(reply.clone())
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Record the answer of a consultation performed at `generation`.
+    pub fn store(&self, node: &NodeId, probe: &str, generation: u64, reply: ConsultReply) {
+        self.entries
+            .lock()
+            .insert((node.clone(), probe.to_string()), (generation, reply));
+    }
+
+    /// Whether a *valid* entry exists, without touching the counters.
+    pub fn contains(&self, node: &NodeId, probe: &str, generation: u64) -> bool {
+        matches!(
+            self.entries.lock().get(&(node.clone(), probe.to_string())),
+            Some((stored, _)) if *stored == generation
+        )
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_requires_matching_generation() {
+        let cache = ConsultCache::new();
+        let node = NodeId::new("db1");
+        assert!(cache.lookup(&node, "SELECT 1", 0).is_none());
+        cache.store(&node, "SELECT 1", 0, ConsultReply::Stats);
+        assert!(cache.lookup(&node, "SELECT 1", 0).is_some());
+        // A DDL bumped the node's generation: the entry is stale.
+        assert!(cache.lookup(&node, "SELECT 1", 1).is_none());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn entries_are_per_node_and_per_probe() {
+        let cache = ConsultCache::new();
+        cache.store(&NodeId::new("db1"), "q", 0, ConsultReply::Stats);
+        assert!(cache.lookup(&NodeId::new("db2"), "q", 0).is_none());
+        assert!(cache.lookup(&NodeId::new("db1"), "other", 0).is_none());
+        assert!(cache.lookup(&NodeId::new("db1"), "q", 0).is_some());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets_counters() {
+        let cache = ConsultCache::new();
+        cache.store(&NodeId::new("db1"), "q", 0, ConsultReply::Stats);
+        cache.lookup(&NodeId::new("db1"), "q", 0);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 0);
+    }
+}

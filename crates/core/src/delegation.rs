@@ -17,9 +17,10 @@
 
 use crate::plan::{placeholder_name, DelegationPlan};
 use std::collections::HashMap;
-use xdb_engine::cluster::Cluster;
+use xdb_engine::cluster::{Cluster, ScopedCluster};
 use xdb_engine::error::{EngineError, Result};
 use xdb_engine::relation::Relation;
+use xdb_net::Ledger;
 use xdb_net::{params, Movement, NodeId};
 use xdb_sql::algebra::{plan_to_select, LogicalPlan};
 use xdb_sql::ast::{ColumnDef, Statement};
@@ -267,28 +268,6 @@ pub fn run_script(
     let mut ddl_count = 0usize;
     // (from, to) -> absolute finish time of the materialization.
     let mut mat_finish: HashMap<(usize, usize), f64> = HashMap::new();
-    // Cache of task ready-times (all explicit upstream materializations
-    // complete).
-    fn ready(
-        plan: &DelegationPlan,
-        task: usize,
-        mat_finish: &HashMap<(usize, usize), f64>,
-        memo: &mut HashMap<usize, f64>,
-    ) -> f64 {
-        if let Some(v) = memo.get(&task) {
-            return *v;
-        }
-        let mut t = 0.0f64;
-        for e in plan.in_edges(task) {
-            let upstream = match e.movement {
-                Movement::Explicit => *mat_finish.get(&(e.from, e.to)).unwrap_or(&0.0),
-                Movement::Implicit => ready(plan, e.from, mat_finish, memo),
-            };
-            t = t.max(upstream);
-        }
-        memo.insert(task, t);
-        t
-    }
 
     for step in &script.steps {
         let outcome = cluster.execute(step.node.as_str(), &step.sql)?;
@@ -303,6 +282,174 @@ pub fn run_script(
             mat_finish.insert((from, step.task), base + outcome.report.finish_ms);
         }
     }
+    let ddl_ms = ddl_count as f64 * params::DDL_ROUNDTRIP_MS;
+
+    // The XDB query triggers the in-situ pipeline.
+    let (relation, report) = cluster.query(script.root_node.as_str(), &script.xdb_query)?;
+    let mut memo = HashMap::new();
+    let exec_ms = ddl_ms + ready(plan, plan.root, &mat_finish, &mut memo) + report.finish_ms;
+    Ok(ExecutionOutcome {
+        relation,
+        exec_ms,
+        ddl_ms,
+        ddl_count,
+    })
+}
+
+/// Ready-time of a task: the instant all of its explicit upstream
+/// materializations have finished (implicit edges chain through their
+/// producers).
+fn ready(
+    plan: &DelegationPlan,
+    task: usize,
+    mat_finish: &HashMap<(usize, usize), f64>,
+    memo: &mut HashMap<usize, f64>,
+) -> f64 {
+    if let Some(v) = memo.get(&task) {
+        return *v;
+    }
+    let mut t = 0.0f64;
+    for e in plan.in_edges(task) {
+        let upstream = match e.movement {
+            Movement::Explicit => *mat_finish.get(&(e.from, e.to)).unwrap_or(&0.0),
+            Movement::Implicit => ready(plan, e.from, mat_finish, memo),
+        };
+        t = t.max(upstream);
+    }
+    memo.insert(task, t);
+    t
+}
+
+/// What one parallel task group hands back: its scratch ledger plus the
+/// raw (un-composed) finish time of every materialization it ran.
+struct GroupRun {
+    ledger: Ledger,
+    mats: Vec<((usize, usize), f64)>,
+}
+
+/// Deploy and execute a delegation script with independent tasks running
+/// concurrently.
+///
+/// Tasks are scheduled in dependency waves: a task's wave is one past the
+/// deepest of its producers, so by the time a group's thread starts, every
+/// relation its DDLs pull through already exists. Each group records
+/// transfers into a private scratch [`Ledger`] and reports the raw finish
+/// time of each materialization; after the last wave the scratch ledgers
+/// are absorbed in *script order* and the simulated timeline is replayed
+/// with the same `ready()` composition the sequential executor uses —
+/// making results, ledger contents, and simulated timings bit-identical to
+/// [`run_script`].
+pub fn run_script_parallel(
+    cluster: &Cluster,
+    plan: &DelegationPlan,
+    script: &DelegationScript,
+) -> Result<ExecutionOutcome> {
+    // Contiguous runs of steps belonging to one task, in script order.
+    let mut groups: Vec<(usize, Vec<&DdlStep>)> = Vec::new();
+    for step in &script.steps {
+        match groups.last_mut() {
+            Some((task, steps)) if *task == step.task => steps.push(step),
+            _ => groups.push((step.task, vec![step])),
+        }
+    }
+
+    // Dependency depth of each task: 1 + deepest producer (any movement —
+    // even an implicit consumer's DDLs may pull through the producer's
+    // view when a downstream materialization drains the pipeline).
+    let mut level: HashMap<usize, usize> = HashMap::new();
+    let mut max_level = 0usize;
+    for id in plan.topo_order() {
+        let l = plan
+            .in_edges(id)
+            .map(|e| level[&e.from])
+            .max()
+            .map_or(1, |m| m + 1);
+        max_level = max_level.max(l);
+        level.insert(id, l);
+    }
+
+    let mut ledgers: Vec<Option<Ledger>> = Vec::new();
+    ledgers.resize_with(groups.len(), || None);
+    let mut raw_finish: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut failure: Option<(usize, EngineError)> = None;
+    'waves: for wave in 1..=max_level {
+        let wave_groups: Vec<usize> = (0..groups.len())
+            .filter(|gi| level[&groups[*gi].0] == wave)
+            .collect();
+        let results: Vec<(usize, Result<GroupRun>)> = std::thread::scope(|s| {
+            let handles: Vec<_> = wave_groups
+                .iter()
+                .map(|&gi| {
+                    let steps = &groups[gi].1;
+                    s.spawn(move || {
+                        let scoped = ScopedCluster::new(cluster);
+                        let mut mats = Vec::new();
+                        for step in steps {
+                            let outcome = cluster.with_step_lock(step.node.as_str(), || {
+                                scoped.execute(step.node.as_str(), &step.sql)
+                            })?;
+                            if step.kind == DdlKind::Materialize {
+                                let from = step.edge_from.expect("materialize step has an edge");
+                                mats.push(((from, step.task), outcome.report.finish_ms));
+                            }
+                        }
+                        Ok(GroupRun {
+                            ledger: scoped.ledger,
+                            mats,
+                        })
+                    })
+                })
+                .collect();
+            wave_groups
+                .iter()
+                .zip(handles)
+                .map(|(&gi, h)| (gi, h.join().expect("task group thread panicked")))
+                .collect()
+        });
+        for (gi, res) in results {
+            match res {
+                Ok(run) => {
+                    raw_finish.extend(run.mats.iter().copied());
+                    ledgers[gi] = Some(run.ledger);
+                }
+                Err(e) => match &failure {
+                    Some((first, _)) if *first <= gi => {}
+                    _ => failure = Some((gi, e)),
+                },
+            }
+        }
+        if failure.is_some() {
+            break 'waves;
+        }
+    }
+
+    if let Some((fail_gi, e)) = failure {
+        // Keep the ledger consistent with how far execution provably got:
+        // absorb only groups strictly before the failing one in script
+        // order, then let the caller clean up.
+        for ledger in ledgers[..fail_gi].iter().flatten() {
+            cluster.ledger.absorb(ledger);
+        }
+        return Err(e);
+    }
+    for ledger in ledgers.iter().flatten() {
+        cluster.ledger.absorb(ledger);
+    }
+
+    // Replay the simulated timeline exactly as the sequential executor
+    // builds it: walk the steps in script order and compose each raw
+    // materialization time onto its producer's ready-time.
+    let mut mat_finish: HashMap<(usize, usize), f64> = HashMap::new();
+    for step in &script.steps {
+        if step.kind == DdlKind::Materialize {
+            let from = step.edge_from.expect("materialize step has an edge");
+            let finish = raw_finish[&(from, step.task)];
+            let mut memo = HashMap::new();
+            let base = ready(plan, from, &mat_finish, &mut memo);
+            mat_finish.insert((from, step.task), base + finish);
+        }
+    }
+    let ddl_count = script.steps.len();
     let ddl_ms = ddl_count as f64 * params::DDL_ROUNDTRIP_MS;
 
     // The XDB query triggers the in-situ pipeline.
@@ -428,6 +575,37 @@ mod tests {
         assert!(outcome.relation.same_bag(&expected));
         // Materialization traffic got recorded as such.
         assert!(cluster.ledger.bytes_for(Purpose::Materialization) > 0);
+    }
+
+    #[test]
+    fn parallel_executor_matches_sequential_ledger_and_timing() {
+        // The parallel scheduler promises bit-identical observable
+        // behavior: same result bag, same simulated times, and the same
+        // ledger *records in the same order* (script-order absorption).
+        for forced in [None, Some(Movement::Explicit)] {
+            let options = AnnotateOptions {
+                force_movement: forced,
+                ..Default::default()
+            };
+            let (c_seq, _, p_seq, s_seq) = delegate(scenario::EXAMPLE_QUERY, options.clone());
+            let (c_par, _, p_par, s_par) = delegate(scenario::EXAMPLE_QUERY, options);
+            let seq = run_script(&c_seq, &p_seq, &s_seq).unwrap();
+            let par = run_script_parallel(&c_par, &p_par, &s_par).unwrap();
+            assert!(par.relation.same_bag(&seq.relation));
+            assert_eq!(par.exec_ms, seq.exec_ms);
+            assert_eq!(par.ddl_ms, seq.ddl_ms);
+            assert_eq!(par.ddl_count, seq.ddl_count);
+            let seq_snap = c_seq.ledger.snapshot();
+            let par_snap = c_par.ledger.snapshot();
+            assert_eq!(seq_snap.len(), par_snap.len());
+            for (a, b) in seq_snap.iter().zip(&par_snap) {
+                assert_eq!(a.from, b.from);
+                assert_eq!(a.to, b.to);
+                assert_eq!(a.bytes, b.bytes);
+                assert_eq!(a.rows, b.rows);
+                assert_eq!(a.purpose, b.purpose);
+            }
+        }
     }
 
     #[test]

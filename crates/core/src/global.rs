@@ -2,6 +2,7 @@
 //! (Section III), plus the statistics XDB gathers by *consulting* the
 //! underlying DBMSes during query preparation.
 
+use crate::consult_cache::{ConsultCache, ConsultReply};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -38,6 +39,9 @@ pub struct GlobalCatalog {
     /// Number of metadata fetches performed (drives the `prep` phase of
     /// the Fig 15 breakdown).
     metadata_fetches: RwLock<u64>,
+    /// Memoized consulting round-trips, validated against each node's DDL
+    /// generation.
+    consult_cache: ConsultCache,
 }
 
 impl GlobalCatalog {
@@ -47,6 +51,7 @@ impl GlobalCatalog {
             stats: RwLock::new(HashMap::new()),
             placeholders: RwLock::new(HashMap::new()),
             metadata_fetches: RwLock::new(0),
+            consult_cache: ConsultCache::new(),
         }
     }
 
@@ -96,24 +101,37 @@ impl GlobalCatalog {
         v
     }
 
-    /// Consult the owning engine for statistics of `table`, caching the
-    /// answer. Each cache miss counts as one metadata fetch.
-    pub fn consult(&self, cluster: &Cluster, table: &str) -> Result<()> {
+    /// Consult the owning engine for metadata and statistics of `table`,
+    /// memoizing the round-trip in the consultation cache. Returns whether
+    /// the probe was answered from cache; each miss counts as one metadata
+    /// fetch. Any DDL executed against the owning node bumps its DDL
+    /// generation and thereby invalidates the cached probe, so the next
+    /// consultation re-fetches fresh statistics.
+    pub fn consult(&self, cluster: &Cluster, table: &str) -> Result<bool> {
         let key = table.to_ascii_lowercase();
-        if self.stats.read().contains_key(&key) {
-            return Ok(());
-        }
         let Some(gt) = self.table(&key) else {
             return Err(EngineError::Catalog(format!("unknown table {table:?}")));
         };
         let engine = cluster.engine(gt.dbms.as_str())?;
+        let generation = engine.ddl_generation();
+        let probe = format!("METADATA {key}");
+        if self.consult_cache.lookup(&gt.dbms, &probe, generation).is_some() {
+            return Ok(true);
+        }
         let consulted = match engine.consult_stats(&key) {
             Some((rows, columns)) => ConsultedStats { rows, columns },
             None => ConsultedStats::default(),
         };
         *self.metadata_fetches.write() += 1;
         self.stats.write().insert(key, consulted);
-        Ok(())
+        self.consult_cache
+            .store(&gt.dbms, &probe, generation, ConsultReply::Stats);
+        Ok(false)
+    }
+
+    /// The consultation cache shared by preparation and annotation.
+    pub fn consult_cache(&self) -> &ConsultCache {
+        &self.consult_cache
     }
 
     /// Number of metadata fetches so far.
@@ -221,14 +239,36 @@ mod tests {
         let c = cluster();
         let g = GlobalCatalog::discover(&c).unwrap();
         assert_eq!(g.table_rows("citizen"), None);
-        g.consult(&c, "citizen").unwrap();
+        assert!(!g.consult(&c, "citizen").unwrap());
         assert_eq!(g.table_rows("citizen"), Some(2.0));
         assert_eq!(g.metadata_fetches(), 1);
         // Cached: no second fetch.
-        g.consult(&c, "citizen").unwrap();
+        assert!(g.consult(&c, "citizen").unwrap());
         assert_eq!(g.metadata_fetches(), 1);
+        assert_eq!(g.consult_cache().hits(), 1);
+        assert_eq!(g.consult_cache().misses(), 1);
         let stats = g.column_stats("citizen", "age").unwrap();
         assert_eq!(stats.n_distinct, 2.0);
+    }
+
+    #[test]
+    fn consultation_cache_invalidated_by_ddl() {
+        let c = cluster();
+        let g = GlobalCatalog::discover(&c).unwrap();
+        assert!(!g.consult(&c, "citizen").unwrap());
+        assert!(g.consult(&c, "citizen").unwrap());
+        assert_eq!(g.metadata_fetches(), 1);
+        // A DDL executed against the owning node (here a CREATE TABLE AS)
+        // bumps its generation: the cached probe is dropped and the next
+        // consultation re-fetches, observing the fresh catalog.
+        c.execute("db1", "CREATE TABLE citizen_copy AS SELECT * FROM citizen")
+            .unwrap();
+        assert!(!g.consult(&c, "citizen").unwrap());
+        assert_eq!(g.metadata_fetches(), 2);
+        // DDL on an unrelated node leaves db1's entries valid.
+        c.execute("db2", "CREATE TABLE other (x BIGINT)").unwrap();
+        assert!(g.consult(&c, "citizen").unwrap());
+        assert_eq!(g.metadata_fetches(), 2);
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod annotate;
 pub mod calibration;
 pub mod characteristics;
 pub mod client;
+pub mod consult_cache;
 pub mod cost;
 pub mod delegation;
 pub mod global;
@@ -31,6 +32,9 @@ pub mod scenario;
 
 pub use annotate::{AnnotateOptions, Annotation, Annotator};
 pub use client::{PhaseBreakdown, QueryOutcome, Xdb, XdbOptions};
-pub use delegation::{build_script, run_cleanup, run_script, DelegationScript};
+pub use consult_cache::{ConsultCache, ConsultReply};
+pub use delegation::{
+    build_script, run_cleanup, run_script, run_script_parallel, DelegationScript,
+};
 pub use global::GlobalCatalog;
 pub use plan::{DelegationPlan, Edge, Task};

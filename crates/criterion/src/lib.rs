@@ -1,0 +1,253 @@
+//! Workspace-local stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the slice of the criterion API the bench targets use: `Criterion`,
+//! `benchmark_group` with `sample_size`/`warm_up_time`/`measurement_time`/
+//! `bench_function`/`finish`, a `Bencher` with `iter`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Semantics kept compatible with real criterion where it matters:
+//! * `cargo test` passes `--test` to harness-less bench binaries; in that
+//!   mode every benchmark body runs exactly once with no measurement, so
+//!   the tier-1 suite stays fast.
+//! * In bench mode each benchmark is warmed up, then timed over
+//!   `sample_size` samples; min/median/max are reported.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            test_mode: self.test_mode,
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(3),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = BenchmarkGroup {
+            name: String::new(),
+            test_mode: self.test_mode,
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(3),
+            _marker: std::marker::PhantomData,
+        };
+        g.bench_function(id, &mut f);
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    test_mode: bool,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if self.test_mode {
+            // `cargo test` smoke run: execute once, no timing.
+            let mut b = Bencher {
+                mode: Mode::Once,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("test {label} ... ok");
+            return self;
+        }
+
+        // Warm-up: also discovers how many iterations fit in a sample.
+        let mut iters_per_sample = 1u64;
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut warm_iters = 0u64;
+        let warm_start = Instant::now();
+        loop {
+            let mut b = Bencher {
+                mode: Mode::Measure { iters: 1 },
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            warm_iters += 1;
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        if per_iter > 0.0 {
+            let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+            iters_per_sample = ((budget / per_iter) as u64).clamp(1, 1_000_000);
+        }
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                mode: Mode::Measure {
+                    iters: iters_per_sample,
+                },
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let min = samples.first().copied().unwrap_or(0.0);
+        let med = samples[samples.len() / 2];
+        let max = samples.last().copied().unwrap_or(0.0);
+        println!(
+            "{label:<40} time:   [{} {} {}]",
+            fmt_time(min),
+            fmt_time(med),
+            fmt_time(max)
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.4} ns", secs * 1e9)
+    }
+}
+
+enum Mode {
+    /// `--test` smoke run: body executes once, nothing is timed.
+    Once,
+    /// Timed run: body executes `iters` times under the clock.
+    Measure { iters: u64 },
+}
+
+/// Passed to each benchmark body; times the closure given to `iter`.
+pub struct Bencher {
+    mode: Mode,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Once => {
+                std::hint::black_box(f());
+            }
+            Mode::Measure { iters } => {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                self.elapsed += start.elapsed();
+            }
+        }
+    }
+}
+
+/// Prevent the optimizer from eliding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_body() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(2));
+            g.bench_function("f", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn measure_mode_times_samples() {
+        let mut c = Criterion { test_mode: false };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut n = 0u64;
+        g.bench_function("f", |b| b.iter(|| n += 1));
+        g.finish();
+        assert!(n > 2);
+    }
+}

@@ -17,18 +17,27 @@ pub struct TableStats {
     pub columns: HashMap<String, ColumnStats>,
 }
 
-/// A stored base table. Rows are shared via `Arc` so catalog snapshots are
-/// cheap.
+/// A stored base table. The whole relation (schema + rows) is shared via
+/// `Arc`, so catalog snapshots are cheap and identity scans can hand out
+/// the stored relation without copying a single row.
 #[derive(Debug, Clone)]
 pub struct TableData {
-    pub fields: Vec<(String, DataType)>,
-    pub rows: Arc<Vec<Vec<Value>>>,
+    pub data: Arc<Relation>,
     pub stats: TableStats,
 }
 
 impl TableData {
+    pub fn fields(&self) -> &[(String, DataType)] {
+        &self.data.fields
+    }
+
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.data.rows
+    }
+
+    /// Deep copy for callers that need an owned relation.
     pub fn to_relation(&self) -> Relation {
-        Relation::new(self.fields.clone(), self.rows.as_ref().clone())
+        (*self.data).clone()
     }
 }
 
@@ -114,8 +123,7 @@ impl Catalog {
                     row_count: 0.0,
                     columns: HashMap::new(),
                 },
-                fields,
-                rows: Arc::new(Vec::new()),
+                data: Arc::new(Relation::new(fields, Vec::new())),
             }),
         )
     }
@@ -127,8 +135,7 @@ impl Catalog {
         self.insert_new(
             name,
             CatalogEntry::Table(TableData {
-                fields: rel.fields,
-                rows: Arc::new(rel.rows),
+                data: Arc::new(rel),
                 stats,
             }),
         )
@@ -143,17 +150,17 @@ impl Catalog {
             return Err(EngineError::Catalog(format!("{name:?} is not a base table")));
         };
         for r in &new_rows {
-            if r.len() != t.fields.len() {
+            if r.len() != t.data.width() {
                 return Err(EngineError::Catalog(format!(
                     "row width {} does not match table {name:?} width {}",
                     r.len(),
-                    t.fields.len()
+                    t.data.width()
                 )));
             }
         }
-        let rows = Arc::make_mut(&mut t.rows);
-        rows.extend(new_rows);
-        t.stats = compute_stats(&Relation::new(t.fields.clone(), rows.clone()));
+        let rel = Arc::make_mut(&mut t.data);
+        rel.rows.extend(new_rows);
+        t.stats = compute_stats(&t.data);
         Ok(())
     }
 
@@ -218,7 +225,7 @@ impl Catalog {
     /// Fields of any relation kind, for metadata consultation.
     pub fn relation_fields(&self, name: &str) -> Option<Vec<(String, DataType)>> {
         match self.get(name)? {
-            CatalogEntry::Table(t) => Some(t.fields.clone()),
+            CatalogEntry::Table(t) => Some(t.fields().to_vec()),
             CatalogEntry::ForeignTable { fields, .. } => Some(fields.clone()),
             CatalogEntry::View { .. } => None, // requires binding; engine handles it
         }
@@ -229,7 +236,7 @@ impl SchemaProvider for Catalog {
     fn resolve_relation(&self, name: &str) -> Option<ResolvedRelation> {
         match self.get(name)? {
             CatalogEntry::Table(t) => Some(ResolvedRelation::Base {
-                fields: t.fields.clone(),
+                fields: t.fields().to_vec(),
             }),
             CatalogEntry::ForeignTable { fields, .. } => Some(ResolvedRelation::Base {
                 fields: fields.clone(),

@@ -12,6 +12,7 @@ use crate::engine::{
 use crate::error::{EngineError, Result};
 use crate::profile::EngineProfile;
 use crate::relation::Relation;
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use xdb_net::{Ledger, NodeId, Topology};
@@ -19,6 +20,11 @@ use xdb_net::{Ledger, NodeId, Topology};
 /// A set of named engines plus network fabric and transfer accounting.
 pub struct Cluster {
     engines: HashMap<String, Arc<Engine>>,
+    /// Per-node step locks for parallel delegation: a DBMS executes one
+    /// delegated *top-level* statement at a time (nested foreign-table
+    /// fetches triggered by that statement are not re-locked, so a thread
+    /// never holds more than one node lock and cannot deadlock).
+    step_locks: HashMap<String, Mutex<()>>,
     pub topology: Topology,
     pub ledger: Ledger,
 }
@@ -27,6 +33,7 @@ impl Cluster {
     pub fn new(topology: Topology) -> Cluster {
         Cluster {
             engines: HashMap::new(),
+            step_locks: HashMap::new(),
             topology,
             ledger: Ledger::new(),
         }
@@ -45,7 +52,21 @@ impl Cluster {
         self.topology.add_node(NodeId::new(node));
         let engine = Arc::new(Engine::new(node, profile));
         self.engines.insert(node.to_string(), Arc::clone(&engine));
+        self.step_locks.insert(node.to_string(), Mutex::new(()));
         engine
+    }
+
+    /// Serialize top-level delegated statements per node: runs `f` while
+    /// holding the node's step lock. Unknown nodes fall through unlocked
+    /// (they will error when the engine is looked up).
+    pub fn with_step_lock<T>(&self, node: &str, f: impl FnOnce() -> T) -> T {
+        match self.step_locks.get(node) {
+            Some(lock) => {
+                let _guard = lock.lock();
+                f()
+            }
+            None => f(),
+        }
     }
 
     pub fn engine(&self, node: &str) -> Result<&Arc<Engine>> {
@@ -85,10 +106,16 @@ impl Cluster {
         }
         Ok(last)
     }
-}
 
-impl Remote for Cluster {
-    fn fetch(&self, request: FetchRequest<'_>) -> Result<FetchReply> {
+    /// Shared fetch body: execute the producer-side scan, record the
+    /// transfer into `ledger`, and pass `remote` down so nested
+    /// foreign-table scans recurse through the same accounting context.
+    fn fetch_with(
+        &self,
+        request: FetchRequest<'_>,
+        remote: &dyn Remote,
+        ledger: &Ledger,
+    ) -> Result<FetchReply> {
         if request.depth > MAX_FETCH_DEPTH {
             return Err(EngineError::Remote(
                 "maximum cross-engine recursion depth exceeded".into(),
@@ -99,14 +126,14 @@ impl Remote for Cluster {
             "SELECT * FROM {}",
             producer.profile.dialect.ident(request.relation)
         );
-        let outcome = producer.execute_sql_at(&sql, self, request.depth)?;
+        let outcome = producer.execute_sql_at(&sql, remote, request.depth)?;
         let relation = outcome
             .relation
             .ok_or_else(|| EngineError::Remote("fetch produced no relation".into()))?;
         let bytes = relation.wire_bytes();
-        self.ledger.record(
-            producer.node.clone(),
-            request.consumer.clone(),
+        ledger.record(
+            &producer.node,
+            &request.consumer,
             bytes,
             relation.len() as u64,
             request.purpose,
@@ -122,6 +149,49 @@ impl Remote for Cluster {
             producer_finish_ms: outcome.report.finish_ms,
             transfer_ms,
         })
+    }
+}
+
+impl Remote for Cluster {
+    fn fetch(&self, request: FetchRequest<'_>) -> Result<FetchReply> {
+        self.fetch_with(request, self, &self.ledger)
+    }
+}
+
+/// A view of a [`Cluster`] that records transfers into a private scratch
+/// ledger instead of the shared one.
+///
+/// The parallel executor gives each concurrently-running task group its
+/// own `ScopedCluster`; after the barrier the scratch ledgers are
+/// [`Ledger::absorb`]ed into the cluster ledger in script order, so the
+/// merged record sequence is identical to a sequential run no matter how
+/// the groups interleaved in real time.
+pub struct ScopedCluster<'a> {
+    cluster: &'a Cluster,
+    /// Scratch ledger; transfers triggered by this scope land here.
+    pub ledger: Ledger,
+}
+
+impl<'a> ScopedCluster<'a> {
+    pub fn new(cluster: &'a Cluster) -> ScopedCluster<'a> {
+        ScopedCluster {
+            cluster,
+            ledger: Ledger::new(),
+        }
+    }
+
+    /// Execute one SQL statement on a node, recording any triggered
+    /// transfers into this scope's ledger.
+    pub fn execute(&self, node: &str, sql: &str) -> Result<StatementOutcome> {
+        self.cluster.engine(node)?.execute_sql_at(sql, self, 0)
+    }
+}
+
+impl Remote for ScopedCluster<'_> {
+    fn fetch(&self, request: FetchRequest<'_>) -> Result<FetchReply> {
+        // Pass `self` down, not the cluster: nested fetches triggered by
+        // this scope's statements must also record into the scratch ledger.
+        self.cluster.fetch_with(request, self, &self.ledger)
     }
 }
 

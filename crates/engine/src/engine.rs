@@ -9,11 +9,14 @@
 
 use crate::catalog::{Catalog, CatalogEntry};
 use crate::error::{EngineError, Result};
-use crate::exec::{project_columns, Execution, ScanOutput, ScanResolver};
+use crate::exec::{
+    project_columns_owned, project_columns_shared, ExecRel, Execution, ScanOutput, ScanResolver,
+};
 use crate::profile::EngineProfile;
 use crate::relation::Relation;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use xdb_net::{compose_finish, EdgeTiming, Movement, NodeId, Purpose};
 use xdb_sql::algebra::LogicalPlan;
 use xdb_sql::ast::Statement;
@@ -97,6 +100,21 @@ pub struct Engine {
     pub node: NodeId,
     pub profile: EngineProfile,
     catalog: RwLock<Catalog>,
+    /// Bumped on every catalog mutation except those against transient
+    /// per-query objects (see [`is_transient_object`]); consultation caches
+    /// key their entries to the generation they observed and treat a
+    /// mismatch as a stale entry (any DDL against base objects invalidates
+    /// all cached probes for this node).
+    ddl_generation: AtomicU64,
+}
+
+/// Short-lived, per-query namespaced objects: delegation views / foreign
+/// tables / materializations (`xdb_q…`) and mediator scratch tables
+/// (`__task_…`). They are created and dropped around every submission and
+/// are never the target of a consultation probe.
+pub fn is_transient_object(name: &str) -> bool {
+    let n = name.trim_start_matches('"');
+    n.starts_with("xdb_q") || n.starts_with("__task_")
 }
 
 impl Engine {
@@ -105,6 +123,7 @@ impl Engine {
             node: NodeId::new(node),
             profile,
             catalog: RwLock::new(Catalog::new()),
+            ddl_generation: AtomicU64::new(0),
         }
     }
 
@@ -115,7 +134,27 @@ impl Engine {
 
     /// Run catalog mutation.
     pub fn with_catalog_mut<T>(&self, f: impl FnOnce(&mut Catalog) -> T) -> T {
-        f(&mut self.catalog.write())
+        let out = f(&mut self.catalog.write());
+        self.ddl_generation.fetch_add(1, Ordering::Release);
+        out
+    }
+
+    /// Catalog mutation on behalf of a named object. Per-query transient
+    /// objects (delegation views / foreign tables / materializations,
+    /// mediator scratch tables) are namespaced and never the target of a
+    /// consultation probe, so creating or dropping them leaves cached
+    /// probes against this node's base tables valid.
+    pub fn with_catalog_mut_for<T>(&self, object: &str, f: impl FnOnce(&mut Catalog) -> T) -> T {
+        if is_transient_object(object) {
+            f(&mut self.catalog.write())
+        } else {
+            self.with_catalog_mut(f)
+        }
+    }
+
+    /// Current catalog generation; changes whenever the catalog is mutated.
+    pub fn ddl_generation(&self) -> u64 {
+        self.ddl_generation.load(Ordering::Acquire)
     }
 
     /// Bulk-load a table (generator path); replaces nothing, errors on
@@ -183,7 +222,7 @@ impl Engine {
                 columns,
                 if_not_exists,
             } => {
-                let result = self.with_catalog_mut(|c| c.create_table(name, columns));
+                let result = self.with_catalog_mut_for(name, |c| c.create_table(name, columns));
                 match result {
                     Err(EngineError::Catalog(_)) if *if_not_exists => {}
                     other => other?,
@@ -198,7 +237,7 @@ impl Engine {
                 // Validate the view binds against the current catalog.
                 let snapshot = self.catalog.read().clone();
                 bind_select(query, &snapshot)?;
-                self.with_catalog_mut(|c| c.create_view(name, (**query).clone(), *or_replace))?;
+                self.with_catalog_mut_for(name, |c| c.create_view(name, (**query).clone(), *or_replace))?;
                 Ok(ddl_outcome())
             }
             Statement::CreateForeignTable {
@@ -207,7 +246,7 @@ impl Engine {
                 server,
                 remote_name,
             } => {
-                self.with_catalog_mut(|c| {
+                self.with_catalog_mut_for(name, |c| {
                     c.create_foreign_table(name, columns, server, remote_name.as_deref())
                 })?;
                 Ok(ddl_outcome())
@@ -220,7 +259,7 @@ impl Engine {
                 let import_ms = rel.len() as f64 * self.profile.write_cost_ms;
                 report.work_ms += import_ms;
                 report.finish_ms += import_ms;
-                self.with_catalog_mut(|c| c.create_table_from(name, rel))?;
+                self.with_catalog_mut_for(name, |c| c.create_table_from(name, rel))?;
                 Ok(StatementOutcome {
                     relation: None,
                     report,
@@ -237,7 +276,7 @@ impl Engine {
                     }
                     evaluated.push(out);
                 }
-                self.with_catalog_mut(|c| c.insert_rows(table, evaluated))?;
+                self.with_catalog_mut_for(table, |c| c.insert_rows(table, evaluated))?;
                 Ok(ddl_outcome())
             }
             Statement::Drop {
@@ -245,7 +284,7 @@ impl Engine {
                 name,
                 if_exists,
             } => {
-                self.with_catalog_mut(|c| c.drop(*kind, name, *if_exists))?;
+                self.with_catalog_mut_for(name, |c| c.drop(*kind, name, *if_exists))?;
                 Ok(ddl_outcome())
             }
         }
@@ -383,7 +422,7 @@ impl ScanResolver for EngineResolver<'_> {
     fn scan(&self, relation: &str, wanted: &[(String, DataType)]) -> Result<ScanOutput> {
         match self.snapshot.get(relation) {
             Some(CatalogEntry::Table(t)) => {
-                let rel = project_columns(&t.to_relation(), wanted)?;
+                let rel = project_columns_shared(&t.data, wanted)?;
                 Ok(ScanOutput {
                     relation: rel,
                     edge: None,
@@ -404,7 +443,7 @@ impl ScanResolver for EngineResolver<'_> {
                 })?;
                 self.foreign_rows
                     .set(self.foreign_rows.get() + reply.relation.len() as u64);
-                let rel = project_columns(&reply.relation, wanted)?;
+                let rel = ExecRel::Owned(project_columns_owned(reply.relation, wanted)?);
                 Ok(ScanOutput {
                     relation: rel,
                     edge: Some(EdgeTiming {
@@ -550,6 +589,32 @@ mod tests {
         assert_eq!(rows, 3.0);
         assert_eq!(cols.get("dept").unwrap().n_distinct, 2.0);
         assert!(e.consult_stats("nope").is_none());
+    }
+
+    #[test]
+    fn transient_ddl_leaves_generation_alone() {
+        let e = engine();
+        let before = e.ddl_generation();
+        // Per-query delegation objects and mediator scratch tables come and
+        // go around every submission; they must not invalidate cached
+        // consultation probes against base tables.
+        e.execute_sql(
+            "CREATE VIEW xdb_q1_t0 AS SELECT name FROM emp",
+            &NoRemote,
+        )
+        .unwrap();
+        e.execute_sql(
+            "CREATE TABLE __task_0 AS SELECT name FROM emp",
+            &NoRemote,
+        )
+        .unwrap();
+        e.execute_sql("DROP VIEW xdb_q1_t0", &NoRemote).unwrap();
+        e.execute_sql("DROP TABLE __task_0", &NoRemote).unwrap();
+        assert_eq!(e.ddl_generation(), before);
+        // DDL against a base object still invalidates.
+        e.execute_sql("CREATE TABLE copy_emp AS SELECT name FROM emp", &NoRemote)
+            .unwrap();
+        assert!(e.ddl_generation() > before);
     }
 
     #[test]

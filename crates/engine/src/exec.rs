@@ -9,9 +9,11 @@
 use crate::error::{EngineError, Result};
 use crate::expr::{compile, PhysExpr};
 use crate::relation::Relation;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::Arc;
 use xdb_net::EdgeTiming;
-use xdb_sql::algebra::{AggCall, AggFunc, LogicalPlan};
+use xdb_sql::algebra::{aggregate_schema, AggCall, AggFunc, LogicalPlan};
 use xdb_sql::value::{DataType, Value};
 
 /// Per-operator work-unit weights (rows processed × weight). Values are
@@ -26,9 +28,46 @@ pub mod weights {
     pub const DISTINCT: f64 = 0.8;
 }
 
+/// A relation flowing between operators: either uniquely owned (rows can be
+/// moved or mutated in place) or shared with the catalog / other readers.
+/// Pass-through paths (identity projections, full-table scans, aliases)
+/// hand out the `Arc` instead of deep-copying every row.
+#[derive(Debug, Clone)]
+pub enum ExecRel {
+    Owned(Relation),
+    Shared(Arc<Relation>),
+}
+
+impl AsRef<Relation> for ExecRel {
+    fn as_ref(&self) -> &Relation {
+        match self {
+            ExecRel::Owned(r) => r,
+            ExecRel::Shared(r) => r,
+        }
+    }
+}
+
+impl ExecRel {
+    /// Extract an owned relation, copying only if the data is still shared.
+    pub fn into_owned(self) -> Relation {
+        match self {
+            ExecRel::Owned(r) => r,
+            ExecRel::Shared(r) => Arc::try_unwrap(r).unwrap_or_else(|a| (*a).clone()),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.as_ref().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.as_ref().is_empty()
+    }
+}
+
 /// Output of resolving a leaf scan.
 pub struct ScanOutput {
-    pub relation: Relation,
+    pub relation: ExecRel,
     /// Present when the scan pulled data from another engine (foreign
     /// table): the timing edge to compose into this engine's finish time.
     pub edge: Option<EdgeTiming>,
@@ -61,8 +100,15 @@ impl<'a> Execution<'a> {
         }
     }
 
-    /// Execute a plan to a materialized relation.
+    /// Execute a plan to a materialized, owned relation.
     pub fn run(&mut self, plan: &LogicalPlan) -> Result<Relation> {
+        Ok(self.run_rel(plan)?.into_owned())
+    }
+
+    /// Execute a plan. Pass-through operators (scans, identity projections,
+    /// aliases) return shared data without copying rows; simulated work
+    /// accounting is unchanged either way.
+    pub fn run_rel(&mut self, plan: &LogicalPlan) -> Result<ExecRel> {
         match plan {
             LogicalPlan::Scan {
                 relation, fields, ..
@@ -79,21 +125,19 @@ impl<'a> Execution<'a> {
                 self.scan_units += out.relation.len() as f64 * weights::SCAN;
                 Ok(out.relation)
             }
-            LogicalPlan::OneRow => Ok(Relation::new(vec![], vec![vec![]])),
+            LogicalPlan::OneRow => Ok(ExecRel::Owned(Relation::new(vec![], vec![vec![]]))),
             LogicalPlan::Filter { input, predicate } => {
-                let rel = self.run(input)?;
+                let rel = self.run_rel(input)?;
                 let pred = compile(predicate, &input.schema())?;
                 self.scan_units += rel.len() as f64 * weights::FILTER;
-                let mut rows = Vec::new();
-                for row in rel.rows {
-                    if pred.eval_predicate(&row)? {
-                        rows.push(row);
-                    }
+                let mut keep = Vec::with_capacity(rel.len());
+                for row in &rel.as_ref().rows {
+                    keep.push(pred.eval_predicate(row)?);
                 }
-                Ok(Relation::new(rel.fields, rows))
+                Ok(ExecRel::Owned(retain_rows(rel, &keep)))
             }
             LogicalPlan::Project { input, exprs } => {
-                let rel = self.run(input)?;
+                let rel = self.run_rel(input)?;
                 let schema = input.schema();
                 let compiled: Vec<(PhysExpr, String, DataType)> = exprs
                     .iter()
@@ -105,18 +149,30 @@ impl<'a> Execution<'a> {
                     })
                     .collect::<Result<_>>()?;
                 self.scan_units += rel.len() as f64 * weights::PROJECT;
+                // Identity fast-path: every output is the column in the
+                // same position under the same name — hand the input
+                // through (the work units above are still charged; the
+                // simulated engine would have run the projection).
+                let identity = compiled.len() == rel.as_ref().width()
+                    && compiled.iter().enumerate().all(|(i, (c, n, _))| {
+                        matches!(c, PhysExpr::Column(j) if *j == i)
+                            && rel.as_ref().fields[i].0 == *n
+                    });
+                if identity {
+                    return Ok(rel);
+                }
                 let mut rows = Vec::with_capacity(rel.len());
-                for row in &rel.rows {
+                for row in &rel.as_ref().rows {
                     let mut out = Vec::with_capacity(compiled.len());
                     for (c, _, _) in &compiled {
                         out.push(c.eval(row)?);
                     }
                     rows.push(out);
                 }
-                Ok(Relation::new(
+                Ok(ExecRel::Owned(Relation::new(
                     compiled.into_iter().map(|(_, n, t)| (n, t)).collect(),
                     rows,
-                ))
+                )))
             }
             LogicalPlan::Join {
                 left,
@@ -137,8 +193,8 @@ impl<'a> Execution<'a> {
                 aggregates,
             } => self.aggregate(input, group_by, aggregates),
             LogicalPlan::Sort { input, keys } => {
-                let rel = self.run(input)?;
                 let schema = input.schema();
+                let rel = self.run_rel(input)?.into_owned();
                 let compiled: Vec<(PhysExpr, bool)> = keys
                     .iter()
                     .map(|(e, desc)| Ok((compile(e, &schema)?, *desc)))
@@ -164,30 +220,61 @@ impl<'a> Execution<'a> {
                     }
                     std::cmp::Ordering::Equal
                 });
-                Ok(Relation::new(
+                Ok(ExecRel::Owned(Relation::new(
                     rel.fields,
                     keyed.into_iter().map(|(_, r)| r).collect(),
-                ))
+                )))
             }
             LogicalPlan::Limit { input, fetch } => {
-                let mut rel = self.run(input)?;
-                rel.rows.truncate(*fetch as usize);
-                Ok(rel)
+                let rel = self.run_rel(input)?;
+                let fetch = *fetch as usize;
+                match rel {
+                    ExecRel::Owned(mut rel) => {
+                        rel.rows.truncate(fetch);
+                        Ok(ExecRel::Owned(rel))
+                    }
+                    // Shared input stays shared when the limit is a no-op;
+                    // otherwise copy only the first `fetch` rows.
+                    ExecRel::Shared(rel) if rel.len() <= fetch => Ok(ExecRel::Shared(rel)),
+                    ExecRel::Shared(rel) => Ok(ExecRel::Owned(Relation::new(
+                        rel.fields.clone(),
+                        rel.rows[..fetch].to_vec(),
+                    ))),
+                }
             }
             LogicalPlan::Distinct { input } => {
-                let rel = self.run(input)?;
+                let rel = self.run_rel(input)?;
                 self.olap_units += rel.len() as f64 * weights::DISTINCT;
-                let mut seen: std::collections::HashSet<Vec<Value>> =
-                    std::collections::HashSet::with_capacity(rel.len());
-                let mut rows = Vec::new();
-                for row in rel.rows {
-                    if seen.insert(row.clone()) {
-                        rows.push(row);
+                // First-seen order is preserved (LIMIT without ORDER BY
+                // above a DISTINCT observes it); only unique rows are
+                // cloned.
+                match rel {
+                    ExecRel::Owned(rel) => {
+                        let mut seen: std::collections::HashSet<Vec<Value>> =
+                            std::collections::HashSet::with_capacity(rel.rows.len());
+                        let mut rows = Vec::new();
+                        for row in rel.rows {
+                            if !seen.contains(&row) {
+                                seen.insert(row.clone());
+                                rows.push(row);
+                            }
+                        }
+                        Ok(ExecRel::Owned(Relation::new(rel.fields, rows)))
+                    }
+                    ExecRel::Shared(rel) => {
+                        let mut seen: std::collections::HashSet<&Vec<Value>> =
+                            std::collections::HashSet::with_capacity(rel.rows.len());
+                        let mut rows = Vec::new();
+                        for row in &rel.rows {
+                            if seen.insert(row) {
+                                rows.push(row.clone());
+                            }
+                        }
+                        Ok(ExecRel::Owned(Relation::new(rel.fields.clone(), rows)))
                     }
                 }
-                Ok(Relation::new(rel.fields, rows))
             }
-            LogicalPlan::SubqueryAlias { input, .. } => self.run(input),
+            LogicalPlan::SubqueryAlias { input, .. } => self.run_rel(input),
         }
     }
 
@@ -197,9 +284,10 @@ impl<'a> Execution<'a> {
         right: &LogicalPlan,
         on: &[(xdb_sql::Expr, xdb_sql::Expr)],
         residual: Option<&xdb_sql::Expr>,
-    ) -> Result<Relation> {
-        let lrel = self.run(left)?;
-        let rrel = self.run(right)?;
+    ) -> Result<ExecRel> {
+        let lrel = self.run_rel(left)?;
+        let rrel = self.run_rel(right)?;
+        let (lrel, rrel) = (lrel.as_ref(), rrel.as_ref());
         let lschema = left.schema();
         let rschema = right.schema();
         let joined_schema = lschema.join(&rschema);
@@ -207,15 +295,19 @@ impl<'a> Execution<'a> {
             Some(r) => Some(compile(r, &joined_schema)?),
             None => None,
         };
-        let mut fields = lrel.fields.clone();
+        let mut fields = Vec::with_capacity(lrel.width() + rrel.width());
+        fields.extend(lrel.fields.iter().cloned());
         fields.extend(rrel.fields.iter().cloned());
+        let width = fields.len();
         let mut rows = Vec::new();
         if on.is_empty() {
             // Nested-loop (cross) join with optional residual.
             self.olap_units += (lrel.len() as f64 * rrel.len() as f64) * weights::JOIN;
+            rows.reserve(lrel.len() * rrel.len());
             for lr in &lrel.rows {
                 for rr in &rrel.rows {
-                    let mut row = lr.clone();
+                    let mut row = Vec::with_capacity(width);
+                    row.extend(lr.iter().cloned());
                     row.extend(rr.iter().cloned());
                     if let Some(res) = &residual_c {
                         if !res.eval_predicate(&row)? {
@@ -250,6 +342,7 @@ impl<'a> Execution<'a> {
             }
             self.olap_units +=
                 (lrel.len() as f64 + rrel.len() as f64) * weights::JOIN;
+            rows.reserve(lrel.len());
             'probe: for lr in &lrel.rows {
                 let mut key = Vec::with_capacity(lkeys.len());
                 for k in &lkeys {
@@ -261,7 +354,8 @@ impl<'a> Execution<'a> {
                 }
                 if let Some(matches) = table.get(&key) {
                     for &ri in matches {
-                        let mut row = lr.clone();
+                        let mut row = Vec::with_capacity(width);
+                        row.extend(lr.iter().cloned());
                         row.extend(rrel.rows[ri].iter().cloned());
                         if let Some(res) = &residual_c {
                             if !res.eval_predicate(&row)? {
@@ -274,7 +368,7 @@ impl<'a> Execution<'a> {
             }
             self.olap_units += rows.len() as f64 * weights::JOIN * 0.5;
         }
-        Ok(Relation::new(fields, rows))
+        Ok(ExecRel::Owned(Relation::new(fields, rows)))
     }
 
     /// Semi/anti join: emit left rows with at least one (semi) or zero
@@ -286,9 +380,10 @@ impl<'a> Execution<'a> {
         on: &[(xdb_sql::Expr, xdb_sql::Expr)],
         residual: Option<&xdb_sql::Expr>,
         negated: bool,
-    ) -> Result<Relation> {
-        let lrel = self.run(left)?;
-        let rrel = self.run(right)?;
+    ) -> Result<ExecRel> {
+        let lrel = self.run_rel(left)?;
+        let rrel = self.run_rel(right)?;
+        let rrel = rrel.as_ref();
         let lschema = left.schema();
         let rschema = right.schema();
         let residual_c = match residual {
@@ -318,8 +413,10 @@ impl<'a> Execution<'a> {
             table.entry(key).or_default().push(i);
         }
         self.olap_units += (lrel.len() as f64 + rrel.len() as f64) * weights::JOIN;
-        let mut rows = Vec::new();
-        for lr in &lrel.rows {
+        // Decide per left row, then materialize: owned inputs move the
+        // emitted rows, shared inputs clone only the survivors.
+        let mut keep = Vec::with_capacity(lrel.len());
+        for lr in &lrel.as_ref().rows {
             let mut key = Vec::with_capacity(lkeys.len());
             let mut null_key = false;
             for k in &lkeys {
@@ -337,7 +434,9 @@ impl<'a> Execution<'a> {
                         None => matched = !candidates.is_empty(),
                         Some(res) => {
                             for &ri in candidates {
-                                let mut combined = lr.clone();
+                                let mut combined =
+                                    Vec::with_capacity(lr.len() + rrel.width());
+                                combined.extend(lr.iter().cloned());
                                 combined.extend(rrel.rows[ri].iter().cloned());
                                 if res.eval_predicate(&combined)? {
                                     matched = true;
@@ -348,11 +447,9 @@ impl<'a> Execution<'a> {
                     }
                 }
             }
-            if matched != negated {
-                rows.push(lr.clone());
-            }
+            keep.push(matched != negated);
         }
-        Ok(Relation::new(lrel.fields, rows))
+        Ok(ExecRel::Owned(retain_rows(lrel, &keep)))
     }
 
     fn aggregate(
@@ -360,8 +457,8 @@ impl<'a> Execution<'a> {
         input: &LogicalPlan,
         group_by: &[(xdb_sql::Expr, String)],
         aggregates: &[(AggCall, String)],
-    ) -> Result<Relation> {
-        let rel = self.run(input)?;
+    ) -> Result<ExecRel> {
+        let rel = self.run_rel(input)?;
         let schema = input.schema();
         let group_c: Vec<PhysExpr> = group_by
             .iter()
@@ -381,22 +478,21 @@ impl<'a> Execution<'a> {
 
         let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
         let mut order: Vec<Vec<Value>> = Vec::new(); // first-seen group order
-        for row in &rel.rows {
+        for row in &rel.as_ref().rows {
             let mut key = Vec::with_capacity(group_c.len());
             for g in &group_c {
                 key.push(g.eval(row)?);
             }
-            let accs = match groups.get_mut(&key) {
-                Some(a) => a,
-                None => {
-                    order.push(key.clone());
-                    groups.entry(key.clone()).or_insert_with(|| {
+            let accs = match groups.entry(key) {
+                Entry::Occupied(e) => e.into_mut(),
+                Entry::Vacant(e) => {
+                    order.push(e.key().clone());
+                    e.insert(
                         agg_c
                             .iter()
                             .map(|(f, _, distinct)| Accumulator::new(*f, *distinct))
-                            .collect()
-                    });
-                    groups.get_mut(&key).unwrap()
+                            .collect(),
+                    )
                 }
             };
             for (acc, (_, arg, _)) in accs.iter_mut().zip(agg_c.iter()) {
@@ -417,14 +513,9 @@ impl<'a> Execution<'a> {
             groups.insert(vec![], accs);
         }
 
-        // Output schema from the plan node.
-        let out_schema = LogicalPlan::Aggregate {
-            input: Box::new(input.clone()),
-            group_by: group_by.to_vec(),
-            aggregates: aggregates.to_vec(),
-        }
-        .schema();
-        let fields: Vec<(String, DataType)> = out_schema
+        // Output schema derived from the input schema — no need to
+        // reconstruct (and deep-clone) the plan node.
+        let fields: Vec<(String, DataType)> = aggregate_schema(&schema, group_by, aggregates)
             .fields
             .into_iter()
             .map(|f| (f.name, f.data_type))
@@ -438,7 +529,33 @@ impl<'a> Execution<'a> {
             }
             rows.push(row);
         }
-        Ok(Relation::new(fields, rows))
+        Ok(ExecRel::Owned(Relation::new(fields, rows)))
+    }
+}
+
+/// Materialize the rows of `rel` selected by `keep`: owned inputs move the
+/// surviving rows, shared inputs clone only the survivors.
+fn retain_rows(rel: ExecRel, keep: &[bool]) -> Relation {
+    match rel {
+        ExecRel::Owned(rel) => {
+            let rows = rel
+                .rows
+                .into_iter()
+                .zip(keep)
+                .filter_map(|(row, k)| k.then_some(row))
+                .collect();
+            Relation::new(rel.fields, rows)
+        }
+        ExecRel::Shared(rel) => {
+            let survivors = keep.iter().filter(|k| **k).count();
+            let mut rows = Vec::with_capacity(survivors);
+            for (row, k) in rel.rows.iter().zip(keep) {
+                if *k {
+                    rows.push(row.clone());
+                }
+            }
+            Relation::new(rel.fields.clone(), rows)
+        }
     }
 }
 
@@ -608,9 +725,10 @@ impl Accumulator {
 }
 
 /// Convenience resolver backed by a map of named relations (tests, and the
-/// mediator baselines' "localized tables" mode).
+/// mediator baselines' "localized tables" mode). Relations are `Arc`-shared
+/// so repeated scans never copy the stored rows.
 pub struct MapResolver {
-    pub relations: HashMap<String, Relation>,
+    pub relations: HashMap<String, Arc<Relation>>,
 }
 
 impl MapResolver {
@@ -621,7 +739,8 @@ impl MapResolver {
     }
 
     pub fn insert(&mut self, name: impl Into<String>, rel: Relation) {
-        self.relations.insert(name.into().to_ascii_lowercase(), rel);
+        self.relations
+            .insert(name.into().to_ascii_lowercase(), Arc::new(rel));
     }
 }
 
@@ -638,31 +757,67 @@ impl ScanResolver for MapResolver {
             .get(&relation.to_ascii_lowercase())
             .ok_or_else(|| EngineError::Catalog(format!("unknown relation {relation:?}")))?;
         Ok(ScanOutput {
-            relation: project_columns(rel, wanted)?,
+            relation: project_columns_shared(rel, wanted)?,
             edge: None,
         })
     }
 }
 
-/// Project a stored relation to the requested columns, by name.
-pub fn project_columns(rel: &Relation, wanted: &[(String, DataType)]) -> Result<Relation> {
-    let idx: Vec<usize> = wanted
+/// Resolve `wanted` column names to positions in `rel`.
+fn column_indexes(rel: &Relation, wanted: &[(String, DataType)]) -> Result<Vec<usize>> {
+    wanted
         .iter()
         .map(|(n, _)| {
             rel.column_index(n)
                 .ok_or_else(|| EngineError::Catalog(format!("unknown column {n:?}")))
         })
-        .collect::<Result<_>>()?;
-    // Identity projection avoids a copy of the row structure rebuild.
-    if idx.len() == rel.width() && idx.iter().enumerate().all(|(i, &j)| i == j) {
-        return Ok(rel.clone());
-    }
+        .collect()
+}
+
+fn is_identity(idx: &[usize], rel: &Relation) -> bool {
+    idx.len() == rel.width() && idx.iter().enumerate().all(|(i, &j)| i == j)
+}
+
+fn subset(rel: &Relation, idx: &[usize], wanted: &[(String, DataType)]) -> Relation {
     let rows = rel
         .rows
         .iter()
         .map(|r| idx.iter().map(|&j| r[j].clone()).collect())
         .collect();
-    Ok(Relation::new(wanted.to_vec(), rows))
+    Relation::new(wanted.to_vec(), rows)
+}
+
+/// Project a stored relation to the requested columns, by name.
+pub fn project_columns(rel: &Relation, wanted: &[(String, DataType)]) -> Result<Relation> {
+    let idx = column_indexes(rel, wanted)?;
+    // Identity projection avoids a copy of the row structure rebuild.
+    if is_identity(&idx, rel) {
+        return Ok(rel.clone());
+    }
+    Ok(subset(rel, &idx, wanted))
+}
+
+/// Project an `Arc`-shared relation: identity projections hand the `Arc`
+/// through without touching a single row; subsets copy once.
+pub fn project_columns_shared(
+    rel: &Arc<Relation>,
+    wanted: &[(String, DataType)],
+) -> Result<ExecRel> {
+    let idx = column_indexes(rel, wanted)?;
+    if is_identity(&idx, rel) {
+        return Ok(ExecRel::Shared(Arc::clone(rel)));
+    }
+    Ok(ExecRel::Owned(subset(rel, &idx, wanted)))
+}
+
+/// Project an owned relation, consuming it: identity projections return
+/// the input unchanged (no copy at all).
+pub fn project_columns_owned(rel: Relation, wanted: &[(String, DataType)]) -> Result<Relation> {
+    let idx = column_indexes(&rel, wanted)?;
+    if is_identity(&idx, &rel) {
+        return Ok(rel);
+    }
+    Ok(subset(&rel, &idx, wanted))
 }
 
 #[cfg(test)]
@@ -879,6 +1034,24 @@ mod tests {
         assert_eq!(sub.width(), 1);
         assert_eq!(sub.rows[0][0], Value::Int(1000));
         let idt = project_columns(rel, &rel.fields.clone()).unwrap();
-        assert_eq!(&idt, rel);
+        assert_eq!(&idt, rel.as_ref());
+    }
+
+    #[test]
+    fn identity_scans_share_storage() {
+        // A full-width scan (and the identity projection above it) must
+        // hand out the stored Arc, not a row-by-row copy.
+        let f = fixture();
+        let stored = Arc::clone(f.resolver.relations.get("dept").unwrap());
+        let plan = bind_select(&parse_select("SELECT dname, budget FROM dept").unwrap(), &f)
+            .unwrap();
+        let mut exec = Execution::new(&f.resolver);
+        let out = exec.run_rel(&plan).unwrap();
+        match &out {
+            ExecRel::Shared(arc) => assert!(Arc::ptr_eq(arc, &stored)),
+            ExecRel::Owned(_) => panic!("identity scan should stay shared"),
+        }
+        // into_owned on still-shared data copies; results are equal.
+        assert_eq!(out.into_owned(), *stored);
     }
 }

@@ -48,19 +48,32 @@ impl Ledger {
         Ledger::default()
     }
 
-    pub fn record(&self, from: NodeId, to: NodeId, bytes: u64, rows: u64, purpose: Purpose) {
+    pub fn record(&self, from: &NodeId, to: &NodeId, bytes: u64, rows: u64, purpose: Purpose) {
         // Loopback traffic never crosses the network; keep the ledger about
         // actual movement so totals match "data transferred over the wire".
+        // Taking the endpoints by reference means callers on this hot path
+        // only pay for the clones when a record is actually kept.
         if from == to {
             return;
         }
         self.inner.lock().push(Transfer {
-            from,
-            to,
+            from: from.clone(),
+            to: to.clone(),
             bytes,
             rows,
             purpose,
         });
+    }
+
+    /// Append every transfer of `other` to this ledger, preserving order.
+    ///
+    /// Used by the parallel executor: each task group records into a
+    /// private scratch ledger, and the groups are absorbed in script order
+    /// after the barrier so the merged ledger is bit-identical to a
+    /// sequential run.
+    pub fn absorb(&self, other: &Ledger) {
+        let mut records = other.inner.lock().clone();
+        self.inner.lock().append(&mut records);
     }
 
     /// Total bytes across all recorded transfers.
@@ -129,8 +142,8 @@ mod tests {
     #[test]
     fn records_and_totals() {
         let l = Ledger::new();
-        l.record("a".into(), "b".into(), 100, 10, Purpose::SubqueryResult);
-        l.record("b".into(), "c".into(), 50, 5, Purpose::InterDbmsPipeline);
+        l.record(&"a".into(), &"b".into(), 100, 10, Purpose::SubqueryResult);
+        l.record(&"b".into(), &"c".into(), 50, 5, Purpose::InterDbmsPipeline);
         assert_eq!(l.total_bytes(), 150);
         assert_eq!(l.total_rows(), 15);
         assert_eq!(l.bytes_for(Purpose::SubqueryResult), 100);
@@ -142,7 +155,7 @@ mod tests {
     #[test]
     fn loopback_not_recorded() {
         let l = Ledger::new();
-        l.record("a".into(), "a".into(), 100, 10, Purpose::Materialization);
+        l.record(&"a".into(), &"a".into(), 100, 10, Purpose::Materialization);
         assert!(l.is_empty());
     }
 
@@ -150,9 +163,25 @@ mod tests {
     fn clones_share_state() {
         let l = Ledger::new();
         let l2 = l.clone();
-        l2.record("a".into(), "b".into(), 7, 1, Purpose::FinalResult);
+        l2.record(&"a".into(), &"b".into(), 7, 1, Purpose::FinalResult);
         assert_eq!(l.total_bytes(), 7);
         l.clear();
         assert!(l2.is_empty());
+    }
+
+    #[test]
+    fn absorb_appends_in_order() {
+        let l = Ledger::new();
+        l.record(&"a".into(), &"b".into(), 1, 1, Purpose::ControlMessage);
+        let scratch = Ledger::new();
+        scratch.record(&"b".into(), &"c".into(), 2, 1, Purpose::Materialization);
+        scratch.record(&"c".into(), &"d".into(), 3, 1, Purpose::InterDbmsPipeline);
+        l.absorb(&scratch);
+        let snap = l.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[1].bytes, 2);
+        assert_eq!(snap[2].bytes, 3);
+        // The source ledger is left untouched.
+        assert_eq!(scratch.len(), 2);
     }
 }

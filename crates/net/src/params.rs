@@ -64,6 +64,7 @@ mod tests {
 
     /// The relative orderings the evaluation's shapes depend on.
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn parameter_orderings_hold() {
         // JDBC costs more per byte than the binary protocol (μ_Presto >
         // μ_Garlic in Fig 1/9).

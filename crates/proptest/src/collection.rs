@@ -1,0 +1,34 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::{BoxedStrategy, Strategy};
+use std::ops::Range;
+
+/// A vector whose length is drawn from `len` and whose elements come from
+/// `element`.
+pub fn vec<S>(element: S, len: Range<usize>) -> BoxedStrategy<Vec<S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: 'static,
+{
+    BoxedStrategy::new(move |rng| {
+        let n = len.new_value(rng);
+        (0..n).map(|_| element.new_value(rng)).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn vec_respects_length_range() {
+        let s = vec(0i32..100, 1..5);
+        let mut rng = TestRng::deterministic(1);
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..100).contains(x)));
+        }
+    }
+}

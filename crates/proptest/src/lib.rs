@@ -1,0 +1,181 @@
+//! Workspace-local stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the slice of the proptest API the workspace's property tests use:
+//! the `Strategy` trait with `prop_map`/`prop_recursive`/`boxed`,
+//! strategies for numeric ranges, tuples, `Just`, `any::<T>()`, char-class
+//! string patterns, `prop::collection::vec`, `prop::option::of`, and the
+//! `proptest!`/`prop_oneof!`/`prop_assert!`/`prop_assert_eq!`/`prop_assume!`
+//! macros.
+//!
+//! Generation is deterministic: case `i` of every test derives its RNG seed
+//! from `i` alone, so failures reproduce across runs. Shrinking is not
+//! implemented — failing cases are reported as generated.
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    // Real proptest's prelude re-exports the crate under the name `prop`,
+    // which is how `prop::collection::vec(...)` resolves.
+    pub use crate as prop;
+}
+
+/// `prop_oneof![a, b, c]`: choose uniformly among the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// `proptest! { #![proptest_config(cfg)] #[test] fn name(x in strat, ...) { .. } }`
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg = $cfg;
+                let __strats = ( $( ($strat) , )+ );
+                let mut __rejected: u32 = 0;
+                let mut __case: u64 = 0;
+                let mut __ran: u32 = 0;
+                while __ran < __cfg.cases {
+                    if __rejected > __cfg.cases * 16 + 1024 {
+                        panic!(
+                            "proptest {}: too many rejected cases ({})",
+                            stringify!($name),
+                            __rejected
+                        );
+                    }
+                    let mut __rng = $crate::test_runner::TestRng::deterministic(__case);
+                    __case += 1;
+                    let ( $( $arg , )+ ) = {
+                        let ( $( ref $arg , )+ ) = __strats;
+                        ( $( $crate::strategy::Strategy::new_value($arg, &mut __rng) , )+ )
+                    };
+                    let __outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    match __outcome {
+                        Ok(()) => { __ran += 1; }
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                            __rejected += 1;
+                        }
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed at case {}: {}",
+                                stringify!($name),
+                                __case - 1,
+                                msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $fmt:expr $(, $args:expr)* $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: {}: {}",
+                    stringify!($cond),
+                    format!($fmt $(, $args)*)
+                ),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {:?} == {:?}", __a, __b),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $fmt:expr $(, $args:expr)* $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: {:?} == {:?}: {}",
+                    __a,
+                    __b,
+                    format!($fmt $(, $args)*)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {:?} != {:?}", __a, __b),
+            ));
+        }
+    }};
+}
+
+/// Discard the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}

@@ -1,0 +1,42 @@
+//! Option strategies (`prop::option::of`).
+
+use crate::strategy::{BoxedStrategy, Strategy};
+
+/// `None` or `Some` of the inner strategy, even odds.
+pub fn of<S>(inner: S) -> BoxedStrategy<Option<S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: 'static,
+{
+    BoxedStrategy::new(move |rng| {
+        if rng.bool() {
+            Some(inner.new_value(rng))
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn produces_both_variants() {
+        let s = of(0i32..10);
+        let mut rng = TestRng::deterministic(3);
+        let mut some = 0;
+        let mut none = 0;
+        for _ in 0..200 {
+            match s.new_value(&mut rng) {
+                Some(v) => {
+                    assert!((0..10).contains(&v));
+                    some += 1;
+                }
+                None => none += 1,
+            }
+        }
+        assert!(some > 0 && none > 0);
+    }
+}

@@ -1,0 +1,368 @@
+//! The `Strategy` trait and the built-in strategies the workspace uses.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// Something that can produce random values of an associated type.
+///
+/// Unlike real proptest there is no value tree and no shrinking; a strategy
+/// is just a deterministic function of the RNG state.
+pub trait Strategy {
+    type Value;
+
+    /// Generate one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erase into a clonable, shareable strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy::new(move |rng| self.new_value(rng))
+    }
+
+    /// Map generated values through a function.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized + 'static,
+        U: 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        BoxedStrategy::new(move |rng| f(self.new_value(rng)))
+    }
+
+    /// Build a recursive strategy: `self` generates leaves, `branch` wraps
+    /// an inner strategy into one level of structure. `depth` bounds the
+    /// nesting; the size/branch hints are accepted for API compatibility
+    /// but unused (no shrinking, no size accounting).
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let wrapped = branch(strat).boxed();
+            // Mix leaves back in at every level so shallow values stay
+            // reachable and generation terminates.
+            strat = Union::new(vec![leaf.clone(), wrapped]).boxed();
+        }
+        strat
+    }
+}
+
+/// A type-erased, clonable strategy.
+pub struct BoxedStrategy<T> {
+    gen_fn: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen_fn: Rc::clone(&self.gen_fn),
+        }
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> BoxedStrategy<T> {
+        BoxedStrategy { gen_fn: Rc::new(f) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.gen_fn)(rng)
+    }
+
+    fn boxed(self) -> BoxedStrategy<T>
+    where
+        Self: Sized + 'static,
+    {
+        self
+    }
+}
+
+/// Uniform choice among a set of strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].new_value(rng)
+    }
+}
+
+/// Always produce a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub fn any<T: Arbitrary + 'static>() -> BoxedStrategy<T> {
+    BoxedStrategy::new(T::arbitrary)
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {
+        $(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*
+    };
+}
+arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, reasonably spread values; property tests here never need
+        // NaN/inf edge cases from `any`.
+        (rng.unit_f64() - 0.5) * 2e9
+    }
+}
+
+macro_rules! range_strategy_int {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128) - (self.start as i128);
+                    if span <= 0 {
+                        return self.start;
+                    }
+                    let off = (rng.next_u64() as u128 % span as u128) as i128;
+                    ((self.start as i128) + off) as $t
+                }
+            }
+        )*
+    };
+}
+range_strategy_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        if self.end <= self.start {
+            return self.start;
+        }
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// Char-class pattern strategy for `&'static str` literals, e.g.
+/// `"[a-z][a-z0-9_]{0,8}"`. Supported: literal chars, `[...]` classes with
+/// ranges, and `{lo,hi}` / `{n}` quantifiers on the preceding atom.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        // One atom: a class or a literal char.
+        let alphabet: Vec<char> = if chars[i] == '[' {
+            let mut class = Vec::new();
+            i += 1;
+            while i < chars.len() && chars[i] != ']' {
+                if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                    let (lo, hi) = (chars[i], chars[i + 2]);
+                    for c in lo..=hi {
+                        class.push(c);
+                    }
+                    i += 3;
+                } else {
+                    class.push(chars[i]);
+                    i += 1;
+                }
+            }
+            i += 1; // closing ']'
+            class
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        // Optional quantifier.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            i += 1;
+            let mut lo = 0usize;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                lo = lo * 10 + chars[i] as usize - '0' as usize;
+                i += 1;
+            }
+            let hi = if i < chars.len() && chars[i] == ',' {
+                i += 1;
+                let mut hi = 0usize;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    hi = hi * 10 + chars[i] as usize - '0' as usize;
+                    i += 1;
+                }
+                hi
+            } else {
+                lo
+            };
+            i += 1; // closing '}'
+            (lo, hi)
+        } else {
+            (1, 1)
+        };
+        if alphabet.is_empty() {
+            continue;
+        }
+        let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+        for _ in 0..count {
+            let j = rng.below(alphabet.len() as u64) as usize;
+            out.push(alphabet[j]);
+        }
+    }
+    out
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {
+        $(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*
+    };
+}
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic(42)
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (-5i64..5).new_value(&mut r);
+            assert!((-5..5).contains(&v));
+            let u = (0u8..4).new_value(&mut r);
+            assert!(u < 4);
+            let f = (0.0f64..100.0).new_value(&mut r);
+            assert!((0.0..100.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn pattern_generates_within_class() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,8}".new_value(&mut r);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+        let s = "abc".new_value(&mut r);
+        assert_eq!(s, "abc");
+        let s = "[a-c]{1,3}".new_value(&mut r);
+        assert!((1..=3).contains(&s.len()));
+        assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+    }
+
+    #[test]
+    fn union_and_map_and_recursion() {
+        let mut r = rng();
+        let s = crate::prop_oneof![Just(1i32), Just(2i32)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(s.new_value(&mut r));
+        }
+        assert_eq!(seen.len(), 2);
+
+        let doubled = (0i32..10).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            assert_eq!(doubled.new_value(&mut r) % 2, 0);
+        }
+
+        // Recursive depth stays bounded.
+        #[derive(Debug)]
+        enum Tree {
+            Leaf,
+            Node(Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(i) => 1 + depth(i),
+            }
+        }
+        let t = Just(()).prop_map(|_| Tree::Leaf).prop_recursive(3, 8, 2, |inner| {
+            inner.prop_map(|i| Tree::Node(Box::new(i)))
+        });
+        for _ in 0..100 {
+            assert!(depth(&t.new_value(&mut r)) <= 3);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Deterministic test runner support: configuration, case errors, RNG.
+
+/// Runner configuration; only `cases` is meaningful here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case is discarded, not counted.
+    Reject(String),
+    /// `prop_assert*!` failed; the test fails.
+    Fail(String),
+}
+
+/// Deterministic splitmix64/xorshift generator: case `i` always produces
+/// the same inputs, so failures reproduce without recording seeds.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn deterministic(case: u64) -> TestRng {
+        // splitmix64 of the case index gives well-spread starting states.
+        let mut z = case.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        TestRng {
+            state: (z ^ (z >> 31)) | 1,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        // xorshift64*.
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_case() {
+        let mut a = TestRng::deterministic(7);
+        let mut b = TestRng::deterministic(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TestRng::deterministic(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let mut r = TestRng::deterministic(0);
+        for _ in 0..1000 {
+            let f = r.unit_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

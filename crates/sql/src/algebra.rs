@@ -325,18 +325,7 @@ impl LogicalPlan {
                 input,
                 group_by,
                 aggregates,
-            } => {
-                let in_schema = input.schema();
-                let mut fields = Vec::with_capacity(group_by.len() + aggregates.len());
-                for (e, name) in group_by {
-                    let ty = infer_type(e, &in_schema).unwrap_or(DataType::Str);
-                    fields.push(Field::bare(name, ty));
-                }
-                for (agg, name) in aggregates {
-                    fields.push(Field::bare(name, agg.output_type(&in_schema)));
-                }
-                PlanSchema::new(fields)
-            }
+            } => aggregate_schema(&input.schema(), group_by, aggregates),
         }
     }
 
@@ -543,6 +532,25 @@ impl LogicalPlan {
             c.tree_fmt(out, depth + 1);
         }
     }
+}
+
+/// Output schema of an aggregation, given its *input* schema. Shared by
+/// [`LogicalPlan::schema`] and executors that already hold the input schema
+/// (so they need not reconstruct the plan node to learn its output shape).
+pub fn aggregate_schema(
+    in_schema: &PlanSchema,
+    group_by: &[(Expr, String)],
+    aggregates: &[(AggCall, String)],
+) -> PlanSchema {
+    let mut fields = Vec::with_capacity(group_by.len() + aggregates.len());
+    for (e, name) in group_by {
+        let ty = infer_type(e, in_schema).unwrap_or(DataType::Str);
+        fields.push(Field::bare(name, ty));
+    }
+    for (agg, name) in aggregates {
+        fields.push(Field::bare(name, agg.output_type(in_schema)));
+    }
+    PlanSchema::new(fields)
 }
 
 /// Infer the output type of an expression against a schema.

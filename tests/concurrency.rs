@@ -4,7 +4,7 @@
 //! all hold up.
 
 use std::sync::Arc;
-use xdb::core::{GlobalCatalog, Xdb};
+use xdb::core::{GlobalCatalog, Xdb, XdbOptions};
 use xdb::engine::profile::EngineProfile;
 use xdb::net::Scenario;
 use xdb::tpch::{build_cluster, distributions, ProfileAssignment, TableDist, TpchQuery};
@@ -81,6 +81,63 @@ fn concurrent_submissions_share_one_federation() {
             names.iter().all(|n| !n.starts_with("xdb_q")),
             "{node} leaked {names:?}"
         );
+    }
+}
+
+#[test]
+fn parallel_execution_is_observationally_equivalent_to_sequential() {
+    // The parallel task scheduler must be indistinguishable from the
+    // sequential executor: identical result multisets, identical transfer
+    // ledgers, and bit-identical simulated timings — across queries with
+    // genuinely independent tasks (Q3/Q5/Q8) and all three TPC-H table
+    // distributions.
+    for td in [TableDist::Td1, TableDist::Td2, TableDist::Td3] {
+        for q in [TpchQuery::Q3, TpchQuery::Q5, TpchQuery::Q8] {
+            let run = |parallel: bool| {
+                let cluster = build_cluster(
+                    td,
+                    SF,
+                    Scenario::OnPremise,
+                    &ProfileAssignment::uniform(EngineProfile::postgres()),
+                )
+                .unwrap();
+                let catalog = GlobalCatalog::discover(&cluster).unwrap();
+                let xdb = Xdb::new(&cluster, &catalog).with_options(XdbOptions {
+                    parallel_execution: parallel,
+                    ..Default::default()
+                });
+                let outcome = xdb.submit(q.sql()).unwrap();
+                let bytes = cluster.ledger.total_bytes();
+                let rows = cluster.ledger.total_rows();
+                (outcome, bytes, rows)
+            };
+            let (seq, seq_bytes, seq_rows) = run(false);
+            let (par, par_bytes, par_rows) = run(true);
+            assert!(
+                par.relation.same_bag(&seq.relation),
+                "{} on {td:?}: parallel result diverged",
+                q.name()
+            );
+            assert_eq!(
+                par_bytes,
+                seq_bytes,
+                "{} on {td:?}: wire-byte ledgers diverged",
+                q.name()
+            );
+            assert_eq!(
+                par_rows,
+                seq_rows,
+                "{} on {td:?}: ledger row totals diverged",
+                q.name()
+            );
+            assert_eq!(
+                par.breakdown.exec_ms,
+                seq.breakdown.exec_ms,
+                "{} on {td:?}: simulated exec timings diverged",
+                q.name()
+            );
+            assert_eq!(par.breakdown.total_ms(), seq.breakdown.total_ms());
+        }
     }
 }
 

@@ -19,6 +19,7 @@ use xdb_engine::exec::{Execution, MapResolver};
 use xdb_engine::profile::EngineProfile;
 use xdb_engine::relation::Relation;
 use xdb_net::{mediator_finish, params, NodeId, Purpose};
+use xdb_obs::{QueryTrace, SpanKind, TraceCollector};
 use xdb_sql::algebra::plan_to_select;
 use xdb_sql::ast::Statement;
 use xdb_sql::bind::bind_select;
@@ -96,6 +97,10 @@ pub struct MwReport {
     pub fetch_bytes: u64,
     pub fetch_rows: u64,
     pub subqueries: usize,
+    /// Coarse span timeline of the MW execution (sub-query pushes, fetches
+    /// into the mediator, residual work) for side-by-side comparison with
+    /// XDB traces.
+    pub trace: QueryTrace,
 }
 
 /// A mediator-wrapper federation frontend.
@@ -160,8 +165,22 @@ impl<'a> Mediator<'a> {
         // one thread per fragment, each recording into a scratch ledger —
         // and are merged back in topographic order so the ledger and the
         // simulated accounting are identical to a sequential pass.
+        let collector = TraceCollector::new();
+        let query_span = collector.span(
+            SpanKind::Query,
+            "mw query",
+            self.config.name,
+            None,
+            0.0,
+            0.0,
+        );
+        collector.attr(query_span, "sql", sql);
+        collector.attr(query_span, "mediator", self.config.node.as_str());
         let mut fetched = MapResolver::new();
         let mut fetches: Vec<(f64, f64)> = Vec::new();
+        // Per-fragment (task id, dbms, finish_ms, transfer_ms, bytes, rows)
+        // kept aside for span emission once the totals are known.
+        let mut fragment_stats: Vec<(usize, NodeId, f64, f64, u64, u64)> = Vec::new();
         let mut fetch_bytes = 0u64;
         let mut fetch_rows = 0u64;
         let mut subqueries = 0usize;
@@ -216,6 +235,14 @@ impl<'a> Mediator<'a> {
             self.cluster.ledger.absorb(&ledger);
             let bytes = rel.wire_bytes();
             fetches.push((finish_ms, transfer));
+            fragment_stats.push((
+                id,
+                plan.task(id).dbms.clone(),
+                finish_ms,
+                transfer,
+                bytes,
+                rel.len() as u64,
+            ));
             fetch_bytes += bytes;
             fetch_rows += rel.len() as u64;
             subqueries += 1;
@@ -245,14 +272,38 @@ impl<'a> Mediator<'a> {
                 bytes,
                 self.config.protocol_overhead,
             );
+            let total_ms = params::DDL_ROUNDTRIP_MS + report.finish_ms + transfer;
+            let task_span = collector.span(
+                SpanKind::Task,
+                format!("subquery t{}", plan.root),
+                root.dbms.as_str(),
+                Some(query_span),
+                params::DDL_ROUNDTRIP_MS,
+                report.finish_ms,
+            );
+            collector.attr(task_span, "rows", rel.len().to_string());
+            let wire = collector.span(
+                SpanKind::Transfer,
+                format!("{} -> {}", root.dbms, self.config.node),
+                "net",
+                Some(query_span),
+                params::DDL_ROUNDTRIP_MS + report.finish_ms,
+                transfer,
+            );
+            collector.attr(wire, "bytes", bytes.to_string());
+            collector.set_dur(query_span, total_ms);
+            collector.add("fetch.bytes", bytes as f64);
+            collector.add("fetch.rows", rel.len() as f64);
+            collector.add("subqueries", 1.0);
             return Ok(MwReport {
-                total_ms: params::DDL_ROUNDTRIP_MS + report.finish_ms + transfer,
+                total_ms,
                 transfer_ms: transfer,
                 mediator_work_ms: 0.0,
                 fetch_bytes: bytes,
                 fetch_rows: rel.len() as u64,
                 subqueries: 1,
                 relation: rel,
+                trace: collector.finish(),
             });
         }
 
@@ -260,14 +311,16 @@ impl<'a> Mediator<'a> {
         // intermediates.
         let mut exec = Execution::new(&fetched);
         let relation = exec.run(&root.plan)?;
-        let raw_work = self.config.profile.work_ms(exec.scan_units, exec.olap_units);
+        let raw_work = self
+            .config
+            .profile
+            .work_ms(exec.scan_units, exec.olap_units);
         let mut mediator_work_ms = parallel_work_ms(raw_work, self.config.workers);
         // Scale-out exchange: repartitioning the fetched data across
         // workers costs wire time and shows up in the ledger.
         if self.config.workers > 1 {
-            let exchange_bytes =
-                (fetch_bytes as f64 * (self.config.workers as f64 - 1.0)
-                    / self.config.workers as f64) as u64;
+            let exchange_bytes = (fetch_bytes as f64 * (self.config.workers as f64 - 1.0)
+                / self.config.workers as f64) as u64;
             for w in 1..self.config.workers {
                 self.cluster.ledger.record(
                     &self.config.node,
@@ -277,8 +330,7 @@ impl<'a> Mediator<'a> {
                     Purpose::WorkerExchange,
                 );
             }
-            mediator_work_ms +=
-                exchange_bytes as f64 / params::LAN_BANDWIDTH_BYTES_PER_MS;
+            mediator_work_ms += exchange_bytes as f64 / params::LAN_BANDWIDTH_BYTES_PER_MS;
         }
         let startup =
             self.config.profile.startup_ms * (1.0 + 0.2 * (self.config.workers as f64 - 1.0));
@@ -290,6 +342,53 @@ impl<'a> Mediator<'a> {
         // methodology of Section VI-A.
         let free: Vec<(f64, f64)> = fetches.iter().map(|(f, _)| (*f, 0.0)).collect();
         let transfer_ms = total_ms - mediator_finish(startup, mediator_work_ms, &free);
+
+        // Coarse timeline: wrapper submissions first, then per-fragment
+        // sub-query + fetch lanes, then the mediator's residual work
+        // finishing at `total_ms`.
+        for (k, (id, dbms, finish_ms, transfer, bytes, rows)) in fragment_stats.iter().enumerate() {
+            let push = collector.span(
+                SpanKind::Ddl,
+                format!("push subquery t{id}"),
+                self.config.name,
+                Some(query_span),
+                k as f64 * params::DDL_ROUNDTRIP_MS,
+                params::DDL_ROUNDTRIP_MS,
+            );
+            collector.attr(push, "dbms", dbms.as_str());
+            let task_span = collector.span(
+                SpanKind::Task,
+                format!("subquery t{id}"),
+                dbms.as_str(),
+                Some(query_span),
+                submission_ms,
+                *finish_ms,
+            );
+            collector.attr(task_span, "rows", rows.to_string());
+            let wire = collector.span(
+                SpanKind::Transfer,
+                format!("{} -> {}", dbms, self.config.node),
+                "net",
+                Some(query_span),
+                submission_ms + finish_ms,
+                *transfer,
+            );
+            collector.attr(wire, "bytes", bytes.to_string());
+            collector.attr(wire, "rows", rows.to_string());
+        }
+        let work_span = collector.span(
+            SpanKind::Exec,
+            "mediator residual",
+            self.config.name,
+            Some(query_span),
+            total_ms - mediator_work_ms,
+            mediator_work_ms,
+        );
+        collector.attr(work_span, "workers", self.config.workers.to_string());
+        collector.set_dur(query_span, total_ms);
+        collector.add("fetch.bytes", fetch_bytes as f64);
+        collector.add("fetch.rows", fetch_rows as f64);
+        collector.add("subqueries", subqueries as f64);
         Ok(MwReport {
             relation,
             total_ms,
@@ -298,6 +397,7 @@ impl<'a> Mediator<'a> {
             fetch_bytes,
             fetch_rows,
             subqueries,
+            trace: collector.finish(),
         })
     }
 }

@@ -1,115 +1,218 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro all              # everything (EXPERIMENTS.md is this output)
+//! repro all                      # everything (EXPERIMENTS.md is this output)
 //! repro fig1|fig9|fig10|fig11|fig12|fig13|fig14|fig15
 //! repro table2|table3|table4
 //! repro ablations
-//! repro --sf 0.05 fig9   # override the default scale factor
+//! repro --sf 0.05 fig9           # override the default scale factor
+//! repro --out report.txt all     # write the report to a file
+//! repro --trace out.json fig9    # also emit a Chrome-trace JSON of the
+//!                                # six-query TD1 workload (open in
+//!                                # chrome://tracing or ui.perfetto.dev)
+//! repro --check-trace out.json   # validate a previously emitted trace
 //! ```
 
+use std::io::Write;
 use xdb_bench::experiments as exp;
+use xdb_obs::json;
 use xdb_tpch::{TableDist, TpchQuery};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut sf = 0.05f64;
     let mut targets: Vec<String> = Vec::new();
+    let mut trace_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
-        if a == "--sf" {
-            sf = it
-                .next()
-                .and_then(|v| v.parse().ok())
-                .expect("--sf takes a number");
-        } else {
-            targets.push(a.to_ascii_lowercase());
+        match a.as_str() {
+            "--sf" => {
+                sf = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--sf takes a number");
+            }
+            "--trace" => trace_path = Some(it.next().expect("--trace takes a file path")),
+            "--out" => out_path = Some(it.next().expect("--out takes a file path")),
+            "--check-trace" => {
+                check_path = Some(it.next().expect("--check-trace takes a file path"));
+            }
+            _ => targets.push(a.to_ascii_lowercase()),
         }
     }
-    if targets.is_empty() {
-        eprintln!("usage: repro [--sf X] <all|fig1|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table2|table3|table4|ablations>");
+    if let Some(path) = check_path {
+        check_trace(&path);
+        return;
+    }
+    if targets.is_empty() && trace_path.is_none() {
+        eprintln!(
+            "usage: repro [--sf X] [--out report.txt] [--trace out.json] \
+             <all|fig1|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table2|table3|table4|ablations>\n\
+             \x20      repro --check-trace out.json"
+        );
         std::process::exit(2);
     }
+    let mut out: Box<dyn Write> = match &out_path {
+        Some(path) => Box::new(std::fs::File::create(path).expect("create --out file")),
+        None => Box::new(std::io::stdout()),
+    };
     let all = targets.iter().any(|t| t == "all");
     let want = |name: &str| all || targets.iter().any(|t| t == name);
     let t0 = std::time::Instant::now();
 
     if want("table2") {
-        println!("== Table II: system characteristics ==");
-        print!("{}", xdb_core::characteristics::render_table());
-        println!();
+        writeln!(out, "== Table II: system characteristics ==").unwrap();
+        write!(out, "{}", xdb_core::characteristics::render_table()).unwrap();
+        writeln!(out).unwrap();
     }
     if want("table3") {
-        println!("== Table III: table distributions ==");
-        print!("{}", xdb_tpch::distributions::render_table3());
-        println!();
+        writeln!(out, "== Table III: table distributions ==").unwrap();
+        write!(out, "{}", xdb_tpch::distributions::render_table3()).unwrap();
+        writeln!(out).unwrap();
     }
     if want("fig1") {
-        print!("{}", exp::fig01(sf / 5.0, sf).expect("fig1").render());
-        println!();
+        write!(out, "{}", exp::fig01(sf / 5.0, sf).expect("fig1").render()).unwrap();
+        writeln!(out).unwrap();
     }
     if want("fig9") {
         for td in TableDist::ALL {
-            print!("{}", exp::fig09(td, sf).expect("fig9").render());
-            println!();
+            write!(out, "{}", exp::fig09(td, sf).expect("fig9").render()).unwrap();
+            writeln!(out).unwrap();
         }
     }
     if want("fig10") {
-        print!("{}", exp::fig10(sf).expect("fig10").render());
-        println!();
+        write!(out, "{}", exp::fig10(sf).expect("fig10").render()).unwrap();
+        writeln!(out).unwrap();
     }
     if want("fig11") {
-        print!("{}", exp::fig11(sf).expect("fig11").render());
-        println!();
+        write!(out, "{}", exp::fig11(sf).expect("fig11").render()).unwrap();
+        writeln!(out).unwrap();
     }
     if want("table4") {
-        print!("{}", exp::table4(sf).expect("table4"));
-        println!();
+        write!(out, "{}", exp::table4(sf).expect("table4")).unwrap();
+        writeln!(out).unwrap();
     }
     if want("fig12") {
         let sfs = [sf / 10.0, sf / 2.0, sf, sf * 2.0];
         for fig in exp::fig12(&sfs).expect("fig12") {
-            print!("{}", fig.render());
-            println!();
+            write!(out, "{}", fig.render()).unwrap();
+            writeln!(out).unwrap();
         }
     }
     if want("fig13") {
         let sfs = [sf / 10.0, sf / 2.0, sf, sf * 2.0];
-        print!("{}", exp::fig13(&sfs).expect("fig13").render());
-        println!();
+        write!(out, "{}", exp::fig13(&sfs).expect("fig13").render()).unwrap();
+        writeln!(out).unwrap();
     }
     if want("fig14") {
         for td in [TableDist::Td1, TableDist::Td2] {
-            print!("{}", exp::fig14(td, sf).expect("fig14").render());
-            println!();
+            write!(out, "{}", exp::fig14(td, sf).expect("fig14").render()).unwrap();
+            writeln!(out).unwrap();
         }
     }
     if want("fig15") {
         let sfs = [sf / 10.0, sf / 2.0, sf, sf * 2.0];
-        print!(
+        write!(
+            out,
             "{}",
             exp::fig15(TpchQuery::Q3, TableDist::Td1, &sfs)
                 .expect("fig15a")
                 .render()
-        );
-        println!();
-        print!(
+        )
+        .unwrap();
+        writeln!(out).unwrap();
+        write!(
+            out,
             "{}",
             exp::fig15(TpchQuery::Q8, TableDist::Td3, &sfs)
                 .expect("fig15b")
                 .render()
-        );
-        println!();
+        )
+        .unwrap();
+        writeln!(out).unwrap();
     }
     if want("ablations") {
-        print!("{}", exp::ablation_movement(sf).expect("a1").render());
-        println!();
-        print!("{}", exp::ablation_pruning(sf).expect("a2").render());
-        println!();
-        print!("{}", exp::ablation_logical(sf).expect("a3").render());
-        println!();
-        print!("{}", exp::ablation_bushy(sf).expect("a4").render());
-        println!();
+        write!(out, "{}", exp::ablation_movement(sf).expect("a1").render()).unwrap();
+        writeln!(out).unwrap();
+        write!(out, "{}", exp::ablation_pruning(sf).expect("a2").render()).unwrap();
+        writeln!(out).unwrap();
+        write!(out, "{}", exp::ablation_logical(sf).expect("a3").render()).unwrap();
+        writeln!(out).unwrap();
+        write!(out, "{}", exp::ablation_bushy(sf).expect("a4").render()).unwrap();
+        writeln!(out).unwrap();
     }
+    if let Some(path) = trace_path {
+        let trace = exp::trace_workload(sf).expect("trace workload");
+        std::fs::write(&path, trace.to_chrome_json()).expect("write --trace file");
+        eprintln!(
+            "(trace: {} spans across {} lanes -> {path})",
+            trace.spans.len(),
+            trace.lanes().len()
+        );
+    }
+    out.flush().unwrap();
     eprintln!("(repro finished in {:.1?})", t0.elapsed());
+}
+
+/// Validate a Chrome-trace JSON file emitted by `--trace`: it must parse,
+/// and every named lane must carry at least one complete ("X") event.
+/// Exits 2 on any violation.
+fn check_trace(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("check-trace: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let value = json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("check-trace: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    });
+    let Some(events) = value.get("traceEvents").and_then(json::Value::as_array) else {
+        eprintln!("check-trace: {path} has no traceEvents array");
+        std::process::exit(2);
+    };
+    let mut lanes: Vec<(f64, String)> = Vec::new(); // (tid, name)
+    let mut x_tids: Vec<f64> = Vec::new();
+    for e in events {
+        let ph = e.get("ph").and_then(json::Value::as_str);
+        let tid = e.get("tid").and_then(json::Value::as_f64);
+        match ph {
+            Some("M") if e.get("name").and_then(json::Value::as_str) == Some("thread_name") => {
+                let name = e
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(json::Value::as_str)
+                    .unwrap_or("?")
+                    .to_string();
+                lanes.push((tid.unwrap_or(-1.0), name));
+            }
+            Some("X") => x_tids.push(tid.unwrap_or(-1.0)),
+            _ => {}
+        }
+    }
+    if lanes.is_empty() || x_tids.is_empty() {
+        eprintln!(
+            "check-trace: {path} has {} lanes and {} X events",
+            lanes.len(),
+            x_tids.len()
+        );
+        std::process::exit(2);
+    }
+    let mut bad = false;
+    for (tid, name) in &lanes {
+        let n = x_tids.iter().filter(|t| *t == tid).count();
+        if n == 0 {
+            eprintln!("check-trace: lane {name:?} (tid {tid}) has no spans");
+            bad = true;
+        }
+    }
+    if bad {
+        std::process::exit(2);
+    }
+    println!(
+        "check-trace: {path} OK — {} X events across {} lanes",
+        x_tids.len(),
+        lanes.len()
+    );
 }

@@ -77,6 +77,40 @@ pub fn run_xdb(env: &Env, sql: &str) -> Result<(f64, f64, u64)> {
     Ok((out.breakdown.exec_ms, out.breakdown.total_ms(), moved))
 }
 
+// ------------------------------------------------------------- trace sink
+
+/// Run all six TPC-H queries on TD1 with per-operator profiling enabled
+/// and concatenate their traces onto one timeline — the payload behind
+/// `repro --trace out.json`. Honors `XDB_SEQUENTIAL=1` like [`run_xdb`];
+/// the emitted trace is bit-identical either way because span timestamps
+/// come from the simulated clock, not the host.
+pub fn trace_workload(sf: f64) -> Result<xdb_obs::QueryTrace> {
+    let env = env(TableDist::Td1, sf, Scenario::OnPremise, &pg())?;
+    let mut merged = xdb_obs::QueryTrace::default();
+    let mut offset = 0.0f64;
+    for q in TpchQuery::ALL {
+        env.cluster.ledger.clear();
+        let xdb = Xdb::new(&env.cluster, &env.catalog)
+            .with_client_node(CLOUD)
+            .with_options(XdbOptions {
+                parallel_execution: std::env::var_os("XDB_SEQUENTIAL").is_none(),
+                trace_operators: true,
+                ..Default::default()
+            });
+        let out = xdb.submit(q.sql())?;
+        let mut trace = out.trace;
+        // The root span of every submission is named "query"; label it
+        // with the TPC-H query so the merged timeline reads Q3, Q5, …
+        if let Some(root) = trace.spans.iter_mut().find(|s| s.parent.is_none()) {
+            root.name = q.name().to_string();
+        }
+        trace.shift_ms(offset);
+        offset = trace.end_ms();
+        merged.merge(trace);
+    }
+    Ok(merged)
+}
+
 // ------------------------------------------------------------------ Fig 1
 
 /// Fig 1: the introduction experiment — total vs actual execution time of
@@ -91,16 +125,18 @@ pub fn fig01(sf_small: f64, sf_large: f64) -> Result<Figure> {
         let env = env(TableDist::Td1, sf, Scenario::OnPremise, &pg())?;
         let q3 = TpchQuery::Q3.sql();
         let actual = localized_exec_ms(sf, q3)? / 1000.0;
-        let garlic = Mediator::new(&env.cluster, &env.catalog, MediatorConfig::garlic(CLOUD))
-            .submit(q3)?;
+        let garlic =
+            Mediator::new(&env.cluster, &env.catalog, MediatorConfig::garlic(CLOUD)).submit(q3)?;
         let presto = Mediator::new(&env.cluster, &env.catalog, MediatorConfig::presto(CLOUD, 4))
             .submit(q3)?;
         let (xdb_exec, _, _) = run_xdb(&env, q3)?;
         let x = format!("sf {sf}");
-        fig.series_mut("garlic total").push(&x, garlic.total_ms / 1000.0);
+        fig.series_mut("garlic total")
+            .push(&x, garlic.total_ms / 1000.0);
         fig.series_mut("garlic actual")
             .push(&x, (garlic.total_ms - garlic.transfer_ms) / 1000.0);
-        fig.series_mut("presto total").push(&x, presto.total_ms / 1000.0);
+        fig.series_mut("presto total")
+            .push(&x, presto.total_ms / 1000.0);
         fig.series_mut("presto actual")
             .push(&x, (presto.total_ms - presto.transfer_ms) / 1000.0);
         fig.series_mut("xdb total").push(&x, xdb_exec / 1000.0);
@@ -129,11 +165,16 @@ pub fn fig09(td: TableDist, sf: f64) -> Result<Figure> {
             .submit(q.sql())?;
         let sclera = Sclera::new(&env.cluster, &env.catalog, CLOUD).submit(q.sql())?;
         fig.series_mut("xdb").push(q.name(), xdb_exec / 1000.0);
-        fig.series_mut("garlic").push(q.name(), garlic.total_ms / 1000.0);
-        fig.series_mut("presto4").push(q.name(), presto.total_ms / 1000.0);
-        fig.series_mut("sclera").push(q.name(), sclera.total_ms / 1000.0);
-        fig.series_mut("garlic µ").push(q.name(), garlic.transfer_ms / 1000.0);
-        fig.series_mut("presto µ").push(q.name(), presto.transfer_ms / 1000.0);
+        fig.series_mut("garlic")
+            .push(q.name(), garlic.total_ms / 1000.0);
+        fig.series_mut("presto4")
+            .push(q.name(), presto.total_ms / 1000.0);
+        fig.series_mut("sclera")
+            .push(q.name(), sclera.total_ms / 1000.0);
+        fig.series_mut("garlic µ")
+            .push(q.name(), garlic.transfer_ms / 1000.0);
+        fig.series_mut("presto µ")
+            .push(q.name(), presto.transfer_ms / 1000.0);
     }
     fig.note("paper: XDB up to 4x vs Garlic, 6x vs Presto, 30x vs Sclera");
     Ok(fig)
@@ -159,7 +200,8 @@ pub fn fig10(sf: f64) -> Result<Figure> {
         let presto = Mediator::new(&env.cluster, &env.catalog, MediatorConfig::presto(CLOUD, 4))
             .submit(q.sql())?;
         fig.series_mut("xdb").push(q.name(), xdb_exec / 1000.0);
-        fig.series_mut("presto4").push(q.name(), presto.total_ms / 1000.0);
+        fig.series_mut("presto4")
+            .push(q.name(), presto.total_ms / 1000.0);
         fig.series_mut("speedup")
             .push(q.name(), presto.total_ms / xdb_exec);
     }
@@ -202,9 +244,8 @@ pub fn fig11(sf: f64) -> Result<Figure> {
 /// Table IV: delegation plan analysis — the `t_i --x--> t_j` edges of
 /// Q3/Q5/Q8 under TD1/TD2 with *measured* moved row counts.
 pub fn table4(sf: f64) -> Result<String> {
-    let mut out = String::from(
-        "== Table IV: delegation plans with measured inter-DBMS movements ==\n",
-    );
+    let mut out =
+        String::from("== Table IV: delegation plans with measured inter-DBMS movements ==\n");
     for td in [TableDist::Td1, TableDist::Td2] {
         let env = env(td, sf, Scenario::OnPremise, &pg())?;
         for q in [TpchQuery::Q3, TpchQuery::Q5, TpchQuery::Q8] {
@@ -270,9 +311,8 @@ pub fn fig12(sfs: &[f64]) -> Result<Vec<Figure>> {
             let env = env(TableDist::Td1, sf, Scenario::OnPremise, &pg())?;
             let x = format!("sf {sf}");
             let (xdb_exec, _, _) = run_xdb(&env, q.sql())?;
-            let garlic =
-                Mediator::new(&env.cluster, &env.catalog, MediatorConfig::garlic(CLOUD))
-                    .submit(q.sql())?;
+            let garlic = Mediator::new(&env.cluster, &env.catalog, MediatorConfig::garlic(CLOUD))
+                .submit(q.sql())?;
             let presto =
                 Mediator::new(&env.cluster, &env.catalog, MediatorConfig::presto(CLOUD, 4))
                     .submit(q.sql())?;
@@ -350,8 +390,10 @@ pub fn fig14(td: TableDist, sf: f64) -> Result<Figure> {
             .submit(q.sql())?;
         let presto = Mediator::new(&onp.cluster, &onp.catalog, MediatorConfig::presto(CLOUD, 4))
             .submit(q.sql())?;
-        fig.series_mut("xdb (ONP)").push(q.name(), xdb_onp as f64 / 1e6);
-        fig.series_mut("xdb (GEO)").push(q.name(), xdb_geo as f64 / 1e6);
+        fig.series_mut("xdb (ONP)")
+            .push(q.name(), xdb_onp as f64 / 1e6);
+        fig.series_mut("xdb (GEO)")
+            .push(q.name(), xdb_geo as f64 / 1e6);
         fig.series_mut("garlic")
             .push(q.name(), garlic.fetch_bytes as f64 / 1e6);
         fig.series_mut("presto")
@@ -415,7 +457,8 @@ pub fn ablation_movement(sf: f64) -> Result<Figure> {
                     ..Default::default()
                 });
             let out = xdb.submit(q.sql())?;
-            fig.series_mut(name).push(q.name(), out.breakdown.exec_ms / 1000.0);
+            fig.series_mut(name)
+                .push(q.name(), out.breakdown.exec_ms / 1000.0);
         }
     }
     fig.note("cost-based should match or beat both forced policies");
@@ -508,7 +551,8 @@ pub fn ablation_bushy(sf: f64) -> Result<Figure> {
                     ..Default::default()
                 });
             let out = xdb.submit(q.sql())?;
-            fig.series_mut(name).push(q.name(), out.breakdown.exec_ms / 1000.0);
+            fig.series_mut(name)
+                .push(q.name(), out.breakdown.exec_ms / 1000.0);
             if bushy {
                 fig.series_mut("bushy tasks")
                     .push(q.name(), out.delegation.tasks.len() as f64);
@@ -581,7 +625,11 @@ mod tests {
                 .unwrap()
                 .get(q.name())
                 .unwrap();
-            assert!(onp < garlic, "{}: xdb_onp {onp} >= garlic {garlic}", q.name());
+            assert!(
+                onp < garlic,
+                "{}: xdb_onp {onp} >= garlic {garlic}",
+                q.name()
+            );
         }
     }
 
@@ -592,11 +640,31 @@ mod tests {
     }
 
     #[test]
+    fn trace_workload_concatenates_all_queries() {
+        let trace = trace_workload(TEST_SF).unwrap();
+        let roots = trace.spans.iter().filter(|s| s.parent.is_none()).count();
+        assert_eq!(roots, TpchQuery::ALL.len());
+        // One lane per engine node plus client and net.
+        let lanes = trace.lanes();
+        for lane in ["client", "net", "db1", "db2", "db3"] {
+            assert!(
+                lanes.iter().any(|l| l == lane),
+                "missing lane {lane}: {lanes:?}"
+            );
+        }
+        assert!(trace.counter("consults") > 0.0);
+        assert!(trace.end_ms() > 0.0);
+    }
+
+    #[test]
     fn fig15_overhead_sf_independent() {
         let fig = fig15(TpchQuery::Q3, TableDist::Td1, &[TEST_SF, TEST_SF * 4.0]).unwrap();
         let ann = fig.series.iter().find(|s| s.name == "ann").unwrap();
         let a = ann.points[0].1;
         let b = ann.points[1].1;
-        assert!((a - b).abs() < 1e-9, "ann should not depend on sf: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 1e-9,
+            "ann should not depend on sf: {a} vs {b}"
+        );
     }
 }

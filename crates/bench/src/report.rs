@@ -20,10 +20,7 @@ impl Series {
     }
 
     pub fn get(&self, x: &str) -> Option<f64> {
-        self.points
-            .iter()
-            .find(|(l, _)| l == x)
-            .map(|(_, v)| *v)
+        self.points.iter().find(|(l, _)| l == x).map(|(_, v)| *v)
     }
 }
 

@@ -11,7 +11,7 @@
 //! own task, leaving a `?` placeholder (dummy operator) behind.
 
 use crate::consult_cache::ConsultReply;
-use crate::cost::{decide_placement, InputSide};
+use crate::cost::{decide_placement_detailed, CandidateCost, InputSide, Placement};
 use crate::global::GlobalCatalog;
 use crate::plan::{placeholder_alias, placeholder_name, DelegationPlan, Edge, Task};
 use std::collections::HashMap;
@@ -67,6 +67,19 @@ pub struct AnnotateOptions {
     pub no_consult_cache: bool,
 }
 
+/// One cross-database placement decision, recorded for observability: the
+/// option the optimizer chose plus every option it weighed.
+#[derive(Debug, Clone)]
+pub struct PlacementDecision {
+    pub chosen: Placement,
+    /// Every costed `(a, x_l, x_r)` option, in evaluation order. Empty for
+    /// heuristic policies (LeftInput / Mediator), which cost nothing.
+    pub candidates: Vec<CandidateCost>,
+    /// Consulting round-trips actually *paid* for this decision (cache
+    /// hits are free).
+    pub paid_consults: u64,
+}
+
 /// Annotation outcome: the delegation plan plus consulting accounting.
 #[derive(Debug, Clone)]
 pub struct Annotation {
@@ -74,6 +87,15 @@ pub struct Annotation {
     /// EXPLAIN-probe round-trips performed (drives the `ann` phase of
     /// Fig 15).
     pub consults: u64,
+    /// Consultation-cache hits observed by *this* annotation run (counted
+    /// locally, not from the shared cache's global counters, so concurrent
+    /// queries cannot pollute each other's accounting).
+    pub cache_hits: u64,
+    /// Consultation-cache misses observed by this annotation run.
+    pub cache_misses: u64,
+    /// One entry per cross-database operator, in annotation (bottom-up)
+    /// order.
+    pub decisions: Vec<PlacementDecision>,
 }
 
 /// Rewrite rule produced by cutting a subtree into a task: references into
@@ -101,6 +123,9 @@ pub struct Annotator<'a> {
     /// Movement of each cut task's out-edge.
     movements: HashMap<usize, Movement>,
     consults: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    decisions: Vec<PlacementDecision>,
 }
 
 impl<'a> Annotator<'a> {
@@ -116,6 +141,9 @@ impl<'a> Annotator<'a> {
             tasks: Vec::new(),
             movements: HashMap::new(),
             consults: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            decisions: Vec::new(),
         }
     }
 
@@ -132,6 +160,9 @@ impl<'a> Annotator<'a> {
                 root,
             },
             consults: self.consults,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            decisions: self.decisions,
         })
     }
 
@@ -156,9 +187,9 @@ impl<'a> Annotator<'a> {
                     renames: Vec::new(),
                 })
             }
-            LogicalPlan::Placeholder { .. } => Err(EngineError::Execution(
-                "placeholder in user plan".into(),
-            )),
+            LogicalPlan::Placeholder { .. } => {
+                Err(EngineError::Execution("placeholder in user plan".into()))
+            }
             LogicalPlan::OneRow => Err(EngineError::Unsupported(
                 "cross-database delegation of a FROM-less query".into(),
             )),
@@ -418,6 +449,7 @@ impl<'a> Annotator<'a> {
                             Err(_) => probe.tree_string(),
                         };
                         let use_cache = !self.options.no_consult_cache;
+                        let paid_before = self.consults;
                         let mut profile_map: HashMap<NodeId, xdb_engine::EngineProfile> =
                             HashMap::new();
                         for cand in &candidates {
@@ -428,12 +460,16 @@ impl<'a> Annotator<'a> {
                                 let generation = engine.ddl_generation();
                                 let cache = catalog.consult_cache();
                                 match cache.lookup(cand, &probe_sql, generation) {
-                                    Some(ConsultReply::Explain(p)) => p,
+                                    Some(ConsultReply::Explain(p)) => {
+                                        self.cache_hits += 1;
+                                        p
+                                    }
                                     _ => {
                                         // One real round-trip per candidate;
                                         // the memoized answer serves every
                                         // later evaluation of this probe.
                                         self.consults += 1;
+                                        self.cache_misses += 1;
                                         let p = engine.profile.clone();
                                         cache.store(
                                             cand,
@@ -457,7 +493,7 @@ impl<'a> Annotator<'a> {
                                     .unwrap_or_else(|_| xdb_engine::EngineProfile::postgres())
                             })
                         };
-                        let placement = decide_placement(
+                        let (placement, costed) = decide_placement_detailed(
                             &self.cluster.topology,
                             &profiles,
                             &l_side,
@@ -469,29 +505,47 @@ impl<'a> Annotator<'a> {
                         if !use_cache {
                             self.consults += placement.consults;
                         }
+                        self.decisions.push(PlacementDecision {
+                            chosen: placement.clone(),
+                            candidates: costed,
+                            paid_consults: self.consults - paid_before,
+                        });
                         placement
                     }
                     // ScleraDB-style heuristic: the left input's home
                     // wins; the moved side is materialized.
-                    PlacementPolicy::LeftInput => crate::cost::Placement {
-                        dbms: l.dbms.clone(),
-                        left_move: Movement::Implicit,
-                        right_move: self
-                            .options
-                            .force_movement
-                            .unwrap_or(Movement::Explicit),
-                        cost: 0.0,
-                        consults: 0,
-                    },
+                    PlacementPolicy::LeftInput => {
+                        let p = Placement {
+                            dbms: l.dbms.clone(),
+                            left_move: Movement::Implicit,
+                            right_move: self.options.force_movement.unwrap_or(Movement::Explicit),
+                            cost: 0.0,
+                            consults: 0,
+                        };
+                        self.decisions.push(PlacementDecision {
+                            chosen: p.clone(),
+                            candidates: Vec::new(),
+                            paid_consults: 0,
+                        });
+                        p
+                    }
                     // Mediator decomposition: every cross-database
                     // operator runs at the mediator; inputs are fetched.
-                    PlacementPolicy::Mediator(node) => crate::cost::Placement {
-                        dbms: node.clone(),
-                        left_move: Movement::Implicit,
-                        right_move: Movement::Implicit,
-                        cost: 0.0,
-                        consults: 0,
-                    },
+                    PlacementPolicy::Mediator(node) => {
+                        let p = Placement {
+                            dbms: node.clone(),
+                            left_move: Movement::Implicit,
+                            right_move: Movement::Implicit,
+                            cost: 0.0,
+                            consults: 0,
+                        };
+                        self.decisions.push(PlacementDecision {
+                            chosen: p.clone(),
+                            candidates: Vec::new(),
+                            paid_consults: 0,
+                        });
+                        p
+                    }
                 };
 
                 let mut renames: Vec<Rename> = Vec::new();
@@ -533,9 +587,7 @@ impl<'a> Annotator<'a> {
                 let r_cut: Vec<Rename> = r_rename.into_iter().collect();
                 let on = on
                     .into_iter()
-                    .map(|(le, re)| {
-                        (apply_renames(le, &l_cut), apply_renames(re, &r_cut))
-                    })
+                    .map(|(le, re)| (apply_renames(le, &l_cut), apply_renames(re, &r_cut)))
                     .collect();
                 let residual = residual.map(|res| {
                     let res = apply_renames(res, &l_cut);
@@ -674,10 +726,7 @@ impl<'a> Annotator<'a> {
                         edges.push(Edge {
                             from,
                             to: task.id,
-                            movement: *self
-                                .movements
-                                .get(&from)
-                                .unwrap_or(&Movement::Implicit),
+                            movement: *self.movements.get(&from).unwrap_or(&Movement::Implicit),
                         });
                     }
                 }
@@ -776,9 +825,8 @@ mod tests {
 
     #[test]
     fn colocated_join_stays_fused() {
-        let (ann, _) = annotate_query(
-            "SELECT v.vtype FROM vaccines v, vaccination vn WHERE v.id = vn.v_id",
-        );
+        let (ann, _) =
+            annotate_query("SELECT v.vtype FROM vaccines v, vaccination vn WHERE v.id = vn.v_id");
         assert_eq!(ann.plan.tasks.len(), 1, "{}", ann.plan.describe());
         assert_eq!(ann.plan.task(ann.plan.root).dbms.as_str(), "vdb");
     }
@@ -791,12 +839,7 @@ mod tests {
         assert_eq!(ann.plan.tasks.len(), 3, "{}", ann.plan.describe());
         assert_eq!(ann.plan.edges.len(), 2);
         // Each DBMS hosts exactly one task.
-        let mut hosts: Vec<&str> = ann
-            .plan
-            .tasks
-            .iter()
-            .map(|t| t.dbms.as_str())
-            .collect();
+        let mut hosts: Vec<&str> = ann.plan.tasks.iter().map(|t| t.dbms.as_str()).collect();
         hosts.sort();
         assert_eq!(hosts, vec!["cdb", "hdb", "vdb"]);
         // Rule-4 consulting happened: one memoized probe per candidate of

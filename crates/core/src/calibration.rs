@@ -44,14 +44,10 @@ impl Calibration {
                     .collect(),
             );
             engine.load_table(&probe_table, rel)?;
-            let stmt = xdb_sql::parse_select(&format!(
-                "SELECT k FROM {probe_table} WHERE v > 100"
-            ))?;
+            let stmt =
+                xdb_sql::parse_select(&format!("SELECT k FROM {probe_table} WHERE v > 100"))?;
             let info = engine.explain_select(&stmt)?;
-            engine.execute_sql(
-                &format!("DROP TABLE {probe_table}"),
-                &xdb_engine::NoRemote,
-            )?;
+            engine.execute_sql(&format!("DROP TABLE {probe_table}"), &xdb_engine::NoRemote)?;
             let cost = info.est_cost.max(1e-9);
             match &reference {
                 None => {

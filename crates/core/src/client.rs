@@ -22,6 +22,7 @@ use xdb_engine::cluster::Cluster;
 use xdb_engine::error::{EngineError, Result};
 use xdb_engine::relation::Relation;
 use xdb_net::{params, NodeId, Purpose};
+use xdb_obs::{QueryTrace, SpanId, SpanKind, TraceCollector, TraceCtx};
 use xdb_sql::ast::{Statement, TableRef};
 use xdb_sql::bind::bind_select;
 use xdb_sql::optimize::{optimize, OptimizeOptions};
@@ -55,6 +56,21 @@ impl PhaseBreakdown {
     pub fn overhead_ms(&self) -> f64 {
         self.prep_ms + self.lopt_ms + self.ann_ms
     }
+
+    /// Project the breakdown out of a query trace: phase durations come
+    /// from the Phase spans, cache accounting from the counters. This is
+    /// the *only* way the middleware computes a breakdown — the trace is
+    /// the source of truth, the breakdown a view of it.
+    pub fn from_trace(trace: &QueryTrace) -> PhaseBreakdown {
+        PhaseBreakdown {
+            prep_ms: trace.phase_ms("prep"),
+            lopt_ms: trace.phase_ms("lopt"),
+            ann_ms: trace.phase_ms("ann"),
+            exec_ms: trace.phase_ms("exec"),
+            consult_cache_hits: trace.counter("consult.cache_hits") as u64,
+            consult_cache_misses: trace.counter("consult.cache_misses") as u64,
+        }
+    }
 }
 
 /// Result of one cross-database query.
@@ -65,6 +81,18 @@ pub struct QueryOutcome {
     pub breakdown: PhaseBreakdown,
     pub consult_roundtrips: u64,
     pub ddl_count: usize,
+    /// The structured execution trace: hierarchical spans (query → phase →
+    /// task → operator / DDL / transfer) on the simulated clock, plus
+    /// counters. Deterministic — parallel and sequential executors emit
+    /// bit-identical traces.
+    pub trace: QueryTrace,
+}
+
+impl QueryOutcome {
+    /// `EXPLAIN ANALYZE`-style text report of the trace.
+    pub fn report(&self) -> String {
+        self.trace.render_text()
+    }
 }
 
 /// Middleware configuration.
@@ -87,6 +115,11 @@ pub struct XdbOptions {
     /// (results, ledger, simulated timings); off switches back to the
     /// strictly sequential step loop.
     pub parallel_execution: bool,
+    /// Collect per-operator statistics (rows in/out, hash-join build and
+    /// probe sizes) inside every engine touched by this query and attach
+    /// Operator spans to the trace. Off by default: operator profiling is
+    /// the only instrumentation with a per-row bookkeeping footprint.
+    pub trace_operators: bool,
 }
 
 impl Default for XdbOptions {
@@ -98,6 +131,7 @@ impl Default for XdbOptions {
             bushy_joins: false,
             keep_objects: false,
             parallel_execution: true,
+            trace_operators: false,
         }
     }
 }
@@ -148,7 +182,25 @@ impl<'a> Xdb<'a> {
 
     /// Plan a query without executing it: returns the delegation plan, the
     /// DDL script, and the would-be breakdown of the optimization phases.
-    pub fn plan(&self, sql: &str) -> Result<(DelegationPlan, DelegationScript, PhaseBreakdown, u64)> {
+    pub fn plan(
+        &self,
+        sql: &str,
+    ) -> Result<(DelegationPlan, DelegationScript, PhaseBreakdown, u64)> {
+        let planned = self.plan_internal(sql)?;
+        let trace = planned.collector.finish();
+        let breakdown = PhaseBreakdown::from_trace(&trace);
+        Ok((
+            planned.delegation,
+            planned.script,
+            breakdown,
+            planned.consults,
+        ))
+    }
+
+    /// Shared front half of [`Xdb::plan`] and [`Xdb::submit`]: run the
+    /// optimization pipeline while recording the prep/lopt/ann phase spans
+    /// and per-probe Consult spans into a fresh collector.
+    fn plan_internal(&self, sql: &str) -> Result<Planned> {
         let stmt = xdb_sql::parse_statement(sql)?;
         let select = match stmt {
             Statement::Select(s) => s,
@@ -162,25 +214,56 @@ impl<'a> Xdb<'a> {
                 )))
             }
         };
+        let collector = TraceCollector::new();
+        let query_span = collector.span(SpanKind::Query, "query", "client", None, 0.0, 0.0);
+        collector.attr(query_span, "sql", sql);
 
         // prep: parse + consult metadata/statistics for every referenced
         // table. Probes answered by the consultation cache cost nothing;
         // only misses pay the metadata round-trip (the cache is dropped
-        // per node whenever a DDL runs against it).
-        let cache = self.catalog.consult_cache();
-        let (hits_before, misses_before) = (cache.hits(), cache.misses());
+        // per node whenever a DDL runs against it). Hit/miss accounting is
+        // per query — counted from this query's own probes, never from
+        // deltas of the process-wide cache counters, which concurrent
+        // queries would pollute.
+        let prep_span = collector.span(
+            SpanKind::Phase,
+            "prep",
+            "client",
+            Some(query_span),
+            0.0,
+            0.0,
+        );
         let mut tables = Vec::new();
         collect_tables(&select.from, &mut tables);
+        let mut cursor = PREP_PARSE_MS;
+        let mut prep_hits = 0u64;
         let mut prep_fetches = 0u64;
         for t in &tables {
             // Unknown names surface at bind; consultation is best-effort.
             if let Ok(hit) = self.catalog.consult(self.cluster, t) {
-                if !hit {
+                let dur = if hit { 0.0 } else { params::METADATA_FETCH_MS };
+                let probe = collector.span(
+                    SpanKind::Consult,
+                    format!("metadata {t}"),
+                    "client",
+                    Some(prep_span),
+                    cursor,
+                    dur,
+                );
+                collector.attr(probe, "cache", if hit { "hit" } else { "miss" });
+                if let Some(node) = self.catalog.location(t) {
+                    collector.attr(probe, "node", node.as_str());
+                }
+                if hit {
+                    prep_hits += 1;
+                } else {
                     prep_fetches += 1;
                 }
+                cursor += dur;
             }
         }
         let prep_ms = PREP_PARSE_MS + prep_fetches as f64 * params::METADATA_FETCH_MS;
+        collector.set_dur(prep_span, prep_ms);
 
         // lopt.
         let bound = bind_select(&select, self.catalog)?;
@@ -199,29 +282,94 @@ impl<'a> Xdb<'a> {
             },
         );
         let lopt_ms = node_count * LOPT_MS_PER_NODE;
+        let lopt_span = collector.span(
+            SpanKind::Phase,
+            "lopt",
+            "client",
+            Some(query_span),
+            prep_ms,
+            lopt_ms,
+        );
+        collector.attr(lopt_span, "plan_nodes", format!("{node_count:.0}"));
 
         // ann (+ finalization).
         self.catalog.clear_placeholders();
-        let annotation =
-            Annotator::new(self.catalog, self.cluster, self.options.annotate.clone())
-                .run(&optimized)?;
+        let annotation = Annotator::new(self.catalog, self.cluster, self.options.annotate.clone())
+            .run(&optimized)?;
         let ann_ms = annotation.consults as f64 * params::CONSULT_ROUNDTRIP_MS;
+        let ann_span = collector.span(
+            SpanKind::Phase,
+            "ann",
+            "client",
+            Some(query_span),
+            prep_ms + lopt_ms,
+            ann_ms,
+        );
+        let mut acur = prep_ms + lopt_ms;
+        for (i, decision) in annotation.decisions.iter().enumerate() {
+            let dur = decision.paid_consults as f64 * params::CONSULT_ROUNDTRIP_MS;
+            let probe = collector.span(
+                SpanKind::Consult,
+                format!("placement {i}"),
+                "client",
+                Some(ann_span),
+                acur,
+                dur,
+            );
+            let c = &decision.chosen;
+            collector.attr(
+                probe,
+                "chosen",
+                format!(
+                    "{} ({}l,{}r) cost={:.1}",
+                    c.dbms, c.left_move, c.right_move, c.cost
+                ),
+            );
+            collector.attr(probe, "paid_consults", decision.paid_consults.to_string());
+            for (j, cand) in decision.candidates.iter().enumerate() {
+                let picked = cand.dbms == c.dbms
+                    && cand.left_move == c.left_move
+                    && cand.right_move == c.right_move;
+                collector.attr(
+                    probe,
+                    &format!("cand.{j}"),
+                    format!(
+                        "{} ({}l,{}r) cost={:.1} [{}]",
+                        cand.dbms,
+                        cand.left_move,
+                        cand.right_move,
+                        cand.cost,
+                        if picked { "chosen" } else { "rejected" }
+                    ),
+                );
+            }
+            acur += dur;
+        }
+
+        collector.add("consults", annotation.consults as f64);
+        collector.add(
+            "consult.cache_hits",
+            (prep_hits + annotation.cache_hits) as f64,
+        );
+        collector.add(
+            "consult.cache_misses",
+            (prep_fetches + annotation.cache_misses) as f64,
+        );
+        collector.add("prep.metadata_fetches", prep_fetches as f64);
+
+        let overhead_ms = prep_ms + lopt_ms + ann_ms;
+        collector.set_dur(query_span, overhead_ms);
 
         let query_id = NEXT_QUERY_ID.fetch_add(1, Ordering::Relaxed);
         let script = build_script(&annotation.plan, query_id, self.cluster)?;
-        Ok((
-            annotation.plan,
+        Ok(Planned {
+            delegation: annotation.plan,
             script,
-            PhaseBreakdown {
-                prep_ms,
-                lopt_ms,
-                ann_ms,
-                exec_ms: 0.0,
-                consult_cache_hits: cache.hits() - hits_before,
-                consult_cache_misses: cache.misses() - misses_before,
-            },
-            annotation.consults,
-        ))
+            collector,
+            query_span,
+            overhead_ms,
+            consults: annotation.consults,
+        })
     }
 
     /// Middleware-level `EXPLAIN`: plan the query (consulting statistics
@@ -252,7 +400,18 @@ impl<'a> Xdb<'a> {
 
     /// Full pipeline: plan, delegate, execute, clean up.
     pub fn submit(&self, sql: &str) -> Result<QueryOutcome> {
-        let (delegation, script, mut breakdown, consults) = self.plan(sql)?;
+        let planned = self.plan_internal(sql)?;
+        let Planned {
+            delegation,
+            script,
+            collector,
+            query_span,
+            overhead_ms,
+            consults,
+        } = planned;
+        // Transfer spans are derived from the ledger records this query
+        // appends; remember where the ledger stood before we touch it.
+        let ledger_mark = self.cluster.ledger.len();
         // Control traffic: consulting probes and DDL statements are small
         // messages from the middleware to the DBMS nodes (Fig 14's
         // "lightweight control messages").
@@ -265,11 +424,26 @@ impl<'a> Xdb<'a> {
                 Purpose::ControlMessage,
             );
         }
+        let exec_span = collector.span(
+            SpanKind::Phase,
+            "exec",
+            "client",
+            Some(query_span),
+            overhead_ms,
+            0.0,
+        );
+        let trace_ctx = TraceCtx::new(&collector, overhead_ms, Some(exec_span));
+        if self.options.trace_operators {
+            self.cluster.set_op_tracing(true);
+        }
         let exec = if self.options.parallel_execution {
-            run_script_parallel(self.cluster, &delegation, &script)
+            run_script_parallel(self.cluster, &delegation, &script, &trace_ctx)
         } else {
-            run_script(self.cluster, &delegation, &script)
+            run_script(self.cluster, &delegation, &script, &trace_ctx)
         };
+        if self.options.trace_operators {
+            self.cluster.set_op_tracing(false);
+        }
         let outcome = match exec {
             Ok(o) => o,
             Err(e) => {
@@ -289,15 +463,85 @@ impl<'a> Xdb<'a> {
         if !self.options.keep_objects {
             run_cleanup(self.cluster, &script);
         }
-        breakdown.exec_ms = outcome.exec_ms;
+        collector.set_dur(exec_span, outcome.exec_ms);
+        collector.set_dur(query_span, overhead_ms + outcome.exec_ms);
+        self.emit_transfer_spans(
+            &collector,
+            exec_span,
+            ledger_mark,
+            overhead_ms,
+            outcome.exec_ms,
+        );
+        let trace = collector.finish();
+        let breakdown = PhaseBreakdown::from_trace(&trace);
         Ok(QueryOutcome {
             relation: outcome.relation,
             delegation,
             breakdown,
             consult_roundtrips: consults,
             ddl_count: outcome.ddl_count,
+            trace,
         })
     }
+
+    /// One Transfer span (lane `net`) per ledger record this query
+    /// appended, in ledger-merge order — the order is deterministic because
+    /// both executors absorb worker ledgers in script order. Each record
+    /// gets an equal slot of the exec window; the span sequence visualises
+    /// *what moved and in which order*, not independent wire timings (those
+    /// live on the Materialize / pipeline spans).
+    fn emit_transfer_spans(
+        &self,
+        collector: &TraceCollector,
+        exec_span: SpanId,
+        ledger_mark: usize,
+        exec_start_ms: f64,
+        exec_ms: f64,
+    ) {
+        let records = self.cluster.ledger.snapshot();
+        if ledger_mark >= records.len() {
+            return;
+        }
+        let fresh = &records[ledger_mark..];
+        let slot = exec_ms / fresh.len() as f64;
+        for (i, t) in fresh.iter().enumerate() {
+            let span = collector.span(
+                SpanKind::Transfer,
+                format!("{} -> {}", t.from, t.to),
+                "net",
+                Some(exec_span),
+                exec_start_ms + i as f64 * slot,
+                slot,
+            );
+            collector.attr(span, "bytes", t.bytes.to_string());
+            collector.attr(span, "rows", t.rows.to_string());
+            collector.attr(span, "purpose", format!("{:?}", t.purpose));
+            collector.attr(span, "order", i.to_string());
+            match t.purpose {
+                Purpose::InterDbmsPipeline => collector.attr(span, "movement", "implicit"),
+                Purpose::Materialization => collector.attr(span, "movement", "explicit"),
+                _ => {}
+            }
+            collector.add("net.bytes", t.bytes as f64);
+            match t.purpose {
+                Purpose::InterDbmsPipeline => collector.add("net.implicit_bytes", t.bytes as f64),
+                Purpose::Materialization => collector.add("net.explicit_bytes", t.bytes as f64),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Output of the optimization front half: everything `submit` needs to go
+/// on and execute, plus the live trace collector with the prep/lopt/ann
+/// spans already recorded.
+struct Planned {
+    delegation: DelegationPlan,
+    script: DelegationScript,
+    collector: TraceCollector,
+    query_span: SpanId,
+    overhead_ms: f64,
+    consults: u64,
 }
 
 fn collect_tables(from: &[TableRef], out: &mut Vec<String>) {
@@ -387,7 +631,11 @@ mod tests {
             ..Default::default()
         });
         let outcome = xdb.submit(scenario::EXAMPLE_QUERY).unwrap();
-        let root_node = outcome.delegation.task(outcome.delegation.root).dbms.clone();
+        let root_node = outcome
+            .delegation
+            .task(outcome.delegation.root)
+            .dbms
+            .clone();
         let names = cluster
             .engine(root_node.as_str())
             .unwrap()
@@ -432,8 +680,7 @@ mod tests {
     fn plan_only_does_not_execute() {
         let (cluster, catalog) = setup();
         let xdb = Xdb::new(&cluster, &catalog);
-        let (plan, script, breakdown, consults) =
-            xdb.plan(scenario::EXAMPLE_QUERY).unwrap();
+        let (plan, script, breakdown, consults) = xdb.plan(scenario::EXAMPLE_QUERY).unwrap();
         assert_eq!(plan.tasks.len(), 3);
         assert!(!script.steps.is_empty());
         assert!(breakdown.exec_ms == 0.0);

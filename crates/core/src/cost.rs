@@ -67,7 +67,8 @@ pub fn movement_cost(
     if src == a {
         return 0.0;
     }
-    let move_cost = topology.transfer_ms(src, a, bytes.max(0.0) as u64, a_profile.protocol_overhead);
+    let move_cost =
+        topology.transfer_ms(src, a, bytes.max(0.0) as u64, a_profile.protocol_overhead);
     match x {
         // Implicit: wire cost + per-row wrapper fetch overhead γ at the
         // consumer. The producer's start-up overlaps with the consumer's
@@ -99,13 +100,27 @@ pub fn join_exec_cost(
     out_rows: f64,
     any_materialized: bool,
 ) -> f64 {
-    let work = (left_rows + right_rows + out_rows) * a_profile.cpu_tuple_cost_ms
-        * a_profile.olap_factor;
+    let work =
+        (left_rows + right_rows + out_rows) * a_profile.cpu_tuple_cost_ms * a_profile.olap_factor;
     if any_materialized {
         work * MATERIALIZED_JOIN_DISCOUNT
     } else {
         work
     }
+}
+
+/// One fully-costed `(a, x_l, x_r)` option considered by
+/// [`decide_placement`] — kept for observability: the trace records what
+/// the optimizer weighed, not just what it chose.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateCost {
+    pub dbms: NodeId,
+    pub left_move: Movement,
+    pub right_move: Movement,
+    pub cost: f64,
+    /// Consulting round-trips paid evaluating this option (always 1: one
+    /// EXPLAIN-style probe per `(a, x_l, x_r)` combination).
+    pub consults: u64,
 }
 
 /// Solve Equation 1 for one cross-database binary operator.
@@ -124,6 +139,29 @@ pub fn decide_placement(
     candidates: &[NodeId],
     force_movement: Option<Movement>,
 ) -> Placement {
+    decide_placement_detailed(
+        topology,
+        profiles,
+        left,
+        right,
+        out_rows,
+        candidates,
+        force_movement,
+    )
+    .0
+}
+
+/// Like [`decide_placement`], but also returns every costed option in
+/// evaluation order, for trace/EXPLAIN output.
+pub fn decide_placement_detailed(
+    topology: &Topology,
+    profiles: &dyn Fn(&NodeId) -> EngineProfile,
+    left: &InputSide,
+    right: &InputSide,
+    out_rows: f64,
+    candidates: &[NodeId],
+    force_movement: Option<Movement>,
+) -> (Placement, Vec<CandidateCost>) {
     let movements: &[Movement] = match force_movement {
         Some(Movement::Implicit) => &[Movement::Implicit],
         Some(Movement::Explicit) => &[Movement::Explicit],
@@ -131,6 +169,7 @@ pub fn decide_placement(
     };
     let mut best: Option<Placement> = None;
     let mut consults = 0u64;
+    let mut costed: Vec<CandidateCost> = Vec::new();
     for a in candidates {
         let a_profile = &profiles(a);
         // Per input: if it is already local to `a`, it neither moves nor
@@ -170,19 +209,21 @@ pub fn decide_placement(
                 );
                 let any_materialized = (xl == Movement::Explicit && &left.dbms != a)
                     || (xr == Movement::Explicit && &right.dbms != a);
-                let exec = join_exec_cost(
-                    a_profile,
-                    left.rows,
-                    right.rows,
-                    out_rows,
-                    any_materialized,
-                );
+                let exec =
+                    join_exec_cost(a_profile, left.rows, right.rows, out_rows, any_materialized);
                 // Placing the operator at `a` pulls another pipeline stage
                 // onto that engine: its per-query start-up is part of
                 // cost(o, a). This is what steers plans away from
                 // high-start-up engines (Hive) in the heterogeneous setup
                 // (Fig 10).
                 let cost = exec + move_l + move_r + a_profile.startup_ms;
+                costed.push(CandidateCost {
+                    dbms: a.clone(),
+                    left_move: xl,
+                    right_move: xr,
+                    cost,
+                    consults: 1,
+                });
                 let better = match &best {
                     Some(b) => cost < b.cost - 1e-12,
                     None => true,
@@ -201,7 +242,7 @@ pub fn decide_placement(
     }
     let mut placement = best.expect("at least one candidate");
     placement.consults = consults;
-    placement
+    (placement, costed)
 }
 
 #[cfg(test)]
@@ -244,8 +285,26 @@ mod tests {
     fn explicit_costs_more_to_move_than_implicit_for_small_inputs() {
         let (topo, p) = setup();
         let (a, b) = (NodeId::new("db1"), NodeId::new("db2"));
-        let i = movement_cost(&topo, &a, &b, &p, p.startup_ms, 1_000.0, 50_000.0, Movement::Implicit);
-        let e = movement_cost(&topo, &a, &b, &p, p.startup_ms, 1_000.0, 50_000.0, Movement::Explicit);
+        let i = movement_cost(
+            &topo,
+            &a,
+            &b,
+            &p,
+            p.startup_ms,
+            1_000.0,
+            50_000.0,
+            Movement::Implicit,
+        );
+        let e = movement_cost(
+            &topo,
+            &a,
+            &b,
+            &p,
+            p.startup_ms,
+            1_000.0,
+            50_000.0,
+            Movement::Explicit,
+        );
         assert!(e > i);
     }
 
@@ -268,8 +327,8 @@ mod tests {
         // Moving the small side to db2 is cheaper than moving the big one.
         assert_eq!(placement.dbms.as_str(), "db2");
         assert_eq!(placement.right_move, Movement::Implicit); // local side
-        // a=db1: right moves (2 options); a=db2: left moves (2 options) —
-        // the paper's four options per cross-database operation (Sec VI-E).
+                                                              // a=db1: right moves (2 options); a=db2: left moves (2 options) —
+                                                              // the paper's four options per cross-database operation (Sec VI-E).
         assert_eq!(placement.consults, 4);
     }
 

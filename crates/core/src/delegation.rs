@@ -18,10 +18,12 @@
 use crate::plan::{placeholder_name, DelegationPlan};
 use std::collections::HashMap;
 use xdb_engine::cluster::{Cluster, ScopedCluster};
+use xdb_engine::engine::ExecReport;
 use xdb_engine::error::{EngineError, Result};
 use xdb_engine::relation::Relation;
 use xdb_net::Ledger;
 use xdb_net::{params, Movement, NodeId};
+use xdb_obs::{ExecProfile, SpanId, SpanKind, TraceCtx};
 use xdb_sql::algebra::{plan_to_select, LogicalPlan};
 use xdb_sql::ast::{ColumnDef, Statement};
 use xdb_sql::display::render_statement;
@@ -174,19 +176,16 @@ pub fn build_script(
 
 /// Replace placeholder relation names with their bound (foreign or
 /// materialized) relation names.
-fn bind_placeholders(
-    plan: LogicalPlan,
-    bindings: &HashMap<String, String>,
-) -> Result<LogicalPlan> {
+fn bind_placeholders(plan: LogicalPlan, bindings: &HashMap<String, String>) -> Result<LogicalPlan> {
     Ok(match plan {
         LogicalPlan::Placeholder {
             name,
             alias,
             fields,
         } => {
-            let bound = bindings.get(&name).ok_or_else(|| {
-                EngineError::Execution(format!("unbound placeholder {name:?}"))
-            })?;
+            let bound = bindings
+                .get(&name)
+                .ok_or_else(|| EngineError::Execution(format!("unbound placeholder {name:?}")))?;
             LogicalPlan::Placeholder {
                 name: bound.clone(),
                 alias,
@@ -264,36 +263,246 @@ pub fn run_script(
     cluster: &Cluster,
     plan: &DelegationPlan,
     script: &DelegationScript,
+    trace: &TraceCtx<'_>,
 ) -> Result<ExecutionOutcome> {
-    let mut ddl_count = 0usize;
-    // (from, to) -> absolute finish time of the materialization.
-    let mut mat_finish: HashMap<(usize, usize), f64> = HashMap::new();
-
+    let mut reports: Vec<ExecReport> = Vec::with_capacity(script.steps.len());
     for step in &script.steps {
         let outcome = cluster.execute(step.node.as_str(), &step.sql)?;
-        ddl_count += 1;
+        reports.push(outcome.report);
+    }
+    finish_script(cluster, plan, script, &reports, trace)
+}
+
+/// Shared tail of both executors: replay the simulated timeline from the
+/// per-step reports (in script order), run the final XDB query, and emit
+/// the execution spans.
+///
+/// Everything here is single-threaded and driven only by script order and
+/// the deterministic step reports, so sequential and parallel runs produce
+/// bit-identical timings *and traces* by construction.
+fn finish_script(
+    cluster: &Cluster,
+    plan: &DelegationPlan,
+    script: &DelegationScript,
+    step_reports: &[ExecReport],
+    trace: &TraceCtx<'_>,
+) -> Result<ExecutionOutcome> {
+    debug_assert_eq!(step_reports.len(), script.steps.len());
+    // (from, to) -> producer ready-time / absolute finish time of each
+    // materialization. The CTAS report already contains the implicit
+    // upstream chain of the producer's view; its base is the ready-time of
+    // the producer (its own explicit dependencies).
+    let mut mat_base: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut mat_finish: HashMap<(usize, usize), f64> = HashMap::new();
+    for (step, report) in script.steps.iter().zip(step_reports) {
         if step.kind == DdlKind::Materialize {
             let from = step.edge_from.expect("materialize step has an edge");
-            // The CTAS report already contains the implicit upstream chain
-            // of the producer's view; add the ready-time of the producer
-            // (its own explicit dependencies).
             let mut memo = HashMap::new();
             let base = ready(plan, from, &mat_finish, &mut memo);
-            mat_finish.insert((from, step.task), base + outcome.report.finish_ms);
+            mat_base.insert((from, step.task), base);
+            mat_finish.insert((from, step.task), base + report.finish_ms);
         }
     }
+    let ddl_count = script.steps.len();
     let ddl_ms = ddl_count as f64 * params::DDL_ROUNDTRIP_MS;
 
     // The XDB query triggers the in-situ pipeline.
     let (relation, report) = cluster.query(script.root_node.as_str(), &script.xdb_query)?;
     let mut memo = HashMap::new();
-    let exec_ms = ddl_ms + ready(plan, plan.root, &mat_finish, &mut memo) + report.finish_ms;
+    let root_ready = ready(plan, plan.root, &mat_finish, &mut memo);
+    let exec_ms = ddl_ms + root_ready + report.finish_ms;
+    if trace.is_enabled() {
+        emit_exec_spans(
+            trace,
+            plan,
+            script,
+            step_reports,
+            &report,
+            ddl_ms,
+            &mat_base,
+            &mat_finish,
+            root_ready,
+        );
+    }
     Ok(ExecutionOutcome {
         relation,
         exec_ms,
         ddl_ms,
         ddl_count,
     })
+}
+
+/// Emit the execution-phase spans: one Task span per contiguous run of
+/// same-task DDL steps, one Ddl span per round-trip, one Exec span per
+/// materialization and for the final pipelined query (with per-operator and
+/// remote-producer children when operator tracing is on), plus per-node
+/// counters. All `start_ms` values are relative to the exec phase origin
+/// (`trace.base_ms`).
+#[allow(clippy::too_many_arguments)]
+fn emit_exec_spans(
+    trace: &TraceCtx<'_>,
+    plan: &DelegationPlan,
+    script: &DelegationScript,
+    step_reports: &[ExecReport],
+    final_report: &ExecReport,
+    ddl_ms: f64,
+    mat_base: &HashMap<(usize, usize), f64>,
+    mat_finish: &HashMap<(usize, usize), f64>,
+    root_ready: f64,
+) {
+    let mut task_span: Option<(usize, SpanId)> = None;
+    for (k, (step, report)) in script.steps.iter().zip(step_reports).enumerate() {
+        let start = k as f64 * params::DDL_ROUNDTRIP_MS;
+        let tspan = match task_span {
+            Some((t, id)) if t == step.task => id,
+            _ => {
+                let len = script.steps[k..]
+                    .iter()
+                    .take_while(|s| s.task == step.task)
+                    .count();
+                let dbms = &plan.task(step.task).dbms;
+                let id = trace.span(
+                    SpanKind::Task,
+                    format!("task {}", step.task),
+                    dbms.as_str(),
+                    start,
+                    len as f64 * params::DDL_ROUNDTRIP_MS,
+                );
+                trace.collector.attr(id, "dbms", dbms.as_str());
+                task_span = Some((step.task, id));
+                id
+            }
+        };
+        let label = match step.kind {
+            DdlKind::View => "create view",
+            DdlKind::ForeignTable => "create foreign table",
+            DdlKind::Materialize => "create table as",
+        };
+        let ddl = trace.span_under(
+            tspan,
+            SpanKind::Ddl,
+            label,
+            step.node.as_str(),
+            start,
+            params::DDL_ROUNDTRIP_MS,
+        );
+        trace.collector.attr(ddl, "sql", &step.sql);
+        trace.add(
+            &format!("node.{}.work_ms", step.node.as_str()),
+            report.work_ms,
+        );
+        trace.add(
+            &format!("node.{}.rows", step.node.as_str()),
+            report.rows as f64,
+        );
+        trace.add(
+            &format!("node.{}.bytes", step.node.as_str()),
+            report.bytes as f64,
+        );
+        if step.kind == DdlKind::Materialize {
+            let from = step.edge_from.expect("materialize step has an edge");
+            let key = (from, step.task);
+            let start_ms = ddl_ms + mat_base[&key];
+            let dur = mat_finish[&key] - mat_base[&key];
+            let mat = trace.span_under(
+                tspan,
+                SpanKind::Exec,
+                format!("materialize t{} -> t{}", from, step.task),
+                step.node.as_str(),
+                start_ms,
+                dur,
+            );
+            trace.collector.attr(mat, "rows", report.rows.to_string());
+            if let Some(profile) = &report.profile {
+                emit_profile_spans(trace, mat, profile, start_ms, dur);
+            }
+        }
+    }
+    // The final pipelined query on the root node.
+    let qstart = ddl_ms + root_ready;
+    let q = trace.span(
+        SpanKind::Exec,
+        "xdb query",
+        script.root_node.as_str(),
+        qstart,
+        final_report.finish_ms,
+    );
+    trace.collector.attr(q, "sql", &script.xdb_query);
+    trace
+        .collector
+        .attr(q, "rows", final_report.rows.to_string());
+    let root = script.root_node.as_str();
+    trace.add(&format!("node.{root}.work_ms"), final_report.work_ms);
+    trace.add(&format!("node.{root}.rows"), final_report.rows as f64);
+    trace.add(&format!("node.{root}.bytes"), final_report.bytes as f64);
+    trace.add("exec.ddl_count", script.steps.len() as f64);
+    if let Some(profile) = &final_report.profile {
+        emit_profile_spans(trace, q, profile, qstart, final_report.finish_ms);
+    }
+}
+
+/// Recursively emit the per-operator and remote-producer spans of one
+/// engine-side execution profile as children of `parent`.
+///
+/// Remote producers feed the consumer's pipeline, so their spans share the
+/// parent's start and are clamped into its extent. Operator spans subdivide
+/// the parent's interval proportionally by rows touched — an EXPLAIN
+/// ANALYZE-style visual breakdown, not an independent timing source.
+fn emit_profile_spans(
+    trace: &TraceCtx<'_>,
+    parent: SpanId,
+    profile: &ExecProfile,
+    start_ms: f64,
+    dur_ms: f64,
+) {
+    for (remote, wire_ms) in &profile.remotes {
+        let d = remote.finish_ms.min(dur_ms);
+        let id = trace.span_under(
+            parent,
+            SpanKind::Exec,
+            format!("pipeline from {}", remote.node),
+            remote.node.as_str(),
+            start_ms,
+            d,
+        );
+        trace.collector.attr(id, "wire_ms", format!("{wire_ms}"));
+        emit_profile_spans(trace, id, remote, start_ms, d);
+    }
+    let total: f64 = profile
+        .ops
+        .iter()
+        .map(|o| (o.rows_in + o.rows_out + 1) as f64)
+        .sum();
+    let mut cursor = start_ms;
+    for op in &profile.ops {
+        let w = (op.rows_in + op.rows_out + 1) as f64;
+        let d = if total > 0.0 {
+            dur_ms * (w / total)
+        } else {
+            0.0
+        };
+        let id = trace.span_under(
+            parent,
+            SpanKind::Operator,
+            op.op,
+            profile.node.as_str(),
+            cursor,
+            d,
+        );
+        trace.collector.attr(id, "rows_in", op.rows_in.to_string());
+        trace
+            .collector
+            .attr(id, "rows_out", op.rows_out.to_string());
+        if op.build_rows > 0 || op.probe_rows > 0 {
+            trace
+                .collector
+                .attr(id, "build_rows", op.build_rows.to_string());
+            trace
+                .collector
+                .attr(id, "probe_rows", op.probe_rows.to_string());
+        }
+        cursor += d;
+    }
 }
 
 /// Ready-time of a task: the instant all of its explicit upstream
@@ -321,10 +530,10 @@ fn ready(
 }
 
 /// What one parallel task group hands back: its scratch ledger plus the
-/// raw (un-composed) finish time of every materialization it ran.
+/// execution report of every step it ran, in step order.
 struct GroupRun {
     ledger: Ledger,
-    mats: Vec<((usize, usize), f64)>,
+    reports: Vec<ExecReport>,
 }
 
 /// Deploy and execute a delegation script with independent tasks running
@@ -343,6 +552,7 @@ pub fn run_script_parallel(
     cluster: &Cluster,
     plan: &DelegationPlan,
     script: &DelegationScript,
+    trace: &TraceCtx<'_>,
 ) -> Result<ExecutionOutcome> {
     // Contiguous runs of steps belonging to one task, in script order.
     let mut groups: Vec<(usize, Vec<&DdlStep>)> = Vec::new();
@@ -368,9 +578,8 @@ pub fn run_script_parallel(
         level.insert(id, l);
     }
 
-    let mut ledgers: Vec<Option<Ledger>> = Vec::new();
-    ledgers.resize_with(groups.len(), || None);
-    let mut raw_finish: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut runs: Vec<Option<GroupRun>> = Vec::new();
+    runs.resize_with(groups.len(), || None);
     let mut failure: Option<(usize, EngineError)> = None;
     'waves: for wave in 1..=max_level {
         let wave_groups: Vec<usize> = (0..groups.len())
@@ -383,19 +592,16 @@ pub fn run_script_parallel(
                     let steps = &groups[gi].1;
                     s.spawn(move || {
                         let scoped = ScopedCluster::new(cluster);
-                        let mut mats = Vec::new();
+                        let mut reports = Vec::with_capacity(steps.len());
                         for step in steps {
                             let outcome = cluster.with_step_lock(step.node.as_str(), || {
                                 scoped.execute(step.node.as_str(), &step.sql)
                             })?;
-                            if step.kind == DdlKind::Materialize {
-                                let from = step.edge_from.expect("materialize step has an edge");
-                                mats.push(((from, step.task), outcome.report.finish_ms));
-                            }
+                            reports.push(outcome.report);
                         }
                         Ok(GroupRun {
                             ledger: scoped.ledger,
-                            mats,
+                            reports,
                         })
                     })
                 })
@@ -408,10 +614,7 @@ pub fn run_script_parallel(
         });
         for (gi, res) in results {
             match res {
-                Ok(run) => {
-                    raw_finish.extend(run.mats.iter().copied());
-                    ledgers[gi] = Some(run.ledger);
-                }
+                Ok(run) => runs[gi] = Some(run),
                 Err(e) => match &failure {
                     Some((first, _)) if *first <= gi => {}
                     _ => failure = Some((gi, e)),
@@ -427,41 +630,25 @@ pub fn run_script_parallel(
         // Keep the ledger consistent with how far execution provably got:
         // absorb only groups strictly before the failing one in script
         // order, then let the caller clean up.
-        for ledger in ledgers[..fail_gi].iter().flatten() {
-            cluster.ledger.absorb(ledger);
+        for run in runs[..fail_gi].iter().flatten() {
+            cluster.ledger.absorb(&run.ledger);
         }
         return Err(e);
     }
-    for ledger in ledgers.iter().flatten() {
-        cluster.ledger.absorb(ledger);
+    for run in runs.iter().flatten() {
+        cluster.ledger.absorb(&run.ledger);
     }
 
-    // Replay the simulated timeline exactly as the sequential executor
-    // builds it: walk the steps in script order and compose each raw
-    // materialization time onto its producer's ready-time.
-    let mut mat_finish: HashMap<(usize, usize), f64> = HashMap::new();
-    for step in &script.steps {
-        if step.kind == DdlKind::Materialize {
-            let from = step.edge_from.expect("materialize step has an edge");
-            let finish = raw_finish[&(from, step.task)];
-            let mut memo = HashMap::new();
-            let base = ready(plan, from, &mat_finish, &mut memo);
-            mat_finish.insert((from, step.task), base + finish);
-        }
-    }
-    let ddl_count = script.steps.len();
-    let ddl_ms = ddl_count as f64 * params::DDL_ROUNDTRIP_MS;
-
-    // The XDB query triggers the in-situ pipeline.
-    let (relation, report) = cluster.query(script.root_node.as_str(), &script.xdb_query)?;
-    let mut memo = HashMap::new();
-    let exec_ms = ddl_ms + ready(plan, plan.root, &mat_finish, &mut memo) + report.finish_ms;
-    Ok(ExecutionOutcome {
-        relation,
-        exec_ms,
-        ddl_ms,
-        ddl_count,
-    })
+    // Post-barrier: flatten the per-group reports back into script order
+    // (groups are contiguous script-order step runs) and hand off to the
+    // shared, single-threaded tail — the same timeline replay and span
+    // emission the sequential executor uses.
+    let step_reports: Vec<ExecReport> = runs
+        .into_iter()
+        .flatten()
+        .flat_map(|run| run.reports)
+        .collect();
+    finish_script(cluster, plan, script, &step_reports, trace)
 }
 
 /// Best-effort cleanup of all short-lived relations (also used by failure
@@ -491,11 +678,12 @@ mod tests {
         sql: &str,
         options: AnnotateOptions,
     ) -> (Cluster, GlobalCatalog, DelegationPlan, DelegationScript) {
-        let (cluster, catalog) =
-            scenario::build(scenario::ScenarioConfig::default()).unwrap();
+        let (cluster, catalog) = scenario::build(scenario::ScenarioConfig::default()).unwrap();
         let plan = bind_select(&parse_select(sql).unwrap(), &catalog).unwrap();
         let plan = optimize(plan, &catalog, OptimizeOptions::default());
-        let ann = Annotator::new(&catalog, &cluster, options).run(&plan).unwrap();
+        let ann = Annotator::new(&catalog, &cluster, options)
+            .run(&plan)
+            .unwrap();
         let script = build_script(&ann.plan, 1, &cluster).unwrap();
         (cluster, catalog, ann.plan, script)
     }
@@ -543,9 +731,8 @@ mod tests {
 
     #[test]
     fn decentralized_execution_matches_single_engine() {
-        let (cluster, _, plan, script) =
-            delegate(scenario::EXAMPLE_QUERY, Default::default());
-        let outcome = run_script(&cluster, &plan, &script).unwrap();
+        let (cluster, _, plan, script) = delegate(scenario::EXAMPLE_QUERY, Default::default());
+        let outcome = run_script(&cluster, &plan, &script, &TraceCtx::off()).unwrap();
         let expected = oracle(scenario::EXAMPLE_QUERY);
         assert!(
             outcome.relation.same_bag(&expected),
@@ -566,11 +753,8 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert!(script
-            .steps
-            .iter()
-            .any(|s| s.kind == DdlKind::Materialize));
-        let outcome = run_script(&cluster, &plan, &script).unwrap();
+        assert!(script.steps.iter().any(|s| s.kind == DdlKind::Materialize));
+        let outcome = run_script(&cluster, &plan, &script, &TraceCtx::off()).unwrap();
         let expected = oracle(scenario::EXAMPLE_QUERY);
         assert!(outcome.relation.same_bag(&expected));
         // Materialization traffic got recorded as such.
@@ -589,8 +773,8 @@ mod tests {
             };
             let (c_seq, _, p_seq, s_seq) = delegate(scenario::EXAMPLE_QUERY, options.clone());
             let (c_par, _, p_par, s_par) = delegate(scenario::EXAMPLE_QUERY, options);
-            let seq = run_script(&c_seq, &p_seq, &s_seq).unwrap();
-            let par = run_script_parallel(&c_par, &p_par, &s_par).unwrap();
+            let seq = run_script(&c_seq, &p_seq, &s_seq, &TraceCtx::off()).unwrap();
+            let par = run_script_parallel(&c_par, &p_par, &s_par, &TraceCtx::off()).unwrap();
             assert!(par.relation.same_bag(&seq.relation));
             assert_eq!(par.exec_ms, seq.exec_ms);
             assert_eq!(par.ddl_ms, seq.ddl_ms);
@@ -610,9 +794,8 @@ mod tests {
 
     #[test]
     fn cleanup_removes_all_objects() {
-        let (cluster, _, plan, script) =
-            delegate(scenario::EXAMPLE_QUERY, Default::default());
-        run_script(&cluster, &plan, &script).unwrap();
+        let (cluster, _, plan, script) = delegate(scenario::EXAMPLE_QUERY, Default::default());
+        run_script(&cluster, &plan, &script, &TraceCtx::off()).unwrap();
         let dropped = run_cleanup(&cluster, &script);
         assert_eq!(dropped, script.cleanup.len());
         // Re-running the XDB query must now fail: objects are gone.
@@ -640,11 +823,8 @@ mod tests {
             Default::default(),
         );
         assert_eq!(plan.tasks.len(), 1);
-        assert!(script
-            .steps
-            .iter()
-            .all(|s| s.kind == DdlKind::View));
-        let outcome = run_script(&cluster, &plan, &script).unwrap();
+        assert!(script.steps.iter().all(|s| s.kind == DdlKind::View));
+        let outcome = run_script(&cluster, &plan, &script, &TraceCtx::off()).unwrap();
         assert!(!outcome.relation.is_empty());
         // Nothing crossed the network except nothing: it all ran on vdb.
         assert_eq!(cluster.ledger.total_bytes(), 0);

@@ -56,7 +56,12 @@ impl GlobalCatalog {
     }
 
     /// Register a table of the global schema as residing on `dbms`.
-    pub fn register(&mut self, name: &str, dbms: impl Into<String>, fields: Vec<(String, DataType)>) {
+    pub fn register(
+        &mut self,
+        name: &str,
+        dbms: impl Into<String>,
+        fields: Vec<(String, DataType)>,
+    ) {
         self.tables.insert(
             name.to_ascii_lowercase(),
             GlobalTable {
@@ -115,7 +120,11 @@ impl GlobalCatalog {
         let engine = cluster.engine(gt.dbms.as_str())?;
         let generation = engine.ddl_generation();
         let probe = format!("METADATA {key}");
-        if self.consult_cache.lookup(&gt.dbms, &probe, generation).is_some() {
+        if self
+            .consult_cache
+            .lookup(&gt.dbms, &probe, generation)
+            .is_some()
+        {
             return Ok(true);
         }
         let consulted = match engine.consult_stats(&key) {
@@ -230,7 +239,8 @@ mod tests {
     #[test]
     fn name_collision_detected() {
         let c = cluster();
-        c.execute("db2", "CREATE TABLE citizen (id BIGINT)").unwrap();
+        c.execute("db2", "CREATE TABLE citizen (id BIGINT)")
+            .unwrap();
         assert!(GlobalCatalog::discover(&c).is_err());
     }
 

@@ -46,7 +46,9 @@ impl TableData {
 pub enum CatalogEntry {
     Table(TableData),
     /// A view stores its defining query; binding expands it in place.
-    View { query: Box<SelectStmt> },
+    View {
+        query: Box<SelectStmt>,
+    },
     /// A SQL/MED foreign table: schema + pointer to a relation on another
     /// server.
     ForeignTable {
@@ -147,7 +149,9 @@ impl Catalog {
             .get_mut(&Self::key(name))
             .ok_or_else(|| EngineError::Catalog(format!("unknown table {name:?}")))?;
         let CatalogEntry::Table(t) = entry else {
-            return Err(EngineError::Catalog(format!("{name:?} is not a base table")));
+            return Err(EngineError::Catalog(format!(
+                "{name:?} is not a base table"
+            )));
         };
         for r in &new_rows {
             if r.len() != t.data.width() {

@@ -148,7 +148,15 @@ impl Cluster {
             relation,
             producer_finish_ms: outcome.report.finish_ms,
             transfer_ms,
+            producer_profile: outcome.report.profile,
         })
+    }
+
+    /// Enable or disable per-operator execution profiles on every engine.
+    pub fn set_op_tracing(&self, on: bool) {
+        for engine in self.engines.values() {
+            engine.set_op_tracing(on);
+        }
     }
 }
 
@@ -241,7 +249,7 @@ mod tests {
         // The fetch crossed the wire and was recorded.
         assert!(c.ledger.total_bytes() > 0);
         assert_eq!(c.ledger.total_rows(), 3); // all of r moved
-        // Composed timing includes the remote producer.
+                                              // Composed timing includes the remote producer.
         assert!(report.finish_ms > report.work_ms);
     }
 
@@ -251,11 +259,8 @@ mod tests {
         // (virtual relation) on the producer so filters/projections are
         // evaluated there, then a foreign table pointing at the view.
         let c = two_node();
-        c.execute(
-            "db_r",
-            "CREATE VIEW r_v AS SELECT x, y FROM r WHERE x >= 2",
-        )
-        .unwrap();
+        c.execute("db_r", "CREATE VIEW r_v AS SELECT x, y FROM r WHERE x >= 2")
+            .unwrap();
         c.execute(
             "db_s",
             "CREATE FOREIGN TABLE r_vft (x BIGINT, y VARCHAR) SERVER db_r OPTIONS (remote 'r_v')",
@@ -290,9 +295,7 @@ mod tests {
             "CREATE FOREIGN TABLE rs_ft (y VARCHAR, z VARCHAR) SERVER db_s OPTIONS (remote 'rs')",
         )
         .unwrap();
-        let (rel, report) = c
-            .query("db_t", "SELECT count(*) AS n FROM rs_ft")
-            .unwrap();
+        let (rel, report) = c.query("db_t", "SELECT count(*) AS n FROM rs_ft").unwrap();
         assert_eq!(rel.rows[0][0], Value::Int(2));
         // Two hops recorded: db_r→db_s and db_s→db_t.
         assert_eq!(c.ledger.len(), 2);
@@ -315,9 +318,7 @@ mod tests {
         );
         // Materialized copy is now local: querying it moves nothing.
         c.ledger.clear();
-        let (rel, _) = c
-            .query("db_s", "SELECT count(*) AS n FROM r_mat")
-            .unwrap();
+        let (rel, _) = c.query("db_s", "SELECT count(*) AS n FROM r_mat").unwrap();
         assert_eq!(rel.rows[0][0], Value::Int(3));
         assert!(c.ledger.is_empty());
     }

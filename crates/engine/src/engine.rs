@@ -16,8 +16,9 @@ use crate::profile::EngineProfile;
 use crate::relation::Relation;
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use xdb_net::{compose_finish, EdgeTiming, Movement, NodeId, Purpose};
+use xdb_obs::ExecProfile;
 use xdb_sql::algebra::LogicalPlan;
 use xdb_sql::ast::Statement;
 use xdb_sql::bind::bind_select;
@@ -38,6 +39,9 @@ pub struct ExecReport {
     /// Finish time including upstream (remote) dependencies, simulated ms
     /// from query start.
     pub finish_ms: f64,
+    /// Per-operator execution profile, present only when the engine has
+    /// operator tracing enabled (see [`Engine::set_op_tracing`]).
+    pub profile: Option<Box<ExecProfile>>,
 }
 
 /// Result of executing one statement.
@@ -74,6 +78,8 @@ pub struct FetchReply {
     pub relation: Relation,
     pub producer_finish_ms: f64,
     pub transfer_ms: f64,
+    /// Execution profile of the producer side, when operator tracing is on.
+    pub producer_profile: Option<Box<ExecProfile>>,
 }
 
 /// Something that can execute remote fetches on behalf of an engine — in
@@ -106,6 +112,10 @@ pub struct Engine {
     /// mismatch as a stale entry (any DDL against base objects invalidates
     /// all cached probes for this node).
     ddl_generation: AtomicU64,
+    /// When set, every executed plan carries a per-operator
+    /// [`ExecProfile`] in its report. Off by default: the executor then
+    /// skips all per-operator bookkeeping.
+    trace_ops: AtomicBool,
 }
 
 /// Short-lived, per-query namespaced objects: delegation views / foreign
@@ -124,7 +134,18 @@ impl Engine {
             profile,
             catalog: RwLock::new(Catalog::new()),
             ddl_generation: AtomicU64::new(0),
+            trace_ops: AtomicBool::new(false),
         }
+    }
+
+    /// Enable or disable per-operator execution profiles on this engine.
+    pub fn set_op_tracing(&self, on: bool) {
+        self.trace_ops.store(on, Ordering::Release);
+    }
+
+    /// Whether per-operator execution profiles are being collected.
+    pub fn op_tracing(&self) -> bool {
+        self.trace_ops.load(Ordering::Acquire)
     }
 
     /// Run read-only catalog access.
@@ -192,7 +213,8 @@ impl Engine {
         }
         match stmt {
             Statement::Select(s) => {
-                let (rel, report) = self.run_select(s, remote, depth, Purpose::InterDbmsPipeline)?;
+                let (rel, report) =
+                    self.run_select(s, remote, depth, Purpose::InterDbmsPipeline)?;
                 Ok(StatementOutcome {
                     relation: Some(rel),
                     report,
@@ -237,7 +259,9 @@ impl Engine {
                 // Validate the view binds against the current catalog.
                 let snapshot = self.catalog.read().clone();
                 bind_select(query, &snapshot)?;
-                self.with_catalog_mut_for(name, |c| c.create_view(name, (**query).clone(), *or_replace))?;
+                self.with_catalog_mut_for(name, |c| {
+                    c.create_view(name, (**query).clone(), *or_replace)
+                })?;
                 Ok(ddl_outcome())
             }
             Statement::CreateForeignTable {
@@ -322,16 +346,31 @@ impl Engine {
             foreign_rows: std::cell::Cell::new(0),
         };
         let mut exec = Execution::new(&resolver);
+        if self.op_tracing() {
+            exec.collect_ops();
+        }
         let rel = exec.run(plan)?;
         let foreign_rows = resolver.foreign_rows.get();
         let work_ms = self.profile.work_ms(exec.scan_units, exec.olap_units)
             + foreign_rows as f64 * self.profile.foreign_row_cost_ms;
         let finish_ms = compose_finish(self.profile.startup_ms, work_ms, &exec.edges);
+        let profile = exec.ops.take().map(|ops| {
+            Box::new(ExecProfile {
+                node: self.node.as_str().to_string(),
+                rows: rel.len() as u64,
+                bytes: rel.wire_bytes(),
+                work_ms,
+                finish_ms,
+                ops,
+                remotes: std::mem::take(&mut exec.remotes),
+            })
+        });
         let report = ExecReport {
             rows: rel.len() as u64,
             bytes: rel.wire_bytes(),
             work_ms,
             finish_ms,
+            profile,
         };
         Ok((rel, report))
     }
@@ -392,9 +431,7 @@ impl Engine {
     pub fn consult_stats(&self, relation: &str) -> Option<(f64, HashMap<String, ColumnStats>)> {
         let catalog = self.catalog.read();
         match catalog.get(relation) {
-            Some(CatalogEntry::Table(t)) => {
-                Some((t.stats.row_count, t.stats.columns.clone()))
-            }
+            Some(CatalogEntry::Table(t)) => Some((t.stats.row_count, t.stats.columns.clone())),
             _ => None,
         }
     }
@@ -426,6 +463,7 @@ impl ScanResolver for EngineResolver<'_> {
                 Ok(ScanOutput {
                     relation: rel,
                     edge: None,
+                    remote: None,
                 })
             }
             Some(CatalogEntry::ForeignTable {
@@ -452,6 +490,7 @@ impl ScanResolver for EngineResolver<'_> {
                         import_ms: 0.0,
                         movement: Movement::Implicit,
                     }),
+                    remote: reply.producer_profile,
                 })
             }
             Some(CatalogEntry::View { .. }) => Err(EngineError::Execution(format!(
@@ -579,7 +618,8 @@ mod tests {
         let e = engine();
         e.execute_sql("DROP TABLE dept", &NoRemote).unwrap();
         assert!(e.execute_sql("SELECT * FROM dept", &NoRemote).is_err());
-        e.execute_sql("DROP TABLE IF EXISTS dept", &NoRemote).unwrap();
+        e.execute_sql("DROP TABLE IF EXISTS dept", &NoRemote)
+            .unwrap();
     }
 
     #[test]
@@ -598,16 +638,10 @@ mod tests {
         // Per-query delegation objects and mediator scratch tables come and
         // go around every submission; they must not invalidate cached
         // consultation probes against base tables.
-        e.execute_sql(
-            "CREATE VIEW xdb_q1_t0 AS SELECT name FROM emp",
-            &NoRemote,
-        )
-        .unwrap();
-        e.execute_sql(
-            "CREATE TABLE __task_0 AS SELECT name FROM emp",
-            &NoRemote,
-        )
-        .unwrap();
+        e.execute_sql("CREATE VIEW xdb_q1_t0 AS SELECT name FROM emp", &NoRemote)
+            .unwrap();
+        e.execute_sql("CREATE TABLE __task_0 AS SELECT name FROM emp", &NoRemote)
+            .unwrap();
         e.execute_sql("DROP VIEW xdb_q1_t0", &NoRemote).unwrap();
         e.execute_sql("DROP TABLE __task_0", &NoRemote).unwrap();
         assert_eq!(e.ddl_generation(), before);

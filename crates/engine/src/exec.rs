@@ -13,6 +13,7 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::Arc;
 use xdb_net::EdgeTiming;
+use xdb_obs::{ExecProfile, OpStat};
 use xdb_sql::algebra::{aggregate_schema, AggCall, AggFunc, LogicalPlan};
 use xdb_sql::value::{DataType, Value};
 
@@ -71,6 +72,9 @@ pub struct ScanOutput {
     /// Present when the scan pulled data from another engine (foreign
     /// table): the timing edge to compose into this engine's finish time.
     pub edge: Option<EdgeTiming>,
+    /// Execution profile of the remote producer behind a foreign-table
+    /// scan, when operator tracing is on.
+    pub remote: Option<Box<ExecProfile>>,
 }
 
 /// Resolves leaf relations (base tables, foreign tables, placeholders).
@@ -88,6 +92,12 @@ pub struct Execution<'a> {
     pub olap_units: f64,
     /// Timing edges contributed by remote scans.
     pub edges: Vec<EdgeTiming>,
+    /// Per-operator statistics in post-order, when operator tracing is on
+    /// (see [`Execution::collect_ops`]); `None` costs nothing per row.
+    pub ops: Option<Vec<OpStat>>,
+    /// Profiles of remote producers behind foreign-table scans, paired
+    /// with the edge's wire time (operator tracing only).
+    pub remotes: Vec<(ExecProfile, f64)>,
 }
 
 impl<'a> Execution<'a> {
@@ -97,6 +107,19 @@ impl<'a> Execution<'a> {
             scan_units: 0.0,
             olap_units: 0.0,
             edges: Vec::new(),
+            ops: None,
+            remotes: Vec::new(),
+        }
+    }
+
+    /// Turn on per-operator statistics collection for this execution.
+    pub fn collect_ops(&mut self) {
+        self.ops = Some(Vec::new());
+    }
+
+    fn op(&mut self, stat: OpStat) {
+        if let Some(ops) = &mut self.ops {
+            ops.push(stat);
         }
     }
 
@@ -119,10 +142,19 @@ impl<'a> Execution<'a> {
                 ..
             } => {
                 let out = self.resolver.scan(relation, fields)?;
+                if let Some(remote) = out.remote {
+                    let wire_ms = out.edge.map_or(0.0, |e| e.transfer_ms);
+                    self.remotes.push((*remote, wire_ms));
+                }
                 if let Some(edge) = out.edge {
                     self.edges.push(edge);
                 }
                 self.scan_units += out.relation.len() as f64 * weights::SCAN;
+                self.op(OpStat {
+                    op: "scan",
+                    rows_out: out.relation.len() as u64,
+                    ..OpStat::default()
+                });
                 Ok(out.relation)
             }
             LogicalPlan::OneRow => Ok(ExecRel::Owned(Relation::new(vec![], vec![vec![]]))),
@@ -134,7 +166,15 @@ impl<'a> Execution<'a> {
                 for row in &rel.as_ref().rows {
                     keep.push(pred.eval_predicate(row)?);
                 }
-                Ok(ExecRel::Owned(retain_rows(rel, &keep)))
+                let rows_in = rel.len() as u64;
+                let out = retain_rows(rel, &keep);
+                self.op(OpStat {
+                    op: "filter",
+                    rows_in,
+                    rows_out: out.len() as u64,
+                    ..OpStat::default()
+                });
+                Ok(ExecRel::Owned(out))
             }
             LogicalPlan::Project { input, exprs } => {
                 let rel = self.run_rel(input)?;
@@ -143,12 +183,18 @@ impl<'a> Execution<'a> {
                     .iter()
                     .map(|(e, n)| {
                         let c = compile(e, &schema)?;
-                        let ty = xdb_sql::algebra::infer_type(e, &schema)
-                            .unwrap_or(DataType::Float);
+                        let ty =
+                            xdb_sql::algebra::infer_type(e, &schema).unwrap_or(DataType::Float);
                         Ok((c, n.clone(), ty))
                     })
                     .collect::<Result<_>>()?;
                 self.scan_units += rel.len() as f64 * weights::PROJECT;
+                self.op(OpStat {
+                    op: "project",
+                    rows_in: rel.len() as u64,
+                    rows_out: rel.len() as u64,
+                    ..OpStat::default()
+                });
                 // Identity fast-path: every output is the column in the
                 // same position under the same name — hand the input
                 // through (the work units above are still charged; the
@@ -201,6 +247,12 @@ impl<'a> Execution<'a> {
                     .collect::<Result<_>>()?;
                 let n = rel.len() as f64;
                 self.olap_units += n * (n.max(2.0)).log2() * weights::SORT;
+                self.op(OpStat {
+                    op: "sort",
+                    rows_in: rel.len() as u64,
+                    rows_out: rel.len() as u64,
+                    ..OpStat::default()
+                });
                 // Precompute key tuples, then sort stably.
                 let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rel.len());
                 for row in rel.rows {
@@ -228,6 +280,12 @@ impl<'a> Execution<'a> {
             LogicalPlan::Limit { input, fetch } => {
                 let rel = self.run_rel(input)?;
                 let fetch = *fetch as usize;
+                self.op(OpStat {
+                    op: "limit",
+                    rows_in: rel.len() as u64,
+                    rows_out: rel.len().min(fetch) as u64,
+                    ..OpStat::default()
+                });
                 match rel {
                     ExecRel::Owned(mut rel) => {
                         rel.rows.truncate(fetch);
@@ -245,10 +303,11 @@ impl<'a> Execution<'a> {
             LogicalPlan::Distinct { input } => {
                 let rel = self.run_rel(input)?;
                 self.olap_units += rel.len() as f64 * weights::DISTINCT;
+                let rows_in = rel.len() as u64;
                 // First-seen order is preserved (LIMIT without ORDER BY
                 // above a DISTINCT observes it); only unique rows are
                 // cloned.
-                match rel {
+                let out = match rel {
                     ExecRel::Owned(rel) => {
                         let mut seen: std::collections::HashSet<Vec<Value>> =
                             std::collections::HashSet::with_capacity(rel.rows.len());
@@ -259,7 +318,7 @@ impl<'a> Execution<'a> {
                                 rows.push(row);
                             }
                         }
-                        Ok(ExecRel::Owned(Relation::new(rel.fields, rows)))
+                        Relation::new(rel.fields, rows)
                     }
                     ExecRel::Shared(rel) => {
                         let mut seen: std::collections::HashSet<&Vec<Value>> =
@@ -270,9 +329,16 @@ impl<'a> Execution<'a> {
                                 rows.push(row.clone());
                             }
                         }
-                        Ok(ExecRel::Owned(Relation::new(rel.fields.clone(), rows)))
+                        Relation::new(rel.fields.clone(), rows)
                     }
-                }
+                };
+                self.op(OpStat {
+                    op: "distinct",
+                    rows_in,
+                    rows_out: out.len() as u64,
+                    ..OpStat::default()
+                });
+                Ok(ExecRel::Owned(out))
             }
             LogicalPlan::SubqueryAlias { input, .. } => self.run_rel(input),
         }
@@ -327,8 +393,7 @@ impl<'a> Execution<'a> {
                 .iter()
                 .map(|(_, r)| compile(r, &rschema))
                 .collect::<Result<_>>()?;
-            let mut table: HashMap<Vec<Value>, Vec<usize>> =
-                HashMap::with_capacity(rrel.len());
+            let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(rrel.len());
             'build: for (i, row) in rrel.rows.iter().enumerate() {
                 let mut key = Vec::with_capacity(rkeys.len());
                 for k in &rkeys {
@@ -340,8 +405,7 @@ impl<'a> Execution<'a> {
                 }
                 table.entry(key).or_default().push(i);
             }
-            self.olap_units +=
-                (lrel.len() as f64 + rrel.len() as f64) * weights::JOIN;
+            self.olap_units += (lrel.len() as f64 + rrel.len() as f64) * weights::JOIN;
             rows.reserve(lrel.len());
             'probe: for lr in &lrel.rows {
                 let mut key = Vec::with_capacity(lkeys.len());
@@ -368,6 +432,17 @@ impl<'a> Execution<'a> {
             }
             self.olap_units += rows.len() as f64 * weights::JOIN * 0.5;
         }
+        self.op(OpStat {
+            op: if on.is_empty() {
+                "nested loop join"
+            } else {
+                "hash join"
+            },
+            rows_in: (lrel.len() + rrel.len()) as u64,
+            rows_out: rows.len() as u64,
+            build_rows: rrel.len() as u64,
+            probe_rows: lrel.len() as u64,
+        });
         Ok(ExecRel::Owned(Relation::new(fields, rows)))
     }
 
@@ -434,8 +509,7 @@ impl<'a> Execution<'a> {
                         None => matched = !candidates.is_empty(),
                         Some(res) => {
                             for &ri in candidates {
-                                let mut combined =
-                                    Vec::with_capacity(lr.len() + rrel.width());
+                                let mut combined = Vec::with_capacity(lr.len() + rrel.width());
                                 combined.extend(lr.iter().cloned());
                                 combined.extend(rrel.rows[ri].iter().cloned());
                                 if res.eval_predicate(&combined)? {
@@ -449,7 +523,20 @@ impl<'a> Execution<'a> {
             }
             keep.push(matched != negated);
         }
-        Ok(ExecRel::Owned(retain_rows(lrel, &keep)))
+        let (rows_in, build_rows, probe_rows) = (
+            (lrel.len() + rrel.len()) as u64,
+            rrel.len() as u64,
+            lrel.len() as u64,
+        );
+        let out = retain_rows(lrel, &keep);
+        self.op(OpStat {
+            op: if negated { "anti join" } else { "semi join" },
+            rows_in,
+            rows_out: out.len() as u64,
+            build_rows,
+            probe_rows,
+        });
+        Ok(ExecRel::Owned(out))
     }
 
     fn aggregate(
@@ -529,6 +616,12 @@ impl<'a> Execution<'a> {
             }
             rows.push(row);
         }
+        self.op(OpStat {
+            op: "aggregate",
+            rows_in: rel.len() as u64,
+            rows_out: rows.len() as u64,
+            ..OpStat::default()
+        });
         Ok(ExecRel::Owned(Relation::new(fields, rows)))
     }
 }
@@ -759,6 +852,7 @@ impl ScanResolver for MapResolver {
         Ok(ScanOutput {
             relation: project_columns_shared(rel, wanted)?,
             edge: None,
+            remote: None,
         })
     }
 }
@@ -855,10 +949,30 @@ mod tests {
             Relation::new(
                 emp_fields.clone(),
                 vec![
-                    vec![Value::Int(1), Value::str("ann"), Value::str("eng"), Value::Float(100.0)],
-                    vec![Value::Int(2), Value::str("bob"), Value::str("eng"), Value::Float(80.0)],
-                    vec![Value::Int(3), Value::str("cat"), Value::str("ops"), Value::Float(90.0)],
-                    vec![Value::Int(4), Value::str("dan"), Value::str("ops"), Value::Null],
+                    vec![
+                        Value::Int(1),
+                        Value::str("ann"),
+                        Value::str("eng"),
+                        Value::Float(100.0),
+                    ],
+                    vec![
+                        Value::Int(2),
+                        Value::str("bob"),
+                        Value::str("eng"),
+                        Value::Float(80.0),
+                    ],
+                    vec![
+                        Value::Int(3),
+                        Value::str("cat"),
+                        Value::str("ops"),
+                        Value::Float(90.0),
+                    ],
+                    vec![
+                        Value::Int(4),
+                        Value::str("dan"),
+                        Value::str("ops"),
+                        Value::Null,
+                    ],
                 ],
             ),
         );
@@ -963,7 +1077,8 @@ mod tests {
     fn having_filter() {
         let r = run("SELECT dept, count(*) AS n FROM emp GROUP BY dept HAVING count(*) > 1");
         assert_eq!(r.len(), 2);
-        let r = run("SELECT dept, sum(salary) AS s FROM emp GROUP BY dept HAVING sum(salary) > 100");
+        let r =
+            run("SELECT dept, sum(salary) AS s FROM emp GROUP BY dept HAVING sum(salary) > 100");
         assert_eq!(r.len(), 1);
     }
 
@@ -1026,11 +1141,7 @@ mod tests {
     fn project_columns_identity_and_subset() {
         let f = fixture();
         let rel = f.resolver.relations.get("dept").unwrap();
-        let sub = project_columns(
-            rel,
-            &[("budget".to_string(), DataType::Int)],
-        )
-        .unwrap();
+        let sub = project_columns(rel, &[("budget".to_string(), DataType::Int)]).unwrap();
         assert_eq!(sub.width(), 1);
         assert_eq!(sub.rows[0][0], Value::Int(1000));
         let idt = project_columns(rel, &rel.fields.clone()).unwrap();
@@ -1043,8 +1154,8 @@ mod tests {
         // hand out the stored Arc, not a row-by-row copy.
         let f = fixture();
         let stored = Arc::clone(f.resolver.relations.get("dept").unwrap());
-        let plan = bind_select(&parse_select("SELECT dname, budget FROM dept").unwrap(), &f)
-            .unwrap();
+        let plan =
+            bind_select(&parse_select("SELECT dname, budget FROM dept").unwrap(), &f).unwrap();
         let mut exec = Execution::new(&f.resolver);
         let out = exec.run_rel(&plan).unwrap();
         match &out {

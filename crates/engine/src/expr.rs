@@ -143,9 +143,8 @@ pub fn compile(e: &Expr, schema: &PlanSchema) -> Result<PhysExpr> {
                     "aggregate {name} in scalar context"
                 )));
             }
-            let func = ScalarFunc::parse(name).ok_or_else(|| {
-                EngineError::Unsupported(format!("scalar function {name:?}"))
-            })?;
+            let func = ScalarFunc::parse(name)
+                .ok_or_else(|| EngineError::Unsupported(format!("scalar function {name:?}")))?;
             PhysExpr::Scalar {
                 func,
                 args: args
@@ -154,11 +153,7 @@ pub fn compile(e: &Expr, schema: &PlanSchema) -> Result<PhysExpr> {
                     .collect::<Result<_>>()?,
             }
         }
-        Expr::CountStar => {
-            return Err(EngineError::Execution(
-                "count(*) in scalar context".into(),
-            ))
-        }
+        Expr::CountStar => return Err(EngineError::Execution("count(*) in scalar context".into())),
         Expr::Case {
             operand,
             branches,
@@ -288,11 +283,7 @@ impl PhysExpr {
                     }
                 }
             }
-            PhysExpr::DateShift {
-                expr,
-                months,
-                days,
-            } => match expr.eval(row)? {
+            PhysExpr::DateShift { expr, months, days } => match expr.eval(row)? {
                 Value::Null => Value::Null,
                 Value::Date(d) => {
                     let shifted = if *months != 0 {
@@ -312,9 +303,7 @@ impl PhysExpr {
                 Value::Null => Value::Null,
                 Value::Int(i) => Value::Int(-i),
                 Value::Float(f) => Value::Float(-f),
-                other => {
-                    return Err(EngineError::Execution(format!("cannot negate {other}")))
-                }
+                other => return Err(EngineError::Execution(format!("cannot negate {other}"))),
             },
             PhysExpr::Not(e) => match e.eval(row)?.as_bool() {
                 Some(b) => Value::Bool(!b),
@@ -357,8 +346,8 @@ impl PhysExpr {
                 let hi = high.eval(row)?;
                 match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
                     (Some(a), Some(b)) => {
-                        let inside = a != std::cmp::Ordering::Less
-                            && b != std::cmp::Ordering::Greater;
+                        let inside =
+                            a != std::cmp::Ordering::Less && b != std::cmp::Ordering::Greater;
                         Value::Bool(inside != *negated)
                     }
                     _ => Value::Null,
@@ -372,7 +361,9 @@ impl PhysExpr {
                 Value::Null => Value::Null,
                 Value::Str(s) => Value::Bool(like_match(pattern, &s) != *negated),
                 other => {
-                    return Err(EngineError::Execution(format!("LIKE on non-string {other}")))
+                    return Err(EngineError::Execution(format!(
+                        "LIKE on non-string {other}"
+                    )))
                 }
             },
             PhysExpr::InList {
@@ -417,10 +408,7 @@ impl PhysExpr {
             },
             PhysExpr::Cast { expr, data_type } => cast(expr.eval(row)?, *data_type)?,
             PhysExpr::Scalar { func, args } => {
-                let vals: Vec<Value> = args
-                    .iter()
-                    .map(|a| a.eval(row))
-                    .collect::<Result<_>>()?;
+                let vals: Vec<Value> = args.iter().map(|a| a.eval(row)).collect::<Result<_>>()?;
                 eval_scalar(*func, &vals)?
             }
         })

@@ -7,8 +7,8 @@
 //! one node only" (large fixed start-up, decent throughput), and the FDW
 //! transfer protocol differences (binary vs JDBC).
 
-use xdb_sql::display::Dialect;
 use xdb_net::params;
+use xdb_sql::display::Dialect;
 
 /// Capability flags of a vendor's SQL/MED wrapper implementation. The
 /// paper's "Preventing Undesirable Executions" discussion exists because

@@ -71,7 +71,9 @@ impl Relation {
             out.push_str(&format!("{n:<w$}", w = widths[i]));
         }
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &rendered {
             for (i, cell) in row.iter().enumerate() {
@@ -108,9 +110,7 @@ impl Relation {
         };
         a.sort_by(cmp);
         b.sort_by(cmp);
-        a.iter()
-            .zip(b.iter())
-            .all(|(x, y)| approx_row_eq(x, y))
+        a.iter().zip(b.iter()).all(|(x, y)| approx_row_eq(x, y))
     }
 }
 

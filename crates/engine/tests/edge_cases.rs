@@ -91,8 +91,14 @@ fn min_max_over_strings_and_dates() {
     );
     assert_eq!(r.rows[0][0], Value::str("alpha"));
     assert_eq!(r.rows[0][1], Value::str("omega"));
-    assert_eq!(r.rows[0][2], Value::Date(date::parse("1995-01-01").unwrap()));
-    assert_eq!(r.rows[0][3], Value::Date(date::parse("1996-02-29").unwrap()));
+    assert_eq!(
+        r.rows[0][2],
+        Value::Date(date::parse("1995-01-01").unwrap())
+    );
+    assert_eq!(
+        r.rows[0][3],
+        Value::Date(date::parse("1996-02-29").unwrap())
+    );
 }
 
 #[test]
@@ -128,7 +134,10 @@ fn insert_evaluates_expressions() {
     let r = q(&c, "SELECT * FROM calc");
     assert_eq!(r.rows[0][0], Value::Int(14));
     assert_eq!(r.rows[0][1], Value::str("OK"));
-    assert_eq!(r.rows[0][2], Value::Date(date::parse("1995-03-01").unwrap()));
+    assert_eq!(
+        r.rows[0][2],
+        Value::Date(date::parse("1995-03-01").unwrap())
+    );
 }
 
 #[test]
@@ -148,12 +157,18 @@ fn view_lifecycle_drop_and_recreate() {
     let c = cluster();
     c.execute("db", "CREATE VIEW v AS SELECT a FROM pairs WHERE b = 1")
         .unwrap();
-    assert_eq!(q(&c, "SELECT count(*) AS n FROM v").rows[0][0], Value::Int(2));
+    assert_eq!(
+        q(&c, "SELECT count(*) AS n FROM v").rows[0][0],
+        Value::Int(2)
+    );
     c.execute("db", "DROP VIEW v").unwrap();
     assert!(c.query("db", "SELECT * FROM v").is_err());
     c.execute("db", "CREATE VIEW v AS SELECT b FROM pairs WHERE a = 2")
         .unwrap();
-    assert_eq!(q(&c, "SELECT count(*) AS n FROM v").rows[0][0], Value::Int(2));
+    assert_eq!(
+        q(&c, "SELECT count(*) AS n FROM v").rows[0][0],
+        Value::Int(2)
+    );
 }
 
 #[test]
@@ -209,7 +224,10 @@ fn engine_rejects_unknown_statement_targets() {
 fn load_table_rejects_duplicates() {
     let c = cluster();
     let rel = Relation::new(vec![("x".into(), xdb_sql::DataType::Int)], vec![]);
-    c.engine("db").unwrap().load_table("fresh", rel.clone()).unwrap();
+    c.engine("db")
+        .unwrap()
+        .load_table("fresh", rel.clone())
+        .unwrap();
     assert!(c.engine("db").unwrap().load_table("fresh", rel).is_err());
 }
 
@@ -219,7 +237,10 @@ fn create_if_not_exists_is_idempotent() {
     c.execute("db", "CREATE TABLE IF NOT EXISTS pairs (zz BIGINT)")
         .unwrap();
     // Original schema intact.
-    assert_eq!(q(&c, "SELECT count(*) AS n FROM pairs").rows[0][0], Value::Int(4));
+    assert_eq!(
+        q(&c, "SELECT count(*) AS n FROM pairs").rows[0][0],
+        Value::Int(4)
+    );
     // Plain CREATE still errors.
     assert!(c.execute("db", "CREATE TABLE pairs (zz BIGINT)").is_err());
 }
@@ -233,6 +254,8 @@ fn no_remote_is_rejected_for_foreign_scan() {
     )
     .unwrap();
     let engine = c.engine("db").unwrap();
-    let err = engine.execute_sql("SELECT * FROM ft", &NoRemote).unwrap_err();
+    let err = engine
+        .execute_sql("SELECT * FROM ft", &NoRemote)
+        .unwrap_err();
     assert!(matches!(err, EngineError::Remote(_)));
 }

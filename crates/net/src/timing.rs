@@ -66,8 +66,8 @@ pub fn compose_finish(startup_ms: f64, work_ms: f64, edges: &[EdgeTiming]) -> f6
     let mut finish = ready + work_ms;
     for e in edges {
         if e.movement == Movement::Implicit {
-            let pipeline_bound = (e.producer_finish_ms + PIPELINE_DRAIN_MS)
-                .max(ready + e.transfer_ms);
+            let pipeline_bound =
+                (e.producer_finish_ms + PIPELINE_DRAIN_MS).max(ready + e.transfer_ms);
             finish = finish.max(pipeline_bound.max(ready + work_ms));
         }
     }

@@ -1,0 +1,32 @@
+//! # xdb-obs
+//!
+//! Structured tracing and metrics for the XDB reproduction.
+//!
+//! Every query submission produces a [`QueryTrace`]: a tree of hierarchical
+//! [`Span`]s (query → phase → task → operator / DDL / transfer / consult)
+//! plus a flat counter map. Timestamps are **simulated milliseconds** — the
+//! same deterministic clock the timing model in `xdb-net` composes — so
+//! traces are bit-identical across the parallel and sequential executors
+//! and across repeated runs.
+//!
+//! Three sinks, no external dependencies:
+//!
+//! 1. [`QueryTrace::to_chrome_json`] — Chrome `trace_event` JSON for
+//!    `chrome://tracing` / Perfetto, one lane per engine node;
+//! 2. [`QueryTrace::render_text`] — an `EXPLAIN ANALYZE`-style tree report;
+//! 3. [`QueryTrace::metrics`] — a diffable [`MetricsSnapshot`] for the
+//!    bench harness.
+//!
+//! The [`json`] module is a minimal JSON reader used to validate emitted
+//! trace files in tests and in the `repro --check-trace` smoke mode.
+
+pub mod collect;
+pub mod json;
+pub mod profile;
+pub mod span;
+pub mod trace;
+
+pub use collect::{disabled_collector, TraceCollector, TraceCtx};
+pub use profile::{ExecProfile, OpStat};
+pub use span::{Span, SpanId, SpanKind};
+pub use trace::{MetricsSnapshot, QueryTrace};

@@ -1,0 +1,407 @@
+//! The finished trace of one (or several merged) query submissions, and
+//! its three sinks: Chrome `trace_event` JSON, an `EXPLAIN ANALYZE`-style
+//! text report, and a diffable metrics snapshot.
+
+use crate::span::{Span, SpanId, SpanKind};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Spans plus counters of one query submission (or a merged workload).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryTrace {
+    /// Spans in emission order; a span's parent always precedes it.
+    pub spans: Vec<Span>,
+    pub counters: BTreeMap<String, f64>,
+}
+
+impl QueryTrace {
+    /// The root span (the first parentless one), if any.
+    pub fn root(&self) -> Option<&Span> {
+        self.spans.iter().find(|s| s.parent.is_none())
+    }
+
+    /// Summed duration of phase spans with the given name.
+    pub fn phase_ms(&self, name: &str) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Phase && s.name == name)
+            .map(|s| s.dur_ms)
+            .sum()
+    }
+
+    pub fn counter(&self, name: &str) -> f64 {
+        self.counters.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// End of the last span (simulated ms since origin).
+    pub fn end_ms(&self) -> f64 {
+        self.spans.iter().map(Span::end_ms).fold(0.0, f64::max)
+    }
+
+    /// Display lanes in order of first appearance (this is the Chrome
+    /// thread order, so it is deterministic).
+    pub fn lanes(&self) -> Vec<String> {
+        let mut lanes: Vec<String> = Vec::new();
+        for s in &self.spans {
+            if !lanes.contains(&s.lane) {
+                lanes.push(s.lane.clone());
+            }
+        }
+        lanes
+    }
+
+    /// Spans of a given kind.
+    pub fn spans_of(&self, kind: SpanKind) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(move |s| s.kind == kind)
+    }
+
+    /// Shift every span by `offset_ms` (used when concatenating the traces
+    /// of a workload onto one timeline).
+    pub fn shift_ms(&mut self, offset_ms: f64) {
+        for s in &mut self.spans {
+            s.start_ms += offset_ms;
+        }
+    }
+
+    /// Append another trace: its span ids are rebased past ours, its
+    /// counters are summed into ours. The caller is responsible for
+    /// shifting the other trace's timeline first if overlap is unwanted.
+    pub fn merge(&mut self, other: QueryTrace) {
+        let base = self.spans.len() as SpanId;
+        for mut s in other.spans {
+            s.id += base;
+            s.parent = s.parent.map(|p| p + base);
+            self.spans.push(s);
+        }
+        for (k, v) in other.counters {
+            *self.counters.entry(k).or_insert(0.0) += v;
+        }
+    }
+
+    /// Metrics snapshot: every counter, plus derived per-kind span counts
+    /// and per-lane busy time.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut counters = self.counters.clone();
+        for s in &self.spans {
+            *counters
+                .entry(format!("spans.{}", s.kind.label()))
+                .or_insert(0.0) += 1.0;
+        }
+        MetricsSnapshot { counters }
+    }
+
+    /// A canonical, line-per-span dump. Two traces are bit-identical iff
+    /// their canonical forms are equal (f64 values print via Rust's
+    /// shortest-round-trip formatting).
+    pub fn canonical(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            let _ = write!(
+                out,
+                "{} parent={:?} {} {:?} lane={} start={} dur={}",
+                s.id,
+                s.parent,
+                s.kind.label(),
+                s.name,
+                s.lane,
+                s.start_ms,
+                s.dur_ms
+            );
+            for (k, v) in &s.attrs {
+                let _ = write!(out, " {k}={v:?}");
+            }
+            out.push('\n');
+        }
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "counter {k}={v}");
+        }
+        out
+    }
+
+    /// `EXPLAIN ANALYZE`-style tree report.
+    pub fn render_text(&self) -> String {
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.spans.len()];
+        let mut roots: Vec<usize> = Vec::new();
+        for (i, s) in self.spans.iter().enumerate() {
+            match s.parent {
+                Some(p) => children[p as usize].push(i),
+                None => roots.push(i),
+            }
+        }
+        let mut out = String::new();
+        for &r in &roots {
+            self.render_node(&mut out, &children, r, 0);
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k} = {v}");
+            }
+        }
+        out
+    }
+
+    fn render_node(&self, out: &mut String, children: &[Vec<usize>], idx: usize, depth: usize) {
+        let s = &self.spans[idx];
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let _ = write!(
+            out,
+            "{} [{}] {:.3}..{:.3} ms ({:.3} ms) @{}",
+            s.name,
+            s.kind.label(),
+            s.start_ms,
+            s.end_ms(),
+            s.dur_ms,
+            s.lane
+        );
+        for (k, v) in &s.attrs {
+            let _ = write!(out, " {k}={v}");
+        }
+        out.push('\n');
+        for &c in &children[idx] {
+            self.render_node(out, children, c, depth + 1);
+        }
+    }
+
+    /// Chrome `trace_event` JSON: one process, one thread ("lane") per
+    /// engine node / client / network, `X` complete events with
+    /// microsecond timestamps, and `M` metadata events naming the lanes.
+    ///
+    /// Open in `chrome://tracing` or <https://ui.perfetto.dev>.
+    pub fn to_chrome_json(&self) -> String {
+        let lanes = self.lanes();
+        let tid = |lane: &str| lanes.iter().position(|l| l == lane).unwrap_or(0) + 1;
+        let mut out = String::from("{\"traceEvents\":[\n");
+        let mut first = true;
+        let mut push = |line: String, out: &mut String| {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&line);
+        };
+        push(
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{\"name\":\"xdb\"}}"
+                .to_string(),
+            &mut out,
+        );
+        for (i, lane) in lanes.iter().enumerate() {
+            push(
+                format!(
+                    "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":{}}}}}",
+                    i + 1,
+                    json_string(lane)
+                ),
+                &mut out,
+            );
+            // Keep the lane order stable in viewers that sort by index.
+            push(
+                format!(
+                    "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_sort_index\",\
+                     \"args\":{{\"sort_index\":{}}}}}",
+                    i + 1,
+                    i + 1
+                ),
+                &mut out,
+            );
+        }
+        for s in &self.spans {
+            let mut args = format!("\"span\":{},\"lane\":{}", s.id, json_string(&s.lane));
+            if let Some(p) = s.parent {
+                let _ = write!(args, ",\"parent\":{p}");
+            }
+            for (k, v) in &s.attrs {
+                let _ = write!(args, ",{}:{}", json_string(k), json_string(v));
+            }
+            push(
+                format!(
+                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\
+                     \"name\":{},\"cat\":{},\"args\":{{{}}}}}",
+                    tid(&s.lane),
+                    json_number(s.start_ms * 1000.0),
+                    json_number(s.dur_ms * 1000.0),
+                    json_string(&s.name),
+                    json_string(s.kind.label()),
+                    args
+                ),
+                &mut out,
+            );
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\",\"otherData\":{");
+        let mut first_counter = true;
+        for (k, v) in &self.counters {
+            if !first_counter {
+                out.push(',');
+            }
+            first_counter = false;
+            let _ = write!(out, "{}:{}", json_string(k), json_number(*v));
+        }
+        out.push_str("}}\n");
+        out
+    }
+}
+
+/// Escape a string as a JSON literal (quotes included).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format an f64 as a JSON number (Rust's shortest-round-trip `Display`,
+/// which never produces the `inf`/`NaN` tokens JSON forbids — simulated
+/// times are always finite).
+pub fn json_number(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Counters of one run, diffable against a baseline run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, f64>,
+}
+
+impl MetricsSnapshot {
+    pub fn get(&self, name: &str) -> f64 {
+        self.counters.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// `self - baseline`, over the union of keys (zero-delta keys kept so
+    /// a diff is also a full inventory).
+    pub fn diff(&self, baseline: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut counters = BTreeMap::new();
+        for k in self.counters.keys().chain(baseline.counters.keys()) {
+            counters.insert(k.clone(), self.get(k) - baseline.get(k));
+        }
+        MetricsSnapshot { counters }
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "{k} = {v}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::TraceCollector;
+    use crate::json;
+
+    fn sample() -> QueryTrace {
+        let c = TraceCollector::new();
+        let q = c.span(SpanKind::Query, "q1", "client", None, 0.0, 30.0);
+        let p = c.span(SpanKind::Phase, "prep", "client", Some(q), 0.0, 10.0);
+        c.span(SpanKind::Consult, "consult t", "db1", Some(p), 0.0, 6.0);
+        let e = c.span(SpanKind::Phase, "exec", "client", Some(q), 10.0, 20.0);
+        c.span(SpanKind::Exec, "xdb query", "db2", Some(e), 12.0, 18.0);
+        c.add("consults", 1.0);
+        c.finish()
+    }
+
+    #[test]
+    fn phase_projection_and_lanes() {
+        let t = sample();
+        assert_eq!(t.phase_ms("prep"), 10.0);
+        assert_eq!(t.phase_ms("exec"), 20.0);
+        assert_eq!(t.lanes(), vec!["client", "db1", "db2"]);
+        assert_eq!(t.root().unwrap().name, "q1");
+        assert_eq!(t.end_ms(), 30.0);
+    }
+
+    #[test]
+    fn merge_rebases_ids_and_sums_counters() {
+        let mut a = sample();
+        let mut b = sample();
+        b.shift_ms(30.0);
+        let n = a.spans.len();
+        a.merge(b);
+        assert_eq!(a.spans.len(), 2 * n);
+        assert_eq!(a.spans[n].id as usize, n);
+        assert_eq!(a.spans[n].parent, None);
+        assert_eq!(a.spans[n].start_ms, 30.0);
+        assert_eq!(a.spans[n + 1].parent, Some(n as u32));
+        assert_eq!(a.counter("consults"), 2.0);
+    }
+
+    #[test]
+    fn chrome_json_parses_and_names_lanes() {
+        let t = sample();
+        let j = t.to_chrome_json();
+        let v = json::parse(&j).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(json::Value::as_str) == Some("M"))
+            .filter(|e| e.get("name").and_then(json::Value::as_str) == Some("thread_name"))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(names, vec!["client", "db1", "db2"]);
+        let xs = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(json::Value::as_str) == Some("X"))
+            .count();
+        assert_eq!(xs, t.spans.len());
+    }
+
+    #[test]
+    fn text_report_nests() {
+        let t = sample();
+        let r = t.render_text();
+        assert!(r.contains("q1 [query]"), "{r}");
+        assert!(r.contains("\n  prep [phase]"), "{r}");
+        assert!(r.contains("\n    consult t [consult]"), "{r}");
+        assert!(r.contains("consults = 1"), "{r}");
+    }
+
+    #[test]
+    fn metrics_diff() {
+        let a = sample().metrics();
+        let mut twice = sample();
+        twice.merge(sample());
+        let b = twice.metrics();
+        let d = b.diff(&a);
+        assert_eq!(d.get("consults"), 1.0);
+        assert_eq!(d.get("spans.query"), 1.0);
+        assert_eq!(a.diff(&a).get("consults"), 0.0);
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_number(1.5), "1.5");
+        assert_eq!(json_number(3.0), "3");
+    }
+}

@@ -23,7 +23,9 @@ pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
 pub mod prelude {
     pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
     // Real proptest's prelude re-exports the crate under the name `prop`,
     // which is how `prop::collection::vec(...)` resolves.
     pub use crate as prop;
@@ -161,9 +163,10 @@ macro_rules! prop_assert_ne {
     ($a:expr, $b:expr $(,)?) => {{
         let (__a, __b) = (&$a, &$b);
         if *__a == *__b {
-            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
-                format!("assertion failed: {:?} != {:?}", __a, __b),
-            ));
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {:?} != {:?}",
+                __a, __b
+            )));
         }
     }};
 }

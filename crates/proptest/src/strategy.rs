@@ -358,9 +358,9 @@ mod tests {
                 Tree::Node(i) => 1 + depth(i),
             }
         }
-        let t = Just(()).prop_map(|_| Tree::Leaf).prop_recursive(3, 8, 2, |inner| {
-            inner.prop_map(|i| Tree::Node(Box::new(i)))
-        });
+        let t = Just(())
+            .prop_map(|_| Tree::Leaf)
+            .prop_recursive(3, 8, 2, |inner| inner.prop_map(|i| Tree::Node(Box::new(i))));
         for _ in 0..100 {
             assert!(depth(&t.new_value(&mut r)) <= 3);
         }

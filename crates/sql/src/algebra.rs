@@ -332,9 +332,9 @@ impl LogicalPlan {
     /// Immediate children of this node.
     pub fn children(&self) -> Vec<&LogicalPlan> {
         match self {
-            LogicalPlan::Scan { .. }
-            | LogicalPlan::Placeholder { .. }
-            | LogicalPlan::OneRow => vec![],
+            LogicalPlan::Scan { .. } | LogicalPlan::Placeholder { .. } | LogicalPlan::OneRow => {
+                vec![]
+            }
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::Project { input, .. }
             | LogicalPlan::Aggregate { input, .. }
@@ -342,8 +342,9 @@ impl LogicalPlan {
             | LogicalPlan::Limit { input, .. }
             | LogicalPlan::SubqueryAlias { input, .. }
             | LogicalPlan::Distinct { input } => vec![input],
-            LogicalPlan::Join { left, right, .. }
-            | LogicalPlan::SemiJoin { left, right, .. } => vec![left, right],
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::SemiJoin { left, right, .. } => {
+                vec![left, right]
+            }
         }
     }
 
@@ -368,7 +369,11 @@ impl LogicalPlan {
 
     /// Count of operator nodes in this sub-tree.
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 
     /// Compact algebra notation in the style of the paper's delegation
@@ -436,9 +441,7 @@ impl LogicalPlan {
             LogicalPlan::Project { exprs, .. } => {
                 let cols: Vec<String> = exprs
                     .iter()
-                    .map(|(e, n)| {
-                        format!("{} AS {n}", render_expr_string(e, Dialect::Generic))
-                    })
+                    .map(|(e, n)| format!("{} AS {n}", render_expr_string(e, Dialect::Generic)))
                     .collect();
                 out.push_str(&format!("Project: {}\n", cols.join(", ")));
             }
@@ -895,9 +898,8 @@ fn build(plan: &LogicalPlan) -> Result<SelectBuilder, SchemaError> {
                 inner_conds.push(rewritten);
             }
             let mut exists_query = rb.stmt;
-            exists_query.selection = Expr::conjoin(
-                exists_query.selection.take().into_iter().chain(inner_conds),
-            );
+            exists_query.selection =
+                Expr::conjoin(exists_query.selection.take().into_iter().chain(inner_conds));
             let exists = Expr::Exists {
                 query: Box::new(exists_query),
                 negated: *negated,
@@ -1210,16 +1212,17 @@ mod tests {
         let plan = l.join(r, vec![(Expr::qcol("l", "x"), Expr::qcol("r", "x"))]);
         let stmt = plan_to_select(&plan).unwrap();
         let sql = render_select_string(&stmt, Dialect::Generic);
-        assert_eq!(
-            sql,
-            "SELECT l.x AS x, r.x AS x FROM l, r WHERE l.x = r.x"
-        );
+        assert_eq!(sql, "SELECT l.x AS x, r.x AS x FROM l, r WHERE l.x = r.x");
     }
 
     #[test]
     fn lower_aggregate() {
         let plan = LogicalPlan::Aggregate {
-            input: Box::new(scan("t", "t", &[("g", DataType::Str), ("v", DataType::Float)])),
+            input: Box::new(scan(
+                "t",
+                "t",
+                &[("g", DataType::Str), ("v", DataType::Float)],
+            )),
             group_by: vec![(Expr::qcol("t", "g"), "g".to_string())],
             aggregates: vec![(
                 AggCall {
@@ -1241,7 +1244,11 @@ mod tests {
     #[test]
     fn lower_filter_after_aggregate_wraps() {
         let agg = LogicalPlan::Aggregate {
-            input: Box::new(scan("t", "t", &[("g", DataType::Str), ("v", DataType::Float)])),
+            input: Box::new(scan(
+                "t",
+                "t",
+                &[("g", DataType::Str), ("v", DataType::Float)],
+            )),
             group_by: vec![(Expr::qcol("t", "g"), "g".to_string())],
             aggregates: vec![(
                 AggCall {
@@ -1329,12 +1336,10 @@ mod tests {
         let v = scan("Vaccines", "V", &[("id", DataType::Int)]);
         let vn = scan("Vaccination", "VN", &[("v_id", DataType::Int)]);
         let plan = LogicalPlan::Project {
-            input: Box::new(
-                v.project(vec![(Expr::qcol("V", "id"), "id".into())]).join(
-                    vn.project(vec![(Expr::qcol("VN", "v_id"), "v_id".into())]),
-                    vec![],
-                ),
-            ),
+            input: Box::new(v.project(vec![(Expr::qcol("V", "id"), "id".into())]).join(
+                vn.project(vec![(Expr::qcol("VN", "v_id"), "v_id".into())]),
+                vec![],
+            )),
             exprs: vec![(Expr::col("id"), "id".into())],
         };
         assert_eq!(plan.compact_notation(), "π(⋈(π(V),π(VN)))");

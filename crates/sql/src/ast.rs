@@ -204,7 +204,10 @@ pub enum Expr {
     Literal(Value),
     /// `INTERVAL '<n>' <unit>`; only meaningful added to / subtracted from
     /// a date.
-    Interval { n: i64, unit: IntervalUnit },
+    Interval {
+        n: i64,
+        unit: IntervalUnit,
+    },
     Binary {
         op: BinaryOp,
         left: Box<Expr>,
@@ -402,10 +405,7 @@ impl Expr {
                     expr.walk(f);
                 }
             }
-            Expr::Column { .. }
-            | Expr::Literal(_)
-            | Expr::Interval { .. }
-            | Expr::CountStar => {}
+            Expr::Column { .. } | Expr::Literal(_) | Expr::Interval { .. } | Expr::CountStar => {}
         }
     }
 
@@ -554,7 +554,11 @@ mod tests {
         let e = Expr::Case {
             operand: None,
             branches: vec![(
-                Expr::binary(BinaryOp::Lt, Expr::qcol("c", "age"), Expr::lit(Value::Int(30))),
+                Expr::binary(
+                    BinaryOp::Lt,
+                    Expr::qcol("c", "age"),
+                    Expr::lit(Value::Int(30)),
+                ),
                 Expr::lit(Value::str("20-30")),
             )],
             else_expr: Some(Box::new(Expr::col("fallback"))),

@@ -158,10 +158,7 @@ impl<'a> Binder<'a> {
 
         let has_agg = !stmt.group_by.is_empty()
             || proj.iter().any(|(e, _)| e.contains_aggregate())
-            || stmt
-                .having
-                .as_ref()
-                .is_some_and(|h| h.contains_aggregate());
+            || stmt.having.as_ref().is_some_and(|h| h.contains_aggregate());
 
         if has_agg {
             plan = self.bind_aggregate(plan, &input_schema, proj, stmt)?;
@@ -283,10 +280,9 @@ impl<'a> Binder<'a> {
         }
         if !correlations.is_empty()
             && (!query.group_by.is_empty()
-                || query
-                    .projection
-                    .iter()
-                    .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate())))
+                || query.projection.iter().any(
+                    |i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()),
+                ))
         {
             return Err(BindError::new(
                 "correlation through an aggregating subquery is not supported",
@@ -364,8 +360,7 @@ impl<'a> Binder<'a> {
         }
         for ((outer_e, _), corr_ref) in correlations.into_iter().zip(corr_refs) {
             validate_expr(&outer_e, &outer_schema)?;
-            validate_expr(&corr_ref, &inner_schema)
-                .map_err(|e| BindError::new(e.to_string()))?;
+            validate_expr(&corr_ref, &inner_schema).map_err(|e| BindError::new(e.to_string()))?;
             on.push((outer_e, corr_ref));
         }
         Ok(LogicalPlan::SemiJoin {
@@ -455,13 +450,13 @@ impl<'a> Binder<'a> {
                         })?;
                     proj[idx].clone()
                 }
-                Expr::Column { qualifier: None, name } => {
+                Expr::Column {
+                    qualifier: None,
+                    name,
+                } => {
                     // Alias of a projection item wins over input columns,
                     // unless the projection item is itself that column.
-                    if let Some((e, n)) = proj
-                        .iter()
-                        .find(|(_, n)| n.eq_ignore_ascii_case(name))
-                    {
+                    if let Some((e, n)) = proj.iter().find(|(_, n)| n.eq_ignore_ascii_case(name)) {
                         (e.clone(), n.clone())
                     } else {
                         validate_expr(g, input_schema)?;
@@ -567,15 +562,12 @@ impl<'a> Binder<'a> {
                 // alone cannot see a bare `count(*)`); other keys try the
                 // projected output first and fall back to the rewrite
                 // (which maps grouping expressions to their outputs).
-                let key = if key.contains_aggregate()
-                    || validate_expr(&key, &out_schema).is_err()
-                {
+                let key = if key.contains_aggregate() || validate_expr(&key, &out_schema).is_err() {
                     rewrite(&key)?
                 } else {
                     key
                 };
-                validate_expr(&key, &out_schema)
-                    .map_err(|e| BindError::new(e.to_string()))?;
+                validate_expr(&key, &out_schema).map_err(|e| BindError::new(e.to_string()))?;
                 keys.push((key, ob.desc));
             }
             plan = LogicalPlan::Sort {
@@ -593,12 +585,13 @@ impl<'a> Binder<'a> {
                 let idx = (*n as usize)
                     .checked_sub(1)
                     .filter(|i| *i < proj.len())
-                    .ok_or_else(|| {
-                        BindError::new(format!("ORDER BY ordinal {n} out of range"))
-                    })?;
+                    .ok_or_else(|| BindError::new(format!("ORDER BY ordinal {n} out of range")))?;
                 Ok(Expr::col(proj[idx].1.clone()))
             }
-            Expr::Column { qualifier: None, name } => {
+            Expr::Column {
+                qualifier: None,
+                name,
+            } => {
                 if proj.iter().any(|(_, n)| n.eq_ignore_ascii_case(name)) {
                     Ok(Expr::col(name.clone()))
                 } else {
@@ -875,7 +868,9 @@ mod tests {
 
     #[test]
     fn unknown_relation_and_column() {
-        assert!(bind_err("SELECT x FROM nope").message.contains("unknown relation"));
+        assert!(bind_err("SELECT x FROM nope")
+            .message
+            .contains("unknown relation"));
         assert!(bind_err("SELECT bogus FROM citizen")
             .message
             .contains("unknown column"));
@@ -952,8 +947,7 @@ mod tests {
 
     #[test]
     fn having_filters_above_aggregate() {
-        let plan =
-            bind("SELECT age, count(*) AS c FROM citizen GROUP BY age HAVING count(*) > 2");
+        let plan = bind("SELECT age, count(*) AS c FROM citizen GROUP BY age HAVING count(*) > 2");
         let tree = plan.tree_string();
         assert!(tree.contains("Filter"), "{tree}");
         // Filter sits above Aggregate.
@@ -990,9 +984,7 @@ mod tests {
 
     #[test]
     fn order_by_aggregate_expression() {
-        let plan = bind(
-            "SELECT age, sum(id) AS s FROM citizen GROUP BY age ORDER BY sum(id) DESC",
-        );
+        let plan = bind("SELECT age, sum(id) AS s FROM citizen GROUP BY age ORDER BY sum(id) DESC");
         assert!(matches!(plan, LogicalPlan::Sort { .. }));
     }
 
@@ -1038,15 +1030,21 @@ mod tests {
             "SELECT name FROM citizen c WHERE NOT EXISTS \
              (SELECT 1 FROM vaccination v WHERE v.c_id = c.id)",
         );
-        assert!(plan.tree_string().contains("AntiJoin"), "{}", plan.tree_string());
+        assert!(
+            plan.tree_string().contains("AntiJoin"),
+            "{}",
+            plan.tree_string()
+        );
     }
 
     #[test]
     fn in_subquery_becomes_semi_join() {
-        let plan = bind(
-            "SELECT name FROM citizen WHERE id IN (SELECT c_id FROM vaccination)",
+        let plan = bind("SELECT name FROM citizen WHERE id IN (SELECT c_id FROM vaccination)");
+        assert!(
+            plan.tree_string().contains("SemiJoin"),
+            "{}",
+            plan.tree_string()
         );
-        assert!(plan.tree_string().contains("SemiJoin"), "{}", plan.tree_string());
     }
 
     #[test]
@@ -1078,9 +1076,8 @@ mod tests {
 
     #[test]
     fn multi_column_in_subquery_rejected() {
-        let err = bind_err(
-            "SELECT name FROM citizen WHERE id IN (SELECT c_id, v_id FROM vaccination)",
-        );
+        let err =
+            bind_err("SELECT name FROM citizen WHERE id IN (SELECT c_id, v_id FROM vaccination)");
         assert!(err.message.contains("one column"), "{}", err.message);
     }
 

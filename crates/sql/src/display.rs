@@ -33,9 +33,7 @@ impl Dialect {
     /// Quote an identifier if it is not a plain lowercase-safe name.
     pub fn ident(self, name: &str) -> String {
         let plain = !name.is_empty()
-            && name
-                .chars()
-                .all(|c| c == '_' || c.is_ascii_alphanumeric())
+            && name.chars().all(|c| c == '_' || c.is_ascii_alphanumeric())
             && name
                 .chars()
                 .next()
@@ -53,10 +51,10 @@ impl Dialect {
 
 fn is_reserved(name: &str) -> bool {
     const RESERVED: &[&str] = &[
-        "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "HAVING", "LIMIT", "AND", "OR",
-        "NOT", "AS", "JOIN", "ON", "CASE", "WHEN", "THEN", "ELSE", "END", "NULL", "TRUE",
-        "FALSE", "IN", "BETWEEN", "LIKE", "IS", "CREATE", "TABLE", "VIEW", "DROP", "INSERT",
-        "VALUES", "DISTINCT", "UNION",
+        "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "HAVING", "LIMIT", "AND", "OR", "NOT",
+        "AS", "JOIN", "ON", "CASE", "WHEN", "THEN", "ELSE", "END", "NULL", "TRUE", "FALSE", "IN",
+        "BETWEEN", "LIKE", "IS", "CREATE", "TABLE", "VIEW", "DROP", "INSERT", "VALUES", "DISTINCT",
+        "UNION",
     ];
     RESERVED.contains(&name.to_ascii_uppercase().as_str())
 }
@@ -285,9 +283,13 @@ fn precedence(e: &Expr) -> u8 {
             BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => 6,
             _ => 4,
         },
-        Expr::Unary { op: UnaryOp::Not, .. } => 3,
+        Expr::Unary {
+            op: UnaryOp::Not, ..
+        } => 3,
         Expr::Between { .. } | Expr::Like { .. } | Expr::InList { .. } | Expr::IsNull { .. } => 4,
-        Expr::Unary { op: UnaryOp::Neg, .. } => 7,
+        Expr::Unary {
+            op: UnaryOp::Neg, ..
+        } => 7,
         _ => 10,
     }
 }

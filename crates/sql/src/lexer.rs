@@ -167,14 +167,15 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, LexError> {
             }
             b'0'..=b'9' => {
                 let (tok, next) = lex_number(input, i)?;
-                tokens.push(Spanned { token: tok, offset: start });
+                tokens.push(Spanned {
+                    token: tok,
+                    offset: start,
+                });
                 i = next;
             }
             c if c == b'_' || c.is_ascii_alphabetic() => {
                 let mut j = i + 1;
-                while j < bytes.len()
-                    && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric())
-                {
+                while j < bytes.len() && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric()) {
                     j += 1;
                 }
                 tokens.push(Spanned {
@@ -188,7 +189,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, LexError> {
                     message: format!("unexpected character {:?}", c as char),
                     offset: start,
                 })?;
-                tokens.push(Spanned { token: tok, offset: start });
+                tokens.push(Spanned {
+                    token: tok,
+                    offset: start,
+                });
                 i += adv;
             }
         }
@@ -232,8 +236,7 @@ fn lex_number(input: &str, start: usize) -> Result<(Token, usize), LexError> {
         i += 1;
     }
     let mut is_float = false;
-    if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()
-    {
+    if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
         is_float = true;
         i += 1;
         while i < bytes.len() && bytes[i].is_ascii_digit() {

@@ -12,12 +12,12 @@
 //!   SQL ([`algebra::plan_to_select`]).
 
 pub mod algebra;
-pub mod bind;
 pub mod ast;
+pub mod bind;
 pub mod display;
 pub mod lexer;
-pub mod parser;
 pub mod optimize;
+pub mod parser;
 pub mod stats;
 pub mod value;
 

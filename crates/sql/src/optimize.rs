@@ -151,10 +151,12 @@ impl<'a> Ctx<'a> {
         let leaves: Vec<LogicalPlan> = relations
             .into_iter()
             .enumerate()
-            .map(|(i, r)| match Expr::conjoin(std::mem::take(&mut filters[i])) {
-                Some(p) => r.filter(p),
-                None => r,
-            })
+            .map(
+                |(i, r)| match Expr::conjoin(std::mem::take(&mut filters[i])) {
+                    Some(p) => r.filter(p),
+                    None => r,
+                },
+            )
             .collect();
 
         if leaves.len() == 1 {
@@ -188,8 +190,7 @@ impl<'a> Ctx<'a> {
         let mut iter = order.into_iter();
         let first = iter.next().unwrap();
         in_tree |= 1 << first;
-        let mut leaves_opt: Vec<Option<LogicalPlan>> =
-            leaves.into_iter().map(Some).collect();
+        let mut leaves_opt: Vec<Option<LogicalPlan>> = leaves.into_iter().map(Some).collect();
         let mut plan = leaves_opt[first].take().unwrap();
         for idx in iter {
             let right = leaves_opt[idx].take().unwrap();
@@ -305,11 +306,8 @@ impl<'a> Ctx<'a> {
                         _ => None,
                     };
                     if let Some((ls, rs)) = pair {
-                        for (lmask, rmask, le, re) in
-                            [(s, t, &ls, &rs), (t, s, &rs, &ls)]
-                        {
-                            let (joined, connected) =
-                                join_of(lmask, rmask, &le.plan, &re.plan);
+                        for (lmask, rmask, le, re) in [(s, t, &ls, &rs), (t, s, &rs, &ls)] {
+                            let (joined, connected) = join_of(lmask, rmask, &le.plan, &re.plan);
                             let rows = self.est.rows(&joined);
                             let step = if connected { rows } else { rows * 1e6 };
                             let cost = le.cost + re.cost + step;
@@ -333,11 +331,7 @@ impl<'a> Ctx<'a> {
         // Residuals that never attached (constants / unresolvable) plus a
         // final guard for predicates over a single relation set.
         let mut attached = vec![false; residuals.len()];
-        fn mark_attached(
-            plan: &LogicalPlan,
-            residuals: &[(u64, Expr)],
-            attached: &mut [bool],
-        ) {
+        fn mark_attached(plan: &LogicalPlan, residuals: &[(u64, Expr)], attached: &mut [bool]) {
             if let LogicalPlan::Join {
                 residual: Some(res),
                 ..
@@ -671,10 +665,9 @@ fn classify(pred: &Expr, schemas: &[PlanSchema]) -> Classified {
                 right,
             } = pred
             {
-                if let (Some(lm), Some(rm)) = (
-                    relations_of(left, schemas),
-                    relations_of(right, schemas),
-                ) {
+                if let (Some(lm), Some(rm)) =
+                    (relations_of(left, schemas), relations_of(right, schemas))
+                {
                     if lm.count_ones() == 1 && rm.count_ones() == 1 && lm != rm {
                         return Classified::EquiEdge(JoinEdge {
                             left_rel: lm.trailing_zeros() as usize,
@@ -733,9 +726,7 @@ fn prune(plan: LogicalPlan, required: Option<&[Need]>) -> LogicalPlan {
                 Some(req) => {
                     let kept: Vec<(String, crate::value::DataType)> = fields
                         .iter()
-                        .filter(|(n, _)| {
-                            req.iter().any(|need| satisfies(Some(&alias), n, need))
-                        })
+                        .filter(|(n, _)| req.iter().any(|need| satisfies(Some(&alias), n, need)))
                         .cloned()
                         .collect();
                     if kept.is_empty() {
@@ -824,10 +815,7 @@ fn prune(plan: LogicalPlan, required: Option<&[Need]>) -> LogicalPlan {
                 needs_of(res, &mut rneeds);
             }
             LogicalPlan::SemiJoin {
-                left: Box::new(prune(
-                    *left,
-                    if keep_all { None } else { Some(&lneeds) },
-                )),
+                left: Box::new(prune(*left, if keep_all { None } else { Some(&lneeds) })),
                 right: Box::new(prune(*right, Some(&rneeds))),
                 on,
                 residual,
@@ -920,10 +908,7 @@ fn prune(plan: LogicalPlan, required: Option<&[Need]>) -> LogicalPlan {
         LogicalPlan::SubqueryAlias { input, alias } => {
             let inner_required: Option<Vec<Need>> = required.map(|req| {
                 req.iter()
-                    .filter(|(q, _)| {
-                        q.as_deref()
-                            .is_none_or(|q| q.eq_ignore_ascii_case(&alias))
-                    })
+                    .filter(|(q, _)| q.as_deref().is_none_or(|q| q.eq_ignore_ascii_case(&alias)))
                     .map(|(_, n)| (None, n.clone()))
                     .collect()
             });
@@ -1006,15 +991,16 @@ mod tests {
                 ],
                 60000.0,
             ),
-            ("nation", vec![("n_nationkey", DataType::Int), ("n_name", DataType::Str)], 25.0),
+            (
+                "nation",
+                vec![("n_nationkey", DataType::Int), ("n_name", DataType::Str)],
+                25.0,
+            ),
         ] {
             relations.insert(
                 name.to_string(),
                 ResolvedRelation::Base {
-                    fields: cols
-                        .iter()
-                        .map(|(n, t)| (n.to_string(), *t))
-                        .collect(),
+                    fields: cols.iter().map(|(n, t)| (n.to_string(), *t)).collect(),
                 },
             );
             rows.insert(name.to_string(), count);
@@ -1073,10 +1059,8 @@ mod tests {
 
     #[test]
     fn join_order_starts_small() {
-        let plan = opt(
-            "SELECT c_name FROM lineitem, orders, customer \
-             WHERE l_orderkey = o_orderkey AND o_custkey = c_custkey",
-        );
+        let plan = opt("SELECT c_name FROM lineitem, orders, customer \
+             WHERE l_orderkey = o_orderkey AND o_custkey = c_custkey");
         let order = scan_order(&plan);
         // customer (1.5k) or orders should come before lineitem (60k) as
         // the leftmost; lineitem must not be first.
@@ -1103,9 +1087,7 @@ mod tests {
 
     #[test]
     fn columns_pruned_at_scans() {
-        let plan = opt(
-            "SELECT c_name FROM customer, orders WHERE c_custkey = o_custkey",
-        );
+        let plan = opt("SELECT c_name FROM customer, orders WHERE c_custkey = o_custkey");
         fn scan_widths(p: &LogicalPlan, out: &mut Vec<(String, usize)>) {
             if let LogicalPlan::Scan {
                 relation, fields, ..
@@ -1130,10 +1112,8 @@ mod tests {
 
     #[test]
     fn residual_or_predicate_placed_at_join() {
-        let plan = opt(
-            "SELECT c_name FROM customer, nation \
-             WHERE c_nationkey = n_nationkey AND (c_mktsegment = 'A' OR n_name = 'B')",
-        );
+        let plan = opt("SELECT c_name FROM customer, nation \
+             WHERE c_nationkey = n_nationkey AND (c_mktsegment = 'A' OR n_name = 'B')");
         fn has_residual(p: &LogicalPlan) -> bool {
             if let LogicalPlan::Join { residual, .. } = p {
                 if residual.is_some() {
@@ -1156,7 +1136,12 @@ mod tests {
         let bound = bind_select(&parse_select(sql).unwrap(), &cat).unwrap();
         let optimized = optimize(bound.clone(), &cat, OptimizeOptions::default());
         assert_eq!(
-            bound.schema().fields.iter().map(|f| &f.name).collect::<Vec<_>>(),
+            bound
+                .schema()
+                .fields
+                .iter()
+                .map(|f| &f.name)
+                .collect::<Vec<_>>(),
             optimized
                 .schema()
                 .fields
@@ -1181,10 +1166,7 @@ mod tests {
                 join_shape: JoinShape::LeftDeep,
             },
         );
-        assert_eq!(
-            scan_order(&fixed),
-            vec!["lineitem", "orders", "customer"]
-        );
+        assert_eq!(scan_order(&fixed), vec!["lineitem", "orders", "customer"]);
     }
 
     #[test]
@@ -1210,10 +1192,7 @@ mod tests {
             rows.insert(format!("dim{i}"), 10.0 * (i as f64 + 1.0));
             fields.push((format!("d{i}_ref"), DataType::Int));
         }
-        relations.insert(
-            "hub".to_string(),
-            ResolvedRelation::Base { fields },
-        );
+        relations.insert("hub".to_string(), ResolvedRelation::Base { fields });
         rows.insert("hub".to_string(), 10000.0);
         let cat = TestCatalog {
             relations,
@@ -1354,10 +1333,8 @@ mod tests {
     fn optimize_with_no_stats_is_safe() {
         let cat = catalog();
         let plan = bind_select(
-            &parse_select(
-                "SELECT c_name FROM customer, orders WHERE c_custkey = o_custkey",
-            )
-            .unwrap(),
+            &parse_select("SELECT c_name FROM customer, orders WHERE c_custkey = o_custkey")
+                .unwrap(),
             &cat,
         )
         .unwrap();

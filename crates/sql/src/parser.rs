@@ -241,13 +241,12 @@ impl Parser {
                     let val = match self.advance() {
                         Token::StringLit(s) => s,
                         other => {
-                            return Err(self.error(format!(
-                                "expected string option value, found {other}"
-                            )))
+                            return Err(
+                                self.error(format!("expected string option value, found {other}"))
+                            )
                         }
                     };
-                    if key.eq_ignore_ascii_case("remote")
-                        || key.eq_ignore_ascii_case("table_name")
+                    if key.eq_ignore_ascii_case("remote") || key.eq_ignore_ascii_case("table_name")
                     {
                         remote_name = Some(val);
                     }
@@ -488,8 +487,7 @@ impl Parser {
     fn table_ref(&mut self) -> Result<TableRef> {
         let mut left = self.table_primary()?;
         loop {
-            let is_join = self.peek_kw("JOIN")
-                || (self.peek_kw("INNER") && self.peek2_kw("JOIN"));
+            let is_join = self.peek_kw("JOIN") || (self.peek_kw("INNER") && self.peek2_kw("JOIN"));
             if !is_join {
                 break;
             }
@@ -747,8 +745,8 @@ impl Parser {
             // Reserved clause keywords cannot start an expression; quoting
             // them is required to use them as column names.
             const RESERVED_IN_EXPR: &[&str] = &[
-                "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "BY", "ON", "JOIN",
-                "SELECT", "AND", "OR", "WHEN", "THEN", "ELSE", "END", "AS",
+                "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "BY", "ON", "JOIN", "SELECT",
+                "AND", "OR", "WHEN", "THEN", "ELSE", "END", "AS",
             ];
             if RESERVED_IN_EXPR.contains(&kw.as_str()) {
                 return Err(self.error(format!("unexpected keyword {kw} in expression")));
@@ -804,9 +802,7 @@ impl Parser {
                             "MONTH" | "MONTHS" => IntervalUnit::Month,
                             "DAY" | "DAYS" => IntervalUnit::Day,
                             other => {
-                                return Err(
-                                    self.error(format!("unknown interval unit {other:?}"))
-                                )
+                                return Err(self.error(format!("unknown interval unit {other:?}")))
                             }
                         };
                         return Ok(Expr::Interval { n, unit });
@@ -947,10 +943,8 @@ mod tests {
 
     #[test]
     fn join_syntax() {
-        let s = parse_select(
-            "SELECT * FROM a JOIN b ON a.x = b.x INNER JOIN c ON b.y = c.y",
-        )
-        .unwrap();
+        let s =
+            parse_select("SELECT * FROM a JOIN b ON a.x = b.x INNER JOIN c ON b.y = c.y").unwrap();
         assert_eq!(s.from.len(), 1);
         assert!(matches!(&s.from[0], TableRef::Join { .. }));
     }
@@ -994,7 +988,10 @@ mod tests {
         let e2 = parse_expr("date + 1").unwrap();
         assert!(matches!(
             e2,
-            Expr::Binary { op: BinaryOp::Plus, .. }
+            Expr::Binary {
+                op: BinaryOp::Plus,
+                ..
+            }
         ));
     }
 
@@ -1075,7 +1072,13 @@ mod tests {
         }
         // OR binds looser than AND.
         let e = parse_expr("a = 1 or b = 2 and c = 3").unwrap();
-        assert!(matches!(e, Expr::Binary { op: BinaryOp::Or, .. }));
+        assert!(matches!(
+            e,
+            Expr::Binary {
+                op: BinaryOp::Or,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1089,13 +1092,9 @@ mod tests {
 
     #[test]
     fn ddl_create_view() {
-        let stmt =
-            parse_statement("CREATE VIEW vvn AS SELECT v.type FROM Vaccines v").unwrap();
+        let stmt = parse_statement("CREATE VIEW vvn AS SELECT v.type FROM Vaccines v").unwrap();
         assert!(matches!(stmt, Statement::CreateView { .. }));
-        let stmt = parse_statement(
-            "CREATE OR REPLACE VIEW v2 AS SELECT 1 AS one",
-        )
-        .unwrap();
+        let stmt = parse_statement("CREATE OR REPLACE VIEW v2 AS SELECT 1 AS one").unwrap();
         assert!(matches!(
             stmt,
             Statement::CreateView {
@@ -1167,10 +1166,9 @@ mod tests {
 
     #[test]
     fn script_parsing() {
-        let stmts = parse_script(
-            "CREATE TABLE a (x BIGINT); INSERT INTO a VALUES (1); SELECT * FROM a;",
-        )
-        .unwrap();
+        let stmts =
+            parse_script("CREATE TABLE a (x BIGINT); INSERT INTO a VALUES (1); SELECT * FROM a;")
+                .unwrap();
         assert_eq!(stmts.len(), 3);
     }
 

@@ -7,8 +7,8 @@
 //! cost estimates are comparable — the paper's "same cost unit" requirement
 //! (footnote 6) — leaving calibration to scale factors only.
 
-use crate::ast::{BinaryOp, Expr};
 use crate::algebra::{LogicalPlan, PlanSchema};
+use crate::ast::{BinaryOp, Expr};
 use crate::value::Value;
 
 /// Per-column statistics.
@@ -96,8 +96,12 @@ impl<'a> Estimator<'a> {
                 let r = self.rows(right);
                 let mut card = l * r;
                 for (le, re) in on {
-                    let ld = self.expr_distinct(le, left).unwrap_or(l * DEFAULT_EQ_SELECTIVITY);
-                    let rd = self.expr_distinct(re, right).unwrap_or(r * DEFAULT_EQ_SELECTIVITY);
+                    let ld = self
+                        .expr_distinct(le, left)
+                        .unwrap_or(l * DEFAULT_EQ_SELECTIVITY);
+                    let rd = self
+                        .expr_distinct(re, right)
+                        .unwrap_or(r * DEFAULT_EQ_SELECTIVITY);
                     card /= ld.max(rd).max(1.0);
                 }
                 if let Some(res) = residual {
@@ -115,7 +119,9 @@ impl<'a> Estimator<'a> {
                 }
                 let mut groups = 1.0f64;
                 for (e, _) in group_by {
-                    groups *= self.expr_distinct(e, input).unwrap_or(in_rows.sqrt().max(1.0));
+                    groups *= self
+                        .expr_distinct(e, input)
+                        .unwrap_or(in_rows.sqrt().max(1.0));
                 }
                 groups.min(in_rows).max(1.0)
             }
@@ -223,7 +229,12 @@ impl<'a> Estimator<'a> {
                     _ => DEFAULT_RANGE_SELECTIVITY,
                 }
             }
-            Expr::Between { expr, low, high, negated } => {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 let frac = match (&**low, &**high) {
                     (Expr::Literal(lo), Expr::Literal(hi)) => {
                         let a = self.range_fraction(expr, hi, BinaryOp::LtEq, input);
@@ -371,10 +382,8 @@ pub fn resolve_base_column(
                 None
             }
         }
-        LogicalPlan::Join { left, right, .. } => {
-            resolve_base_column(left, qualifier, name)
-                .or_else(|| resolve_base_column(right, qualifier, name))
-        }
+        LogicalPlan::Join { left, right, .. } => resolve_base_column(left, qualifier, name)
+            .or_else(|| resolve_base_column(right, qualifier, name)),
         // Semi-join output is the left side only.
         LogicalPlan::SemiJoin { left, .. } => resolve_base_column(left, qualifier, name),
         LogicalPlan::Aggregate {
@@ -560,10 +569,8 @@ mod tests {
 
     #[test]
     fn resolve_through_alias_and_project() {
-        let inner = scan("orders", "o", &[("o_custkey", DataType::Int)]).project(vec![(
-            Expr::qcol("o", "o_custkey"),
-            "k".to_string(),
-        )]);
+        let inner = scan("orders", "o", &[("o_custkey", DataType::Int)])
+            .project(vec![(Expr::qcol("o", "o_custkey"), "k".to_string())]);
         let aliased = LogicalPlan::SubqueryAlias {
             input: Box::new(inner),
             alias: "sub".to_string(),

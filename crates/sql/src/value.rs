@@ -143,9 +143,7 @@ impl Value {
             (Null, _) | (_, Null) => None,
             (Int(a), Int(b)) => Some(a.cmp(b)),
             (Float(a), Float(b)) => a.partial_cmp(b),
-            (Int(_), Float(_)) | (Float(_), Int(_)) => {
-                self.as_f64()?.partial_cmp(&other.as_f64()?)
-            }
+            (Int(_), Float(_)) | (Float(_), Int(_)) => self.as_f64()?.partial_cmp(&other.as_f64()?),
             (Str(a), Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
             (Date(a), Date(b)) => Some(a.cmp(b)),
             (Bool(a), Bool(b)) => Some(a.cmp(b)),
@@ -189,12 +187,10 @@ impl PartialEq for Value {
             (Null, Null) => true,
             (Int(a), Int(b)) => a == b,
             (Float(a), Float(b)) => a.to_bits() == b.to_bits(),
-            (Int(_), Float(_)) | (Float(_), Int(_)) => {
-                match (self.as_f64(), other.as_f64()) {
-                    (Some(a), Some(b)) => a == b,
-                    _ => false,
-                }
-            }
+            (Int(_), Float(_)) | (Float(_), Int(_)) => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
             (Str(a), Str(b)) => a == b,
             (Date(a), Date(b)) => a == b,
             (Bool(a), Bool(b)) => a == b,
@@ -377,13 +373,22 @@ mod tests {
     #[test]
     fn date_add_months_clamps() {
         let jan31 = date::days_from_ymd(1995, 1, 31);
-        assert_eq!(date::ymd_from_days(date::add_months(jan31, 1)), (1995, 2, 28));
+        assert_eq!(
+            date::ymd_from_days(date::add_months(jan31, 1)),
+            (1995, 2, 28)
+        );
         let leap = date::days_from_ymd(1996, 1, 31);
-        assert_eq!(date::ymd_from_days(date::add_months(leap, 1)), (1996, 2, 29));
+        assert_eq!(
+            date::ymd_from_days(date::add_months(leap, 1)),
+            (1996, 2, 29)
+        );
         // Across year boundary and backwards.
         let d = date::days_from_ymd(1994, 12, 15);
         assert_eq!(date::ymd_from_days(date::add_months(d, 1)), (1995, 1, 15));
-        assert_eq!(date::ymd_from_days(date::add_months(d, -12)), (1993, 12, 15));
+        assert_eq!(
+            date::ymd_from_days(date::add_months(d, -12)),
+            (1993, 12, 15)
+        );
     }
 
     #[test]
@@ -439,7 +444,10 @@ mod tests {
         assert_eq!(Value::Int(42).to_string(), "42");
         assert_eq!(Value::Float(1.5).to_string(), "1.5");
         assert_eq!(Value::Float(2.0).to_string(), "2.0");
-        assert_eq!(Value::Date(date::parse("1998-12-01").unwrap()).to_string(), "1998-12-01");
+        assert_eq!(
+            Value::Date(date::parse("1998-12-01").unwrap()).to_string(),
+            "1998-12-01"
+        );
         assert_eq!(Value::Null.to_string(), "NULL");
     }
 

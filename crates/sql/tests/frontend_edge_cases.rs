@@ -11,13 +11,14 @@ struct OneTable;
 
 impl SchemaProvider for OneTable {
     fn resolve_relation(&self, name: &str) -> Option<ResolvedRelation> {
-        name.eq_ignore_ascii_case("t").then(|| ResolvedRelation::Base {
-            fields: vec![
-                ("a".to_string(), DataType::Int),
-                ("b".to_string(), DataType::Str),
-                ("select".to_string(), DataType::Int), // reserved-word column
-            ],
-        })
+        name.eq_ignore_ascii_case("t")
+            .then(|| ResolvedRelation::Base {
+                fields: vec![
+                    ("a".to_string(), DataType::Int),
+                    ("b".to_string(), DataType::Str),
+                    ("select".to_string(), DataType::Int), // reserved-word column
+                ],
+            })
     }
 }
 
@@ -57,10 +58,8 @@ fn deeply_nested_parentheses() {
 
 #[test]
 fn comments_everywhere() {
-    let s = parse_select(
-        "SELECT /* head */ a -- trailing\n FROM /* mid */ t WHERE a > 0 -- tail",
-    )
-    .unwrap();
+    let s = parse_select("SELECT /* head */ a -- trailing\n FROM /* mid */ t WHERE a > 0 -- tail")
+        .unwrap();
     assert_eq!(s.projection.len(), 1);
 }
 
@@ -68,7 +67,9 @@ fn comments_everywhere() {
 fn semicolon_handling_in_scripts() {
     assert_eq!(parse_script(";;;").unwrap().len(), 0);
     assert_eq!(
-        parse_script("SELECT 1 AS x;; SELECT 2 AS y;").unwrap().len(),
+        parse_script("SELECT 1 AS x;; SELECT 2 AS y;")
+            .unwrap()
+            .len(),
         2
     );
 }
@@ -155,10 +156,14 @@ fn ddl_dialect_rendering_quotes_consistently() {
         "CREATE FOREIGN TABLE \"weird name\" (a BIGINT) SERVER s OPTIONS (remote 'r''s')",
     )
     .unwrap();
-    for d in [Dialect::PostgresLike, Dialect::MariaDbLike, Dialect::HiveLike] {
+    for d in [
+        Dialect::PostgresLike,
+        Dialect::MariaDbLike,
+        Dialect::HiveLike,
+    ] {
         let rendered = render_statement(&stmt, d);
-        let reparsed = parse_statement(&rendered)
-            .unwrap_or_else(|e| panic!("{d:?}: {e}\n{rendered}"));
+        let reparsed =
+            parse_statement(&rendered).unwrap_or_else(|e| panic!("{d:?}: {e}\n{rendered}"));
         assert_eq!(reparsed, stmt, "{rendered}");
     }
 }

@@ -63,28 +63,84 @@ pub const NATIONS: [(&str, i64); 25] = [
     ("UNITED STATES", 1),
 ];
 
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
-const SHIP_INSTRUCT: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const SHIP_INSTRUCT: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 const CONTAINERS: [&str; 8] = [
-    "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PACK", "WRAP JAR",
+    "SM CASE",
+    "SM BOX",
+    "MED BAG",
+    "MED BOX",
+    "LG CASE",
+    "LG BOX",
+    "JUMBO PACK",
+    "WRAP JAR",
 ];
 /// Part-name word pool; colors included so `p_name LIKE '%green%'` (Q9)
 /// selects a stable ~1/10 fraction.
 const PART_WORDS: [&str; 30] = [
-    "green", "blue", "red", "ivory", "salmon", "almond", "antique", "aquamarine", "azure",
-    "beige", "bisque", "black", "blanched", "blush", "brown", "burlywood", "burnished",
-    "chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cream", "cyan", "dark",
-    "deep", "dim", "dodger", "drab", "firebrick",
+    "green",
+    "blue",
+    "red",
+    "ivory",
+    "salmon",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
 ];
 const TYPE_SYLL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 const TYPE_SYLL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 const TYPE_SYLL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 const COMMENT_WORDS: [&str; 16] = [
-    "carefully", "quickly", "express", "pending", "final", "ironic", "regular", "special",
-    "deposits", "packages", "accounts", "requests", "instructions", "theodolites", "pinto",
+    "carefully",
+    "quickly",
+    "express",
+    "pending",
+    "final",
+    "ironic",
+    "regular",
+    "special",
+    "deposits",
+    "packages",
+    "accounts",
+    "requests",
+    "instructions",
+    "theodolites",
+    "pinto",
     "foxes",
 ];
 
@@ -97,7 +153,10 @@ pub struct TpchGen {
 
 impl TpchGen {
     pub fn new(scale: f64) -> TpchGen {
-        TpchGen { scale, seed: 19920101 }
+        TpchGen {
+            scale,
+            seed: 19920101,
+        }
     }
 
     pub fn with_seed(scale: f64, seed: u64) -> TpchGen {
@@ -264,7 +323,9 @@ impl TpchGen {
                     Value::Int(self.uniform(3, k, 5, 1, 50)),
                     Value::str(self.pick(3, k, 6, &CONTAINERS)),
                     // Spec formula keeps prices key-dependent but bounded.
-                    Value::Float((90_000 + (k as i64 % 200) * 100 + k as i64 % 1000) as f64 / 100.0),
+                    Value::Float(
+                        (90_000 + (k as i64 % 200) * 100 + k as i64 % 1000) as f64 / 100.0,
+                    ),
                     Value::str(self.comment(3, k, 8)),
                 ]
             })

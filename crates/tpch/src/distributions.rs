@@ -219,8 +219,12 @@ mod tests {
             .unwrap();
         assert!(rel.rows[0][0].as_int().unwrap() > 0);
         // customer lives on db2, not db1.
-        assert!(cluster.query("db1", "SELECT count(*) FROM customer").is_err());
-        assert!(cluster.query("db2", "SELECT count(*) FROM customer").is_ok());
+        assert!(cluster
+            .query("db1", "SELECT count(*) FROM customer")
+            .is_err());
+        assert!(cluster
+            .query("db2", "SELECT count(*) FROM customer")
+            .is_ok());
     }
 
     #[test]

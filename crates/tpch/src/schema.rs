@@ -62,11 +62,7 @@ impl TpchTable {
     pub fn columns(self) -> Vec<(String, DataType)> {
         use DataType::*;
         let cols: &[(&str, DataType)] = match self {
-            TpchTable::Region => &[
-                ("r_regionkey", Int),
-                ("r_name", Str),
-                ("r_comment", Str),
-            ],
+            TpchTable::Region => &[("r_regionkey", Int), ("r_name", Str), ("r_comment", Str)],
             TpchTable::Nation => &[
                 ("n_nationkey", Int),
                 ("n_name", Str),

@@ -34,7 +34,10 @@ fn main() {
     }
 
     let catalog = GlobalCatalog::discover(&cluster).expect("catalog");
-    println!("\n{:<6} {:>12} {:>12}  speedup", "query", "xdb (s)", "presto4 (s)");
+    println!(
+        "\n{:<6} {:>12} {:>12}  speedup",
+        "query", "xdb (s)", "presto4 (s)"
+    );
     let mut speedups = Vec::new();
     for q in TpchQuery::ALL {
         let xdb = Xdb::new(&cluster, &catalog);

@@ -28,7 +28,10 @@ fn main() {
     // Phases 2+3: annotation + finalization (Figs 6b, 5a), then the DDLs
     // the delegation engine ships (Fig 7).
     for (label, options) in [
-        ("cost-based placement (the optimal plan, Fig 5a)", AnnotateOptions::default()),
+        (
+            "cost-based placement (the optimal plan, Fig 5a)",
+            AnnotateOptions::default(),
+        ),
         (
             "all movements forced implicit (candidate plan)",
             AnnotateOptions {
@@ -51,7 +54,10 @@ fn main() {
         });
         let (plan, script, _, consults) = xdb.plan(scenario::EXAMPLE_QUERY).unwrap();
         print!("{}", plan.notation());
-        println!("  tasks: {}, consulting round-trips: {consults}", plan.tasks.len());
+        println!(
+            "  tasks: {}, consulting round-trips: {consults}",
+            plan.tasks.len()
+        );
         println!("  -- DDL statements (Fig 7) --");
         for step in &script.steps {
             println!("  @{}: {}", step.node, step.sql);

@@ -24,7 +24,10 @@ fn main() {
     }
 
     // 2. The cross-database query of Figure 3.
-    println!("\n== The CHO's query (Fig 3) ==\n{}\n", scenario::EXAMPLE_QUERY);
+    println!(
+        "\n== The CHO's query (Fig 3) ==\n{}\n",
+        scenario::EXAMPLE_QUERY
+    );
 
     // 3. Submit through XDB.
     let xdb = Xdb::new(&cluster, &catalog);
@@ -38,7 +41,10 @@ fn main() {
 
     println!("\n== Where did the time go? (Fig 15 phases, simulated ms) ==");
     let b = &outcome.breakdown;
-    println!("  prep  {:>8.0}   (parse + metadata consultation)", b.prep_ms);
+    println!(
+        "  prep  {:>8.0}   (parse + metadata consultation)",
+        b.prep_ms
+    );
     println!("  lopt  {:>8.0}   (logical optimization)", b.lopt_ms);
     println!(
         "  ann   {:>8.0}   ({} consulting round-trips)",

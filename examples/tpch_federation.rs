@@ -30,7 +30,13 @@ fn main() {
 
     println!(
         "\n{:<6} {:>12} {:>12} {:>12} {:>12}   {:>14} {:>14}",
-        "query", "xdb (s)", "garlic (s)", "presto4 (s)", "sclera (s)", "xdb moved (B)", "MW fetched (B)"
+        "query",
+        "xdb (s)",
+        "garlic (s)",
+        "presto4 (s)",
+        "sclera (s)",
+        "xdb moved (B)",
+        "MW fetched (B)"
     );
     for q in TpchQuery::ALL {
         cluster.ledger.clear();
@@ -48,7 +54,11 @@ fn main() {
         let sclera = Sclera::new(&cluster, &catalog, "mediator")
             .submit(q.sql())
             .expect("sclera");
-        assert!(garlic.relation.same_bag(&x.relation), "{} diverged", q.name());
+        assert!(
+            garlic.relation.same_bag(&x.relation),
+            "{} diverged",
+            q.name()
+        );
         assert!(presto.relation.same_bag(&x.relation));
         assert!(sclera.relation.same_bag(&x.relation));
         println!(

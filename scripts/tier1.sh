@@ -3,6 +3,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --all -- --check
 cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Trace smoke test: the repro binary must emit a valid Chrome-trace JSON
+# with at least one span on every lane (each engine node, client, net).
+mkdir -p target
+cargo run --release -q -p xdb-bench --bin repro -- \
+  --sf 0.002 --trace target/tier1-smoke.trace.json fig9 \
+  --out target/tier1-smoke-report.txt
+cargo run --release -q -p xdb-bench --bin repro -- \
+  --check-trace target/tier1-smoke.trace.json

@@ -29,6 +29,7 @@
 //! | crate | contents |
 //! |---|---|
 //! | [`sql`] | SQL parser, AST, logical algebra, shared optimizer passes |
+//! | [`obs`] | tracing and metrics: spans, Chrome-trace export, snapshots |
 //! | [`net`] | simulated network: topology, transfer ledger, timing model |
 //! | [`engine`] | embedded DBMS substrate (catalog, executor, SQL/MED, EXPLAIN) |
 //! | [`core`] | the XDB middleware: annotation, delegation, client |
@@ -39,5 +40,6 @@ pub use xdb_baselines as baselines;
 pub use xdb_core as core;
 pub use xdb_engine as engine;
 pub use xdb_net as net;
+pub use xdb_obs as obs;
 pub use xdb_sql as sql;
 pub use xdb_tpch as tpch;

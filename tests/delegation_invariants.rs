@@ -61,7 +61,8 @@ fn tasks_scan_only_local_tables() {
                     if let LogicalPlan::Scan { relation, .. } = p {
                         let home = catalog.location(relation).unwrap();
                         assert_eq!(
-                            home, &task.dbms,
+                            home,
+                            &task.dbms,
                             "{} {}: task t{} on {} scans {} (home {})",
                             td.name(),
                             q.name(),
@@ -191,7 +192,10 @@ fn failed_delegation_cleans_up() {
         .collect();
     for name in &squatters {
         cluster
-            .execute(root_node.as_str(), &format!("CREATE TABLE {name} (x BIGINT)"))
+            .execute(
+                root_node.as_str(),
+                &format!("CREATE TABLE {name} (x BIGINT)"),
+            )
             .unwrap();
     }
     let err = xdb.submit(TpchQuery::Q3.sql());

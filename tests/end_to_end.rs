@@ -141,7 +141,9 @@ fn no_objects_leak_across_the_whole_workload() {
     for node in distributions::NODES {
         let names = cluster.engine(node).unwrap().with_catalog(|c| c.names());
         assert!(
-            names.iter().all(|n| !n.starts_with("xdb_q") && !n.starts_with("__task_")),
+            names
+                .iter()
+                .all(|n| !n.starts_with("xdb_q") && !n.starts_with("__task_")),
             "{node} leaked {names:?}"
         );
     }

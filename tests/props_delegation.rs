@@ -146,7 +146,11 @@ fn load(cluster: &Cluster, node: &str, fed: &Federation, table: &str) {
         ),
         _ => unreachable!(),
     };
-    cluster.engine(node).unwrap().load_table(table, rel).unwrap();
+    cluster
+        .engine(node)
+        .unwrap()
+        .load_table(table, rel)
+        .unwrap();
 }
 
 fn run_case(fed: &Federation, q: &Query, options: XdbOptions) -> (Relation, Relation) {

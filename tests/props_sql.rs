@@ -11,9 +11,8 @@ use xdb::sql::{parse_expr, Dialect as D2};
 fn literal() -> impl Strategy<Value = Expr> {
     prop_oneof![
         any::<i32>().prop_map(|i| Expr::Literal(Value::Int(i as i64))),
-        (-400i32..400, 0u8..4).prop_map(|(n, q)| {
-            Expr::Literal(Value::Float(n as f64 + q as f64 * 0.25))
-        }),
+        (-400i32..400, 0u8..4)
+            .prop_map(|(n, q)| { Expr::Literal(Value::Float(n as f64 + q as f64 * 0.25)) }),
         "[a-zA-Z0-9 '%_]{0,12}".prop_map(|s| Expr::Literal(Value::str(s))),
         (1990i32..2000, 1u32..13, 1u32..28).prop_map(|(y, m, d)| {
             Expr::Literal(Value::Date(xdb::sql::value::date::days_from_ymd(y, m, d)))
@@ -27,8 +26,7 @@ fn literal() -> impl Strategy<Value = Expr> {
 fn column() -> impl Strategy<Value = Expr> {
     prop_oneof![
         "[a-z][a-z0-9_]{0,8}".prop_map(Expr::col),
-        ("[a-z][a-z0-9]{0,4}", "[a-z][a-z0-9_]{0,8}")
-            .prop_map(|(q, n)| Expr::qcol(q, n)),
+        ("[a-z][a-z0-9]{0,4}", "[a-z][a-z0-9_]{0,8}").prop_map(|(q, n)| Expr::qcol(q, n)),
     ]
 }
 
@@ -69,13 +67,13 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                     negated,
                 }
             ),
-            (inner.clone(), "[a-z%_]{0,8}", any::<bool>()).prop_map(
-                |(e, pattern, negated)| Expr::Like {
+            (inner.clone(), "[a-z%_]{0,8}", any::<bool>()).prop_map(|(e, pattern, negated)| {
+                Expr::Like {
                     expr: Box::new(e),
                     pattern,
                     negated,
                 }
-            ),
+            }),
             (
                 inner.clone(),
                 prop::collection::vec(inner.clone(), 1..4),

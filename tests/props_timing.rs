@@ -6,13 +6,8 @@ use proptest::prelude::*;
 use xdb::net::{compose_finish, mediator_finish, EdgeTiming, Movement};
 
 fn arb_edge() -> impl Strategy<Value = EdgeTiming> {
-    (
-        0.0f64..5000.0,
-        0.0f64..2000.0,
-        0.0f64..500.0,
-        any::<bool>(),
-    )
-        .prop_map(|(producer, transfer, import, implicit)| EdgeTiming {
+    (0.0f64..5000.0, 0.0f64..2000.0, 0.0f64..500.0, any::<bool>()).prop_map(
+        |(producer, transfer, import, implicit)| EdgeTiming {
             producer_finish_ms: producer,
             transfer_ms: transfer,
             import_ms: import,
@@ -21,7 +16,8 @@ fn arb_edge() -> impl Strategy<Value = EdgeTiming> {
             } else {
                 Movement::Explicit
             },
-        })
+        },
+    )
 }
 
 proptest! {

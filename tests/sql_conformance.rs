@@ -302,7 +302,10 @@ fn single_engine() -> Cluster {
         .load_table("orders", Relation::new(orders_fields(), orders_rows()))
         .unwrap();
     engine
-        .load_table("customers", Relation::new(customers_fields(), customers_rows()))
+        .load_table(
+            "customers",
+            Relation::new(customers_fields(), customers_rows()),
+        )
         .unwrap();
     cluster
 }
@@ -317,7 +320,10 @@ fn federation() -> (Cluster, GlobalCatalog) {
     cluster
         .engine("west")
         .unwrap()
-        .load_table("customers", Relation::new(customers_fields(), customers_rows()))
+        .load_table(
+            "customers",
+            Relation::new(customers_fields(), customers_rows()),
+        )
         .unwrap();
     let catalog = GlobalCatalog::discover(&cluster).unwrap();
     for t in catalog.table_names() {

@@ -1,0 +1,245 @@
+//! Trace invariants: span nesting, parenting, breakdown projection, and —
+//! the load-bearing property — bit-identical traces from the parallel and
+//! sequential executors, because every span timestamp is derived from the
+//! simulated clock and spans are emitted single-threaded in script order.
+
+use xdb::core::{GlobalCatalog, PhaseBreakdown, Xdb, XdbOptions};
+use xdb::engine::cluster::Cluster;
+use xdb::engine::profile::EngineProfile;
+use xdb::net::{params, Scenario};
+use xdb::obs::{QueryTrace, SpanKind};
+use xdb::tpch::{build_cluster, ProfileAssignment, TableDist, TpchQuery};
+
+const SF: f64 = 0.002;
+
+fn federation(td: TableDist) -> (Cluster, GlobalCatalog) {
+    let cluster = build_cluster(
+        td,
+        SF,
+        Scenario::OnPremise,
+        &ProfileAssignment::uniform(EngineProfile::postgres()),
+    )
+    .unwrap();
+    let catalog = GlobalCatalog::discover(&cluster).unwrap();
+    (cluster, catalog)
+}
+
+fn traced_submit(td: TableDist, q: TpchQuery, parallel: bool) -> (QueryTrace, PhaseBreakdown, u64) {
+    let (cluster, catalog) = federation(td);
+    let xdb = Xdb::new(&cluster, &catalog).with_options(XdbOptions {
+        parallel_execution: parallel,
+        trace_operators: true,
+        ..Default::default()
+    });
+    let out = xdb.submit(q.sql()).unwrap();
+    (out.trace, out.breakdown, out.consult_roundtrips)
+}
+
+#[test]
+fn spans_are_properly_nested() {
+    let (trace, _, _) = traced_submit(TableDist::Td3, TpchQuery::Q8, true);
+    assert!(!trace.spans.is_empty());
+    for s in &trace.spans {
+        let Some(p) = s.parent else { continue };
+        let parent = &trace.spans[p as usize];
+        // A span's parent is always emitted before it…
+        assert!(p < s.id, "span {} precedes its parent {}", s.id, p);
+        // …and contains it on the timeline (tiny slack for f64 sums).
+        assert!(
+            s.start_ms >= parent.start_ms - 1e-6,
+            "span {} ({}) starts at {} before parent {} ({}) at {}",
+            s.id,
+            s.name,
+            s.start_ms,
+            p,
+            parent.name,
+            parent.start_ms
+        );
+        assert!(
+            s.end_ms() <= parent.end_ms() + 1e-6,
+            "span {} ({}) ends at {} after parent {} ({}) at {}",
+            s.id,
+            s.name,
+            s.end_ms(),
+            p,
+            parent.name,
+            parent.end_ms()
+        );
+    }
+}
+
+#[test]
+fn every_task_span_is_parented_to_the_exec_phase() {
+    let (trace, _, _) = traced_submit(TableDist::Td2, TpchQuery::Q5, true);
+    let exec_phase = trace
+        .spans
+        .iter()
+        .find(|s| s.kind == SpanKind::Phase && s.name == "exec")
+        .expect("exec phase span");
+    let tasks: Vec<_> = trace.spans_of(SpanKind::Task).collect();
+    assert!(!tasks.is_empty(), "no task spans in trace");
+    for t in &tasks {
+        assert_eq!(
+            t.parent,
+            Some(exec_phase.id),
+            "task span {:?} not under the exec phase",
+            t.name
+        );
+    }
+    // And every DDL span sits under some task span.
+    for d in trace.spans_of(SpanKind::Ddl) {
+        let p = d.parent.expect("ddl span has a parent");
+        assert_eq!(trace.spans[p as usize].kind, SpanKind::Task);
+    }
+}
+
+/// Rewrite every `xdb_q<digits>` object name to `xdb_qN`. Query ids come
+/// from one process-wide counter (names must be unique across concurrent
+/// clients), so two submissions in the same test process differ in exactly
+/// this id; across processes — as the `repro --trace` smoke test checks —
+/// the raw traces are bit-identical.
+fn normalize_query_ids(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find("xdb_q") {
+        let after = pos + "xdb_q".len();
+        out.push_str(&rest[..after]);
+        let digits = rest[after..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .count();
+        if digits > 0 {
+            out.push('N');
+        }
+        rest = &rest[after + digits..];
+    }
+    out.push_str(rest);
+    out
+}
+
+#[test]
+fn parallel_and_sequential_traces_are_bit_identical() {
+    for td in [TableDist::Td1, TableDist::Td2, TableDist::Td3] {
+        for q in [TpchQuery::Q3, TpchQuery::Q5, TpchQuery::Q8] {
+            let (par, par_b, _) = traced_submit(td, q, true);
+            let (seq, seq_b, _) = traced_submit(td, q, false);
+            assert_eq!(
+                normalize_query_ids(&par.canonical()),
+                normalize_query_ids(&seq.canonical()),
+                "{} {}: span trees diverge",
+                td.name(),
+                q.name()
+            );
+            assert_eq!(
+                par.metrics().counters,
+                seq.metrics().counters,
+                "{} {}: counter totals diverge",
+                td.name(),
+                q.name()
+            );
+            assert_eq!(
+                normalize_query_ids(&par.to_chrome_json()),
+                normalize_query_ids(&seq.to_chrome_json()),
+                "{} {}: chrome export diverges",
+                td.name(),
+                q.name()
+            );
+            assert_eq!(
+                par_b,
+                seq_b,
+                "{} {}: breakdowns diverge",
+                td.name(),
+                q.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn plan_and_submit_consult_accounting_agree() {
+    // Two identically-seeded federations: planning alone must account the
+    // same consult roundtrips and cache hits/misses as the full submit.
+    let (c1, g1) = federation(TableDist::Td1);
+    let (c2, g2) = federation(TableDist::Td1);
+    for q in TpchQuery::ALL {
+        let (_, _, plan_b, plan_consults) = Xdb::new(&c1, &g1).plan(q.sql()).unwrap();
+        let out = Xdb::new(&c2, &g2).submit(q.sql()).unwrap();
+        assert_eq!(plan_consults, out.consult_roundtrips, "{}", q.name());
+        assert_eq!(
+            plan_b.consult_cache_hits,
+            out.breakdown.consult_cache_hits,
+            "{}: hits diverge between plan and submit",
+            q.name()
+        );
+        assert_eq!(
+            plan_b.consult_cache_misses,
+            out.breakdown.consult_cache_misses,
+            "{}: misses diverge between plan and submit",
+            q.name()
+        );
+        // Both clients advance their caches identically: keep them in
+        // lockstep by planning/submitting the same sequence.
+    }
+}
+
+#[test]
+fn concurrent_queries_do_not_pollute_each_others_cache_counts() {
+    // The regression this guards: hit/miss accounting used to be computed
+    // as deltas of the process-wide cache counters, so concurrent queries
+    // bled into each other's breakdowns. Per-query counting is stable.
+    let (cluster, catalog) = federation(TableDist::Td1);
+    let xdb = Xdb::new(&cluster, &catalog);
+    // Warm everything: after this, Q3 planning is all cache hits.
+    let warm = xdb.submit(TpchQuery::Q3.sql()).unwrap();
+    let expect_hits = warm.breakdown.consult_cache_hits + warm.breakdown.consult_cache_misses;
+    let breakdowns: Vec<PhaseBreakdown> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let xdb = Xdb::new(&cluster, &catalog);
+                s.spawn(move || xdb.submit(TpchQuery::Q3.sql()).unwrap().breakdown)
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for b in breakdowns {
+        assert_eq!(b.consult_cache_misses, 0, "warmed run should not miss");
+        assert_eq!(
+            b.consult_cache_hits, expect_hits,
+            "hit count polluted by concurrent queries"
+        );
+    }
+}
+
+#[test]
+fn breakdown_is_a_projection_of_the_trace() {
+    let (cluster, catalog) = federation(TableDist::Td1);
+    let xdb = Xdb::new(&cluster, &catalog);
+    let out = xdb.submit(TpchQuery::Q5.sql()).unwrap();
+    assert_eq!(PhaseBreakdown::from_trace(&out.trace), out.breakdown);
+    // ann is exactly the paid consulting roundtrips…
+    assert_eq!(
+        out.breakdown.ann_ms,
+        out.consult_roundtrips as f64 * params::CONSULT_ROUNDTRIP_MS
+    );
+    // …and the Consult spans under the ann phase sum to the same time.
+    let ann_phase = out
+        .trace
+        .spans
+        .iter()
+        .find(|s| s.kind == SpanKind::Phase && s.name == "ann")
+        .unwrap();
+    let consult_sum: f64 = out
+        .trace
+        .spans_of(SpanKind::Consult)
+        .filter(|s| s.parent == Some(ann_phase.id))
+        .map(|s| s.dur_ms)
+        .sum();
+    assert_eq!(consult_sum, out.breakdown.ann_ms);
+    // The query root covers the whole breakdown.
+    assert_eq!(out.trace.root().unwrap().dur_ms, out.breakdown.total_ms());
+    // The text report renders without panicking and mentions the phases.
+    let report = out.report();
+    for phase in ["prep", "lopt", "ann", "exec"] {
+        assert!(report.contains(phase), "{report}");
+    }
+}

@@ -1,0 +1,228 @@
+//! Micro-benchmarks of the columnar executor kernels against a
+//! row-at-a-time reference implementation of the same operator. Each pair
+//! computes the identical result; the gap is the cost of materializing
+//! `Vec<Vec<Value>>` rows and dispatching on `Value` per cell instead of
+//! running a typed column loop. `scripts/bench_snapshot.sh` parses this
+//! output into `BENCH_exec.json` so later PRs inherit a perf trajectory.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::collections::HashMap;
+use std::time::Duration;
+use xdb_engine::expr::compile;
+use xdb_engine::profile::EngineProfile;
+use xdb_engine::relation::Relation;
+use xdb_engine::vector;
+use xdb_engine::{Engine, NoRemote};
+use xdb_sql::algebra::{Field, PlanSchema};
+use xdb_sql::ast::{BinaryOp, Expr};
+use xdb_sql::value::{DataType, Value};
+
+const FACT_ROWS: usize = 65_536;
+const DIM_ROWS: i64 = 997;
+
+/// Deterministic xorshift64* — same generator the scenario loader uses.
+fn next(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    x.wrapping_mul(0x2545F4914F6CDD1D)
+}
+
+/// fact(k Int, v Int, w Float, s Str) with a few NULL keys so the kernels
+/// exercise their null-bitmap paths.
+fn fact() -> Relation {
+    let mut x = 0x9E3779B97F4A7C15u64;
+    let rows: Vec<Vec<Value>> = (0..FACT_ROWS)
+        .map(|_| {
+            let k = (next(&mut x) % DIM_ROWS as u64) as i64;
+            let v = (next(&mut x) % 10_000) as i64;
+            vec![
+                if v % 53 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(k)
+                },
+                Value::Int(v),
+                Value::Float((v % 29) as f64 * 0.125),
+                Value::str(format!("s{}", v % 11)),
+            ]
+        })
+        .collect();
+    Relation::new(
+        vec![
+            ("k".to_string(), DataType::Int),
+            ("v".to_string(), DataType::Int),
+            ("w".to_string(), DataType::Float),
+            ("s".to_string(), DataType::Str),
+        ],
+        rows,
+    )
+}
+
+fn dim() -> Relation {
+    let rows: Vec<Vec<Value>> = (0..DIM_ROWS)
+        .map(|k| vec![Value::Int(k), Value::str(format!("g{}", k % 13))])
+        .collect();
+    Relation::new(
+        vec![
+            ("k".to_string(), DataType::Int),
+            ("tag".to_string(), DataType::Str),
+        ],
+        rows,
+    )
+}
+
+fn fact_schema() -> PlanSchema {
+    PlanSchema::new(vec![
+        Field::new(None::<&str>, "k", DataType::Int),
+        Field::new(None::<&str>, "v", DataType::Int),
+        Field::new(None::<&str>, "w", DataType::Float),
+        Field::new(None::<&str>, "s", DataType::Str),
+    ])
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exec_kernels");
+    g.sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let rel = fact();
+    let schema = fact_schema();
+
+    // Filter: predicate → selection vector vs a row-materializing loop.
+    let pred = Expr::binary(
+        BinaryOp::And,
+        Expr::binary(
+            BinaryOp::Lt,
+            Expr::col("v"),
+            Expr::Literal(Value::Int(5000)),
+        ),
+        Expr::binary(
+            BinaryOp::Gt,
+            Expr::col("w"),
+            Expr::Literal(Value::Float(1.0)),
+        ),
+    );
+    let pred = compile(&pred, &schema).unwrap();
+    g.bench_function("filter_columnar", |b| {
+        b.iter(|| vector::filter_sel(&pred, &rel).unwrap())
+    });
+    g.bench_function("filter_row_baseline", |b| {
+        b.iter(|| {
+            let mut sel: Vec<u32> = Vec::new();
+            for i in 0..rel.len() {
+                if pred.eval_predicate(&rel.row(i)).unwrap() {
+                    sel.push(i as u32);
+                }
+            }
+            sel
+        })
+    });
+
+    // Projection arithmetic: v * 3 + k, typed column loop vs per-row eval.
+    let proj = Expr::binary(
+        BinaryOp::Plus,
+        Expr::binary(BinaryOp::Mul, Expr::col("v"), Expr::Literal(Value::Int(3))),
+        Expr::col("k"),
+    );
+    let proj = compile(&proj, &schema).unwrap();
+    g.bench_function("project_columnar", |b| {
+        b.iter(|| vector::eval_to_column(&proj, &rel).unwrap())
+    });
+    g.bench_function("project_row_baseline", |b| {
+        b.iter(|| {
+            (0..rel.len())
+                .map(|i| proj.eval(&rel.row(i)).unwrap())
+                .collect::<Vec<Value>>()
+        })
+    });
+
+    // Hash join + grouped aggregation, end to end through the executor
+    // (typed key columns, partition count 1 — the production default on
+    // this host) vs hand-written row-at-a-time loops over `Relation::row`.
+    let e = Engine::new("bench", EngineProfile::postgres());
+    e.set_exec_partitions(1);
+    e.load_table("fact", fact()).unwrap();
+    e.load_table("dim", dim()).unwrap();
+    g.bench_function("hash_join_columnar", |b| {
+        b.iter(|| {
+            e.execute_sql(
+                "SELECT f.v, g.tag FROM fact f, dim g WHERE f.k = g.k AND f.v < 200",
+                &NoRemote,
+            )
+            .unwrap()
+        })
+    });
+    let build = dim();
+    g.bench_function("hash_join_row_baseline", |b| {
+        b.iter(|| {
+            let mut table: HashMap<i64, Vec<usize>> = HashMap::new();
+            for i in 0..build.len() {
+                if let Value::Int(k) = build.value(i, 0) {
+                    table.entry(k).or_default().push(i);
+                }
+            }
+            let mut out: Vec<Vec<Value>> = Vec::new();
+            for i in 0..rel.len() {
+                let row = rel.row(i);
+                let (Value::Int(k), Value::Int(v)) = (&row[0], &row[1]) else {
+                    continue;
+                };
+                if *v >= 200 {
+                    continue;
+                }
+                if let Some(matches) = table.get(k) {
+                    for &m in matches {
+                        out.push(vec![Value::Int(*v), build.value(m, 1)]);
+                    }
+                }
+            }
+            out
+        })
+    });
+
+    g.bench_function("aggregate_columnar", |b| {
+        b.iter(|| {
+            e.execute_sql(
+                "SELECT f.k, count(*) AS n, sum(f.w) AS sw FROM fact f GROUP BY f.k",
+                &NoRemote,
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("aggregate_row_baseline", |b| {
+        // Faithful to the pre-columnar engine: materialize each row as a
+        // `Vec<Value>`, key groups by `Vec<Value>`, accumulate `Value`s.
+        b.iter(|| {
+            let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+            let mut groups: Vec<(Vec<Value>, i64, f64)> = Vec::new();
+            for i in 0..rel.len() {
+                let row = rel.row(i);
+                let key = vec![row[0].clone()];
+                let slot = *index.entry(key.clone()).or_insert_with(|| {
+                    groups.push((key, 0, 0.0));
+                    groups.len() - 1
+                });
+                groups[slot].1 += 1;
+                if let Value::Float(w) = row[2] {
+                    groups[slot].2 += w;
+                }
+            }
+            groups
+                .into_iter()
+                .map(|(mut key, n, sw)| {
+                    key.push(Value::Int(n));
+                    key.push(Value::Float(sw));
+                    key
+                })
+                .collect::<Vec<Vec<Value>>>()
+        })
+    });
+
+    g.finish();
+    black_box(());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -243,8 +243,8 @@ mod tests {
         let (rel, _) = cluster
             .query("cdb", "SELECT count(*) AS n FROM citizen WHERE age > 20")
             .unwrap();
-        match &rel.rows[0][0] {
-            Value::Int(n) => assert!(*n > 800, "{n}"),
+        match rel.value(0, 0) {
+            Value::Int(n) => assert!(n > 800, "{n}"),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -259,7 +259,7 @@ mod tests {
         let (r2, _) = c2
             .query("hdb", "SELECT sum(u_ml) AS s FROM measurements")
             .unwrap();
-        assert_eq!(r1.rows, r2.rows);
+        assert_eq!(r1, r2);
     }
 
     #[test]

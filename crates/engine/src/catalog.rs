@@ -31,10 +31,6 @@ impl TableData {
         &self.data.fields
     }
 
-    pub fn rows(&self) -> &[Vec<Value>] {
-        &self.data.rows
-    }
-
     /// Deep copy for callers that need an owned relation.
     pub fn to_relation(&self) -> Relation {
         (*self.data).clone()
@@ -162,8 +158,7 @@ impl Catalog {
                 )));
             }
         }
-        let rel = Arc::make_mut(&mut t.data);
-        rel.rows.extend(new_rows);
+        Arc::make_mut(&mut t.data).append_rows(new_rows);
         t.stats = compute_stats(&t.data);
         Ok(())
     }
@@ -268,35 +263,36 @@ impl StatsProvider for Catalog {
     }
 }
 
-/// Compute row count, per-column distinct counts, and min/max.
+/// Compute row count, per-column distinct counts, and min/max. One pass
+/// per column over the typed vectors (values are cheap to clone: strings
+/// are `Arc`-shared).
 pub fn compute_stats(rel: &Relation) -> TableStats {
     let mut columns = HashMap::with_capacity(rel.width());
-    for (ci, (name, _)) in rel.fields.iter().enumerate() {
-        let mut distinct: std::collections::HashSet<&Value> =
+    for ((name, _), col) in rel.fields.iter().zip(rel.columns()) {
+        let mut distinct: std::collections::HashSet<Value> =
             std::collections::HashSet::with_capacity(1024);
-        let mut min: Option<&Value> = None;
-        let mut max: Option<&Value> = None;
-        for row in &rel.rows {
-            let v = &row[ci];
+        let mut min: Option<Value> = None;
+        let mut max: Option<Value> = None;
+        for v in col.iter() {
             if v.is_null() {
                 continue;
             }
-            distinct.insert(v);
-            match min {
+            match &min {
                 Some(m) if v.total_cmp(m) != std::cmp::Ordering::Less => {}
-                _ => min = Some(v),
+                _ => min = Some(v.clone()),
             }
-            match max {
+            match &max {
                 Some(m) if v.total_cmp(m) != std::cmp::Ordering::Greater => {}
-                _ => max = Some(v),
+                _ => max = Some(v.clone()),
             }
+            distinct.insert(v);
         }
         columns.insert(
             name.to_ascii_lowercase(),
             ColumnStats {
                 n_distinct: distinct.len() as f64,
-                min: min.cloned(),
-                max: max.cloned(),
+                min,
+                max,
             },
         );
     }

@@ -158,6 +158,14 @@ impl Cluster {
             engine.set_op_tracing(on);
         }
     }
+
+    /// Set the executor kernel partition count on every engine (1 =
+    /// sequential). Results are bit-identical at any setting.
+    pub fn set_exec_partitions(&self, n: usize) {
+        for engine in self.engines.values() {
+            engine.set_exec_partitions(n);
+        }
+    }
 }
 
 impl Remote for Cluster {
@@ -244,8 +252,8 @@ mod tests {
             )
             .unwrap();
         assert_eq!(rel.len(), 2);
-        assert_eq!(rel.rows[0][0], Value::str("b"));
-        assert_eq!(rel.rows[0][1], Value::str("beta"));
+        assert_eq!(rel.value(0, 0), Value::str("b"));
+        assert_eq!(rel.value(0, 1), Value::str("beta"));
         // The fetch crossed the wire and was recorded.
         assert!(c.ledger.total_bytes() > 0);
         assert_eq!(c.ledger.total_rows(), 3); // all of r moved
@@ -296,7 +304,7 @@ mod tests {
         )
         .unwrap();
         let (rel, report) = c.query("db_t", "SELECT count(*) AS n FROM rs_ft").unwrap();
-        assert_eq!(rel.rows[0][0], Value::Int(2));
+        assert_eq!(rel.value(0, 0), Value::Int(2));
         // Two hops recorded: db_r→db_s and db_s→db_t.
         assert_eq!(c.ledger.len(), 2);
         assert!(report.finish_ms > 0.0);
@@ -319,7 +327,7 @@ mod tests {
         // Materialized copy is now local: querying it moves nothing.
         c.ledger.clear();
         let (rel, _) = c.query("db_s", "SELECT count(*) AS n FROM r_mat").unwrap();
-        assert_eq!(rel.rows[0][0], Value::Int(3));
+        assert_eq!(rel.value(0, 0), Value::Int(3));
         assert!(c.ledger.is_empty());
     }
 

@@ -11,12 +11,13 @@ use crate::catalog::{Catalog, CatalogEntry};
 use crate::error::{EngineError, Result};
 use crate::exec::{
     project_columns_owned, project_columns_shared, ExecRel, Execution, ScanOutput, ScanResolver,
+    Scratch,
 };
 use crate::profile::EngineProfile;
 use crate::relation::Relation;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use xdb_net::{compose_finish, EdgeTiming, Movement, NodeId, Purpose};
 use xdb_obs::ExecProfile;
 use xdb_sql::algebra::LogicalPlan;
@@ -116,6 +117,14 @@ pub struct Engine {
     /// [`ExecProfile`] in its report. Off by default: the executor then
     /// skips all per-operator bookkeeping.
     trace_ops: AtomicBool,
+    /// Hash partitions for parallel join/aggregation kernels. 1 means
+    /// fully sequential; any value yields bit-identical results (row
+    /// order included), so this only trades wall-clock for threads.
+    exec_partitions: AtomicUsize,
+    /// Reusable per-query executor scratch (hash tables, chain buffers).
+    /// Executions pop one on entry and push it back after the run, so
+    /// steady-state queries stop reallocating their largest structures.
+    scratch_pool: Mutex<Vec<Scratch>>,
 }
 
 /// Short-lived, per-query namespaced objects: delegation views / foreign
@@ -135,6 +144,8 @@ impl Engine {
             catalog: RwLock::new(Catalog::new()),
             ddl_generation: AtomicU64::new(0),
             trace_ops: AtomicBool::new(false),
+            exec_partitions: AtomicUsize::new(default_exec_partitions()),
+            scratch_pool: Mutex::new(Vec::new()),
         }
     }
 
@@ -146,6 +157,18 @@ impl Engine {
     /// Whether per-operator execution profiles are being collected.
     pub fn op_tracing(&self) -> bool {
         self.trace_ops.load(Ordering::Acquire)
+    }
+
+    /// Set the number of hash partitions used by the parallel join and
+    /// aggregation kernels (clamped to at least 1). Partitioning never
+    /// changes results — output row order is preserved exactly.
+    pub fn set_exec_partitions(&self, n: usize) {
+        self.exec_partitions.store(n.max(1), Ordering::Release);
+    }
+
+    /// Current executor partition count.
+    pub fn exec_partitions(&self) -> usize {
+        self.exec_partitions.load(Ordering::Acquire)
     }
 
     /// Run read-only catalog access.
@@ -346,10 +369,17 @@ impl Engine {
             foreign_rows: std::cell::Cell::new(0),
         };
         let mut exec = Execution::new(&resolver);
+        exec.partitions = self.exec_partitions();
+        if let Some(s) = self.scratch_pool.lock().pop() {
+            exec.scratch = s;
+        }
         if self.op_tracing() {
             exec.collect_ops();
         }
         let rel = exec.run(plan)?;
+        self.scratch_pool
+            .lock()
+            .push(std::mem::take(&mut exec.scratch));
         let foreign_rows = resolver.foreign_rows.get();
         let work_ms = self.profile.work_ms(exec.scan_units, exec.olap_units)
             + foreign_rows as f64 * self.profile.foreign_row_cost_ms;
@@ -435,6 +465,17 @@ impl Engine {
             _ => None,
         }
     }
+}
+
+/// Default kernel parallelism: the machine's parallelism capped at 8
+/// partitions (hash-partition fan-out flattens quickly beyond that), or
+/// fully sequential when `XDB_SEQUENTIAL` is set — the same switch the
+/// bench harness uses for its sequential baselines.
+fn default_exec_partitions() -> usize {
+    if std::env::var_os("XDB_SEQUENTIAL").is_some() {
+        return 1;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
 }
 
 fn ddl_outcome() -> StatementOutcome {
@@ -532,8 +573,8 @@ mod tests {
             "SELECT e.name, d.budget FROM emp e, dept d WHERE e.dept = d.dname AND e.salary >= 90 ORDER BY e.name",
         );
         assert_eq!(r.len(), 2);
-        assert_eq!(r.rows[0][0], Value::str("ann"));
-        assert_eq!(r.rows[0][1], Value::Int(1000));
+        assert_eq!(r.value(0, 0), Value::str("ann"));
+        assert_eq!(r.value(0, 1), Value::Int(1000));
     }
 
     #[test]
@@ -545,7 +586,7 @@ mod tests {
         )
         .unwrap();
         let r = rows(&e, "SELECT count(*) AS n FROM rich");
-        assert_eq!(r.rows[0][0], Value::Int(2));
+        assert_eq!(r.value(0, 0), Value::Int(2));
         // Views of views.
         e.execute_sql(
             "CREATE VIEW richer AS SELECT name FROM rich WHERE salary > 95",
@@ -576,7 +617,7 @@ mod tests {
             .unwrap();
         assert!(out.report.work_ms > 0.0);
         let r = rows(&e, "SELECT count(*) AS n FROM eng_only");
-        assert_eq!(r.rows[0][0], Value::Int(2));
+        assert_eq!(r.value(0, 0), Value::Int(2));
     }
 
     #[test]

@@ -5,16 +5,27 @@
 //! accumulates *work units* (rows × per-operator weight) which the engine
 //! profile converts into simulated milliseconds, and collects timing edges
 //! for every remote (foreign-table) scan it triggered.
+//!
+//! The data plane is columnar: operators evaluate expressions one column at
+//! a time ([`crate::vector`]), carry row subsets as selection vectors, and
+//! materialize outputs by gathering typed column vectors. Hash joins and
+//! grouped aggregation optionally hash-partition their work across scoped
+//! threads ([`Execution::partitions`]); partitioning is routing-only, so
+//! output row order, float accumulation order, work units and traces are
+//! bit-identical to the sequential plan.
 
 use crate::error::{EngineError, Result};
 use crate::expr::{compile, PhysExpr};
 use crate::relation::Relation;
-use std::collections::hash_map::Entry;
+use crate::vector;
+use std::collections::hash_map::{Entry, RandomState};
 use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash};
 use std::sync::Arc;
 use xdb_net::EdgeTiming;
 use xdb_obs::{ExecProfile, OpStat};
 use xdb_sql::algebra::{aggregate_schema, AggCall, AggFunc, LogicalPlan};
+use xdb_sql::column::{Column, ColumnBuilder, TypedCol};
 use xdb_sql::value::{DataType, Value};
 
 /// Per-operator work-unit weights (rows processed × weight). Values are
@@ -28,6 +39,13 @@ pub mod weights {
     pub const SORT: f64 = 0.4;
     pub const DISTINCT: f64 = 0.8;
 }
+
+/// Chain terminator in the chained hash tables below.
+const NO_NEXT: u32 = u32::MAX;
+
+/// Below this many probe/build rows a join (or aggregate input) is not
+/// worth fanning out to partition workers.
+const PAR_MIN_ROWS: usize = 4096;
 
 /// A relation flowing between operators: either uniquely owned (rows can be
 /// moved or mutated in place) or shared with the catalog / other readers.
@@ -83,6 +101,18 @@ pub trait ScanResolver {
     fn scan(&self, relation: &str, wanted: &[(String, DataType)]) -> Result<ScanOutput>;
 }
 
+/// Reusable per-query allocations: join hash tables and chain buffers keep
+/// their capacity between executions, so workloads that submit many queries
+/// through one engine stop re-growing the same tables from scratch.
+#[derive(Default)]
+pub struct Scratch {
+    int_heads: HashMap<i64, u32>,
+    date_heads: HashMap<i32, u32>,
+    str_heads: HashMap<Arc<str>, u32>,
+    gen_heads: HashMap<Vec<Value>, u32>,
+    next: Vec<u32>,
+}
+
 /// One plan execution: collects work units and remote edges.
 pub struct Execution<'a> {
     resolver: &'a dyn ScanResolver,
@@ -98,6 +128,12 @@ pub struct Execution<'a> {
     /// Profiles of remote producers behind foreign-table scans, paired
     /// with the edge's wire time (operator tracing only).
     pub remotes: Vec<(ExecProfile, f64)>,
+    /// Worker threads for partition-parallel hash join / aggregation.
+    /// 1 (the default) keeps execution fully sequential; any value produces
+    /// bit-identical results.
+    pub partitions: usize,
+    /// Reusable hash tables and buffers (see [`Scratch`]).
+    pub scratch: Scratch,
 }
 
 impl<'a> Execution<'a> {
@@ -109,6 +145,8 @@ impl<'a> Execution<'a> {
             edges: Vec::new(),
             ops: None,
             remotes: Vec::new(),
+            partitions: 1,
+            scratch: Scratch::default(),
         }
     }
 
@@ -162,19 +200,21 @@ impl<'a> Execution<'a> {
                 let rel = self.run_rel(input)?;
                 let pred = compile(predicate, &input.schema())?;
                 self.scan_units += rel.len() as f64 * weights::FILTER;
-                let mut keep = Vec::with_capacity(rel.len());
-                for row in &rel.as_ref().rows {
-                    keep.push(pred.eval_predicate(row)?);
-                }
                 let rows_in = rel.len() as u64;
-                let out = retain_rows(rel, &keep);
+                let sel = filter_selection(&pred, rel.as_ref())?;
+                let rows_out = sel.len() as u64;
+                let out = if sel.len() == rel.len() {
+                    rel // nothing dropped — pass the input through
+                } else {
+                    ExecRel::Owned(gather_relation(rel.as_ref(), &sel))
+                };
                 self.op(OpStat {
                     op: "filter",
                     rows_in,
-                    rows_out: out.len() as u64,
+                    rows_out,
                     ..OpStat::default()
                 });
-                Ok(ExecRel::Owned(out))
+                Ok(out)
             }
             LogicalPlan::Project { input, exprs } => {
                 let rel = self.run_rel(input)?;
@@ -207,17 +247,18 @@ impl<'a> Execution<'a> {
                 if identity {
                     return Ok(rel);
                 }
-                let mut rows = Vec::with_capacity(rel.len());
-                for row in &rel.as_ref().rows {
-                    let mut out = Vec::with_capacity(compiled.len());
-                    for (c, _, _) in &compiled {
-                        out.push(c.eval(row)?);
-                    }
-                    rows.push(out);
+                // Column references are Arc pointer copies; computed
+                // expressions go through the vectorized kernels.
+                let r = rel.as_ref();
+                let nrows = r.len();
+                let mut cols = Vec::with_capacity(compiled.len());
+                for (c, _, _) in &compiled {
+                    cols.push(expr_column(c, r)?);
                 }
-                Ok(ExecRel::Owned(Relation::new(
+                Ok(ExecRel::Owned(Relation::from_columns(
                     compiled.into_iter().map(|(_, n, t)| (n, t)).collect(),
-                    rows,
+                    cols,
+                    nrows,
                 )))
             }
             LogicalPlan::Join {
@@ -240,7 +281,7 @@ impl<'a> Execution<'a> {
             } => self.aggregate(input, group_by, aggregates),
             LogicalPlan::Sort { input, keys } => {
                 let schema = input.schema();
-                let rel = self.run_rel(input)?.into_owned();
+                let rel = self.run_rel(input)?;
                 let compiled: Vec<(PhysExpr, bool)> = keys
                     .iter()
                     .map(|(e, desc)| Ok((compile(e, &schema)?, *desc)))
@@ -253,18 +294,17 @@ impl<'a> Execution<'a> {
                     rows_out: rel.len() as u64,
                     ..OpStat::default()
                 });
-                // Precompute key tuples, then sort stably.
-                let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rel.len());
-                for row in rel.rows {
-                    let mut k = Vec::with_capacity(compiled.len());
-                    for (c, _) in &compiled {
-                        k.push(c.eval(&row)?);
-                    }
-                    keyed.push((k, row));
-                }
-                keyed.sort_by(|(ka, _), (kb, _)| {
-                    for ((a, b), (_, desc)) in ka.iter().zip(kb.iter()).zip(compiled.iter()) {
-                        let ord = a.total_cmp(b);
+                let r = rel.as_ref();
+                let key_cols: Vec<(Column, bool)> = compiled
+                    .iter()
+                    .map(|(c, desc)| Ok((expr_column(c, r)?, *desc)))
+                    .collect::<Result<_>>()?;
+                // Stable index sort over typed key columns reproduces the
+                // row-major stable sort exactly (total_cmp per column).
+                let mut idx: Vec<u32> = (0..r.len() as u32).collect();
+                idx.sort_by(|&a, &b| {
+                    for (col, desc) in &key_cols {
+                        let ord = col.cmp_rows(a as usize, b as usize);
                         let ord = if *desc { ord.reverse() } else { ord };
                         if ord != std::cmp::Ordering::Equal {
                             return ord;
@@ -272,10 +312,7 @@ impl<'a> Execution<'a> {
                     }
                     std::cmp::Ordering::Equal
                 });
-                Ok(ExecRel::Owned(Relation::new(
-                    rel.fields,
-                    keyed.into_iter().map(|(_, r)| r).collect(),
-                )))
+                Ok(ExecRel::Owned(gather_relation(r, &idx)))
             }
             LogicalPlan::Limit { input, fetch } => {
                 let rel = self.run_rel(input)?;
@@ -286,52 +323,32 @@ impl<'a> Execution<'a> {
                     rows_out: rel.len().min(fetch) as u64,
                     ..OpStat::default()
                 });
-                match rel {
-                    ExecRel::Owned(mut rel) => {
-                        rel.rows.truncate(fetch);
-                        Ok(ExecRel::Owned(rel))
-                    }
-                    // Shared input stays shared when the limit is a no-op;
-                    // otherwise copy only the first `fetch` rows.
-                    ExecRel::Shared(rel) if rel.len() <= fetch => Ok(ExecRel::Shared(rel)),
-                    ExecRel::Shared(rel) => Ok(ExecRel::Owned(Relation::new(
-                        rel.fields.clone(),
-                        rel.rows[..fetch].to_vec(),
-                    ))),
+                if rel.len() <= fetch {
+                    return Ok(rel); // no-op limit: shared stays shared
                 }
+                let r = rel.as_ref();
+                Ok(ExecRel::Owned(Relation::from_columns(
+                    r.fields.clone(),
+                    r.columns().iter().map(|c| c.head(fetch)).collect(),
+                    fetch,
+                )))
             }
             LogicalPlan::Distinct { input } => {
                 let rel = self.run_rel(input)?;
                 self.olap_units += rel.len() as f64 * weights::DISTINCT;
                 let rows_in = rel.len() as u64;
+                let r = rel.as_ref();
                 // First-seen order is preserved (LIMIT without ORDER BY
-                // above a DISTINCT observes it); only unique rows are
-                // cloned.
-                let out = match rel {
-                    ExecRel::Owned(rel) => {
-                        let mut seen: std::collections::HashSet<Vec<Value>> =
-                            std::collections::HashSet::with_capacity(rel.rows.len());
-                        let mut rows = Vec::new();
-                        for row in rel.rows {
-                            if !seen.contains(&row) {
-                                seen.insert(row.clone());
-                                rows.push(row);
-                            }
-                        }
-                        Relation::new(rel.fields, rows)
+                // above a DISTINCT observes it).
+                let mut seen: std::collections::HashSet<Vec<Value>> =
+                    std::collections::HashSet::with_capacity(r.len());
+                let mut sel: Vec<u32> = Vec::new();
+                for i in 0..r.len() {
+                    if seen.insert(r.row(i)) {
+                        sel.push(i as u32);
                     }
-                    ExecRel::Shared(rel) => {
-                        let mut seen: std::collections::HashSet<&Vec<Value>> =
-                            std::collections::HashSet::with_capacity(rel.rows.len());
-                        let mut rows = Vec::new();
-                        for row in &rel.rows {
-                            if seen.insert(row) {
-                                rows.push(row.clone());
-                            }
-                        }
-                        Relation::new(rel.fields.clone(), rows)
-                    }
-                };
+                }
+                let out = gather_relation(r, &sel);
                 self.op(OpStat {
                     op: "distinct",
                     rows_in,
@@ -351,9 +368,9 @@ impl<'a> Execution<'a> {
         on: &[(xdb_sql::Expr, xdb_sql::Expr)],
         residual: Option<&xdb_sql::Expr>,
     ) -> Result<ExecRel> {
-        let lrel = self.run_rel(left)?;
-        let rrel = self.run_rel(right)?;
-        let (lrel, rrel) = (lrel.as_ref(), rrel.as_ref());
+        let lrel_e = self.run_rel(left)?;
+        let rrel_e = self.run_rel(right)?;
+        let (lrel, rrel) = (lrel_e.as_ref(), rrel_e.as_ref());
         let lschema = left.schema();
         let rschema = right.schema();
         let joined_schema = lschema.join(&rschema);
@@ -364,27 +381,10 @@ impl<'a> Execution<'a> {
         let mut fields = Vec::with_capacity(lrel.width() + rrel.width());
         fields.extend(lrel.fields.iter().cloned());
         fields.extend(rrel.fields.iter().cloned());
-        let width = fields.len();
-        let mut rows = Vec::new();
-        if on.is_empty() {
-            // Nested-loop (cross) join with optional residual.
-            self.olap_units += (lrel.len() as f64 * rrel.len() as f64) * weights::JOIN;
-            rows.reserve(lrel.len() * rrel.len());
-            for lr in &lrel.rows {
-                for rr in &rrel.rows {
-                    let mut row = Vec::with_capacity(width);
-                    row.extend(lr.iter().cloned());
-                    row.extend(rr.iter().cloned());
-                    if let Some(res) = &residual_c {
-                        if !res.eval_predicate(&row)? {
-                            continue;
-                        }
-                    }
-                    rows.push(row);
-                }
-            }
-        } else {
-            // Hash join: build on the right child.
+        let (lsel, rsel);
+        let hash = !on.is_empty();
+        if hash {
+            // Hash join: build on the right child, probe with the left.
             let lkeys: Vec<PhysExpr> = on
                 .iter()
                 .map(|(l, _)| compile(l, &lschema))
@@ -393,61 +393,85 @@ impl<'a> Execution<'a> {
                 .iter()
                 .map(|(_, r)| compile(r, &rschema))
                 .collect::<Result<_>>()?;
-            let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(rrel.len());
-            'build: for (i, row) in rrel.rows.iter().enumerate() {
-                let mut key = Vec::with_capacity(rkeys.len());
-                for k in &rkeys {
-                    let v = k.eval(row)?;
-                    if v.is_null() {
-                        continue 'build; // NULL keys never match
-                    }
-                    key.push(v);
-                }
-                table.entry(key).or_default().push(i);
-            }
+            let bcols: Vec<Column> = rkeys
+                .iter()
+                .map(|k| expr_column(k, rrel))
+                .collect::<Result<_>>()?;
+            let pcols: Vec<Column> = lkeys
+                .iter()
+                .map(|k| expr_column(k, lrel))
+                .collect::<Result<_>>()?;
             self.olap_units += (lrel.len() as f64 + rrel.len() as f64) * weights::JOIN;
-            rows.reserve(lrel.len());
-            'probe: for lr in &lrel.rows {
-                let mut key = Vec::with_capacity(lkeys.len());
-                for k in &lkeys {
-                    let v = k.eval(lr)?;
-                    if v.is_null() {
-                        continue 'probe;
-                    }
-                    key.push(v);
+            let Scratch {
+                int_heads,
+                date_heads,
+                str_heads,
+                gen_heads,
+                next,
+            } = &mut self.scratch;
+            let parts = self.partitions;
+            // Typed single-key fast path when both sides share the layout;
+            // otherwise generic Value keys (which also give Int↔Float keys
+            // the cross-type equality the row-major executor had).
+            (rsel, lsel) = match single_key(&bcols, &pcols) {
+                Some((Column::Int(b), Column::Int(p))) => {
+                    join_pairs(&typed_keys(b), &typed_keys(p), parts, int_heads, next)
                 }
-                if let Some(matches) = table.get(&key) {
-                    for &ri in matches {
-                        let mut row = Vec::with_capacity(width);
-                        row.extend(lr.iter().cloned());
-                        row.extend(rrel.rows[ri].iter().cloned());
-                        if let Some(res) = &residual_c {
-                            if !res.eval_predicate(&row)? {
-                                continue;
-                            }
-                        }
-                        rows.push(row);
-                    }
+                Some((Column::Date(b), Column::Date(p))) => {
+                    join_pairs(&typed_keys(b), &typed_keys(p), parts, date_heads, next)
+                }
+                Some((Column::Str(b), Column::Str(p))) => {
+                    join_pairs(&typed_keys(b), &typed_keys(p), parts, str_heads, next)
+                }
+                _ => join_pairs(
+                    &generic_keys(&bcols, rrel.len()),
+                    &generic_keys(&pcols, lrel.len()),
+                    parts,
+                    gen_heads,
+                    next,
+                ),
+            };
+        } else {
+            // Nested-loop (cross) join with optional residual.
+            self.olap_units += (lrel.len() as f64 * rrel.len() as f64) * weights::JOIN;
+            let total = lrel.len() * rrel.len();
+            let mut ls = Vec::with_capacity(total);
+            let mut rs = Vec::with_capacity(total);
+            for li in 0..lrel.len() as u32 {
+                for ri in 0..rrel.len() as u32 {
+                    ls.push(li);
+                    rs.push(ri);
                 }
             }
-            self.olap_units += rows.len() as f64 * weights::JOIN * 0.5;
+            (lsel, rsel) = (ls, rs);
+        }
+        let mut out = gather_pair(lrel, rrel, &lsel, &rsel, fields);
+        if let Some(res) = &residual_c {
+            let sel = filter_selection(res, &out)?;
+            if sel.len() < out.len() {
+                out = gather_relation(&out, &sel);
+            }
+        }
+        if hash {
+            self.olap_units += out.len() as f64 * weights::JOIN * 0.5;
         }
         self.op(OpStat {
-            op: if on.is_empty() {
-                "nested loop join"
-            } else {
+            op: if hash {
                 "hash join"
+            } else {
+                "nested loop join"
             },
             rows_in: (lrel.len() + rrel.len()) as u64,
-            rows_out: rows.len() as u64,
+            rows_out: out.len() as u64,
             build_rows: rrel.len() as u64,
             probe_rows: lrel.len() as u64,
         });
-        Ok(ExecRel::Owned(Relation::new(fields, rows)))
+        Ok(ExecRel::Owned(out))
     }
 
     /// Semi/anti join: emit left rows with at least one (semi) or zero
-    /// (anti) matching right rows.
+    /// (anti) matching right rows. Stays sequential: output size is bounded
+    /// by the left input and the probe is a single hash lookup per row.
     fn semi_join(
         &mut self,
         left: &LogicalPlan,
@@ -456,9 +480,9 @@ impl<'a> Execution<'a> {
         residual: Option<&xdb_sql::Expr>,
         negated: bool,
     ) -> Result<ExecRel> {
-        let lrel = self.run_rel(left)?;
-        let rrel = self.run_rel(right)?;
-        let rrel = rrel.as_ref();
+        let lrel_e = self.run_rel(left)?;
+        let rrel_e = self.run_rel(right)?;
+        let (lrel, rrel) = (lrel_e.as_ref(), rrel_e.as_ref());
         let lschema = left.schema();
         let rschema = right.schema();
         let residual_c = match residual {
@@ -473,62 +497,79 @@ impl<'a> Execution<'a> {
             .iter()
             .map(|(_, r)| compile(r, &rschema))
             .collect::<Result<_>>()?;
-        // Build side: group right-row indexes by key (all rows under the
-        // unit key when there are no equality conditions).
-        let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(rrel.len());
-        'build: for (i, row) in rrel.rows.iter().enumerate() {
-            let mut key = Vec::with_capacity(rkeys.len());
-            for k in &rkeys {
-                let v = k.eval(row)?;
-                if v.is_null() {
-                    continue 'build; // NULL keys never match
-                }
-                key.push(v);
-            }
-            table.entry(key).or_default().push(i);
-        }
+        let bcols: Vec<Column> = rkeys
+            .iter()
+            .map(|k| expr_column(k, rrel))
+            .collect::<Result<_>>()?;
+        let pcols: Vec<Column> = lkeys
+            .iter()
+            .map(|k| expr_column(k, lrel))
+            .collect::<Result<_>>()?;
         self.olap_units += (lrel.len() as f64 + rrel.len() as f64) * weights::JOIN;
-        // Decide per left row, then materialize: owned inputs move the
-        // emitted rows, shared inputs clone only the survivors.
-        let mut keep = Vec::with_capacity(lrel.len());
-        for lr in &lrel.as_ref().rows {
-            let mut key = Vec::with_capacity(lkeys.len());
-            let mut null_key = false;
-            for k in &lkeys {
-                let v = k.eval(lr)?;
-                if v.is_null() {
-                    null_key = true;
-                    break;
-                }
-                key.push(v);
-            }
-            let mut matched = false;
-            if !null_key {
-                if let Some(candidates) = table.get(&key) {
-                    match &residual_c {
-                        None => matched = !candidates.is_empty(),
-                        Some(res) => {
-                            for &ri in candidates {
-                                let mut combined = Vec::with_capacity(lr.len() + rrel.width());
-                                combined.extend(lr.iter().cloned());
-                                combined.extend(rrel.rows[ri].iter().cloned());
-                                if res.eval_predicate(&combined)? {
-                                    matched = true;
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-            keep.push(matched != negated);
-        }
+        // Candidate right rows are visited in ascending row order and the
+        // residual short-circuits on the first match, exactly like the
+        // row-major executor.
+        let mut residual_fn = |li: usize, ri: usize| -> Result<bool> {
+            let res = residual_c.as_ref().expect("residual present");
+            let mut combined = lrel.row(li);
+            combined.extend(rrel.row(ri));
+            res.eval_predicate(&combined)
+        };
+        let residual_dyn: Option<&mut dyn FnMut(usize, usize) -> Result<bool>> =
+            if residual_c.is_some() {
+                Some(&mut residual_fn)
+            } else {
+                None
+            };
+        let Scratch {
+            int_heads,
+            date_heads,
+            str_heads,
+            gen_heads,
+            next,
+        } = &mut self.scratch;
+        let matched = match single_key(&bcols, &pcols) {
+            Some((Column::Int(b), Column::Int(p))) => semi_matches(
+                &typed_keys(b),
+                &typed_keys(p),
+                int_heads,
+                next,
+                residual_dyn,
+            )?,
+            Some((Column::Date(b), Column::Date(p))) => semi_matches(
+                &typed_keys(b),
+                &typed_keys(p),
+                date_heads,
+                next,
+                residual_dyn,
+            )?,
+            Some((Column::Str(b), Column::Str(p))) => semi_matches(
+                &typed_keys(b),
+                &typed_keys(p),
+                str_heads,
+                next,
+                residual_dyn,
+            )?,
+            _ => semi_matches(
+                &generic_keys(&bcols, rrel.len()),
+                &generic_keys(&pcols, lrel.len()),
+                gen_heads,
+                next,
+                residual_dyn,
+            )?,
+        };
+        let sel: Vec<u32> = matched
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| **m != negated)
+            .map(|(i, _)| i as u32)
+            .collect();
         let (rows_in, build_rows, probe_rows) = (
             (lrel.len() + rrel.len()) as u64,
             rrel.len() as u64,
             lrel.len() as u64,
         );
-        let out = retain_rows(lrel, &keep);
+        let out = gather_relation(lrel, &sel);
         self.op(OpStat {
             op: if negated { "anti join" } else { "semi join" },
             rows_in,
@@ -545,7 +586,8 @@ impl<'a> Execution<'a> {
         group_by: &[(xdb_sql::Expr, String)],
         aggregates: &[(AggCall, String)],
     ) -> Result<ExecRel> {
-        let rel = self.run_rel(input)?;
+        let rel_e = self.run_rel(input)?;
+        let rel = rel_e.as_ref();
         let schema = input.schema();
         let group_c: Vec<PhysExpr> = group_by
             .iter()
@@ -563,41 +605,88 @@ impl<'a> Execution<'a> {
             .collect::<Result<_>>()?;
         self.olap_units += rel.len() as f64 * weights::AGGREGATE;
 
-        let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
-        let mut order: Vec<Vec<Value>> = Vec::new(); // first-seen group order
-        for row in &rel.as_ref().rows {
-            let mut key = Vec::with_capacity(group_c.len());
-            for g in &group_c {
-                key.push(g.eval(row)?);
-            }
-            let accs = match groups.entry(key) {
-                Entry::Occupied(e) => e.into_mut(),
-                Entry::Vacant(e) => {
-                    order.push(e.key().clone());
-                    e.insert(
-                        agg_c
-                            .iter()
-                            .map(|(f, _, distinct)| Accumulator::new(*f, *distinct))
-                            .collect(),
-                    )
-                }
-            };
-            for (acc, (_, arg, _)) in accs.iter_mut().zip(agg_c.iter()) {
-                let v = match arg {
-                    Some(a) => Some(a.eval(row)?),
-                    None => None,
-                };
-                acc.update(v);
-            }
-        }
-        // Global aggregate over empty input still yields one row.
-        if group_c.is_empty() && groups.is_empty() {
-            let accs: Vec<Accumulator> = agg_c
+        let n = rel.len();
+        let key_cols: Vec<Column> = group_c
+            .iter()
+            .map(|g| expr_column(g, rel))
+            .collect::<Result<_>>()?;
+        let arg_cols: Vec<Option<Column>> = agg_c
+            .iter()
+            .map(|(_, arg, _)| match arg {
+                Some(a) => Ok(Some(expr_column(a, rel)?)),
+                None => Ok(None),
+            })
+            .collect::<Result<_>>()?;
+        let keys: Vec<Vec<Value>> = (0..n)
+            .map(|i| key_cols.iter().map(|c| c.value(i)).collect())
+            .collect();
+
+        let new_accs = || -> Vec<Accumulator> {
+            agg_c
                 .iter()
                 .map(|(f, _, distinct)| Accumulator::new(*f, *distinct))
-                .collect();
-            order.push(vec![]);
-            groups.insert(vec![], accs);
+                .collect()
+        };
+        // One partition accumulates the groups whose key hashes to it,
+        // scanning rows in ascending order — each group sees exactly the
+        // row sequence the sequential pass would feed it, so float
+        // accumulation order (and therefore every bit of the output) is
+        // independent of the partition count.
+        let run_partition = |p: usize, nparts: usize, rs: &RandomState| -> Vec<GroupOut> {
+            let mut index: HashMap<&[Value], usize> = HashMap::new();
+            let mut out: Vec<GroupOut> = Vec::new();
+            for (i, key) in keys.iter().enumerate() {
+                if nparts > 1 && rs.hash_one(&key[..]) as usize % nparts != p {
+                    continue;
+                }
+                let gi = match index.entry(&key[..]) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(e) => {
+                        let gi = out.len();
+                        e.insert(gi);
+                        out.push(GroupOut {
+                            first_row: i as u32,
+                            key: key.clone(),
+                            accs: new_accs(),
+                        });
+                        gi
+                    }
+                };
+                for (acc, col) in out[gi].accs.iter_mut().zip(arg_cols.iter()) {
+                    acc.update(col.as_ref().map(|c| c.value(i)));
+                }
+            }
+            out
+        };
+        let parallel = self.partitions > 1 && n >= PAR_MIN_ROWS && !group_c.is_empty();
+        let mut groups: Vec<GroupOut> = if parallel {
+            let rs = RandomState::new();
+            let nparts = self.partitions;
+            let parts: Vec<Vec<GroupOut>> = std::thread::scope(|s| {
+                let rs = &rs;
+                let run_partition = &run_partition;
+                let handles: Vec<_> = (0..nparts)
+                    .map(|p| s.spawn(move || run_partition(p, nparts, rs)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("aggregate worker panicked"))
+                    .collect()
+            });
+            let mut all: Vec<GroupOut> = parts.into_iter().flatten().collect();
+            // First-seen group order, exactly as a sequential pass emits.
+            all.sort_unstable_by_key(|g| g.first_row);
+            all
+        } else {
+            run_partition(0, 1, &RandomState::new())
+        };
+        // Global aggregate over empty input still yields one row.
+        if group_c.is_empty() && groups.is_empty() {
+            groups.push(GroupOut {
+                first_row: 0,
+                key: vec![],
+                accs: new_accs(),
+            });
         }
 
         // Output schema derived from the input schema — no need to
@@ -607,49 +696,327 @@ impl<'a> Execution<'a> {
             .into_iter()
             .map(|f| (f.name, f.data_type))
             .collect();
-        let mut rows = Vec::with_capacity(order.len());
-        for key in order {
-            let accs = groups.remove(&key).expect("group key present");
-            let mut row = key;
-            for acc in accs {
-                row.push(acc.finish());
+        let ngroups = groups.len();
+        let mut builders: Vec<ColumnBuilder> = (0..fields.len())
+            .map(|_| ColumnBuilder::with_capacity(ngroups))
+            .collect();
+        for g in groups {
+            let mut ci = 0;
+            for v in g.key {
+                builders[ci].push(v);
+                ci += 1;
             }
-            rows.push(row);
+            for acc in g.accs {
+                builders[ci].push(acc.finish());
+                ci += 1;
+            }
         }
         self.op(OpStat {
             op: "aggregate",
             rows_in: rel.len() as u64,
-            rows_out: rows.len() as u64,
+            rows_out: ngroups as u64,
             ..OpStat::default()
         });
-        Ok(ExecRel::Owned(Relation::new(fields, rows)))
+        Ok(ExecRel::Owned(Relation::from_columns(
+            fields,
+            builders.into_iter().map(ColumnBuilder::finish).collect(),
+            ngroups,
+        )))
     }
 }
 
-/// Materialize the rows of `rel` selected by `keep`: owned inputs move the
-/// surviving rows, shared inputs clone only the survivors.
-fn retain_rows(rel: ExecRel, keep: &[bool]) -> Relation {
-    match rel {
-        ExecRel::Owned(rel) => {
-            let rows = rel
-                .rows
-                .into_iter()
-                .zip(keep)
-                .filter_map(|(row, k)| k.then_some(row))
-                .collect();
-            Relation::new(rel.fields, rows)
+/// One output group: first input row that opened it (for deterministic
+/// ordering), its key values, and its accumulators.
+struct GroupOut {
+    first_row: u32,
+    key: Vec<Value>,
+    accs: Vec<Accumulator>,
+}
+
+/// Evaluate a filter predicate to a selection vector, vectorized when the
+/// kernels allow and row-by-row (sparse row buffer) otherwise.
+fn filter_selection(pred: &PhysExpr, rel: &Relation) -> Result<Vec<u32>> {
+    if let Some(sel) = vector::filter_sel(pred, rel) {
+        return Ok(sel);
+    }
+    let mut refs = Vec::new();
+    vector::referenced_columns(pred, &mut refs);
+    refs.sort_unstable();
+    refs.dedup();
+    let mut buf = vec![Value::Null; rel.width()];
+    let mut sel = Vec::with_capacity(rel.len());
+    for i in 0..rel.len() {
+        for &c in &refs {
+            buf[c] = rel.value(i, c);
         }
-        ExecRel::Shared(rel) => {
-            let survivors = keep.iter().filter(|k| **k).count();
-            let mut rows = Vec::with_capacity(survivors);
-            for (row, k) in rel.rows.iter().zip(keep) {
-                if *k {
-                    rows.push(row.clone());
-                }
-            }
-            Relation::new(rel.fields.clone(), rows)
+        if pred.eval_predicate(&buf)? {
+            sel.push(i as u32);
         }
     }
+    Ok(sel)
+}
+
+/// Evaluate an expression to a materialized column. Plain column references
+/// are `Arc` pointer copies; vectorizable expressions run the kernels; the
+/// rest fall back to row-at-a-time evaluation with reference semantics.
+fn expr_column(e: &PhysExpr, rel: &Relation) -> Result<Column> {
+    if let PhysExpr::Column(i) = e {
+        return Ok(rel.column(*i).clone());
+    }
+    if let Some(c) = vector::eval_to_column(e, rel) {
+        return Ok(c);
+    }
+    let mut refs = Vec::new();
+    vector::referenced_columns(e, &mut refs);
+    refs.sort_unstable();
+    refs.dedup();
+    let mut buf = vec![Value::Null; rel.width()];
+    let mut bld = ColumnBuilder::with_capacity(rel.len());
+    for i in 0..rel.len() {
+        for &c in &refs {
+            buf[c] = rel.value(i, c);
+        }
+        bld.push(e.eval(&buf)?);
+    }
+    Ok(bld.finish())
+}
+
+/// Gather a row subset of `rel` (columnar `filter`/`sort` materialization).
+fn gather_relation(rel: &Relation, sel: &[u32]) -> Relation {
+    Relation::from_columns(
+        rel.fields.clone(),
+        rel.columns().iter().map(|c| c.gather(sel)).collect(),
+        sel.len(),
+    )
+}
+
+/// Materialize join output: left columns gathered by `lsel`, right columns
+/// by `rsel`, side by side.
+fn gather_pair(
+    l: &Relation,
+    r: &Relation,
+    lsel: &[u32],
+    rsel: &[u32],
+    fields: Vec<(String, DataType)>,
+) -> Relation {
+    let mut cols = Vec::with_capacity(l.width() + r.width());
+    for c in l.columns() {
+        cols.push(c.gather(lsel));
+    }
+    for c in r.columns() {
+        cols.push(c.gather(rsel));
+    }
+    Relation::from_columns(fields, cols, lsel.len())
+}
+
+/// The typed single-key fast path applies only when both sides store the
+/// key in the same typed layout (cross-type numeric equality needs the
+/// generic `Value` path).
+fn single_key<'c>(b: &'c [Column], p: &'c [Column]) -> Option<(&'c Column, &'c Column)> {
+    if b.len() != 1 || p.len() != 1 {
+        return None;
+    }
+    match (&b[0], &p[0]) {
+        (Column::Int(_), Column::Int(_))
+        | (Column::Date(_), Column::Date(_))
+        | (Column::Str(_), Column::Str(_)) => Some((&b[0], &p[0])),
+        _ => None,
+    }
+}
+
+/// Per-row typed key values; `None` marks a NULL key (never matches).
+fn typed_keys<T: Clone + Default>(c: &TypedCol<T>) -> Vec<Option<T>> {
+    (0..c.len()).map(|i| c.get(i).cloned()).collect()
+}
+
+/// Per-row composite keys as `Value` tuples; any NULL component kills the
+/// whole key.
+fn generic_keys(cols: &[Column], n: usize) -> Vec<Option<Vec<Value>>> {
+    (0..n)
+        .map(|i| {
+            let mut k = Vec::with_capacity(cols.len());
+            for c in cols {
+                let v = c.value(i);
+                if v.is_null() {
+                    return None;
+                }
+                k.push(v);
+            }
+            Some(k)
+        })
+        .collect()
+}
+
+/// Build a chained hash table over the build keys: `heads[k]` is the first
+/// build row with key `k`, `next[i]` the following one. Rows are inserted
+/// in reverse so every chain iterates in ascending build-row order — the
+/// match order of the row-major executor.
+fn build_chain<K: Hash + Eq + Clone>(
+    build_keys: &[Option<K>],
+    heads: &mut HashMap<K, u32>,
+    next: &mut Vec<u32>,
+) {
+    heads.clear();
+    next.clear();
+    next.resize(build_keys.len(), NO_NEXT);
+    for i in (0..build_keys.len()).rev() {
+        let Some(k) = &build_keys[i] else { continue };
+        match heads.entry(k.clone()) {
+            Entry::Occupied(mut e) => {
+                next[i] = *e.get();
+                *e.get_mut() = i as u32;
+            }
+            Entry::Vacant(e) => {
+                e.insert(i as u32);
+            }
+        }
+    }
+}
+
+/// All matching (build, probe) row pairs, in probe-major order with build
+/// rows ascending within a probe row — the exact emission order of the
+/// row-major hash join. Large inputs hash-partition across threads.
+fn join_pairs<K: Hash + Eq + Clone + Sync>(
+    build_keys: &[Option<K>],
+    probe_keys: &[Option<K>],
+    partitions: usize,
+    heads: &mut HashMap<K, u32>,
+    next: &mut Vec<u32>,
+) -> (Vec<u32>, Vec<u32>) {
+    if partitions > 1 && (probe_keys.len() >= PAR_MIN_ROWS || build_keys.len() >= PAR_MIN_ROWS) {
+        return join_pairs_parallel(build_keys, probe_keys, partitions);
+    }
+    build_chain(build_keys, heads, next);
+    let mut bsel = Vec::new();
+    let mut psel = Vec::new();
+    for (i, k) in probe_keys.iter().enumerate() {
+        let Some(k) = k else { continue };
+        let Some(&h) = heads.get(k) else { continue };
+        let mut j = h;
+        loop {
+            bsel.push(j);
+            psel.push(i as u32);
+            j = next[j as usize];
+            if j == NO_NEXT {
+                break;
+            }
+        }
+    }
+    (bsel, psel)
+}
+
+/// Partition-parallel hash join. The build side is hash-partitioned across
+/// workers (each owns the keys routing to it; per-key row lists stay in
+/// ascending order). Probe workers take contiguous probe chunks; their
+/// outputs concatenated in chunk order reproduce the sequential emission
+/// order bit-for-bit.
+fn join_pairs_parallel<K: Hash + Eq + Sync>(
+    build_keys: &[Option<K>],
+    probe_keys: &[Option<K>],
+    partitions: usize,
+) -> (Vec<u32>, Vec<u32>) {
+    let rs = RandomState::new();
+    let nparts = partitions;
+    let parts: Vec<HashMap<&K, Vec<u32>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..nparts)
+            .map(|p| {
+                let rs = &rs;
+                s.spawn(move || {
+                    let mut m: HashMap<&K, Vec<u32>> = HashMap::new();
+                    for (i, k) in build_keys.iter().enumerate() {
+                        let Some(k) = k else { continue };
+                        if rs.hash_one(k) as usize % nparts == p {
+                            m.entry(k).or_default().push(i as u32);
+                        }
+                    }
+                    m
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join build worker panicked"))
+            .collect()
+    });
+    let n = probe_keys.len();
+    let chunk = n.div_ceil(nparts).max(1);
+    let outs: Vec<(Vec<u32>, Vec<u32>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..nparts)
+            .map(|c| {
+                let rs = &rs;
+                let parts = &parts;
+                s.spawn(move || {
+                    let lo = (c * chunk).min(n);
+                    let hi = ((c + 1) * chunk).min(n);
+                    let mut bsel = Vec::new();
+                    let mut psel = Vec::new();
+                    for (i, k) in probe_keys[lo..hi].iter().enumerate() {
+                        let Some(k) = k else { continue };
+                        let part = &parts[rs.hash_one(k) as usize % nparts];
+                        if let Some(js) = part.get(k) {
+                            for &j in js {
+                                bsel.push(j);
+                                psel.push((lo + i) as u32);
+                            }
+                        }
+                    }
+                    (bsel, psel)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join probe worker panicked"))
+            .collect()
+    });
+    let total: usize = outs.iter().map(|(b, _)| b.len()).sum();
+    let mut bsel = Vec::with_capacity(total);
+    let mut psel = Vec::with_capacity(total);
+    for (b, p) in outs {
+        bsel.extend(b);
+        psel.extend(p);
+    }
+    (bsel, psel)
+}
+
+/// Per-probe-row match flags for semi/anti joins. Without a residual a
+/// single hash lookup decides; with one, candidates are visited in
+/// ascending build-row order and evaluation short-circuits on the first
+/// match (reference semantics — later candidates are never evaluated).
+fn semi_matches<K: Hash + Eq + Clone>(
+    build_keys: &[Option<K>],
+    probe_keys: &[Option<K>],
+    heads: &mut HashMap<K, u32>,
+    next: &mut Vec<u32>,
+    mut residual: Option<&mut dyn FnMut(usize, usize) -> Result<bool>>,
+) -> Result<Vec<bool>> {
+    build_chain(build_keys, heads, next);
+    let mut out = Vec::with_capacity(probe_keys.len());
+    for (i, k) in probe_keys.iter().enumerate() {
+        let mut matched = false;
+        if let Some(k) = k {
+            if let Some(&h) = heads.get(k) {
+                match residual.as_mut() {
+                    None => matched = true,
+                    Some(f) => {
+                        let mut j = h;
+                        loop {
+                            if f(i, j as usize)? {
+                                matched = true;
+                                break;
+                            }
+                            j = next[j as usize];
+                            if j == NO_NEXT {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out.push(matched);
+    }
+    Ok(out)
 }
 
 /// Streaming aggregate accumulator.
@@ -872,19 +1239,19 @@ fn is_identity(idx: &[usize], rel: &Relation) -> bool {
     idx.len() == rel.width() && idx.iter().enumerate().all(|(i, &j)| i == j)
 }
 
+/// Column subsets are `Arc` pointer copies — no row data moves.
 fn subset(rel: &Relation, idx: &[usize], wanted: &[(String, DataType)]) -> Relation {
-    let rows = rel
-        .rows
-        .iter()
-        .map(|r| idx.iter().map(|&j| r[j].clone()).collect())
-        .collect();
-    Relation::new(wanted.to_vec(), rows)
+    Relation::from_columns(
+        wanted.to_vec(),
+        idx.iter().map(|&j| rel.column(j).clone()).collect(),
+        rel.len(),
+    )
 }
 
 /// Project a stored relation to the requested columns, by name.
 pub fn project_columns(rel: &Relation, wanted: &[(String, DataType)]) -> Result<Relation> {
     let idx = column_indexes(rel, wanted)?;
-    // Identity projection avoids a copy of the row structure rebuild.
+    // Identity projection avoids rebuilding the schema.
     if is_identity(&idx, rel) {
         return Ok(rel.clone());
     }
@@ -892,7 +1259,7 @@ pub fn project_columns(rel: &Relation, wanted: &[(String, DataType)]) -> Result<
 }
 
 /// Project an `Arc`-shared relation: identity projections hand the `Arc`
-/// through without touching a single row; subsets copy once.
+/// through without touching a single row; subsets share the column `Arc`s.
 pub fn project_columns_shared(
     rel: &Arc<Relation>,
     wanted: &[(String, DataType)],
@@ -1007,8 +1374,8 @@ mod tests {
     fn filter_project() {
         let r = run("SELECT name FROM emp WHERE salary > 85");
         assert_eq!(r.len(), 2);
-        assert_eq!(r.rows[0][0], Value::str("ann"));
-        assert_eq!(r.rows[1][0], Value::str("cat"));
+        assert_eq!(r.value(0, 0), Value::str("ann"));
+        assert_eq!(r.value(1, 0), Value::str("cat"));
     }
 
     #[test]
@@ -1022,7 +1389,7 @@ mod tests {
     #[test]
     fn cross_join_count() {
         let r = run("SELECT count(*) AS n FROM emp, dept");
-        assert_eq!(r.rows[0][0], Value::Int(12));
+        assert_eq!(r.value(0, 0), Value::Int(12));
     }
 
     #[test]
@@ -1034,28 +1401,28 @@ mod tests {
         );
         assert_eq!(r.len(), 2);
         // eng: 2 rows, sum 180, avg 90.
-        assert_eq!(r.rows[0][0], Value::str("eng"));
-        assert_eq!(r.rows[0][1], Value::Int(2));
-        assert_eq!(r.rows[0][2], Value::Float(180.0));
-        assert_eq!(r.rows[0][3], Value::Float(90.0));
+        assert_eq!(r.value(0, 0), Value::str("eng"));
+        assert_eq!(r.value(0, 1), Value::Int(2));
+        assert_eq!(r.value(0, 2), Value::Float(180.0));
+        assert_eq!(r.value(0, 3), Value::Float(90.0));
         // ops: salary NULL ignored by sum/avg/min/max but counted by *.
-        assert_eq!(r.rows[1][1], Value::Int(2));
-        assert_eq!(r.rows[1][2], Value::Float(90.0));
-        assert_eq!(r.rows[1][4], Value::Float(90.0));
+        assert_eq!(r.value(1, 1), Value::Int(2));
+        assert_eq!(r.value(1, 2), Value::Float(90.0));
+        assert_eq!(r.value(1, 4), Value::Float(90.0));
     }
 
     #[test]
     fn global_aggregate_empty_input() {
         let r = run("SELECT count(*) AS n, sum(salary) AS s FROM emp WHERE salary > 1e9");
         assert_eq!(r.len(), 1);
-        assert_eq!(r.rows[0][0], Value::Int(0));
-        assert_eq!(r.rows[0][1], Value::Null);
+        assert_eq!(r.value(0, 0), Value::Int(0));
+        assert_eq!(r.value(0, 1), Value::Null);
     }
 
     #[test]
     fn count_distinct() {
         let r = run("SELECT count(DISTINCT dept) AS n FROM emp");
-        assert_eq!(r.rows[0][0], Value::Int(2));
+        assert_eq!(r.value(0, 0), Value::Int(2));
     }
 
     #[test]
@@ -1064,7 +1431,7 @@ mod tests {
         // NULLs sort last in our total order; DESC reverses → NULL first.
         // SQL engines differ here; ours places NULL first on DESC.
         assert_eq!(r.len(), 2);
-        assert_eq!(r.rows[1][0], Value::str("ann"));
+        assert_eq!(r.value(1, 0), Value::str("ann"));
     }
 
     #[test]
@@ -1103,7 +1470,7 @@ mod tests {
         .unwrap();
         let mut exec = Execution::new(&f.resolver);
         let r = exec.run(&plan).unwrap();
-        assert_eq!(r.rows[0][0], Value::Int(1));
+        assert_eq!(r.value(0, 0), Value::Int(1));
     }
 
     #[test]
@@ -1126,15 +1493,15 @@ mod tests {
             "SELECT name, case when salary >= 90 then 'high' when salary is null then 'unknown' else 'low' end AS band \
              FROM emp ORDER BY name",
         );
-        assert_eq!(r.rows[0][1], Value::str("high"));
-        assert_eq!(r.rows[1][1], Value::str("low"));
-        assert_eq!(r.rows[3][1], Value::str("unknown"));
+        assert_eq!(r.value(0, 1), Value::str("high"));
+        assert_eq!(r.value(1, 1), Value::str("low"));
+        assert_eq!(r.value(3, 1), Value::str("unknown"));
     }
 
     #[test]
     fn expression_over_aggregates_executes() {
         let r = run("SELECT sum(salary) / count(salary) AS mean FROM emp");
-        assert_eq!(r.rows[0][0], Value::Float(90.0));
+        assert_eq!(r.value(0, 0), Value::Float(90.0));
     }
 
     #[test]
@@ -1143,7 +1510,7 @@ mod tests {
         let rel = f.resolver.relations.get("dept").unwrap();
         let sub = project_columns(rel, &[("budget".to_string(), DataType::Int)]).unwrap();
         assert_eq!(sub.width(), 1);
-        assert_eq!(sub.rows[0][0], Value::Int(1000));
+        assert_eq!(sub.value(0, 0), Value::Int(1000));
         let idt = project_columns(rel, &rel.fields.clone()).unwrap();
         assert_eq!(&idt, rel.as_ref());
     }
@@ -1164,5 +1531,46 @@ mod tests {
         }
         // into_owned on still-shared data copies; results are equal.
         assert_eq!(out.into_owned(), *stored);
+    }
+
+    /// Every partition count must produce the identical relation — not just
+    /// the same bag of rows: same order, same value variants.
+    #[test]
+    fn partition_parallel_is_bit_identical() {
+        let queries = [
+            "SELECT e.name, d.budget FROM emp e, dept d WHERE e.dept = d.dname ORDER BY e.name",
+            "SELECT dept, count(*) AS n, sum(salary) AS s FROM emp GROUP BY dept",
+            "SELECT d.dname FROM dept d WHERE EXISTS (SELECT 1 FROM emp e WHERE e.dept = d.dname)",
+        ];
+        let f = fixture();
+        for sql in queries {
+            let plan = bind_select(&parse_select(sql).unwrap(), &f).unwrap();
+            let mut base: Option<Relation> = None;
+            for partitions in [1usize, 2, 8] {
+                let mut exec = Execution::new(&f.resolver);
+                exec.partitions = partitions;
+                let r = exec.run(&plan).unwrap();
+                match &base {
+                    None => base = Some(r),
+                    Some(b) => assert_eq!(&r, b, "{sql} with {partitions} partitions"),
+                }
+            }
+        }
+    }
+
+    /// The scratch allocations survive across executions (capacity reuse);
+    /// results stay untouched.
+    #[test]
+    fn scratch_reuse_across_queries() {
+        let f = fixture();
+        let plan = bind_select(
+            &parse_select("SELECT e.name FROM emp e, dept d WHERE e.dept = d.dname").unwrap(),
+            &f,
+        )
+        .unwrap();
+        let mut exec = Execution::new(&f.resolver);
+        let first = exec.run(&plan).unwrap();
+        let second = exec.run(&plan).unwrap();
+        assert_eq!(first, second);
     }
 }

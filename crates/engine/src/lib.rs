@@ -24,6 +24,7 @@ pub mod exec;
 pub mod expr;
 pub mod profile;
 pub mod relation;
+pub mod vector;
 
 pub use cluster::Cluster;
 pub use engine::{Engine, ExecReport, ExplainInfo, NoRemote, Remote, StatementOutcome};

@@ -38,9 +38,9 @@ fn composite_key_join() {
         "SELECT p.tag, l.label FROM pairs p, lookup l WHERE p.a = l.a AND p.b = l.b ORDER BY p.tag",
     );
     assert_eq!(r.len(), 2);
-    assert_eq!(r.rows[0][0], Value::str("one-two"));
-    assert_eq!(r.rows[0][1], Value::str("L12"));
-    assert_eq!(r.rows[1][0], Value::str("two-two"));
+    assert_eq!(r.value(0, 0), Value::str("one-two"));
+    assert_eq!(r.value(0, 1), Value::str("L12"));
+    assert_eq!(r.value(1, 0), Value::str("two-two"));
 }
 
 #[test]
@@ -53,8 +53,8 @@ fn self_join_with_aliases() {
          WHERE p1.a = p2.b AND p1.b = p2.a AND p1.a < p1.b",
     );
     assert_eq!(r.len(), 1);
-    assert_eq!(r.rows[0][0], Value::str("one-two"));
-    assert_eq!(r.rows[0][1], Value::str("two-one"));
+    assert_eq!(r.value(0, 0), Value::str("one-two"));
+    assert_eq!(r.value(0, 1), Value::str("two-one"));
 }
 
 #[test]
@@ -66,7 +66,7 @@ fn non_equi_join_falls_back_to_nested_loop() {
     );
     // pairs.a values {1,1,2,2}; lookup.a values {1,2,3}.
     // 1<2,1<3 (x2 rows with a=1 → 4), 2<3 (x2 rows with a=2 → 2) = 6.
-    assert_eq!(r.rows[0][0], Value::Int(6));
+    assert_eq!(r.value(0, 0), Value::Int(6));
 }
 
 #[test]
@@ -78,8 +78,8 @@ fn inequality_plus_equality_uses_residual() {
     );
     // a=1: lookup (1,2): pairs (1,1) passes. a=2: lookup (2,2): pairs (2,1).
     assert_eq!(r.len(), 2);
-    assert_eq!(r.rows[0][0], Value::str("one-one"));
-    assert_eq!(r.rows[1][0], Value::str("two-one"));
+    assert_eq!(r.value(0, 0), Value::str("one-one"));
+    assert_eq!(r.value(1, 0), Value::str("two-one"));
 }
 
 #[test]
@@ -89,14 +89,14 @@ fn min_max_over_strings_and_dates() {
         &c,
         "SELECT min(name) AS lo, max(name) AS hi, min(day) AS first, max(day) AS last FROM events",
     );
-    assert_eq!(r.rows[0][0], Value::str("alpha"));
-    assert_eq!(r.rows[0][1], Value::str("omega"));
+    assert_eq!(r.value(0, 0), Value::str("alpha"));
+    assert_eq!(r.value(0, 1), Value::str("omega"));
     assert_eq!(
-        r.rows[0][2],
+        r.value(0, 2),
         Value::Date(date::parse("1995-01-01").unwrap())
     );
     assert_eq!(
-        r.rows[0][3],
+        r.value(0, 3),
         Value::Date(date::parse("1996-02-29").unwrap())
     );
 }
@@ -115,8 +115,7 @@ fn distinct_treats_null_as_one_group() {
     let r = q(&c, "SELECT v, count(*) AS c FROM n GROUP BY v");
     assert_eq!(r.len(), 3);
     let null_group = r
-        .rows
-        .iter()
+        .rows()
         .find(|row| row[0].is_null())
         .expect("null group exists");
     assert_eq!(null_group[1], Value::Int(2));
@@ -132,10 +131,10 @@ fn insert_evaluates_expressions() {
     )
     .unwrap();
     let r = q(&c, "SELECT * FROM calc");
-    assert_eq!(r.rows[0][0], Value::Int(14));
-    assert_eq!(r.rows[0][1], Value::str("OK"));
+    assert_eq!(r.value(0, 0), Value::Int(14));
+    assert_eq!(r.value(0, 1), Value::str("OK"));
     assert_eq!(
-        r.rows[0][2],
+        r.value(0, 2),
         Value::Date(date::parse("1995-03-01").unwrap())
     );
 }
@@ -145,8 +144,7 @@ fn order_by_mixed_directions() {
     let c = cluster();
     let r = q(&c, "SELECT a, b FROM pairs ORDER BY a ASC, b DESC");
     let got: Vec<(i64, i64)> = r
-        .rows
-        .iter()
+        .rows()
         .map(|row| (row[0].as_int().unwrap(), row[1].as_int().unwrap()))
         .collect();
     assert_eq!(got, vec![(1, 2), (1, 1), (2, 2), (2, 1)]);
@@ -158,7 +156,7 @@ fn view_lifecycle_drop_and_recreate() {
     c.execute("db", "CREATE VIEW v AS SELECT a FROM pairs WHERE b = 1")
         .unwrap();
     assert_eq!(
-        q(&c, "SELECT count(*) AS n FROM v").rows[0][0],
+        q(&c, "SELECT count(*) AS n FROM v").value(0, 0),
         Value::Int(2)
     );
     c.execute("db", "DROP VIEW v").unwrap();
@@ -166,7 +164,7 @@ fn view_lifecycle_drop_and_recreate() {
     c.execute("db", "CREATE VIEW v AS SELECT b FROM pairs WHERE a = 2")
         .unwrap();
     assert_eq!(
-        q(&c, "SELECT count(*) AS n FROM v").rows[0][0],
+        q(&c, "SELECT count(*) AS n FROM v").value(0, 0),
         Value::Int(2)
     );
 }
@@ -204,7 +202,7 @@ fn group_by_date_extract_with_nulls() {
 fn like_on_null_is_not_a_match() {
     let c = cluster();
     let r = q(&c, "SELECT count(*) AS n FROM events WHERE name LIKE '%p%'");
-    assert_eq!(r.rows[0][0], Value::Int(2)); // alpha, leap — NULL excluded
+    assert_eq!(r.value(0, 0), Value::Int(2)); // alpha, leap — NULL excluded
 }
 
 #[test]
@@ -238,7 +236,7 @@ fn create_if_not_exists_is_idempotent() {
         .unwrap();
     // Original schema intact.
     assert_eq!(
-        q(&c, "SELECT count(*) AS n FROM pairs").rows[0][0],
+        q(&c, "SELECT count(*) AS n FROM pairs").value(0, 0),
         Value::Int(4)
     );
     // Plain CREATE still errors.

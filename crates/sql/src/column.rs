@@ -1,0 +1,662 @@
+//! Columnar storage primitives: typed column vectors with null bitmaps,
+//! a builder that infers the physical layout from the values it sees, and a
+//! pre-lowered name → position map (`SchemaIndex`) so column resolution pays
+//! for case-insensitivity exactly once.
+//!
+//! The executor stores every materialized relation as a `Vec<Column>`. A
+//! column preserves the *exact* `Value` variants it was built from —
+//! `Int(7)` and `Float(7.0)` compare and hash equal but display differently,
+//! so a column that mixes variants (possible for expression outputs) falls
+//! back to the `Mixed` layout instead of coercing.
+
+use crate::value::{DataType, Value};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+// ------------------------------------------------------------------ Bitmap
+
+/// A packed bitmap; bit `i` set means row `i` is NULL.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+    ones: usize,
+}
+
+impl Bitmap {
+    pub fn new() -> Bitmap {
+        Bitmap::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Bitmap {
+        Bitmap {
+            words: Vec::with_capacity(cap.div_ceil(64)),
+            len: 0,
+            ones: 0,
+        }
+    }
+
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << (self.len % 64);
+            self.ones += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Append `n` set bits.
+    pub fn push_ones(&mut self, n: usize) {
+        for _ in 0..n {
+            self.push(true);
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of set (NULL) bits.
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// True if no bit is set — lets kernels skip per-row null checks.
+    pub fn none_set(&self) -> bool {
+        self.ones == 0
+    }
+}
+
+// ---------------------------------------------------------------- TypedCol
+
+/// A typed vector plus its null bitmap. `data[i]` holds a placeholder
+/// (default value) wherever `nulls.get(i)` is set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypedCol<T> {
+    pub data: Vec<T>,
+    pub nulls: Bitmap,
+}
+
+impl<T: Clone + Default> TypedCol<T> {
+    pub fn with_capacity(cap: usize) -> TypedCol<T> {
+        TypedCol {
+            data: Vec::with_capacity(cap),
+            nulls: Bitmap::with_capacity(cap),
+        }
+    }
+
+    pub fn push(&mut self, v: T) {
+        self.data.push(v);
+        self.nulls.push(false);
+    }
+
+    pub fn push_null(&mut self) {
+        self.data.push(T::default());
+        self.nulls.push(true);
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.nulls.get(i)
+    }
+
+    /// `Some(&data[i])` unless row `i` is NULL.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&T> {
+        if self.nulls.get(i) {
+            None
+        } else {
+            Some(&self.data[i])
+        }
+    }
+
+    fn gather(&self, sel: &[u32]) -> TypedCol<T> {
+        let mut out = TypedCol::with_capacity(sel.len());
+        if self.nulls.none_set() {
+            for &i in sel {
+                out.push(self.data[i as usize].clone());
+            }
+        } else {
+            for &i in sel {
+                if self.nulls.get(i as usize) {
+                    out.push_null();
+                } else {
+                    out.push(self.data[i as usize].clone());
+                }
+            }
+        }
+        out
+    }
+
+    fn head(&self, n: usize) -> TypedCol<T> {
+        let mut out = TypedCol::with_capacity(n);
+        for i in 0..n.min(self.len()) {
+            if self.nulls.get(i) {
+                out.push_null();
+            } else {
+                out.push(self.data[i].clone());
+            }
+        }
+        out
+    }
+}
+
+// ------------------------------------------------------------------ Column
+
+/// A materialized column. Typed layouts are `Arc`-shared so projection and
+/// scan reuse are pointer copies; `Mixed` preserves arbitrary `Value`
+/// sequences (mixed Int/Float expression outputs, all-NULL columns).
+#[derive(Debug, Clone)]
+pub enum Column {
+    Int(Arc<TypedCol<i64>>),
+    Float(Arc<TypedCol<f64>>),
+    Str(Arc<TypedCol<Arc<str>>>),
+    Date(Arc<TypedCol<i32>>),
+    Bool(Arc<TypedCol<bool>>),
+    Mixed(Arc<Vec<Value>>),
+}
+
+impl Column {
+    pub fn from_values<I: IntoIterator<Item = Value>>(values: I) -> Column {
+        let it = values.into_iter();
+        let mut b = ColumnBuilder::with_capacity(it.size_hint().0);
+        for v in it {
+            b.push(v);
+        }
+        b.finish()
+    }
+
+    pub fn empty_of(ty: DataType) -> Column {
+        match ty {
+            DataType::Int => Column::Int(Arc::new(TypedCol::with_capacity(0))),
+            DataType::Float => Column::Float(Arc::new(TypedCol::with_capacity(0))),
+            DataType::Str => Column::Str(Arc::new(TypedCol::with_capacity(0))),
+            DataType::Date => Column::Date(Arc::new(TypedCol::with_capacity(0))),
+            DataType::Bool => Column::Bool(Arc::new(TypedCol::with_capacity(0))),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(c) => c.len(),
+            Column::Float(c) => c.len(),
+            Column::Str(c) => c.len(),
+            Column::Date(c) => c.len(),
+            Column::Bool(c) => c.len(),
+            Column::Mixed(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            Column::Int(c) => c.is_null(i),
+            Column::Float(c) => c.is_null(i),
+            Column::Str(c) => c.is_null(i),
+            Column::Date(c) => c.is_null(i),
+            Column::Bool(c) => c.is_null(i),
+            Column::Mixed(v) => v[i].is_null(),
+        }
+    }
+
+    /// Reconstruct the `Value` at row `i` — exact variant preservation.
+    #[inline]
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            Column::Int(c) => c.get(i).map_or(Value::Null, |v| Value::Int(*v)),
+            Column::Float(c) => c.get(i).map_or(Value::Null, |v| Value::Float(*v)),
+            Column::Str(c) => c.get(i).map_or(Value::Null, |v| Value::Str(v.clone())),
+            Column::Date(c) => c.get(i).map_or(Value::Null, |v| Value::Date(*v)),
+            Column::Bool(c) => c.get(i).map_or(Value::Null, |v| Value::Bool(*v)),
+            Column::Mixed(v) => v[i].clone(),
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(|i| self.value(i))
+    }
+
+    /// New column holding the rows selected by `sel`, in `sel` order.
+    pub fn gather(&self, sel: &[u32]) -> Column {
+        match self {
+            Column::Int(c) => Column::Int(Arc::new(c.gather(sel))),
+            Column::Float(c) => Column::Float(Arc::new(c.gather(sel))),
+            Column::Str(c) => Column::Str(Arc::new(c.gather(sel))),
+            Column::Date(c) => Column::Date(Arc::new(c.gather(sel))),
+            Column::Bool(c) => Column::Bool(Arc::new(c.gather(sel))),
+            Column::Mixed(v) => Column::Mixed(Arc::new(
+                sel.iter().map(|&i| v[i as usize].clone()).collect(),
+            )),
+        }
+    }
+
+    /// First `n` rows; a cheap `Arc` clone when `n >= len`.
+    pub fn head(&self, n: usize) -> Column {
+        if n >= self.len() {
+            return self.clone();
+        }
+        match self {
+            Column::Int(c) => Column::Int(Arc::new(c.head(n))),
+            Column::Float(c) => Column::Float(Arc::new(c.head(n))),
+            Column::Str(c) => Column::Str(Arc::new(c.head(n))),
+            Column::Date(c) => Column::Date(Arc::new(c.head(n))),
+            Column::Bool(c) => Column::Bool(Arc::new(c.head(n))),
+            Column::Mixed(v) => Column::Mixed(Arc::new(v[..n].to_vec())),
+        }
+    }
+
+    /// Simulated wire size: per-value payload bytes, no framing (the
+    /// relation adds 4 bytes per row). Totals match the row-major model.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            // NULL costs 1 byte; present values cost their payload size.
+            Column::Int(c) => typed_wire(c, 8),
+            Column::Float(c) => typed_wire(c, 8),
+            Column::Date(c) => typed_wire(c, 4),
+            Column::Bool(c) => typed_wire(c, 1),
+            Column::Str(c) => {
+                let nulls = c.nulls.count_ones() as u64;
+                let mut total = nulls;
+                if c.nulls.none_set() {
+                    for s in &c.data {
+                        total += 4 + s.len() as u64;
+                    }
+                } else {
+                    for i in 0..c.len() {
+                        if !c.is_null(i) {
+                            total += 4 + c.data[i].len() as u64;
+                        }
+                    }
+                }
+                total
+            }
+            Column::Mixed(v) => v.iter().map(Value::wire_size).sum(),
+        }
+    }
+
+    /// Total order between rows `i` and `j` of this column, matching
+    /// `Value::total_cmp` (NULLs last, incomparables by type tag).
+    #[inline]
+    pub fn cmp_rows(&self, i: usize, j: usize) -> Ordering {
+        match self {
+            Column::Int(c) => match (c.get(i), c.get(j)) {
+                (Some(a), Some(b)) => a.cmp(b),
+                (a, b) => null_cmp(a.is_none(), b.is_none()),
+            },
+            Column::Float(c) => match (c.get(i), c.get(j)) {
+                // NaN falls through sql_cmp to the type-tag tiebreak, which
+                // is Equal for same-variant values — mirror that here.
+                (Some(a), Some(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+                (a, b) => null_cmp(a.is_none(), b.is_none()),
+            },
+            Column::Str(c) => match (c.get(i), c.get(j)) {
+                (Some(a), Some(b)) => a.as_ref().cmp(b.as_ref()),
+                (a, b) => null_cmp(a.is_none(), b.is_none()),
+            },
+            Column::Date(c) => match (c.get(i), c.get(j)) {
+                (Some(a), Some(b)) => a.cmp(b),
+                (a, b) => null_cmp(a.is_none(), b.is_none()),
+            },
+            Column::Bool(c) => match (c.get(i), c.get(j)) {
+                (Some(a), Some(b)) => a.cmp(b),
+                (a, b) => null_cmp(a.is_none(), b.is_none()),
+            },
+            Column::Mixed(v) => v[i].total_cmp(&v[j]),
+        }
+    }
+
+    pub fn as_int(&self) -> Option<&TypedCol<i64>> {
+        match self {
+            Column::Int(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    pub fn as_float(&self) -> Option<&TypedCol<f64>> {
+        match self {
+            Column::Float(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    pub fn as_str_col(&self) -> Option<&TypedCol<Arc<str>>> {
+        match self {
+            Column::Str(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    pub fn as_date(&self) -> Option<&TypedCol<i32>> {
+        match self {
+            Column::Date(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool_col(&self) -> Option<&TypedCol<bool>> {
+        match self {
+            Column::Bool(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    pub fn is_mixed(&self) -> bool {
+        matches!(self, Column::Mixed(_))
+    }
+}
+
+#[inline]
+fn typed_wire<T>(c: &TypedCol<T>, per_value: u64) -> u64 {
+    let nulls = c.nulls.count_ones() as u64;
+    nulls + (c.data.len() as u64 - nulls) * per_value
+}
+
+#[inline]
+fn null_cmp(a_null: bool, b_null: bool) -> Ordering {
+    // total_cmp semantics: NULLs sort last; NULL == NULL.
+    match (a_null, b_null) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => unreachable!("both values present"),
+    }
+}
+
+impl PartialEq for Column {
+    /// Element-wise `Value` equality (cross-type Int/Float equality and
+    /// bitwise float equality, exactly like row-major comparison did).
+    fn eq(&self, other: &Column) -> bool {
+        self.len() == other.len() && (0..self.len()).all(|i| self.value(i) == other.value(i))
+    }
+}
+
+// ----------------------------------------------------------- ColumnBuilder
+
+enum BuildState {
+    /// Only NULLs seen so far; the first non-null value fixes the layout.
+    Untyped {
+        nulls: usize,
+    },
+    Int(TypedCol<i64>),
+    Float(TypedCol<f64>),
+    Str(TypedCol<Arc<str>>),
+    Date(TypedCol<i32>),
+    Bool(TypedCol<bool>),
+    Mixed(Vec<Value>),
+}
+
+/// Builds a `Column` one value at a time, inferring the layout: the first
+/// non-null value picks a typed vector; any later variant mismatch degrades
+/// the whole column to `Mixed` (value sequence preserved exactly).
+pub struct ColumnBuilder {
+    state: BuildState,
+    cap: usize,
+}
+
+impl Default for ColumnBuilder {
+    fn default() -> Self {
+        ColumnBuilder::new()
+    }
+}
+
+impl ColumnBuilder {
+    pub fn new() -> ColumnBuilder {
+        ColumnBuilder::with_capacity(0)
+    }
+
+    pub fn with_capacity(cap: usize) -> ColumnBuilder {
+        ColumnBuilder {
+            state: BuildState::Untyped { nulls: 0 },
+            cap,
+        }
+    }
+
+    /// Start a typed column of `ty` with `nulls` leading NULL slots.
+    fn typed_with_leading_nulls<T: Clone + Default>(cap: usize, nulls: usize) -> TypedCol<T> {
+        let mut c = TypedCol::with_capacity(cap.max(nulls));
+        for _ in 0..nulls {
+            c.push_null();
+        }
+        c
+    }
+
+    /// Degrade the current typed state to `Mixed`, preserving every value.
+    fn degrade(&mut self) -> &mut Vec<Value> {
+        let values: Vec<Value> = match &self.state {
+            BuildState::Untyped { nulls } => vec![Value::Null; *nulls],
+            BuildState::Int(c) => (0..c.len())
+                .map(|i| c.get(i).map_or(Value::Null, |v| Value::Int(*v)))
+                .collect(),
+            BuildState::Float(c) => (0..c.len())
+                .map(|i| c.get(i).map_or(Value::Null, |v| Value::Float(*v)))
+                .collect(),
+            BuildState::Str(c) => (0..c.len())
+                .map(|i| c.get(i).map_or(Value::Null, |v| Value::Str(v.clone())))
+                .collect(),
+            BuildState::Date(c) => (0..c.len())
+                .map(|i| c.get(i).map_or(Value::Null, |v| Value::Date(*v)))
+                .collect(),
+            BuildState::Bool(c) => (0..c.len())
+                .map(|i| c.get(i).map_or(Value::Null, |v| Value::Bool(*v)))
+                .collect(),
+            BuildState::Mixed(_) => unreachable!("already mixed"),
+        };
+        self.state = BuildState::Mixed(values);
+        match &mut self.state {
+            BuildState::Mixed(v) => v,
+            _ => unreachable!(),
+        }
+    }
+
+    pub fn push(&mut self, v: Value) {
+        match (&mut self.state, v) {
+            (BuildState::Untyped { nulls }, Value::Null) => *nulls += 1,
+            (BuildState::Untyped { nulls }, v) => {
+                let n = *nulls;
+                let cap = self.cap;
+                self.state = match v {
+                    Value::Int(x) => {
+                        let mut c = Self::typed_with_leading_nulls(cap, n);
+                        c.push(x);
+                        BuildState::Int(c)
+                    }
+                    Value::Float(x) => {
+                        let mut c = Self::typed_with_leading_nulls(cap, n);
+                        c.push(x);
+                        BuildState::Float(c)
+                    }
+                    Value::Str(x) => {
+                        let mut c = Self::typed_with_leading_nulls(cap, n);
+                        c.push(x);
+                        BuildState::Str(c)
+                    }
+                    Value::Date(x) => {
+                        let mut c = Self::typed_with_leading_nulls(cap, n);
+                        c.push(x);
+                        BuildState::Date(c)
+                    }
+                    Value::Bool(x) => {
+                        let mut c = Self::typed_with_leading_nulls(cap, n);
+                        c.push(x);
+                        BuildState::Bool(c)
+                    }
+                    Value::Null => unreachable!("handled above"),
+                };
+            }
+            (BuildState::Int(c), Value::Int(x)) => c.push(x),
+            (BuildState::Int(c), Value::Null) => c.push_null(),
+            (BuildState::Float(c), Value::Float(x)) => c.push(x),
+            (BuildState::Float(c), Value::Null) => c.push_null(),
+            (BuildState::Str(c), Value::Str(x)) => c.push(x),
+            (BuildState::Str(c), Value::Null) => c.push_null(),
+            (BuildState::Date(c), Value::Date(x)) => c.push(x),
+            (BuildState::Date(c), Value::Null) => c.push_null(),
+            (BuildState::Bool(c), Value::Bool(x)) => c.push(x),
+            (BuildState::Bool(c), Value::Null) => c.push_null(),
+            (BuildState::Mixed(vals), v) => vals.push(v),
+            (_, v) => self.degrade().push(v),
+        }
+    }
+
+    pub fn finish(self) -> Column {
+        match self.state {
+            // All-NULL (or empty) columns carry no type evidence.
+            BuildState::Untyped { nulls } => Column::Mixed(Arc::new(vec![Value::Null; nulls])),
+            BuildState::Int(c) => Column::Int(Arc::new(c)),
+            BuildState::Float(c) => Column::Float(Arc::new(c)),
+            BuildState::Str(c) => Column::Str(Arc::new(c)),
+            BuildState::Date(c) => Column::Date(Arc::new(c)),
+            BuildState::Bool(c) => Column::Bool(Arc::new(c)),
+            BuildState::Mixed(v) => Column::Mixed(Arc::new(v)),
+        }
+    }
+}
+
+// ------------------------------------------------------------- SchemaIndex
+
+/// Pre-lowered column-name → position map. Built once per relation schema;
+/// every later lookup is a single hash probe (no per-call lowering when the
+/// query name is already lowercase, which TPC-H names are).
+#[derive(Debug, Clone, Default)]
+pub struct SchemaIndex {
+    map: HashMap<String, usize>,
+}
+
+impl SchemaIndex {
+    /// First occurrence wins, matching positional `.position()` resolution.
+    pub fn build<'a>(names: impl IntoIterator<Item = &'a str>) -> SchemaIndex {
+        let mut map = HashMap::new();
+        for (i, n) in names.into_iter().enumerate() {
+            map.entry(n.to_ascii_lowercase()).or_insert(i);
+        }
+        SchemaIndex { map }
+    }
+
+    pub fn get(&self, name: &str) -> Option<usize> {
+        if name.bytes().any(|b| b.is_ascii_uppercase()) {
+            self.map.get(&name.to_ascii_lowercase()).copied()
+        } else {
+            self.map.get(name).copied()
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_stays_typed_and_roundtrips() {
+        let vals = vec![Value::Null, Value::Int(3), Value::Null, Value::Int(-1)];
+        let col = Column::from_values(vals.clone());
+        assert!(col.as_int().is_some());
+        assert_eq!(col.iter().collect::<Vec<_>>(), vals);
+        assert_eq!(col.as_int().unwrap().nulls.count_ones(), 2);
+    }
+
+    #[test]
+    fn builder_degrades_to_mixed_on_variant_mismatch() {
+        let vals = vec![Value::Int(1), Value::Float(2.5), Value::Null];
+        let col = Column::from_values(vals.clone());
+        assert!(col.is_mixed());
+        assert_eq!(col.iter().collect::<Vec<_>>(), vals);
+    }
+
+    #[test]
+    fn all_null_column_is_mixed() {
+        let col = Column::from_values(vec![Value::Null, Value::Null]);
+        assert!(col.is_mixed());
+        assert!(col.is_null(0) && col.is_null(1));
+    }
+
+    #[test]
+    fn wire_bytes_match_row_major_model() {
+        let vals = vec![Value::str("xy"), Value::Null, Value::str("")];
+        let col = Column::from_values(vals.clone());
+        let expect: u64 = vals.iter().map(Value::wire_size).sum();
+        assert_eq!(col.wire_bytes(), expect); // 6 + 1 + 4
+        let ints = Column::from_values(vec![Value::Int(1), Value::Null]);
+        assert_eq!(ints.wire_bytes(), 9);
+    }
+
+    #[test]
+    fn gather_and_head_preserve_values() {
+        let col = Column::from_values(vec![
+            Value::Date(10),
+            Value::Null,
+            Value::Date(-3),
+            Value::Date(7),
+        ]);
+        let g = col.gather(&[2, 0, 1]);
+        assert_eq!(
+            g.iter().collect::<Vec<_>>(),
+            vec![Value::Date(-3), Value::Date(10), Value::Null]
+        );
+        let h = col.head(2);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.value(1), Value::Null);
+    }
+
+    #[test]
+    fn cmp_rows_matches_total_cmp() {
+        let vals = vec![
+            Value::Float(1.5),
+            Value::Null,
+            Value::Float(f64::NAN),
+            Value::Float(-2.0),
+        ];
+        let col = Column::from_values(vals.clone());
+        for i in 0..vals.len() {
+            for j in 0..vals.len() {
+                assert_eq!(
+                    col.cmp_rows(i, j),
+                    vals[i].total_cmp(&vals[j]),
+                    "rows {i},{j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn schema_index_is_case_insensitive_first_wins() {
+        let idx = SchemaIndex::build(["A", "b", "a"]);
+        assert_eq!(idx.get("a"), Some(0));
+        assert_eq!(idx.get("A"), Some(0));
+        assert_eq!(idx.get("B"), Some(1));
+        assert_eq!(idx.get("nope"), None);
+    }
+}

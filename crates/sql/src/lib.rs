@@ -14,6 +14,7 @@
 pub mod algebra;
 pub mod ast;
 pub mod bind;
+pub mod column;
 pub mod display;
 pub mod lexer;
 pub mod optimize;
@@ -22,6 +23,7 @@ pub mod stats;
 pub mod value;
 
 pub use ast::{Expr, SelectStmt, Statement};
+pub use column::{Bitmap, Column, ColumnBuilder, SchemaIndex, TypedCol};
 pub use display::Dialect;
 pub use parser::{parse_expr, parse_script, parse_select, parse_statement, ParseError};
 pub use value::{DataType, Value};

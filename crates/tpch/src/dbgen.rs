@@ -465,11 +465,11 @@ mod tests {
     fn generation_is_deterministic() {
         let a = gen().table(TpchTable::Orders);
         let b = gen().table(TpchTable::Orders);
-        assert_eq!(a.rows[0], b.rows[0]);
-        assert_eq!(a.rows[a.len() - 1], b.rows[b.len() - 1]);
+        assert_eq!(a.row(0), b.row(0));
+        assert_eq!(a.row(a.len() - 1), b.row(b.len() - 1));
         // Different seed → different data.
         let c = TpchGen::with_seed(0.01, 7).table(TpchTable::Orders);
-        assert_ne!(a.rows[0], c.rows[0]);
+        assert_ne!(a.row(0), c.row(0));
     }
 
     #[test]
@@ -488,17 +488,17 @@ mod tests {
     fn foreign_keys_are_in_range() {
         let g = gen();
         let customers = g.customers() as i64;
-        for row in &g.table(TpchTable::Orders).rows {
+        for row in g.table(TpchTable::Orders).rows() {
             let ck = row[1].as_int().unwrap();
             assert!((1..=customers).contains(&ck));
         }
         let parts = g.parts() as i64;
         let supps = g.suppliers() as i64;
-        for row in g.table(TpchTable::Lineitem).rows.iter().take(5000) {
+        for row in g.table(TpchTable::Lineitem).rows().take(5000) {
             assert!((1..=parts).contains(&row[1].as_int().unwrap()));
             assert!((1..=supps).contains(&row[2].as_int().unwrap()));
         }
-        for row in &g.table(TpchTable::Nation).rows {
+        for row in g.table(TpchTable::Nation).rows() {
             assert!((0..5).contains(&row[2].as_int().unwrap()));
         }
     }
@@ -508,11 +508,10 @@ mod tests {
         let g = gen();
         let orders = g.table(TpchTable::Orders);
         let odate: std::collections::HashMap<i64, i32> = orders
-            .rows
-            .iter()
+            .rows()
             .map(|r| (r[0].as_int().unwrap(), r[4].as_date().unwrap()))
             .collect();
-        for row in g.table(TpchTable::Lineitem).rows.iter().take(5000) {
+        for row in g.table(TpchTable::Lineitem).rows().take(5000) {
             let o = row[0].as_int().unwrap();
             let ship = row[10].as_date().unwrap();
             let receipt = row[12].as_date().unwrap();
@@ -526,8 +525,7 @@ mod tests {
         let g = gen();
         let parts = g.table(TpchTable::Part);
         let green = parts
-            .rows
-            .iter()
+            .rows()
             .filter(|r| r[1].as_str().unwrap().contains("green"))
             .count();
         let frac = green as f64 / parts.len() as f64;
@@ -539,8 +537,7 @@ mod tests {
         let g = gen();
         let parts = g.table(TpchTable::Part);
         assert!(parts
-            .rows
-            .iter()
+            .rows()
             .any(|r| r[4].as_str().unwrap() == "ECONOMY ANODIZED STEEL"));
     }
 
@@ -549,8 +546,7 @@ mod tests {
         let g = gen();
         let customers = g.table(TpchTable::Customer);
         let building = customers
-            .rows
-            .iter()
+            .rows()
             .filter(|r| r[6].as_str().unwrap() == "BUILDING")
             .count();
         assert!(building > 100);
@@ -562,7 +558,7 @@ mod tests {
         let ps = g.table(TpchTable::PartSupp);
         let mut by_part: std::collections::HashMap<i64, std::collections::HashSet<i64>> =
             std::collections::HashMap::new();
-        for row in &ps.rows {
+        for row in ps.rows() {
             by_part
                 .entry(row[0].as_int().unwrap())
                 .or_default()

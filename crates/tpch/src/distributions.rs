@@ -217,7 +217,7 @@ mod tests {
         let (rel, _) = cluster
             .query("db1", "SELECT count(*) AS n FROM lineitem")
             .unwrap();
-        assert!(rel.rows[0][0].as_int().unwrap() > 0);
+        assert!(rel.value(0, 0).as_int().unwrap() > 0);
         // customer lives on db2, not db1.
         assert!(cluster
             .query("db1", "SELECT count(*) FROM customer")

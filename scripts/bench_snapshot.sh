@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Run the executor-kernel micro-benchmarks and snapshot the results into
+# BENCH_exec.json at the repo root, so successive PRs accumulate a perf
+# trajectory for the columnar kernels. Usage: scripts/bench_snapshot.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_exec.json
+raw=$(cargo bench -q -p xdb-bench --bench exec_kernels 2>&1 | grep 'time:' || true)
+if [ -z "$raw" ]; then
+  echo "bench_snapshot: no timings in bench output" >&2
+  exit 1
+fi
+
+{
+  echo '{'
+  echo '  "bench": "exec_kernels",'
+  echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+  echo "  \"commit\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
+  echo '  "unit": "ms",'
+  echo '  "results": ['
+  echo "$raw" | awk '
+    function to_ms(v, u) {
+      if (u == "s")  return v * 1000
+      if (u == "ms") return v
+      if (u ~ /^(µs|us)$/) return v / 1000
+      return v / 1000000  # ns
+    }
+    {
+      name = $1
+      sub(/^exec_kernels\//, "", name)
+      # line tail: time: [<min> <u> <med> <u> <max> <u>]
+      match($0, /\[[^]]*\]/)
+      split(substr($0, RSTART + 1, RLENGTH - 2), t, " ")
+      printf "%s    {\"name\": \"%s\", \"min\": %.4f, \"median\": %.4f, \"max\": %.4f}", \
+        (NR > 1 ? ",\n" : ""), name, \
+        to_ms(t[1], t[2]), to_ms(t[3], t[4]), to_ms(t[5], t[6])
+    }
+    END { print "" }
+  '
+  echo '  ]'
+  echo '}'
+} > "$out"
+
+echo "wrote $out:"
+cat "$out"

@@ -16,3 +16,10 @@ cargo run --release -q -p xdb-bench --bin repro -- \
   --out target/tier1-smoke-report.txt
 cargo run --release -q -p xdb-bench --bin repro -- \
   --check-trace target/tier1-smoke.trace.json
+
+# Columnar smoke test: the partition-parallel columnar executor must be
+# byte-identical to the fully sequential engine (XDB_SEQUENTIAL pins both
+# the task scheduler and the engines to one partition).
+XDB_SEQUENTIAL=1 cargo run --release -q -p xdb-bench --bin repro -- \
+  --sf 0.002 fig9 --out target/tier1-smoke-seq.txt
+cmp target/tier1-smoke-report.txt target/tier1-smoke-seq.txt

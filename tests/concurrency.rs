@@ -142,6 +142,51 @@ fn parallel_execution_is_observationally_equivalent_to_sequential() {
 }
 
 #[test]
+fn partitioned_kernels_match_sequential_under_the_parallel_scheduler() {
+    // Engine-level partition parallelism composes with the task-level
+    // parallel scheduler: at any partition count the decentralized results,
+    // transfer ledgers, and simulated timings are exactly those of the
+    // fully sequential kernels.
+    for td in [TableDist::Td1, TableDist::Td2] {
+        for q in [TpchQuery::Q3, TpchQuery::Q5, TpchQuery::Q8] {
+            let run = |partitions: usize| {
+                let cluster = build_cluster(
+                    td,
+                    SF,
+                    Scenario::OnPremise,
+                    &ProfileAssignment::uniform(EngineProfile::postgres()),
+                )
+                .unwrap();
+                cluster.set_exec_partitions(partitions);
+                let catalog = GlobalCatalog::discover(&cluster).unwrap();
+                let xdb = Xdb::new(&cluster, &catalog).with_options(XdbOptions {
+                    parallel_execution: true,
+                    ..Default::default()
+                });
+                let outcome = xdb.submit(q.sql()).unwrap();
+                let bytes = cluster.ledger.total_bytes();
+                let rows = cluster.ledger.total_rows();
+                (outcome, bytes, rows)
+            };
+            let (one, one_bytes, one_rows) = run(1);
+            for parts in [2usize, 8] {
+                let (par, par_bytes, par_rows) = run(parts);
+                assert_eq!(
+                    par.relation,
+                    one.relation,
+                    "{} on {td:?}: partitions={parts} changed the result",
+                    q.name()
+                );
+                assert_eq!(par_bytes, one_bytes);
+                assert_eq!(par_rows, one_rows);
+                assert_eq!(par.breakdown.exec_ms, one.breakdown.exec_ms);
+                assert_eq!(par.breakdown.total_ms(), one.breakdown.total_ms());
+            }
+        }
+    }
+}
+
+#[test]
 fn one_client_is_safe_across_threads_too() {
     // A single Xdb instance (one shared query-id counter) used from many
     // threads must still hand out unique object names.

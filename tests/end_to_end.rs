@@ -121,11 +121,11 @@ fn ordered_queries_preserve_order_through_delegation() {
         let expected = oracle(q.sql());
         let got = xdb.submit(q.sql()).unwrap().relation;
         assert_eq!(got.len(), expected.len());
-        for (i, (g, e)) in got.rows.iter().zip(expected.rows.iter()).enumerate() {
+        for (i, (g, e)) in got.rows().zip(expected.rows()).enumerate() {
             // Compare sort keys loosely (floats) via the bag helper on a
             // single-row relation.
-            let gr = Relation::new(got.fields.clone(), vec![g.clone()]);
-            let er = Relation::new(expected.fields.clone(), vec![e.clone()]);
+            let gr = Relation::new(got.fields.clone(), vec![g]);
+            let er = Relation::new(expected.fields.clone(), vec![e]);
             assert!(gr.same_bag(&er), "{} row {i} out of order", q.name());
         }
     }

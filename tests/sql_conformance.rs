@@ -348,9 +348,9 @@ fn conformance_on_single_engine() {
         );
         // Ordered queries must match row-for-row, not just as bags.
         if sql.to_ascii_uppercase().contains("ORDER BY") {
-            for (a, b) in rel.rows.iter().zip(exp.rows.iter()) {
-                let ra = Relation::new(rel.fields.clone(), vec![a.clone()]);
-                let rb = Relation::new(rel.fields.clone(), vec![b.clone()]);
+            for (a, b) in rel.rows().zip(exp.rows()) {
+                let ra = Relation::new(rel.fields.clone(), vec![a]);
+                let rb = Relation::new(rel.fields.clone(), vec![b]);
                 assert!(ra.same_bag(&rb), "{what}: order mismatch\n{sql}");
             }
         }

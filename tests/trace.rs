@@ -156,6 +156,55 @@ fn parallel_and_sequential_traces_are_bit_identical() {
 }
 
 #[test]
+fn partitioned_kernels_are_invisible_in_traces() {
+    // The partition-parallel join/aggregation kernels must not leave any
+    // observable mark: span trees, counters, Chrome exports, breakdowns,
+    // and the result relation itself are bit-identical at any partition
+    // count, because partitioning preserves row order and every simulated
+    // cost is accounted identically.
+    for (td, q) in [
+        (TableDist::Td1, TpchQuery::Q3),
+        (TableDist::Td3, TpchQuery::Q8),
+    ] {
+        let run = |partitions: usize| {
+            let (cluster, catalog) = federation(td);
+            cluster.set_exec_partitions(partitions);
+            let xdb = Xdb::new(&cluster, &catalog).with_options(XdbOptions {
+                parallel_execution: true,
+                trace_operators: true,
+                ..Default::default()
+            });
+            let out = xdb.submit(q.sql()).unwrap();
+            (out.trace, out.breakdown, out.relation)
+        };
+        let (t1, b1, r1) = run(1);
+        for parts in [2usize, 8] {
+            let (t, b, r) = run(parts);
+            assert_eq!(
+                r1,
+                r,
+                "{} {}: results diverge at partitions={parts}",
+                td.name(),
+                q.name()
+            );
+            assert_eq!(
+                normalize_query_ids(&t1.canonical()),
+                normalize_query_ids(&t.canonical()),
+                "{} {}: span trees diverge at partitions={parts}",
+                td.name(),
+                q.name()
+            );
+            assert_eq!(t1.metrics().counters, t.metrics().counters);
+            assert_eq!(
+                normalize_query_ids(&t1.to_chrome_json()),
+                normalize_query_ids(&t.to_chrome_json())
+            );
+            assert_eq!(b1, b);
+        }
+    }
+}
+
+#[test]
 fn plan_and_submit_consult_accounting_agree() {
     // Two identically-seeded federations: planning alone must account the
     // same consult roundtrips and cache hits/misses as the full submit.

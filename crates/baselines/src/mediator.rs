@@ -127,6 +127,32 @@ impl<'a> Mediator<'a> {
         &self.config
     }
 
+    /// Coarse fleet telemetry for one MW submission — emitted once from
+    /// the (single-threaded) tail of `submit`, so it is deterministic.
+    fn note_submit(&self, total_ms: f64, fetch_bytes: u64, subqueries: usize) {
+        let telemetry = self.cluster.telemetry();
+        let labels = [("system", self.config.name)];
+        telemetry.metrics.observe("mw.total_ms", &labels, total_ms);
+        telemetry.metrics.counter_add("mw.queries", &labels, 1.0);
+        telemetry
+            .metrics
+            .counter_add("mw.fetch_bytes", &labels, fetch_bytes as f64);
+        let bytes = fetch_bytes.to_string();
+        let subs = subqueries.to_string();
+        telemetry.events.log(
+            xdb_obs::Level::Info,
+            "baselines.mediator",
+            None,
+            total_ms,
+            "mediator query completed",
+            &[
+                ("system", self.config.name),
+                ("fetch_bytes", &bytes),
+                ("subqueries", &subs),
+            ],
+        );
+    }
+
     /// Decompose a query into the MW plan: sub-query tasks + mediator
     /// residual.
     pub fn decompose(&self, sql: &str) -> Result<DelegationPlan> {
@@ -295,6 +321,7 @@ impl<'a> Mediator<'a> {
             collector.add("fetch.bytes", bytes as f64);
             collector.add("fetch.rows", rel.len() as f64);
             collector.add("subqueries", 1.0);
+            self.note_submit(total_ms, bytes, 1);
             return Ok(MwReport {
                 total_ms,
                 transfer_ms: transfer,
@@ -389,6 +416,7 @@ impl<'a> Mediator<'a> {
         collector.add("fetch.bytes", fetch_bytes as f64);
         collector.add("fetch.rows", fetch_rows as f64);
         collector.add("subqueries", subqueries as f64);
+        self.note_submit(total_ms, fetch_bytes, subqueries);
         Ok(MwReport {
             relation,
             total_ms,

@@ -205,6 +205,25 @@ impl<'a> Sclera<'a> {
         collector.set_dur(query_span, total_ms);
         collector.add("moved.bytes", moved_bytes as f64);
         collector.add("tasks", plan.tasks.len() as f64);
+        // Coarse fleet telemetry (serial executor: deterministic by
+        // construction).
+        let telemetry = self.cluster.telemetry();
+        let labels = [("system", "sclera")];
+        telemetry.metrics.observe("mw.total_ms", &labels, total_ms);
+        telemetry.metrics.counter_add("mw.queries", &labels, 1.0);
+        telemetry
+            .metrics
+            .counter_add("mw.fetch_bytes", &labels, moved_bytes as f64);
+        let bytes = moved_bytes.to_string();
+        let tasks = plan.tasks.len().to_string();
+        telemetry.events.log(
+            xdb_obs::Level::Info,
+            "baselines.sclera",
+            None,
+            total_ms,
+            "sclera query completed",
+            &[("moved_bytes", &bytes), ("tasks", &tasks)],
+        );
         Ok(ScleraReport {
             relation: result.ok_or_else(|| EngineError::Execution("no root output".into()))?,
             total_ms,

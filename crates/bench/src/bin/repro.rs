@@ -11,20 +11,44 @@
 //!                                # six-query TD1 workload (open in
 //!                                # chrome://tracing or ui.perfetto.dev)
 //! repro --check-trace out.json   # validate a previously emitted trace
+//! repro --log events.jsonl fig9  # export the structured event log of the
+//!                                # run as JSON lines
+//! repro monitor --runs 3         # fleet workload monitor: per-query ×
+//!                                # per-deployment latency/bytes/cache
+//!                                # dashboard; --metrics prom.txt and
+//!                                # --json monitor.json add Prometheus
+//!                                # and JSON exports
+//! repro gate --monitor-baseline BENCH_monitor.json \
+//!            --exec-baseline BENCH_exec.json --exec-current cur.json
+//!                                # regression gate: exit 1 on threshold
+//!                                # breach (scripts/bench_gate.sh)
 //! ```
 
 use std::io::Write;
 use xdb_bench::experiments as exp;
+use xdb_bench::{gate, monitor};
 use xdb_obs::json;
 use xdb_tpch::{TableDist, TpchQuery};
 
 fn main() {
+    // Escape hatch for overhead measurement: disable the always-on fleet
+    // telemetry (metrics registry + event log) entirely.
+    if std::env::var_os("XDB_TELEMETRY_OFF").is_some() {
+        xdb_obs::telemetry::global().set_enabled(false);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut sf = 0.05f64;
+    let mut runs = 3usize;
     let mut targets: Vec<String> = Vec::new();
     let mut trace_path: Option<String> = None;
     let mut out_path: Option<String> = None;
     let mut check_path: Option<String> = None;
+    let mut log_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut exec_baseline: Option<String> = None;
+    let mut exec_current: Option<String> = None;
+    let mut monitor_baseline: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -34,10 +58,28 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--sf takes a number");
             }
+            "--runs" => {
+                runs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--runs takes a count");
+            }
             "--trace" => trace_path = Some(it.next().expect("--trace takes a file path")),
             "--out" => out_path = Some(it.next().expect("--out takes a file path")),
             "--check-trace" => {
                 check_path = Some(it.next().expect("--check-trace takes a file path"));
+            }
+            "--log" => log_path = Some(it.next().expect("--log takes a file path")),
+            "--metrics" => metrics_path = Some(it.next().expect("--metrics takes a file path")),
+            "--json" => json_path = Some(it.next().expect("--json takes a file path")),
+            "--exec-baseline" => {
+                exec_baseline = Some(it.next().expect("--exec-baseline takes a file path"));
+            }
+            "--exec-current" => {
+                exec_current = Some(it.next().expect("--exec-current takes a file path"));
+            }
+            "--monitor-baseline" => {
+                monitor_baseline = Some(it.next().expect("--monitor-baseline takes a file path"));
             }
             _ => targets.push(a.to_ascii_lowercase()),
         }
@@ -46,10 +88,16 @@ fn main() {
         check_trace(&path);
         return;
     }
+    if targets.iter().any(|t| t == "gate") {
+        run_gate(exec_baseline, exec_current, monitor_baseline);
+        return;
+    }
     if targets.is_empty() && trace_path.is_none() {
         eprintln!(
-            "usage: repro [--sf X] [--out report.txt] [--trace out.json] \
+            "usage: repro [--sf X] [--out report.txt] [--trace out.json] [--log events.jsonl] \
              <all|fig1|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table2|table3|table4|ablations>\n\
+             \x20      repro [--sf X] [--runs N] [--metrics prom.txt] [--json monitor.json] monitor\n\
+             \x20      repro gate [--exec-baseline B --exec-current C] [--monitor-baseline B]\n\
              \x20      repro --check-trace out.json"
         );
         std::process::exit(2);
@@ -143,6 +191,20 @@ fn main() {
         write!(out, "{}", exp::ablation_bushy(sf).expect("a4").render()).unwrap();
         writeln!(out).unwrap();
     }
+    // `monitor` is deliberately not part of `all`: it re-runs the whole
+    // workload N times and has its own output formats.
+    if targets.iter().any(|t| t == "monitor") {
+        let report = monitor::run_monitor(sf, runs).expect("monitor workload");
+        write!(out, "{}", report.render_dashboard()).unwrap();
+        if let Some(path) = &metrics_path {
+            std::fs::write(path, report.render_prometheus()).expect("write --metrics file");
+            eprintln!("(metrics: Prometheus exposition -> {path})");
+        }
+        if let Some(path) = &json_path {
+            std::fs::write(path, report.to_json()).expect("write --json file");
+            eprintln!("(monitor JSON -> {path})");
+        }
+    }
     if let Some(path) = trace_path {
         let trace = exp::trace_workload(sf).expect("trace workload");
         std::fs::write(&path, trace.to_chrome_json()).expect("write --trace file");
@@ -152,8 +214,78 @@ fn main() {
             trace.lanes().len()
         );
     }
+    if let Some(path) = log_path {
+        let events = xdb_obs::telemetry::global().events.to_jsonl();
+        let n = events.lines().count();
+        std::fs::write(&path, events).expect("write --log file");
+        eprintln!("(log: {n} structured events -> {path})");
+    }
     out.flush().unwrap();
     eprintln!("(repro finished in {:.1?})", t0.elapsed());
+}
+
+/// `repro gate`: compare fresh measurements against checked-in baselines;
+/// exit 1 when any gated series regressed past its threshold. The exec
+/// gate compares two snapshot files (the current one is produced by
+/// `scripts/bench_gate.sh` re-running the criterion bench); the monitor
+/// gate re-runs the deterministic monitor workload at the baseline's own
+/// sf/runs and compares in-process.
+fn run_gate(
+    exec_baseline: Option<String>,
+    exec_current: Option<String>,
+    monitor_baseline: Option<String>,
+) {
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("gate: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let parse = |what: &str, r: Result<std::collections::BTreeMap<String, f64>, String>| {
+        r.unwrap_or_else(|e| {
+            eprintln!("gate: bad {what} snapshot: {e}");
+            std::process::exit(2);
+        })
+    };
+    let mut ran = false;
+    let mut passed = true;
+    if let Some(base_path) = exec_baseline {
+        let cur_path = exec_current.unwrap_or_else(|| {
+            eprintln!("gate: --exec-baseline requires --exec-current");
+            std::process::exit(2);
+        });
+        let base = parse(
+            "exec baseline",
+            gate::parse_exec_snapshot(&read(&base_path)),
+        );
+        let cur = parse("exec current", gate::parse_exec_snapshot(&read(&cur_path)));
+        let report = gate::compare("exec_kernels", &base, &cur, gate::EXEC_THRESHOLD_PCT);
+        print!("{}", report.render());
+        passed &= report.passed();
+        ran = true;
+    }
+    if let Some(base_path) = monitor_baseline {
+        let text = read(&base_path);
+        let base = parse("monitor baseline", gate::parse_monitor_snapshot(&text));
+        // Re-run at the baseline's own parameters so the series line up.
+        let doc = json::parse(&text).expect("monitor baseline re-parse");
+        let sf = doc.get("sf").and_then(json::Value::as_f64).unwrap_or(0.002);
+        let runs = doc.get("runs").and_then(json::Value::as_f64).unwrap_or(2.0) as usize;
+        let current = monitor::run_monitor(sf, runs)
+            .expect("monitor workload")
+            .flat_values();
+        let report = gate::compare("monitor", &base, &current, gate::MONITOR_THRESHOLD_PCT);
+        print!("{}", report.render());
+        passed &= report.passed();
+        ran = true;
+    }
+    if !ran {
+        eprintln!("gate: nothing to compare — pass --exec-baseline/--exec-current and/or --monitor-baseline");
+        std::process::exit(2);
+    }
+    if !passed {
+        std::process::exit(1);
+    }
 }
 
 /// Validate a Chrome-trace JSON file emitted by `--trace`: it must parse,

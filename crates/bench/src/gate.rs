@@ -1,0 +1,259 @@
+//! Bench regression gate: compare a current measurement set against a
+//! checked-in baseline (`BENCH_exec.json` for the wall-clock kernel
+//! micro-benchmarks, `BENCH_monitor.json` for the deterministic simulated
+//! monitor workload) and fail when any series regressed past its
+//! threshold.
+//!
+//! Two kinds of series, two thresholds:
+//!
+//! * **Wall-clock** kernel medians are noisy (shared CI hosts, thermal
+//!   variance), so the exec gate defaults to a generous 50% slack — it
+//!   catches order-of-magnitude regressions, not single-digit drift.
+//! * **Simulated** monitor values are bit-deterministic, so the monitor
+//!   gate defaults to 0.5% slack: any behavioural change that moves
+//!   latency or bytes must re-baseline explicitly.
+//!
+//! Driven by `repro gate` (see `scripts/bench_gate.sh`); all comparisons
+//! treat *higher is worse* — every gated series is a latency or a byte
+//! count.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use xdb_obs::json;
+
+/// Default slack for wall-clock criterion medians (percent).
+pub const EXEC_THRESHOLD_PCT: f64 = 50.0;
+/// Default slack for deterministic simulated monitor values (percent).
+pub const MONITOR_THRESHOLD_PCT: f64 = 0.5;
+
+/// One gated series.
+#[derive(Debug, Clone)]
+pub struct GateCheck {
+    pub name: String,
+    pub baseline: f64,
+    pub current: f64,
+    /// Relative change in percent; positive = slower / more bytes.
+    pub delta_pct: f64,
+    pub regressed: bool,
+}
+
+/// Outcome of comparing one measurement set against its baseline.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    pub label: String,
+    pub threshold_pct: f64,
+    pub checks: Vec<GateCheck>,
+    /// Baseline series missing from the current measurement — treated as
+    /// failures so a silently dropped benchmark cannot pass the gate.
+    pub missing: Vec<String>,
+}
+
+impl GateReport {
+    pub fn passed(&self) -> bool {
+        self.missing.is_empty() && self.checks.iter().all(|c| !c.regressed)
+    }
+
+    pub fn regressions(&self) -> Vec<&GateCheck> {
+        self.checks.iter().filter(|c| c.regressed).collect()
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== gate: {} (threshold +{}%) ==",
+            self.label, self.threshold_pct
+        );
+        for c in &self.checks {
+            let _ = writeln!(
+                out,
+                "{} {:<32} baseline {:>12.4}  current {:>12.4}  {:>+8.2}%",
+                if c.regressed { "FAIL" } else { " ok " },
+                c.name,
+                c.baseline,
+                c.current,
+                c.delta_pct
+            );
+        }
+        for m in &self.missing {
+            let _ = writeln!(out, "FAIL {m:<32} missing from current measurement");
+        }
+        let _ = writeln!(
+            out,
+            "gate: {} — {}/{} series within +{}%{}",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.checks.iter().filter(|c| !c.regressed).count(),
+            self.checks.len(),
+            self.threshold_pct,
+            if self.missing.is_empty() {
+                String::new()
+            } else {
+                format!(", {} missing", self.missing.len())
+            }
+        );
+        out
+    }
+}
+
+/// Compare `current` against `baseline`: a series regresses when it grew
+/// past `threshold_pct` percent. Series present only in `current` (newly
+/// added benchmarks) pass silently; series present only in `baseline`
+/// fail as missing.
+pub fn compare(
+    label: &str,
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+    threshold_pct: f64,
+) -> GateReport {
+    let mut checks = Vec::new();
+    let mut missing = Vec::new();
+    for (name, &base) in baseline {
+        let Some(&cur) = current.get(name) else {
+            missing.push(name.clone());
+            continue;
+        };
+        let delta_pct = if base.abs() > f64::EPSILON {
+            100.0 * (cur - base) / base
+        } else if cur.abs() > f64::EPSILON {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        checks.push(GateCheck {
+            name: name.clone(),
+            baseline: base,
+            current: cur,
+            delta_pct,
+            regressed: delta_pct > threshold_pct,
+        });
+    }
+    GateReport {
+        label: label.to_string(),
+        threshold_pct,
+        checks,
+        missing,
+    }
+}
+
+/// Parse a `BENCH_exec.json`-shaped snapshot
+/// (`{"results": [{"name", "median", ...}]}`) into `name -> median ms`.
+pub fn parse_exec_snapshot(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let value = json::parse(text)?;
+    let results = value
+        .get("results")
+        .and_then(json::Value::as_array)
+        .ok_or_else(|| "snapshot has no results array".to_string())?;
+    let mut out = BTreeMap::new();
+    for r in results {
+        let name = r
+            .get("name")
+            .and_then(json::Value::as_str)
+            .ok_or_else(|| "result entry without name".to_string())?;
+        let median = r
+            .get("median")
+            .and_then(json::Value::as_f64)
+            .ok_or_else(|| format!("result {name:?} without numeric median"))?;
+        out.insert(name.to_string(), median);
+    }
+    if out.is_empty() {
+        return Err("snapshot has an empty results array".to_string());
+    }
+    Ok(out)
+}
+
+/// Parse a `BENCH_monitor.json`-shaped snapshot (`{"values": {...}}`,
+/// as emitted by [`crate::monitor::MonitorReport::to_json`]) into a flat
+/// `key -> value` map.
+pub fn parse_monitor_snapshot(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let value = json::parse(text)?;
+    let Some(json::Value::Object(pairs)) = value.get("values") else {
+        return Err("snapshot has no values object".to_string());
+    };
+    let mut out = BTreeMap::new();
+    for (k, v) in pairs {
+        let n = v
+            .as_f64()
+            .ok_or_else(|| format!("value {k:?} is not a number"))?;
+        out.insert(k.clone(), n);
+    }
+    if out.is_empty() {
+        return Err("snapshot has an empty values object".to_string());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn passes_within_threshold_fails_beyond() {
+        let base = map(&[("a", 10.0), ("b", 20.0)]);
+        let cur = map(&[("a", 10.4), ("b", 29.0)]);
+        let report = compare("t", &base, &cur, 50.0);
+        assert!(report.passed(), "{}", report.render());
+        let report = compare("t", &base, &cur, 5.0);
+        assert!(!report.passed());
+        let regs = report.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "b");
+        assert!(report.render().contains("FAIL b"));
+    }
+
+    #[test]
+    fn improvements_and_new_series_pass() {
+        let base = map(&[("a", 10.0)]);
+        let cur = map(&[("a", 4.0), ("brand_new", 99.0)]);
+        let report = compare("t", &base, &cur, 0.5);
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.checks.len(), 1);
+    }
+
+    #[test]
+    fn missing_series_fail() {
+        let base = map(&[("a", 10.0), ("gone", 5.0)]);
+        let cur = map(&[("a", 10.0)]);
+        let report = compare("t", &base, &cur, 50.0);
+        assert!(!report.passed());
+        assert_eq!(report.missing, vec!["gone".to_string()]);
+    }
+
+    #[test]
+    fn parses_exec_snapshot_format() {
+        let text = r#"{
+          "bench": "exec_kernels", "unit": "ms",
+          "results": [
+            {"name": "filter_columnar", "min": 1.8, "median": 1.94, "max": 2.1},
+            {"name": "hash_join", "min": 3.0, "median": 3.5, "max": 4.0}
+          ]
+        }"#;
+        let m = parse_exec_snapshot(text).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m["filter_columnar"], 1.94);
+        assert!(parse_exec_snapshot("{}").is_err());
+    }
+
+    #[test]
+    fn parses_monitor_snapshot_format() {
+        let text =
+            r#"{"bench": "monitor", "values": {"Q3/xdb/p50_ms": 12.5, "Q3/xdb/mean_bytes": 1024}}"#;
+        let m = parse_monitor_snapshot(text).unwrap();
+        assert_eq!(m["Q3/xdb/p50_ms"], 12.5);
+        assert!(parse_monitor_snapshot(r#"{"values": {}}"#).is_err());
+    }
+
+    #[test]
+    fn monitor_roundtrips_through_gate() {
+        let report =
+            crate::monitor::run_monitor_with(0.002, 1, Some(xdb_obs::Telemetry::new_handle()))
+                .unwrap();
+        let baseline = parse_monitor_snapshot(&report.to_json()).unwrap();
+        let gate = compare("monitor", &baseline, &report.flat_values(), 0.5);
+        assert!(gate.passed(), "{}", gate.render());
+        assert_eq!(gate.checks.len(), baseline.len());
+    }
+}

@@ -3,11 +3,17 @@
 //! The reproduction harness: one runner per table/figure of the paper's
 //! evaluation ([`experiments`]), rendered as aligned text ([`report`]).
 //!
-//! Two entry points:
+//! Entry points:
 //! - `cargo run --release -p xdb-bench --bin repro -- <experiment|all>` —
 //!   regenerate the tables/figures (this is what EXPERIMENTS.md records);
+//! - `repro monitor --runs N` — the fleet workload monitor ([`monitor`]):
+//!   per-query × per-deployment latency/bytes/cache dashboards;
+//! - `repro gate` — the bench regression gate ([`gate`]), comparing fresh
+//!   measurements against `BENCH_exec.json` / `BENCH_monitor.json`;
 //! - `cargo bench -p xdb-bench` — Criterion benchmarks, one per
 //!   table/figure, timing each reproduction pipeline at a small scale.
 
 pub mod experiments;
+pub mod gate;
+pub mod monitor;
 pub mod report;

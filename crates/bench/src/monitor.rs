@@ -1,0 +1,393 @@
+//! `repro monitor` — the fleet workload monitor.
+//!
+//! Runs the six-query TPC-H workload N times under every deployment
+//! (XDB, Garlic, Presto-4, Sclera) against one TD1 federation and
+//! aggregates the fleet telemetry into per-query × per-deployment cells:
+//! latency quantiles (p50/p95/p99), bytes moved over the wire,
+//! consultation-cache hit rate, and the live-delegation-object high-water
+//! mark per engine. Three renderings: a text dashboard, a Prometheus text
+//! exposition, and a JSON export (the latter doubles as the regression-gate
+//! baseline, see [`crate::gate`]).
+//!
+//! Every number is taken off the simulated clock and the deterministic
+//! telemetry registry, so the whole report is bit-identical between the
+//! sequential and parallel executors and across repeated invocations.
+
+use crate::experiments::{env, Env, CLOUD};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use xdb_baselines::{Mediator, MediatorConfig, Sclera};
+use xdb_core::{Xdb, XdbOptions};
+use xdb_engine::error::{EngineError, Result};
+use xdb_engine::profile::EngineProfile;
+use xdb_net::{Purpose, Scenario};
+use xdb_obs::trace::{json_number, json_string};
+use xdb_obs::{Metric, MetricRegistry, Telemetry};
+use xdb_tpch::{ProfileAssignment, TableDist, TpchQuery};
+
+/// Deployment names, in dashboard order.
+pub const DEPLOYMENTS: [&str; 4] = ["xdb", "garlic", "presto4", "sclera"];
+
+/// One dashboard cell: a (query, deployment) pair aggregated over N runs.
+#[derive(Debug, Clone)]
+pub struct MonitorRow {
+    pub query: &'static str,
+    pub deployment: &'static str,
+    pub runs: u64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    /// Mean bytes moved between DBMSes (XDB) or into the mediator
+    /// (Garlic/Presto/Sclera) per run.
+    pub mean_bytes: f64,
+    /// Consultation-cache hit rate over the probes this cell issued.
+    pub cache_hit_rate: f64,
+}
+
+/// Aggregated monitor output plus the registries behind it.
+pub struct MonitorReport {
+    pub sf: f64,
+    pub runs: usize,
+    pub rows: Vec<MonitorRow>,
+    /// Per-engine high-water mark of the `ddl.objects_live` gauge over the
+    /// whole workload — how many delegation artifacts were ever live at
+    /// once on each node.
+    pub objects_live_hwm: Vec<(String, f64)>,
+    /// The monitor's own aggregation registry
+    /// (`monitor.latency_ms{query,deployment}`, …).
+    registry: MetricRegistry,
+    /// Prometheus rendering of the fleet-wide telemetry captured during
+    /// the workload (engine/net/consult/xdb series).
+    fleet_prometheus: String,
+}
+
+/// Run the monitor workload against the process-global telemetry handle.
+pub fn run_monitor(sf: f64, runs: usize) -> Result<MonitorReport> {
+    run_monitor_with(sf, runs, None)
+}
+
+/// Like [`run_monitor`], but with an isolated [`Telemetry`] handle so
+/// tests do not observe unrelated traffic on the global registry.
+pub fn run_monitor_with(
+    sf: f64,
+    runs: usize,
+    telemetry: Option<Arc<Telemetry>>,
+) -> Result<MonitorReport> {
+    let mut e = env(
+        TableDist::Td1,
+        sf,
+        Scenario::OnPremise,
+        &ProfileAssignment::uniform(EngineProfile::postgres()),
+    )?;
+    if let Some(t) = telemetry {
+        e.catalog.set_telemetry(Arc::clone(&t));
+        e.cluster.set_telemetry(t);
+    }
+    let fleet = Arc::clone(e.cluster.telemetry());
+    let parallel = std::env::var_os("XDB_SEQUENTIAL").is_none();
+    let registry = MetricRegistry::new();
+    for q in TpchQuery::ALL {
+        for dep in DEPLOYMENTS {
+            for _ in 0..runs {
+                // Bracket each run with catalog snapshots: the diff is the
+                // per-run consultation delta, immune to everything the
+                // workload did before.
+                let before = e.catalog.metrics_snapshot();
+                let (latency_ms, moved) = run_one(&e, dep, q.sql(), parallel)?;
+                let delta = e.catalog.metrics_snapshot().diff(&before);
+                let labels = [("query", q.name()), ("deployment", dep)];
+                registry.observe("monitor.latency_ms", &labels, latency_ms);
+                registry.observe("monitor.bytes_moved", &labels, moved as f64);
+                registry.counter_add("monitor.runs", &labels, 1.0);
+                registry.counter_add(
+                    "monitor.cache_hits",
+                    &labels,
+                    delta.get("consult.cache_hits"),
+                );
+                registry.counter_add(
+                    "monitor.cache_misses",
+                    &labels,
+                    delta.get("consult.cache_misses"),
+                );
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    for q in TpchQuery::ALL {
+        for dep in DEPLOYMENTS {
+            let labels = [("query", q.name()), ("deployment", dep)];
+            let (p50, p95, p99, n) = match registry.get("monitor.latency_ms", &labels) {
+                Some(Metric::Histogram(h)) => (
+                    h.quantile(0.50),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
+                    h.count,
+                ),
+                _ => (0.0, 0.0, 0.0, 0),
+            };
+            let mean_bytes = match registry.get("monitor.bytes_moved", &labels) {
+                Some(Metric::Histogram(h)) => h.mean(),
+                _ => 0.0,
+            };
+            let hits = registry.value("monitor.cache_hits", &labels);
+            let probes = hits + registry.value("monitor.cache_misses", &labels);
+            rows.push(MonitorRow {
+                query: q.name(),
+                deployment: dep,
+                runs: n,
+                p50_ms: p50,
+                p95_ms: p95,
+                p99_ms: p99,
+                mean_bytes,
+                cache_hit_rate: if probes > 0.0 { hits / probes } else { 0.0 },
+            });
+        }
+    }
+    let mut objects_live_hwm: Vec<(String, f64)> = e
+        .cluster
+        .node_names()
+        .into_iter()
+        .map(|n| {
+            let hwm = fleet
+                .metrics
+                .high_water("ddl.objects_live", &[("engine", &n)]);
+            (n, hwm)
+        })
+        .collect();
+    objects_live_hwm.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(MonitorReport {
+        sf,
+        runs,
+        rows,
+        objects_live_hwm,
+        registry,
+        fleet_prometheus: fleet.metrics.render_prometheus(),
+    })
+}
+
+/// Execute `sql` once under `deployment`, returning (latency_ms,
+/// bytes_moved). Latency is end-to-end simulated time including the
+/// middleware phases, matching what each system's user would observe.
+fn run_one(e: &Env, deployment: &str, sql: &str, parallel: bool) -> Result<(f64, u64)> {
+    e.cluster.ledger.clear();
+    match deployment {
+        "xdb" => {
+            let xdb = Xdb::new(&e.cluster, &e.catalog)
+                .with_client_node(CLOUD)
+                .with_options(XdbOptions {
+                    parallel_execution: parallel,
+                    ..Default::default()
+                });
+            let out = xdb.submit(sql)?;
+            let moved = e.cluster.ledger.bytes_for(Purpose::InterDbmsPipeline)
+                + e.cluster.ledger.bytes_for(Purpose::Materialization);
+            Ok((out.breakdown.total_ms(), moved))
+        }
+        "garlic" => {
+            let r =
+                Mediator::new(&e.cluster, &e.catalog, MediatorConfig::garlic(CLOUD)).submit(sql)?;
+            Ok((r.total_ms, r.fetch_bytes))
+        }
+        "presto4" => {
+            let r = Mediator::new(&e.cluster, &e.catalog, MediatorConfig::presto(CLOUD, 4))
+                .submit(sql)?;
+            Ok((r.total_ms, r.fetch_bytes))
+        }
+        "sclera" => {
+            let r = Sclera::new(&e.cluster, &e.catalog, CLOUD).submit(sql)?;
+            Ok((r.total_ms, r.moved_bytes))
+        }
+        other => Err(EngineError::Unsupported(format!(
+            "unknown deployment {other:?}"
+        ))),
+    }
+}
+
+impl MonitorReport {
+    /// The text dashboard.
+    pub fn render_dashboard(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== fleet monitor: TD1 sf {}, {} run(s) per deployment ==",
+            self.sf, self.runs
+        );
+        let _ = writeln!(
+            out,
+            "{:<6} {:<10} {:>4} {:>12} {:>12} {:>12} {:>12} {:>10}",
+            "query", "deploy", "runs", "p50 ms", "p95 ms", "p99 ms", "moved KB", "cache hit"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<6} {:<10} {:>4} {:>12.3} {:>12.3} {:>12.3} {:>12.1} {:>9.1}%",
+                r.query,
+                r.deployment,
+                r.runs,
+                r.p50_ms,
+                r.p95_ms,
+                r.p99_ms,
+                r.mean_bytes / 1e3,
+                100.0 * r.cache_hit_rate
+            );
+        }
+        let mut hwm_line = String::from("live delegation objects (high-water):");
+        let mut max = 0.0f64;
+        for (node, hwm) in &self.objects_live_hwm {
+            let _ = write!(hwm_line, " {node}={hwm}");
+            max = max.max(*hwm);
+        }
+        let _ = writeln!(out, "{hwm_line}  [fleet max {max}]");
+        out
+    }
+
+    /// Prometheus text exposition: the monitor's aggregation series
+    /// followed by the fleet-wide telemetry captured during the workload.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = self.registry.render_prometheus();
+        out.push_str(&self.fleet_prometheus);
+        out
+    }
+
+    /// Deterministic scalar values for the regression gate, keyed
+    /// `query/deployment/metric`.
+    pub fn flat_values(&self) -> BTreeMap<String, f64> {
+        let mut v = BTreeMap::new();
+        for r in &self.rows {
+            v.insert(format!("{}/{}/p50_ms", r.query, r.deployment), r.p50_ms);
+            v.insert(
+                format!("{}/{}/mean_bytes", r.query, r.deployment),
+                r.mean_bytes,
+            );
+        }
+        v
+    }
+
+    /// JSON export; also the [`crate::gate`] baseline format
+    /// (`BENCH_monitor.json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"bench\": \"monitor\",");
+        let _ = writeln!(out, "  \"workload\": \"TD1\",");
+        let _ = writeln!(out, "  \"sf\": {},", json_number(self.sf));
+        let _ = writeln!(out, "  \"runs\": {},", self.runs);
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"query\": {}, \"deployment\": {}, \"runs\": {}, \
+                 \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}, \
+                 \"mean_bytes\": {}, \"cache_hit_rate\": {}}}{}",
+                json_string(r.query),
+                json_string(r.deployment),
+                r.runs,
+                json_number(r.p50_ms),
+                json_number(r.p95_ms),
+                json_number(r.p99_ms),
+                json_number(r.mean_bytes),
+                json_number(r.cache_hit_rate),
+                if i + 1 < self.rows.len() { "," } else { "" }
+            );
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"objects_live_hwm\": {");
+        for (i, (node, hwm)) in self.objects_live_hwm.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{}: {}",
+                if i > 0 { ", " } else { "" },
+                json_string(node),
+                json_number(*hwm)
+            );
+        }
+        out.push_str("},\n");
+        out.push_str("  \"values\": {\n");
+        let values = self.flat_values();
+        for (i, (k, v)) in values.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {}: {}{}",
+                json_string(k),
+                json_number(*v),
+                if i + 1 < values.len() { "," } else { "" }
+            );
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdb_obs::json;
+
+    const TEST_SF: f64 = 0.002;
+
+    #[test]
+    fn monitor_covers_all_cells() {
+        let report = run_monitor_with(TEST_SF, 2, Some(Telemetry::new_handle())).unwrap();
+        assert_eq!(report.rows.len(), TpchQuery::ALL.len() * DEPLOYMENTS.len());
+        for r in &report.rows {
+            assert_eq!(r.runs, 2, "{}/{}", r.query, r.deployment);
+            assert!(
+                r.p50_ms > 0.0,
+                "{}/{} has zero latency",
+                r.query,
+                r.deployment
+            );
+            assert!(r.p50_ms <= r.p95_ms && r.p95_ms <= r.p99_ms);
+            assert!(
+                r.mean_bytes > 0.0,
+                "{}/{} moved nothing",
+                r.query,
+                r.deployment
+            );
+        }
+        // With 2 runs per cell every second consultation hits the cache
+        // (no DDL invalidates base-table probes between runs), so the
+        // workload-wide hit rate must be well above zero.
+        assert!(
+            report.rows.iter().any(|r| r.cache_hit_rate > 0.0),
+            "no cell ever hit the consultation cache"
+        );
+        // XDB deploys delegation artifacts on every engine at some point.
+        let max_hwm = report
+            .objects_live_hwm
+            .iter()
+            .map(|(_, h)| *h)
+            .fold(0.0f64, f64::max);
+        assert!(max_hwm > 0.0, "{:?}", report.objects_live_hwm);
+    }
+
+    #[test]
+    fn renders_are_complete_and_valid() {
+        let report = run_monitor_with(TEST_SF, 1, Some(Telemetry::new_handle())).unwrap();
+        let dash = report.render_dashboard();
+        for dep in DEPLOYMENTS {
+            assert!(dash.contains(dep), "{dash}");
+        }
+        assert!(dash.contains("live delegation objects"), "{dash}");
+
+        let prom = report.render_prometheus();
+        assert!(prom.contains("monitor_latency_ms_bucket{"), "{prom}");
+        assert!(prom.contains("le=\"+Inf\""), "{prom}");
+        // The fleet series captured during the workload ride along.
+        assert!(prom.contains("ddl_objects_live"), "{prom}");
+
+        let parsed = json::parse(&report.to_json()).expect("monitor JSON parses");
+        let rows = parsed.get("rows").and_then(json::Value::as_array).unwrap();
+        assert_eq!(rows.len(), report.rows.len());
+        assert!(parsed.get("values").is_some());
+    }
+
+    #[test]
+    fn monitor_is_deterministic_across_invocations() {
+        let a = run_monitor_with(TEST_SF, 1, Some(Telemetry::new_handle())).unwrap();
+        let b = run_monitor_with(TEST_SF, 1, Some(Telemetry::new_handle())).unwrap();
+        assert_eq!(a.flat_values(), b.flat_values());
+        assert_eq!(a.objects_live_hwm, b.objects_live_hwm);
+    }
+}

@@ -81,6 +81,12 @@ pub struct QueryOutcome {
     pub breakdown: PhaseBreakdown,
     pub consult_roundtrips: u64,
     pub ddl_count: usize,
+    /// Correlation id of this query: names its `xdb_q<id>_*` objects and
+    /// tags its telemetry events.
+    pub query_id: u64,
+    /// The deployed DDL script, kept so delegation artifacts left behind
+    /// by `keep_objects` runs can be torn down later via [`Xdb::cleanup`].
+    pub script: DelegationScript,
     /// The structured execution trace: hierarchical spans (query → phase →
     /// task → operator / DDL / transfer) on the simulated clock, plus
     /// counters. Deterministic — parallel and sequential executors emit
@@ -362,6 +368,37 @@ impl<'a> Xdb<'a> {
 
         let query_id = NEXT_QUERY_ID.fetch_add(1, Ordering::Relaxed);
         let script = build_script(&annotation.plan, query_id, self.cluster)?;
+
+        // Fleet telemetry: the whole planning pipeline is single-threaded,
+        // so Info events and the phase histograms below are deterministic.
+        let telemetry = self.cluster.telemetry();
+        telemetry
+            .metrics
+            .observe("xdb.phase_ms", &[("phase", "prep")], prep_ms);
+        telemetry
+            .metrics
+            .observe("xdb.phase_ms", &[("phase", "lopt")], lopt_ms);
+        telemetry
+            .metrics
+            .observe("xdb.phase_ms", &[("phase", "ann")], ann_ms);
+        telemetry
+            .metrics
+            .counter_add("xdb.queries_planned", &[], 1.0);
+        let tasks = annotation.plan.tasks.len().to_string();
+        let movements = annotation.plan.edges.len().to_string();
+        let consults_str = annotation.consults.to_string();
+        telemetry.events.log(
+            xdb_obs::Level::Info,
+            "core.client",
+            Some(query_id),
+            overhead_ms,
+            "query planned",
+            &[
+                ("tasks", &tasks),
+                ("movements", &movements),
+                ("consults", &consults_str),
+            ],
+        );
         Ok(Planned {
             delegation: annotation.plan,
             script,
@@ -369,6 +406,7 @@ impl<'a> Xdb<'a> {
             query_span,
             overhead_ms,
             consults: annotation.consults,
+            query_id,
         })
     }
 
@@ -408,7 +446,9 @@ impl<'a> Xdb<'a> {
             query_span,
             overhead_ms,
             consults,
+            query_id,
         } = planned;
+        let telemetry = self.cluster.telemetry();
         // Transfer spans are derived from the ledger records this query
         // appends; remember where the ledger stood before we touch it.
         let ledger_mark = self.cluster.ledger.len();
@@ -449,6 +489,18 @@ impl<'a> Xdb<'a> {
             Err(e) => {
                 // Failure mid-execution: tear down whatever was created.
                 run_cleanup(self.cluster, &script);
+                telemetry
+                    .metrics
+                    .counter_add("xdb.queries", &[("status", "error")], 1.0);
+                let err = e.to_string();
+                telemetry.events.log(
+                    xdb_obs::Level::Warn,
+                    "core.client",
+                    Some(query_id),
+                    overhead_ms,
+                    "execution failed; delegation artifacts torn down",
+                    &[("error", &err)],
+                );
                 return Err(e);
             }
         };
@@ -474,14 +526,44 @@ impl<'a> Xdb<'a> {
         );
         let trace = collector.finish();
         let breakdown = PhaseBreakdown::from_trace(&trace);
+        telemetry
+            .metrics
+            .observe("xdb.phase_ms", &[("phase", "exec")], outcome.exec_ms);
+        telemetry
+            .metrics
+            .observe("xdb.total_ms", &[], breakdown.total_ms());
+        telemetry
+            .metrics
+            .counter_add("xdb.queries", &[("status", "ok")], 1.0);
+        let rows = outcome.relation.len().to_string();
+        let total = format!("{:.3}", breakdown.total_ms());
+        telemetry.events.log(
+            xdb_obs::Level::Info,
+            "core.client",
+            Some(query_id),
+            breakdown.total_ms(),
+            "query completed",
+            &[("rows", &rows), ("total_ms", &total)],
+        );
         Ok(QueryOutcome {
             relation: outcome.relation,
             delegation,
             breakdown,
             consult_roundtrips: consults,
             ddl_count: outcome.ddl_count,
+            query_id,
+            script,
             trace,
         })
+    }
+
+    /// Tear down the delegation artifacts (`xdb_q<id>_*` views, foreign
+    /// tables, and materialized copies) a `keep_objects` run left behind,
+    /// in reverse-dependency order. Idempotent (`DROP … IF EXISTS`);
+    /// returns the number of successful drops. After this, every engine's
+    /// `ddl.objects_live` gauge is back to its pre-query value.
+    pub fn cleanup(&self, outcome: &QueryOutcome) -> usize {
+        run_cleanup(self.cluster, &outcome.script)
     }
 
     /// One Transfer span (lane `net`) per ledger record this query
@@ -523,9 +605,26 @@ impl<'a> Xdb<'a> {
                 _ => {}
             }
             collector.add("net.bytes", t.bytes as f64);
+            // Per-edge transfer size distribution for the fleet registry
+            // (this loop runs single-threaded in ledger-merge order).
+            let telemetry = self.cluster.telemetry();
             match t.purpose {
-                Purpose::InterDbmsPipeline => collector.add("net.implicit_bytes", t.bytes as f64),
-                Purpose::Materialization => collector.add("net.explicit_bytes", t.bytes as f64),
+                Purpose::InterDbmsPipeline => {
+                    collector.add("net.implicit_bytes", t.bytes as f64);
+                    telemetry.metrics.observe(
+                        "net.edge_bytes",
+                        &[("movement", "implicit")],
+                        t.bytes as f64,
+                    );
+                }
+                Purpose::Materialization => {
+                    collector.add("net.explicit_bytes", t.bytes as f64);
+                    telemetry.metrics.observe(
+                        "net.edge_bytes",
+                        &[("movement", "explicit")],
+                        t.bytes as f64,
+                    );
+                }
                 _ => {}
             }
         }
@@ -542,6 +641,7 @@ struct Planned {
     query_span: SpanId,
     overhead_ms: f64,
     consults: u64,
+    query_id: u64,
 }
 
 fn collect_tables(from: &[TableRef], out: &mut Vec<String>) {

@@ -52,6 +52,9 @@ pub struct DdlStep {
 /// The rendered deployment: DDLs, cleanup, and the final XDB query.
 #[derive(Debug, Clone)]
 pub struct DelegationScript {
+    /// The query id baked into every `xdb_q<id>_*` object name; doubles as
+    /// the correlation id on telemetry events.
+    pub query_id: u64,
     pub steps: Vec<DdlStep>,
     /// DROP statements undoing every created object, in reverse order.
     pub cleanup: Vec<(NodeId, String)>,
@@ -167,6 +170,7 @@ pub fn build_script(
     cleanup.reverse();
     let root = plan.task(plan.root);
     Ok(DelegationScript {
+        query_id,
         steps,
         cleanup,
         xdb_query: format!("SELECT * FROM {}", view_name(query_id, plan.root)),
@@ -324,6 +328,42 @@ fn finish_script(
             root_ready,
         );
     }
+    // Fleet telemetry. This tail is single-threaded and driven only by
+    // script order + deterministic reports, so histogram observations and
+    // the Info event below are bit-identical across executors.
+    let telemetry = cluster.telemetry();
+    for (step, report) in script.steps.iter().zip(step_reports) {
+        telemetry.metrics.observe(
+            "exec.step_work_ms",
+            &[("engine", step.node.as_str())],
+            report.work_ms,
+        );
+        if step.kind == DdlKind::Materialize {
+            let from = step.edge_from.expect("materialize step has an edge");
+            let key = (from, step.task);
+            telemetry.metrics.observe(
+                "exec.materialize_ms",
+                &[("movement", "explicit")],
+                mat_finish[&key] - mat_base[&key],
+            );
+        }
+    }
+    telemetry.metrics.observe("exec.query_ms", &[], exec_ms);
+    telemetry.metrics.observe("exec.ddl_ms", &[], ddl_ms);
+    let rows = relation.len().to_string();
+    let ddls = ddl_count.to_string();
+    telemetry.events.log(
+        xdb_obs::Level::Info,
+        "core.delegation",
+        Some(script.query_id),
+        exec_ms,
+        "delegated execution finished",
+        &[
+            ("root", script.root_node.as_str()),
+            ("rows", &rows),
+            ("ddl_count", &ddls),
+        ],
+    );
     Ok(ExecutionOutcome {
         relation,
         exec_ms,
@@ -660,6 +700,19 @@ pub fn run_cleanup(cluster: &Cluster, script: &DelegationScript) -> usize {
             dropped += 1;
         }
     }
+    let telemetry = cluster.telemetry();
+    telemetry
+        .metrics
+        .counter_add("ddl.objects_dropped", &[], dropped as f64);
+    let n = dropped.to_string();
+    telemetry.events.log(
+        xdb_obs::Level::Info,
+        "core.delegation",
+        Some(script.query_id),
+        0.0,
+        "cleanup dropped short-lived objects",
+        &[("dropped", &n)],
+    );
     dropped
 }
 

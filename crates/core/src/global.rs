@@ -4,11 +4,12 @@
 
 use crate::consult_cache::{ConsultCache, ConsultReply};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use xdb_engine::cluster::Cluster;
 use xdb_engine::error::{EngineError, Result};
 use xdb_net::NodeId;
+use xdb_obs::{MetricsSnapshot, Telemetry};
 use xdb_sql::bind::{ResolvedRelation, SchemaProvider};
 use xdb_sql::stats::{ColumnStats, StatsProvider};
 use xdb_sql::value::DataType;
@@ -42,6 +43,10 @@ pub struct GlobalCatalog {
     /// Memoized consulting round-trips, validated against each node's DDL
     /// generation.
     consult_cache: ConsultCache,
+    /// Fleet telemetry sink; [`GlobalCatalog::discover`] adopts the
+    /// cluster's handle so consultation counters land next to the engine
+    /// and network metrics of the same federation.
+    telemetry: Arc<Telemetry>,
 }
 
 impl GlobalCatalog {
@@ -52,7 +57,13 @@ impl GlobalCatalog {
             placeholders: RwLock::new(HashMap::new()),
             metadata_fetches: RwLock::new(0),
             consult_cache: ConsultCache::new(),
+            telemetry: Arc::clone(xdb_obs::telemetry::global()),
         }
+    }
+
+    /// Attach a (typically isolated) telemetry handle.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = telemetry;
     }
 
     /// Register a table of the global schema as residing on `dbms`.
@@ -75,6 +86,7 @@ impl GlobalCatalog {
     /// union-of-local-schemas bootstrap.
     pub fn discover(cluster: &Cluster) -> Result<GlobalCatalog> {
         let mut catalog = GlobalCatalog::new();
+        catalog.telemetry = Arc::clone(cluster.telemetry());
         for node in cluster.node_names() {
             let engine = cluster.engine(&node)?;
             let names = engine.with_catalog(|c| c.names());
@@ -125,6 +137,9 @@ impl GlobalCatalog {
             .lookup(&gt.dbms, &probe, generation)
             .is_some()
         {
+            self.telemetry
+                .metrics
+                .counter_add("consult.probes", &[("result", "hit")], 1.0);
             return Ok(true);
         }
         let consulted = match engine.consult_stats(&key) {
@@ -135,7 +150,37 @@ impl GlobalCatalog {
         self.stats.write().insert(key, consulted);
         self.consult_cache
             .store(&gt.dbms, &probe, generation, ConsultReply::Stats);
+        self.telemetry
+            .metrics
+            .counter_add("consult.probes", &[("result", "miss")], 1.0);
         Ok(false)
+    }
+
+    /// Point-in-time snapshot of this catalog's own accounting counters,
+    /// in the diffable [`MetricsSnapshot`] shape the trace layer uses.
+    /// Callers bracket a run with two snapshots and
+    /// [`MetricsSnapshot::diff`] to get a per-run delta immune to whatever
+    /// other queries did before.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut counters = BTreeMap::new();
+        counters.insert("catalog.tables".to_string(), self.tables.len() as f64);
+        counters.insert(
+            "catalog.metadata_fetches".to_string(),
+            *self.metadata_fetches.read() as f64,
+        );
+        counters.insert(
+            "consult.cache_hits".to_string(),
+            self.consult_cache.hits() as f64,
+        );
+        counters.insert(
+            "consult.cache_misses".to_string(),
+            self.consult_cache.misses() as f64,
+        );
+        counters.insert(
+            "consult.cache_entries".to_string(),
+            self.consult_cache.len() as f64,
+        );
+        MetricsSnapshot { counters }
     }
 
     /// The consultation cache shared by preparation and annotation.

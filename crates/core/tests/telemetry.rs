@@ -1,0 +1,256 @@
+//! Fleet-telemetry integration tests: deterministic metrics/events across
+//! the sequential and partition-parallel executors, delegation-artifact
+//! cleanup restoring the live-object gauges, consultation-cache soundness
+//! under transient DDL, and the per-run metrics-snapshot delta.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use xdb_core::annotate::AnnotateOptions;
+use xdb_core::scenario::{self, ScenarioConfig};
+use xdb_core::{GlobalCatalog, Xdb, XdbOptions};
+use xdb_engine::cluster::Cluster;
+use xdb_net::Movement;
+use xdb_obs::{json, Telemetry};
+
+/// Query ids come from a process-global counter and their decimal width
+/// leaks into control-message byte counts (the literal `xdb_q<id>_*`
+/// names travel in DDL statements). Tests that compare two submissions
+/// serialize on this lock so the pair gets adjacent ids.
+static SUBMIT_LOCK: Mutex<()> = Mutex::new(());
+
+fn setup() -> (Cluster, GlobalCatalog, Arc<Telemetry>) {
+    let (mut cluster, mut catalog) = scenario::build(ScenarioConfig::default()).unwrap();
+    let telemetry = Telemetry::new_handle();
+    cluster.set_telemetry(Arc::clone(&telemetry));
+    catalog.set_telemetry(Arc::clone(&telemetry));
+    (cluster, catalog, telemetry)
+}
+
+/// Query ids come from a process-global counter, so runs are normalized
+/// by rewriting `"query":<digits>` before comparison.
+fn normalize_query_ids(jsonl: &str) -> String {
+    let mut out = String::new();
+    for line in jsonl.lines() {
+        let mut l = line.to_string();
+        if let Some(i) = l.find("\"query\":") {
+            let start = i + "\"query\":".len();
+            let end = l[start..]
+                .find(|c: char| !c.is_ascii_digit())
+                .map(|e| start + e)
+                .unwrap_or(l.len());
+            if end > start {
+                l.replace_range(start..end, "N");
+            }
+        }
+        out.push_str(&l);
+        out.push('\n');
+    }
+    out
+}
+
+/// One full submission with an isolated telemetry handle; returns the
+/// query id, the deterministic metrics rendering, and the normalized
+/// event JSONL.
+fn run_workload(parallel: bool, partitions: usize) -> (u64, String, String) {
+    let (cluster, catalog, telemetry) = setup();
+    cluster.set_exec_partitions(partitions);
+    let xdb = Xdb::new(&cluster, &catalog).with_options(XdbOptions {
+        parallel_execution: parallel,
+        ..Default::default()
+    });
+    let outcome = xdb.submit(scenario::EXAMPLE_QUERY).unwrap();
+    (
+        outcome.query_id,
+        telemetry.metrics.deterministic_snapshot().render(),
+        normalize_query_ids(&telemetry.events.to_jsonl()),
+    )
+}
+
+/// Run two workloads back to back with same-width query ids (a decimal
+/// boundary like 9→10 can split a pair at most once, so one retry
+/// suffices) so every byte of telemetry is comparable.
+fn run_comparable_pair(a: (bool, usize), b: (bool, usize)) -> ((String, String), (String, String)) {
+    let _guard = SUBMIT_LOCK.lock();
+    loop {
+        let (ida, ma, ea) = run_workload(a.0, a.1);
+        let (idb, mb, eb) = run_workload(b.0, b.1);
+        if ida.to_string().len() == idb.to_string().len() {
+            return ((ma, ea), (mb, eb));
+        }
+    }
+}
+
+#[test]
+fn telemetry_identical_sequential_vs_parallel() {
+    for partitions in [1usize, 2, 8] {
+        let ((seq_metrics, seq_events), (par_metrics, par_events)) =
+            run_comparable_pair((false, partitions), (true, partitions));
+        assert_eq!(
+            seq_metrics, par_metrics,
+            "metrics diverge at {partitions} partitions"
+        );
+        assert_eq!(
+            seq_events, par_events,
+            "event log diverges at {partitions} partitions"
+        );
+        assert!(
+            seq_metrics.contains("xdb.queries{status=\"ok\"}"),
+            "{seq_metrics}"
+        );
+        assert!(!seq_metrics.contains("sched."), "{seq_metrics}");
+    }
+}
+
+#[test]
+fn telemetry_independent_of_partition_count() {
+    // Simulated values must not depend on how many partitions the columnar
+    // executor fans out over; only the `exec.partitions` gauge itself (and
+    // the quarantined `sched.*` series) may differ.
+    let strip_partitions = |metrics: &str| -> String {
+        metrics
+            .lines()
+            .filter(|l| !l.starts_with("exec.partitions"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let ((m1, e1), (m8, e8)) = run_comparable_pair((true, 1), (true, 8));
+    assert_eq!(strip_partitions(&m1), strip_partitions(&m8));
+    assert_eq!(e1, e8);
+}
+
+#[test]
+fn events_are_valid_query_correlated_json_lines() {
+    let _guard = SUBMIT_LOCK.lock();
+    let (cluster, catalog, telemetry) = setup();
+    let xdb = Xdb::new(&cluster, &catalog);
+    let outcome = xdb.submit(scenario::EXAMPLE_QUERY).unwrap();
+    let jsonl = telemetry.events.to_jsonl();
+    assert!(!jsonl.is_empty());
+    let mut planned = false;
+    let mut completed = false;
+    for line in jsonl.lines() {
+        let v = json::parse(line).expect("event line parses as JSON");
+        let msg = v.get("message").and_then(json::Value::as_str).unwrap();
+        let query = v.get("query").and_then(json::Value::as_f64);
+        if msg == "query planned" || msg == "query completed" {
+            assert_eq!(query, Some(outcome.query_id as f64), "{line}");
+        }
+        planned |= msg == "query planned";
+        completed |= msg == "query completed";
+    }
+    assert!(planned && completed, "{jsonl}");
+}
+
+#[test]
+fn cleanup_returns_objects_live_gauge_to_baseline() {
+    let _guard = SUBMIT_LOCK.lock();
+    let (cluster, catalog, telemetry) = setup();
+    let nodes = cluster.node_names();
+    let baseline: Vec<f64> = nodes
+        .iter()
+        .map(|n| {
+            telemetry
+                .metrics
+                .value("ddl.objects_live", &[("engine", n)])
+        })
+        .collect();
+    let xdb = Xdb::new(&cluster, &catalog).with_options(XdbOptions {
+        keep_objects: true,
+        ..Default::default()
+    });
+    let outcome = xdb.submit(scenario::EXAMPLE_QUERY).unwrap();
+    // keep_objects left the delegation chain deployed: some engine holds
+    // more live objects than before.
+    let live: Vec<f64> = nodes
+        .iter()
+        .map(|n| {
+            telemetry
+                .metrics
+                .value("ddl.objects_live", &[("engine", n)])
+        })
+        .collect();
+    assert!(
+        live.iter().zip(&baseline).any(|(l, b)| l > b),
+        "no engine gained live objects: {live:?} vs {baseline:?}"
+    );
+    let dropped = xdb.cleanup(&outcome);
+    assert!(dropped > 0);
+    for (i, n) in nodes.iter().enumerate() {
+        let after = telemetry
+            .metrics
+            .value("ddl.objects_live", &[("engine", n)]);
+        assert_eq!(after, baseline[i], "{n} still holds delegation artifacts");
+        // The high-water mark keeps the peak.
+        assert!(
+            telemetry
+                .metrics
+                .high_water("ddl.objects_live", &[("engine", n)])
+                >= after
+        );
+    }
+    // Cleanup is idempotent (DROP IF EXISTS) and logged.
+    assert_eq!(xdb.cleanup(&outcome), dropped);
+    assert!(telemetry
+        .events
+        .snapshot()
+        .iter()
+        .any(|e| e.message.contains("cleanup dropped")));
+}
+
+#[test]
+fn transient_ddl_keeps_consultation_cache_valid() {
+    let _guard = SUBMIT_LOCK.lock();
+    let (cluster, catalog, _telemetry) = setup();
+    for t in catalog.table_names() {
+        catalog.consult(&cluster, &t).unwrap();
+    }
+    // Warm: every probe now hits.
+    for t in catalog.table_names() {
+        assert!(catalog.consult(&cluster, &t).unwrap(), "{t} not cached");
+    }
+    let fetches = catalog.metadata_fetches();
+    // A full query with forced explicit movements deploys views, foreign
+    // tables, AND materialized temp copies on the engines — all transient
+    // (`xdb_q*`), so no base-table probe may be invalidated.
+    let xdb = Xdb::new(&cluster, &catalog).with_options(XdbOptions {
+        annotate: AnnotateOptions {
+            force_movement: Some(Movement::Explicit),
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let outcome = xdb.submit(scenario::EXAMPLE_QUERY).unwrap();
+    assert!(outcome.ddl_count > 0);
+    for t in catalog.table_names() {
+        assert!(
+            catalog.consult(&cluster, &t).unwrap(),
+            "transient DDL spuriously invalidated the probe for {t}"
+        );
+    }
+    assert_eq!(catalog.metadata_fetches(), fetches);
+    // Real DDL still invalidates: create a user table on some node and its
+    // tables re-fetch.
+    let node = catalog.location("citizen").unwrap().as_str().to_string();
+    cluster
+        .execute(&node, "CREATE TABLE perm_marker (x BIGINT)")
+        .unwrap();
+    assert!(!catalog.consult(&cluster, "citizen").unwrap());
+}
+
+#[test]
+fn metrics_snapshot_diff_isolates_one_run() {
+    let _guard = SUBMIT_LOCK.lock();
+    let (cluster, catalog, _telemetry) = setup();
+    // First run pays the consultation misses.
+    let xdb = Xdb::new(&cluster, &catalog);
+    xdb.submit(scenario::EXAMPLE_QUERY).unwrap();
+    // Bracket the second run: everything it consults is cached, and the
+    // delta sees only this run's probes.
+    let before = catalog.metrics_snapshot();
+    xdb.submit(scenario::EXAMPLE_QUERY).unwrap();
+    let delta = catalog.metrics_snapshot().diff(&before);
+    assert!(delta.get("consult.cache_hits") > 0.0, "{}", delta.render());
+    assert_eq!(delta.get("consult.cache_misses"), 0.0, "{}", delta.render());
+    assert_eq!(delta.get("catalog.metadata_fetches"), 0.0);
+    assert_eq!(delta.get("catalog.tables"), 0.0);
+}

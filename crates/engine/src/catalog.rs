@@ -98,6 +98,18 @@ impl Catalog {
         self.entries.is_empty()
     }
 
+    /// Total stored rows across all base tables (views and foreign tables
+    /// hold no local rows). Feeds the per-engine `catalog.rows` gauge.
+    pub fn total_rows(&self) -> u64 {
+        self.entries
+            .values()
+            .map(|e| match e {
+                CatalogEntry::Table(t) => t.data.len() as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
     fn insert_new(&mut self, name: &str, entry: CatalogEntry) -> Result<()> {
         let key = Self::key(name);
         if self.entries.contains_key(&key) {

@@ -16,6 +16,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use xdb_net::{Ledger, NodeId, Topology};
+use xdb_obs::Telemetry;
 
 /// A set of named engines plus network fabric and transfer accounting.
 pub struct Cluster {
@@ -27,16 +28,39 @@ pub struct Cluster {
     step_locks: HashMap<String, Mutex<()>>,
     pub topology: Topology,
     pub ledger: Ledger,
+    /// Fleet telemetry shared by this cluster's engines, its ledger, and
+    /// any [`ScopedCluster`] scratch ledgers. Defaults to the
+    /// process-global handle so binaries can export without plumbing;
+    /// tests that assert on absolute values attach an isolated handle via
+    /// [`Cluster::set_telemetry`].
+    telemetry: Arc<Telemetry>,
 }
 
 impl Cluster {
     pub fn new(topology: Topology) -> Cluster {
+        let telemetry = Arc::clone(xdb_obs::telemetry::global());
         Cluster {
             engines: HashMap::new(),
             step_locks: HashMap::new(),
             topology,
-            ledger: Ledger::new(),
+            ledger: Ledger::new().with_telemetry(Arc::clone(&telemetry)),
+            telemetry,
         }
+    }
+
+    /// This cluster's telemetry handle.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Attach a (typically isolated) telemetry handle: repoints the
+    /// ledger and every engine, re-publishing their gauges under it.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.ledger = self.ledger.clone().with_telemetry(Arc::clone(&telemetry));
+        for engine in self.engines.values() {
+            engine.set_telemetry(Arc::clone(&telemetry));
+        }
+        self.telemetry = telemetry;
     }
 
     /// Build a LAN cluster with the given nodes, all with the same profile.
@@ -51,6 +75,7 @@ impl Cluster {
     pub fn add_engine(&mut self, node: &str, profile: EngineProfile) -> Arc<Engine> {
         self.topology.add_node(NodeId::new(node));
         let engine = Arc::new(Engine::new(node, profile));
+        engine.set_telemetry(Arc::clone(&self.telemetry));
         self.engines.insert(node.to_string(), Arc::clone(&engine));
         self.step_locks.insert(node.to_string(), Mutex::new(()));
         engine
@@ -192,7 +217,10 @@ impl<'a> ScopedCluster<'a> {
     pub fn new(cluster: &'a Cluster) -> ScopedCluster<'a> {
         ScopedCluster {
             cluster,
-            ledger: Ledger::new(),
+            // The scratch ledger shares the cluster's telemetry handle:
+            // counters bump at record time (never on absorb), so totals
+            // match a sequential run exactly.
+            ledger: Ledger::new().with_telemetry(Arc::clone(&cluster.telemetry)),
         }
     }
 

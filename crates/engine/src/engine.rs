@@ -18,8 +18,9 @@ use crate::relation::Relation;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use xdb_net::{compose_finish, EdgeTiming, Movement, NodeId, Purpose};
-use xdb_obs::ExecProfile;
+use xdb_obs::{ExecProfile, Telemetry};
 use xdb_sql::algebra::LogicalPlan;
 use xdb_sql::ast::Statement;
 use xdb_sql::bind::bind_select;
@@ -125,6 +126,12 @@ pub struct Engine {
     /// Executions pop one on entry and push it back after the run, so
     /// steady-state queries stop reallocating their largest structures.
     scratch_pool: Mutex<Vec<Scratch>>,
+    /// Fleet telemetry sink. Per-engine gauges (`ddl.objects_live`,
+    /// `catalog.rows`) are published while holding the catalog write lock,
+    /// so their value sequence is exactly the catalog mutation order;
+    /// scheduling-dependent counts (scratch-pool reuse) go under the
+    /// `sched.` prefix and are excluded from determinism comparisons.
+    telemetry: RwLock<Arc<Telemetry>>,
 }
 
 /// Short-lived, per-query namespaced objects: delegation views / foreign
@@ -138,7 +145,7 @@ pub fn is_transient_object(name: &str) -> bool {
 
 impl Engine {
     pub fn new(node: impl Into<String>, profile: EngineProfile) -> Engine {
-        Engine {
+        let engine = Engine {
             node: NodeId::new(node),
             profile,
             catalog: RwLock::new(Catalog::new()),
@@ -146,7 +153,47 @@ impl Engine {
             trace_ops: AtomicBool::new(false),
             exec_partitions: AtomicUsize::new(default_exec_partitions()),
             scratch_pool: Mutex::new(Vec::new()),
-        }
+            telemetry: RwLock::new(Arc::clone(xdb_obs::telemetry::global())),
+        };
+        engine.publish_partitions_gauge();
+        engine
+    }
+
+    /// Current telemetry handle.
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        Arc::clone(&self.telemetry.read())
+    }
+
+    /// Swap the telemetry sink (tests attach an isolated handle) and
+    /// re-publish this engine's gauges under it.
+    pub fn set_telemetry(&self, telemetry: Arc<Telemetry>) {
+        *self.telemetry.write() = telemetry;
+        self.publish_partitions_gauge();
+        let catalog = self.catalog.read();
+        self.publish_catalog_gauges(&catalog);
+    }
+
+    fn publish_partitions_gauge(&self) {
+        let labels = [("engine", self.node.as_str())];
+        self.telemetry().metrics.gauge_set(
+            "exec.partitions",
+            &labels,
+            self.exec_partitions() as f64,
+        );
+    }
+
+    /// Publish `ddl.objects_live` / `catalog.rows` for this engine. Called
+    /// with the catalog (write) lock held so the gauge value sequence
+    /// mirrors catalog mutation order; during execution both quantities
+    /// only grow (drops happen in the sequential cleanup phase), so the
+    /// high-water marks are deterministic too.
+    fn publish_catalog_gauges(&self, catalog: &Catalog) {
+        let t = self.telemetry();
+        let labels = [("engine", self.node.as_str())];
+        t.metrics
+            .gauge_set("ddl.objects_live", &labels, catalog.len() as f64);
+        t.metrics
+            .gauge_set("catalog.rows", &labels, catalog.total_rows() as f64);
     }
 
     /// Enable or disable per-operator execution profiles on this engine.
@@ -164,6 +211,7 @@ impl Engine {
     /// changes results — output row order is preserved exactly.
     pub fn set_exec_partitions(&self, n: usize) {
         self.exec_partitions.store(n.max(1), Ordering::Release);
+        self.publish_partitions_gauge();
     }
 
     /// Current executor partition count.
@@ -178,7 +226,12 @@ impl Engine {
 
     /// Run catalog mutation.
     pub fn with_catalog_mut<T>(&self, f: impl FnOnce(&mut Catalog) -> T) -> T {
-        let out = f(&mut self.catalog.write());
+        let out = {
+            let mut catalog = self.catalog.write();
+            let out = f(&mut catalog);
+            self.publish_catalog_gauges(&catalog);
+            out
+        };
         self.ddl_generation.fetch_add(1, Ordering::Release);
         out
     }
@@ -190,7 +243,10 @@ impl Engine {
     /// probes against this node's base tables valid.
     pub fn with_catalog_mut_for<T>(&self, object: &str, f: impl FnOnce(&mut Catalog) -> T) -> T {
         if is_transient_object(object) {
-            f(&mut self.catalog.write())
+            let mut catalog = self.catalog.write();
+            let out = f(&mut catalog);
+            self.publish_catalog_gauges(&catalog);
+            out
         } else {
             self.with_catalog_mut(f)
         }
@@ -199,6 +255,16 @@ impl Engine {
     /// Current catalog generation; changes whenever the catalog is mutated.
     pub fn ddl_generation(&self) -> u64 {
         self.ddl_generation.load(Ordering::Acquire)
+    }
+
+    /// Count one executed DDL statement of `kind` (commutative, so the
+    /// totals are identical under any executor interleaving).
+    fn note_ddl(&self, kind: &'static str) {
+        self.telemetry().metrics.counter_add(
+            "ddl.statements",
+            &[("engine", self.node.as_str()), ("kind", kind)],
+            1.0,
+        );
     }
 
     /// Bulk-load a table (generator path); replaces nothing, errors on
@@ -270,7 +336,10 @@ impl Engine {
                 let result = self.with_catalog_mut_for(name, |c| c.create_table(name, columns));
                 match result {
                     Err(EngineError::Catalog(_)) if *if_not_exists => {}
-                    other => other?,
+                    other => {
+                        other?;
+                        self.note_ddl("create_table");
+                    }
                 }
                 Ok(ddl_outcome())
             }
@@ -285,6 +354,7 @@ impl Engine {
                 self.with_catalog_mut_for(name, |c| {
                     c.create_view(name, (**query).clone(), *or_replace)
                 })?;
+                self.note_ddl("create_view");
                 Ok(ddl_outcome())
             }
             Statement::CreateForeignTable {
@@ -296,6 +366,7 @@ impl Engine {
                 self.with_catalog_mut_for(name, |c| {
                     c.create_foreign_table(name, columns, server, remote_name.as_deref())
                 })?;
+                self.note_ddl("create_foreign_table");
                 Ok(ddl_outcome())
             }
             Statement::CreateTableAs { name, query } => {
@@ -307,6 +378,7 @@ impl Engine {
                 report.work_ms += import_ms;
                 report.finish_ms += import_ms;
                 self.with_catalog_mut_for(name, |c| c.create_table_from(name, rel))?;
+                self.note_ddl("create_table_as");
                 Ok(StatementOutcome {
                     relation: None,
                     report,
@@ -332,6 +404,7 @@ impl Engine {
                 if_exists,
             } => {
                 self.with_catalog_mut_for(name, |c| c.drop(*kind, name, *if_exists))?;
+                self.note_ddl("drop");
                 Ok(ddl_outcome())
             }
         }
@@ -368,10 +441,22 @@ impl Engine {
             purpose,
             foreign_rows: std::cell::Cell::new(0),
         };
+        let telemetry = self.telemetry();
+        let engine_label = [("engine", self.node.as_str())];
         let mut exec = Execution::new(&resolver);
         exec.partitions = self.exec_partitions();
+        // Scratch reuse depends on how concurrent executions interleave on
+        // the shared pool, so these counters live under the reserved
+        // `sched.` prefix (excluded from determinism comparisons).
         if let Some(s) = self.scratch_pool.lock().pop() {
             exec.scratch = s;
+            telemetry
+                .metrics
+                .counter_add("sched.scratch_reuse", &engine_label, 1.0);
+        } else {
+            telemetry
+                .metrics
+                .counter_add("sched.scratch_alloc", &engine_label, 1.0);
         }
         if self.op_tracing() {
             exec.collect_ops();
@@ -395,6 +480,11 @@ impl Engine {
                 remotes: std::mem::take(&mut exec.remotes),
             })
         });
+        // Simulated-clock work per executed statement: histogram observes
+        // are order-independent, so this is safe from concurrent fetches.
+        telemetry
+            .metrics
+            .observe("engine.statement_ms", &engine_label, work_ms);
         let report = ExecReport {
             rows: rel.len() as u64,
             bytes: rel.wire_bytes(),

@@ -8,6 +8,7 @@
 use crate::topology::NodeId;
 use parking_lot::Mutex;
 use std::sync::Arc;
+use xdb_obs::Telemetry;
 
 /// Why a transfer happened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,15 +38,43 @@ pub struct Transfer {
     pub purpose: Purpose,
 }
 
+impl Purpose {
+    /// Stable lowercase label, used as the `purpose` metric label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Purpose::SubqueryResult => "subquery_result",
+            Purpose::InterDbmsPipeline => "inter_dbms_pipeline",
+            Purpose::Materialization => "materialization",
+            Purpose::FinalResult => "final_result",
+            Purpose::ControlMessage => "control_message",
+            Purpose::WorkerExchange => "worker_exchange",
+        }
+    }
+}
+
 /// Thread-safe, shareable transfer ledger.
 #[derive(Debug, Clone, Default)]
 pub struct Ledger {
     inner: Arc<Mutex<Vec<Transfer>>>,
+    /// When attached, every kept record bumps the per-purpose
+    /// `net.transfers` / `net.bytes` / `net.rows` counters. Counter adds
+    /// are commutative, so totals are identical no matter how concurrent
+    /// recorders interleave; [`Ledger::absorb`] deliberately does *not*
+    /// re-count, so scratch ledgers that already carry the same telemetry
+    /// handle contribute exactly once.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Ledger {
     pub fn new() -> Ledger {
         Ledger::default()
+    }
+
+    /// This ledger with a telemetry handle attached (clones made after
+    /// this call share it).
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Ledger {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     pub fn record(&self, from: &NodeId, to: &NodeId, bytes: u64, rows: u64, purpose: Purpose) {
@@ -55,6 +84,12 @@ impl Ledger {
         // only pay for the clones when a record is actually kept.
         if from == to {
             return;
+        }
+        if let Some(t) = &self.telemetry {
+            let labels = [("purpose", purpose.label())];
+            t.metrics.counter_add("net.transfers", &labels, 1.0);
+            t.metrics.counter_add("net.bytes", &labels, bytes as f64);
+            t.metrics.counter_add("net.rows", &labels, rows as f64);
         }
         self.inner.lock().push(Transfer {
             from: from.clone(),
@@ -167,6 +202,25 @@ mod tests {
         assert_eq!(l.total_bytes(), 7);
         l.clear();
         assert!(l2.is_empty());
+    }
+
+    #[test]
+    fn telemetry_counts_records_but_not_absorbs() {
+        let t = Telemetry::new_handle();
+        let l = Ledger::new().with_telemetry(Arc::clone(&t));
+        l.record(&"a".into(), &"b".into(), 100, 10, Purpose::Materialization);
+        l.record(&"a".into(), &"a".into(), 999, 99, Purpose::Materialization); // loopback
+        let labels = [("purpose", "materialization")];
+        assert_eq!(t.metrics.value("net.transfers", &labels), 1.0);
+        assert_eq!(t.metrics.value("net.bytes", &labels), 100.0);
+        // A scratch ledger sharing the handle counts at record time…
+        let scratch = Ledger::new().with_telemetry(Arc::clone(&t));
+        scratch.record(&"b".into(), &"c".into(), 50, 5, Purpose::Materialization);
+        assert_eq!(t.metrics.value("net.bytes", &labels), 150.0);
+        // …and absorbing it does not double-count.
+        l.absorb(&scratch);
+        assert_eq!(t.metrics.value("net.bytes", &labels), 150.0);
+        assert_eq!(l.len(), 2);
     }
 
     #[test]

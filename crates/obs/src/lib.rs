@@ -19,14 +19,29 @@
 //!
 //! The [`json`] module is a minimal JSON reader used to validate emitted
 //! trace files in tests and in the `repro --check-trace` smoke mode.
+//!
+//! Beyond per-query traces, the crate hosts the **fleet telemetry** layer:
+//! a [`MetricRegistry`] (counters, gauges with high-water marks, and
+//! log-bucketed [`Histogram`]s, all labeled), a structured [`EventLog`]
+//! (leveled, query-correlated, ring-buffered, JSON-lines export), and the
+//! [`Telemetry`] handle that bundles both — attached per cluster, with a
+//! process-global default in [`telemetry::global`]. Everything is recorded
+//! on the simulated clock, so telemetry is deterministic too (see
+//! `metrics` module docs for the exact rules).
 
 pub mod collect;
+pub mod event;
 pub mod json;
+pub mod metrics;
 pub mod profile;
 pub mod span;
+pub mod telemetry;
 pub mod trace;
 
 pub use collect::{disabled_collector, TraceCollector, TraceCtx};
+pub use event::{Event, EventLog, Level};
+pub use metrics::{Histogram, Metric, MetricRegistry};
 pub use profile::{ExecProfile, OpStat};
 pub use span::{Span, SpanId, SpanKind};
+pub use telemetry::Telemetry;
 pub use trace::{MetricsSnapshot, QueryTrace};

@@ -1,0 +1,90 @@
+//! The fleet telemetry handle: one [`MetricRegistry`] plus one
+//! [`EventLog`], shared as an `Arc` by everything observing one federation.
+//!
+//! Ownership model: every [`Cluster`](../../xdb_engine) carries an
+//! `Arc<Telemetry>` and hands it to its engines, its ledger, and the
+//! `GlobalCatalog` discovered over it. By default that handle is the
+//! **process-global** telemetry (so the `repro` binary can export one
+//! merged event log / registry without plumbing), but tests that assert on
+//! absolute metric values attach a fresh `Telemetry` per cluster so
+//! concurrently-running tests cannot pollute each other — the same lesson
+//! the consult-cache accounting learned in an earlier PR.
+
+use crate::event::EventLog;
+use crate::metrics::MetricRegistry;
+use std::sync::{Arc, OnceLock};
+
+/// Metrics + events for one federation (or the whole process).
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    pub metrics: MetricRegistry,
+    pub events: EventLog,
+}
+
+impl Telemetry {
+    /// A fresh, isolated telemetry handle.
+    pub fn new_handle() -> Arc<Telemetry> {
+        Arc::new(Telemetry {
+            metrics: MetricRegistry::new(),
+            events: EventLog::default(),
+        })
+    }
+
+    /// Enable/disable both sinks at once (overhead measurement switch).
+    pub fn set_enabled(&self, on: bool) {
+        self.metrics.set_enabled(on);
+        self.events.set_min_level(if on {
+            crate::event::Level::Info
+        } else {
+            crate::event::Level::Error
+        });
+    }
+
+    /// Drop all recorded metrics and events.
+    pub fn clear(&self) {
+        self.metrics.clear();
+        self.events.clear();
+    }
+}
+
+/// The process-global telemetry: the default handle every cluster starts
+/// with, and the one `repro --log` / `--metrics` export.
+pub fn global() -> &'static Arc<Telemetry> {
+    static GLOBAL: OnceLock<Arc<Telemetry>> = OnceLock::new();
+    GLOBAL.get_or_init(Telemetry::new_handle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Level;
+
+    #[test]
+    fn handles_are_isolated() {
+        let a = Telemetry::new_handle();
+        let b = Telemetry::new_handle();
+        a.metrics.counter_add("x", &[], 1.0);
+        assert_eq!(b.metrics.value("x", &[]), 0.0);
+        assert_eq!(a.metrics.value("x", &[]), 1.0);
+    }
+
+    #[test]
+    fn global_is_shared() {
+        let g1 = global();
+        let g2 = global();
+        assert!(Arc::ptr_eq(g1, g2));
+    }
+
+    #[test]
+    fn set_enabled_toggles_both_sinks() {
+        let t = Telemetry::new_handle();
+        t.set_enabled(false);
+        t.metrics.counter_add("x", &[], 1.0);
+        t.events.log(Level::Info, "t", None, 0.0, "m", &[]);
+        assert!(t.metrics.is_empty());
+        assert!(t.events.is_empty());
+        t.set_enabled(true);
+        t.events.log(Level::Info, "t", None, 0.0, "m", &[]);
+        assert_eq!(t.events.len(), 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the log-bucketed histogram: sharded observation
+//! followed by merge must be exactly equivalent to observing every value
+//! into one histogram (the invariant the parallel executor's determinism
+//! rests on), and quantiles must be monotone and bounded by the observed
+//! range.
+
+use proptest::prelude::*;
+use xdb_obs::Histogram;
+
+/// Dyadic values (multiples of 1/4): their sums are exact in f64
+/// regardless of addition order, so shard-merge equality can be asserted
+/// bit-for-bit, `sum` included.
+fn dyadic_values() -> BoxedStrategy<Vec<f64>> {
+    prop::collection::vec((0u32..4096).prop_map(|v| v as f64 / 4.0), 0..256).boxed()
+}
+
+proptest! {
+    #[test]
+    fn merge_of_shards_equals_single_histogram(
+        values in dyadic_values(),
+        shards in 1usize..8,
+    ) {
+        let mut single = Histogram::new();
+        for v in &values {
+            single.observe(*v);
+        }
+        // Round-robin the same values over `shards` histograms, then
+        // merge — the way partition-parallel workers aggregate.
+        let mut parts: Vec<Histogram> = (0..shards).map(|_| Histogram::new()).collect();
+        for (i, v) in values.iter().enumerate() {
+            parts[i % shards].observe(*v);
+        }
+        let mut merged = Histogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(&merged, &single);
+        prop_assert_eq!(merged.count, values.len() as u64);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity(values in dyadic_values()) {
+        let mut h = Histogram::new();
+        for v in &values {
+            h.observe(*v);
+        }
+        let mut merged = h.clone();
+        merged.merge(&Histogram::new());
+        prop_assert_eq!(&merged, &h);
+        let mut other = Histogram::new();
+        other.merge(&h);
+        prop_assert_eq!(&other, &h);
+    }
+
+    #[test]
+    fn quantiles_monotone_and_bounded(
+        values in prop::collection::vec(0.0f64..1.0e6, 1..256),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let mut h = Histogram::new();
+        for v in &values {
+            h.observe(*v);
+        }
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(
+            h.quantile(lo) <= h.quantile(hi),
+            "q({lo}) = {} > q({hi}) = {}",
+            h.quantile(lo),
+            h.quantile(hi)
+        );
+        // Every quantile is clamped into the observed range.
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(h.quantile(0.0) >= min);
+        prop_assert!(h.quantile(1.0) <= max);
+        prop_assert_eq!(h.count, values.len() as u64);
+    }
+
+    #[test]
+    fn cumulative_buckets_cover_count(values in dyadic_values()) {
+        let mut h = Histogram::new();
+        for v in &values {
+            h.observe(*v);
+        }
+        let cum = h.cumulative_buckets();
+        // Cumulative counts are non-decreasing and end at `count`.
+        let mut prev = 0u64;
+        for (_, c) in &cum {
+            prop_assert!(*c >= prev);
+            prev = *c;
+        }
+        if !values.is_empty() {
+            prop_assert_eq!(prev, h.count);
+        }
+    }
+}

@@ -23,3 +23,24 @@ cargo run --release -q -p xdb-bench --bin repro -- \
 XDB_SEQUENTIAL=1 cargo run --release -q -p xdb-bench --bin repro -- \
   --sf 0.002 fig9 --out target/tier1-smoke-seq.txt
 cmp target/tier1-smoke-report.txt target/tier1-smoke-seq.txt
+
+# Telemetry smoke test: the workload monitor must render its dashboard
+# plus Prometheus/JSON exports, the exports must be non-empty, and the
+# structured event log must export as JSON lines.
+cargo run --release -q -p xdb-bench --bin repro -- \
+  --sf 0.002 --runs 2 --metrics target/tier1-monitor.prom \
+  --json target/tier1-monitor.json monitor \
+  --out target/tier1-monitor.txt \
+  --log target/tier1-events.jsonl
+grep -q 'live delegation objects' target/tier1-monitor.txt
+grep -q 'monitor_latency_ms_bucket{' target/tier1-monitor.prom
+grep -q '"values"' target/tier1-monitor.json
+grep -q '"level":"info"' target/tier1-events.jsonl
+
+# Bench regression gate (opt-in: wall-clock benches are too noisy for CI
+# defaults). XDB_BENCH_GATE=1 re-measures the exec kernels and the monitor
+# workload and fails on threshold regressions vs BENCH_exec.json /
+# BENCH_monitor.json.
+if [ "${XDB_BENCH_GATE:-0}" = "1" ]; then
+  scripts/bench_gate.sh
+fi

@@ -18,7 +18,7 @@ use xdb_engine::error::{EngineError, Result};
 use xdb_engine::exec::{Execution, MapResolver};
 use xdb_engine::profile::EngineProfile;
 use xdb_engine::relation::Relation;
-use xdb_net::{mediator_finish, params, NodeId, Purpose};
+use xdb_net::{mediator_finish, params, wire, NodeId, Purpose};
 use xdb_obs::{QueryTrace, SpanKind, TraceCollector};
 use xdb_sql::algebra::plan_to_select;
 use xdb_sql::ast::Statement;
@@ -93,8 +93,12 @@ pub struct MwReport {
     pub transfer_ms: f64,
     /// Mediator-side residual execution time.
     pub mediator_work_ms: f64,
-    /// Bytes fetched into the mediator.
+    /// Raw (uncompressed) bytes fetched into the mediator.
     pub fetch_bytes: u64,
+    /// Encoded bytes after the shared `net::wire` codec — the size the
+    /// simulated fetch transfers actually paid for (apples-to-apples with
+    /// XDB's streamed edges).
+    pub fetch_encoded_bytes: u64,
     pub fetch_rows: u64,
     pub subqueries: usize,
     /// Coarse span timeline of the MW execution (sub-query pushes, fetches
@@ -129,7 +133,13 @@ impl<'a> Mediator<'a> {
 
     /// Coarse fleet telemetry for one MW submission — emitted once from
     /// the (single-threaded) tail of `submit`, so it is deterministic.
-    fn note_submit(&self, total_ms: f64, fetch_bytes: u64, subqueries: usize) {
+    fn note_submit(
+        &self,
+        total_ms: f64,
+        fetch_bytes: u64,
+        fetch_encoded_bytes: u64,
+        subqueries: usize,
+    ) {
         let telemetry = self.cluster.telemetry();
         let labels = [("system", self.config.name)];
         telemetry.metrics.observe("mw.total_ms", &labels, total_ms);
@@ -137,6 +147,11 @@ impl<'a> Mediator<'a> {
         telemetry
             .metrics
             .counter_add("mw.fetch_bytes", &labels, fetch_bytes as f64);
+        telemetry.metrics.counter_add(
+            "mw.fetch_encoded_bytes",
+            &labels,
+            fetch_encoded_bytes as f64,
+        );
         let bytes = fetch_bytes.to_string();
         let subs = subqueries.to_string();
         telemetry.events.log(
@@ -204,10 +219,13 @@ impl<'a> Mediator<'a> {
         collector.attr(query_span, "mediator", self.config.node.as_str());
         let mut fetched = MapResolver::new();
         let mut fetches: Vec<(f64, f64)> = Vec::new();
-        // Per-fragment (task id, dbms, finish_ms, transfer_ms, bytes, rows)
-        // kept aside for span emission once the totals are known.
-        let mut fragment_stats: Vec<(usize, NodeId, f64, f64, u64, u64)> = Vec::new();
+        // Per-fragment (task id, dbms, finish_ms, transfer_ms, bytes,
+        // encoded bytes, rows) kept aside for span emission once the
+        // totals are known.
+        #[allow(clippy::type_complexity)]
+        let mut fragment_stats: Vec<(usize, NodeId, f64, f64, u64, u64, u64)> = Vec::new();
         let mut fetch_bytes = 0u64;
+        let mut fetch_encoded_bytes = 0u64;
         let mut fetch_rows = 0u64;
         let mut subqueries = 0usize;
         let leaf_ids: Vec<usize> = plan
@@ -234,20 +252,39 @@ impl<'a> Mediator<'a> {
                             EngineError::Execution("sub-query returned no relation".into())
                         })?;
                         let bytes = rel.wire_bytes();
-                        scoped.ledger.record(
+                        // Fragment fetches ride the same wire codec as
+                        // XDB's streamed edges: encode at the DBMS,
+                        // stream-decode into the mediator, charge the
+                        // transfer for encoded bytes.
+                        let chunk_rows = cluster.engine(task.dbms.as_str())?.stream_chunk_rows();
+                        let enc = wire::encode(rel.columns(), rel.len());
+                        let stats = enc.stats(chunk_rows);
+                        let rel = Relation::from_columns(
+                            rel.fields.clone(),
+                            wire::decode_chunked(&enc, chunk_rows),
+                            rel.len(),
+                        );
+                        scoped.ledger.record_wire(
                             &task.dbms,
                             &config.node,
                             bytes,
                             rel.len() as u64,
                             Purpose::SubqueryResult,
+                            &stats,
                         );
                         let transfer = cluster.topology.transfer_ms(
                             &task.dbms,
                             &config.node,
-                            bytes,
+                            stats.encoded_bytes,
                             config.protocol_overhead,
                         );
-                        Ok((rel, outcome.report.finish_ms, transfer, scoped.ledger))
+                        Ok((
+                            rel,
+                            outcome.report.finish_ms,
+                            transfer,
+                            scoped.ledger,
+                            stats.encoded_bytes,
+                        ))
                     })
                 })
                 .collect();
@@ -257,7 +294,7 @@ impl<'a> Mediator<'a> {
                 .collect()
         });
         for (id, fragment) in leaf_ids.into_iter().zip(fragments) {
-            let (rel, finish_ms, transfer, ledger) = fragment?;
+            let (rel, finish_ms, transfer, ledger, encoded) = fragment?;
             self.cluster.ledger.absorb(&ledger);
             let bytes = rel.wire_bytes();
             fetches.push((finish_ms, transfer));
@@ -267,9 +304,11 @@ impl<'a> Mediator<'a> {
                 finish_ms,
                 transfer,
                 bytes,
+                encoded,
                 rel.len() as u64,
             ));
             fetch_bytes += bytes;
+            fetch_encoded_bytes += encoded;
             fetch_rows += rel.len() as u64;
             subqueries += 1;
             fetched.insert(placeholder_name(id), rel);
@@ -285,17 +324,27 @@ impl<'a> Mediator<'a> {
                 .cluster
                 .query(root.dbms.as_str(), &render_select_string(&stmt, dialect))?;
             let bytes = rel.wire_bytes();
-            self.cluster.ledger.record(
+            let chunk_rows = self.cluster.engine(root.dbms.as_str())?.stream_chunk_rows();
+            let enc = wire::encode(rel.columns(), rel.len());
+            let stats = enc.stats(chunk_rows);
+            let rel = Relation::from_columns(
+                rel.fields.clone(),
+                wire::decode_chunked(&enc, chunk_rows),
+                rel.len(),
+            );
+            let encoded = stats.encoded_bytes;
+            self.cluster.ledger.record_wire(
                 &root.dbms,
                 &self.config.node,
                 bytes,
                 rel.len() as u64,
                 Purpose::SubqueryResult,
+                &stats,
             );
             let transfer = self.cluster.topology.transfer_ms(
                 &root.dbms,
                 &self.config.node,
-                bytes,
+                encoded,
                 self.config.protocol_overhead,
             );
             let total_ms = params::DDL_ROUNDTRIP_MS + report.finish_ms + transfer;
@@ -317,16 +366,19 @@ impl<'a> Mediator<'a> {
                 transfer,
             );
             collector.attr(wire, "bytes", bytes.to_string());
+            collector.attr(wire, "encoded_bytes", encoded.to_string());
             collector.set_dur(query_span, total_ms);
             collector.add("fetch.bytes", bytes as f64);
+            collector.add("fetch.encoded_bytes", encoded as f64);
             collector.add("fetch.rows", rel.len() as f64);
             collector.add("subqueries", 1.0);
-            self.note_submit(total_ms, bytes, 1);
+            self.note_submit(total_ms, bytes, encoded, 1);
             return Ok(MwReport {
                 total_ms,
                 transfer_ms: transfer,
                 mediator_work_ms: 0.0,
                 fetch_bytes: bytes,
+                fetch_encoded_bytes: encoded,
                 fetch_rows: rel.len() as u64,
                 subqueries: 1,
                 relation: rel,
@@ -373,7 +425,9 @@ impl<'a> Mediator<'a> {
         // Coarse timeline: wrapper submissions first, then per-fragment
         // sub-query + fetch lanes, then the mediator's residual work
         // finishing at `total_ms`.
-        for (k, (id, dbms, finish_ms, transfer, bytes, rows)) in fragment_stats.iter().enumerate() {
+        for (k, (id, dbms, finish_ms, transfer, bytes, encoded, rows)) in
+            fragment_stats.iter().enumerate()
+        {
             let push = collector.span(
                 SpanKind::Ddl,
                 format!("push subquery t{id}"),
@@ -401,6 +455,7 @@ impl<'a> Mediator<'a> {
                 *transfer,
             );
             collector.attr(wire, "bytes", bytes.to_string());
+            collector.attr(wire, "encoded_bytes", encoded.to_string());
             collector.attr(wire, "rows", rows.to_string());
         }
         let work_span = collector.span(
@@ -414,15 +469,17 @@ impl<'a> Mediator<'a> {
         collector.attr(work_span, "workers", self.config.workers.to_string());
         collector.set_dur(query_span, total_ms);
         collector.add("fetch.bytes", fetch_bytes as f64);
+        collector.add("fetch.encoded_bytes", fetch_encoded_bytes as f64);
         collector.add("fetch.rows", fetch_rows as f64);
         collector.add("subqueries", subqueries as f64);
-        self.note_submit(total_ms, fetch_bytes, subqueries);
+        self.note_submit(total_ms, fetch_bytes, fetch_encoded_bytes, subqueries);
         Ok(MwReport {
             relation,
             total_ms,
             transfer_ms,
             mediator_work_ms,
             fetch_bytes,
+            fetch_encoded_bytes,
             fetch_rows,
             subqueries,
             trace: collector.finish(),

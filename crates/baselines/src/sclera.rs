@@ -13,7 +13,7 @@ use xdb_core::plan::placeholder_name;
 use xdb_engine::cluster::Cluster;
 use xdb_engine::error::{EngineError, Result};
 use xdb_engine::relation::Relation;
-use xdb_net::{Movement, NodeId, Purpose};
+use xdb_net::{wire, Movement, NodeId, Purpose};
 use xdb_obs::{QueryTrace, SpanKind, TraceCollector};
 use xdb_sql::algebra::plan_to_select;
 use xdb_sql::ast::Statement;
@@ -28,9 +28,12 @@ pub struct ScleraReport {
     pub total_ms: f64,
     /// Time spent exporting/importing intermediates through the mediator.
     pub transfer_ms: f64,
-    /// Bytes moved through the mediator (each intermediate counted on both
-    /// hops).
+    /// Raw bytes moved through the mediator (each intermediate counted on
+    /// both hops).
     pub moved_bytes: u64,
+    /// Encoded bytes moved after the shared `net::wire` codec (both hops)
+    /// — the size the simulated transfers actually paid for.
+    pub moved_encoded_bytes: u64,
     pub tasks: usize,
     /// Coarse span timeline of the serial export/import/execute loop for
     /// side-by-side comparison with XDB traces.
@@ -105,6 +108,7 @@ impl<'a> Sclera<'a> {
         let mut total_ms = 0.0f64;
         let mut transfer_ms = 0.0f64;
         let mut moved_bytes = 0u64;
+        let mut moved_encoded_bytes = 0u64;
         let mut temp_tables: Vec<(NodeId, String)> = Vec::new();
         let mut result = None;
         for id in plan.topo_order() {
@@ -118,30 +122,43 @@ impl<'a> Sclera<'a> {
                     .ok_or_else(|| EngineError::Execution("missing task output".into()))?;
                 let bytes = rel.wire_bytes();
                 let producer = &plan.task(edge.from).dbms;
-                self.cluster.ledger.record(
+                // Both hops ride the shared wire codec; the exported
+                // relation is re-encoded for each hop (Sclera's mediator
+                // decodes and re-encodes, it does not relay frames).
+                let chunk_rows = engine.stream_chunk_rows();
+                let enc = wire::encode(rel.columns(), rel.len());
+                let stats = enc.stats(chunk_rows);
+                let rel = Relation::from_columns(
+                    rel.fields.clone(),
+                    wire::decode_chunked(&enc, chunk_rows),
+                    rel.len(),
+                );
+                self.cluster.ledger.record_wire(
                     producer,
                     &self.mediator,
                     bytes,
                     rel.len() as u64,
                     Purpose::Materialization,
+                    &stats,
                 );
-                self.cluster.ledger.record(
+                self.cluster.ledger.record_wire(
                     &self.mediator,
                     &task.dbms,
                     bytes,
                     rel.len() as u64,
                     Purpose::Materialization,
+                    &stats,
                 );
                 let hop1 = self.cluster.topology.transfer_ms(
                     producer,
                     &self.mediator,
-                    bytes,
+                    stats.encoded_bytes,
                     xdb_net::params::BINARY_PROTOCOL_OVERHEAD,
                 );
                 let hop2 = self.cluster.topology.transfer_ms(
                     &self.mediator,
                     &task.dbms,
-                    bytes,
+                    stats.encoded_bytes,
                     xdb_net::params::BINARY_PROTOCOL_OVERHEAD,
                 );
                 let import = rel.len() as f64 * engine.profile.write_cost_ms;
@@ -156,6 +173,7 @@ impl<'a> Sclera<'a> {
                     hop1 + hop2,
                 );
                 collector.attr(wire, "bytes", (bytes * 2).to_string());
+                collector.attr(wire, "encoded_bytes", (stats.encoded_bytes * 2).to_string());
                 collector.attr(wire, "rows", rel.len().to_string());
                 collector.attr(wire, "movement", "explicit");
                 let mat = collector.span(
@@ -171,6 +189,7 @@ impl<'a> Sclera<'a> {
                 // Export + import are separate client-driven statements.
                 total_ms += hop1 + hop2 + import + 2.0 * xdb_net::params::DDL_ROUNDTRIP_MS;
                 moved_bytes += bytes * 2;
+                moved_encoded_bytes += stats.encoded_bytes * 2;
                 let temp = placeholder_name(edge.from);
                 engine.load_table(&temp, rel)?;
                 temp_tables.push((task.dbms.clone(), temp));
@@ -204,6 +223,7 @@ impl<'a> Sclera<'a> {
         }
         collector.set_dur(query_span, total_ms);
         collector.add("moved.bytes", moved_bytes as f64);
+        collector.add("moved.encoded_bytes", moved_encoded_bytes as f64);
         collector.add("tasks", plan.tasks.len() as f64);
         // Coarse fleet telemetry (serial executor: deterministic by
         // construction).
@@ -214,6 +234,11 @@ impl<'a> Sclera<'a> {
         telemetry
             .metrics
             .counter_add("mw.fetch_bytes", &labels, moved_bytes as f64);
+        telemetry.metrics.counter_add(
+            "mw.fetch_encoded_bytes",
+            &labels,
+            moved_encoded_bytes as f64,
+        );
         let bytes = moved_bytes.to_string();
         let tasks = plan.tasks.len().to_string();
         telemetry.events.log(
@@ -229,6 +254,7 @@ impl<'a> Sclera<'a> {
             total_ms,
             transfer_ms,
             moved_bytes,
+            moved_encoded_bytes,
             tasks: plan.tasks.len(),
             trace: collector.finish(),
         })

@@ -1,0 +1,46 @@
+//! End-to-end cost of the streamed dataflow edges: the full XDB
+//! delegation pipeline over the vaccination scenario, varying only the
+//! transport morsel size. Chunking must be (and, per the determinism
+//! tests, is) unobservable in the simulated clock — this bench watches the
+//! *wall-clock* overhead of the chunked encode → stream-decode loop, i.e.
+//! what the host pays for pipelining the wire.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use xdb_core::scenario::{self, ScenarioConfig};
+use xdb_core::{Xdb, XdbOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exec_stream_overlap");
+    g.sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let (cluster, catalog) = scenario::build(ScenarioConfig {
+        citizens: 20_000,
+        vaccination_events: 40_000,
+        measurements: 120_000,
+        ..Default::default()
+    })
+    .unwrap();
+
+    for (name, chunk) in [
+        ("edge_unbounded", 0usize),
+        ("edge_chunk_4096", 4096),
+        ("edge_chunk_256", 256),
+    ] {
+        g.bench_function(name, |b| {
+            let xdb = Xdb::new(&cluster, &catalog).with_options(XdbOptions {
+                stream_chunk_rows: chunk,
+                ..Default::default()
+            });
+            b.iter(|| xdb.submit(scenario::EXAMPLE_QUERY).unwrap())
+        });
+    }
+
+    g.finish();
+    black_box(());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -247,6 +247,27 @@ mod tests {
     }
 
     #[test]
+    fn shipped_exec_baseline_covers_all_bench_groups() {
+        // The exec gate treats baseline-only series as failures, so every
+        // criterion group `scripts/bench_snapshot.sh` runs must be present
+        // in the checked-in baseline — a dropped group would otherwise
+        // silently fall out of the gate.
+        let m = parse_exec_snapshot(include_str!("../../../BENCH_exec.json")).unwrap();
+        for series in [
+            "filter_columnar",
+            "aggregate_columnar",
+            "wire_encode",
+            "wire_decode",
+            "wire_decode_chunked",
+            "edge_unbounded",
+            "edge_chunk_4096",
+            "edge_chunk_256",
+        ] {
+            assert!(m.contains_key(series), "BENCH_exec.json missing {series}");
+        }
+    }
+
+    #[test]
     fn monitor_roundtrips_through_gate() {
         let report =
             crate::monitor::run_monitor_with(0.002, 1, Some(xdb_obs::Telemetry::new_handle()))

@@ -38,9 +38,12 @@ pub struct MonitorRow {
     pub p50_ms: f64,
     pub p95_ms: f64,
     pub p99_ms: f64,
-    /// Mean bytes moved between DBMSes (XDB) or into the mediator
-    /// (Garlic/Presto/Sclera) per run.
+    /// Mean raw (uncompressed) bytes moved between DBMSes (XDB) or into
+    /// the mediator (Garlic/Presto/Sclera) per run.
     pub mean_bytes: f64,
+    /// Mean encoded bytes actually sent over the wire after the
+    /// `net::wire` columnar codec — what the transfer-time model charged.
+    pub mean_encoded_bytes: f64,
     /// Consultation-cache hit rate over the probes this cell issued.
     pub cache_hit_rate: f64,
 }
@@ -94,11 +97,12 @@ pub fn run_monitor_with(
                 // per-run consultation delta, immune to everything the
                 // workload did before.
                 let before = e.catalog.metrics_snapshot();
-                let (latency_ms, moved) = run_one(&e, dep, q.sql(), parallel)?;
+                let (latency_ms, moved, encoded) = run_one(&e, dep, q.sql(), parallel)?;
                 let delta = e.catalog.metrics_snapshot().diff(&before);
                 let labels = [("query", q.name()), ("deployment", dep)];
                 registry.observe("monitor.latency_ms", &labels, latency_ms);
                 registry.observe("monitor.bytes_moved", &labels, moved as f64);
+                registry.observe("monitor.encoded_bytes_moved", &labels, encoded as f64);
                 registry.counter_add("monitor.runs", &labels, 1.0);
                 registry.counter_add(
                     "monitor.cache_hits",
@@ -131,6 +135,10 @@ pub fn run_monitor_with(
                 Some(Metric::Histogram(h)) => h.mean(),
                 _ => 0.0,
             };
+            let mean_encoded_bytes = match registry.get("monitor.encoded_bytes_moved", &labels) {
+                Some(Metric::Histogram(h)) => h.mean(),
+                _ => 0.0,
+            };
             let hits = registry.value("monitor.cache_hits", &labels);
             let probes = hits + registry.value("monitor.cache_misses", &labels);
             rows.push(MonitorRow {
@@ -141,6 +149,7 @@ pub fn run_monitor_with(
                 p95_ms: p95,
                 p99_ms: p99,
                 mean_bytes,
+                mean_encoded_bytes,
                 cache_hit_rate: if probes > 0.0 { hits / probes } else { 0.0 },
             });
         }
@@ -170,7 +179,7 @@ pub fn run_monitor_with(
 /// Execute `sql` once under `deployment`, returning (latency_ms,
 /// bytes_moved). Latency is end-to-end simulated time including the
 /// middleware phases, matching what each system's user would observe.
-fn run_one(e: &Env, deployment: &str, sql: &str, parallel: bool) -> Result<(f64, u64)> {
+fn run_one(e: &Env, deployment: &str, sql: &str, parallel: bool) -> Result<(f64, u64, u64)> {
     e.cluster.ledger.clear();
     match deployment {
         "xdb" => {
@@ -183,21 +192,26 @@ fn run_one(e: &Env, deployment: &str, sql: &str, parallel: bool) -> Result<(f64,
             let out = xdb.submit(sql)?;
             let moved = e.cluster.ledger.bytes_for(Purpose::InterDbmsPipeline)
                 + e.cluster.ledger.bytes_for(Purpose::Materialization);
-            Ok((out.breakdown.total_ms(), moved))
+            let encoded = e
+                .cluster
+                .ledger
+                .encoded_bytes_for(Purpose::InterDbmsPipeline)
+                + e.cluster.ledger.encoded_bytes_for(Purpose::Materialization);
+            Ok((out.breakdown.total_ms(), moved, encoded))
         }
         "garlic" => {
             let r =
                 Mediator::new(&e.cluster, &e.catalog, MediatorConfig::garlic(CLOUD)).submit(sql)?;
-            Ok((r.total_ms, r.fetch_bytes))
+            Ok((r.total_ms, r.fetch_bytes, r.fetch_encoded_bytes))
         }
         "presto4" => {
             let r = Mediator::new(&e.cluster, &e.catalog, MediatorConfig::presto(CLOUD, 4))
                 .submit(sql)?;
-            Ok((r.total_ms, r.fetch_bytes))
+            Ok((r.total_ms, r.fetch_bytes, r.fetch_encoded_bytes))
         }
         "sclera" => {
             let r = Sclera::new(&e.cluster, &e.catalog, CLOUD).submit(sql)?;
-            Ok((r.total_ms, r.moved_bytes))
+            Ok((r.total_ms, r.moved_bytes, r.moved_encoded_bytes))
         }
         other => Err(EngineError::Unsupported(format!(
             "unknown deployment {other:?}"
@@ -216,13 +230,31 @@ impl MonitorReport {
         );
         let _ = writeln!(
             out,
-            "{:<6} {:<10} {:>4} {:>12} {:>12} {:>12} {:>12} {:>10}",
-            "query", "deploy", "runs", "p50 ms", "p95 ms", "p99 ms", "moved KB", "cache hit"
+            "{:<6} {:<10} {:>4} {:>12} {:>12} {:>12} {:>12} {:>10} {:>7} {:>10}",
+            "query",
+            "deploy",
+            "runs",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "moved KB",
+            "wire KB",
+            "ratio",
+            "cache hit"
         );
+        let mut raw_total = 0.0f64;
+        let mut enc_total = 0.0f64;
         for r in &self.rows {
+            let ratio = if r.mean_encoded_bytes > 0.0 {
+                r.mean_bytes / r.mean_encoded_bytes
+            } else {
+                0.0
+            };
+            raw_total += r.mean_bytes;
+            enc_total += r.mean_encoded_bytes;
             let _ = writeln!(
                 out,
-                "{:<6} {:<10} {:>4} {:>12.3} {:>12.3} {:>12.3} {:>12.1} {:>9.1}%",
+                "{:<6} {:<10} {:>4} {:>12.3} {:>12.3} {:>12.3} {:>12.1} {:>10.1} {:>6.2}x {:>9.1}%",
                 r.query,
                 r.deployment,
                 r.runs,
@@ -230,7 +262,18 @@ impl MonitorReport {
                 r.p95_ms,
                 r.p99_ms,
                 r.mean_bytes / 1e3,
+                r.mean_encoded_bytes / 1e3,
+                ratio,
                 100.0 * r.cache_hit_rate
+            );
+        }
+        if enc_total > 0.0 {
+            let _ = writeln!(
+                out,
+                "wire codec: {:.1} KB raw -> {:.1} KB encoded ({:.2}x compression)",
+                raw_total / 1e3,
+                enc_total / 1e3,
+                raw_total / enc_total
             );
         }
         let mut hwm_line = String::from("live delegation objects (high-water):");
@@ -261,6 +304,10 @@ impl MonitorReport {
                 format!("{}/{}/mean_bytes", r.query, r.deployment),
                 r.mean_bytes,
             );
+            v.insert(
+                format!("{}/{}/mean_enc_bytes", r.query, r.deployment),
+                r.mean_encoded_bytes,
+            );
         }
         v
     }
@@ -279,7 +326,7 @@ impl MonitorReport {
                 out,
                 "    {{\"query\": {}, \"deployment\": {}, \"runs\": {}, \
                  \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}, \
-                 \"mean_bytes\": {}, \"cache_hit_rate\": {}}}{}",
+                 \"mean_bytes\": {}, \"mean_enc_bytes\": {}, \"cache_hit_rate\": {}}}{}",
                 json_string(r.query),
                 json_string(r.deployment),
                 r.runs,
@@ -287,6 +334,7 @@ impl MonitorReport {
                 json_number(r.p95_ms),
                 json_number(r.p99_ms),
                 json_number(r.mean_bytes),
+                json_number(r.mean_encoded_bytes),
                 json_number(r.cache_hit_rate),
                 if i + 1 < self.rows.len() { "," } else { "" }
             );
@@ -345,6 +393,14 @@ mod tests {
                 r.query,
                 r.deployment
             );
+            assert!(
+                r.mean_encoded_bytes > 0.0 && r.mean_encoded_bytes <= r.mean_bytes,
+                "{}/{} encoded {} vs raw {}",
+                r.query,
+                r.deployment,
+                r.mean_encoded_bytes,
+                r.mean_bytes
+            );
         }
         // With 2 runs per cell every second consultation hits the cache
         // (no DDL invalidates base-table probes between runs), so the
@@ -381,6 +437,23 @@ mod tests {
         let rows = parsed.get("rows").and_then(json::Value::as_array).unwrap();
         assert_eq!(rows.len(), report.rows.len());
         assert!(parsed.get("values").is_some());
+    }
+
+    #[test]
+    fn wire_codec_at_least_halves_xdb_bytes() {
+        // The ISSUE 5 acceptance bar: on the TD1 workload the columnar
+        // codec moves at least 2x fewer bytes over XDB's streamed edges
+        // than the raw wire size.
+        let report = run_monitor_with(TEST_SF, 1, Some(Telemetry::new_handle())).unwrap();
+        let (mut raw, mut enc) = (0.0f64, 0.0f64);
+        for r in report.rows.iter().filter(|r| r.deployment == "xdb") {
+            raw += r.mean_bytes;
+            enc += r.mean_encoded_bytes;
+        }
+        assert!(
+            raw >= 2.0 * enc,
+            "xdb TD1 compression below 2x: raw {raw} encoded {enc}"
+        );
     }
 
     #[test]

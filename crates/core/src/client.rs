@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use xdb_engine::cluster::Cluster;
 use xdb_engine::error::{EngineError, Result};
 use xdb_engine::relation::Relation;
-use xdb_net::{params, NodeId, Purpose};
+use xdb_net::{params, wire, NodeId, Purpose};
 use xdb_obs::{QueryTrace, SpanId, SpanKind, TraceCollector, TraceCtx};
 use xdb_sql::ast::{Statement, TableRef};
 use xdb_sql::bind::bind_select;
@@ -126,6 +126,12 @@ pub struct XdbOptions {
     /// Operator spans to the trace. Off by default: operator profiling is
     /// the only instrumentation with a per-row bookkeeping footprint.
     pub trace_operators: bool,
+    /// Transport morsel size (rows) for streamed dataflow edges; 0 means
+    /// unbounded (one chunk per edge). Defaults to 4096, overridable via
+    /// `XDB_STREAM_CHUNK`. Any value yields bit-identical results,
+    /// ledgers, simulated timings, traces, and deterministic metric
+    /// snapshots — only the quarantined `net.chunks` series moves.
+    pub stream_chunk_rows: usize,
 }
 
 impl Default for XdbOptions {
@@ -138,6 +144,7 @@ impl Default for XdbOptions {
             keep_objects: false,
             parallel_execution: true,
             trace_operators: false,
+            stream_chunk_rows: xdb_engine::default_stream_chunk_rows(),
         }
     }
 }
@@ -476,6 +483,10 @@ impl<'a> Xdb<'a> {
         if self.options.trace_operators {
             self.cluster.set_op_tracing(true);
         }
+        // Publish the transport morsel size to every engine; edges encode
+        // per edge and stream at this granularity.
+        self.cluster
+            .set_stream_chunk_rows(self.options.stream_chunk_rows);
         let exec = if self.options.parallel_execution {
             run_script_parallel(self.cluster, &delegation, &script, &trace_ctx)
         } else {
@@ -504,13 +515,16 @@ impl<'a> Xdb<'a> {
                 return Err(e);
             }
         };
-        // The final result travels from the root DBMS to the client.
-        self.cluster.ledger.record(
+        // The final result travels from the root DBMS to the client —
+        // through the same wire codec as every other edge.
+        let final_enc = wire::encode(outcome.relation.columns(), outcome.relation.len());
+        self.cluster.ledger.record_wire(
             &script.root_node,
             &self.client_node,
             outcome.relation.wire_bytes(),
             outcome.relation.len() as u64,
             Purpose::FinalResult,
+            &final_enc.stats(self.options.stream_chunk_rows),
         );
         if !self.options.keep_objects {
             run_cleanup(self.cluster, &script);
@@ -596,6 +610,7 @@ impl<'a> Xdb<'a> {
                 slot,
             );
             collector.attr(span, "bytes", t.bytes.to_string());
+            collector.attr(span, "encoded_bytes", t.encoded_bytes.to_string());
             collector.attr(span, "rows", t.rows.to_string());
             collector.attr(span, "purpose", format!("{:?}", t.purpose));
             collector.attr(span, "order", i.to_string());
@@ -605,6 +620,7 @@ impl<'a> Xdb<'a> {
                 _ => {}
             }
             collector.add("net.bytes", t.bytes as f64);
+            collector.add("net.encoded_bytes", t.encoded_bytes as f64);
             // Per-edge transfer size distribution for the fleet registry
             // (this loop runs single-threaded in ledger-merge order).
             let telemetry = self.cluster.telemetry();

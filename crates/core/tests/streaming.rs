@@ -1,0 +1,135 @@
+//! Streamed-edge determinism: chunking the inter-engine dataflow into
+//! transport morsels is an implementation detail of the wire, so results,
+//! ledgers, simulated timings, traces, and the deterministic telemetry
+//! snapshot must be bit-identical across chunk sizes (1 row, the default
+//! 4096, unbounded) and across the sequential and parallel executors.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use xdb_core::scenario::{self, ScenarioConfig};
+use xdb_core::{GlobalCatalog, Xdb, XdbOptions};
+use xdb_engine::cluster::Cluster;
+use xdb_obs::Telemetry;
+
+/// Query ids come from a process-global counter and their decimal width
+/// leaks into control-message byte counts; pairs under comparison are
+/// serialized and retried until both ids have the same width (see the
+/// telemetry tests for the same pattern).
+static SUBMIT_LOCK: Mutex<()> = Mutex::new(());
+
+fn setup() -> (Cluster, GlobalCatalog, Arc<Telemetry>) {
+    let (mut cluster, mut catalog) = scenario::build(ScenarioConfig::default()).unwrap();
+    let telemetry = Telemetry::new_handle();
+    cluster.set_telemetry(Arc::clone(&telemetry));
+    catalog.set_telemetry(Arc::clone(&telemetry));
+    (cluster, catalog, telemetry)
+}
+
+/// Replace every decimal run after `xdb_q` / `"query":` with `N` so two
+/// runs with different global query ids compare equal byte-for-byte.
+fn normalize_ids(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        out.push(bytes[i] as char);
+        let here = &s[..=i];
+        if here.ends_with("xdb_q") || here.ends_with("\"query\":") {
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+            if j > i + 1 {
+                out.push('N');
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// One full submission at the given transport chunk size; returns the
+/// query id and the complete observable fingerprint of the run.
+fn run(chunk: usize, parallel: bool) -> (u64, String) {
+    let (cluster, catalog, telemetry) = setup();
+    let xdb = Xdb::new(&cluster, &catalog).with_options(XdbOptions {
+        parallel_execution: parallel,
+        stream_chunk_rows: chunk,
+        ..Default::default()
+    });
+    let outcome = xdb.submit(scenario::EXAMPLE_QUERY).unwrap();
+    let mut fp = String::new();
+    // Result rows, in order, every value bit-rendered.
+    for i in 0..outcome.relation.len() {
+        for c in 0..outcome.relation.width() {
+            fp.push_str(&format!("{:?}|", outcome.relation.value(i, c)));
+        }
+        fp.push('\n');
+    }
+    // Simulated timings.
+    fp.push_str(&format!("{:?}\n", outcome.breakdown));
+    // Ledger: every transfer, raw and encoded bytes included.
+    for t in cluster.ledger.snapshot() {
+        fp.push_str(&format!("{t:?}\n"));
+    }
+    // Trace and deterministic telemetry.
+    fp.push_str(&outcome.trace.canonical());
+    fp.push_str(&telemetry.metrics.deterministic_snapshot().render());
+    (outcome.query_id, normalize_ids(&fp))
+}
+
+fn run_comparable_pair(a: (usize, bool), b: (usize, bool)) -> (String, String) {
+    let _guard = SUBMIT_LOCK.lock();
+    loop {
+        let (ida, fa) = run(a.0, a.1);
+        let (idb, fb) = run(b.0, b.1);
+        if ida.to_string().len() == idb.to_string().len() {
+            return (fa, fb);
+        }
+    }
+}
+
+#[test]
+fn chunk_size_is_unobservable() {
+    // Unbounded (0) is the reference; 1-row morsels and the 4096 default
+    // must match it on every observable surface.
+    for chunk in [1usize, 4096] {
+        for parallel in [false, true] {
+            let (reference, chunked) = run_comparable_pair((0, parallel), (chunk, parallel));
+            assert_eq!(
+                reference, chunked,
+                "chunk {chunk} (parallel={parallel}) observable"
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_identical_sequential_vs_parallel() {
+    for chunk in [1usize, 4096, 0] {
+        let (seq, par) = run_comparable_pair((chunk, false), (chunk, true));
+        assert_eq!(seq, par, "chunk {chunk} diverges across executors");
+    }
+}
+
+#[test]
+fn encoded_bytes_never_exceed_raw() {
+    let _guard = SUBMIT_LOCK.lock();
+    let (cluster, catalog, _telemetry) = setup();
+    let xdb = Xdb::new(&cluster, &catalog);
+    xdb.submit(scenario::EXAMPLE_QUERY).unwrap();
+    let transfers = cluster.ledger.snapshot();
+    assert!(!transfers.is_empty());
+    for t in &transfers {
+        assert!(
+            t.encoded_bytes <= t.bytes,
+            "codec inflated {} -> {} on {:?}",
+            t.bytes,
+            t.encoded_bytes,
+            t.purpose
+        );
+    }
+    assert!(cluster.ledger.total_encoded_bytes() < cluster.ledger.total_bytes());
+}

@@ -15,7 +15,7 @@ use crate::relation::Relation;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
-use xdb_net::{Ledger, NodeId, Topology};
+use xdb_net::{wire, Ledger, NodeId, Topology};
 use xdb_obs::Telemetry;
 
 /// A set of named engines plus network fabric and transfer accounting.
@@ -156,17 +156,31 @@ impl Cluster {
             .relation
             .ok_or_else(|| EngineError::Remote("fetch produced no relation".into()))?;
         let bytes = relation.wire_bytes();
-        ledger.record(
+        // Every edge really goes through the wire codec: encode once at
+        // the producer (codec state spans the whole edge, so the encoded
+        // size is chunk-invariant), then stream-decode at transport
+        // granularity on the consumer side. The decoded relation — not
+        // the producer's — is what flows on, so codec correctness is
+        // load-bearing for every query result.
+        let chunk_rows = producer.stream_chunk_rows();
+        let encoded = wire::encode(relation.columns(), relation.len());
+        let stats = encoded.stats(chunk_rows);
+        let columns = wire::decode_chunked(&encoded, chunk_rows);
+        let relation = Relation::from_columns(relation.fields.clone(), columns, relation.len());
+        ledger.record_wire(
             &producer.node,
             &request.consumer,
             bytes,
             relation.len() as u64,
             request.purpose,
+            &stats,
         );
+        // The simulated transfer pays for encoded bytes — compression is
+        // what the streaming plane buys.
         let transfer_ms = self.topology.transfer_ms(
             &producer.node,
             &request.consumer,
-            bytes,
+            stats.encoded_bytes,
             request.protocol_overhead,
         );
         Ok(FetchReply {
@@ -189,6 +203,15 @@ impl Cluster {
     pub fn set_exec_partitions(&self, n: usize) {
         for engine in self.engines.values() {
             engine.set_exec_partitions(n);
+        }
+    }
+
+    /// Set the streamed-edge transport morsel size on every engine
+    /// (0 = unbounded). Results, ledgers and simulated timings are
+    /// bit-identical at any setting.
+    pub fn set_stream_chunk_rows(&self, rows: usize) {
+        for engine in self.engines.values() {
+            engine.set_stream_chunk_rows(rows);
         }
     }
 }

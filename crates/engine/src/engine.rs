@@ -122,6 +122,12 @@ pub struct Engine {
     /// fully sequential; any value yields bit-identical results (row
     /// order included), so this only trades wall-clock for threads.
     exec_partitions: AtomicUsize,
+    /// Transport morsel size (rows) for streamed dataflow edges; 0 means
+    /// unbounded (one chunk per edge). Codec state is computed per edge,
+    /// never per chunk, so any value yields bit-identical results,
+    /// ledgers, and simulated timings — only the quarantined `net.chunks`
+    /// metric (and wall-clock overlap) changes.
+    stream_chunk_rows: AtomicUsize,
     /// Reusable per-query executor scratch (hash tables, chain buffers).
     /// Executions pop one on entry and push it back after the run, so
     /// steady-state queries stop reallocating their largest structures.
@@ -152,6 +158,7 @@ impl Engine {
             ddl_generation: AtomicU64::new(0),
             trace_ops: AtomicBool::new(false),
             exec_partitions: AtomicUsize::new(default_exec_partitions()),
+            stream_chunk_rows: AtomicUsize::new(default_stream_chunk_rows()),
             scratch_pool: Mutex::new(Vec::new()),
             telemetry: RwLock::new(Arc::clone(xdb_obs::telemetry::global())),
         };
@@ -179,6 +186,13 @@ impl Engine {
             "exec.partitions",
             &labels,
             self.exec_partitions() as f64,
+        );
+        // Under `sched.` so chunk-size bit-identity comparisons never see
+        // the knob itself.
+        self.telemetry().metrics.gauge_set(
+            "sched.stream_chunk_rows",
+            &labels,
+            self.stream_chunk_rows() as f64,
         );
     }
 
@@ -217,6 +231,19 @@ impl Engine {
     /// Current executor partition count.
     pub fn exec_partitions(&self) -> usize {
         self.exec_partitions.load(Ordering::Acquire)
+    }
+
+    /// Set the transport morsel size (rows) for streamed dataflow edges;
+    /// 0 means unbounded. Never changes results or simulated timings —
+    /// codec state is per edge, so only consumption granularity moves.
+    pub fn set_stream_chunk_rows(&self, rows: usize) {
+        self.stream_chunk_rows.store(rows, Ordering::Release);
+        self.publish_partitions_gauge();
+    }
+
+    /// Current transport morsel size (rows); 0 = unbounded.
+    pub fn stream_chunk_rows(&self) -> usize {
+        self.stream_chunk_rows.load(Ordering::Acquire)
     }
 
     /// Run read-only catalog access.
@@ -377,6 +404,10 @@ impl Engine {
                 let import_ms = rel.len() as f64 * self.profile.write_cost_ms;
                 report.work_ms += import_ms;
                 report.finish_ms += import_ms;
+                // Stream the result into the table in transport-sized
+                // morsels; `rechunk` preserves the layout exactly, so the
+                // stored table is bit-identical at every chunk size.
+                let rel = rel.rechunk(self.stream_chunk_rows());
                 self.with_catalog_mut_for(name, |c| c.create_table_from(name, rel))?;
                 self.note_ddl("create_table_as");
                 Ok(StatementOutcome {
@@ -566,6 +597,20 @@ fn default_exec_partitions() -> usize {
         return 1;
     }
     std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+}
+
+/// Default transport morsel size for streamed edges. `XDB_STREAM_CHUNK`
+/// overrides it (`0` = unbounded, one chunk per edge); the CI smoke runs
+/// `repro fig9` under 1 / default / 0 and asserts byte-identical output.
+pub const DEFAULT_STREAM_CHUNK_ROWS: usize = 4096;
+
+/// Resolve the morsel size from the environment, falling back to
+/// [`DEFAULT_STREAM_CHUNK_ROWS`].
+pub fn default_stream_chunk_rows() -> usize {
+    match std::env::var("XDB_STREAM_CHUNK") {
+        Ok(v) => v.trim().parse().unwrap_or(DEFAULT_STREAM_CHUNK_ROWS),
+        Err(_) => DEFAULT_STREAM_CHUNK_ROWS,
+    }
 }
 
 fn ddl_outcome() -> StatementOutcome {

@@ -617,68 +617,98 @@ impl<'a> Execution<'a> {
                 None => Ok(None),
             })
             .collect::<Result<_>>()?;
-        let keys: Vec<Vec<Value>> = (0..n)
-            .map(|i| key_cols.iter().map(|c| c.value(i)).collect())
-            .collect();
-
         let new_accs = || -> Vec<Accumulator> {
             agg_c
                 .iter()
                 .map(|(f, _, distinct)| Accumulator::new(*f, *distinct))
                 .collect()
         };
-        // One partition accumulates the groups whose key hashes to it,
-        // scanning rows in ascending order — each group sees exactly the
-        // row sequence the sequential pass would feed it, so float
-        // accumulation order (and therefore every bit of the output) is
-        // independent of the partition count.
-        let run_partition = |p: usize, nparts: usize, rs: &RandomState| -> Vec<GroupOut> {
-            let mut index: HashMap<&[Value], usize> = HashMap::new();
-            let mut out: Vec<GroupOut> = Vec::new();
-            for (i, key) in keys.iter().enumerate() {
-                if nparts > 1 && rs.hash_one(&key[..]) as usize % nparts != p {
-                    continue;
-                }
-                let gi = match index.entry(&key[..]) {
-                    Entry::Occupied(e) => *e.get(),
-                    Entry::Vacant(e) => {
-                        let gi = out.len();
-                        e.insert(gi);
-                        out.push(GroupOut {
-                            first_row: i as u32,
-                            key: key.clone(),
-                            accs: new_accs(),
-                        });
-                        gi
-                    }
-                };
-                for (acc, col) in out[gi].accs.iter_mut().zip(arg_cols.iter()) {
-                    acc.update(col.as_ref().map(|c| c.value(i)));
-                }
-            }
-            out
-        };
         let parallel = self.partitions > 1 && n >= PAR_MIN_ROWS && !group_c.is_empty();
-        let mut groups: Vec<GroupOut> = if parallel {
-            let rs = RandomState::new();
-            let nparts = self.partitions;
-            let parts: Vec<Vec<GroupOut>> = std::thread::scope(|s| {
-                let rs = &rs;
-                let run_partition = &run_partition;
-                let handles: Vec<_> = (0..nparts)
-                    .map(|p| s.spawn(move || run_partition(p, nparts, rs)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("aggregate worker panicked"))
-                    .collect()
-            });
-            let mut all: Vec<GroupOut> = parts.into_iter().flatten().collect();
-            // First-seen group order, exactly as a sequential pass emits.
-            all.sort_unstable_by_key(|g| g.first_row);
-            all
+        let nparts = if parallel { self.partitions } else { 1 };
+        // Single-column Int/Str group keys take a typed fast path: the hash
+        // table is keyed on the native values, skipping the per-row
+        // `Vec<Value>` key materialization of the generic path below.
+        let typed = if group_c.len() == 1 {
+            match &key_cols[0] {
+                Column::Int(c) => Some(group_single_typed(
+                    n,
+                    nparts,
+                    &arg_cols,
+                    &new_accs,
+                    &|i| c.get(i).copied(),
+                    &|k: &Option<i64>| k.map_or(Value::Null, Value::Int),
+                )),
+                Column::Str(c) => Some(group_single_typed(
+                    n,
+                    nparts,
+                    &arg_cols,
+                    &new_accs,
+                    &|i| c.get(i).map(|s| s.as_ref()),
+                    &|k: &Option<&str>| k.map_or(Value::Null, |s| Value::Str(s.into())),
+                )),
+                _ => None,
+            }
         } else {
-            run_partition(0, 1, &RandomState::new())
+            None
+        };
+        let mut groups: Vec<GroupOut> = if let Some(groups) = typed {
+            groups
+        } else {
+            let keys: Vec<Vec<Value>> = (0..n)
+                .map(|i| key_cols.iter().map(|c| c.value(i)).collect())
+                .collect();
+            // One partition accumulates the groups whose key hashes to it,
+            // scanning rows in ascending order — each group sees exactly
+            // the row sequence the sequential pass would feed it, so float
+            // accumulation order (and therefore every bit of the output) is
+            // independent of the partition count.
+            let run_partition = |p: usize, nparts: usize, rs: &RandomState| -> Vec<GroupOut> {
+                let mut index: HashMap<&[Value], usize> = HashMap::new();
+                let mut out: Vec<GroupOut> = Vec::new();
+                for (i, key) in keys.iter().enumerate() {
+                    if nparts > 1 && rs.hash_one(&key[..]) as usize % nparts != p {
+                        continue;
+                    }
+                    let gi = match index.entry(&key[..]) {
+                        Entry::Occupied(e) => *e.get(),
+                        Entry::Vacant(e) => {
+                            let gi = out.len();
+                            e.insert(gi);
+                            out.push(GroupOut {
+                                first_row: i as u32,
+                                key: key.clone(),
+                                accs: new_accs(),
+                            });
+                            gi
+                        }
+                    };
+                    for (acc, col) in out[gi].accs.iter_mut().zip(arg_cols.iter()) {
+                        acc.update(col.as_ref().map(|c| c.value(i)));
+                    }
+                }
+                out
+            };
+            if parallel {
+                let rs = RandomState::new();
+                let parts: Vec<Vec<GroupOut>> = std::thread::scope(|s| {
+                    let rs = &rs;
+                    let run_partition = &run_partition;
+                    let handles: Vec<_> = (0..nparts)
+                        .map(|p| s.spawn(move || run_partition(p, nparts, rs)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("aggregate worker panicked"))
+                        .collect()
+                });
+                let mut all: Vec<GroupOut> = parts.into_iter().flatten().collect();
+                // First-seen group order, exactly as a sequential pass
+                // emits.
+                all.sort_unstable_by_key(|g| g.first_row);
+                all
+            } else {
+                run_partition(0, 1, &RandomState::new())
+            }
         };
         // Global aggregate over empty input still yields one row.
         if group_c.is_empty() && groups.is_empty() {
@@ -731,6 +761,67 @@ struct GroupOut {
     first_row: u32,
     key: Vec<Value>,
     accs: Vec<Accumulator>,
+}
+
+/// Single-column typed group-by kernel: the hash table is keyed on native
+/// column values, with `Value` keys materialized once per *group* instead
+/// of once per row. Partition protocol matches the generic path — each
+/// partition scans rows in ascending order and owns the keys that hash to
+/// it, then groups merge in first-seen order — so the output is
+/// bit-identical for any partition count (the partition hash itself may
+/// differ from the generic path; only routing depends on it).
+fn group_single_typed<K: Hash + Eq>(
+    n: usize,
+    nparts: usize,
+    arg_cols: &[Option<Column>],
+    new_accs: &(impl Fn() -> Vec<Accumulator> + Sync),
+    key_at: &(impl Fn(usize) -> K + Sync),
+    key_value: &(impl Fn(&K) -> Value + Sync),
+) -> Vec<GroupOut> {
+    let rs = RandomState::new();
+    let run = |p: usize| -> Vec<GroupOut> {
+        let mut index: HashMap<K, usize> = HashMap::new();
+        let mut out: Vec<GroupOut> = Vec::new();
+        for i in 0..n {
+            let key = key_at(i);
+            if nparts > 1 && rs.hash_one(&key) as usize % nparts != p {
+                continue;
+            }
+            let gi = match index.entry(key) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    let gi = out.len();
+                    let kv = key_value(e.key());
+                    e.insert(gi);
+                    out.push(GroupOut {
+                        first_row: i as u32,
+                        key: vec![kv],
+                        accs: new_accs(),
+                    });
+                    gi
+                }
+            };
+            for (acc, col) in out[gi].accs.iter_mut().zip(arg_cols.iter()) {
+                acc.update(col.as_ref().map(|c| c.value(i)));
+            }
+        }
+        out
+    };
+    if nparts > 1 {
+        let parts: Vec<Vec<GroupOut>> = std::thread::scope(|s| {
+            let run = &run;
+            let handles: Vec<_> = (0..nparts).map(|p| s.spawn(move || run(p))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("aggregate worker panicked"))
+                .collect()
+        });
+        let mut all: Vec<GroupOut> = parts.into_iter().flatten().collect();
+        all.sort_unstable_by_key(|g| g.first_row);
+        all
+    } else {
+        run(0)
+    }
 }
 
 /// Evaluate a filter predicate to a selection vector, vectorized when the

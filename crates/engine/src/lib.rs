@@ -27,7 +27,10 @@ pub mod relation;
 pub mod vector;
 
 pub use cluster::Cluster;
-pub use engine::{Engine, ExecReport, ExplainInfo, NoRemote, Remote, StatementOutcome};
+pub use engine::{
+    default_stream_chunk_rows, Engine, ExecReport, ExplainInfo, NoRemote, Remote, StatementOutcome,
+    DEFAULT_STREAM_CHUNK_ROWS,
+};
 pub use error::{EngineError, Result};
 pub use profile::EngineProfile;
 pub use relation::Relation;

@@ -33,7 +33,13 @@ pub enum Purpose {
 pub struct Transfer {
     pub from: NodeId,
     pub to: NodeId,
+    /// Raw (uncompressed) payload size — the honest "how much data moved
+    /// logically" series that fig-13-style comparisons read.
     pub bytes: u64,
+    /// Size after the `net::wire` codec — what the simulated transfer-time
+    /// model charges. Equal to `bytes` for uncompressed traffic (control
+    /// messages).
+    pub encoded_bytes: u64,
     pub rows: u64,
     pub purpose: Purpose,
 }
@@ -77,7 +83,36 @@ impl Ledger {
         self
     }
 
+    /// Record an uncompressed transfer (control messages, DDL): encoded
+    /// size equals the raw size and it ships as a single chunk.
     pub fn record(&self, from: &NodeId, to: &NodeId, bytes: u64, rows: u64, purpose: Purpose) {
+        self.record_wire(
+            from,
+            to,
+            bytes,
+            rows,
+            purpose,
+            &crate::wire::WireStats {
+                encoded_bytes: bytes,
+                chunks: 1,
+                codec_bytes: Vec::new(),
+            },
+        );
+    }
+
+    /// Record a transfer that went through the `net::wire` codec. The raw
+    /// `bytes` stay the primary series; `stats` carries the encoded size
+    /// the transfer-time model charged, the transport chunk count, and the
+    /// per-codec byte split for the `net.codec.bytes` counters.
+    pub fn record_wire(
+        &self,
+        from: &NodeId,
+        to: &NodeId,
+        bytes: u64,
+        rows: u64,
+        purpose: Purpose,
+        stats: &crate::wire::WireStats,
+    ) {
         // Loopback traffic never crosses the network; keep the ledger about
         // actual movement so totals match "data transferred over the wire".
         // Taking the endpoints by reference means callers on this hot path
@@ -90,11 +125,22 @@ impl Ledger {
             t.metrics.counter_add("net.transfers", &labels, 1.0);
             t.metrics.counter_add("net.bytes", &labels, bytes as f64);
             t.metrics.counter_add("net.rows", &labels, rows as f64);
+            t.metrics
+                .counter_add("net.encoded_bytes", &labels, stats.encoded_bytes as f64);
+            // Chunk counts depend on `stream_chunk_rows`; the series is
+            // excluded from `deterministic_snapshot()` (like `sched.*`).
+            t.metrics
+                .counter_add("net.chunks", &labels, stats.chunks as f64);
+            for (codec, cbytes) in &stats.codec_bytes {
+                t.metrics
+                    .counter_add("net.codec.bytes", &[("codec", codec)], *cbytes as f64);
+            }
         }
         self.inner.lock().push(Transfer {
             from: from.clone(),
             to: to.clone(),
             bytes,
+            encoded_bytes: stats.encoded_bytes,
             rows,
             purpose,
         });
@@ -119,6 +165,21 @@ impl Ledger {
     /// Total rows across all recorded transfers.
     pub fn total_rows(&self) -> u64 {
         self.inner.lock().iter().map(|t| t.rows).sum()
+    }
+
+    /// Total encoded (post-codec) bytes across all recorded transfers.
+    pub fn total_encoded_bytes(&self) -> u64 {
+        self.inner.lock().iter().map(|t| t.encoded_bytes).sum()
+    }
+
+    /// Total encoded (post-codec) bytes for a given purpose.
+    pub fn encoded_bytes_for(&self, purpose: Purpose) -> u64 {
+        self.inner
+            .lock()
+            .iter()
+            .filter(|t| t.purpose == purpose)
+            .map(|t| t.encoded_bytes)
+            .sum()
     }
 
     /// Total bytes for a given purpose.
@@ -221,6 +282,43 @@ mod tests {
         l.absorb(&scratch);
         assert_eq!(t.metrics.value("net.bytes", &labels), 150.0);
         assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn record_wire_tracks_encoded_series() {
+        let t = Telemetry::new_handle();
+        let l = Ledger::new().with_telemetry(Arc::clone(&t));
+        let stats = crate::wire::WireStats {
+            encoded_bytes: 40,
+            chunks: 3,
+            codec_bytes: vec![("dict", 30), ("raw", 10)],
+        };
+        l.record_wire(
+            &"a".into(),
+            &"b".into(),
+            100,
+            10,
+            Purpose::InterDbmsPipeline,
+            &stats,
+        );
+        // Plain records keep encoded == raw.
+        l.record(&"b".into(), &"c".into(), 8, 0, Purpose::ControlMessage);
+        assert_eq!(l.total_bytes(), 108);
+        assert_eq!(l.total_encoded_bytes(), 48);
+        assert_eq!(l.encoded_bytes_for(Purpose::InterDbmsPipeline), 40);
+        assert_eq!(l.encoded_bytes_for(Purpose::ControlMessage), 8);
+        let labels = [("purpose", "inter_dbms_pipeline")];
+        assert_eq!(t.metrics.value("net.bytes", &labels), 100.0);
+        assert_eq!(t.metrics.value("net.encoded_bytes", &labels), 40.0);
+        assert_eq!(t.metrics.value("net.chunks", &labels), 3.0);
+        assert_eq!(
+            t.metrics.value("net.codec.bytes", &[("codec", "dict")]),
+            30.0
+        );
+        assert_eq!(
+            t.metrics.value("net.codec.bytes", &[("codec", "raw")]),
+            10.0
+        );
     }
 
     #[test]

@@ -17,7 +17,9 @@ pub mod ledger;
 pub mod params;
 pub mod timing;
 pub mod topology;
+pub mod wire;
 
 pub use ledger::{Ledger, Purpose, Transfer};
 pub use timing::{compose_finish, mediator_finish, EdgeTiming, Movement};
 pub use topology::{Link, NodeId, Scenario, Topology};
+pub use wire::{Codec, Encoded, StreamDecoder, WireStats};

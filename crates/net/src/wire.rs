@@ -1,0 +1,1164 @@
+//! `net::wire` — the compressed columnar wire format for inter-engine
+//! dataflow edges.
+//!
+//! Every edge (implicit pipeline, explicit materialization, mediator
+//! fragment fetch, final result) serializes its relation into one
+//! [`Encoded`] block: per column a variant tag, a codec tag, and a
+//! self-contained payload. Codec *state* (dictionaries, frame-of-reference
+//! minima, run lengths) is computed over the whole edge — never per
+//! transport chunk — so the encoded byte count that feeds the ledger and
+//! the simulated transfer-time model is invariant under
+//! `stream_chunk_rows`. Transport chunking only changes the granularity at
+//! which [`StreamDecoder::take`] is driven (and the quarantined
+//! `net.chunks` metric).
+//!
+//! Codecs:
+//! - `dict` — first-appearance dictionary plus bit-packed indices (`Str`);
+//! - `forpack` — frame-of-reference minimum plus bit-packed deltas
+//!   (`Int`, `Date`);
+//! - `rle` — run-length encoded values (`Bool`); the null bitmap of every
+//!   typed column is run-length encoded the same way;
+//! - `raw` — the fallback: `Float` bit patterns, tagged `Mixed` values,
+//!   and any column where the candidate codec does not beat raw.
+//!
+//! Selection is deterministic: encode the candidate, compare with the raw
+//! body, keep the smaller (the candidate wins ties). Decoding rebuilds the
+//! exact [`Column`] variant — all-NULL typed columns included — so query
+//! results and downstream raw-byte accounting are bit-identical to an
+//! unencoded transfer.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use xdb_sql::column::Bitmap;
+use xdb_sql::{Column, TypedCol, Value};
+
+/// Per-frame framing cost in bytes: `nrows` + `ncols`, each `u32`.
+const FRAME_HEADER_BYTES: u64 = 8;
+/// Per-column framing cost: variant tag (1) + codec tag (1) + payload
+/// length (4).
+const COLUMN_HEADER_BYTES: u64 = 6;
+
+/// Which encoding a column's payload uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Codec {
+    /// First-appearance dictionary + bit-packed indices.
+    Dict,
+    /// Frame-of-reference minimum + bit-packed deltas.
+    ForPack,
+    /// Run-length encoded values.
+    Rle,
+    /// Uncompressed fallback.
+    Raw,
+}
+
+impl Codec {
+    pub fn label(self) -> &'static str {
+        match self {
+            Codec::Dict => "dict",
+            Codec::ForPack => "forpack",
+            Codec::Rle => "rle",
+            Codec::Raw => "raw",
+        }
+    }
+}
+
+/// Column variant tags on the wire (decode must rebuild the exact
+/// [`Column`] variant, so the tag travels with the payload).
+const TAG_INT: u8 = 0;
+const TAG_FLOAT: u8 = 1;
+const TAG_STR: u8 = 2;
+const TAG_DATE: u8 = 3;
+const TAG_BOOL: u8 = 4;
+const TAG_MIXED: u8 = 5;
+
+/// One encoded column: variant tag, codec, payload.
+#[derive(Debug, Clone)]
+pub struct EncodedColumn {
+    tag: u8,
+    codec: Codec,
+    payload: Vec<u8>,
+}
+
+impl EncodedColumn {
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
+
+    /// Bytes this column contributes to the encoded frame (header + payload).
+    pub fn encoded_bytes(&self) -> u64 {
+        COLUMN_HEADER_BYTES + self.payload.len() as u64
+    }
+}
+
+/// A whole relation encoded for one edge. The codec state is computed over
+/// the full relation, so [`Encoded::encoded_bytes`] is independent of the
+/// transport chunk size.
+#[derive(Debug, Clone)]
+pub struct Encoded {
+    columns: Vec<EncodedColumn>,
+    nrows: usize,
+}
+
+/// Byte accounting for one encoded edge, ready for the transfer ledger.
+#[derive(Debug, Clone)]
+pub struct WireStats {
+    /// Encoded frame size — what the simulated transfer model charges.
+    pub encoded_bytes: u64,
+    /// Transport chunks the edge ships in (`ceil(rows / chunk_rows)`;
+    /// one frame for empty or unbounded edges).
+    pub chunks: u64,
+    /// Encoded bytes attributed per codec label, deterministic order.
+    pub codec_bytes: Vec<(&'static str, u64)>,
+}
+
+impl Encoded {
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    pub fn columns(&self) -> &[EncodedColumn] {
+        &self.columns
+    }
+
+    /// Encoded frame size in bytes. An empty relation ships no payload
+    /// (the schema is already known from the DDL), matching the raw
+    /// model where `wire_bytes() == 0` for zero rows.
+    pub fn encoded_bytes(&self) -> u64 {
+        if self.nrows == 0 {
+            return 0;
+        }
+        FRAME_HEADER_BYTES
+            + self
+                .columns
+                .iter()
+                .map(EncodedColumn::encoded_bytes)
+                .sum::<u64>()
+    }
+
+    /// Encoded bytes per codec label, in fixed label order (zero entries
+    /// omitted) so metric emission is deterministic.
+    pub fn codec_bytes(&self) -> Vec<(&'static str, u64)> {
+        let mut out = Vec::new();
+        if self.nrows == 0 {
+            return out;
+        }
+        for codec in [Codec::Dict, Codec::ForPack, Codec::Rle, Codec::Raw] {
+            let bytes: u64 = self
+                .columns
+                .iter()
+                .filter(|c| c.codec == codec)
+                .map(EncodedColumn::encoded_bytes)
+                .sum();
+            if bytes > 0 {
+                out.push((codec.label(), bytes));
+            }
+        }
+        out
+    }
+
+    /// Ledger-ready accounting for this edge at a given transport chunk
+    /// size (`0` = unbounded, i.e. one chunk).
+    pub fn stats(&self, chunk_rows: usize) -> WireStats {
+        WireStats {
+            encoded_bytes: self.encoded_bytes(),
+            chunks: chunk_count(self.nrows as u64, chunk_rows),
+            codec_bytes: self.codec_bytes(),
+        }
+    }
+}
+
+/// Number of transport chunks for an edge of `rows` rows: `0` chunk rows
+/// means unbounded (a single frame), and even an empty edge ships one
+/// frame.
+pub fn chunk_count(rows: u64, chunk_rows: usize) -> u64 {
+    if rows == 0 || chunk_rows == 0 {
+        1
+    } else {
+        rows.div_ceil(chunk_rows as u64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Encode a relation's columns for one edge. `nrows` is carried for empty
+/// relations (no columns or zero-length columns).
+pub fn encode(columns: &[Column], nrows: usize) -> Encoded {
+    let columns = columns.iter().map(encode_column).collect();
+    Encoded { columns, nrows }
+}
+
+fn encode_column(col: &Column) -> EncodedColumn {
+    match col {
+        Column::Int(c) => {
+            let pack = int_forpack_body(c);
+            let raw = int_raw_body(c);
+            pick(TAG_INT, Codec::ForPack, pack, raw)
+        }
+        Column::Date(c) => {
+            let pack = date_forpack_body(c);
+            let raw = date_raw_body(c);
+            pick(TAG_DATE, Codec::ForPack, pack, raw)
+        }
+        Column::Str(c) => {
+            let dict = str_dict_body(c);
+            let raw = str_raw_body(c);
+            pick(TAG_STR, Codec::Dict, dict, raw)
+        }
+        Column::Bool(c) => {
+            let rle = bool_rle_body(c);
+            let raw = bool_raw_body(c);
+            pick(TAG_BOOL, Codec::Rle, rle, raw)
+        }
+        Column::Float(c) => EncodedColumn {
+            tag: TAG_FLOAT,
+            codec: Codec::Raw,
+            payload: float_raw_body(c),
+        },
+        Column::Mixed(values) => EncodedColumn {
+            tag: TAG_MIXED,
+            codec: Codec::Raw,
+            payload: mixed_raw_body(values),
+        },
+    }
+}
+
+/// Deterministic codec selection: the candidate wins unless raw is
+/// strictly smaller.
+fn pick(tag: u8, codec: Codec, candidate: Vec<u8>, raw: Vec<u8>) -> EncodedColumn {
+    if raw.len() < candidate.len() {
+        EncodedColumn {
+            tag,
+            codec: Codec::Raw,
+            payload: raw,
+        }
+    } else {
+        EncodedColumn {
+            tag,
+            codec,
+            payload: candidate,
+        }
+    }
+}
+
+fn int_forpack_body(c: &TypedCol<i64>) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_null_runs(&mut out, &c.nulls);
+    let present: Vec<i64> = present_values(c).copied().collect();
+    let min = present.iter().copied().min().unwrap_or(0);
+    let max_delta = present
+        .iter()
+        .map(|v| v.wrapping_sub(min) as u64)
+        .max()
+        .unwrap_or(0);
+    let width = bits_for(max_delta);
+    put_varint(&mut out, zigzag(min));
+    out.push(width);
+    let mut bw = BitWriter::new();
+    for v in &present {
+        bw.put(v.wrapping_sub(min) as u64, width);
+    }
+    out.extend_from_slice(&bw.finish());
+    out
+}
+
+fn int_raw_body(c: &TypedCol<i64>) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_null_runs(&mut out, &c.nulls);
+    for v in present_values(c) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn date_forpack_body(c: &TypedCol<i32>) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_null_runs(&mut out, &c.nulls);
+    let present: Vec<i64> = present_values(c).map(|v| *v as i64).collect();
+    let min = present.iter().copied().min().unwrap_or(0);
+    let max_delta = present
+        .iter()
+        .map(|v| v.wrapping_sub(min) as u64)
+        .max()
+        .unwrap_or(0);
+    let width = bits_for(max_delta);
+    put_varint(&mut out, zigzag(min));
+    out.push(width);
+    let mut bw = BitWriter::new();
+    for v in &present {
+        bw.put(v.wrapping_sub(min) as u64, width);
+    }
+    out.extend_from_slice(&bw.finish());
+    out
+}
+
+fn date_raw_body(c: &TypedCol<i32>) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_null_runs(&mut out, &c.nulls);
+    for v in present_values(c) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn str_dict_body(c: &TypedCol<Arc<str>>) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_null_runs(&mut out, &c.nulls);
+    // First-appearance dictionary over present values.
+    let mut index: HashMap<&str, u64> = HashMap::new();
+    let mut dict: Vec<&Arc<str>> = Vec::new();
+    let mut ids: Vec<u64> = Vec::new();
+    for v in present_values(c) {
+        let next = dict.len() as u64;
+        let id = *index.entry(v.as_ref()).or_insert_with(|| {
+            dict.push(v);
+            next
+        });
+        ids.push(id);
+    }
+    put_varint(&mut out, dict.len() as u64);
+    for entry in &dict {
+        put_varint(&mut out, entry.len() as u64);
+        out.extend_from_slice(entry.as_bytes());
+    }
+    let width = bits_for((dict.len() as u64).saturating_sub(1));
+    let mut bw = BitWriter::new();
+    for id in &ids {
+        bw.put(*id, width);
+    }
+    out.extend_from_slice(&bw.finish());
+    out
+}
+
+fn str_raw_body(c: &TypedCol<Arc<str>>) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_null_runs(&mut out, &c.nulls);
+    for v in present_values(c) {
+        put_varint(&mut out, v.len() as u64);
+        out.extend_from_slice(v.as_bytes());
+    }
+    out
+}
+
+fn bool_rle_body(c: &TypedCol<bool>) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_null_runs(&mut out, &c.nulls);
+    let mut runs: Vec<(bool, u64)> = Vec::new();
+    for v in present_values(c) {
+        match runs.last_mut() {
+            Some((val, len)) if *val == *v => *len += 1,
+            _ => runs.push((*v, 1)),
+        }
+    }
+    put_varint(&mut out, runs.len() as u64);
+    for (v, len) in &runs {
+        out.push(u8::from(*v));
+        put_varint(&mut out, *len);
+    }
+    out
+}
+
+fn bool_raw_body(c: &TypedCol<bool>) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_null_runs(&mut out, &c.nulls);
+    for v in present_values(c) {
+        out.push(u8::from(*v));
+    }
+    out
+}
+
+fn float_raw_body(c: &TypedCol<f64>) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_null_runs(&mut out, &c.nulls);
+    for v in present_values(c) {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Tagged row-major encoding for `Mixed` columns (value tags carry the
+/// nulls, so there is no null-run prefix).
+fn mixed_raw_body(values: &[Value]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for v in values {
+        match v {
+            Value::Null => out.push(0),
+            Value::Int(i) => {
+                out.push(1);
+                put_varint(&mut out, zigzag(*i));
+            }
+            Value::Float(f) => {
+                out.push(2);
+                out.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(3);
+                put_varint(&mut out, s.len() as u64);
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Date(d) => {
+                out.push(4);
+                put_varint(&mut out, zigzag(*d as i64));
+            }
+            Value::Bool(b) => {
+                out.push(5);
+                out.push(u8::from(*b));
+            }
+        }
+    }
+    out
+}
+
+fn present_values<T>(c: &TypedCol<T>) -> impl Iterator<Item = &T> {
+    c.data
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !c.nulls.get(*i))
+        .map(|(_, v)| v)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Incremental decoder: [`StreamDecoder::take`] appends the next `k` rows
+/// of every column into typed accumulators, so a consumer can ingest the
+/// edge morsel by morsel. The output of `take(1)×n`, `take(4096)…`, and
+/// `take(n)` is bit-identical by construction.
+pub struct StreamDecoder<'a> {
+    columns: Vec<ColDecoder<'a>>,
+    remaining: usize,
+}
+
+impl<'a> StreamDecoder<'a> {
+    pub fn new(enc: &'a Encoded) -> StreamDecoder<'a> {
+        let columns = enc
+            .columns
+            .iter()
+            .map(|c| ColDecoder::new(c, enc.nrows))
+            .collect();
+        StreamDecoder {
+            columns,
+            remaining: enc.nrows,
+        }
+    }
+
+    /// Rows not yet decoded.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Decode the next `rows` rows (clamped to what remains) into the
+    /// per-column accumulators.
+    pub fn take(&mut self, rows: usize) {
+        let k = rows.min(self.remaining);
+        for col in &mut self.columns {
+            col.take(k);
+        }
+        self.remaining -= k;
+    }
+
+    /// Finish the stream, yielding the reconstructed columns. Panics if
+    /// rows remain undecoded.
+    pub fn finish(self) -> Vec<Column> {
+        assert_eq!(self.remaining, 0, "stream decoder finished early");
+        self.columns.into_iter().map(ColDecoder::finish).collect()
+    }
+}
+
+/// Decode a whole block in one chunk.
+pub fn decode(enc: &Encoded) -> Vec<Column> {
+    decode_chunked(enc, 0)
+}
+
+/// Decode a block by driving the stream decoder in `chunk_rows`-row
+/// morsels (`0` = unbounded, a single morsel).
+pub fn decode_chunked(enc: &Encoded, chunk_rows: usize) -> Vec<Column> {
+    let mut dec = StreamDecoder::new(enc);
+    let step = if chunk_rows == 0 {
+        enc.nrows.max(1)
+    } else {
+        chunk_rows
+    };
+    while dec.remaining() > 0 {
+        dec.take(step);
+    }
+    dec.finish()
+}
+
+enum ColDecoder<'a> {
+    Int {
+        nulls: NullCursor,
+        body: PackOrRaw<'a>,
+        acc: TypedCol<i64>,
+    },
+    Date {
+        nulls: NullCursor,
+        body: PackOrRaw<'a>,
+        acc: TypedCol<i32>,
+    },
+    Float {
+        nulls: NullCursor,
+        cur: Cursor<'a>,
+        acc: TypedCol<f64>,
+    },
+    Str {
+        nulls: NullCursor,
+        body: StrBody<'a>,
+        acc: TypedCol<Arc<str>>,
+    },
+    Bool {
+        nulls: NullCursor,
+        body: BoolBody<'a>,
+        acc: TypedCol<bool>,
+    },
+    Mixed {
+        cur: Cursor<'a>,
+        acc: Vec<Value>,
+    },
+}
+
+enum PackOrRaw<'a> {
+    Pack {
+        min: i64,
+        width: u8,
+        bits: BitReader<'a>,
+    },
+    Raw(Cursor<'a>),
+}
+
+enum StrBody<'a> {
+    Dict {
+        dict: Vec<Arc<str>>,
+        width: u8,
+        bits: BitReader<'a>,
+    },
+    Raw(Cursor<'a>),
+}
+
+enum BoolBody<'a> {
+    Rle {
+        runs: Vec<(bool, u64)>,
+        idx: usize,
+        left: u64,
+    },
+    Raw(Cursor<'a>),
+}
+
+impl<'a> ColDecoder<'a> {
+    fn new(col: &'a EncodedColumn, nrows: usize) -> ColDecoder<'a> {
+        let mut cur = Cursor::new(&col.payload);
+        match col.tag {
+            TAG_MIXED => ColDecoder::Mixed {
+                cur,
+                acc: Vec::with_capacity(nrows),
+            },
+            TAG_INT => {
+                let nulls = NullCursor::parse(&mut cur);
+                let body = PackOrRaw::parse(col.codec, cur);
+                ColDecoder::Int {
+                    nulls,
+                    body,
+                    acc: TypedCol::with_capacity(nrows),
+                }
+            }
+            TAG_DATE => {
+                let nulls = NullCursor::parse(&mut cur);
+                let body = PackOrRaw::parse(col.codec, cur);
+                ColDecoder::Date {
+                    nulls,
+                    body,
+                    acc: TypedCol::with_capacity(nrows),
+                }
+            }
+            TAG_FLOAT => {
+                let nulls = NullCursor::parse(&mut cur);
+                ColDecoder::Float {
+                    nulls,
+                    cur,
+                    acc: TypedCol::with_capacity(nrows),
+                }
+            }
+            TAG_STR => {
+                let nulls = NullCursor::parse(&mut cur);
+                let body = match col.codec {
+                    Codec::Dict => {
+                        let dict_len = cur.get_varint() as usize;
+                        let mut dict = Vec::with_capacity(dict_len);
+                        for _ in 0..dict_len {
+                            let len = cur.get_varint() as usize;
+                            let bytes = cur.get_bytes(len);
+                            let s = std::str::from_utf8(bytes).expect("wire: utf8 dict entry");
+                            dict.push(Arc::<str>::from(s));
+                        }
+                        let width = bits_for((dict_len as u64).saturating_sub(1));
+                        StrBody::Dict {
+                            dict,
+                            width,
+                            bits: BitReader::new(cur.rest()),
+                        }
+                    }
+                    _ => StrBody::Raw(cur),
+                };
+                ColDecoder::Str {
+                    nulls,
+                    body,
+                    acc: TypedCol::with_capacity(nrows),
+                }
+            }
+            TAG_BOOL => {
+                let nulls = NullCursor::parse(&mut cur);
+                let body = match col.codec {
+                    Codec::Rle => {
+                        let nruns = cur.get_varint() as usize;
+                        let mut runs = Vec::with_capacity(nruns);
+                        for _ in 0..nruns {
+                            let v = cur.get_u8() != 0;
+                            let len = cur.get_varint();
+                            runs.push((v, len));
+                        }
+                        let left = runs.first().map(|(_, l)| *l).unwrap_or(0);
+                        BoolBody::Rle { runs, idx: 0, left }
+                    }
+                    _ => BoolBody::Raw(cur),
+                };
+                ColDecoder::Bool {
+                    nulls,
+                    body,
+                    acc: TypedCol::with_capacity(nrows),
+                }
+            }
+            other => panic!("wire: unknown column tag {other}"),
+        }
+    }
+
+    fn take(&mut self, k: usize) {
+        match self {
+            ColDecoder::Int { nulls, body, acc } => {
+                for _ in 0..k {
+                    if nulls.next_is_null() {
+                        acc.push_null();
+                    } else {
+                        acc.push(body.next());
+                    }
+                }
+            }
+            ColDecoder::Date { nulls, body, acc } => {
+                for _ in 0..k {
+                    if nulls.next_is_null() {
+                        acc.push_null();
+                    } else {
+                        acc.push(body.next() as i32);
+                    }
+                }
+            }
+            ColDecoder::Float { nulls, cur, acc } => {
+                for _ in 0..k {
+                    if nulls.next_is_null() {
+                        acc.push_null();
+                    } else {
+                        acc.push(f64::from_bits(cur.get_u64le()));
+                    }
+                }
+            }
+            ColDecoder::Str { nulls, body, acc } => {
+                for _ in 0..k {
+                    if nulls.next_is_null() {
+                        acc.push_null();
+                    } else {
+                        acc.push(body.next());
+                    }
+                }
+            }
+            ColDecoder::Bool { nulls, body, acc } => {
+                for _ in 0..k {
+                    if nulls.next_is_null() {
+                        acc.push_null();
+                    } else {
+                        acc.push(body.next());
+                    }
+                }
+            }
+            ColDecoder::Mixed { cur, acc } => {
+                for _ in 0..k {
+                    let v = match cur.get_u8() {
+                        0 => Value::Null,
+                        1 => Value::Int(unzigzag(cur.get_varint())),
+                        2 => Value::Float(f64::from_bits(cur.get_u64le())),
+                        3 => {
+                            let len = cur.get_varint() as usize;
+                            let bytes = cur.get_bytes(len);
+                            let s = std::str::from_utf8(bytes).expect("wire: utf8 value");
+                            Value::Str(Arc::from(s))
+                        }
+                        4 => Value::Date(unzigzag(cur.get_varint()) as i32),
+                        5 => Value::Bool(cur.get_u8() != 0),
+                        other => panic!("wire: unknown value tag {other}"),
+                    };
+                    acc.push(v);
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Column {
+        match self {
+            ColDecoder::Int { acc, .. } => Column::Int(Arc::new(acc)),
+            ColDecoder::Date { acc, .. } => Column::Date(Arc::new(acc)),
+            ColDecoder::Float { acc, .. } => Column::Float(Arc::new(acc)),
+            ColDecoder::Str { acc, .. } => Column::Str(Arc::new(acc)),
+            ColDecoder::Bool { acc, .. } => Column::Bool(Arc::new(acc)),
+            ColDecoder::Mixed { acc, .. } => Column::Mixed(Arc::new(acc)),
+        }
+    }
+}
+
+impl PackOrRaw<'_> {
+    fn parse(codec: Codec, mut cur: Cursor<'_>) -> PackOrRaw<'_> {
+        match codec {
+            Codec::ForPack => {
+                let min = unzigzag(cur.get_varint());
+                let width = cur.get_u8();
+                PackOrRaw::Pack {
+                    min,
+                    width,
+                    bits: BitReader::new(cur.rest()),
+                }
+            }
+            _ => PackOrRaw::Raw(cur),
+        }
+    }
+
+    fn next(&mut self) -> i64 {
+        match self {
+            PackOrRaw::Pack { min, width, bits } => min.wrapping_add(bits.get(*width) as i64),
+            PackOrRaw::Raw(cur) => cur.get_u64le() as i64,
+        }
+    }
+}
+
+impl StrBody<'_> {
+    fn next(&mut self) -> Arc<str> {
+        match self {
+            StrBody::Dict { dict, width, bits } => {
+                let id = bits.get(*width) as usize;
+                Arc::clone(&dict[id])
+            }
+            StrBody::Raw(cur) => {
+                let len = cur.get_varint() as usize;
+                let bytes = cur.get_bytes(len);
+                let s = std::str::from_utf8(bytes).expect("wire: utf8 value");
+                Arc::from(s)
+            }
+        }
+    }
+}
+
+impl BoolBody<'_> {
+    fn next(&mut self) -> bool {
+        match self {
+            BoolBody::Rle { runs, idx, left } => {
+                while *left == 0 {
+                    *idx += 1;
+                    *left = runs[*idx].1;
+                }
+                *left -= 1;
+                runs[*idx].0
+            }
+            BoolBody::Raw(cur) => cur.get_u8() != 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Null-run, varint, and bit-level primitives
+// ---------------------------------------------------------------------------
+
+/// Run-length encode a null bitmap: varint run count, then alternating run
+/// lengths starting with a PRESENT run (which may be zero-length when the
+/// column opens with a null).
+fn put_null_runs(out: &mut Vec<u8>, nulls: &Bitmap) {
+    let n = nulls.len();
+    let mut runs: Vec<u64> = Vec::new();
+    let mut expect_null = false;
+    let mut i = 0;
+    while i < n {
+        let mut len = 0u64;
+        while i < n && nulls.get(i) == expect_null {
+            len += 1;
+            i += 1;
+        }
+        runs.push(len);
+        expect_null = !expect_null;
+    }
+    put_varint(out, runs.len() as u64);
+    for r in &runs {
+        put_varint(out, *r);
+    }
+}
+
+/// Streaming cursor over null runs: `next_is_null()` per row, in order.
+struct NullCursor {
+    runs: Vec<u64>,
+    idx: usize,
+    left: u64,
+}
+
+impl NullCursor {
+    fn parse(cur: &mut Cursor<'_>) -> NullCursor {
+        let nruns = cur.get_varint() as usize;
+        let mut runs = Vec::with_capacity(nruns);
+        for _ in 0..nruns {
+            runs.push(cur.get_varint());
+        }
+        let left = runs.first().copied().unwrap_or(0);
+        NullCursor { runs, idx: 0, left }
+    }
+
+    fn next_is_null(&mut self) -> bool {
+        while self.left == 0 {
+            self.idx += 1;
+            self.left = self.runs[self.idx];
+        }
+        self.left -= 1;
+        // Even runs (0, 2, …) are present; odd runs are null.
+        self.idx % 2 == 1
+    }
+}
+
+/// Minimum bit width able to represent `v` (0 for `v == 0`).
+fn bits_for(v: u64) -> u8 {
+    (64 - v.leading_zeros()) as u8
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Byte cursor with panicking reads (the format is produced by [`encode`]
+/// in the same process; corruption is a bug, not an input error).
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.buf[self.pos];
+        self.pos += 1;
+        b
+    }
+
+    fn get_varint(&mut self) -> u64 {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.get_u8();
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return v;
+            }
+            shift += 7;
+        }
+    }
+
+    fn get_bytes(&mut self, n: usize) -> &'a [u8] {
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    fn get_u64le(&mut self) -> u64 {
+        u64::from_le_bytes(self.get_bytes(8).try_into().unwrap())
+    }
+
+    fn rest(&self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+}
+
+/// LSB-first bit packer for fixed-width values.
+struct BitWriter {
+    buf: Vec<u8>,
+    acc: u128,
+    nbits: u32,
+}
+
+impl BitWriter {
+    fn new() -> BitWriter {
+        BitWriter {
+            buf: Vec::new(),
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    fn put(&mut self, v: u64, width: u8) {
+        if width == 0 {
+            return;
+        }
+        self.acc |= u128::from(v) << self.nbits;
+        self.nbits += u32::from(width);
+        while self.nbits >= 8 {
+            self.buf.push((self.acc & 0xff) as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.buf.push((self.acc & 0xff) as u8);
+        }
+        self.buf
+    }
+}
+
+/// LSB-first bit reader matching [`BitWriter`].
+struct BitReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    acc: u128,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(buf: &'a [u8]) -> BitReader<'a> {
+        BitReader {
+            buf,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    fn get(&mut self, width: u8) -> u64 {
+        if width == 0 {
+            return 0;
+        }
+        while self.nbits < u32::from(width) {
+            self.acc |= u128::from(self.buf[self.pos]) << self.nbits;
+            self.pos += 1;
+            self.nbits += 8;
+        }
+        let mask = (1u128 << width) - 1;
+        let v = (self.acc & mask) as u64;
+        self.acc >>= width;
+        self.nbits -= u32::from(width);
+        v
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdb_sql::column::Column;
+
+    fn col(values: &[Value]) -> Column {
+        Column::from_values(values.to_vec())
+    }
+
+    fn roundtrip(c: &Column) -> Column {
+        let enc = encode(std::slice::from_ref(c), c.len());
+        let mut cols = decode(&enc);
+        assert_eq!(cols.len(), 1);
+        cols.pop().unwrap()
+    }
+
+    #[test]
+    fn int_forpack_roundtrips_and_compresses() {
+        let values: Vec<Value> = (0..1000)
+            .map(|i| {
+                if i % 53 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(1_000_000 + (i % 97))
+                }
+            })
+            .collect();
+        let c = col(&values);
+        let enc = encode(std::slice::from_ref(&c), c.len());
+        assert_eq!(enc.columns[0].codec, Codec::ForPack);
+        assert!(enc.encoded_bytes() < c.wire_bytes() / 4);
+        let back = roundtrip(&c);
+        assert!(matches!(back, Column::Int(_)));
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn int_extremes_roundtrip() {
+        let c = col(&[
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Null,
+            Value::Int(0),
+        ]);
+        assert_eq!(roundtrip(&c), c);
+    }
+
+    #[test]
+    fn str_dict_roundtrips_and_compresses() {
+        let tags = ["alpha", "beta", "gamma-longer-tag", "delta"];
+        let values: Vec<Value> = (0..500)
+            .map(|i| {
+                if i % 41 == 0 {
+                    Value::Null
+                } else {
+                    Value::Str(Arc::from(tags[i % tags.len()]))
+                }
+            })
+            .collect();
+        let c = col(&values);
+        let enc = encode(std::slice::from_ref(&c), c.len());
+        assert_eq!(enc.columns[0].codec, Codec::Dict);
+        assert!(enc.encoded_bytes() < c.wire_bytes() / 4);
+        let back = roundtrip(&c);
+        assert!(matches!(back, Column::Str(_)));
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn high_entropy_strings_fall_back_to_raw() {
+        let values: Vec<Value> = (0..64)
+            .map(|i| Value::Str(Arc::from(format!("unique-value-{i:08}"))))
+            .collect();
+        let c = col(&values);
+        let enc = encode(std::slice::from_ref(&c), c.len());
+        assert_eq!(enc.columns[0].codec, Codec::Raw);
+        assert_eq!(roundtrip(&c), c);
+    }
+
+    #[test]
+    fn bool_rle_roundtrips_and_compresses() {
+        let values: Vec<Value> = (0..600)
+            .map(|i| {
+                if i == 300 {
+                    Value::Null
+                } else {
+                    Value::Bool(i < 400)
+                }
+            })
+            .collect();
+        let c = col(&values);
+        let enc = encode(std::slice::from_ref(&c), c.len());
+        assert_eq!(enc.columns[0].codec, Codec::Rle);
+        assert!(enc.encoded_bytes() < c.wire_bytes() / 4);
+        assert_eq!(roundtrip(&c), c);
+    }
+
+    #[test]
+    fn float_bits_roundtrip_exactly() {
+        let c = col(&[
+            Value::Float(0.1),
+            Value::Float(-0.0),
+            Value::Float(f64::NAN),
+            Value::Null,
+            Value::Float(f64::INFINITY),
+        ]);
+        let back = roundtrip(&c);
+        // NaN != NaN under value equality; compare bit patterns instead.
+        let (Column::Float(a), Column::Float(b)) = (&c, &back) else {
+            panic!("expected float columns");
+        };
+        assert_eq!(a.nulls, b.nulls);
+        let bits = |t: &TypedCol<f64>| t.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(a), bits(b));
+    }
+
+    #[test]
+    fn mixed_and_all_null_columns_keep_their_variant() {
+        let mixed = col(&[Value::Int(1), Value::Str(Arc::from("x")), Value::Null]);
+        assert!(mixed.is_mixed());
+        let back = roundtrip(&mixed);
+        assert!(back.is_mixed());
+        assert_eq!(back, mixed);
+
+        // An all-NULL typed column must come back typed, not Mixed.
+        let mut t = TypedCol::<i64>::with_capacity(3);
+        t.push_null();
+        t.push_null();
+        t.push_null();
+        let c = Column::Int(Arc::new(t));
+        let back = roundtrip(&c);
+        assert!(matches!(back, Column::Int(_)));
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn empty_relation_encodes_to_zero_bytes() {
+        let c = col(&[]);
+        let enc = encode(std::slice::from_ref(&c), 0);
+        assert_eq!(enc.encoded_bytes(), 0);
+        assert!(enc.codec_bytes().is_empty());
+        let back = decode(&enc);
+        assert_eq!(back[0].len(), 0);
+    }
+
+    #[test]
+    fn encoded_bytes_invariant_under_chunk_size_and_chunked_decode_identical() {
+        let values: Vec<Value> = (0..997)
+            .map(|i| {
+                if i % 13 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i as i64 * 37)
+                }
+            })
+            .collect();
+        let c = col(&values);
+        let enc = encode(std::slice::from_ref(&c), c.len());
+        let whole = decode_chunked(&enc, 0);
+        for chunk in [1usize, 7, 64, 4096] {
+            let stats = enc.stats(chunk);
+            assert_eq!(stats.encoded_bytes, enc.encoded_bytes());
+            assert_eq!(stats.chunks, (997u64).div_ceil(chunk as u64));
+            assert_eq!(decode_chunked(&enc, chunk), whole);
+        }
+        assert_eq!(enc.stats(0).chunks, 1);
+    }
+
+    #[test]
+    fn chunk_count_edges() {
+        assert_eq!(chunk_count(0, 4096), 1);
+        assert_eq!(chunk_count(10, 0), 1);
+        assert_eq!(chunk_count(4096, 4096), 1);
+        assert_eq!(chunk_count(4097, 4096), 2);
+    }
+
+    #[test]
+    fn codec_bytes_sum_matches_frame_payload() {
+        let ints = col(&(0..100).map(Value::Int).collect::<Vec<_>>());
+        let strs = col(&(0..100)
+            .map(|i| Value::Str(Arc::from(["a", "b"][i % 2])))
+            .collect::<Vec<_>>());
+        let enc = encode(&[ints, strs], 100);
+        let sum: u64 = enc.codec_bytes().iter().map(|(_, b)| *b).sum();
+        assert_eq!(sum + FRAME_HEADER_BYTES, enc.encoded_bytes());
+    }
+}

@@ -18,6 +18,10 @@
 //!   scratch-pool hit counts under concurrency) live under the reserved
 //!   `sched.` name prefix and are excluded from the bit-identical
 //!   guarantee; [`MetricRegistry::deterministic_snapshot`] filters them.
+//!   The `net.chunks` series is quarantined the same way: transport chunk
+//!   counts depend on the configured `stream_chunk_rows`, which — like the
+//!   executor partition count — must never leak into determinism
+//!   comparisons.
 
 use crate::trace::{json_number, json_string, MetricsSnapshot};
 use parking_lot::Mutex;
@@ -28,6 +32,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 /// Name prefix for scheduling-dependent metrics, excluded from the
 /// sequential-vs-parallel bit-identity guarantee.
 pub const SCHED_PREFIX: &str = "sched.";
+
+/// Name prefix for transport-chunk counts, excluded from determinism
+/// comparisons because they scale with the configured `stream_chunk_rows`
+/// (results, ledgers, timings and every other metric stay bit-identical
+/// across chunk sizes).
+pub const CHUNKS_PREFIX: &str = "net.chunks";
 
 /// A log-bucketed (base-2) histogram of non-negative f64 observations.
 ///
@@ -321,11 +331,13 @@ impl MetricRegistry {
     }
 
     /// [`MetricRegistry::snapshot`] restricted to deterministic metrics:
-    /// everything outside the `sched.` prefix. This is the set the
-    /// sequential-vs-parallel bit-identity tests compare.
+    /// everything outside the `sched.` prefix and the chunk-size-dependent
+    /// `net.chunks` series. This is the set the sequential-vs-parallel and
+    /// chunk-size bit-identity tests compare.
     pub fn deterministic_snapshot(&self) -> MetricsSnapshot {
         let mut snap = self.snapshot();
-        snap.counters.retain(|k, _| !k.starts_with(SCHED_PREFIX));
+        snap.counters
+            .retain(|k, _| !k.starts_with(SCHED_PREFIX) && !k.starts_with(CHUNKS_PREFIX));
         snap
     }
 
@@ -501,6 +513,8 @@ mod tests {
         r.gauge_set("g", &[], 2.0);
         r.observe("h", &[], 4.0);
         r.counter_add("sched.pool", &[], 9.0);
+        r.counter_add("net.chunks", &[("purpose", "inter_dbms_pipeline")], 5.0);
+        r.counter_add("net.encoded_bytes", &[], 11.0);
         let s = r.snapshot();
         assert_eq!(s.get("x"), 1.0);
         assert_eq!(s.get("g.hwm"), 2.0);
@@ -510,6 +524,10 @@ mod tests {
         let d = r.deterministic_snapshot();
         assert_eq!(d.get("sched.pool"), 0.0);
         assert!(!d.counters.contains_key("sched.pool"));
+        // Chunk counts scale with `stream_chunk_rows` — quarantined; the
+        // encoded byte series is chunk-invariant and stays.
+        assert!(!d.counters.keys().any(|k| k.starts_with(CHUNKS_PREFIX)));
+        assert_eq!(d.get("net.encoded_bytes"), 11.0);
     }
 
     #[test]

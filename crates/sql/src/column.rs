@@ -161,6 +161,19 @@ impl<T: Clone + Default> TypedCol<T> {
         }
         out
     }
+
+    /// Append rows `start..start + len` of `other`, preserving nulls and
+    /// placeholder values exactly.
+    fn append_range(&mut self, other: &TypedCol<T>, start: usize, len: usize) {
+        for i in start..start + len {
+            if other.nulls.get(i) {
+                self.push_null();
+            } else {
+                self.data.push(other.data[i].clone());
+                self.nulls.push(false);
+            }
+        }
+    }
 }
 
 // ------------------------------------------------------------------ Column
@@ -268,6 +281,36 @@ impl Column {
             Column::Date(c) => Column::Date(Arc::new(c.head(n))),
             Column::Bool(c) => Column::Bool(Arc::new(c.head(n))),
             Column::Mixed(v) => Column::Mixed(Arc::new(v[..n].to_vec())),
+        }
+    }
+
+    /// An empty column of the same variant as `self` (all-NULL and
+    /// `Mixed` layouts included), ready for [`Column::append_range`].
+    pub fn empty_like(&self) -> Column {
+        match self {
+            Column::Int(_) => Column::Int(Arc::new(TypedCol::with_capacity(0))),
+            Column::Float(_) => Column::Float(Arc::new(TypedCol::with_capacity(0))),
+            Column::Str(_) => Column::Str(Arc::new(TypedCol::with_capacity(0))),
+            Column::Date(_) => Column::Date(Arc::new(TypedCol::with_capacity(0))),
+            Column::Bool(_) => Column::Bool(Arc::new(TypedCol::with_capacity(0))),
+            Column::Mixed(_) => Column::Mixed(Arc::new(Vec::new())),
+        }
+    }
+
+    /// Append rows `start..start + len` of `other` (same variant) onto
+    /// this column, preserving the layout exactly — the morsel-wise
+    /// ingestion primitive for streamed edges. Panics on variant mismatch.
+    pub fn append_range(&mut self, other: &Column, start: usize, len: usize) {
+        match (self, other) {
+            (Column::Int(a), Column::Int(b)) => Arc::make_mut(a).append_range(b, start, len),
+            (Column::Float(a), Column::Float(b)) => Arc::make_mut(a).append_range(b, start, len),
+            (Column::Str(a), Column::Str(b)) => Arc::make_mut(a).append_range(b, start, len),
+            (Column::Date(a), Column::Date(b)) => Arc::make_mut(a).append_range(b, start, len),
+            (Column::Bool(a), Column::Bool(b)) => Arc::make_mut(a).append_range(b, start, len),
+            (Column::Mixed(a), Column::Mixed(b)) => {
+                Arc::make_mut(a).extend_from_slice(&b[start..start + len]);
+            }
+            _ => panic!("append_range: column variant mismatch"),
         }
     }
 

@@ -17,7 +17,9 @@ current=$(mktemp /tmp/bench_gate_exec.XXXXXX.json)
 trap 'rm -f "$current"' EXIT
 
 echo "bench_gate: re-running exec_kernels micro-benchmarks..."
-raw=$(cargo bench -q -p xdb-bench --bench exec_kernels 2>&1 | grep 'time:' || true)
+raw=$(for b in exec_kernels wire_codec exec_stream_overlap; do
+  cargo bench -q -p xdb-bench --bench "$b" 2>&1 | grep 'time:' || true
+done)
 if [ -z "$raw" ]; then
   echo "bench_gate: no timings in bench output" >&2
   exit 2
@@ -36,7 +38,7 @@ fi
     }
     {
       name = $1
-      sub(/^exec_kernels\//, "", name)
+      sub(/^[a-z0-9_]+\//, "", name)  # strip the criterion group prefix
       match($0, /\[[^]]*\]/)
       split(substr($0, RSTART + 1, RLENGTH - 2), t, " ")
       printf "%s    {\"name\": \"%s\", \"min\": %.4f, \"median\": %.4f, \"max\": %.4f}", \

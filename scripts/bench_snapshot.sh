@@ -6,7 +6,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=BENCH_exec.json
-raw=$(cargo bench -q -p xdb-bench --bench exec_kernels 2>&1 | grep 'time:' || true)
+raw=$(for b in exec_kernels wire_codec exec_stream_overlap; do
+  cargo bench -q -p xdb-bench --bench "$b" 2>&1 | grep 'time:' || true
+done)
 if [ -z "$raw" ]; then
   echo "bench_snapshot: no timings in bench output" >&2
   exit 1
@@ -28,7 +30,7 @@ fi
     }
     {
       name = $1
-      sub(/^exec_kernels\//, "", name)
+      sub(/^[a-z0-9_]+\//, "", name)  # strip the criterion group prefix
       # line tail: time: [<min> <u> <med> <u> <max> <u>]
       match($0, /\[[^]]*\]/)
       split(substr($0, RSTART + 1, RLENGTH - 2), t, " ")

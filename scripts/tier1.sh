@@ -24,6 +24,16 @@ XDB_SEQUENTIAL=1 cargo run --release -q -p xdb-bench --bin repro -- \
   --sf 0.002 fig9 --out target/tier1-smoke-seq.txt
 cmp target/tier1-smoke-report.txt target/tier1-smoke-seq.txt
 
+# Streaming smoke test: the transport chunk size of the compressed wire
+# format is an implementation detail — single-row morsels and unbounded
+# frames must both be byte-identical to the default (4096-row) run.
+XDB_STREAM_CHUNK=1 cargo run --release -q -p xdb-bench --bin repro -- \
+  --sf 0.002 fig9 --out target/tier1-smoke-chunk1.txt
+cmp target/tier1-smoke-report.txt target/tier1-smoke-chunk1.txt
+XDB_STREAM_CHUNK=0 cargo run --release -q -p xdb-bench --bin repro -- \
+  --sf 0.002 fig9 --out target/tier1-smoke-unchunked.txt
+cmp target/tier1-smoke-report.txt target/tier1-smoke-unchunked.txt
+
 # Telemetry smoke test: the workload monitor must render its dashboard
 # plus Prometheus/JSON exports, the exports must be non-empty, and the
 # structured event log must export as JSON lines.

@@ -526,7 +526,10 @@ enum PackOrRaw<'a> {
         width: u8,
         bits: BitReader<'a>,
     },
-    Raw(Cursor<'a>),
+    /// Raw fallback. `value_bytes` is the little-endian width of one
+    /// present value: 8 for `Int` (`i64`), 4 for `Date` (`i32`) — it must
+    /// match what `int_raw_body`/`date_raw_body` wrote.
+    Raw { cur: Cursor<'a>, value_bytes: u8 },
 }
 
 enum StrBody<'a> {
@@ -557,7 +560,7 @@ impl<'a> ColDecoder<'a> {
             },
             TAG_INT => {
                 let nulls = NullCursor::parse(&mut cur);
-                let body = PackOrRaw::parse(col.codec, cur);
+                let body = PackOrRaw::parse(col.codec, cur, 8);
                 ColDecoder::Int {
                     nulls,
                     body,
@@ -566,7 +569,7 @@ impl<'a> ColDecoder<'a> {
             }
             TAG_DATE => {
                 let nulls = NullCursor::parse(&mut cur);
-                let body = PackOrRaw::parse(col.codec, cur);
+                let body = PackOrRaw::parse(col.codec, cur, 4);
                 ColDecoder::Date {
                     nulls,
                     body,
@@ -716,7 +719,7 @@ impl<'a> ColDecoder<'a> {
 }
 
 impl PackOrRaw<'_> {
-    fn parse(codec: Codec, mut cur: Cursor<'_>) -> PackOrRaw<'_> {
+    fn parse(codec: Codec, mut cur: Cursor<'_>, value_bytes: u8) -> PackOrRaw<'_> {
         match codec {
             Codec::ForPack => {
                 let min = unzigzag(cur.get_varint());
@@ -727,14 +730,17 @@ impl PackOrRaw<'_> {
                     bits: BitReader::new(cur.rest()),
                 }
             }
-            _ => PackOrRaw::Raw(cur),
+            _ => PackOrRaw::Raw { cur, value_bytes },
         }
     }
 
     fn next(&mut self) -> i64 {
         match self {
             PackOrRaw::Pack { min, width, bits } => min.wrapping_add(bits.get(*width) as i64),
-            PackOrRaw::Raw(cur) => cur.get_u64le() as i64,
+            PackOrRaw::Raw { cur, value_bytes } => match value_bytes {
+                4 => i64::from(cur.get_i32le()),
+                _ => cur.get_u64le() as i64,
+            },
         }
     }
 }
@@ -894,6 +900,10 @@ impl<'a> Cursor<'a> {
         u64::from_le_bytes(self.get_bytes(8).try_into().unwrap())
     }
 
+    fn get_i32le(&mut self) -> i32 {
+        i32::from_le_bytes(self.get_bytes(4).try_into().unwrap())
+    }
+
     fn rest(&self) -> &'a [u8] {
         &self.buf[self.pos..]
     }
@@ -1020,6 +1030,29 @@ mod tests {
             Value::Int(0),
         ]);
         assert_eq!(roundtrip(&c), c);
+    }
+
+    #[test]
+    fn date_raw_fallback_roundtrips() {
+        // A single far-out date makes the FOR-pack body (varint min +
+        // width byte) lose to raw (4 bytes/value); the raw decode must
+        // read back i32-width values, not the Int path's 8 bytes.
+        for c in [
+            col(&[Value::Date(2_000_000)]),
+            col(&[Value::Date(i32::MIN), Value::Date(i32::MAX)]),
+            col(&[
+                Value::Null,
+                Value::Date(i32::MAX),
+                Value::Null,
+                Value::Date(i32::MIN),
+            ]),
+        ] {
+            let enc = encode(std::slice::from_ref(&c), c.len());
+            assert_eq!(enc.columns[0].codec, Codec::Raw);
+            let back = roundtrip(&c);
+            assert!(matches!(back, Column::Date(_)));
+            assert_eq!(back, c);
+        }
     }
 
     #[test]

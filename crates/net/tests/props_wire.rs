@@ -30,6 +30,7 @@ fn cell(kind: u8) -> BoxedStrategy<Value> {
         3 => prop_oneof![
             Just(Value::Null),
             (-40000i64..40000).prop_map(|d| Value::Date(d as i32)),
+            any::<i32>().prop_map(Value::Date),
         ]
         .boxed(),
         4 => prop_oneof![Just(Value::Null), any::<bool>().prop_map(Value::Bool),].boxed(),

@@ -191,6 +191,45 @@ fn bench(c: &mut Criterion) {
             .unwrap()
         })
     });
+    // Multi-column group keys: the u128-packed kernel (Int key
+    // range-compressed, Str key dictionary-interned) vs the same grouping
+    // through row-materialized `Vec<Value>` keys.
+    g.bench_function("aggregate_multikey_columnar", |b| {
+        b.iter(|| {
+            e.execute_sql(
+                "SELECT f.k, f.s, count(*) AS n, sum(f.w) AS sw FROM fact f GROUP BY f.k, f.s",
+                &NoRemote,
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("aggregate_multikey_row_baseline", |b| {
+        b.iter(|| {
+            let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+            let mut groups: Vec<(Vec<Value>, i64, f64)> = Vec::new();
+            for i in 0..rel.len() {
+                let row = rel.row(i);
+                let key = vec![row[0].clone(), row[3].clone()];
+                let slot = *index.entry(key.clone()).or_insert_with(|| {
+                    groups.push((key, 0, 0.0));
+                    groups.len() - 1
+                });
+                groups[slot].1 += 1;
+                if let Value::Float(w) = row[2] {
+                    groups[slot].2 += w;
+                }
+            }
+            groups
+                .into_iter()
+                .map(|(mut key, n, sw)| {
+                    key.push(Value::Int(n));
+                    key.push(Value::Float(sw));
+                    key
+                })
+                .collect::<Vec<Vec<Value>>>()
+        })
+    });
+
     g.bench_function("aggregate_row_baseline", |b| {
         // Faithful to the pre-columnar engine: materialize each row as a
         // `Vec<Value>`, key groups by `Vec<Value>`, accumulate `Value`s.

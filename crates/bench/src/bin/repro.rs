@@ -17,7 +17,14 @@
 //!                                # per-deployment latency/bytes/cache
 //!                                # dashboard; --metrics prom.txt and
 //!                                # --json monitor.json add Prometheus
-//!                                # and JSON exports
+//!                                # and JSON exports (the JSON also
+//!                                # carries the tenants/... gate series)
+//! repro tenants --tenants 8 --runs 2
+//!                                # multi-tenant admission benchmark:
+//!                                # folded vs unfolded arms over a skewed
+//!                                # TD1 mix; --digest P writes per-tenant
+//!                                # result digests to P.folded.txt /
+//!                                # P.unfolded.txt (must compare equal)
 //! repro gate --monitor-baseline BENCH_monitor.json \
 //!            --exec-baseline BENCH_exec.json --exec-current cur.json
 //!                                # regression gate: exit 1 on threshold
@@ -26,7 +33,7 @@
 
 use std::io::Write;
 use xdb_bench::experiments as exp;
-use xdb_bench::{gate, monitor};
+use xdb_bench::{gate, monitor, tenants};
 use xdb_obs::json;
 use xdb_tpch::{TableDist, TpchQuery};
 
@@ -39,6 +46,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut sf = 0.05f64;
     let mut runs = 3usize;
+    let mut tenant_count = 8usize;
+    let mut digest_path: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut trace_path: Option<String> = None;
     let mut out_path: Option<String> = None;
@@ -64,6 +73,13 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--runs takes a count");
             }
+            "--tenants" => {
+                tenant_count = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tenants takes a count");
+            }
+            "--digest" => digest_path = Some(it.next().expect("--digest takes a path prefix")),
             "--trace" => trace_path = Some(it.next().expect("--trace takes a file path")),
             "--out" => out_path = Some(it.next().expect("--out takes a file path")),
             "--check-trace" => {
@@ -97,6 +113,7 @@ fn main() {
             "usage: repro [--sf X] [--out report.txt] [--trace out.json] [--log events.jsonl] \
              <all|fig1|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table2|table3|table4|ablations>\n\
              \x20      repro [--sf X] [--runs N] [--metrics prom.txt] [--json monitor.json] monitor\n\
+             \x20      repro [--sf X] [--runs R] [--tenants N] [--digest prefix] tenants\n\
              \x20      repro gate [--exec-baseline B --exec-current C] [--monitor-baseline B]\n\
              \x20      repro --check-trace out.json"
         );
@@ -201,8 +218,32 @@ fn main() {
             eprintln!("(metrics: Prometheus exposition -> {path})");
         }
         if let Some(path) = &json_path {
-            std::fs::write(path, report.to_json()).expect("write --json file");
-            eprintln!("(monitor JSON -> {path})");
+            // The monitor JSON doubles as the regression-gate baseline;
+            // ride the multi-tenant admission series along so the gate
+            // covers plan folding too.
+            let tr = tenants::run_tenants(sf, tenant_count, runs).expect("tenants workload");
+            let json = report.to_json_with(
+                &[
+                    ("tenants", tenant_count as f64),
+                    ("tenant_rounds", runs as f64),
+                ],
+                &tr.flat_values(),
+            );
+            std::fs::write(path, json).expect("write --json file");
+            eprintln!("(monitor JSON incl. tenant series -> {path})");
+        }
+    }
+    // `tenants` is likewise not part of `all`: it runs the whole skewed
+    // mix twice (folded + unfolded) and has its own digest export.
+    if targets.iter().any(|t| t == "tenants") {
+        let report = tenants::run_tenants(sf, tenant_count, runs).expect("tenants workload");
+        write!(out, "{}", report.render_dashboard()).unwrap();
+        if let Some(prefix) = &digest_path {
+            let fp = format!("{prefix}.folded.txt");
+            let up = format!("{prefix}.unfolded.txt");
+            std::fs::write(&fp, report.folded.digest()).expect("write folded digest");
+            std::fs::write(&up, report.unfolded.digest()).expect("write unfolded digest");
+            eprintln!("(digests: {fp} / {up})");
         }
     }
     if let Some(path) = trace_path {
@@ -271,9 +312,26 @@ fn run_gate(
         let doc = json::parse(&text).expect("monitor baseline re-parse");
         let sf = doc.get("sf").and_then(json::Value::as_f64).unwrap_or(0.002);
         let runs = doc.get("runs").and_then(json::Value::as_f64).unwrap_or(2.0) as usize;
-        let current = monitor::run_monitor(sf, runs)
+        let mut current = monitor::run_monitor(sf, runs)
             .expect("monitor workload")
             .flat_values();
+        // Baselines that carry multi-tenant admission series re-run the
+        // tenants workload at the baseline's own shape so they line up.
+        if base.keys().any(|k| k.starts_with("tenants/")) {
+            let tn = doc
+                .get("tenants")
+                .and_then(json::Value::as_f64)
+                .unwrap_or(8.0) as usize;
+            let rounds = doc
+                .get("tenant_rounds")
+                .and_then(json::Value::as_f64)
+                .unwrap_or(2.0) as usize;
+            current.extend(
+                tenants::run_tenants(sf, tn, rounds)
+                    .expect("tenants workload")
+                    .flat_values(),
+            );
+        }
         let report = gate::compare("monitor", &base, &current, gate::MONITOR_THRESHOLD_PCT);
         print!("{}", report.render());
         passed &= report.passed();

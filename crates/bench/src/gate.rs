@@ -256,6 +256,7 @@ mod tests {
         for series in [
             "filter_columnar",
             "aggregate_columnar",
+            "aggregate_multikey_columnar",
             "wire_encode",
             "wire_decode",
             "wire_decode_chunked",

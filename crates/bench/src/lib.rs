@@ -8,6 +8,9 @@
 //!   regenerate the tables/figures (this is what EXPERIMENTS.md records);
 //! - `repro monitor --runs N` — the fleet workload monitor ([`monitor`]):
 //!   per-query × per-deployment latency/bytes/cache dashboards;
+//! - `repro tenants --tenants N --runs R` — the multi-tenant admission
+//!   benchmark ([`tenants`]): folded vs unfolded arms over a skewed TD1
+//!   mix, with per-tenant result digests;
 //! - `repro gate` — the bench regression gate ([`gate`]), comparing fresh
 //!   measurements against `BENCH_exec.json` / `BENCH_monitor.json`;
 //! - `cargo bench -p xdb-bench` — Criterion benchmarks, one per
@@ -17,3 +20,4 @@ pub mod experiments;
 pub mod gate;
 pub mod monitor;
 pub mod report;
+pub mod tenants;

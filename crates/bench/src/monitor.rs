@@ -315,11 +315,25 @@ impl MonitorReport {
     /// JSON export; also the [`crate::gate`] baseline format
     /// (`BENCH_monitor.json`).
     pub fn to_json(&self) -> String {
+        self.to_json_with(&[], &BTreeMap::new())
+    }
+
+    /// [`MonitorReport::to_json`] with extra top-level numeric fields and
+    /// extra gate series spliced into `"values"` — how the multi-tenant
+    /// admission series ([`crate::tenants`]) ride the monitor baseline.
+    pub fn to_json_with(
+        &self,
+        extra_fields: &[(&str, f64)],
+        extra_values: &BTreeMap<String, f64>,
+    ) -> String {
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"bench\": \"monitor\",");
         let _ = writeln!(out, "  \"workload\": \"TD1\",");
         let _ = writeln!(out, "  \"sf\": {},", json_number(self.sf));
         let _ = writeln!(out, "  \"runs\": {},", self.runs);
+        for (k, v) in extra_fields {
+            let _ = writeln!(out, "  {}: {},", json_string(k), json_number(*v));
+        }
         out.push_str("  \"rows\": [\n");
         for (i, r) in self.rows.iter().enumerate() {
             let _ = writeln!(
@@ -352,7 +366,10 @@ impl MonitorReport {
         }
         out.push_str("},\n");
         out.push_str("  \"values\": {\n");
-        let values = self.flat_values();
+        let mut values = self.flat_values();
+        for (k, v) in extra_values {
+            values.insert(k.clone(), *v);
+        }
         for (i, (k, v)) in values.iter().enumerate() {
             let _ = writeln!(
                 out,

@@ -1,5 +1,7 @@
 //! Tabular figure/table rendering for the reproduction harness.
 
+use std::collections::{HashMap, HashSet};
+
 /// One named series of (x-label, value) points.
 #[derive(Debug, Clone)]
 pub struct Series {
@@ -60,10 +62,11 @@ impl Figure {
 
     /// All x labels in first-appearance order.
     fn x_labels(&self) -> Vec<String> {
+        let mut seen: HashSet<&str> = HashSet::new();
         let mut out: Vec<String> = Vec::new();
         for s in &self.series {
             for (x, _) in &s.points {
-                if !out.contains(x) {
+                if seen.insert(x.as_str()) {
                     out.push(x.clone());
                 }
             }
@@ -72,9 +75,23 @@ impl Figure {
     }
 
     /// Render as an aligned text table: one row per x label, one column
-    /// per series.
+    /// per series. Cells are looked up through per-series hash indexes
+    /// built once up front — probing with `Series::get` per cell would
+    /// rescan the whole series for every row, quadratic in points.
     pub fn render(&self) -> String {
         let xs = self.x_labels();
+        let indexes: Vec<HashMap<&str, f64>> = self
+            .series
+            .iter()
+            .map(|s| {
+                let mut m = HashMap::with_capacity(s.points.len());
+                for (x, v) in &s.points {
+                    // First occurrence wins, matching `Series::get`.
+                    m.entry(x.as_str()).or_insert(*v);
+                }
+                m
+            })
+            .collect();
         let mut out = format!("== {}: {} ({}) ==\n", self.id, self.title, self.unit);
         let xw = xs.iter().map(String::len).max().unwrap_or(4).max(4);
         let widths: Vec<usize> = self
@@ -89,9 +106,9 @@ impl Figure {
         out.push('\n');
         for x in &xs {
             out.push_str(&format!("{x:<xw$}"));
-            for (s, w) in self.series.iter().zip(&widths) {
+            for (index, w) in indexes.iter().zip(&widths) {
                 let w = *w;
-                match s.get(x) {
+                match index.get(x.as_str()).copied() {
                     Some(v) => {
                         if v.abs() >= 1000.0 {
                             out.push_str(&format!("{v:>w$.0}"));
@@ -134,10 +151,67 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_x_labels_keep_first_value() {
+        // `Series::get` returns the first matching point; the hashed
+        // render path must agree.
+        let mut f = Figure::new("Fig Y", "dups", "s");
+        f.series_mut("a").push("q1", 1.0);
+        f.series_mut("a").push("q1", 99.0);
+        let r = f.render();
+        assert!(r.contains("1.00"), "{r}");
+        assert!(!r.contains("99.00"), "{r}");
+        assert_eq!(r.matches("q1").count(), 1, "{r}");
+    }
+
+    #[test]
     fn series_lookup() {
         let mut s = Series::new("x");
         s.push("a", 5.0);
         assert_eq!(s.get("a"), Some(5.0));
         assert_eq!(s.get("zz"), None);
+    }
+}
+
+#[cfg(test)]
+mod audit {
+    use super::*;
+
+    #[test]
+    #[ignore]
+    fn time_render_10k() {
+        let mut f = Figure::new("big", "audit", "ms");
+        for s in 0..3 {
+            let series = f.series_mut(&format!("s{s}"));
+            for i in 0..10_000 {
+                series.push(format!("x{i}"), i as f64);
+            }
+        }
+        let t0 = std::time::Instant::now();
+        let new = f.render();
+        let t_new = t0.elapsed();
+        // Old path: per-cell linear Series::get probe + Vec::contains dedup.
+        let t0 = std::time::Instant::now();
+        let mut xs: Vec<String> = Vec::new();
+        for s in &f.series {
+            for (x, _) in &s.points {
+                if !xs.contains(x) {
+                    xs.push(x.clone());
+                }
+            }
+        }
+        let mut old = String::new();
+        for x in &xs {
+            for s in &f.series {
+                if let Some(v) = s.get(x) {
+                    old.push_str(&format!("{v:.2} "));
+                }
+            }
+        }
+        let t_old = t0.elapsed();
+        println!(
+            "new render: {t_new:?}, old-style probes: {t_old:?}, lens {} {}",
+            new.len(),
+            old.len()
+        );
     }
 }

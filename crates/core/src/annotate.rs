@@ -96,6 +96,66 @@ pub struct Annotation {
     /// One entry per cross-database operator, in annotation (bottom-up)
     /// order.
     pub decisions: Vec<PlacementDecision>,
+    /// Canonical sub-tree key of every task (see [`fragment_keys`]),
+    /// computed at annotation time so the session layer can fold in-flight
+    /// queries sharing sub-DAGs without re-deriving plan structure.
+    pub fragment_keys: HashMap<usize, String>,
+}
+
+/// FNV-1a over a canonical rendering — the repo-local stable hash (no
+/// dependency on `DefaultHasher`'s unstable seed/algorithm).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Canonical fragment key of every task in a delegation plan.
+///
+/// A task's key covers its *entire upstream sub-DAG*: the task body is
+/// rendered with the same dialect-neutral canonical text the consultation
+/// cache keys its EXPLAIN probes by (`plan_to_select` →
+/// `render_select_string(Generic)`, falling back to `tree_string`), with
+/// each placeholder rebound to a name derived from the producing
+/// fragment's own key, combined with the assigned DBMS and the sorted
+/// `(movement, child-key)` list of its in-edges. Two tasks with equal keys
+/// therefore denote the same computation on the same engine fed by the
+/// same upstream fragments — safe to deploy once and share.
+///
+/// Keys are compared for equality only; a hash collision in the rebound
+/// placeholder names could at worst merge two *different* renderings, so
+/// the full child key (not just its hash) is folded into the in-edge list
+/// to keep keys injective over the sub-DAG structure.
+pub fn fragment_keys(plan: &DelegationPlan) -> HashMap<usize, String> {
+    let mut keys: HashMap<usize, String> = HashMap::new();
+    for id in plan.topo_order() {
+        let task = plan.task(id);
+        let mut bindings: HashMap<String, String> = HashMap::new();
+        let mut in_list: Vec<String> = Vec::new();
+        for edge in plan.in_edges(id) {
+            let child = &keys[&edge.from];
+            bindings.insert(
+                placeholder_name(edge.from),
+                format!("__frag_{:016x}", fnv1a64(child.as_bytes())),
+            );
+            in_list.push(format!("{}<{child}>", edge.movement));
+        }
+        in_list.sort();
+        let body = crate::delegation::bind_placeholders(task.plan.clone(), &bindings)
+            .unwrap_or_else(|_| task.plan.clone());
+        let rendered = match plan_to_select(&body) {
+            Ok(stmt) => render_select_string(&stmt, Dialect::Generic),
+            Err(_) => body.tree_string(),
+        };
+        keys.insert(
+            id,
+            format!("{}@{rendered}|{}", task.dbms, in_list.join(",")),
+        );
+    }
+    keys
 }
 
 /// Rewrite rule produced by cutting a subtree into a task: references into
@@ -153,16 +213,19 @@ impl<'a> Annotator<'a> {
         let root_partial = self.annotate(plan)?;
         let root = self.finalize_root(root_partial)?;
         let edges = self.collect_edges();
+        let plan = DelegationPlan {
+            tasks: self.tasks,
+            edges,
+            root,
+        };
+        let keys = fragment_keys(&plan);
         Ok(Annotation {
-            plan: DelegationPlan {
-                tasks: self.tasks,
-                edges,
-                root,
-            },
+            plan,
             consults: self.consults,
             cache_hits: self.cache_hits,
             cache_misses: self.cache_misses,
             decisions: self.decisions,
+            fragment_keys: keys,
         })
     }
 

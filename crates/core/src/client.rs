@@ -154,12 +154,19 @@ impl Default for XdbOptions {
 /// paper's Java implementation reports seconds).
 const LOPT_MS_PER_NODE: f64 = 2.5;
 /// Parse/analysis baseline of the prep phase.
-const PREP_PARSE_MS: f64 = 15.0;
+pub(crate) const PREP_PARSE_MS: f64 = 15.0;
 
 /// Process-wide query-id source: short-lived relation names must be
 /// unique across *every* concurrently-active client of the federation,
 /// not just within one.
 static NEXT_QUERY_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Draw a fresh process-wide query id (used by the session layer for
+/// fan-out waiters, which never deploy objects of their own but still need
+/// a correlation id on their traces and telemetry events).
+pub(crate) fn next_query_id() -> u64 {
+    NEXT_QUERY_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// The XDB middleware.
 pub struct Xdb<'a> {
@@ -193,6 +200,14 @@ impl<'a> Xdb<'a> {
         self
     }
 
+    pub(crate) fn cluster(&self) -> &'a Cluster {
+        self.cluster
+    }
+
+    pub(crate) fn client_node(&self) -> &NodeId {
+        &self.client_node
+    }
+
     /// Plan a query without executing it: returns the delegation plan, the
     /// DDL script, and the would-be breakdown of the optimization phases.
     pub fn plan(
@@ -210,10 +225,11 @@ impl<'a> Xdb<'a> {
         ))
     }
 
-    /// Shared front half of [`Xdb::plan`] and [`Xdb::submit`]: run the
-    /// optimization pipeline while recording the prep/lopt/ann phase spans
-    /// and per-probe Consult spans into a fresh collector.
-    fn plan_internal(&self, sql: &str) -> Result<Planned> {
+    /// Shared front half of [`Xdb::plan`], [`Xdb::submit`] and the session
+    /// layer: run the optimization pipeline while recording the
+    /// prep/lopt/ann phase spans and per-probe Consult spans into a fresh
+    /// collector.
+    pub(crate) fn plan_internal(&self, sql: &str) -> Result<Planned> {
         let stmt = xdb_sql::parse_statement(sql)?;
         let select = match stmt {
             Statement::Select(s) => s,
@@ -373,7 +389,7 @@ impl<'a> Xdb<'a> {
         let overhead_ms = prep_ms + lopt_ms + ann_ms;
         collector.set_dur(query_span, overhead_ms);
 
-        let query_id = NEXT_QUERY_ID.fetch_add(1, Ordering::Relaxed);
+        let query_id = next_query_id();
         let script = build_script(&annotation.plan, query_id, self.cluster)?;
 
         // Fleet telemetry: the whole planning pipeline is single-threaded,
@@ -407,6 +423,7 @@ impl<'a> Xdb<'a> {
             ],
         );
         Ok(Planned {
+            fragment_keys: annotation.fragment_keys,
             delegation: annotation.plan,
             script,
             collector,
@@ -414,6 +431,9 @@ impl<'a> Xdb<'a> {
             overhead_ms,
             consults: annotation.consults,
             query_id,
+            prep_probes: prep_hits + prep_fetches,
+            ann_probes: annotation.cache_hits + annotation.cache_misses,
+            lopt_ms,
         })
     }
 
@@ -454,8 +474,13 @@ impl<'a> Xdb<'a> {
             overhead_ms,
             consults,
             query_id,
+            ..
         } = planned;
         let telemetry = self.cluster.telemetry();
+        // Wire-codec dictionary reuse is scoped to one query: edges that
+        // stream the same relation within this submission share encode
+        // state, but nothing leaks across submissions.
+        self.cluster.clear_codec_cache();
         // Transfer spans are derived from the ledger records this query
         // appends; remember where the ledger stood before we touch it.
         let ledger_mark = self.cluster.ledger.len();
@@ -586,7 +611,7 @@ impl<'a> Xdb<'a> {
     /// gets an equal slot of the exec window; the span sequence visualises
     /// *what moved and in which order*, not independent wire timings (those
     /// live on the Materialize / pipeline spans).
-    fn emit_transfer_spans(
+    pub(crate) fn emit_transfer_spans(
         &self,
         collector: &TraceCollector,
         exec_span: SpanId,
@@ -650,14 +675,22 @@ impl<'a> Xdb<'a> {
 /// Output of the optimization front half: everything `submit` needs to go
 /// on and execute, plus the live trace collector with the prep/lopt/ann
 /// spans already recorded.
-struct Planned {
-    delegation: DelegationPlan,
-    script: DelegationScript,
-    collector: TraceCollector,
-    query_span: SpanId,
-    overhead_ms: f64,
-    consults: u64,
-    query_id: u64,
+pub(crate) struct Planned {
+    pub(crate) delegation: DelegationPlan,
+    pub(crate) script: DelegationScript,
+    pub(crate) collector: TraceCollector,
+    pub(crate) query_span: SpanId,
+    pub(crate) overhead_ms: f64,
+    pub(crate) consults: u64,
+    pub(crate) query_id: u64,
+    /// Canonical fragment key per task (annotation-time canonicalization).
+    pub(crate) fragment_keys: std::collections::HashMap<usize, String>,
+    /// Metadata probes issued during prep (hits + fetches). A warm replan
+    /// of the same query answers all of them from the consultation cache.
+    pub(crate) prep_probes: u64,
+    /// EXPLAIN probes issued during annotation (hits + misses).
+    pub(crate) ann_probes: u64,
+    pub(crate) lopt_ms: f64,
 }
 
 fn collect_tables(from: &[TableRef], out: &mut Vec<String>) {

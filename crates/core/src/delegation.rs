@@ -77,7 +77,7 @@ pub struct ExecutionOutcome {
 }
 
 /// Names for the short-lived relations of one deployed query.
-fn view_name(query_id: u64, task: usize) -> String {
+pub(crate) fn view_name(query_id: u64, task: usize) -> String {
     format!("xdb_q{query_id}_t{task}")
 }
 
@@ -95,9 +95,27 @@ pub fn build_script(
     query_id: u64,
     cluster: &Cluster,
 ) -> Result<DelegationScript> {
+    build_script_with_reuse(plan, query_id, cluster, &HashMap::new())
+}
+
+/// [`build_script`] with plan folding: tasks present in `reuse` are
+/// *already deployed* by an earlier query of the same scheduling window
+/// (the map gives the live view name of the shared fragment on the
+/// producer's node), so no DDL is emitted for them and foreign tables of
+/// their consumers point straight at the shared view. With an empty map
+/// this is exactly Algorithm 1.
+pub(crate) fn build_script_with_reuse(
+    plan: &DelegationPlan,
+    query_id: u64,
+    cluster: &Cluster,
+    reuse: &HashMap<usize, String>,
+) -> Result<DelegationScript> {
     let mut steps: Vec<DdlStep> = Vec::new();
     let mut cleanup: Vec<(NodeId, String)> = Vec::new();
     for id in plan.topo_order() {
+        if reuse.contains_key(&id) {
+            continue;
+        }
         let task = plan.task(id);
         let dialect = cluster.engine(task.dbms.as_str())?.profile.dialect;
         // Bind each placeholder to a foreign table (implicit) or a
@@ -118,7 +136,12 @@ pub fn build_script(
                 name: ft.clone(),
                 columns,
                 server: producer.dbms.as_str().to_string(),
-                remote_name: Some(view_name(query_id, edge.from)),
+                remote_name: Some(
+                    reuse
+                        .get(&edge.from)
+                        .cloned()
+                        .unwrap_or_else(|| view_name(query_id, edge.from)),
+                ),
             };
             steps.push(DdlStep {
                 node: task.dbms.clone(),
@@ -169,18 +192,26 @@ pub fn build_script(
     }
     cleanup.reverse();
     let root = plan.task(plan.root);
+    let root_view = reuse
+        .get(&plan.root)
+        .cloned()
+        .unwrap_or_else(|| view_name(query_id, plan.root));
     Ok(DelegationScript {
         query_id,
         steps,
         cleanup,
-        xdb_query: format!("SELECT * FROM {}", view_name(query_id, plan.root)),
+        xdb_query: format!("SELECT * FROM {root_view}"),
         root_node: root.dbms.clone(),
     })
 }
 
 /// Replace placeholder relation names with their bound (foreign or
-/// materialized) relation names.
-fn bind_placeholders(plan: LogicalPlan, bindings: &HashMap<String, String>) -> Result<LogicalPlan> {
+/// materialized) relation names. Also used by the annotator's fragment-key
+/// canonicalization, which rebinds placeholders to child-key-derived names.
+pub(crate) fn bind_placeholders(
+    plan: LogicalPlan,
+    bindings: &HashMap<String, String>,
+) -> Result<LogicalPlan> {
     Ok(match plan {
         LogicalPlan::Placeholder {
             name,
@@ -284,7 +315,7 @@ pub fn run_script(
 /// Everything here is single-threaded and driven only by script order and
 /// the deterministic step reports, so sequential and parallel runs produce
 /// bit-identical timings *and traces* by construction.
-fn finish_script(
+pub(crate) fn finish_script(
     cluster: &Cluster,
     plan: &DelegationPlan,
     script: &DelegationScript,

@@ -29,6 +29,7 @@ pub mod delegation;
 pub mod global;
 pub mod plan;
 pub mod scenario;
+pub mod session;
 
 pub use annotate::{AnnotateOptions, Annotation, Annotator};
 pub use client::{PhaseBreakdown, QueryOutcome, Xdb, XdbOptions};
@@ -38,3 +39,4 @@ pub use delegation::{
 };
 pub use global::GlobalCatalog;
 pub use plan::{DelegationPlan, Edge, Task};
+pub use session::{QueryServer, SessionOptions, SessionReport, Submission, TenantOutcome};

@@ -1,0 +1,920 @@
+//! Multi-tenant session/admission layer with concurrent-plan folding.
+//!
+//! [`Xdb::submit`] serves one client at a time; the north star is hundreds
+//! of concurrent analytical sessions over the same federation. Following
+//! GraftDB's observation that concurrent queries share large sub-plans,
+//! the [`QueryServer`] admits submissions from simulated tenants in
+//! *scheduling windows* and **folds** in-flight queries that share
+//! sub-DAGs into a single delegation deployment:
+//!
+//! 1. every task sub-tree is canonicalized at annotation time
+//!    ([`crate::annotate::fragment_keys`] — the same dialect-neutral
+//!    rendering the consultation cache keys its probes by);
+//! 2. queries admitted in the same window whose root fragment matches an
+//!    already-executed one are answered straight from the window's result
+//!    cache and only pay their own final-result transfer (*full fold*);
+//! 3. queries sharing a strict sub-DAG prefix skip the DDLs of the shared
+//!    fragments — their foreign tables point at the live shared views
+//!    (*partial fold*) — and only deploy + execute what is new;
+//! 4. shared fragments are deployed exactly once, reference-counted while
+//!    waiters drain, and dropped at window close in reverse creation
+//!    order, so every engine's `ddl.objects_live` gauge returns to its
+//!    pre-window baseline.
+//!
+//! **Determinism contract.** Admission processes the queue strictly in
+//! submission order, so a concurrent front door ([`QueryServer::run_concurrent`])
+//! produces results, ledgers, traces and deterministic metric snapshots
+//! bit-identical to sequential admission of the same list — at any
+//! executor partition count and stream chunk size. Folding itself changes
+//! the *physical* ledger by design (a shared edge is charged once); each
+//! tenant's observable outcome — its result relation, its as-if-alone
+//! [`PhaseBreakdown`], and its *attributed* ledger view (shared records
+//! attributed to every waiter) — is bit-identical to running the same
+//! query unfolded, modulo the width of process-global query ids that leak
+//! into control-message byte counts.
+//!
+//! **Tenant awareness.** Every outcome carries the tenant and a fresh
+//! query id; traces get a `tenant` attribute on the query span (and a
+//! fold span on fan-outs); telemetry counters (`session.submissions`,
+//! `session.fold_hits`) are labeled per tenant, and events carry the query
+//! id as correlation id.
+
+use crate::client::{next_query_id, PhaseBreakdown, Xdb, XdbOptions, PREP_PARSE_MS};
+use crate::delegation::{build_script, build_script_with_reuse, finish_script, view_name};
+use crate::global::GlobalCatalog;
+use crate::plan::DelegationPlan;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use xdb_engine::cluster::Cluster;
+use xdb_engine::engine::ExecReport;
+use xdb_engine::error::Result;
+use xdb_engine::relation::Relation;
+use xdb_net::{wire, NodeId, Purpose, Transfer};
+use xdb_obs::{QueryTrace, SpanId, SpanKind, TraceCollector, TraceCtx};
+
+/// One tenant query handed to the admission queue.
+#[derive(Debug, Clone)]
+pub struct Submission {
+    pub tenant: String,
+    pub sql: String,
+}
+
+impl Submission {
+    pub fn new(tenant: impl Into<String>, sql: impl Into<String>) -> Submission {
+        Submission {
+            tenant: tenant.into(),
+            sql: sql.into(),
+        }
+    }
+}
+
+/// Admission/folding configuration.
+#[derive(Debug, Clone)]
+pub struct SessionOptions {
+    /// Per-query middleware options (executor, chunking, tracing).
+    pub xdb: XdbOptions,
+    /// Fold queries sharing sub-DAGs within a scheduling window. Off
+    /// reproduces strictly serial `Xdb::submit` admission.
+    pub fold: bool,
+    /// Submissions per scheduling window; 0 admits everything into one
+    /// window. Fragments and cached results never outlive their window.
+    pub window: usize,
+}
+
+impl Default for SessionOptions {
+    fn default() -> SessionOptions {
+        SessionOptions {
+            xdb: XdbOptions::default(),
+            fold: true,
+            window: 0,
+        }
+    }
+}
+
+/// Per-tenant outcome of one admitted query.
+#[derive(Debug, Clone)]
+pub struct TenantOutcome {
+    pub tenant: String,
+    /// Position in the admission queue (client-assigned submission index).
+    pub index: usize,
+    /// Correlation id (fresh even for fan-out waiters).
+    pub query_id: u64,
+    pub relation: Relation,
+    /// As-if-alone phase breakdown: what this tenant would observe running
+    /// the same query by itself against warm caches.
+    pub breakdown: PhaseBreakdown,
+    pub trace: QueryTrace,
+    /// Whole plan answered from the window result cache.
+    pub full_fold: bool,
+    /// Number of this plan's tasks served by shared fragments.
+    pub fold_hits: u64,
+    /// Simulated admission instant (window open).
+    pub admitted_ms: f64,
+    /// Simulated completion instant on the session clock.
+    pub completed_ms: f64,
+    /// Queueing-inclusive latency (`completed - admitted`) — the number
+    /// the p50/p95/p99 gates are computed over.
+    pub latency_ms: f64,
+    /// This tenant's attributed ledger view: every transfer its query
+    /// depends on, shared fragment records included (charged once
+    /// physically, attributed to each waiter).
+    pub attributed: Vec<Transfer>,
+}
+
+/// Aggregate outcome of one [`QueryServer::run`].
+#[derive(Debug, Clone, Default)]
+pub struct SessionReport {
+    pub outcomes: Vec<TenantOutcome>,
+    /// Simulated makespan of the whole run.
+    pub makespan_ms: f64,
+    pub windows: u64,
+    /// Tasks served by shared fragments, summed over all queries.
+    pub fold_hits: u64,
+    /// Queries answered entirely from the window result cache.
+    pub full_folds: u64,
+    /// Fragments deployed (deduplicated — each shared fragment once).
+    pub fragments_deployed: u64,
+    pub plan_cache_hits: u64,
+    /// Consultation probes actually issued (metadata + EXPLAIN) during
+    /// planning across the run.
+    pub consult_probes: u64,
+    /// DDL statements actually shipped to engines across the run.
+    pub ddl_statements: u64,
+}
+
+impl SessionReport {
+    /// Aggregate throughput over the simulated makespan.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.makespan_ms <= 0.0 {
+            return 0.0;
+        }
+        self.outcomes.len() as f64 / self.makespan_ms * 1000.0
+    }
+
+    /// Queueing-inclusive latency quantile (nearest-rank on the sorted
+    /// per-tenant latencies).
+    pub fn latency_quantile(&self, q: f64) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        let mut v: Vec<f64> = self.outcomes.iter().map(|o| o.latency_ms).collect();
+        v.sort_by(f64::total_cmp);
+        let idx = ((v.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        v[idx]
+    }
+
+    /// Mean fold hits per admitted query.
+    pub fn mean_fold_hits(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.fold_hits as f64 / self.outcomes.len() as f64
+    }
+}
+
+/// One live shared fragment of the current scheduling window.
+struct Fragment {
+    /// Name of the deployed view on the owning engine.
+    view: String,
+    /// Control-message records of this fragment's DDLs (attributed to
+    /// every waiter, charged once physically).
+    control: Vec<Transfer>,
+    /// Data transfers recorded while deploying this fragment (explicit
+    /// materializations pulling upstream pipelines).
+    data: Vec<Transfer>,
+    /// Execution reports of this fragment's DDL steps, in script order.
+    /// Waiters splice them into their own solo timeline replay so a
+    /// partially folded query still reports its exact as-if-alone
+    /// breakdown and trace.
+    reports: Vec<ExecReport>,
+    /// Waiters currently claiming this fragment; must drain to zero before
+    /// window close drops the backing objects.
+    refs: u64,
+}
+
+/// Window result cache entry, keyed by the root fragment key.
+struct CachedResult {
+    relation: Relation,
+    /// As-if-alone execution time of the shared plan.
+    exec_ms: f64,
+    root_node: NodeId,
+    /// The owner's fully-assembled attributed ledger view (control, then
+    /// data including the final pipelined query) — every fan-out waiter
+    /// inherits it and appends only its own final-result transfer.
+    attributed_control: Vec<Transfer>,
+    attributed_data: Vec<Transfer>,
+}
+
+/// Window plan cache entry, keyed by the submitted SQL text.
+struct CachedPlan {
+    delegation: DelegationPlan,
+    fragment_keys: HashMap<usize, String>,
+    lopt_ms: f64,
+    /// Probe counts of the cold plan; a warm replan answers all of them
+    /// from the consultation cache (transient `xdb_q*` objects never bump
+    /// a node's DDL generation), which is what the synthesized breakdown
+    /// of a plan-cache hit reproduces bit-exactly.
+    prep_probes: u64,
+    ann_probes: u64,
+}
+
+/// Per-window folding state.
+#[derive(Default)]
+struct WindowState {
+    fragments: HashMap<String, Fragment>,
+    results: HashMap<String, CachedResult>,
+    plan_cache: HashMap<String, CachedPlan>,
+    /// Per-query cleanup scripts, executed in reverse query order at
+    /// window close (consumers drop before the shared views they read).
+    cleanup: Vec<Vec<(NodeId, String)>>,
+}
+
+/// The multi-tenant query server: an admission queue over one [`Xdb`]
+/// middleware instance.
+pub struct QueryServer<'a> {
+    xdb: Xdb<'a>,
+    options: SessionOptions,
+}
+
+impl<'a> QueryServer<'a> {
+    pub fn new(
+        cluster: &'a Cluster,
+        catalog: &'a GlobalCatalog,
+        options: SessionOptions,
+    ) -> QueryServer<'a> {
+        let xdb = Xdb::new(cluster, catalog).with_options(options.xdb.clone());
+        QueryServer { xdb, options }
+    }
+
+    /// Account the server (and its tenants) as sitting on `node`.
+    pub fn with_client_node(mut self, node: impl Into<String>) -> Self {
+        self.xdb = self.xdb.with_client_node(node);
+        self
+    }
+
+    /// Admit and run a list of submissions, strictly in list order.
+    pub fn run(&self, submissions: &[Submission]) -> Result<SessionReport> {
+        let mut report = SessionReport::default();
+        let mut clock = 0.0f64;
+        let window = if self.options.window == 0 {
+            submissions.len().max(1)
+        } else {
+            self.options.window
+        };
+        let mut base = 0usize;
+        for chunk in submissions.chunks(window) {
+            self.run_window(chunk, base, &mut clock, &mut report)?;
+            base += chunk.len();
+            report.windows += 1;
+        }
+        report.makespan_ms = clock;
+        let telemetry = self.xdb.cluster().telemetry();
+        telemetry
+            .metrics
+            .counter_add("session.windows", &[], report.windows as f64);
+        Ok(report)
+    }
+
+    /// The concurrent front door: `threads` tenant clients push their
+    /// submissions into a shared admission queue in whatever real-time
+    /// interleaving the scheduler produces; admission then orders the
+    /// queue by the client-assigned submission index before processing.
+    /// The downstream schedule — and with it every result, ledger, trace
+    /// and deterministic snapshot — is therefore bit-identical to
+    /// [`QueryServer::run`] on the same list.
+    pub fn run_concurrent(
+        &self,
+        submissions: &[Submission],
+        threads: usize,
+    ) -> Result<SessionReport> {
+        let threads = threads.max(1);
+        let queue: Mutex<Vec<(usize, Submission)>> = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let queue = &queue;
+                s.spawn(move || {
+                    for (i, sub) in submissions.iter().enumerate() {
+                        if i % threads == t {
+                            queue.lock().push((i, sub.clone()));
+                        }
+                    }
+                });
+            }
+        });
+        let mut admitted = queue.into_inner();
+        admitted.sort_by_key(|(i, _)| *i);
+        let ordered: Vec<Submission> = admitted.into_iter().map(|(_, sub)| sub).collect();
+        self.run(&ordered)
+    }
+
+    /// Process one scheduling window. On error the window's shared
+    /// fragments are torn down before the error propagates.
+    fn run_window(
+        &self,
+        subs: &[Submission],
+        base_index: usize,
+        clock: &mut f64,
+        report: &mut SessionReport,
+    ) -> Result<()> {
+        let cluster = self.xdb.cluster();
+        let telemetry = cluster.telemetry().clone();
+        let window_open = *clock;
+        let mut w = WindowState::default();
+        let mut failure = None;
+        for (k, sub) in subs.iter().enumerate() {
+            let index = base_index + k;
+            telemetry
+                .metrics
+                .counter_add("session.submissions", &[("tenant", &sub.tenant)], 1.0);
+            let outcome = if self.options.fold {
+                self.admit_folded(sub, index, window_open, clock, &mut w, report)
+            } else {
+                self.admit_unfolded(sub, index, window_open, clock, report)
+            };
+            match outcome {
+                Ok(o) => report.outcomes.push(o),
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        // Window close: all waiters have drained, so every fragment's
+        // refcount is back to zero; drop shared objects in reverse
+        // creation order (mirroring run_cleanup's reverse-dependency
+        // discipline across queries).
+        debug_assert!(
+            w.fragments.values().all(|f| f.refs == 0),
+            "window closed with live fragment references"
+        );
+        let mut dropped = 0usize;
+        for cleanup in w.cleanup.iter().rev() {
+            for (node, sql) in cleanup {
+                if cluster.execute(node.as_str(), sql).is_ok() {
+                    dropped += 1;
+                }
+            }
+        }
+        if dropped > 0 {
+            telemetry
+                .metrics
+                .counter_add("ddl.objects_dropped", &[], dropped as f64);
+        }
+        let dropped_s = dropped.to_string();
+        let fragments_s = w.fragments.len().to_string();
+        telemetry.events.log(
+            xdb_obs::Level::Info,
+            "core.session",
+            None,
+            *clock,
+            "scheduling window closed",
+            &[("dropped", &dropped_s), ("fragments", &fragments_s)],
+        );
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Unfolded admission: strictly serial [`Xdb::submit`] per tenant.
+    fn admit_unfolded(
+        &self,
+        sub: &Submission,
+        index: usize,
+        window_open: f64,
+        clock: &mut f64,
+        report: &mut SessionReport,
+    ) -> Result<TenantOutcome> {
+        let cluster = self.xdb.cluster();
+        let mark = cluster.ledger.len();
+        let outcome = self.xdb.submit(&sub.sql)?;
+        let attributed = cluster.ledger.snapshot()[mark..].to_vec();
+        report.consult_probes +=
+            outcome.breakdown.consult_cache_hits + outcome.breakdown.consult_cache_misses;
+        report.ddl_statements += outcome.ddl_count as u64;
+        *clock += outcome.breakdown.total_ms();
+        let latency = *clock - window_open;
+        self.note_completion(&sub.tenant, outcome.query_id, latency, "none");
+        Ok(TenantOutcome {
+            tenant: sub.tenant.clone(),
+            index,
+            query_id: outcome.query_id,
+            relation: outcome.relation,
+            breakdown: outcome.breakdown,
+            trace: outcome.trace,
+            full_fold: false,
+            fold_hits: 0,
+            admitted_ms: window_open,
+            completed_ms: *clock,
+            latency_ms: latency,
+            attributed,
+        })
+    }
+
+    /// Folded admission of one query against the window state.
+    fn admit_folded(
+        &self,
+        sub: &Submission,
+        index: usize,
+        window_open: f64,
+        clock: &mut f64,
+        w: &mut WindowState,
+        report: &mut SessionReport,
+    ) -> Result<TenantOutcome> {
+        let cluster = self.xdb.cluster();
+        let telemetry = cluster.telemetry().clone();
+
+        // ---- Plan, through the window plan cache. A repeated SQL text
+        // skips the whole optimization pipeline (its consultation probes
+        // would all hit anyway — transient objects never bump a node's
+        // DDL generation); the synthesized planning trace reproduces the
+        // warm-replan breakdown bit-exactly.
+        let (delegation, fkeys, collector, query_span, overhead_ms, query_id);
+        if let Some(cp) = w.plan_cache.get(&sub.sql) {
+            delegation = cp.delegation.clone();
+            fkeys = cp.fragment_keys.clone();
+            query_id = next_query_id();
+            let (c, qs, oh) =
+                synthetic_planning_trace(&sub.sql, cp.prep_probes, cp.ann_probes, cp.lopt_ms);
+            collector = c;
+            query_span = qs;
+            overhead_ms = oh;
+            report.plan_cache_hits += 1;
+            telemetry
+                .metrics
+                .counter_add("session.plan_cache_hits", &[], 1.0);
+        } else {
+            let planned = self.xdb.plan_internal(&sub.sql)?;
+            report.consult_probes += planned.prep_probes + planned.ann_probes;
+            w.plan_cache.insert(
+                sub.sql.clone(),
+                CachedPlan {
+                    delegation: planned.delegation.clone(),
+                    fragment_keys: planned.fragment_keys.clone(),
+                    lopt_ms: planned.lopt_ms,
+                    prep_probes: planned.prep_probes,
+                    ann_probes: planned.ann_probes,
+                },
+            );
+            delegation = planned.delegation;
+            fkeys = planned.fragment_keys;
+            collector = planned.collector;
+            query_span = planned.query_span;
+            overhead_ms = planned.overhead_ms;
+            query_id = planned.query_id;
+        }
+        *clock += overhead_ms;
+        collector.attr(query_span, "tenant", &sub.tenant);
+        let root_key = fkeys[&delegation.root].clone();
+
+        // ---- Full fold: the whole plan is already materialized; fan the
+        // cached result out. The only fresh physical traffic is this
+        // waiter's own final-result transfer.
+        if let Some(cached) = w.results.get(&root_key) {
+            for key in fkeys.values() {
+                if let Some(f) = w.fragments.get_mut(key) {
+                    f.refs += 1;
+                }
+            }
+            let fold_hits = delegation.tasks.len() as u64;
+            report.fold_hits += fold_hits;
+            report.full_folds += 1;
+            telemetry.metrics.counter_add(
+                "session.fold_hits",
+                &[("tenant", &sub.tenant)],
+                fold_hits as f64,
+            );
+            telemetry
+                .metrics
+                .counter_add("session.full_folds", &[], 1.0);
+            let ledger_mark = cluster.ledger.len();
+            let enc = wire::encode(cached.relation.columns(), cached.relation.len());
+            cluster.ledger.record_wire(
+                &cached.root_node,
+                self.xdb.client_node(),
+                cached.relation.wire_bytes(),
+                cached.relation.len() as u64,
+                Purpose::FinalResult,
+                &enc.stats(self.options.xdb.stream_chunk_rows),
+            );
+            let exec_span = collector.span(
+                SpanKind::Phase,
+                "exec",
+                "client",
+                Some(query_span),
+                overhead_ms,
+                cached.exec_ms,
+            );
+            let fold = collector.span(
+                SpanKind::Exec,
+                "fold fan-out",
+                cached.root_node.as_str(),
+                Some(exec_span),
+                overhead_ms,
+                0.0,
+            );
+            collector.attr(fold, "fragments", fold_hits.to_string());
+            collector.attr(query_span, "fold", "full");
+            self.xdb.emit_transfer_spans(
+                &collector,
+                exec_span,
+                ledger_mark,
+                overhead_ms,
+                cached.exec_ms,
+            );
+            collector.set_dur(query_span, overhead_ms + cached.exec_ms);
+            let mut attributed = cached.attributed_control.clone();
+            attributed.extend(cached.attributed_data.iter().cloned());
+            attributed.extend(cluster.ledger.snapshot()[ledger_mark..].iter().cloned());
+            for key in fkeys.values() {
+                if let Some(f) = w.fragments.get_mut(key) {
+                    f.refs -= 1;
+                }
+            }
+            let relation = cached.relation.clone();
+            let trace = collector.finish();
+            let breakdown = PhaseBreakdown::from_trace(&trace);
+            let latency = *clock - window_open;
+            self.note_completion(&sub.tenant, query_id, latency, "full");
+            return Ok(TenantOutcome {
+                tenant: sub.tenant.clone(),
+                index,
+                query_id,
+                relation,
+                breakdown,
+                trace,
+                full_fold: true,
+                fold_hits,
+                admitted_ms: window_open,
+                completed_ms: *clock,
+                latency_ms: latency,
+                attributed,
+            });
+        }
+
+        // ---- Partial (or no) fold: claim live shared fragments, deploy
+        // and execute only the rest.
+        let mut reuse: HashMap<usize, String> = HashMap::new();
+        for id in delegation.topo_order() {
+            let key = &fkeys[&id];
+            if let Some(f) = w.fragments.get_mut(key) {
+                f.refs += 1;
+                reuse.insert(id, f.view.clone());
+            }
+        }
+        let fold_hits = reuse.len() as u64;
+        if fold_hits > 0 {
+            report.fold_hits += fold_hits;
+            telemetry.metrics.counter_add(
+                "session.fold_hits",
+                &[("tenant", &sub.tenant)],
+                fold_hits as f64,
+            );
+        }
+        let release = |w: &mut WindowState| {
+            for id in reuse.keys() {
+                if let Some(f) = w.fragments.get_mut(&fkeys[id]) {
+                    f.refs -= 1;
+                }
+            }
+        };
+        let script = match build_script_with_reuse(&delegation, query_id, cluster, &reuse) {
+            Ok(s) => s,
+            Err(e) => {
+                release(w);
+                return Err(e);
+            }
+        };
+        // The full (unpruned) script of the same plan: the skeleton of the
+        // as-if-alone timeline replay below. Only needed when something
+        // was actually folded away.
+        let solo_script = if reuse.is_empty() {
+            None
+        } else {
+            match build_script(&delegation, query_id, cluster) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    release(w);
+                    return Err(e);
+                }
+            }
+        };
+        report.ddl_statements += script.steps.len() as u64;
+        let ledger_mark = cluster.ledger.len();
+        // Control traffic first, exactly like Xdb::submit, sliced per task
+        // so each fragment's control cost can be attributed to its waiters.
+        let mut control_ranges: HashMap<usize, (usize, usize)> = HashMap::new();
+        for step in &script.steps {
+            let at = cluster.ledger.len();
+            cluster.ledger.record(
+                self.xdb.client_node(),
+                &step.node,
+                step.sql.len() as u64,
+                0,
+                Purpose::ControlMessage,
+            );
+            control_ranges
+                .entry(step.task)
+                .and_modify(|r| r.1 = at + 1)
+                .or_insert((at, at + 1));
+        }
+        let exec_span = collector.span(
+            SpanKind::Phase,
+            "exec",
+            "client",
+            Some(query_span),
+            overhead_ms,
+            0.0,
+        );
+        let trace_ctx = TraceCtx::new(&collector, overhead_ms, Some(exec_span));
+        cluster.set_stream_chunk_rows(self.options.xdb.stream_chunk_rows);
+        cluster.clear_codec_cache();
+        if self.options.xdb.trace_operators {
+            cluster.set_op_tracing(true);
+        }
+        // Deploy sequentially, slicing the ledger per task group (groups
+        // are contiguous in script order). Fragment deployment order and
+        // the simulated timeline replay are identical to the sequential
+        // executor — which is itself bit-identical to the parallel one.
+        let mut step_reports: Vec<ExecReport> = Vec::with_capacity(script.steps.len());
+        let mut data_ranges: HashMap<usize, (usize, usize)> = HashMap::new();
+        let mut exec_err = None;
+        for step in &script.steps {
+            let at = cluster.ledger.len();
+            match cluster.execute(step.node.as_str(), &step.sql) {
+                Ok(out) => step_reports.push(out.report),
+                Err(e) => {
+                    exec_err = Some(e);
+                    break;
+                }
+            }
+            let end = cluster.ledger.len();
+            if end > at {
+                data_ranges
+                    .entry(step.task)
+                    .and_modify(|r| r.1 = end)
+                    .or_insert((at, end));
+            }
+        }
+        let final_mark = cluster.ledger.len();
+        // As-if-alone timeline: replay the finish over the full solo
+        // script, splicing the owners' step reports in for reused
+        // fragments, so a partially folded query reports the exact
+        // breakdown and trace it would have had running alone. The
+        // physical work above stays pruned — only the simulated-clock
+        // replay is reconstructed (and the final XDB query it runs is the
+        // waiter's own: its root view exists under its own name).
+        let merged: Vec<ExecReport>;
+        let (timeline_script, timeline_reports) = match &solo_script {
+            None => (&script, &step_reports),
+            Some(solo) => {
+                let mut own = step_reports.iter();
+                let mut cursors: HashMap<usize, usize> = HashMap::new();
+                merged = solo
+                    .steps
+                    .iter()
+                    .map(|step| {
+                        if reuse.contains_key(&step.task) {
+                            let cur = cursors.entry(step.task).or_insert(0);
+                            let f = &w.fragments[&fkeys[&step.task]];
+                            let r = f.reports.get(*cur).cloned().unwrap_or_default();
+                            *cur += 1;
+                            r
+                        } else {
+                            own.next().cloned().unwrap_or_default()
+                        }
+                    })
+                    .collect();
+                (solo, &merged)
+            }
+        };
+        let exec = match exec_err {
+            Some(e) => Err(e),
+            None => finish_script(
+                cluster,
+                &delegation,
+                timeline_script,
+                timeline_reports,
+                &trace_ctx,
+            ),
+        };
+        if self.options.xdb.trace_operators {
+            cluster.set_op_tracing(false);
+        }
+        let exec = match exec {
+            Ok(o) => o,
+            Err(e) => {
+                // Tear down this query's own objects; shared fragments
+                // stay for their other waiters.
+                for (node, sql) in &script.cleanup {
+                    let _ = cluster.execute(node.as_str(), sql);
+                }
+                release(w);
+                telemetry
+                    .metrics
+                    .counter_add("xdb.queries", &[("status", "error")], 1.0);
+                return Err(e);
+            }
+        };
+        let final_data = cluster.ledger.snapshot()[final_mark..].to_vec();
+        let fr_mark = cluster.ledger.len();
+        let enc = wire::encode(exec.relation.columns(), exec.relation.len());
+        cluster.ledger.record_wire(
+            &script.root_node,
+            self.xdb.client_node(),
+            exec.relation.wire_bytes(),
+            exec.relation.len() as u64,
+            Purpose::FinalResult,
+            &enc.stats(self.options.xdb.stream_chunk_rows),
+        );
+        // Register the freshly deployed fragments for later waiters.
+        let snapshot = cluster.ledger.snapshot();
+        let slice = |r: Option<&(usize, usize)>| -> Vec<Transfer> {
+            match r {
+                Some(&(a, b)) => snapshot[a..b].to_vec(),
+                None => Vec::new(),
+            }
+        };
+        // Per-task slices of the pruned execution's reports (steps of one
+        // task group are contiguous in script order).
+        let mut rep_ranges: HashMap<usize, (usize, usize)> = HashMap::new();
+        for (i, step) in script.steps.iter().enumerate() {
+            rep_ranges
+                .entry(step.task)
+                .and_modify(|r| r.1 = i + 1)
+                .or_insert((i, i + 1));
+        }
+        let mut fresh = 0u64;
+        for id in delegation.topo_order() {
+            if reuse.contains_key(&id) {
+                continue;
+            }
+            let reports = match rep_ranges.get(&id) {
+                Some(&(a, b)) => step_reports[a..b].to_vec(),
+                None => Vec::new(),
+            };
+            w.fragments.insert(
+                fkeys[&id].clone(),
+                Fragment {
+                    view: view_name(query_id, id),
+                    control: slice(control_ranges.get(&id)),
+                    data: slice(data_ranges.get(&id)),
+                    reports,
+                    refs: 0,
+                },
+            );
+            fresh += 1;
+        }
+        report.fragments_deployed += fresh;
+        telemetry
+            .metrics
+            .counter_add("session.fragments_deployed", &[], fresh as f64);
+        // Assemble this tenant's attributed ledger view in its own script
+        // order: all control messages (shared fragments' included), then
+        // all deployment data, then the final pipelined query's pulls and
+        // the final-result transfer.
+        let mut attributed_control: Vec<Transfer> = Vec::new();
+        let mut attributed_data: Vec<Transfer> = Vec::new();
+        for id in delegation.topo_order() {
+            let f = &w.fragments[&fkeys[&id]];
+            attributed_control.extend(f.control.iter().cloned());
+            attributed_data.extend(f.data.iter().cloned());
+        }
+        attributed_data.extend(final_data.iter().cloned());
+        w.results.insert(
+            root_key,
+            CachedResult {
+                relation: exec.relation.clone(),
+                exec_ms: exec.exec_ms,
+                root_node: script.root_node.clone(),
+                attributed_control: attributed_control.clone(),
+                // Excludes this owner's final-result transfer: every
+                // fan-out waiter records (and is attributed) its own.
+                attributed_data: attributed_data.clone(),
+            },
+        );
+        let mut attributed = attributed_control;
+        attributed.extend(attributed_data);
+        attributed.extend(snapshot[fr_mark..].iter().cloned());
+        release(w);
+        w.cleanup.push(script.cleanup.clone());
+
+        *clock += exec.exec_ms;
+        if fold_hits > 0 {
+            collector.attr(query_span, "fold", "partial");
+            let fold = collector.span(
+                SpanKind::Exec,
+                "fold reuse",
+                "client",
+                Some(exec_span),
+                overhead_ms,
+                0.0,
+            );
+            collector.attr(fold, "fragments", fold_hits.to_string());
+        }
+        collector.set_dur(exec_span, exec.exec_ms);
+        collector.set_dur(query_span, overhead_ms + exec.exec_ms);
+        self.xdb.emit_transfer_spans(
+            &collector,
+            exec_span,
+            ledger_mark,
+            overhead_ms,
+            exec.exec_ms,
+        );
+        let trace = collector.finish();
+        let breakdown = PhaseBreakdown::from_trace(&trace);
+        telemetry
+            .metrics
+            .observe("xdb.phase_ms", &[("phase", "exec")], exec.exec_ms);
+        telemetry
+            .metrics
+            .observe("xdb.total_ms", &[], breakdown.total_ms());
+        telemetry
+            .metrics
+            .counter_add("xdb.queries", &[("status", "ok")], 1.0);
+        let latency = *clock - window_open;
+        self.note_completion(
+            &sub.tenant,
+            query_id,
+            latency,
+            if fold_hits > 0 { "partial" } else { "none" },
+        );
+        Ok(TenantOutcome {
+            tenant: sub.tenant.clone(),
+            index,
+            query_id,
+            relation: exec.relation,
+            breakdown,
+            trace,
+            full_fold: false,
+            fold_hits,
+            admitted_ms: window_open,
+            completed_ms: *clock,
+            latency_ms: latency,
+            attributed,
+        })
+    }
+
+    /// Per-query completion telemetry: a tenant-correlated event plus the
+    /// fleet latency histogram.
+    fn note_completion(&self, tenant: &str, query_id: u64, latency_ms: f64, fold: &str) {
+        let telemetry = self.xdb.cluster().telemetry();
+        telemetry
+            .metrics
+            .observe("session.latency_ms", &[], latency_ms);
+        let lat = format!("{latency_ms:.3}");
+        telemetry.events.log(
+            xdb_obs::Level::Info,
+            "core.session",
+            Some(query_id),
+            latency_ms,
+            "session query completed",
+            &[("tenant", tenant), ("fold", fold), ("latency_ms", &lat)],
+        );
+    }
+}
+
+/// The planning trace a plan-cache hit synthesizes: bit-identical phase
+/// durations and cache accounting to a real warm replan of the same query
+/// (all probes hit, so `prep` is the parse baseline and `ann` is free).
+fn synthetic_planning_trace(
+    sql: &str,
+    prep_probes: u64,
+    ann_probes: u64,
+    lopt_ms: f64,
+) -> (TraceCollector, SpanId, f64) {
+    let collector = TraceCollector::new();
+    let query_span = collector.span(SpanKind::Query, "query", "client", None, 0.0, 0.0);
+    collector.attr(query_span, "sql", sql);
+    let prep = collector.span(
+        SpanKind::Phase,
+        "prep",
+        "client",
+        Some(query_span),
+        0.0,
+        PREP_PARSE_MS,
+    );
+    collector.attr(prep, "plan_cache", "hit");
+    collector.span(
+        SpanKind::Phase,
+        "lopt",
+        "client",
+        Some(query_span),
+        PREP_PARSE_MS,
+        lopt_ms,
+    );
+    collector.span(
+        SpanKind::Phase,
+        "ann",
+        "client",
+        Some(query_span),
+        PREP_PARSE_MS + lopt_ms,
+        0.0,
+    );
+    collector.add("consults", 0.0);
+    collector.add("consult.cache_hits", (prep_probes + ann_probes) as f64);
+    collector.add("consult.cache_misses", 0.0);
+    let overhead = PREP_PARSE_MS + lopt_ms;
+    collector.set_dur(query_span, overhead);
+    (collector, query_span, overhead)
+}

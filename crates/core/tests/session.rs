@@ -1,0 +1,307 @@
+//! Plan-folding semantics: folding N concurrent copies of a query must be
+//! observationally equivalent — per tenant — to executing one copy and
+//! fanning the result out. Each tenant's result relation, as-if-alone
+//! phase breakdown, and attributed ledger view must be bit-identical to
+//! running the same query unfolded; shared fragments must be deployed
+//! exactly once and drained from every engine by window close; and
+//! concurrent admission must be indistinguishable from sequential
+//! admission of the same list.
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::sync::Arc;
+use xdb_core::scenario::{self, ScenarioConfig};
+use xdb_core::{GlobalCatalog, QueryServer, SessionOptions, Submission, TenantOutcome, XdbOptions};
+use xdb_engine::cluster::Cluster;
+use xdb_obs::Telemetry;
+
+/// Query ids come from a process-global counter and their decimal width
+/// leaks into control-message byte counts; arms under comparison are
+/// serialized and retried until every id has the same width (same pattern
+/// as the streaming and telemetry suites).
+static SUBMIT_LOCK: Mutex<()> = Mutex::new(());
+
+fn setup() -> (Cluster, GlobalCatalog, Arc<Telemetry>) {
+    let (mut cluster, mut catalog) = scenario::build(ScenarioConfig::default()).unwrap();
+    let telemetry = Telemetry::new_handle();
+    cluster.set_telemetry(Arc::clone(&telemetry));
+    catalog.set_telemetry(Arc::clone(&telemetry));
+    (cluster, catalog, telemetry)
+}
+
+fn same_width(ids: &[u64]) -> bool {
+    let w = ids[0].to_string().len();
+    ids.iter().all(|i| i.to_string().len() == w)
+}
+
+/// The per-tenant observable: result rows (bit-rendered, in order), the
+/// as-if-alone breakdown, and the attributed ledger view.
+fn fingerprint(o: &TenantOutcome) -> String {
+    let mut fp = String::new();
+    for i in 0..o.relation.len() {
+        for c in 0..o.relation.width() {
+            fp.push_str(&format!("{:?}|", o.relation.value(i, c)));
+        }
+        fp.push('\n');
+    }
+    fp.push_str(&format!("{:?}\n", o.breakdown));
+    for t in &o.attributed {
+        fp.push_str(&format!("{t:?}\n"));
+    }
+    fp
+}
+
+fn copies(sql: &str, n: usize) -> Vec<Submission> {
+    (0..n)
+        .map(|i| Submission::new(format!("tenant-{i}"), sql))
+        .collect()
+}
+
+struct Arm {
+    report: xdb_core::SessionReport,
+    telemetry: Arc<Telemetry>,
+    baseline_live: Vec<(String, f64)>,
+    final_live: Vec<(String, f64)>,
+    /// Physical bytes on the wire for the whole run.
+    total_bytes: u64,
+}
+
+fn run_arm(subs: &[Submission], fold: bool, xdb: XdbOptions) -> Arm {
+    let (cluster, catalog, telemetry) = setup();
+    let nodes = cluster.node_names();
+    let live = |t: &Arc<Telemetry>| -> Vec<(String, f64)> {
+        nodes
+            .iter()
+            .map(|n| {
+                (
+                    n.clone(),
+                    t.metrics.value("ddl.objects_live", &[("engine", n)]),
+                )
+            })
+            .collect()
+    };
+    let baseline_live = live(&telemetry);
+    let server = QueryServer::new(
+        &cluster,
+        &catalog,
+        SessionOptions {
+            xdb,
+            fold,
+            window: 0,
+        },
+    );
+    let report = server.run(subs).unwrap();
+    let final_live = live(&telemetry);
+    let total_bytes = cluster.ledger.total_bytes();
+    Arm {
+        report,
+        telemetry,
+        baseline_live,
+        final_live,
+        total_bytes,
+    }
+}
+
+/// Run both arms until every query id across them has the same decimal
+/// width, then hand them to the assertion body.
+fn with_width_matched_arms(subs: &[Submission], xdb: XdbOptions, check: impl Fn(&Arm, &Arm)) {
+    let _guard = SUBMIT_LOCK.lock();
+    for _ in 0..12 {
+        let folded = run_arm(subs, true, xdb.clone());
+        let unfolded = run_arm(subs, false, xdb.clone());
+        let mut ids: Vec<u64> = folded.report.outcomes.iter().map(|o| o.query_id).collect();
+        ids.extend(unfolded.report.outcomes.iter().map(|o| o.query_id));
+        if !same_width(&ids) {
+            continue;
+        }
+        check(&folded, &unfolded);
+        return;
+    }
+    panic!("query-id widths never aligned");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Folding N concurrent copies ≡ one query fanned out: every tenant
+    /// observes the exact result, breakdown, and attributed transfers it
+    /// would have observed running the same query alone, unfolded — at
+    /// any transport chunk size.
+    #[test]
+    fn folding_n_copies_matches_unfolded_fanout(n in 2usize..6, pick in 0usize..3) {
+        let chunk = [0usize, 256, 4096][pick];
+        let subs = copies(scenario::EXAMPLE_QUERY, n);
+        let xdb = XdbOptions { stream_chunk_rows: chunk, ..Default::default() };
+        with_width_matched_arms(&subs, xdb, |folded, unfolded| {
+            assert_eq!(folded.report.outcomes.len(), n);
+            for (f, u) in folded.report.outcomes.iter().zip(&unfolded.report.outcomes) {
+                assert_eq!(f.tenant, u.tenant);
+                assert_eq!(fingerprint(f), fingerprint(u), "tenant {}", f.tenant);
+            }
+            // One deployment, N-1 fan-outs: the folded run ships exactly
+            // one query's worth of DDLs, the unfolded run N times as many.
+            assert_eq!(folded.report.full_folds, n as u64 - 1);
+            assert!(folded.report.fragments_deployed > 0);
+            assert_eq!(
+                folded.report.ddl_statements * n as u64,
+                unfolded.report.ddl_statements
+            );
+            assert!(folded.total_bytes < unfolded.total_bytes);
+        });
+    }
+}
+
+#[test]
+fn fold_deploys_fragments_once_and_consult_and_ddl_traffic_drop() {
+    let subs = copies(scenario::EXAMPLE_QUERY, 5);
+    with_width_matched_arms(&subs, XdbOptions::default(), |folded, unfolded| {
+        let fr = &folded.report;
+        let ur = &unfolded.report;
+        // Every copy after the first folds completely.
+        assert_eq!(fr.full_folds, 4);
+        assert_eq!(fr.plan_cache_hits, 4);
+        // Each shared fragment was deployed exactly once (EXAMPLE_QUERY's
+        // plan has 3 tasks): the folded run shipped exactly the DDLs of
+        // one deployment, the unfolded run five times as many.
+        assert_eq!(fr.fragments_deployed, 3);
+        assert_eq!(fr.ddl_statements * 5, ur.ddl_statements);
+        // Consultation probes collapse to the cold plan's.
+        assert!(fr.consult_probes < ur.consult_probes);
+        assert_eq!(fr.consult_probes * 5, ur.consult_probes);
+        // Per-tenant equivalence still holds.
+        for (f, u) in fr.outcomes.iter().zip(&ur.outcomes) {
+            assert_eq!(fingerprint(f), fingerprint(u), "tenant {}", f.tenant);
+        }
+        // Folding strictly reduces physical bytes moved.
+        assert!(folded.total_bytes < unfolded.total_bytes);
+        // Shared fragments drained: every engine's live-object gauge is
+        // back at its pre-run baseline (and something was deployed).
+        assert_eq!(folded.baseline_live, folded.final_live);
+        let peak = folded
+            .final_live
+            .iter()
+            .map(|(n, _)| {
+                folded
+                    .telemetry
+                    .metrics
+                    .high_water("ddl.objects_live", &[("engine", n)])
+            })
+            .fold(0.0f64, f64::max);
+        let base = folded
+            .baseline_live
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(0.0f64, f64::max);
+        assert!(peak > base, "no delegation objects were ever deployed");
+    });
+}
+
+#[test]
+fn concurrent_admission_matches_sequential() {
+    let _guard = SUBMIT_LOCK.lock();
+    let subs = copies(scenario::EXAMPLE_QUERY, 6);
+    for _ in 0..12 {
+        let seq = {
+            let (cluster, catalog, telemetry) = setup();
+            let server = QueryServer::new(&cluster, &catalog, SessionOptions::default());
+            let report = server.run(&subs).unwrap();
+            let snap = telemetry.metrics.deterministic_snapshot().render();
+            let fps: Vec<String> = report.outcomes.iter().map(fingerprint).collect();
+            let ids: Vec<u64> = report.outcomes.iter().map(|o| o.query_id).collect();
+            (ids, fps, snap, report.makespan_ms)
+        };
+        let conc = {
+            let (cluster, catalog, telemetry) = setup();
+            let server = QueryServer::new(&cluster, &catalog, SessionOptions::default());
+            let report = server.run_concurrent(&subs, 4).unwrap();
+            let snap = telemetry.metrics.deterministic_snapshot().render();
+            let fps: Vec<String> = report.outcomes.iter().map(fingerprint).collect();
+            let ids: Vec<u64> = report.outcomes.iter().map(|o| o.query_id).collect();
+            (ids, fps, snap, report.makespan_ms)
+        };
+        let mut ids = seq.0.clone();
+        ids.extend(&conc.0);
+        if !same_width(&ids) {
+            continue;
+        }
+        assert_eq!(seq.1, conc.1, "per-tenant observables diverged");
+        assert_eq!(
+            normalize_ids(&seq.2),
+            normalize_ids(&conc.2),
+            "deterministic snapshots diverged"
+        );
+        assert_eq!(seq.3, conc.3, "makespans diverged");
+        return;
+    }
+    panic!("query-id widths never aligned");
+}
+
+/// Replace every decimal run after `xdb_q` / `"query":` with `N` so runs
+/// with different global query ids compare equal byte-for-byte.
+fn normalize_ids(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        out.push(bytes[i] as char);
+        let here = &s[..=i];
+        if here.ends_with("xdb_q") || here.ends_with("\"query\":") {
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+            if j > i + 1 {
+                out.push('N');
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[test]
+fn partial_fold_reuses_shared_prefix() {
+    // Same joins, same pruned columns, different root aggregate: the
+    // non-root fragments are shared, the root is not.
+    let variant = scenario::EXAMPLE_QUERY.replacen("avg(m.u_ml)", "min(m.u_ml)", 1);
+    let subs = vec![
+        Submission::new("tenant-a", scenario::EXAMPLE_QUERY),
+        Submission::new("tenant-b", variant),
+    ];
+    with_width_matched_arms(&subs, XdbOptions::default(), |folded, unfolded| {
+        let fr = &folded.report;
+        assert_eq!(fr.full_folds, 0, "distinct roots must not fully fold");
+        assert!(
+            fr.fold_hits > 0,
+            "shared non-root fragments were not folded"
+        );
+        assert!(fr.ddl_statements < unfolded.report.ddl_statements);
+        for (f, u) in fr.outcomes.iter().zip(&unfolded.report.outcomes) {
+            assert_eq!(fingerprint(f), fingerprint(u), "tenant {}", f.tenant);
+        }
+    });
+}
+
+#[test]
+fn windows_scope_folding_state() {
+    let _guard = SUBMIT_LOCK.lock();
+    let subs = copies(scenario::EXAMPLE_QUERY, 4);
+    let (cluster, catalog, _telemetry) = setup();
+    let server = QueryServer::new(
+        &cluster,
+        &catalog,
+        SessionOptions {
+            window: 2,
+            ..Default::default()
+        },
+    );
+    let report = server.run(&subs).unwrap();
+    assert_eq!(report.windows, 2);
+    // One deployment and one full fold per window; nothing folds across
+    // the window boundary (EXAMPLE_QUERY's plan has 3 tasks).
+    assert_eq!(report.full_folds, 2);
+    assert_eq!(report.fragments_deployed, 6);
+    assert_eq!(report.plan_cache_hits, 2);
+}

@@ -34,7 +34,19 @@ pub struct Cluster {
     /// tests that assert on absolute values attach an isolated handle via
     /// [`Cluster::set_telemetry`].
     telemetry: Arc<Telemetry>,
+    /// Per-query wire-codec state cache: when one query streams the same
+    /// relation over multiple edges, the producer-side encode (including
+    /// the string-dictionary build) is derived once and reused. Keyed by
+    /// relation identity — producer node, relation name, the producer's
+    /// DDL generation at encode time, and the row count — so any catalog
+    /// mutation invalidates stale entries. Cleared at the start of every
+    /// submission ([`Cluster::clear_codec_cache`]).
+    codec_cache: Mutex<HashMap<CodecCacheKey, Arc<wire::Encoded>>>,
 }
+
+/// Codec-cache identity: (producer node, relation name, producer DDL
+/// generation at encode time, row count).
+type CodecCacheKey = (String, String, u64, usize);
 
 impl Cluster {
     pub fn new(topology: Topology) -> Cluster {
@@ -45,7 +57,15 @@ impl Cluster {
             topology,
             ledger: Ledger::new().with_telemetry(Arc::clone(&telemetry)),
             telemetry,
+            codec_cache: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Drop all memoized per-query wire-codec state. Called by the client
+    /// at the start of every submission: dictionary reuse is scoped to one
+    /// query's edges, never across queries.
+    pub fn clear_codec_cache(&self) {
+        self.codec_cache.lock().clear();
     }
 
     /// This cluster's telemetry handle.
@@ -163,7 +183,36 @@ impl Cluster {
         // the producer's — is what flows on, so codec correctness is
         // load-bearing for every query result.
         let chunk_rows = producer.stream_chunk_rows();
-        let encoded = wire::encode(relation.columns(), relation.len());
+        // Within one query the same relation often feeds several edges
+        // (fan-out consumers, repeated foreign scans). The encoded frame —
+        // string dictionaries included — is a pure function of the
+        // relation's content, so reuse it instead of re-deriving per edge.
+        // The DDL generation in the key invalidates entries the moment the
+        // producer's catalog changes. The hit *count* is
+        // scheduling-dependent under the parallel executor (two threads can
+        // race to the first encode), so `net.codec.dict_reuse` lives in the
+        // quarantined `net.codec` metric namespace; the encoded bytes
+        // themselves are deterministic either way.
+        let cache_key = (
+            producer.node.as_str().to_string(),
+            request.relation.to_string(),
+            producer.ddl_generation(),
+            relation.len(),
+        );
+        let cached = self.codec_cache.lock().get(&cache_key).cloned();
+        let encoded = match cached {
+            Some(enc) => {
+                self.telemetry
+                    .metrics
+                    .counter_add("net.codec.dict_reuse", &[], 1.0);
+                enc
+            }
+            None => {
+                let enc = Arc::new(wire::encode(relation.columns(), relation.len()));
+                self.codec_cache.lock().insert(cache_key, Arc::clone(&enc));
+                enc
+            }
+        };
         let stats = encoded.stats(chunk_rows);
         let columns = wire::decode_chunked(&encoded, chunk_rows);
         let relation = Relation::from_columns(relation.fields.clone(), columns, relation.len());
@@ -380,6 +429,45 @@ mod tests {
         let (rel, _) = c.query("db_s", "SELECT count(*) AS n FROM r_mat").unwrap();
         assert_eq!(rel.value(0, 0), Value::Int(3));
         assert!(c.ledger.is_empty());
+    }
+
+    #[test]
+    fn codec_state_reused_across_repeated_edges() {
+        // Same relation pulled over two edges: the second fetch must reuse
+        // the memoized encode (dictionaries included) and say so on the
+        // `net.codec.dict_reuse` counter; a producer-side catalog change
+        // or an explicit cache clear must invalidate the entry.
+        let mut c = two_node();
+        let telemetry = Telemetry::new_handle();
+        c.set_telemetry(Arc::clone(&telemetry));
+        c.execute(
+            "db_s",
+            "CREATE FOREIGN TABLE r_ft (x BIGINT, y VARCHAR) SERVER db_r OPTIONS (remote 'r')",
+        )
+        .unwrap();
+        let reuse = || telemetry.metrics.value("net.codec.dict_reuse", &[]);
+
+        let (a, _) = c.query("db_s", "SELECT r_ft.y FROM r_ft").unwrap();
+        assert_eq!(reuse(), 0.0, "first edge must pay the encode");
+        let (b, _) = c.query("db_s", "SELECT r_ft.y FROM r_ft").unwrap();
+        assert_eq!(reuse(), 1.0, "repeated edge must hit the codec cache");
+        assert!(a.same_bag(&b), "cached frames must decode identically");
+
+        // A base-table catalog mutation on the producer bumps its DDL
+        // generation, so the memoized frame no longer matches.
+        c.execute(
+            "db_r",
+            "CREATE VIEW r_recent AS SELECT x, y FROM r WHERE x >= 2",
+        )
+        .unwrap();
+        c.query("db_s", "SELECT r_ft.y FROM r_ft").unwrap();
+        assert_eq!(reuse(), 1.0, "stale codec state must not be reused");
+
+        c.query("db_s", "SELECT r_ft.y FROM r_ft").unwrap();
+        assert_eq!(reuse(), 2.0);
+        c.clear_codec_cache();
+        c.query("db_s", "SELECT r_ft.y FROM r_ft").unwrap();
+        assert_eq!(reuse(), 2.0, "cleared cache must re-encode");
     }
 
     #[test]

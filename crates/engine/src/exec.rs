@@ -648,6 +648,13 @@ impl<'a> Execution<'a> {
                 )),
                 _ => None,
             }
+        } else if group_c.len() >= 2 {
+            // Multi-column keys pack into one u128 where the column kinds
+            // allow, keying the hash table on a single integer instead of
+            // a per-row `Vec<Value>`.
+            pack_group_keys(&key_cols, n).map(|packed| {
+                group_multi_packed(n, nparts, &key_cols, &arg_cols, &new_accs, &packed)
+            })
         } else {
             None
         };
@@ -796,6 +803,164 @@ fn group_single_typed<K: Hash + Eq>(
                     out.push(GroupOut {
                         first_row: i as u32,
                         key: vec![kv],
+                        accs: new_accs(),
+                    });
+                    gi
+                }
+            };
+            for (acc, col) in out[gi].accs.iter_mut().zip(arg_cols.iter()) {
+                acc.update(col.as_ref().map(|c| c.value(i)));
+            }
+        }
+        out
+    };
+    if nparts > 1 {
+        let parts: Vec<Vec<GroupOut>> = std::thread::scope(|s| {
+            let run = &run;
+            let handles: Vec<_> = (0..nparts).map(|p| s.spawn(move || run(p))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("aggregate worker panicked"))
+                .collect()
+        });
+        let mut all: Vec<GroupOut> = parts.into_iter().flatten().collect();
+        all.sort_unstable_by_key(|g| g.first_row);
+        all
+    } else {
+        run(0)
+    }
+}
+
+/// Bits needed to represent codes `0..=max_code` (at least one, so every
+/// field advances the shift cursor).
+fn bits_for(max_code: u128) -> u32 {
+    (128 - max_code.leading_zeros()).max(1)
+}
+
+/// Pack multi-column group keys into one `u128` per row. Int and Date
+/// columns are frame-of-reference compressed against their column minimum,
+/// Bool takes two bits, and Str columns are interned through a
+/// first-appearance dictionary — each with code 0 reserved for NULL.
+/// Returns `None` when a column kind is unsupported (Float, Mixed) or the
+/// packed field widths exceed 128 bits; callers then fall back to the
+/// generic `Vec<Value>` keys.
+fn pack_group_keys(key_cols: &[Column], n: usize) -> Option<Vec<u128>> {
+    // Per-column packed field: bit width + the row-index → code function.
+    type PackedField<'a> = (u32, Box<dyn Fn(usize) -> u128 + 'a>);
+    // First pass per column: field width + a code function, writing
+    // nothing until the total width is known to fit.
+    let mut fields: Vec<PackedField<'_>> = Vec::new();
+    for col in key_cols {
+        match col {
+            Column::Int(c) => {
+                let (mut min, mut max) = (i64::MAX, i64::MIN);
+                for i in 0..n {
+                    if let Some(&v) = c.get(i) {
+                        min = min.min(v);
+                        max = max.max(v);
+                    }
+                }
+                let range: u128 = if min > max {
+                    0
+                } else {
+                    (max as i128 - min as i128) as u128 + 1
+                };
+                fields.push((
+                    bits_for(range),
+                    Box::new(move |i| {
+                        c.get(i)
+                            .map_or(0, |&v| 1 + (v as i128 - min as i128) as u128)
+                    }),
+                ));
+            }
+            Column::Date(c) => {
+                let (mut min, mut max) = (i32::MAX, i32::MIN);
+                for i in 0..n {
+                    if let Some(&v) = c.get(i) {
+                        min = min.min(v);
+                        max = max.max(v);
+                    }
+                }
+                let range: u128 = if min > max {
+                    0
+                } else {
+                    (max as i64 - min as i64) as u128 + 1
+                };
+                fields.push((
+                    bits_for(range),
+                    Box::new(move |i| c.get(i).map_or(0, |&v| 1 + (v as i64 - min as i64) as u128)),
+                ));
+            }
+            Column::Bool(c) => {
+                fields.push((
+                    2,
+                    Box::new(|i| match c.get(i) {
+                        None => 0,
+                        Some(false) => 1,
+                        Some(true) => 2,
+                    }),
+                ));
+            }
+            Column::Str(c) => {
+                let mut dict: HashMap<&str, u128> = HashMap::new();
+                for i in 0..n {
+                    if let Some(s) = c.get(i) {
+                        let next = dict.len() as u128 + 1;
+                        dict.entry(s.as_ref()).or_insert(next);
+                    }
+                }
+                let width = bits_for(dict.len() as u128);
+                fields.push((
+                    width,
+                    Box::new(move |i| c.get(i).map_or(0, |s| dict[s.as_ref()])),
+                ));
+            }
+            Column::Float(_) | Column::Mixed(_) => return None,
+        }
+    }
+    if fields.iter().map(|(w, _)| *w).sum::<u32>() > 128 {
+        return None;
+    }
+    let mut out = vec![0u128; n];
+    let mut shift = 0u32;
+    for (w, code) in &fields {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot |= code(i) << shift;
+        }
+        shift += w;
+    }
+    Some(out)
+}
+
+/// Multi-column packed group-by kernel: the hash table is keyed on the
+/// pre-packed `u128` keys, with `Value` keys materialized once per *group*
+/// straight from the key columns (no unpacking). Partition protocol and
+/// first-seen merge order match the generic path, so the output is
+/// bit-identical for any partition count.
+fn group_multi_packed(
+    n: usize,
+    nparts: usize,
+    key_cols: &[Column],
+    arg_cols: &[Option<Column>],
+    new_accs: &(impl Fn() -> Vec<Accumulator> + Sync),
+    packed: &[u128],
+) -> Vec<GroupOut> {
+    let rs = RandomState::new();
+    let run = |p: usize| -> Vec<GroupOut> {
+        let mut index: HashMap<u128, usize> = HashMap::new();
+        let mut out: Vec<GroupOut> = Vec::new();
+        for (i, &key) in packed.iter().enumerate().take(n) {
+            if nparts > 1 && rs.hash_one(key) as usize % nparts != p {
+                continue;
+            }
+            let gi = match index.entry(key) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    let gi = out.len();
+                    e.insert(gi);
+                    out.push(GroupOut {
+                        first_row: i as u32,
+                        key: key_cols.iter().map(|c| c.value(i)).collect(),
                         accs: new_accs(),
                     });
                     gi
@@ -1514,6 +1679,110 @@ mod tests {
     fn count_distinct() {
         let r = run("SELECT count(DISTINCT dept) AS n FROM emp");
         assert_eq!(r.value(0, 0), Value::Int(2));
+    }
+
+    /// The u128-packed multi-key kernel must produce bit-identical output
+    /// to a first-seen-order reference grouping over `Vec<Value>` keys —
+    /// NULLs in every key column included — at any partition count.
+    #[test]
+    fn multikey_packed_groups_match_generic_reference() {
+        let n = 6000; // above PAR_MIN_ROWS so partitions > 1 really fan out
+        let mut rows = Vec::with_capacity(n);
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let v = state;
+            let k1 = if v.is_multiple_of(11) {
+                Value::Null
+            } else {
+                Value::Int((v % 17) as i64 - 8)
+            };
+            let k2 = if v.is_multiple_of(13) {
+                Value::Null
+            } else {
+                Value::str(format!("s{}", v % 7))
+            };
+            let k3 = if v.is_multiple_of(19) {
+                Value::Null
+            } else {
+                Value::Bool(v.is_multiple_of(2))
+            };
+            let k4 = if v.is_multiple_of(23) {
+                Value::Null
+            } else {
+                Value::Date((v % 29) as i32 - 14)
+            };
+            let x = Value::Float((v % 1000) as f64 / 7.0);
+            rows.push(vec![k1, k2, k3, k4, x]);
+        }
+        let fields: Vec<(String, DataType)> = vec![
+            ("k1".into(), DataType::Int),
+            ("k2".into(), DataType::Str),
+            ("k3".into(), DataType::Bool),
+            ("k4".into(), DataType::Date),
+            ("x".into(), DataType::Float),
+        ];
+        let mut resolver = MapResolver::new();
+        resolver.insert("t", Relation::new(fields.clone(), rows.clone()));
+        struct Provider(Vec<(String, DataType)>);
+        impl SchemaProvider for Provider {
+            fn resolve_relation(&self, name: &str) -> Option<ResolvedRelation> {
+                (name == "t").then(|| ResolvedRelation::Base {
+                    fields: self.0.clone(),
+                })
+            }
+        }
+        let provider = Provider(fields);
+        let sql = "SELECT k1, k2, k3, k4, count(*) AS n, sum(x) AS s \
+                   FROM t GROUP BY k1, k2, k3, k4";
+        let plan = bind_select(&parse_select(sql).unwrap(), &provider).unwrap();
+        let run_with = |parts: usize| -> Relation {
+            let mut exec = Execution::new(&resolver);
+            exec.partitions = parts;
+            exec.run(&plan).unwrap()
+        };
+        let r1 = run_with(1);
+        for parts in [2usize, 8] {
+            let rp = run_with(parts);
+            assert_eq!(rp.len(), r1.len(), "{parts} partitions");
+            for i in 0..r1.len() {
+                for c in 0..r1.width() {
+                    assert_eq!(rp.value(i, c), r1.value(i, c), "row {i} col {c}");
+                }
+            }
+        }
+        // First-seen-order reference over Vec<Value> keys.
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+        let mut keys: Vec<Vec<Value>> = Vec::new();
+        let mut counts: Vec<i64> = Vec::new();
+        let mut sums: Vec<Option<f64>> = Vec::new();
+        for row in &rows {
+            let key = row[..4].to_vec();
+            let gi = *index.entry(key.clone()).or_insert_with(|| {
+                keys.push(key);
+                counts.push(0);
+                sums.push(None);
+                keys.len() - 1
+            });
+            counts[gi] += 1;
+            if let Value::Float(f) = row[4] {
+                sums[gi] = Some(sums[gi].unwrap_or(0.0) + f);
+            }
+        }
+        assert_eq!(r1.len(), keys.len());
+        for (i, key) in keys.iter().enumerate() {
+            for (c, kv) in key.iter().enumerate() {
+                assert_eq!(r1.value(i, c), kv.clone(), "key row {i} col {c}");
+            }
+            assert_eq!(r1.value(i, 4), Value::Int(counts[i]));
+            assert_eq!(
+                r1.value(i, 5),
+                sums[i].map_or(Value::Null, Value::Float),
+                "sum row {i}"
+            );
+        }
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //!   The `net.chunks` series is quarantined the same way: transport chunk
 //!   counts depend on the configured `stream_chunk_rows`, which — like the
 //!   executor partition count — must never leak into determinism
-//!   comparisons.
+//!   comparisons. `net.codec.*` (wire-codec state-cache hit counts) is
+//!   quarantined too: under the parallel executor two task groups can race
+//!   to the first encode of a shared relation, so the *hit count* is
+//!   scheduling-dependent even though the encoded bytes are not.
 
 use crate::trace::{json_number, json_string, MetricsSnapshot};
 use parking_lot::Mutex;
@@ -38,6 +41,12 @@ pub const SCHED_PREFIX: &str = "sched.";
 /// (results, ledgers, timings and every other metric stay bit-identical
 /// across chunk sizes).
 pub const CHUNKS_PREFIX: &str = "net.chunks";
+
+/// Name prefix for wire-codec state-cache counters (`net.codec.dict_reuse`
+/// and friends), excluded from determinism comparisons because cache-hit
+/// counts depend on executor scheduling (the encoded bytes they describe
+/// stay bit-identical).
+pub const CODEC_PREFIX: &str = "net.codec.";
 
 /// A log-bucketed (base-2) histogram of non-negative f64 observations.
 ///
@@ -331,13 +340,17 @@ impl MetricRegistry {
     }
 
     /// [`MetricRegistry::snapshot`] restricted to deterministic metrics:
-    /// everything outside the `sched.` prefix and the chunk-size-dependent
-    /// `net.chunks` series. This is the set the sequential-vs-parallel and
+    /// everything outside the `sched.` prefix, the chunk-size-dependent
+    /// `net.chunks` series, and the scheduling-dependent `net.codec.*`
+    /// cache-hit counters. This is the set the sequential-vs-parallel and
     /// chunk-size bit-identity tests compare.
     pub fn deterministic_snapshot(&self) -> MetricsSnapshot {
         let mut snap = self.snapshot();
-        snap.counters
-            .retain(|k, _| !k.starts_with(SCHED_PREFIX) && !k.starts_with(CHUNKS_PREFIX));
+        snap.counters.retain(|k, _| {
+            !k.starts_with(SCHED_PREFIX)
+                && !k.starts_with(CHUNKS_PREFIX)
+                && !k.starts_with(CODEC_PREFIX)
+        });
         snap
     }
 
@@ -514,6 +527,7 @@ mod tests {
         r.observe("h", &[], 4.0);
         r.counter_add("sched.pool", &[], 9.0);
         r.counter_add("net.chunks", &[("purpose", "inter_dbms_pipeline")], 5.0);
+        r.counter_add("net.codec.dict_reuse", &[], 3.0);
         r.counter_add("net.encoded_bytes", &[], 11.0);
         let s = r.snapshot();
         assert_eq!(s.get("x"), 1.0);
@@ -525,8 +539,11 @@ mod tests {
         assert_eq!(d.get("sched.pool"), 0.0);
         assert!(!d.counters.contains_key("sched.pool"));
         // Chunk counts scale with `stream_chunk_rows` — quarantined; the
-        // encoded byte series is chunk-invariant and stays.
+        // encoded byte series is chunk-invariant and stays. Codec
+        // cache-hit counts are scheduling-dependent — quarantined too.
         assert!(!d.counters.keys().any(|k| k.starts_with(CHUNKS_PREFIX)));
+        assert!(!d.counters.keys().any(|k| k.starts_with(CODEC_PREFIX)));
+        assert_eq!(s.get("net.codec.dict_reuse"), 3.0);
         assert_eq!(d.get("net.encoded_bytes"), 11.0);
     }
 

@@ -10,6 +10,10 @@
 # After an intentional behaviour change, re-baseline with
 #   scripts/bench_snapshot.sh                                   # exec
 #   repro --sf 0.002 --runs 2 --json BENCH_monitor.json monitor # monitor
+# The monitor baseline also carries the multi-tenant admission series
+# (tenants/folded/..., tenants/unfolded/..., tenants/mean_fold_hits);
+# `repro gate` re-runs that workload at the baseline's recorded
+# tenants/tenant_rounds shape whenever those keys are present.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

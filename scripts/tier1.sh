@@ -47,6 +47,17 @@ grep -q 'monitor_latency_ms_bucket{' target/tier1-monitor.prom
 grep -q '"values"' target/tier1-monitor.json
 grep -q '"level":"info"' target/tier1-events.jsonl
 
+# Multi-tenant admission smoke test: the folded and unfolded arms of the
+# `repro tenants` scenario must produce bit-identical per-tenant result
+# digests (plan folding is a pure optimization the tenants cannot
+# observe), and the dashboard must carry the fold statistics.
+cargo run --release -q -p xdb-bench --bin repro -- \
+  --sf 0.002 --runs 2 tenants --digest target/tier1-tenants \
+  --out target/tier1-tenants.txt
+grep -q 'throughput speedup' target/tier1-tenants.txt
+grep -q 'fully folded' target/tier1-tenants.txt
+cmp target/tier1-tenants.folded.txt target/tier1-tenants.unfolded.txt
+
 # Bench regression gate (opt-in: wall-clock benches are too noisy for CI
 # defaults). XDB_BENCH_GATE=1 re-measures the exec kernels and the monitor
 # workload and fails on threshold regressions vs BENCH_exec.json /

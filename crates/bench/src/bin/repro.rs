@@ -29,11 +29,23 @@
 //!            --exec-baseline BENCH_exec.json --exec-current cur.json
 //!                                # regression gate: exit 1 on threshold
 //!                                # breach (scripts/bench_gate.sh)
+//! repro profile                  # critical-path bottleneck table over
+//!                                # the six TD1 queries
+//! repro drift --baseline dir/ --current dir/ [--band PCT]
+//!                                # performance-drift detection between
+//!                                # two history stores: exit 1 on plan
+//!                                # flips, latency drift, or critical-
+//!                                # path composition shifts
+//! repro --history dir/ profile   # record query history (JSON lines) to
+//!                                # dir/history.jsonl (XDB_HISTORY_DIR
+//!                                # works for any target)
+//! repro --log-level warn fig9    # event-log record-time filter
+//!                                # (XDB_LOG_LEVEL)
 //! ```
 
 use std::io::Write;
 use xdb_bench::experiments as exp;
-use xdb_bench::{gate, monitor, tenants};
+use xdb_bench::{drift, gate, monitor, profiler, tenants};
 use xdb_obs::json;
 use xdb_tpch::{TableDist, TpchQuery};
 
@@ -58,6 +70,11 @@ fn main() {
     let mut exec_baseline: Option<String> = None;
     let mut exec_current: Option<String> = None;
     let mut monitor_baseline: Option<String> = None;
+    let mut history_dir: Option<String> = None;
+    let mut log_level: Option<String> = None;
+    let mut drift_baseline: Option<String> = None;
+    let mut drift_current: Option<String> = None;
+    let mut drift_band = drift::DEFAULT_NOISE_PCT;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -97,8 +114,41 @@ fn main() {
             "--monitor-baseline" => {
                 monitor_baseline = Some(it.next().expect("--monitor-baseline takes a file path"));
             }
+            "--history" => history_dir = Some(it.next().expect("--history takes a directory")),
+            "--log-level" => {
+                log_level = Some(it.next().expect("--log-level takes debug|info|warn|error"));
+            }
+            "--baseline" => drift_baseline = Some(it.next().expect("--baseline takes a directory")),
+            "--current" => drift_current = Some(it.next().expect("--current takes a directory")),
+            "--band" => {
+                drift_band = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--band takes a percentage");
+            }
             _ => targets.push(a.to_ascii_lowercase()),
         }
+    }
+    // Record-time event filter: events below the level are never retained
+    // (they are dropped in `EventLog::log`, not at export). The CLI flag
+    // wins over `XDB_LOG_LEVEL`.
+    if let Some(s) = log_level.or_else(|| std::env::var("XDB_LOG_LEVEL").ok()) {
+        match xdb_obs::Level::parse(&s) {
+            Some(level) => xdb_obs::telemetry::global().events.set_min_level(level),
+            None => {
+                eprintln!("repro: unknown log level {s:?} (debug|info|warn|error)");
+                std::process::exit(2);
+            }
+        }
+    }
+    // Query-history store: every submission appends one JSON-lines record
+    // to <dir>/history.jsonl.
+    if let Some(dir) = history_dir.or_else(|| std::env::var("XDB_HISTORY_DIR").ok()) {
+        if let Err(e) = xdb_obs::telemetry::global().history.enable_dir(&dir) {
+            eprintln!("repro: cannot open history dir {dir}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("(history: recording to {dir}/history.jsonl)");
     }
     if let Some(path) = check_path {
         check_trace(&path);
@@ -108,6 +158,10 @@ fn main() {
         run_gate(exec_baseline, exec_current, monitor_baseline);
         return;
     }
+    if targets.iter().any(|t| t == "drift") {
+        run_drift(drift_baseline, drift_current, drift_band);
+        return;
+    }
     if targets.is_empty() && trace_path.is_none() {
         eprintln!(
             "usage: repro [--sf X] [--out report.txt] [--trace out.json] [--log events.jsonl] \
@@ -115,6 +169,8 @@ fn main() {
              \x20      repro [--sf X] [--runs N] [--metrics prom.txt] [--json monitor.json] monitor\n\
              \x20      repro [--sf X] [--runs R] [--tenants N] [--digest prefix] tenants\n\
              \x20      repro gate [--exec-baseline B --exec-current C] [--monitor-baseline B]\n\
+             \x20      repro [--sf X] [--history dir] profile\n\
+             \x20      repro drift --baseline dir --current dir [--band PCT]\n\
              \x20      repro --check-trace out.json"
         );
         std::process::exit(2);
@@ -233,6 +289,12 @@ fn main() {
             eprintln!("(monitor JSON incl. tenant series -> {path})");
         }
     }
+    // `profile` is likewise not part of `all`: it re-runs the six-query
+    // workload with critical-path analysis and has its own table format.
+    if targets.iter().any(|t| t == "profile") {
+        let profiles = profiler::profile_workload(sf).expect("profile workload");
+        write!(out, "{}", profiler::render_table(sf, &profiles)).unwrap();
+    }
     // `tenants` is likewise not part of `all`: it runs the whole skewed
     // mix twice (folded + unfolded) and has its own digest export.
     if targets.iter().any(|t| t == "tenants") {
@@ -342,6 +404,25 @@ fn run_gate(
         std::process::exit(2);
     }
     if !passed {
+        std::process::exit(1);
+    }
+}
+
+/// `repro drift`: compare two history directories; exit 1 when any drift
+/// was found (plan flip, latency beyond the band, composition shift, or
+/// a baseline query missing from the current store), 2 on usage or load
+/// errors (including schema-version mismatches).
+fn run_drift(baseline: Option<String>, current: Option<String>, band_pct: f64) {
+    let (Some(base), Some(cur)) = (baseline, current) else {
+        eprintln!("drift: pass --baseline dir/ and --current dir/");
+        std::process::exit(2);
+    };
+    let report = drift::compare_dirs(&base, &cur, band_pct).unwrap_or_else(|e| {
+        eprintln!("drift: {e}");
+        std::process::exit(2);
+    });
+    print!("{}", report.render());
+    if !report.passed() {
         std::process::exit(1);
     }
 }

@@ -1,0 +1,362 @@
+//! Performance-drift detection over query-history stores.
+//!
+//! `repro drift --baseline dir/ --current dir/` loads two history
+//! directories (see `xdb_obs::history`), groups records by
+//! `(sql_fnv, deployment)`, and flags three kinds of drift:
+//!
+//! 1. **Plan flips** — the canonical plan fingerprint changed for the
+//!    same SQL and deployment (the annotator placed tasks or chose
+//!    movements differently);
+//! 2. **Latency drift** — mean end-to-end simulated time moved beyond a
+//!    noise band (default ±5%);
+//! 3. **Composition shifts** — the critical-path category mix changed:
+//!    a different dominant category (e.g. compute-bound → transfer-
+//!    bound) or any category's share moving by more than 15 points.
+//!
+//! Everything compares simulated-clock state, so a self-compare of two
+//! runs of the same build is *exactly* zero findings — any finding is a
+//! real behavior change, not noise. Process-varying fields (`query_id`)
+//! are ignored. The bench gate runs this as part of tier-1 when
+//! `XDB_BENCH_GATE=1`.
+
+use std::collections::BTreeMap;
+use xdb_obs::history::{load_history_dir, HistoryRecord};
+
+/// Default latency noise band, percent.
+pub const DEFAULT_NOISE_PCT: f64 = 5.0;
+/// A category's critical-path share moving by more than this many
+/// percentage points is a composition shift.
+pub const COMPOSITION_POINTS: f64 = 15.0;
+
+/// What kind of drift a finding describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftKind {
+    /// Plan fingerprint changed for the same SQL + deployment.
+    PlanFlip,
+    /// Mean latency moved beyond the noise band.
+    Latency,
+    /// Critical-path composition changed.
+    Composition,
+    /// A baseline query group is absent from the current store.
+    Coverage,
+}
+
+impl DriftKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            DriftKind::PlanFlip => "plan-flip",
+            DriftKind::Latency => "latency",
+            DriftKind::Composition => "composition",
+            DriftKind::Coverage => "coverage",
+        }
+    }
+}
+
+/// One attributed drift finding.
+#[derive(Debug, Clone)]
+pub struct DriftFinding {
+    pub kind: DriftKind,
+    /// Display name of the query group (workload label if recorded,
+    /// otherwise the SQL hash).
+    pub query: String,
+    pub detail: String,
+}
+
+/// Outcome of one baseline/current comparison.
+#[derive(Debug, Default)]
+pub struct DriftReport {
+    /// Query groups compared (present on both sides).
+    pub compared: usize,
+    /// Query groups only in the current store (informational).
+    pub new_groups: usize,
+    pub findings: Vec<DriftFinding>,
+}
+
+impl DriftReport {
+    pub fn passed(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "drift: {} query group(s) compared, {} finding(s)",
+            self.compared,
+            self.findings.len()
+        );
+        if self.new_groups > 0 {
+            out.push_str(&format!(
+                " ({} new group(s) not in baseline)",
+                self.new_groups
+            ));
+        }
+        out.push('\n');
+        for f in &self.findings {
+            out.push_str(&format!(
+                "  [{:<11}] {}: {}\n",
+                f.kind.label(),
+                f.query,
+                f.detail
+            ));
+        }
+        if self.passed() {
+            out.push_str("  no drift\n");
+        }
+        out
+    }
+}
+
+/// Aggregate view of one `(sql_fnv, deployment)` group.
+struct Group {
+    display: String,
+    fingerprints: Vec<String>,
+    mean_total_ms: f64,
+    /// Mean critical-path share per category, percent.
+    shares: BTreeMap<String, f64>,
+}
+
+fn group(records: &[HistoryRecord]) -> BTreeMap<(String, String), Group> {
+    let mut buckets: BTreeMap<(String, String), Vec<&HistoryRecord>> = BTreeMap::new();
+    for r in records {
+        buckets
+            .entry((r.sql_fnv.clone(), r.deployment.clone()))
+            .or_default()
+            .push(r);
+    }
+    buckets
+        .into_iter()
+        .map(|(key, rs)| {
+            let display = rs
+                .iter()
+                .find(|r| !r.label.is_empty())
+                .map(|r| r.label.clone())
+                .unwrap_or_else(|| format!("sql:{}", key.0));
+            let mut fingerprints: Vec<String> = rs.iter().map(|r| r.fingerprint.clone()).collect();
+            fingerprints.sort();
+            fingerprints.dedup();
+            let mean_total_ms = rs.iter().map(|r| r.total_ms).sum::<f64>() / rs.len() as f64;
+            // Mean per-category share of the critical path across runs.
+            let mut shares: BTreeMap<String, f64> = BTreeMap::new();
+            for r in rs.iter() {
+                let total: f64 = r.critical.iter().map(|(_, _, ms)| ms).sum();
+                if total <= 0.0 {
+                    continue;
+                }
+                for (cat, ms) in r.critical_by_category() {
+                    *shares.entry(cat).or_insert(0.0) += 100.0 * ms / total;
+                }
+            }
+            for v in shares.values_mut() {
+                *v /= rs.len() as f64;
+            }
+            (
+                key,
+                Group {
+                    display,
+                    fingerprints,
+                    mean_total_ms,
+                    shares,
+                },
+            )
+        })
+        .collect()
+}
+
+fn dominant(shares: &BTreeMap<String, f64>) -> Option<(&str, f64)> {
+    shares
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(a.0)))
+        .map(|(k, v)| (k.as_str(), *v))
+}
+
+/// Compare two history-record sets. `noise_pct` is the latency band in
+/// percent (see [`DEFAULT_NOISE_PCT`]).
+pub fn compare(
+    baseline: &[HistoryRecord],
+    current: &[HistoryRecord],
+    noise_pct: f64,
+) -> DriftReport {
+    let base = group(baseline);
+    let cur = group(current);
+    let mut report = DriftReport {
+        new_groups: cur.keys().filter(|k| !base.contains_key(*k)).count(),
+        ..DriftReport::default()
+    };
+    for (key, b) in &base {
+        let Some(c) = cur.get(key) else {
+            report.findings.push(DriftFinding {
+                kind: DriftKind::Coverage,
+                query: b.display.clone(),
+                detail: format!(
+                    "present in baseline ({} run(s)) but missing from current store",
+                    baseline
+                        .iter()
+                        .filter(|r| r.sql_fnv == key.0 && r.deployment == key.1)
+                        .count()
+                ),
+            });
+            continue;
+        };
+        report.compared += 1;
+        if b.fingerprints != c.fingerprints {
+            report.findings.push(DriftFinding {
+                kind: DriftKind::PlanFlip,
+                query: c.display.clone(),
+                detail: format!(
+                    "plan fingerprint changed: baseline {:?} -> current {:?}",
+                    b.fingerprints, c.fingerprints
+                ),
+            });
+        }
+        if b.mean_total_ms > 0.0 {
+            let delta_pct = 100.0 * (c.mean_total_ms - b.mean_total_ms) / b.mean_total_ms;
+            if delta_pct.abs() > noise_pct {
+                report.findings.push(DriftFinding {
+                    kind: DriftKind::Latency,
+                    query: c.display.clone(),
+                    detail: format!(
+                        "mean total {:.3} ms -> {:.3} ms ({:+.1}%, band ±{}%)",
+                        b.mean_total_ms, c.mean_total_ms, delta_pct, noise_pct
+                    ),
+                });
+            }
+        }
+        let bd = dominant(&b.shares);
+        let cd = dominant(&c.shares);
+        if let (Some((bcat, bshare)), Some((ccat, cshare))) = (bd, cd) {
+            if bcat != ccat {
+                report.findings.push(DriftFinding {
+                    kind: DriftKind::Composition,
+                    query: c.display.clone(),
+                    detail: format!(
+                        "critical path went {bcat}-bound ({bshare:.0}%) -> \
+                         {ccat}-bound ({cshare:.0}%)"
+                    ),
+                });
+            } else {
+                // Same dominant category: still flag any category whose
+                // share moved by more than the threshold.
+                for cat in b.shares.keys().chain(c.shares.keys()) {
+                    let bs = b.shares.get(cat).copied().unwrap_or(0.0);
+                    let cs = c.shares.get(cat).copied().unwrap_or(0.0);
+                    if (cs - bs).abs() > COMPOSITION_POINTS {
+                        report.findings.push(DriftFinding {
+                            kind: DriftKind::Composition,
+                            query: c.display.clone(),
+                            detail: format!(
+                                "{cat} share of the critical path moved \
+                                 {bs:.1}% -> {cs:.1}% (>{COMPOSITION_POINTS} points)"
+                            ),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Load two history directories and compare them.
+pub fn compare_dirs(baseline: &str, current: &str, noise_pct: f64) -> Result<DriftReport, String> {
+    let base = load_history_dir(baseline)?;
+    let cur = load_history_dir(current)?;
+    if base.is_empty() {
+        return Err(format!("baseline {baseline} holds no history records"));
+    }
+    Ok(compare(&base, &cur, noise_pct))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(label: &str, fingerprint: &str, total_ms: f64) -> HistoryRecord {
+        HistoryRecord {
+            schema_version: xdb_obs::HISTORY_SCHEMA_VERSION,
+            label: label.to_string(),
+            deployment: "xdb".to_string(),
+            sql_fnv: format!("fnv-{label}"),
+            fingerprint: fingerprint.to_string(),
+            query_id: 1,
+            total_ms,
+            phases: vec![("exec".to_string(), total_ms)],
+            consult_hits: 0,
+            consult_misses: 0,
+            crit_spans: 3,
+            critical: vec![
+                ("compute".to_string(), "hdb".to_string(), 0.7 * total_ms),
+                (
+                    "transfer".to_string(),
+                    "cdb->hdb".to_string(),
+                    0.3 * total_ms,
+                ),
+            ],
+            edges: Vec::new(),
+            statements: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn self_compare_is_clean() {
+        let records = vec![record("Q3", "aaaa", 100.0), record("Q5", "bbbb", 250.0)];
+        let report = compare(&records, &records, DEFAULT_NOISE_PCT);
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.compared, 2);
+        assert!(report.render().contains("no drift"));
+    }
+
+    #[test]
+    fn plan_flip_is_flagged() {
+        let base = vec![record("Q3", "aaaa", 100.0)];
+        let cur = vec![record("Q3", "cccc", 100.0)];
+        let report = compare(&base, &cur, DEFAULT_NOISE_PCT);
+        assert!(!report.passed());
+        assert_eq!(report.findings[0].kind, DriftKind::PlanFlip);
+        assert!(report.render().contains("plan-flip"), "{}", report.render());
+    }
+
+    #[test]
+    fn latency_regression_beyond_band_is_flagged() {
+        let base = vec![record("Q3", "aaaa", 100.0)];
+        let cur = vec![record("Q3", "aaaa", 125.0)];
+        let report = compare(&base, &cur, DEFAULT_NOISE_PCT);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].kind, DriftKind::Latency);
+        assert!(report.findings[0].detail.contains("+25.0%"));
+        // Inside the band: clean.
+        let cur = vec![record("Q3", "aaaa", 103.0)];
+        assert!(compare(&base, &cur, DEFAULT_NOISE_PCT).passed());
+    }
+
+    #[test]
+    fn composition_shift_is_flagged() {
+        let base = vec![record("Q3", "aaaa", 100.0)];
+        let mut flipped = record("Q3", "aaaa", 100.0);
+        // Same total, but now transfer-bound.
+        flipped.critical = vec![
+            ("transfer".to_string(), "cdb->hdb".to_string(), 80.0),
+            ("compute".to_string(), "hdb".to_string(), 20.0),
+        ];
+        let report = compare(&base, &[flipped], DEFAULT_NOISE_PCT);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.kind == DriftKind::Composition
+                && f.detail.contains("compute-bound")
+                && f.detail.contains("transfer-bound")));
+    }
+
+    #[test]
+    fn missing_group_is_a_coverage_finding() {
+        let base = vec![record("Q3", "aaaa", 100.0), record("Q5", "bbbb", 250.0)];
+        let cur = vec![record("Q3", "aaaa", 100.0)];
+        let report = compare(&base, &cur, DEFAULT_NOISE_PCT);
+        assert_eq!(report.compared, 1);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].kind, DriftKind::Coverage);
+        // New groups in current are informational, not findings.
+        let report = compare(&cur, &base, DEFAULT_NOISE_PCT);
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.new_groups, 1);
+    }
+}

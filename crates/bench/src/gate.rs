@@ -25,6 +25,10 @@ use xdb_obs::json;
 pub const EXEC_THRESHOLD_PCT: f64 = 50.0;
 /// Default slack for deterministic simulated monitor values (percent).
 pub const MONITOR_THRESHOLD_PCT: f64 = 0.5;
+/// Version of the monitor snapshot layout (`repro monitor --json`,
+/// `BENCH_monitor.json`). The gate rejects mismatched-version baselines
+/// instead of mis-parsing them.
+pub const MONITOR_SCHEMA_VERSION: u64 = 1;
 
 /// One gated series.
 #[derive(Debug, Clone)]
@@ -166,6 +170,20 @@ pub fn parse_exec_snapshot(text: &str) -> Result<BTreeMap<String, f64>, String> 
 /// `key -> value` map.
 pub fn parse_monitor_snapshot(text: &str) -> Result<BTreeMap<String, f64>, String> {
     let value = json::parse(text)?;
+    let version = value
+        .get("schema_version")
+        .and_then(json::Value::as_f64)
+        .ok_or_else(|| {
+            format!(
+                "snapshot has no schema_version (this build expects {MONITOR_SCHEMA_VERSION}); \
+                 re-baseline with `repro monitor --json`"
+            )
+        })? as u64;
+    if version != MONITOR_SCHEMA_VERSION {
+        return Err(format!(
+            "snapshot schema_version {version} (this build supports {MONITOR_SCHEMA_VERSION})"
+        ));
+    }
     let Some(json::Value::Object(pairs)) = value.get("values") else {
         return Err("snapshot has no values object".to_string());
     };
@@ -239,11 +257,23 @@ mod tests {
 
     #[test]
     fn parses_monitor_snapshot_format() {
-        let text =
-            r#"{"bench": "monitor", "values": {"Q3/xdb/p50_ms": 12.5, "Q3/xdb/mean_bytes": 1024}}"#;
+        let text = r#"{"bench": "monitor", "schema_version": 1,
+            "values": {"Q3/xdb/p50_ms": 12.5, "Q3/xdb/mean_bytes": 1024}}"#;
         let m = parse_monitor_snapshot(text).unwrap();
         assert_eq!(m["Q3/xdb/p50_ms"], 12.5);
-        assert!(parse_monitor_snapshot(r#"{"values": {}}"#).is_err());
+        assert!(parse_monitor_snapshot(r#"{"schema_version": 1, "values": {}}"#).is_err());
+    }
+
+    #[test]
+    fn monitor_snapshot_schema_version_is_enforced() {
+        // Missing version: pre-versioning baseline, rejected with a
+        // re-baseline hint.
+        let err = parse_monitor_snapshot(r#"{"values": {"a": 1}}"#).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+        // Mismatched version: rejected instead of mis-parsed.
+        let err =
+            parse_monitor_snapshot(r#"{"schema_version": 99, "values": {"a": 1}}"#).unwrap_err();
+        assert!(err.contains("99"), "{err}");
     }
 
     #[test]

@@ -13,11 +13,17 @@
 //!   mix, with per-tenant result digests;
 //! - `repro gate` — the bench regression gate ([`gate`]), comparing fresh
 //!   measurements against `BENCH_exec.json` / `BENCH_monitor.json`;
+//! - `repro profile` — critical-path bottleneck attribution for the TD1
+//!   workload ([`profiler`]);
+//! - `repro drift --baseline dir/ --current dir/` — performance-drift
+//!   detection over query-history stores ([`drift`]);
 //! - `cargo bench -p xdb-bench` — Criterion benchmarks, one per
 //!   table/figure, timing each reproduction pipeline at a small scale.
 
+pub mod drift;
 pub mod experiments;
 pub mod gate;
 pub mod monitor;
+pub mod profiler;
 pub mod report;
 pub mod tenants;

@@ -328,6 +328,11 @@ impl MonitorReport {
     ) -> String {
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"bench\": \"monitor\",");
+        let _ = writeln!(
+            out,
+            "  \"schema_version\": {},",
+            crate::gate::MONITOR_SCHEMA_VERSION
+        );
         let _ = writeln!(out, "  \"workload\": \"TD1\",");
         let _ = writeln!(out, "  \"sf\": {},", json_number(self.sf));
         let _ = writeln!(out, "  \"runs\": {},", self.runs);

@@ -15,6 +15,7 @@ use crate::cost::{decide_placement_detailed, CandidateCost, InputSide, Placement
 use crate::global::GlobalCatalog;
 use crate::plan::{placeholder_alias, placeholder_name, DelegationPlan, Edge, Task};
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use xdb_engine::cluster::Cluster;
 use xdb_engine::error::{EngineError, Result};
 use xdb_net::{Movement, NodeId};
@@ -111,6 +112,37 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// The repo-local stable hash as a 16-hex-digit string (query history
+/// keys SQL texts and plan fingerprints by it).
+pub fn stable_hash_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a64(bytes))
+}
+
+/// Canonical fingerprint of an annotated delegation plan: a stable hash
+/// over every task's placement + fragment key and every edge's movement
+/// choice. Two runs of the same SQL share the fingerprint iff the
+/// annotator produced the same placed, movement-annotated task DAG — a
+/// changed fingerprint for the same query is a *plan flip*, the primary
+/// signal the drift detector watches.
+pub fn plan_fingerprint(plan: &DelegationPlan) -> String {
+    let keys = fragment_keys(plan);
+    let mut canon = String::new();
+    for id in plan.topo_order() {
+        let task = plan.task(id);
+        let _ = writeln!(canon, "t{id}@{}:{}", task.dbms, keys[&id]);
+    }
+    let mut edges: Vec<String> = plan
+        .edges
+        .iter()
+        .map(|e| format!("t{}-{}->t{}", e.from, e.movement, e.to))
+        .collect();
+    edges.sort();
+    for e in edges {
+        let _ = writeln!(canon, "{e}");
+    }
+    stable_hash_hex(canon.as_bytes())
 }
 
 /// Canonical fragment key of every task in a delegation plan.

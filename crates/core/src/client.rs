@@ -11,7 +11,7 @@
 //! (annotation + finalization consulting), `exec` (delegation DDLs +
 //! decentralized execution).
 
-use crate::annotate::{AnnotateOptions, Annotator};
+use crate::annotate::{plan_fingerprint, stable_hash_hex, AnnotateOptions, Annotator};
 use crate::delegation::{
     build_script, run_cleanup, run_script, run_script_parallel, DelegationScript,
 };
@@ -22,7 +22,11 @@ use xdb_engine::cluster::Cluster;
 use xdb_engine::error::{EngineError, Result};
 use xdb_engine::relation::Relation;
 use xdb_net::{params, wire, NodeId, Purpose};
-use xdb_obs::{QueryTrace, SpanId, SpanKind, TraceCollector, TraceCtx};
+use xdb_obs::history::EdgeObs;
+use xdb_obs::{
+    critical_path, CriticalPath, HistoryRecord, QueryTrace, SpanId, SpanKind, TraceCollector,
+    TraceCtx, HISTORY_SCHEMA_VERSION,
+};
 use xdb_sql::ast::{Statement, TableRef};
 use xdb_sql::bind::bind_select;
 use xdb_sql::optimize::{optimize, OptimizeOptions};
@@ -95,9 +99,18 @@ pub struct QueryOutcome {
 }
 
 impl QueryOutcome {
-    /// `EXPLAIN ANALYZE`-style text report of the trace.
+    /// `EXPLAIN ANALYZE`-style text report of the trace, followed by the
+    /// critical-path attribution ("critical path: 7 spans, 61% transfer
+    /// on node presto->xdb").
     pub fn report(&self) -> String {
-        self.trace.render_text()
+        let mut out = self.trace.render_text();
+        if let Some(crit) = critical_path(&self.trace) {
+            if !out.ends_with('\n') {
+                out.push('\n');
+            }
+            out.push_str(&crit.render());
+        }
+        out
     }
 }
 
@@ -132,6 +145,19 @@ pub struct XdbOptions {
     /// ledgers, simulated timings, traces, and deterministic metric
     /// snapshots — only the quarantined `net.chunks` series moves.
     pub stream_chunk_rows: usize,
+    /// Slow-query threshold in simulated ms: a query whose total time
+    /// exceeds it gets a `Warn` event carrying its critical-path
+    /// attribution. `None` disables the slow-query log. Defaults from
+    /// `XDB_SLOW_QUERY_MS`.
+    pub slow_query_ms: Option<f64>,
+}
+
+/// The `XDB_SLOW_QUERY_MS` default for [`XdbOptions::slow_query_ms`]
+/// (unset or unparsable → disabled).
+pub fn default_slow_query_ms() -> Option<f64> {
+    std::env::var("XDB_SLOW_QUERY_MS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
 }
 
 impl Default for XdbOptions {
@@ -145,6 +171,7 @@ impl Default for XdbOptions {
             parallel_execution: true,
             trace_operators: false,
             stream_chunk_rows: xdb_engine::default_stream_chunk_rows(),
+            slow_query_ms: default_slow_query_ms(),
         }
     }
 }
@@ -584,6 +611,62 @@ impl<'a> Xdb<'a> {
             "query completed",
             &[("rows", &rows), ("total_ms", &total)],
         );
+        // Query history + slow-query log: both consume the critical path,
+        // so compute it only when either consumer is active. Everything
+        // recorded here is simulated-clock / script-order state — records
+        // are bit-identical across executors and stream-chunk sizes.
+        let slow = self
+            .options
+            .slow_query_ms
+            .is_some_and(|t| breakdown.total_ms() > t);
+        if telemetry.history.is_enabled() || slow {
+            let crit = critical_path(&trace);
+            if telemetry.history.is_enabled() {
+                let record = self.history_record(
+                    sql,
+                    &delegation,
+                    &breakdown,
+                    crit.as_ref(),
+                    query_id,
+                    ledger_mark,
+                    &trace,
+                );
+                telemetry.history.append(record);
+            }
+            if slow {
+                let threshold = format!("{}", self.options.slow_query_ms.unwrap_or(0.0));
+                let mut fields: Vec<(String, String)> = vec![
+                    ("total_ms".to_string(), total.clone()),
+                    ("threshold_ms".to_string(), threshold),
+                ];
+                if let Some(crit) = &crit {
+                    fields.push(("crit_spans".to_string(), crit.steps.len().to_string()));
+                    if let Some(top) = crit.dominant() {
+                        fields.push((
+                            "dominant".to_string(),
+                            format!(
+                                "{:.0}% {} on {}",
+                                crit.share_pct(top.ns),
+                                top.category.label(),
+                                top.location
+                            ),
+                        ));
+                    }
+                }
+                let borrowed: Vec<(&str, &str)> = fields
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                telemetry.events.log(
+                    xdb_obs::Level::Warn,
+                    "core.client",
+                    Some(query_id),
+                    breakdown.total_ms(),
+                    "slow query",
+                    &borrowed,
+                );
+            }
+        }
         Ok(QueryOutcome {
             relation: outcome.relation,
             delegation,
@@ -603,6 +686,85 @@ impl<'a> Xdb<'a> {
     /// `ddl.objects_live` gauge is back to its pre-query value.
     pub fn cleanup(&self, outcome: &QueryOutcome) -> usize {
         run_cleanup(self.cluster, &outcome.script)
+    }
+
+    /// Assemble the [`HistoryRecord`] of one finished submission: plan
+    /// fingerprint, phase timings, critical-path attribution, per-edge
+    /// wire observations (from the ledger records this query appended),
+    /// and per-engine statement work (from the trace counters).
+    #[allow(clippy::too_many_arguments)]
+    fn history_record(
+        &self,
+        sql: &str,
+        delegation: &DelegationPlan,
+        breakdown: &PhaseBreakdown,
+        crit: Option<&CriticalPath>,
+        query_id: u64,
+        ledger_mark: usize,
+        trace: &QueryTrace,
+    ) -> HistoryRecord {
+        let telemetry = self.cluster.telemetry();
+        let records = self.cluster.ledger.snapshot();
+        let edges = records[ledger_mark.min(records.len())..]
+            .iter()
+            .map(|t| EdgeObs {
+                from: t.from.as_str().to_string(),
+                to: t.to.as_str().to_string(),
+                purpose: format!("{:?}", t.purpose),
+                bytes: t.bytes,
+                encoded_bytes: t.encoded_bytes,
+                rows: t.rows,
+                codecs: t
+                    .codec_bytes
+                    .iter()
+                    .map(|(c, b)| (c.to_string(), *b))
+                    .collect(),
+            })
+            .collect();
+        let statements = trace
+            .counters
+            .iter()
+            .filter_map(|(k, v)| {
+                k.strip_prefix("node.")
+                    .and_then(|rest| rest.strip_suffix(".work_ms"))
+                    .map(|engine| (engine.to_string(), *v))
+            })
+            .collect();
+        let critical = crit
+            .map(|c| {
+                c.attribution
+                    .iter()
+                    .map(|a| {
+                        (
+                            a.category.label().to_string(),
+                            a.location.clone(),
+                            xdb_obs::critical::ms(a.ns),
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        HistoryRecord {
+            schema_version: HISTORY_SCHEMA_VERSION,
+            label: telemetry.history.label(),
+            deployment: "xdb".to_string(),
+            sql_fnv: stable_hash_hex(sql.as_bytes()),
+            fingerprint: plan_fingerprint(delegation),
+            query_id,
+            total_ms: breakdown.total_ms(),
+            phases: vec![
+                ("prep".to_string(), breakdown.prep_ms),
+                ("lopt".to_string(), breakdown.lopt_ms),
+                ("ann".to_string(), breakdown.ann_ms),
+                ("exec".to_string(), breakdown.exec_ms),
+            ],
+            consult_hits: breakdown.consult_cache_hits,
+            consult_misses: breakdown.consult_cache_misses,
+            crit_spans: crit.map_or(0, |c| c.steps.len() as u64),
+            critical,
+            edges,
+            statements,
+        }
     }
 
     /// One Transfer span (lane `net`) per ledger record this query

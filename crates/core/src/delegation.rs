@@ -484,6 +484,16 @@ fn emit_exec_spans(
                 dur,
             );
             trace.collector.attr(mat, "rows", report.rows.to_string());
+            // Critical-path inputs: the pure-compute tail of this span
+            // (`work_ms`) and the producer node feeding it (`from`) — the
+            // profiler splits the span at `end - work_ms` into a transfer
+            // head and a compute tail.
+            trace
+                .collector
+                .attr(mat, "work_ms", format!("{}", report.work_ms));
+            trace
+                .collector
+                .attr(mat, "from", plan.task(from).dbms.as_str());
             if let Some(profile) = &report.profile {
                 emit_profile_spans(trace, mat, profile, start_ms, dur);
             }
@@ -502,6 +512,9 @@ fn emit_exec_spans(
     trace
         .collector
         .attr(q, "rows", final_report.rows.to_string());
+    trace
+        .collector
+        .attr(q, "work_ms", format!("{}", final_report.work_ms));
     let root = script.root_node.as_str();
     trace.add(&format!("node.{root}.work_ms"), final_report.work_ms);
     trace.add(&format!("node.{root}.rows"), final_report.rows as f64);

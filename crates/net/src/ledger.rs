@@ -42,6 +42,11 @@ pub struct Transfer {
     pub encoded_bytes: u64,
     pub rows: u64,
     pub purpose: Purpose,
+    /// Per-codec byte split of the encoded payload. Deterministic per
+    /// edge (the codec is chosen once over the whole relation, chunking
+    /// only frames it), so the query history store can persist observed
+    /// per-(edge, codec) wire ratios. Empty for uncompressed traffic.
+    pub codec_bytes: Vec<(&'static str, u64)>,
 }
 
 impl Purpose {
@@ -143,6 +148,7 @@ impl Ledger {
             encoded_bytes: stats.encoded_bytes,
             rows,
             purpose,
+            codec_bytes: stats.codec_bytes.clone(),
         });
     }
 
@@ -303,6 +309,10 @@ mod tests {
         );
         // Plain records keep encoded == raw.
         l.record(&"b".into(), &"c".into(), 8, 0, Purpose::ControlMessage);
+        // The per-codec split rides on the record for the history store.
+        let snap = l.snapshot();
+        assert_eq!(snap[0].codec_bytes, vec![("dict", 30), ("raw", 10)]);
+        assert!(snap[1].codec_bytes.is_empty());
         assert_eq!(l.total_bytes(), 108);
         assert_eq!(l.total_encoded_bytes(), 48);
         assert_eq!(l.encoded_bytes_for(Purpose::InterDbmsPipeline), 40);

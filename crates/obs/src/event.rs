@@ -34,6 +34,17 @@ impl Level {
         }
     }
 
+    /// Parse a level name (`XDB_LOG_LEVEL`, `repro --log-level`).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+
     fn from_u8(v: u8) -> Level {
         match v {
             0 => Level::Debug,

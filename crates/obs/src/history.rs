@@ -1,0 +1,505 @@
+//! The query history store: an append-only JSON-lines record of every
+//! query run — exactly the series a feedback-driven cost model consumes.
+//!
+//! Each [`HistoryRecord`] captures one submission: a canonical **plan
+//! fingerprint** (stable hash of the annotated task DAG — placements,
+//! movement choices, fragment keys — computed by `xdb-core`), per-phase
+//! timings, the critical-path attribution, per-edge wire observations
+//! (raw vs encoded bytes and the per-codec split), per-engine statement
+//! work, and consultation-cache hit rates. Everything is taken off the
+//! simulated clock and script-order-deterministic state, so records are
+//! bit-identical between the sequential and parallel executors and across
+//! stream-chunk sizes (the process-global query id is the one field
+//! comparison tests normalize, exactly as they do for traces).
+//!
+//! The [`HistorySink`] lives on [`crate::Telemetry`] and is **disabled by
+//! default** — recording costs nothing until `repro --history dir/` (or
+//! `XDB_HISTORY_DIR`) turns it on, after which every record is kept in
+//! memory and appended to `<dir>/history.jsonl`.
+
+use crate::json;
+use crate::trace::{json_number, json_string};
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Version of the record layout; the drift detector and bench gate reject
+/// mismatched baselines instead of mis-parsing them.
+pub const HISTORY_SCHEMA_VERSION: u64 = 1;
+
+/// File name of the JSON-lines store inside a history directory.
+pub const HISTORY_FILE: &str = "history.jsonl";
+
+/// One observed wire edge of a query run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EdgeObs {
+    pub from: String,
+    pub to: String,
+    /// [`Purpose::label`](../../xdb_net) of the transfer.
+    pub purpose: String,
+    /// Raw (pre-codec) payload bytes.
+    pub bytes: u64,
+    /// Post-codec bytes — `encoded/bytes` is the observed wire ratio the
+    /// cost model's Eq. 1–3 terms will calibrate against.
+    pub encoded_bytes: u64,
+    pub rows: u64,
+    /// Per-codec byte split of the encoded payload (`dict`, `forpack`,
+    /// `rle`, `raw`), deterministic per edge.
+    pub codecs: Vec<(String, u64)>,
+}
+
+/// One query run, as persisted to the history store.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistoryRecord {
+    pub schema_version: u64,
+    /// Workload label active at record time (e.g. `Q3`); empty for ad-hoc
+    /// submissions. Display only — drift groups by `sql_fnv`.
+    pub label: String,
+    /// Deployment that produced the run (currently always `xdb`).
+    pub deployment: String,
+    /// Stable FNV-1a hash of the SQL text (hex) — the grouping key.
+    pub sql_fnv: String,
+    /// Canonical plan fingerprint: stable hash of the annotated task DAG
+    /// (placements, movement choices, fragment keys). A changed
+    /// fingerprint for the same `sql_fnv` is a plan flip.
+    pub fingerprint: String,
+    /// Process-global correlation id. Informational only: it varies
+    /// between processes, so drift comparison ignores it.
+    pub query_id: u64,
+    pub total_ms: f64,
+    /// `(phase name, simulated ms)` in pipeline order.
+    pub phases: Vec<(String, f64)>,
+    pub consult_hits: u64,
+    pub consult_misses: u64,
+    /// Critical-path length in spans.
+    pub crit_spans: u64,
+    /// Critical-path attribution: `(category, location, simulated ms)`,
+    /// largest first.
+    pub critical: Vec<(String, String, f64)>,
+    pub edges: Vec<EdgeObs>,
+    /// Per-engine statement work (`engine -> simulated work ms`).
+    pub statements: Vec<(String, f64)>,
+}
+
+impl HistoryRecord {
+    /// Share of consult probes answered from cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.consult_hits + self.consult_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.consult_hits as f64 / total as f64
+        }
+    }
+
+    /// Per-category critical-path totals, in ms.
+    pub fn critical_by_category(&self) -> Vec<(String, f64)> {
+        let mut out: Vec<(String, f64)> = Vec::new();
+        for (cat, _, ms) in &self.critical {
+            match out.iter_mut().find(|(c, _)| c == cat) {
+                Some((_, v)) => *v += ms,
+                None => out.push((cat.clone(), *ms)),
+            }
+        }
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// One JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        let _ = write!(
+            out,
+            "{{\"schema_version\":{},\"label\":{},\"deployment\":{},\"sql_fnv\":{},\
+             \"fingerprint\":{},\"query_id\":{},\"total_ms\":{}",
+            self.schema_version,
+            json_string(&self.label),
+            json_string(&self.deployment),
+            json_string(&self.sql_fnv),
+            json_string(&self.fingerprint),
+            self.query_id,
+            json_number(self.total_ms),
+        );
+        out.push_str(",\"phases\":{");
+        for (i, (name, ms)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_string(name), json_number(*ms));
+        }
+        let _ = write!(
+            out,
+            "}},\"consult_hits\":{},\"consult_misses\":{},\"crit_spans\":{}",
+            self.consult_hits, self.consult_misses, self.crit_spans
+        );
+        out.push_str(",\"critical\":[");
+        for (i, (cat, loc, ms)) in self.critical.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"category\":{},\"location\":{},\"ms\":{}}}",
+                json_string(cat),
+                json_string(loc),
+                json_number(*ms)
+            );
+        }
+        out.push_str("],\"edges\":[");
+        for (i, e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"from\":{},\"to\":{},\"purpose\":{},\"bytes\":{},\
+                 \"encoded_bytes\":{},\"rows\":{},\"codecs\":{{",
+                json_string(&e.from),
+                json_string(&e.to),
+                json_string(&e.purpose),
+                e.bytes,
+                e.encoded_bytes,
+                e.rows
+            );
+            for (j, (codec, bytes)) in e.codecs.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}:{}", json_string(codec), bytes);
+            }
+            out.push_str("}}");
+        }
+        out.push_str("],\"statements\":{");
+        for (i, (engine, ms)) in self.statements.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_string(engine), json_number(*ms));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parse one record back out of its JSON form.
+    pub fn from_json(v: &json::Value) -> Result<HistoryRecord, String> {
+        let num = |key: &str| {
+            v.get(key)
+                .and_then(json::Value::as_f64)
+                .ok_or_else(|| format!("history record missing numeric {key:?}"))
+        };
+        let string = |key: &str| {
+            v.get(key)
+                .and_then(json::Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("history record missing string {key:?}"))
+        };
+        let pairs = |key: &str| -> Result<Vec<(String, f64)>, String> {
+            match v.get(key) {
+                Some(json::Value::Object(items)) => items
+                    .iter()
+                    .map(|(k, val)| {
+                        val.as_f64()
+                            .map(|n| (k.clone(), n))
+                            .ok_or_else(|| format!("{key:?} entry {k:?} is not a number"))
+                    })
+                    .collect(),
+                _ => Err(format!("history record missing object {key:?}")),
+            }
+        };
+        let mut critical = Vec::new();
+        if let Some(items) = v.get("critical").and_then(json::Value::as_array) {
+            for c in items {
+                critical.push((
+                    c.get("category")
+                        .and_then(json::Value::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    c.get("location")
+                        .and_then(json::Value::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    c.get("ms").and_then(json::Value::as_f64).unwrap_or(0.0),
+                ));
+            }
+        }
+        let mut edges = Vec::new();
+        if let Some(items) = v.get("edges").and_then(json::Value::as_array) {
+            for e in items {
+                let field = |key: &str| {
+                    e.get(key)
+                        .and_then(json::Value::as_str)
+                        .unwrap_or("")
+                        .to_string()
+                };
+                let n = |key: &str| e.get(key).and_then(json::Value::as_f64).unwrap_or(0.0) as u64;
+                let codecs = match e.get("codecs") {
+                    Some(json::Value::Object(items)) => items
+                        .iter()
+                        .filter_map(|(k, val)| val.as_f64().map(|b| (k.clone(), b as u64)))
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                edges.push(EdgeObs {
+                    from: field("from"),
+                    to: field("to"),
+                    purpose: field("purpose"),
+                    bytes: n("bytes"),
+                    encoded_bytes: n("encoded_bytes"),
+                    rows: n("rows"),
+                    codecs,
+                });
+            }
+        }
+        Ok(HistoryRecord {
+            schema_version: num("schema_version")? as u64,
+            label: string("label")?,
+            deployment: string("deployment")?,
+            sql_fnv: string("sql_fnv")?,
+            fingerprint: string("fingerprint")?,
+            query_id: num("query_id")? as u64,
+            total_ms: num("total_ms")?,
+            phases: pairs("phases")?,
+            consult_hits: num("consult_hits")? as u64,
+            consult_misses: num("consult_misses")? as u64,
+            crit_spans: num("crit_spans")? as u64,
+            critical,
+            edges,
+            statements: pairs("statements")?,
+        })
+    }
+}
+
+/// Parse a JSON-lines history export. Every record must carry the
+/// supported [`HISTORY_SCHEMA_VERSION`] — a mismatch is an error, not a
+/// silent mis-parse.
+pub fn parse_history_jsonl(text: &str) -> Result<Vec<HistoryRecord>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("history line {}: {e}", i + 1))?;
+        let record =
+            HistoryRecord::from_json(&v).map_err(|e| format!("history line {}: {e}", i + 1))?;
+        if record.schema_version != HISTORY_SCHEMA_VERSION {
+            return Err(format!(
+                "history line {}: schema_version {} (this build supports {})",
+                i + 1,
+                record.schema_version,
+                HISTORY_SCHEMA_VERSION
+            ));
+        }
+        out.push(record);
+    }
+    Ok(out)
+}
+
+/// The append-only history sink attached to [`crate::Telemetry`].
+#[derive(Debug, Default)]
+pub struct HistorySink {
+    enabled: AtomicBool,
+    inner: Mutex<SinkInner>,
+}
+
+#[derive(Debug, Default)]
+struct SinkInner {
+    dir: Option<PathBuf>,
+    label: String,
+    records: Vec<HistoryRecord>,
+}
+
+impl HistorySink {
+    /// Cheap check the recording path takes before building a record.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// Record in memory only (tests, in-process drift comparison).
+    pub fn enable_memory(&self) {
+        self.inner.lock().dir = None;
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Record in memory *and* append each record to `<dir>/history.jsonl`
+    /// (the directory is created if missing).
+    pub fn enable_dir(&self, dir: impl AsRef<Path>) -> std::io::Result<()> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        self.inner.lock().dir = Some(dir);
+        self.enabled.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Release);
+        self.inner.lock().dir = None;
+    }
+
+    /// Set the workload label stamped onto subsequent records.
+    pub fn set_label(&self, label: &str) {
+        self.inner.lock().label = label.to_string();
+    }
+
+    pub fn label(&self) -> String {
+        self.inner.lock().label.clone()
+    }
+
+    /// Append one record (no-op while disabled). File-append errors are
+    /// reported to stderr rather than failing the query.
+    pub fn append(&self, record: HistoryRecord) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if let Some(dir) = &inner.dir {
+            use std::io::Write as _;
+            let path = dir.join(HISTORY_FILE);
+            let written = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| writeln!(f, "{}", record.to_json()));
+            if let Err(e) = written {
+                eprintln!("history: cannot append to {}: {e}", path.display());
+            }
+        }
+        inner.records.push(record);
+    }
+
+    /// All records kept in memory, oldest first.
+    pub fn records(&self) -> Vec<HistoryRecord> {
+        self.inner.lock().records.clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().records.is_empty()
+    }
+
+    /// Drop the in-memory records (the on-disk store is append-only and
+    /// untouched).
+    pub fn clear(&self) {
+        self.inner.lock().records.clear();
+    }
+
+    /// JSON-lines export of the in-memory records.
+    pub fn to_jsonl(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        for r in &inner.records {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Read `<dir>/history.jsonl` back into records.
+pub fn load_history_dir(dir: impl AsRef<Path>) -> Result<Vec<HistoryRecord>, String> {
+    let path = dir.as_ref().join(HISTORY_FILE);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_history_jsonl(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HistoryRecord {
+        HistoryRecord {
+            schema_version: HISTORY_SCHEMA_VERSION,
+            label: "Q3".to_string(),
+            deployment: "xdb".to_string(),
+            sql_fnv: "00fe12ab34cd56ef".to_string(),
+            fingerprint: "0123456789abcdef".to_string(),
+            query_id: 42,
+            total_ms: 123.456,
+            phases: vec![
+                ("prep".to_string(), 15.0),
+                ("lopt".to_string(), 10.0),
+                ("ann".to_string(), 30.0),
+                ("exec".to_string(), 68.456),
+            ],
+            consult_hits: 3,
+            consult_misses: 1,
+            crit_spans: 7,
+            critical: vec![
+                ("transfer".to_string(), "cdb->hdb".to_string(), 61.0),
+                ("compute".to_string(), "hdb".to_string(), 40.0),
+                ("transfer".to_string(), "vdb->hdb".to_string(), 12.5),
+            ],
+            edges: vec![EdgeObs {
+                from: "cdb".to_string(),
+                to: "hdb".to_string(),
+                purpose: "inter_dbms_pipeline".to_string(),
+                bytes: 1000,
+                encoded_bytes: 400,
+                rows: 10,
+                codecs: vec![("dict".to_string(), 300), ("raw".to_string(), 100)],
+            }],
+            statements: vec![("cdb".to_string(), 12.5), ("hdb".to_string(), 30.25)],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let r = sample();
+        let v = json::parse(&r.to_json()).unwrap();
+        let back = HistoryRecord::from_json(&v).unwrap();
+        assert_eq!(back, r);
+        assert!((r.cache_hit_rate() - 0.75).abs() < 1e-12);
+        let cats = r.critical_by_category();
+        assert_eq!(cats[0], ("transfer".to_string(), 73.5));
+    }
+
+    #[test]
+    fn jsonl_rejects_mismatched_schema_version() {
+        let mut r = sample();
+        let ok = parse_history_jsonl(&format!("{}\n", r.to_json())).unwrap();
+        assert_eq!(ok.len(), 1);
+        r.schema_version = HISTORY_SCHEMA_VERSION + 1;
+        let err = parse_history_jsonl(&r.to_json()).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+        assert!(parse_history_jsonl("not json").is_err());
+    }
+
+    #[test]
+    fn sink_disabled_by_default_and_labels_records() {
+        let sink = HistorySink::default();
+        assert!(!sink.is_enabled());
+        sink.append(sample());
+        assert!(sink.is_empty());
+        sink.enable_memory();
+        sink.set_label("fleet");
+        assert_eq!(sink.label(), "fleet");
+        sink.append(sample());
+        assert_eq!(sink.len(), 1);
+        let parsed = parse_history_jsonl(&sink.to_jsonl()).unwrap();
+        assert_eq!(parsed, sink.records());
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn dir_sink_appends_jsonl() {
+        let dir = std::env::temp_dir().join(format!(
+            "xdb_history_test_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sink = HistorySink::default();
+        sink.enable_dir(&dir).unwrap();
+        sink.append(sample());
+        sink.append(sample());
+        let loaded = load_history_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0], sample());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

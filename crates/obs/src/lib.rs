@@ -28,9 +28,18 @@
 //! process-global default in [`telemetry::global`]. Everything is recorded
 //! on the simulated clock, so telemetry is deterministic too (see
 //! `metrics` module docs for the exact rules).
+//!
+//! Two analysis layers sit on top: the [`history`] module persists one
+//! [`HistoryRecord`] per query run (plan fingerprint, timings, wire
+//! ratios — the learned-cost-model feed), and the [`critical`] module
+//! computes the critical path through a finished trace, attributing
+//! end-to-end latency to compute / transfer / consult / DDL per engine
+//! node.
 
 pub mod collect;
+pub mod critical;
 pub mod event;
+pub mod history;
 pub mod json;
 pub mod metrics;
 pub mod profile;
@@ -39,7 +48,9 @@ pub mod telemetry;
 pub mod trace;
 
 pub use collect::{disabled_collector, TraceCollector, TraceCtx};
+pub use critical::{critical_path, critical_paths, CritCategory, CriticalPath, CriticalStep};
 pub use event::{Event, EventLog, Level};
+pub use history::{HistoryRecord, HistorySink, HISTORY_SCHEMA_VERSION};
 pub use metrics::{Histogram, Metric, MetricRegistry};
 pub use profile::{ExecProfile, OpStat};
 pub use span::{Span, SpanId, SpanKind};

@@ -11,6 +11,7 @@
 //! the consult-cache accounting learned in an earlier PR.
 
 use crate::event::EventLog;
+use crate::history::HistorySink;
 use crate::metrics::MetricRegistry;
 use std::sync::{Arc, OnceLock};
 
@@ -19,6 +20,9 @@ use std::sync::{Arc, OnceLock};
 pub struct Telemetry {
     pub metrics: MetricRegistry,
     pub events: EventLog,
+    /// The query history store — disabled until `repro --history dir/`
+    /// (or a test) turns it on.
+    pub history: HistorySink,
 }
 
 impl Telemetry {
@@ -27,6 +31,7 @@ impl Telemetry {
         Arc::new(Telemetry {
             metrics: MetricRegistry::new(),
             events: EventLog::default(),
+            history: HistorySink::default(),
         })
     }
 
@@ -40,10 +45,11 @@ impl Telemetry {
         });
     }
 
-    /// Drop all recorded metrics and events.
+    /// Drop all recorded metrics, events, and in-memory history records.
     pub fn clear(&self) {
         self.metrics.clear();
         self.events.clear();
+        self.history.clear();
     }
 }
 

@@ -404,4 +404,77 @@ mod tests {
         assert_eq!(json_number(1.5), "1.5");
         assert_eq!(json_number(3.0), "3");
     }
+
+    #[test]
+    fn json_string_roundtrips_control_chars_and_non_ascii() {
+        // Control characters below 0x20 must come out as \uXXXX escapes;
+        // non-ASCII text rides through as raw UTF-8. Both must survive a
+        // round trip through the hand-rolled reader.
+        for s in [
+            "bell\u{7} backspace\u{8} formfeed\u{c} esc\u{1b} null\u{0}",
+            "tabs\tand\r\nnewlines",
+            "querié — grüße 値 🦀",
+            "mixed \u{1} ünïcode \"quoted\" \\slash",
+        ] {
+            let encoded = json_string(s);
+            assert!(encoded.is_ascii() || !s.is_ascii(), "{encoded}");
+            let doc = format!("{{\"v\":{encoded}}}");
+            let v = json::parse(&doc).unwrap_or_else(|e| panic!("{doc}: {e}"));
+            assert_eq!(v.get("v").and_then(json::Value::as_str), Some(s), "{doc}");
+        }
+        // Explicitly: control chars are escaped, never emitted raw.
+        assert_eq!(json_string("\u{0}"), "\"\\u0000\"");
+        assert_eq!(json_string("\u{1f}"), "\"\\u001f\"");
+    }
+
+    #[test]
+    fn event_messages_and_labels_roundtrip_through_jsonl() {
+        // The event log serializes via the same hand-rolled writer; weird
+        // messages, targets, and field values must round-trip.
+        let log = crate::EventLog::new(4);
+        let message = "café \u{1b}[31mred\u{7}";
+        let value = "grüße\n\t\"quoted\"";
+        log.log(
+            crate::Level::Warn,
+            "core.client\u{1}",
+            Some(9),
+            1.0,
+            message,
+            &[("label", value)],
+        );
+        let jsonl = log.to_jsonl();
+        let v = json::parse(jsonl.trim()).unwrap_or_else(|e| panic!("{jsonl}: {e}"));
+        assert_eq!(
+            v.get("message").and_then(json::Value::as_str),
+            Some(message)
+        );
+        assert_eq!(v.get("label").and_then(json::Value::as_str), Some(value));
+        assert_eq!(
+            v.get("target").and_then(json::Value::as_str),
+            Some("core.client\u{1}")
+        );
+    }
+
+    #[test]
+    fn metrics_diff_over_disjoint_keys() {
+        let a = MetricsSnapshot {
+            counters: [("only.a".to_string(), 3.0), ("shared".to_string(), 10.0)]
+                .into_iter()
+                .collect(),
+        };
+        let b = MetricsSnapshot {
+            counters: [("only.b".to_string(), 4.0), ("shared".to_string(), 7.0)]
+                .into_iter()
+                .collect(),
+        };
+        let d = a.diff(&b);
+        // Union of keys: keys unique to either side are kept, with the
+        // missing side treated as zero.
+        assert_eq!(d.counters.len(), 3);
+        assert_eq!(d.get("only.a"), 3.0);
+        assert_eq!(d.get("only.b"), -4.0);
+        assert_eq!(d.get("shared"), 3.0);
+        // And a key absent from both reads as zero, not a panic.
+        assert_eq!(d.get("absent"), 0.0);
+    }
 }

@@ -59,3 +59,17 @@ echo "bench_gate: re-running the monitor workload and comparing..."
 cargo run -q --release -p xdb-bench --bin repro -- gate \
   --exec-baseline BENCH_exec.json --exec-current "$current" \
   --monitor-baseline BENCH_monitor.json
+
+# Drift gate: re-run the TD1 profile with the history store on and
+# compare the fresh records against the checked-in BENCH_history/
+# baseline — plan flips, latency drift, and critical-path composition
+# shifts fail with an attributed explanation. The fresh history dir is
+# archived next to the BENCH_*.json snapshots for inspection.
+# Re-baseline after an intentional change with
+#   rm -rf BENCH_history && repro --sf 0.002 --history BENCH_history profile
+echo "bench_gate: re-running the TD1 profile and checking for drift..."
+rm -rf target/bench_gate_history
+cargo run -q --release -p xdb-bench --bin repro -- \
+  --sf 0.002 --history target/bench_gate_history profile --out /dev/null
+cargo run -q --release -p xdb-bench --bin repro -- drift \
+  --baseline BENCH_history --current target/bench_gate_history

@@ -58,6 +58,24 @@ grep -q 'throughput speedup' target/tier1-tenants.txt
 grep -q 'fully folded' target/tier1-tenants.txt
 cmp target/tier1-tenants.folded.txt target/tier1-tenants.unfolded.txt
 
+# Profiler + drift smoke test: `repro profile` must attribute every TD1
+# query's latency, and two identical runs recorded through the history
+# store must self-compare with zero drift findings (the analysis runs on
+# the simulated clock, so any finding would be a real behavior change).
+rm -rf target/tier1-history-a target/tier1-history-b
+cargo run --release -q -p xdb-bench --bin repro -- \
+  --sf 0.002 --history target/tier1-history-a profile \
+  --out target/tier1-profile.txt
+grep -q 'critical-path profile' target/tier1-profile.txt
+grep -q 'dominant' target/tier1-profile.txt
+cargo run --release -q -p xdb-bench --bin repro -- \
+  --sf 0.002 --history target/tier1-history-b profile \
+  --out /dev/null
+cargo run --release -q -p xdb-bench --bin repro -- drift \
+  --baseline target/tier1-history-a --current target/tier1-history-b \
+  | tee target/tier1-drift.txt
+grep -q 'no drift' target/tier1-drift.txt
+
 # Bench regression gate (opt-in: wall-clock benches are too noisy for CI
 # defaults). XDB_BENCH_GATE=1 re-measures the exec kernels and the monitor
 # workload and fails on threshold regressions vs BENCH_exec.json /

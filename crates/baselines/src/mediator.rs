@@ -253,17 +253,13 @@ impl<'a> Mediator<'a> {
                         })?;
                         let bytes = rel.wire_bytes();
                         // Fragment fetches ride the same wire codec as
-                        // XDB's streamed edges: encode at the DBMS,
-                        // stream-decode into the mediator, charge the
-                        // transfer for encoded bytes.
+                        // XDB's streamed edges: the transfer is charged
+                        // for encoded bytes. The mediator keeps the
+                        // relation it already holds (`decode(encode(x))`
+                        // is exactly `x`), so a sizing-only pass prices
+                        // the edge without materializing the payload.
                         let chunk_rows = cluster.engine(task.dbms.as_str())?.stream_chunk_rows();
-                        let enc = wire::encode(rel.columns(), rel.len());
-                        let stats = enc.stats(chunk_rows);
-                        let rel = Relation::from_columns(
-                            rel.fields.clone(),
-                            wire::decode_chunked(&enc, chunk_rows),
-                            rel.len(),
-                        );
+                        let stats = wire::measure(rel.columns(), rel.len()).stats(chunk_rows);
                         scoped.ledger.record_wire(
                             &task.dbms,
                             &config.node,
@@ -325,13 +321,7 @@ impl<'a> Mediator<'a> {
                 .query(root.dbms.as_str(), &render_select_string(&stmt, dialect))?;
             let bytes = rel.wire_bytes();
             let chunk_rows = self.cluster.engine(root.dbms.as_str())?.stream_chunk_rows();
-            let enc = wire::encode(rel.columns(), rel.len());
-            let stats = enc.stats(chunk_rows);
-            let rel = Relation::from_columns(
-                rel.fields.clone(),
-                wire::decode_chunked(&enc, chunk_rows),
-                rel.len(),
-            );
+            let stats = wire::measure(rel.columns(), rel.len()).stats(chunk_rows);
             let encoded = stats.encoded_bytes;
             self.cluster.ledger.record_wire(
                 &root.dbms,

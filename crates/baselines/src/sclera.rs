@@ -124,15 +124,13 @@ impl<'a> Sclera<'a> {
                 let producer = &plan.task(edge.from).dbms;
                 // Both hops ride the shared wire codec; the exported
                 // relation is re-encoded for each hop (Sclera's mediator
-                // decodes and re-encodes, it does not relay frames).
+                // decodes and re-encodes, it does not relay frames). Both
+                // hops carry the same relation, so one sizing pass prices
+                // them both — and since `decode(encode(x))` rebuilds `x`
+                // exactly, the consumer loads the relation this process
+                // already holds instead of round-tripping the codec.
                 let chunk_rows = engine.stream_chunk_rows();
-                let enc = wire::encode(rel.columns(), rel.len());
-                let stats = enc.stats(chunk_rows);
-                let rel = Relation::from_columns(
-                    rel.fields.clone(),
-                    wire::decode_chunked(&enc, chunk_rows),
-                    rel.len(),
-                );
+                let stats = wire::measure(rel.columns(), rel.len()).stats(chunk_rows);
                 self.cluster.ledger.record_wire(
                     producer,
                     &self.mediator,
@@ -319,6 +317,57 @@ mod tests {
         let into_med = cluster.ledger.bytes_into(&NodeId::new("mediator"));
         assert_eq!(report.moved_bytes, 2 * into_med);
         assert!(report.transfer_ms > 0.0);
+    }
+
+    #[test]
+    fn double_hop_encodes_and_charges_each_hop_exactly_once() {
+        // Reactor-era audit: chunk handoff across threads owns the codec
+        // state, so the double-hop path must still price each hop with
+        // exactly one encoding pass. Every intermediate takes two ledger
+        // records (producer -> mediator, mediator -> consumer) carrying
+        // the same relation, hence the same encoded size; the
+        // `net.encoded_bytes` series must equal the per-hop ledger sum —
+        // no hop double-charged, none coalesced.
+        let (mut cluster, catalog) = setup();
+        let telemetry = xdb_obs::Telemetry::new_handle();
+        cluster.set_telemetry(std::sync::Arc::clone(&telemetry));
+        cluster.ledger.clear();
+        let report = Sclera::new(&cluster, &catalog, "mediator")
+            .submit(scenario::EXAMPLE_QUERY)
+            .unwrap();
+
+        let mediator = NodeId::new("mediator");
+        let hops: Vec<_> = cluster
+            .ledger
+            .snapshot()
+            .into_iter()
+            .filter(|t| t.purpose == Purpose::Materialization)
+            .collect();
+        assert!(!hops.is_empty(), "no materialization hops recorded");
+        assert_eq!(hops.len() % 2, 0, "unpaired hop: {hops:?}");
+        let mut per_hop_encoded = 0u64;
+        for pair in hops.chunks(2) {
+            let (into, out) = (&pair[0], &pair[1]);
+            // Hops are recorded in order: into the mediator, then out.
+            assert_eq!(into.to, mediator, "{into:?}");
+            assert_eq!(out.from, mediator, "{out:?}");
+            // Same relation on both hops: same raw and encoded size, and
+            // the codec actually ran (0 < encoded <= raw).
+            assert_eq!(into.bytes, out.bytes);
+            assert_eq!(into.encoded_bytes, out.encoded_bytes);
+            assert!(into.encoded_bytes > 0 && into.encoded_bytes <= into.bytes);
+            per_hop_encoded += into.encoded_bytes + out.encoded_bytes;
+        }
+        // The report and the telemetry series both equal the per-hop sum:
+        // each hop charged exactly once.
+        assert_eq!(report.moved_encoded_bytes, per_hop_encoded);
+        assert_eq!(
+            telemetry.metrics.value(
+                "net.encoded_bytes",
+                &[("purpose", Purpose::Materialization.label())]
+            ),
+            per_hop_encoded as f64
+        );
     }
 
     #[test]

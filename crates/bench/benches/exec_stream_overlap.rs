@@ -1,43 +1,134 @@
-//! End-to-end cost of the streamed dataflow edges: the full XDB
+//! Wall-clock overlap of the streamed dataflow edges: the full XDB
 //! delegation pipeline over the vaccination scenario, varying only the
-//! transport morsel size. Chunking must be (and, per the determinism
-//! tests, is) unobservable in the simulated clock — this bench watches the
-//! *wall-clock* overhead of the chunked encode → stream-decode loop, i.e.
-//! what the host pays for pipelining the wire.
+//! transport morsel size. Chunking is (and, per the determinism tests,
+//! must be) unobservable in the *simulated* clock; this bench watches the
+//! host's wall clock, where morsel-wise edges are required to win.
+//!
+//! Since the edge reactor landed, a chunked edge never materializes at
+//! the consumer: each decoded morsel probes the join hash table, gathers
+//! its matches and folds them into the streaming aggregate while the
+//! chunk is still cache-hot (`Execution::join_probe_streamed`). An
+//! unbounded edge runs the same fused operators over one edge-sized
+//! morsel, so every pass (decode, probe, gather, fold) re-walks a
+//! multi-hundred-megabyte working set through L3/DRAM instead of L2. The
+//! bench *asserts* real overlap — chunked strictly below unbounded on a
+//! transfer-heavy query — before emitting the criterion series the
+//! regression gate baselines (`BENCH_exec.json`).
+//!
+//! The query ships the wide 2M-row `measurements` relation to `vdb`
+//! (placement pinned there so the big side is the foreign probe), joins
+//! it against 300k local vaccination events (×3 fan-out: the join output
+//! is ~6M rows, far past L3 when materialized at once) and folds it
+//! into an eight-group aggregate. Minima over interleaved runs are
+//! compared: scheduler noise on a single-core host only ever adds time,
+//! so the minimum isolates the structural cache effect.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use xdb_core::annotate::AnnotateOptions;
+use xdb_core::global::GlobalCatalog;
 use xdb_core::scenario::{self, ScenarioConfig};
 use xdb_core::{Xdb, XdbOptions};
+use xdb_engine::cluster::Cluster;
+use xdb_net::NodeId;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("exec_stream_overlap");
-    g.sample_size(15)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
+/// Transfer-heavy: all four `measurements` columns cross the wire and the
+/// consumer is a fused probe→gather→aggregate pipeline over the edge.
+const TRANSFER_HEAVY_QUERY: &str = "SELECT vn.v_id, avg(m.u_ml) AS avg_u_ml, \
+ min(m.mdate) AS first_m, max(m.id) AS max_id \
+ FROM measurements m, vaccination vn \
+ WHERE vn.c_id = m.c_id \
+ GROUP BY vn.v_id ORDER BY vn.v_id";
 
-    let (cluster, catalog) = scenario::build(ScenarioConfig {
-        citizens: 20_000,
-        vaccination_events: 40_000,
-        measurements: 120_000,
+fn build_env() -> (Cluster, GlobalCatalog) {
+    scenario::build(ScenarioConfig {
+        citizens: 100_000,
+        vaccination_events: 300_000,
+        measurements: 2_000_000,
         ..Default::default()
     })
-    .unwrap();
+    .unwrap()
+}
 
+fn make_xdb<'a>(cluster: &'a Cluster, catalog: &'a GlobalCatalog, chunk: usize) -> Xdb<'a> {
+    Xdb::new(cluster, catalog).with_options(XdbOptions {
+        stream_chunk_rows: chunk,
+        // Pin the cross-database operators to vdb so the *large* relation
+        // is the shipped probe side; cost-based placement would flip the
+        // plan into a small-edge shape that exercises nothing.
+        annotate: AnnotateOptions {
+            allowed_placements: Some(vec![NodeId::new("vdb")]),
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+}
+
+fn submit_ms(cluster: &Cluster, catalog: &GlobalCatalog, chunk: usize) -> f64 {
+    let xdb = make_xdb(cluster, catalog, chunk);
+    let t = Instant::now();
+    black_box(xdb.submit(TRANSFER_HEAVY_QUERY).unwrap());
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn minimum(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+fn overlap_minima(cluster: &Cluster, catalog: &GlobalCatalog, pairs: usize) -> (f64, f64) {
+    let mut unbounded = Vec::new();
+    let mut chunked = Vec::new();
+    for _ in 0..pairs {
+        unbounded.push(submit_ms(cluster, catalog, 0));
+        chunked.push(submit_ms(cluster, catalog, 4096));
+    }
+    (minimum(&unbounded), minimum(&chunked))
+}
+
+/// Interleaved A/B minima so clock drift and cache warmup hit both arms
+/// equally; panics unless the chunked edge is strictly faster. One wider
+/// re-measure guards against a pathological scheduling burst landing on
+/// the chunked arm — the final comparison is still a hard gate.
+fn assert_overlap(cluster: &Cluster, catalog: &GlobalCatalog) {
+    // Warmup: both paths touch every table and populate the codec cache.
+    submit_ms(cluster, catalog, 0);
+    submit_ms(cluster, catalog, 4096);
+    let (mut u, mut c) = overlap_minima(cluster, catalog, 6);
+    if c >= u {
+        eprintln!(
+            "exec_stream_overlap: first pass inconclusive \
+             (chunked {c:.2} ms >= unbounded {u:.2} ms), re-measuring"
+        );
+        (u, c) = overlap_minima(cluster, catalog, 10);
+    }
+    assert!(
+        c < u,
+        "no stream overlap: chunked min {c:.2} ms >= unbounded min {u:.2} ms"
+    );
+    eprintln!(
+        "exec_stream_overlap: chunked {c:.2} ms < unbounded {u:.2} ms ({:.2}x)",
+        u / c
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let (cluster, catalog) = build_env();
+    assert_overlap(&cluster, &catalog);
+
+    let mut g = c.benchmark_group("exec_stream_overlap");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
     for (name, chunk) in [
         ("edge_unbounded", 0usize),
         ("edge_chunk_4096", 4096),
         ("edge_chunk_256", 256),
     ] {
         g.bench_function(name, |b| {
-            let xdb = Xdb::new(&cluster, &catalog).with_options(XdbOptions {
-                stream_chunk_rows: chunk,
-                ..Default::default()
-            });
-            b.iter(|| xdb.submit(scenario::EXAMPLE_QUERY).unwrap())
+            let xdb = make_xdb(&cluster, &catalog, chunk);
+            b.iter(|| xdb.submit(TRANSFER_HEAVY_QUERY).unwrap())
         });
     }
-
     g.finish();
     black_box(());
 }

@@ -27,8 +27,10 @@ pub const EXEC_THRESHOLD_PCT: f64 = 50.0;
 pub const MONITOR_THRESHOLD_PCT: f64 = 0.5;
 /// Version of the monitor snapshot layout (`repro monitor --json`,
 /// `BENCH_monitor.json`). The gate rejects mismatched-version baselines
-/// instead of mis-parsing them.
-pub const MONITOR_SCHEMA_VERSION: u64 = 1;
+/// instead of mis-parsing them. v2 added the engine-link profile
+/// dimension (`onprem` / `geo`): rows carry a `"profile"` field and gate
+/// keys read `profile/query/deployment/metric`.
+pub const MONITOR_SCHEMA_VERSION: u64 = 2;
 
 /// One gated series.
 #[derive(Debug, Clone)]
@@ -257,11 +259,11 @@ mod tests {
 
     #[test]
     fn parses_monitor_snapshot_format() {
-        let text = r#"{"bench": "monitor", "schema_version": 1,
-            "values": {"Q3/xdb/p50_ms": 12.5, "Q3/xdb/mean_bytes": 1024}}"#;
+        let text = r#"{"bench": "monitor", "schema_version": 2,
+            "values": {"onprem/Q3/xdb/p50_ms": 12.5, "onprem/Q3/xdb/mean_bytes": 1024}}"#;
         let m = parse_monitor_snapshot(text).unwrap();
-        assert_eq!(m["Q3/xdb/p50_ms"], 12.5);
-        assert!(parse_monitor_snapshot(r#"{"schema_version": 1, "values": {}}"#).is_err());
+        assert_eq!(m["onprem/Q3/xdb/p50_ms"], 12.5);
+        assert!(parse_monitor_snapshot(r#"{"schema_version": 2, "values": {}}"#).is_err());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! `repro monitor` — the fleet workload monitor.
 //!
 //! Runs the six-query TPC-H workload N times under every deployment
-//! (XDB, Garlic, Presto-4, Sclera) against one TD1 federation and
-//! aggregates the fleet telemetry into per-query × per-deployment cells:
+//! (XDB, Garlic, Presto-4, Sclera) against a TD1 federation per
+//! engine-link profile (on-premise LAN and geo-distributed WAN) and
+//! aggregates the fleet telemetry into profile × query × deployment cells:
 //! latency quantiles (p50/p95/p99), bytes moved over the wire,
 //! consultation-cache hit rate, and the live-delegation-object high-water
 //! mark per engine. Three renderings: a text dashboard, a Prometheus text
@@ -29,9 +30,22 @@ use xdb_tpch::{ProfileAssignment, TableDist, TpchQuery};
 /// Deployment names, in dashboard order.
 pub const DEPLOYMENTS: [&str; 4] = ["xdb", "garlic", "presto4", "sclera"];
 
-/// One dashboard cell: a (query, deployment) pair aggregated over N runs.
+/// Engine-link profiles the monitor covers, in dashboard order. The
+/// on-premise LAN is the regime most of the reproduction runs in; the
+/// geo-distributed profile (high-latency / low-bandwidth WAN links, see
+/// [`Scenario::GeoDistributed`]) is transfer-bound, where the streamed
+/// morsel edges and the reactor matter most — keeping it in the gate
+/// baseline protects that regime from regressions.
+pub const PROFILES: [(&str, Scenario); 2] = [
+    ("onprem", Scenario::OnPremise),
+    ("geo", Scenario::GeoDistributed),
+];
+
+/// One dashboard cell: a (profile, query, deployment) triple aggregated
+/// over N runs.
 #[derive(Debug, Clone)]
 pub struct MonitorRow {
+    pub profile: &'static str,
     pub query: &'static str,
     pub deployment: &'static str,
     pub runs: u64,
@@ -77,84 +91,109 @@ pub fn run_monitor_with(
     runs: usize,
     telemetry: Option<Arc<Telemetry>>,
 ) -> Result<MonitorReport> {
-    let mut e = env(
-        TableDist::Td1,
-        sf,
-        Scenario::OnPremise,
-        &ProfileAssignment::uniform(EngineProfile::postgres()),
-    )?;
-    if let Some(t) = telemetry {
-        e.catalog.set_telemetry(Arc::clone(&t));
-        e.cluster.set_telemetry(t);
-    }
-    let fleet = Arc::clone(e.cluster.telemetry());
     let parallel = std::env::var_os("XDB_SEQUENTIAL").is_none();
     let registry = MetricRegistry::new();
-    for q in TpchQuery::ALL {
-        for dep in DEPLOYMENTS {
-            for _ in 0..runs {
-                // Bracket each run with catalog snapshots: the diff is the
-                // per-run consultation delta, immune to everything the
-                // workload did before.
-                let before = e.catalog.metrics_snapshot();
-                let (latency_ms, moved, encoded) = run_one(&e, dep, q.sql(), parallel)?;
-                let delta = e.catalog.metrics_snapshot().diff(&before);
-                let labels = [("query", q.name()), ("deployment", dep)];
-                registry.observe("monitor.latency_ms", &labels, latency_ms);
-                registry.observe("monitor.bytes_moved", &labels, moved as f64);
-                registry.observe("monitor.encoded_bytes_moved", &labels, encoded as f64);
-                registry.counter_add("monitor.runs", &labels, 1.0);
-                registry.counter_add(
-                    "monitor.cache_hits",
-                    &labels,
-                    delta.get("consult.cache_hits"),
-                );
-                registry.counter_add(
-                    "monitor.cache_misses",
-                    &labels,
-                    delta.get("consult.cache_misses"),
-                );
+    let mut envs = Vec::new();
+    let mut fleet = None;
+    for (pname, scenario) in PROFILES {
+        let mut e = env(
+            TableDist::Td1,
+            sf,
+            scenario,
+            &ProfileAssignment::uniform(EngineProfile::postgres()),
+        )?;
+        // All profile federations share one telemetry handle so the fleet
+        // rendering and the live-object high-water marks cover the whole
+        // workload (when no handle is passed in, every cluster already
+        // shares the process-global one).
+        if let Some(t) = &telemetry {
+            e.catalog.set_telemetry(Arc::clone(t));
+            e.cluster.set_telemetry(Arc::clone(t));
+        }
+        fleet.get_or_insert_with(|| Arc::clone(e.cluster.telemetry()));
+        envs.push((pname, e));
+    }
+    let fleet = fleet.expect("at least one monitor profile");
+    for (pname, e) in &envs {
+        for q in TpchQuery::ALL {
+            for dep in DEPLOYMENTS {
+                for _ in 0..runs {
+                    // Bracket each run with catalog snapshots: the diff is
+                    // the per-run consultation delta, immune to everything
+                    // the workload did before.
+                    let before = e.catalog.metrics_snapshot();
+                    let (latency_ms, moved, encoded) = run_one(e, dep, q.sql(), parallel)?;
+                    let delta = e.catalog.metrics_snapshot().diff(&before);
+                    let labels = [
+                        ("profile", *pname),
+                        ("query", q.name()),
+                        ("deployment", dep),
+                    ];
+                    registry.observe("monitor.latency_ms", &labels, latency_ms);
+                    registry.observe("monitor.bytes_moved", &labels, moved as f64);
+                    registry.observe("monitor.encoded_bytes_moved", &labels, encoded as f64);
+                    registry.counter_add("monitor.runs", &labels, 1.0);
+                    registry.counter_add(
+                        "monitor.cache_hits",
+                        &labels,
+                        delta.get("consult.cache_hits"),
+                    );
+                    registry.counter_add(
+                        "monitor.cache_misses",
+                        &labels,
+                        delta.get("consult.cache_misses"),
+                    );
+                }
             }
         }
     }
 
     let mut rows = Vec::new();
-    for q in TpchQuery::ALL {
-        for dep in DEPLOYMENTS {
-            let labels = [("query", q.name()), ("deployment", dep)];
-            let (p50, p95, p99, n) = match registry.get("monitor.latency_ms", &labels) {
-                Some(Metric::Histogram(h)) => (
-                    h.quantile(0.50),
-                    h.quantile(0.95),
-                    h.quantile(0.99),
-                    h.count,
-                ),
-                _ => (0.0, 0.0, 0.0, 0),
-            };
-            let mean_bytes = match registry.get("monitor.bytes_moved", &labels) {
-                Some(Metric::Histogram(h)) => h.mean(),
-                _ => 0.0,
-            };
-            let mean_encoded_bytes = match registry.get("monitor.encoded_bytes_moved", &labels) {
-                Some(Metric::Histogram(h)) => h.mean(),
-                _ => 0.0,
-            };
-            let hits = registry.value("monitor.cache_hits", &labels);
-            let probes = hits + registry.value("monitor.cache_misses", &labels);
-            rows.push(MonitorRow {
-                query: q.name(),
-                deployment: dep,
-                runs: n,
-                p50_ms: p50,
-                p95_ms: p95,
-                p99_ms: p99,
-                mean_bytes,
-                mean_encoded_bytes,
-                cache_hit_rate: if probes > 0.0 { hits / probes } else { 0.0 },
-            });
+    for (pname, _) in &envs {
+        for q in TpchQuery::ALL {
+            for dep in DEPLOYMENTS {
+                let labels = [
+                    ("profile", *pname),
+                    ("query", q.name()),
+                    ("deployment", dep),
+                ];
+                let (p50, p95, p99, n) = match registry.get("monitor.latency_ms", &labels) {
+                    Some(Metric::Histogram(h)) => (
+                        h.quantile(0.50),
+                        h.quantile(0.95),
+                        h.quantile(0.99),
+                        h.count,
+                    ),
+                    _ => (0.0, 0.0, 0.0, 0),
+                };
+                let mean_bytes = match registry.get("monitor.bytes_moved", &labels) {
+                    Some(Metric::Histogram(h)) => h.mean(),
+                    _ => 0.0,
+                };
+                let mean_encoded_bytes = match registry.get("monitor.encoded_bytes_moved", &labels)
+                {
+                    Some(Metric::Histogram(h)) => h.mean(),
+                    _ => 0.0,
+                };
+                let hits = registry.value("monitor.cache_hits", &labels);
+                let probes = hits + registry.value("monitor.cache_misses", &labels);
+                rows.push(MonitorRow {
+                    profile: pname,
+                    query: q.name(),
+                    deployment: dep,
+                    runs: n,
+                    p50_ms: p50,
+                    p95_ms: p95,
+                    p99_ms: p99,
+                    mean_bytes,
+                    mean_encoded_bytes,
+                    cache_hit_rate: if probes > 0.0 { hits / probes } else { 0.0 },
+                });
+            }
         }
     }
-    let mut objects_live_hwm: Vec<(String, f64)> = e
+    let mut objects_live_hwm: Vec<(String, f64)> = envs[0]
+        .1
         .cluster
         .node_names()
         .into_iter()
@@ -230,7 +269,8 @@ impl MonitorReport {
         );
         let _ = writeln!(
             out,
-            "{:<6} {:<10} {:>4} {:>12} {:>12} {:>12} {:>12} {:>10} {:>7} {:>10}",
+            "{:<7} {:<6} {:<10} {:>4} {:>12} {:>12} {:>12} {:>12} {:>10} {:>7} {:>10}",
+            "profile",
             "query",
             "deploy",
             "runs",
@@ -254,7 +294,8 @@ impl MonitorReport {
             enc_total += r.mean_encoded_bytes;
             let _ = writeln!(
                 out,
-                "{:<6} {:<10} {:>4} {:>12.3} {:>12.3} {:>12.3} {:>12.1} {:>10.1} {:>6.2}x {:>9.1}%",
+                "{:<7} {:<6} {:<10} {:>4} {:>12.3} {:>12.3} {:>12.3} {:>12.1} {:>10.1} {:>6.2}x {:>9.1}%",
+                r.profile,
                 r.query,
                 r.deployment,
                 r.runs,
@@ -295,17 +336,21 @@ impl MonitorReport {
     }
 
     /// Deterministic scalar values for the regression gate, keyed
-    /// `query/deployment/metric`.
+    /// `profile/query/deployment/metric` (schema v2; v1 had no profile
+    /// segment).
     pub fn flat_values(&self) -> BTreeMap<String, f64> {
         let mut v = BTreeMap::new();
         for r in &self.rows {
-            v.insert(format!("{}/{}/p50_ms", r.query, r.deployment), r.p50_ms);
             v.insert(
-                format!("{}/{}/mean_bytes", r.query, r.deployment),
+                format!("{}/{}/{}/p50_ms", r.profile, r.query, r.deployment),
+                r.p50_ms,
+            );
+            v.insert(
+                format!("{}/{}/{}/mean_bytes", r.profile, r.query, r.deployment),
                 r.mean_bytes,
             );
             v.insert(
-                format!("{}/{}/mean_enc_bytes", r.query, r.deployment),
+                format!("{}/{}/{}/mean_enc_bytes", r.profile, r.query, r.deployment),
                 r.mean_encoded_bytes,
             );
         }
@@ -343,9 +388,10 @@ impl MonitorReport {
         for (i, r) in self.rows.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "    {{\"query\": {}, \"deployment\": {}, \"runs\": {}, \
+                "    {{\"profile\": {}, \"query\": {}, \"deployment\": {}, \"runs\": {}, \
                  \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}, \
                  \"mean_bytes\": {}, \"mean_enc_bytes\": {}, \"cache_hit_rate\": {}}}{}",
+                json_string(r.profile),
                 json_string(r.query),
                 json_string(r.deployment),
                 r.runs,
@@ -399,7 +445,10 @@ mod tests {
     #[test]
     fn monitor_covers_all_cells() {
         let report = run_monitor_with(TEST_SF, 2, Some(Telemetry::new_handle())).unwrap();
-        assert_eq!(report.rows.len(), TpchQuery::ALL.len() * DEPLOYMENTS.len());
+        assert_eq!(
+            report.rows.len(),
+            PROFILES.len() * TpchQuery::ALL.len() * DEPLOYMENTS.len()
+        );
         for r in &report.rows {
             assert_eq!(r.runs, 2, "{}/{}", r.query, r.deployment);
             assert!(
@@ -438,6 +487,25 @@ mod tests {
             .map(|(_, h)| *h)
             .fold(0.0f64, f64::max);
         assert!(max_hwm > 0.0, "{:?}", report.objects_live_hwm);
+        // The WAN profile has to bite: every geo cell pays at least the
+        // latency of its on-premise twin (same data, slower links).
+        for geo in report.rows.iter().filter(|r| r.profile == "geo") {
+            let onprem = report
+                .rows
+                .iter()
+                .find(|r| {
+                    r.profile == "onprem" && r.query == geo.query && r.deployment == geo.deployment
+                })
+                .unwrap();
+            assert!(
+                geo.p50_ms >= onprem.p50_ms,
+                "{}/{}: geo p50 {} < onprem p50 {}",
+                geo.query,
+                geo.deployment,
+                geo.p50_ms,
+                onprem.p50_ms
+            );
+        }
     }
 
     #[test]
@@ -446,6 +514,9 @@ mod tests {
         let dash = report.render_dashboard();
         for dep in DEPLOYMENTS {
             assert!(dash.contains(dep), "{dash}");
+        }
+        for (pname, _) in PROFILES {
+            assert!(dash.contains(pname), "{dash}");
         }
         assert!(dash.contains("live delegation objects"), "{dash}");
 

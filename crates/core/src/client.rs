@@ -145,6 +145,14 @@ pub struct XdbOptions {
     /// ledgers, simulated timings, traces, and deterministic metric
     /// snapshots — only the quarantined `net.chunks` series moves.
     pub stream_chunk_rows: usize,
+    /// Morsel-reactor worker threads decoding streamed edges (0 disables
+    /// the reactor; consumers then stream inline on the calling thread).
+    /// Defaults from `XDB_REACTOR_THREADS` / `XDB_SEQUENTIAL` (see
+    /// [`xdb_net::reactor::default_threads`]). Any value yields
+    /// bit-identical results, ledgers, simulated timings, traces, and
+    /// deterministic metric snapshots — only the quarantined
+    /// `sched.reactor_*` series moves, and with it the wall clock.
+    pub reactor_threads: usize,
     /// Slow-query threshold in simulated ms: a query whose total time
     /// exceeds it gets a `Warn` event carrying its critical-path
     /// attribution. `None` disables the slow-query log. Defaults from
@@ -171,6 +179,7 @@ impl Default for XdbOptions {
             parallel_execution: true,
             trace_operators: false,
             stream_chunk_rows: xdb_engine::default_stream_chunk_rows(),
+            reactor_threads: xdb_net::reactor::default_threads(),
             slow_query_ms: default_slow_query_ms(),
         }
     }
@@ -539,6 +548,8 @@ impl<'a> Xdb<'a> {
         // per edge and stream at this granularity.
         self.cluster
             .set_stream_chunk_rows(self.options.stream_chunk_rows);
+        self.cluster
+            .set_reactor_threads(self.options.reactor_threads);
         let exec = if self.options.parallel_execution {
             run_script_parallel(self.cluster, &delegation, &script, &trace_ctx)
         } else {
@@ -568,8 +579,9 @@ impl<'a> Xdb<'a> {
             }
         };
         // The final result travels from the root DBMS to the client —
-        // through the same wire codec as every other edge.
-        let final_enc = wire::encode(outcome.relation.columns(), outcome.relation.len());
+        // priced through the same wire codec as every other edge (sizing
+        // only: the client holds the relation already).
+        let final_enc = wire::measure(outcome.relation.columns(), outcome.relation.len());
         self.cluster.ledger.record_wire(
             &script.root_node,
             &self.client_node,

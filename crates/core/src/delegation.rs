@@ -620,18 +620,50 @@ struct GroupRun {
     reports: Vec<ExecReport>,
 }
 
+/// Per-group result slot: outcome tag plus the run (or the error).
+type GroupSlot = std::sync::Mutex<Option<(GroupDone, Result<GroupRun>)>>;
+
+/// Outcome of one task group in the event-graph executor.
+enum GroupDone {
+    Ok,
+    Failed,
+    /// Not run because an ancestor failed.
+    Skipped,
+}
+
+/// Shared scheduler state of the event-graph executor (guarded by one
+/// mutex; the condvar wakes idle workers when groups become ready or the
+/// graph drains).
+struct EventSched {
+    /// Groups whose every dependency finished successfully, ready to run.
+    ready: std::collections::VecDeque<usize>,
+    /// Unfinished-dependency count per group.
+    indeg: Vec<usize>,
+    /// Group has a failed (or transitively skipped) ancestor.
+    tainted: Vec<bool>,
+    /// Groups not yet finished or skipped.
+    remaining: usize,
+}
+
 /// Deploy and execute a delegation script with independent tasks running
-/// concurrently.
+/// concurrently, driven by the dependency graph itself.
 ///
-/// Tasks are scheduled in dependency waves: a task's wave is one past the
-/// deepest of its producers, so by the time a group's thread starts, every
-/// relation its DDLs pull through already exists. Each group records
+/// Each contiguous script-order run of one task's steps is a *group*; a
+/// group fires the moment all its in-edges drain — every group of every
+/// producer task has finished, plus the task's own earlier groups — rather
+/// than waiting for a global wave barrier, so a deep chain on one branch
+/// no longer stalls independent shallow branches. Each group records
 /// transfers into a private scratch [`Ledger`] and reports the raw finish
-/// time of each materialization; after the last wave the scratch ledgers
-/// are absorbed in *script order* and the simulated timeline is replayed
-/// with the same `ready()` composition the sequential executor uses —
-/// making results, ledger contents, and simulated timings bit-identical to
-/// [`run_script`].
+/// time of each materialization; after the graph drains the scratch
+/// ledgers are absorbed in *script order* and the simulated timeline is
+/// replayed with the same `ready()` composition the sequential executor
+/// uses — making results, ledger contents, and simulated timings
+/// bit-identical to [`run_script`].
+///
+/// On failure every group without a failed ancestor still runs (the set of
+/// executed groups is a function of the graph, not of thread timing), the
+/// error of the lowest failing group in script order is returned, and only
+/// scratch ledgers of groups strictly before it are absorbed.
 pub fn run_script_parallel(
     cluster: &Cluster,
     plan: &DelegationPlan,
@@ -647,66 +679,127 @@ pub fn run_script_parallel(
         }
     }
 
-    // Dependency depth of each task: 1 + deepest producer (any movement —
-    // even an implicit consumer's DDLs may pull through the producer's
-    // view when a downstream materialization drains the pipeline).
-    let mut level: HashMap<usize, usize> = HashMap::new();
-    let mut max_level = 0usize;
-    for id in plan.topo_order() {
-        let l = plan
-            .in_edges(id)
-            .map(|e| level[&e.from])
-            .max()
-            .map_or(1, |m| m + 1);
-        max_level = max_level.max(l);
-        level.insert(id, l);
+    // Dependency edges between groups: a group waits for every group of
+    // every producer task (any movement — even an implicit consumer's
+    // DDLs may pull through the producer's view when a downstream
+    // materialization drains the pipeline), and for earlier groups of its
+    // own task (DDL order within a task is significant).
+    let producers: Vec<std::collections::HashSet<usize>> = groups
+        .iter()
+        .map(|(t, _)| plan.in_edges(*t).map(|e| e.from).collect())
+        .collect();
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); groups.len()];
+    let mut indeg = vec![0usize; groups.len()];
+    for (gi, (t, _)) in groups.iter().enumerate() {
+        for (gj, (u, _)) in groups.iter().enumerate() {
+            if gj != gi && (producers[gi].contains(u) || (gj < gi && u == t)) {
+                dependents[gj].push(gi);
+                indeg[gi] += 1;
+            }
+        }
     }
+
+    let sched = std::sync::Mutex::new(EventSched {
+        ready: (0..groups.len()).filter(|&gi| indeg[gi] == 0).collect(),
+        indeg,
+        tainted: vec![false; groups.len()],
+        remaining: groups.len(),
+    });
+    let wake = std::sync::Condvar::new();
+    let done: Vec<GroupSlot> = (0..groups.len())
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
+
+    // One group finished (or was skipped): release its dependents,
+    // propagating taint — a skipped group resolves its dependents in the
+    // same pass, so the graph always drains.
+    let resolve = |gi: usize, ok: bool, s: &mut EventSched| {
+        let mut stack = vec![(gi, ok)];
+        while let Some((g, ok)) = stack.pop() {
+            s.remaining -= 1;
+            for &d in &dependents[g] {
+                if !ok {
+                    s.tainted[d] = true;
+                }
+                s.indeg[d] -= 1;
+                if s.indeg[d] == 0 {
+                    if s.tainted[d] {
+                        *done[d].lock().unwrap() = Some((
+                            GroupDone::Skipped,
+                            Err(EngineError::Execution(
+                                "task group skipped: upstream group failed".into(),
+                            )),
+                        ));
+                        stack.push((d, false));
+                    } else {
+                        s.ready.push_back(d);
+                    }
+                }
+            }
+        }
+    };
+
+    let workers = groups
+        .len()
+        .min(
+            std::thread::available_parallelism()
+                .map_or(1, usize::from)
+                .max(2),
+        )
+        .max(1);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let gi = {
+                    let mut st = sched.lock().unwrap();
+                    loop {
+                        if let Some(gi) = st.ready.pop_front() {
+                            break gi;
+                        }
+                        if st.remaining == 0 {
+                            return;
+                        }
+                        st = wake.wait(st).unwrap();
+                    }
+                };
+                let steps = &groups[gi].1;
+                let run = (|| {
+                    let scoped = ScopedCluster::new(cluster);
+                    let mut reports = Vec::with_capacity(steps.len());
+                    for step in steps {
+                        let outcome = cluster.with_step_lock(step.node.as_str(), || {
+                            scoped.execute(step.node.as_str(), &step.sql)
+                        })?;
+                        reports.push(outcome.report);
+                    }
+                    Ok(GroupRun {
+                        ledger: scoped.ledger,
+                        reports,
+                    })
+                })();
+                let ok = run.is_ok();
+                *done[gi].lock().unwrap() =
+                    Some((if ok { GroupDone::Ok } else { GroupDone::Failed }, run));
+                let mut st = sched.lock().unwrap();
+                resolve(gi, ok, &mut st);
+                wake.notify_all();
+            });
+        }
+    });
 
     let mut runs: Vec<Option<GroupRun>> = Vec::new();
     runs.resize_with(groups.len(), || None);
     let mut failure: Option<(usize, EngineError)> = None;
-    'waves: for wave in 1..=max_level {
-        let wave_groups: Vec<usize> = (0..groups.len())
-            .filter(|gi| level[&groups[*gi].0] == wave)
-            .collect();
-        let results: Vec<(usize, Result<GroupRun>)> = std::thread::scope(|s| {
-            let handles: Vec<_> = wave_groups
-                .iter()
-                .map(|&gi| {
-                    let steps = &groups[gi].1;
-                    s.spawn(move || {
-                        let scoped = ScopedCluster::new(cluster);
-                        let mut reports = Vec::with_capacity(steps.len());
-                        for step in steps {
-                            let outcome = cluster.with_step_lock(step.node.as_str(), || {
-                                scoped.execute(step.node.as_str(), &step.sql)
-                            })?;
-                            reports.push(outcome.report);
-                        }
-                        Ok(GroupRun {
-                            ledger: scoped.ledger,
-                            reports,
-                        })
-                    })
-                })
-                .collect();
-            wave_groups
-                .iter()
-                .zip(handles)
-                .map(|(&gi, h)| (gi, h.join().expect("task group thread panicked")))
-                .collect()
-        });
-        for (gi, res) in results {
-            match res {
-                Ok(run) => runs[gi] = Some(run),
-                Err(e) => match &failure {
-                    Some((first, _)) if *first <= gi => {}
-                    _ => failure = Some((gi, e)),
-                },
-            }
-        }
-        if failure.is_some() {
-            break 'waves;
+    for (gi, slot) in done.iter().enumerate() {
+        let (state, run) = slot
+            .lock()
+            .unwrap()
+            .take()
+            .expect("event executor left a group unresolved");
+        match (state, run) {
+            (GroupDone::Ok, Ok(run)) => runs[gi] = Some(run),
+            (GroupDone::Failed, Err(e)) if failure.is_none() => failure = Some((gi, e)),
+            _ => {} // later failure, or skipped descendant of one
         }
     }
 

@@ -488,7 +488,7 @@ impl<'a> QueryServer<'a> {
                 .metrics
                 .counter_add("session.full_folds", &[], 1.0);
             let ledger_mark = cluster.ledger.len();
-            let enc = wire::encode(cached.relation.columns(), cached.relation.len());
+            let enc = wire::measure(cached.relation.columns(), cached.relation.len());
             cluster.ledger.record_wire(
                 &cached.root_node,
                 self.xdb.client_node(),
@@ -718,7 +718,7 @@ impl<'a> QueryServer<'a> {
         };
         let final_data = cluster.ledger.snapshot()[final_mark..].to_vec();
         let fr_mark = cluster.ledger.len();
-        let enc = wire::encode(exec.relation.columns(), exec.relation.len());
+        let enc = wire::measure(exec.relation.columns(), exec.relation.len());
         cluster.ledger.record_wire(
             &script.root_node,
             self.xdb.client_node(),

@@ -1,0 +1,223 @@
+//! Morsel-reactor determinism properties: for any TD1 query, turning the
+//! edge reactor on or off, changing the executor partition count, or
+//! changing the transport morsel size must leave every deterministic
+//! observable bit-identical — result rows, simulated breakdown, transfer
+//! ledger (raw and encoded bytes), canonical trace, and the deterministic
+//! telemetry snapshot. Only the wall clock and the quarantined
+//! `net.chunks` / `sched.reactor_*` series may move.
+//!
+//! Plus the crash property the bounded channels must uphold: a panicking
+//! worker poisons its edge window cleanly, waking both sides, instead of
+//! deadlocking waiters.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use xdb_core::{GlobalCatalog, Xdb, XdbOptions};
+use xdb_engine::profile::EngineProfile;
+use xdb_net::reactor::{EdgeChannel, PoisonGuard, Poisoned};
+use xdb_net::{reactor, NodeId, Scenario};
+use xdb_obs::Telemetry;
+use xdb_tpch::{build_cluster, ProfileAssignment, TableDist, TpchQuery};
+
+/// Name of the managed-cloud client node (mirrors the bench harness).
+const CLOUD: &str = "cloud";
+
+/// Query ids come from a process-global counter and their decimal width
+/// leaks into control-message byte counts; pairs under comparison are
+/// serialized and retried until both ids have the same width (same
+/// pattern as the streaming and telemetry tests).
+static SUBMIT_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
+/// Replace every decimal run after `xdb_q` / `"query":` with `N` so two
+/// runs with different global query ids compare equal byte-for-byte.
+fn normalize_ids(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        out.push(bytes[i] as char);
+        let here = &s[..=i];
+        if here.ends_with("xdb_q") || here.ends_with("\"query\":") {
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+            if j > i + 1 {
+                out.push('N');
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// One full TD1 submission under the given executor knobs; returns the
+/// query id and the complete observable fingerprint of the run.
+fn run(
+    q: TpchQuery,
+    reactor_threads: usize,
+    partitions: usize,
+    chunk: usize,
+    parallel: bool,
+) -> (u64, String) {
+    let mut cluster = build_cluster(
+        TableDist::Td1,
+        0.002,
+        Scenario::OnPremise,
+        &ProfileAssignment::uniform(EngineProfile::postgres()),
+    )
+    .unwrap();
+    cluster.topology.add_cloud_node(NodeId::new(CLOUD));
+    let telemetry = Telemetry::new_handle();
+    cluster.set_telemetry(Arc::clone(&telemetry));
+    cluster.set_exec_partitions(partitions);
+    let mut catalog = GlobalCatalog::discover(&cluster).unwrap();
+    catalog.set_telemetry(Arc::clone(&telemetry));
+    let xdb = Xdb::new(&cluster, &catalog)
+        .with_client_node(CLOUD)
+        .with_options(XdbOptions {
+            parallel_execution: parallel,
+            stream_chunk_rows: chunk,
+            reactor_threads,
+            ..Default::default()
+        });
+    let outcome = xdb.submit(q.sql()).unwrap();
+    let mut fp = String::new();
+    // Result rows, in order, every value bit-rendered.
+    for i in 0..outcome.relation.len() {
+        for c in 0..outcome.relation.width() {
+            fp.push_str(&format!("{:?}|", outcome.relation.value(i, c)));
+        }
+        fp.push('\n');
+    }
+    // Simulated timings.
+    fp.push_str(&format!("{:?}\n", outcome.breakdown));
+    // Ledger: every transfer, raw and encoded bytes included.
+    for t in cluster.ledger.snapshot() {
+        fp.push_str(&format!("{t:?}\n"));
+    }
+    // Trace and deterministic telemetry. The `exec.partitions` gauge is
+    // the config knob echoed back, so it is the one series allowed to
+    // differ across partition counts (same carve-out as the telemetry
+    // integration tests).
+    fp.push_str(&outcome.trace.canonical());
+    for line in telemetry.metrics.deterministic_snapshot().render().lines() {
+        if !line.starts_with("exec.partitions") {
+            fp.push_str(line);
+            fp.push('\n');
+        }
+    }
+    (outcome.query_id, normalize_ids(&fp))
+}
+
+/// Run the reference configuration and the sampled one back-to-back,
+/// retrying until both query ids render at the same decimal width.
+fn comparable_pair(
+    q: TpchQuery,
+    a: (usize, usize, usize, bool),
+    b: (usize, usize, usize, bool),
+) -> (String, String) {
+    let _guard = SUBMIT_LOCK.lock();
+    loop {
+        let (ida, fa) = run(q, a.0, a.1, a.2, a.3);
+        let (idb, fb) = run(q, b.0, b.1, b.2, b.3);
+        if ida.to_string().len() == idb.to_string().len() {
+            return (fa, fb);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn reactor_partitions_and_chunking_are_unobservable(
+        qi in 0usize..TpchQuery::ALL.len(),
+        rpick in 0usize..2,
+        ppick in 0usize..3,
+        cpick in 0usize..3,
+        parallel in any::<bool>(),
+    ) {
+        let q = TpchQuery::ALL[qi];
+        let reactor_threads = [0usize, 2][rpick];
+        let partitions = [1usize, 2, 8][ppick];
+        let chunk = [1usize, 4096, 0][cpick];
+        // Reference: reactor off, single partition, unbounded edges, the
+        // sequential executor — the plainest possible run.
+        let (reference, sampled) = comparable_pair(
+            q,
+            (0, 1, 0, false),
+            (reactor_threads, partitions, chunk, parallel),
+        );
+        prop_assert_eq!(
+            reference,
+            sampled,
+            "{} diverges at reactor={} partitions={} chunk={} parallel={}",
+            q.name(),
+            reactor_threads,
+            partitions,
+            chunk,
+            parallel
+        );
+    }
+}
+
+/// A worker that panics mid-edge must poison the window: the consumer
+/// blocked on the bounded channel wakes up with [`Poisoned`] instead of
+/// waiting forever for a close that will never come, and the pool thread
+/// survives to run later jobs.
+#[test]
+fn panicking_worker_poisons_window_cleanly() {
+    let chan = Arc::new(EdgeChannel::<u32>::new(2));
+    let prod = Arc::clone(&chan);
+    reactor::spawn(2, move || {
+        let _guard = PoisonGuard::new(Arc::clone(&prod));
+        prod.send(1).unwrap();
+        panic!("injected worker crash");
+        // guard dropped while armed -> poisons the edge
+    });
+    // Drain until the crash surfaces. Poisoning discards queued morsels
+    // by design (the edge is dead either way), so the consumer may see
+    // the first morsel or only the poison — but never a clean close and
+    // never a deadlock.
+    let mut drained = 0usize;
+    let outcome = loop {
+        match chan.recv() {
+            Ok(Some(_)) => drained += 1,
+            other => break other,
+        }
+    };
+    assert_eq!(outcome, Err(Poisoned), "drained {drained} morsels");
+    assert!(chan.is_poisoned());
+
+    // The pool thread survived the panic: a follow-up job still runs.
+    let after = Arc::new(EdgeChannel::<u32>::new(1));
+    let prod = Arc::clone(&after);
+    reactor::spawn(2, move || {
+        let guard = PoisonGuard::new(Arc::clone(&prod));
+        prod.send(7).unwrap();
+        prod.close();
+        guard.defuse();
+    });
+    assert_eq!(after.recv(), Ok(Some(7)));
+    assert_eq!(after.recv(), Ok(None));
+}
+
+/// The other side of the crash contract: a producer blocked on a full
+/// bounded channel is woken by poison instead of deadlocking against a
+/// consumer that died.
+#[test]
+fn poison_wakes_blocked_sender() {
+    let chan = Arc::new(EdgeChannel::<u32>::new(1));
+    chan.send(0).unwrap(); // ring is now full
+    let sender = {
+        let chan = Arc::clone(&chan);
+        std::thread::spawn(move || chan.send(1))
+    };
+    // Give the sender time to block on the full ring, then crash the
+    // consumer side the way a panicking drain loop would.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    PoisonGuard::new(Arc::clone(&chan)); // dropped armed immediately
+    assert_eq!(sender.join().unwrap(), Err(Poisoned));
+}

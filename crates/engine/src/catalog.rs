@@ -7,6 +7,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use xdb_sql::ast::{ColumnDef, ObjectKind, SelectStmt};
 use xdb_sql::bind::{ResolvedRelation, SchemaProvider};
+use xdb_sql::column::{Column, TypedCol};
+use xdb_sql::hash::FastSet;
 use xdb_sql::stats::{ColumnStats, StatsProvider};
 use xdb_sql::value::{DataType, Value};
 
@@ -278,35 +280,95 @@ impl StatsProvider for Catalog {
 /// Compute row count, per-column distinct counts, and min/max. One pass
 /// per column over the typed vectors (values are cheap to clone: strings
 /// are `Arc`-shared).
-pub fn compute_stats(rel: &Relation) -> TableStats {
-    let mut columns = HashMap::with_capacity(rel.width());
-    for ((name, _), col) in rel.fields.iter().zip(rel.columns()) {
-        let mut distinct: std::collections::HashSet<Value> =
-            std::collections::HashSet::with_capacity(1024);
-        let mut min: Option<Value> = None;
-        let mut max: Option<Value> = None;
-        for v in col.iter() {
-            if v.is_null() {
-                continue;
-            }
-            match &min {
-                Some(m) if v.total_cmp(m) != std::cmp::Ordering::Less => {}
-                _ => min = Some(v.clone()),
-            }
-            match &max {
-                Some(m) if v.total_cmp(m) != std::cmp::Ordering::Greater => {}
-                _ => max = Some(v.clone()),
-            }
-            distinct.insert(v);
+/// min / max / n_distinct of one typed column, entirely on the native
+/// representation. `cmp` must match `Value::total_cmp` restricted to two
+/// non-null values of this type; `key` must map equal-by-`Value::eq` values
+/// to equal keys and distinct ones to distinct keys (so the set size equals
+/// the `HashSet<Value>` size the generic path would produce).
+fn typed_stats<T, K: std::hash::Hash + Eq>(
+    col: &TypedCol<T>,
+    cmp: impl Fn(&T, &T) -> std::cmp::Ordering,
+    key: impl Fn(&T) -> K,
+    wrap: impl Fn(&T) -> Value,
+) -> ColumnStats {
+    let mut distinct: FastSet<K> = FastSet::default();
+    let mut min: Option<&T> = None;
+    let mut max: Option<&T> = None;
+    let dense = col.nulls.none_set();
+    for (i, v) in col.data.iter().enumerate() {
+        if !dense && col.nulls.get(i) {
+            continue;
         }
-        columns.insert(
-            name.to_ascii_lowercase(),
+        match min {
+            Some(m) if cmp(v, m) != std::cmp::Ordering::Less => {}
+            _ => min = Some(v),
+        }
+        match max {
+            Some(m) if cmp(v, m) != std::cmp::Ordering::Greater => {}
+            _ => max = Some(v),
+        }
+        distinct.insert(key(v));
+    }
+    ColumnStats {
+        n_distinct: distinct.len() as f64,
+        min: min.map(&wrap),
+        max: max.map(&wrap),
+    }
+}
+
+fn column_stats(col: &Column) -> ColumnStats {
+    match col {
+        Column::Int(c) => typed_stats(c, |a, b| a.cmp(b), |v| *v, |v| Value::Int(*v)),
+        // Float total_cmp: partial_cmp, with the NaN case degrading to the
+        // type-tag tie (Equal); equality and hence distinctness is by bits.
+        Column::Float(c) => typed_stats(
+            c,
+            |a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal),
+            |v| v.to_bits(),
+            |v| Value::Float(*v),
+        ),
+        Column::Str(c) => typed_stats(
+            c,
+            |a, b| a.as_ref().cmp(b.as_ref()),
+            Arc::clone,
+            |v| Value::Str(Arc::clone(v)),
+        ),
+        Column::Date(c) => typed_stats(c, |a, b| a.cmp(b), |v| *v, |v| Value::Date(*v)),
+        Column::Bool(c) => typed_stats(c, |a, b| a.cmp(b), |v| *v, |v| Value::Bool(*v)),
+        Column::Mixed(_) => {
+            // Heterogeneous values: keep the general Value-based path (the
+            // cross-type Int/Float equality rules live in `Value::eq`).
+            let mut distinct: std::collections::HashSet<Value> =
+                std::collections::HashSet::with_capacity(1024);
+            let mut min: Option<Value> = None;
+            let mut max: Option<Value> = None;
+            for v in col.iter() {
+                if v.is_null() {
+                    continue;
+                }
+                match &min {
+                    Some(m) if v.total_cmp(m) != std::cmp::Ordering::Less => {}
+                    _ => min = Some(v.clone()),
+                }
+                match &max {
+                    Some(m) if v.total_cmp(m) != std::cmp::Ordering::Greater => {}
+                    _ => max = Some(v.clone()),
+                }
+                distinct.insert(v);
+            }
             ColumnStats {
                 n_distinct: distinct.len() as f64,
                 min,
                 max,
-            },
-        );
+            }
+        }
+    }
+}
+
+pub fn compute_stats(rel: &Relation) -> TableStats {
+    let mut columns = HashMap::with_capacity(rel.width());
+    for ((name, _), col) in rel.fields.iter().zip(rel.columns()) {
+        columns.insert(name.to_ascii_lowercase(), column_stats(col));
     }
     TableStats {
         row_count: rel.len() as f64,

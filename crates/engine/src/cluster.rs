@@ -7,7 +7,8 @@
 //! Section V, including the recursive trickle-down execution of Figure 8.
 
 use crate::engine::{
-    Engine, ExecReport, FetchReply, FetchRequest, Remote, StatementOutcome, MAX_FETCH_DEPTH,
+    Engine, ExecReport, FetchReply, FetchRequest, FetchStreamReply, MorselSink, Remote,
+    StatementOutcome, MAX_FETCH_DEPTH,
 };
 use crate::error::{EngineError, Result};
 use crate::profile::EngineProfile;
@@ -15,8 +16,8 @@ use crate::relation::Relation;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
-use xdb_net::{wire, Ledger, NodeId, Topology};
-use xdb_obs::Telemetry;
+use xdb_net::{reactor, wire, Ledger, NodeId, Topology};
+use xdb_obs::{ExecProfile, Telemetry};
 
 /// A set of named engines plus network fabric and transfer accounting.
 pub struct Cluster {
@@ -152,15 +153,11 @@ impl Cluster {
         Ok(last)
     }
 
-    /// Shared fetch body: execute the producer-side scan, record the
-    /// transfer into `ledger`, and pass `remote` down so nested
-    /// foreign-table scans recurse through the same accounting context.
-    fn fetch_with(
-        &self,
-        request: FetchRequest<'_>,
-        remote: &dyn Remote,
-        ledger: &Ledger,
-    ) -> Result<FetchReply> {
+    /// Producer half shared by [`Cluster::fetch_with`] and
+    /// [`Cluster::fetch_stream_with`]: execute the producer-side scan and
+    /// derive (or reuse) the edge's codec state. Everything past this
+    /// point differs only in *how* the decoded rows reach the consumer.
+    fn produce_edge(&self, request: &FetchRequest<'_>, remote: &dyn Remote) -> Result<EdgeSource> {
         if request.depth > MAX_FETCH_DEPTH {
             return Err(EngineError::Remote(
                 "maximum cross-engine recursion depth exceeded".into(),
@@ -175,14 +172,13 @@ impl Cluster {
         let relation = outcome
             .relation
             .ok_or_else(|| EngineError::Remote("fetch produced no relation".into()))?;
-        let bytes = relation.wire_bytes();
         // Every edge really goes through the wire codec: encode once at
         // the producer (codec state spans the whole edge, so the encoded
         // size is chunk-invariant), then stream-decode at transport
-        // granularity on the consumer side. The decoded relation — not
-        // the producer's — is what flows on, so codec correctness is
+        // granularity on the consumer side. The decoded rows — not the
+        // producer's — are what flow on, so codec correctness is
         // load-bearing for every query result.
-        let chunk_rows = producer.stream_chunk_rows();
+        //
         // Within one query the same relation often feeds several edges
         // (fan-out consumers, repeated foreign scans). The encoded frame —
         // string dictionaries included — is a pure function of the
@@ -213,30 +209,167 @@ impl Cluster {
                 enc
             }
         };
-        let stats = encoded.stats(chunk_rows);
-        let columns = wire::decode_chunked(&encoded, chunk_rows);
-        let relation = Relation::from_columns(relation.fields.clone(), columns, relation.len());
+        Ok(EdgeSource {
+            producer: Arc::clone(producer),
+            bytes: relation.wire_bytes(),
+            fields: relation.fields.clone(),
+            nrows: relation.len(),
+            encoded,
+            chunk_rows: producer.stream_chunk_rows(),
+            producer_finish_ms: outcome.report.finish_ms,
+            producer_profile: outcome.report.profile,
+        })
+    }
+
+    /// Consumer half shared by both fetch flavors: record the transfer
+    /// into `ledger` and price it on the simulated clock. Call order
+    /// relative to the producer scan is identical in both flavors, so the
+    /// ledger record sequence never depends on how the edge streamed.
+    fn account_edge(
+        &self,
+        request: &FetchRequest<'_>,
+        src: &EdgeSource,
+        stats: &wire::WireStats,
+        ledger: &Ledger,
+    ) -> f64 {
         ledger.record_wire(
-            &producer.node,
+            &src.producer.node,
             &request.consumer,
-            bytes,
-            relation.len() as u64,
+            src.bytes,
+            src.nrows as u64,
             request.purpose,
-            &stats,
+            stats,
         );
         // The simulated transfer pays for encoded bytes — compression is
         // what the streaming plane buys.
-        let transfer_ms = self.topology.transfer_ms(
-            &producer.node,
+        self.topology.transfer_ms(
+            &src.producer.node,
             &request.consumer,
             stats.encoded_bytes,
             request.protocol_overhead,
-        );
+        )
+    }
+
+    /// Shared fetch body: execute the producer-side scan, record the
+    /// transfer into `ledger`, and pass `remote` down so nested
+    /// foreign-table scans recurse through the same accounting context.
+    fn fetch_with(
+        &self,
+        request: FetchRequest<'_>,
+        remote: &dyn Remote,
+        ledger: &Ledger,
+    ) -> Result<FetchReply> {
+        let src = self.produce_edge(&request, remote)?;
+        let stats = src.encoded.stats(src.chunk_rows);
+        let columns = wire::decode_chunked(&src.encoded, src.chunk_rows);
+        let relation = Relation::from_columns(src.fields.clone(), columns, src.nrows);
+        let transfer_ms = self.account_edge(&request, &src, &stats, ledger);
         Ok(FetchReply {
             relation,
-            producer_finish_ms: outcome.report.finish_ms,
+            producer_finish_ms: src.producer_finish_ms,
             transfer_ms,
-            producer_profile: outcome.report.profile,
+            producer_profile: src.producer_profile,
+        })
+    }
+
+    /// Streamed fetch body: identical producer scan, codec state, ledger
+    /// record, and simulated timing as [`Cluster::fetch_with`], but the
+    /// decoded rows reach `on_morsel` one transport chunk at a time. With
+    /// reactor workers available the decode runs ahead on the pool behind
+    /// a bounded channel, overlapping with the consumer's compute; with
+    /// none (or a single-chunk edge) it runs inline. Both paths deliver
+    /// the exact same morsel sequence.
+    fn fetch_stream_with(
+        &self,
+        request: FetchRequest<'_>,
+        remote: &dyn Remote,
+        ledger: &Ledger,
+        on_morsel: &mut MorselSink<'_>,
+    ) -> Result<FetchStreamReply> {
+        let src = self.produce_edge(&request, remote)?;
+        let stats = src.encoded.stats(src.chunk_rows);
+        let step = if src.chunk_rows == 0 {
+            src.nrows
+        } else {
+            src.chunk_rows
+        };
+        let threads = src.producer.reactor_threads();
+        if src.nrows == 0 {
+            // Zero-row edges ship no morsels; the consumer builds its
+            // empty relation from the reply's schema.
+        } else if threads > 0 && src.nrows > step {
+            // Reactor path: a pool worker decodes morsels ahead of the
+            // consumer through a bounded channel. Wall-clock only — the
+            // morsel sequence is the inline one by construction.
+            self.telemetry
+                .metrics
+                .counter_add("sched.reactor_edges", &[], 1.0);
+            let chan = Arc::new(reactor::EdgeChannel::<Relation>::new(
+                reactor::EDGE_CHANNEL_CAPACITY,
+            ));
+            let tx = Arc::clone(&chan);
+            let enc = Arc::clone(&src.encoded);
+            let fields = src.fields.clone();
+            reactor::spawn(threads, move || {
+                let guard = reactor::PoisonGuard::new(Arc::clone(&tx));
+                let mut dec = wire::StreamDecoder::with_morsel_capacity(&enc, step);
+                while dec.remaining() > 0 {
+                    let k = step.min(dec.remaining());
+                    let cols = dec.take_columns(step);
+                    if tx
+                        .send(Relation::from_columns(fields.clone(), cols, k))
+                        .is_err()
+                    {
+                        // The consumer bailed out (its guard poisoned the
+                        // channel): abandon the stream, nothing to clean.
+                        guard.defuse();
+                        return;
+                    }
+                }
+                tx.close();
+                guard.defuse();
+            });
+            let guard = reactor::PoisonGuard::new(Arc::clone(&chan));
+            let mut morsels = 0u64;
+            loop {
+                match chan.recv() {
+                    // An `on_morsel` error returns here with the guard
+                    // still armed, poisoning the channel so the decode
+                    // worker unblocks instead of waiting on a full ring.
+                    Ok(Some(rel)) => {
+                        morsels += 1;
+                        on_morsel(&rel)?;
+                    }
+                    Ok(None) => break,
+                    Err(reactor::Poisoned) => {
+                        guard.defuse();
+                        return Err(EngineError::Execution(
+                            "edge reactor worker panicked mid-stream".into(),
+                        ));
+                    }
+                }
+            }
+            guard.defuse();
+            self.telemetry
+                .metrics
+                .counter_add("sched.reactor_morsels", &[], morsels as f64);
+        } else {
+            // Inline path: decode each morsel on the consuming thread,
+            // still fused with consumption (no whole-edge intermediate).
+            let mut dec = wire::StreamDecoder::with_morsel_capacity(&src.encoded, step);
+            while dec.remaining() > 0 {
+                let k = step.min(dec.remaining());
+                let cols = dec.take_columns(step);
+                on_morsel(&Relation::from_columns(src.fields.clone(), cols, k))?;
+            }
+        }
+        let transfer_ms = self.account_edge(&request, &src, &stats, ledger);
+        Ok(FetchStreamReply {
+            fields: src.fields,
+            nrows: src.nrows,
+            producer_finish_ms: src.producer_finish_ms,
+            transfer_ms,
+            producer_profile: src.producer_profile,
         })
     }
 
@@ -263,11 +396,43 @@ impl Cluster {
             engine.set_stream_chunk_rows(rows);
         }
     }
+
+    /// Set the edge-reactor worker budget on every engine (0 = off,
+    /// morsels decode inline). Results, ledgers and simulated timings are
+    /// bit-identical at any setting.
+    pub fn set_reactor_threads(&self, n: usize) {
+        for engine in self.engines.values() {
+            engine.set_reactor_threads(n);
+        }
+    }
+}
+
+/// Producer-side state of one edge, shared by the materializing and the
+/// streaming fetch paths.
+struct EdgeSource {
+    producer: Arc<Engine>,
+    /// Uncompressed wire bytes of the producer relation (ledger's raw
+    /// byte model).
+    bytes: u64,
+    fields: Vec<(String, xdb_sql::value::DataType)>,
+    nrows: usize,
+    encoded: Arc<wire::Encoded>,
+    chunk_rows: usize,
+    producer_finish_ms: f64,
+    producer_profile: Option<Box<ExecProfile>>,
 }
 
 impl Remote for Cluster {
     fn fetch(&self, request: FetchRequest<'_>) -> Result<FetchReply> {
         self.fetch_with(request, self, &self.ledger)
+    }
+
+    fn fetch_stream(
+        &self,
+        request: FetchRequest<'_>,
+        on_morsel: &mut MorselSink<'_>,
+    ) -> Result<FetchStreamReply> {
+        self.fetch_stream_with(request, self, &self.ledger, on_morsel)
     }
 }
 
@@ -308,6 +473,15 @@ impl Remote for ScopedCluster<'_> {
         // Pass `self` down, not the cluster: nested fetches triggered by
         // this scope's statements must also record into the scratch ledger.
         self.cluster.fetch_with(request, self, &self.ledger)
+    }
+
+    fn fetch_stream(
+        &self,
+        request: FetchRequest<'_>,
+        on_morsel: &mut MorselSink<'_>,
+    ) -> Result<FetchStreamReply> {
+        self.cluster
+            .fetch_stream_with(request, self, &self.ledger, on_morsel)
     }
 }
 

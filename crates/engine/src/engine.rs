@@ -10,8 +10,8 @@
 use crate::catalog::{Catalog, CatalogEntry};
 use crate::error::{EngineError, Result};
 use crate::exec::{
-    project_columns_owned, project_columns_shared, ExecRel, Execution, ScanOutput, ScanResolver,
-    Scratch,
+    project_columns, project_columns_owned, project_columns_shared, ExecRel, Execution, ScanOutput,
+    ScanResolver, Scratch, StreamedScan,
 };
 use crate::profile::EngineProfile;
 use crate::relation::Relation;
@@ -84,11 +84,54 @@ pub struct FetchReply {
     pub producer_profile: Option<Box<ExecProfile>>,
 }
 
+/// Reply metadata of a streamed fetch: everything [`FetchReply`] carries
+/// except the relation itself, which was already delivered morsel by
+/// morsel to the consumer's callback.
+pub struct FetchStreamReply {
+    /// Schema of the streamed edge (every morsel shares it).
+    pub fields: Vec<(String, DataType)>,
+    /// Total rows delivered across all morsels.
+    pub nrows: usize,
+    pub producer_finish_ms: f64,
+    pub transfer_ms: f64,
+    /// Execution profile of the producer side, when operator tracing is on.
+    pub producer_profile: Option<Box<ExecProfile>>,
+}
+
+/// Consumer-side morsel sink for a streamed fetch. Returning an error
+/// cancels the edge (the producer side unblocks and abandons the stream).
+pub type MorselSink<'a> = dyn FnMut(&Relation) -> Result<()> + 'a;
+
 /// Something that can execute remote fetches on behalf of an engine — in
 /// practice the [`crate::cluster::Cluster`]. Kept as a trait so engines can
 /// run standalone and so tests can inject failures.
 pub trait Remote {
     fn fetch(&self, request: FetchRequest<'_>) -> Result<FetchReply>;
+
+    /// Fetch a relation as a morsel stream: `on_morsel` observes every
+    /// transport chunk in edge order, and the reply carries only
+    /// metadata. Byte accounting, simulated timings, and the
+    /// concatenation of the morsels are bit-identical to [`Remote::fetch`];
+    /// what changes is wall-clock shape (decode and consumer compute can
+    /// overlap under the reactor). The default delivers the whole
+    /// relation as a single morsel.
+    fn fetch_stream(
+        &self,
+        request: FetchRequest<'_>,
+        on_morsel: &mut MorselSink<'_>,
+    ) -> Result<FetchStreamReply> {
+        let reply = self.fetch(request)?;
+        if !reply.relation.is_empty() {
+            on_morsel(&reply.relation)?;
+        }
+        Ok(FetchStreamReply {
+            fields: reply.relation.fields.clone(),
+            nrows: reply.relation.len(),
+            producer_finish_ms: reply.producer_finish_ms,
+            transfer_ms: reply.transfer_ms,
+            producer_profile: reply.producer_profile,
+        })
+    }
 }
 
 /// A `Remote` that refuses all fetches (standalone engines).
@@ -128,6 +171,11 @@ pub struct Engine {
     /// ledgers, and simulated timings — only the quarantined `net.chunks`
     /// metric (and wall-clock overlap) changes.
     stream_chunk_rows: AtomicUsize,
+    /// Reactor worker budget for streamed edges; 0 disables the reactor
+    /// (morsels decode inline on the consuming thread). Like the other
+    /// two knobs, any value yields bit-identical observables — the
+    /// reactor only moves wall-clock decode work onto pool threads.
+    reactor_threads: AtomicUsize,
     /// Reusable per-query executor scratch (hash tables, chain buffers).
     /// Executions pop one on entry and push it back after the run, so
     /// steady-state queries stop reallocating their largest structures.
@@ -159,6 +207,7 @@ impl Engine {
             trace_ops: AtomicBool::new(false),
             exec_partitions: AtomicUsize::new(default_exec_partitions()),
             stream_chunk_rows: AtomicUsize::new(default_stream_chunk_rows()),
+            reactor_threads: AtomicUsize::new(xdb_net::reactor::default_threads()),
             scratch_pool: Mutex::new(Vec::new()),
             telemetry: RwLock::new(Arc::clone(xdb_obs::telemetry::global())),
         };
@@ -193,6 +242,11 @@ impl Engine {
             "sched.stream_chunk_rows",
             &labels,
             self.stream_chunk_rows() as f64,
+        );
+        self.telemetry().metrics.gauge_set(
+            "sched.reactor_threads",
+            &labels,
+            self.reactor_threads() as f64,
         );
     }
 
@@ -244,6 +298,18 @@ impl Engine {
     /// Current transport morsel size (rows); 0 = unbounded.
     pub fn stream_chunk_rows(&self) -> usize {
         self.stream_chunk_rows.load(Ordering::Acquire)
+    }
+
+    /// Set the reactor worker budget for streamed edges (0 = off, decode
+    /// inline). Never changes results, ledgers, or simulated timings.
+    pub fn set_reactor_threads(&self, n: usize) {
+        self.reactor_threads.store(n, Ordering::Release);
+        self.publish_partitions_gauge();
+    }
+
+    /// Current reactor worker budget; 0 = reactor off.
+    pub fn reactor_threads(&self) -> usize {
+        self.reactor_threads.load(Ordering::Acquire)
     }
 
     /// Run read-only catalog access.
@@ -404,10 +470,10 @@ impl Engine {
                 let import_ms = rel.len() as f64 * self.profile.write_cost_ms;
                 report.work_ms += import_ms;
                 report.finish_ms += import_ms;
-                // Stream the result into the table in transport-sized
-                // morsels; `rechunk` preserves the layout exactly, so the
-                // stored table is bit-identical at every chunk size.
-                let rel = rel.rechunk(self.stream_chunk_rows());
+                // The result already arrived morsel-wise over the streamed
+                // edge; store it as-is. (A simulated per-chunk re-copy via
+                // `rechunk` produced bit-identical tables at every chunk
+                // size — and therefore only cost wall clock.)
                 self.with_catalog_mut_for(name, |c| c.create_table_from(name, rel))?;
                 self.note_ddl("create_table_as");
                 Ok(StatementOutcome {
@@ -476,6 +542,7 @@ impl Engine {
         let engine_label = [("engine", self.node.as_str())];
         let mut exec = Execution::new(&resolver);
         exec.partitions = self.exec_partitions();
+        exec.reactor_threads = self.reactor_threads();
         // Scratch reuse depends on how concurrent executions interleave on
         // the shared pool, so these counters live under the reserved
         // `sched.` prefix (excluded from determinism comparisons).
@@ -676,6 +743,61 @@ impl ScanResolver for EngineResolver<'_> {
                 "unknown relation {relation:?}"
             ))),
         }
+    }
+
+    /// Only foreign tables stream (see `scan_stream`); the executor uses
+    /// this to commit to a streamed pipeline before running anything.
+    fn streams(&self, relation: &str) -> bool {
+        matches!(
+            self.snapshot.get(relation),
+            Some(CatalogEntry::ForeignTable { .. })
+        )
+    }
+
+    /// Only foreign tables stream: their rows arrive over a decoded wire
+    /// edge with natural chunk boundaries. Local tables stay on the
+    /// materialized path, which hands out `Arc`s without copying a row.
+    fn scan_stream(
+        &self,
+        relation: &str,
+        wanted: &[(String, DataType)],
+        on_morsel: &mut MorselSink<'_>,
+    ) -> Result<Option<StreamedScan>> {
+        let Some(CatalogEntry::ForeignTable {
+            server,
+            remote_name,
+            ..
+        }) = self.snapshot.get(relation)
+        else {
+            return Ok(None);
+        };
+        let mut sink = |m: &Relation| -> Result<()> {
+            let projected = project_columns(m, wanted)?;
+            on_morsel(&projected)
+        };
+        let reply = self.remote.fetch_stream(
+            FetchRequest {
+                server,
+                relation: remote_name,
+                consumer: self.engine.node.clone(),
+                protocol_overhead: self.engine.profile.protocol_overhead,
+                purpose: self.purpose,
+                depth: self.depth + 1,
+            },
+            &mut sink,
+        )?;
+        self.foreign_rows
+            .set(self.foreign_rows.get() + reply.nrows as u64);
+        Ok(Some(StreamedScan {
+            nrows: reply.nrows,
+            edge: Some(EdgeTiming {
+                producer_finish_ms: reply.producer_finish_ms,
+                transfer_ms: reply.transfer_ms,
+                import_ms: 0.0,
+                movement: Movement::Implicit,
+            }),
+            remote: reply.producer_profile,
+        }))
     }
 }
 

@@ -14,6 +14,7 @@
 //! output row order, float accumulation order, work units and traces are
 //! bit-identical to the sequential plan.
 
+use crate::engine::MorselSink;
 use crate::error::{EngineError, Result};
 use crate::expr::{compile, PhysExpr};
 use crate::relation::Relation;
@@ -24,7 +25,7 @@ use std::hash::{BuildHasher, Hash};
 use std::sync::Arc;
 use xdb_net::EdgeTiming;
 use xdb_obs::{ExecProfile, OpStat};
-use xdb_sql::algebra::{aggregate_schema, AggCall, AggFunc, LogicalPlan};
+use xdb_sql::algebra::{aggregate_schema, AggCall, AggFunc, LogicalPlan, PlanSchema};
 use xdb_sql::column::{Column, ColumnBuilder, TypedCol};
 use xdb_sql::value::{DataType, Value};
 
@@ -95,10 +96,43 @@ pub struct ScanOutput {
     pub remote: Option<Box<ExecProfile>>,
 }
 
+/// Metadata for a scan whose rows were delivered morsel-by-morsel through
+/// a [`MorselSink`] instead of as one materialized relation.
+pub struct StreamedScan {
+    /// Total rows delivered across all morsels.
+    pub nrows: usize,
+    /// Timing edge of the remote producer (see [`ScanOutput::edge`]).
+    pub edge: Option<EdgeTiming>,
+    /// Remote producer profile (see [`ScanOutput::remote`]).
+    pub remote: Option<Box<ExecProfile>>,
+}
+
 /// Resolves leaf relations (base tables, foreign tables, placeholders).
 pub trait ScanResolver {
     /// Fetch `relation` projected to `wanted` columns (order significant).
     fn scan(&self, relation: &str, wanted: &[(String, DataType)]) -> Result<ScanOutput>;
+
+    /// Whether [`ScanResolver::scan_stream`] would stream this relation.
+    /// Must be side-effect free: the executor consults it *before*
+    /// committing to a streamed operator pipeline, so that plans without a
+    /// streamable leaf keep their exact materialized execution order.
+    fn streams(&self, _relation: &str) -> bool {
+        false
+    }
+
+    /// Stream `relation` (projected to `wanted`) into `on_morsel` one
+    /// decoded chunk at a time, never materializing the full relation in
+    /// the resolver. Resolvers without a streaming path (local tables,
+    /// placeholders) return `Ok(None)` without touching the sink and the
+    /// executor falls back to [`ScanResolver::scan`].
+    fn scan_stream(
+        &self,
+        _relation: &str,
+        _wanted: &[(String, DataType)],
+        _on_morsel: &mut MorselSink<'_>,
+    ) -> Result<Option<StreamedScan>> {
+        Ok(None)
+    }
 }
 
 /// Reusable per-query allocations: join hash tables and chain buffers keep
@@ -132,6 +166,11 @@ pub struct Execution<'a> {
     /// 1 (the default) keeps execution fully sequential; any value produces
     /// bit-identical results.
     pub partitions: usize,
+    /// Reactor worker threads decoding streamed edges (0 = no reactor).
+    /// Only gates paths whose observables are identical either way — e.g.
+    /// the streamed join-build concat, which costs an extra copy unless
+    /// decode genuinely runs on another thread.
+    pub reactor_threads: usize,
     /// Reusable hash tables and buffers (see [`Scratch`]).
     pub scratch: Scratch,
 }
@@ -146,6 +185,7 @@ impl<'a> Execution<'a> {
             ops: None,
             remotes: Vec::new(),
             partitions: 1,
+            reactor_threads: 0,
             scratch: Scratch::default(),
         }
     }
@@ -197,6 +237,9 @@ impl<'a> Execution<'a> {
             }
             LogicalPlan::OneRow => Ok(ExecRel::Owned(Relation::new(vec![], vec![vec![]]))),
             LogicalPlan::Filter { input, predicate } => {
+                if let Some(out) = self.filter_streamed(input, predicate)? {
+                    return Ok(out);
+                }
                 let rel = self.run_rel(input)?;
                 let pred = compile(predicate, &input.schema())?;
                 self.scan_units += rel.len() as f64 * weights::FILTER;
@@ -361,6 +404,644 @@ impl<'a> Execution<'a> {
         }
     }
 
+    /// Try to stream a leaf scan through `sink` one morsel at a time.
+    /// After the stream drains, records exactly the accounting the
+    /// materialized scan arm of [`Execution::run_rel`] records (remote
+    /// profile, timing edge, scan units, op entry) — streaming changes
+    /// wall clock only, never observables. `Ok(None)` means the leaf has
+    /// no streaming path (local table, non-leaf plan) and the caller must
+    /// materialize instead; the sink was not called.
+    fn stream_leaf(
+        &mut self,
+        plan: &LogicalPlan,
+        sink: &mut MorselSink<'_>,
+    ) -> Result<Option<usize>> {
+        let Some((relation, fields)) = leaf_parts(plan) else {
+            return Ok(None);
+        };
+        let Some(out) = self.resolver.scan_stream(relation, fields, sink)? else {
+            return Ok(None);
+        };
+        if let Some(remote) = out.remote {
+            let wire_ms = out.edge.map_or(0.0, |e| e.transfer_ms);
+            self.remotes.push((*remote, wire_ms));
+        }
+        if let Some(edge) = out.edge {
+            self.edges.push(edge);
+        }
+        self.scan_units += out.nrows as f64 * weights::SCAN;
+        self.op(OpStat {
+            op: "scan",
+            rows_out: out.nrows as u64,
+            ..OpStat::default()
+        });
+        Ok(Some(out.nrows))
+    }
+
+    /// Fused streamed filter over a foreign-table scan: each morsel is
+    /// filtered as it decodes and only surviving rows are kept, so
+    /// predicate evaluation overlaps the edge instead of waiting for the
+    /// full relation. Work units, op stats and output bits are identical
+    /// to the materialized path.
+    fn filter_streamed(
+        &mut self,
+        input: &LogicalPlan,
+        predicate: &xdb_sql::Expr,
+    ) -> Result<Option<ExecRel>> {
+        let Some((_, fields)) = leaf_parts(input) else {
+            return Ok(None);
+        };
+        let fallback = fields.to_vec();
+        let pred = compile(predicate, &input.schema())?;
+        let mut acc = MorselConcat::new();
+        let mut rows_out = 0u64;
+        let nrows = {
+            let mut sink = |m: &Relation| -> Result<()> {
+                let sel = filter_selection(&pred, m)?;
+                rows_out += sel.len() as u64;
+                if sel.len() == m.len() {
+                    acc.append(m, None);
+                } else {
+                    acc.append(m, Some(&sel));
+                }
+                Ok(())
+            };
+            match self.stream_leaf(input, &mut sink)? {
+                Some(n) => n,
+                None => return Ok(None),
+            }
+        };
+        self.scan_units += nrows as f64 * weights::FILTER;
+        self.op(OpStat {
+            op: "filter",
+            rows_in: nrows as u64,
+            rows_out,
+            ..OpStat::default()
+        });
+        Ok(Some(ExecRel::Owned(acc.finish(&fallback))))
+    }
+
+    /// Streamed aggregation over a (possibly filtered) foreign-table scan:
+    /// accumulators fold each morsel as it decodes, so grouping overlaps
+    /// the edge and the scan output is never materialized at all. Rows
+    /// feed each group's accumulators in arrival order — exactly the row
+    /// sequence the materialized kernels scan — so every output bit,
+    /// work unit and op stat matches the materialized path. Multi-column
+    /// group keys keep the packed materialized kernel (the streamed
+    /// filter above still fuses underneath them).
+    fn aggregate_streamed(
+        &mut self,
+        input: &LogicalPlan,
+        group_by: &[(xdb_sql::Expr, String)],
+        aggregates: &[(AggCall, String)],
+    ) -> Result<Option<ExecRel>> {
+        let (leaf, filter_pred) = match input {
+            LogicalPlan::Filter {
+                input: inner,
+                predicate,
+            } if leaf_parts(inner).is_some() => (&**inner, Some(predicate)),
+            _ if leaf_parts(input).is_some() => (input, None),
+            _ => return Ok(None),
+        };
+        if group_by.len() > 1 {
+            return Ok(None);
+        }
+        let schema = input.schema();
+        let pred = match filter_pred {
+            Some(p) => Some(compile(p, &leaf.schema())?),
+            None => None,
+        };
+        let group_c: Vec<PhysExpr> = group_by
+            .iter()
+            .map(|(e, _)| compile(e, &schema))
+            .collect::<Result<_>>()?;
+        let agg_c: Vec<(AggFunc, Option<PhysExpr>, bool)> = aggregates
+            .iter()
+            .map(|(a, _)| {
+                let arg = match &a.arg {
+                    Some(e) => Some(compile(e, &schema)?),
+                    None => None,
+                };
+                Ok((a.func, arg, a.distinct))
+            })
+            .collect::<Result<_>>()?;
+        let new_accs = || -> Vec<Accumulator> {
+            agg_c
+                .iter()
+                .map(|(f, _, distinct)| Accumulator::new(*f, *distinct))
+                .collect()
+        };
+        let mut grouper = StreamGrouper::new(group_c.is_empty());
+        let mut rows_filt = 0u64;
+        let nrows = {
+            let mut sink = |m: &Relation| -> Result<()> {
+                let filtered;
+                let rel = match &pred {
+                    Some(p) => {
+                        let sel = filter_selection(p, m)?;
+                        rows_filt += sel.len() as u64;
+                        if sel.len() == m.len() {
+                            m
+                        } else {
+                            filtered = gather_relation(m, &sel);
+                            &filtered
+                        }
+                    }
+                    None => m,
+                };
+                if rel.is_empty() {
+                    return Ok(());
+                }
+                let key_col = match group_c.first() {
+                    Some(g) => Some(expr_column(g, rel)?),
+                    None => None,
+                };
+                let arg_cols: Vec<Option<Column>> = agg_c
+                    .iter()
+                    .map(|(_, arg, _)| match arg {
+                        Some(a) => Ok(Some(expr_column(a, rel)?)),
+                        None => Ok(None),
+                    })
+                    .collect::<Result<_>>()?;
+                grouper.fold(rel.len(), key_col.as_ref(), &arg_cols, &new_accs);
+                Ok(())
+            };
+            match self.stream_leaf(leaf, &mut sink)? {
+                Some(n) => n,
+                None => return Ok(None),
+            }
+        };
+        let agg_rows = if pred.is_some() {
+            self.scan_units += nrows as f64 * weights::FILTER;
+            self.op(OpStat {
+                op: "filter",
+                rows_in: nrows as u64,
+                rows_out: rows_filt,
+                ..OpStat::default()
+            });
+            rows_filt
+        } else {
+            nrows as u64
+        };
+        self.olap_units += agg_rows as f64 * weights::AGGREGATE;
+        let mut groups = grouper.into_groups();
+        // Global aggregate over empty input still yields one row.
+        if group_c.is_empty() && groups.is_empty() {
+            groups.push(GroupOut {
+                first_row: 0,
+                key: vec![],
+                accs: new_accs(),
+            });
+        }
+        Ok(Some(self.finish_aggregate(
+            &schema, group_by, aggregates, agg_rows, groups,
+        )))
+    }
+
+    /// Streamed materialization of a leaf scan: morsels concatenate as
+    /// they decode. The consumer (hash-join build) still needs the whole
+    /// relation, but the copy overlaps the edge — which only pays off
+    /// when reactor workers actually decode on another thread, so the
+    /// path is gated on `reactor_threads` (output bits are identical
+    /// either way).
+    fn stream_concat(&mut self, plan: &LogicalPlan) -> Result<Option<ExecRel>> {
+        if self.reactor_threads == 0 {
+            return Ok(None);
+        }
+        let Some((_, fields)) = leaf_parts(plan) else {
+            return Ok(None);
+        };
+        let fallback = fields.to_vec();
+        let mut acc = MorselConcat::new();
+        let streamed = {
+            let mut sink = |m: &Relation| {
+                acc.append(m, None);
+                Ok(())
+            };
+            self.stream_leaf(plan, &mut sink)?.is_some()
+        };
+        if !streamed {
+            return Ok(None);
+        }
+        Ok(Some(ExecRel::Owned(acc.finish(&fallback))))
+    }
+
+    /// Probe-side shapes the streamed hash join can drive morsel-wise: a
+    /// streamable leaf, optionally under a filter. Side-effect free — used
+    /// to decide engagement before anything executes.
+    fn probe_stream_parts<'p>(
+        &self,
+        plan: &'p LogicalPlan,
+    ) -> Option<(&'p LogicalPlan, Option<&'p xdb_sql::Expr>)> {
+        let (leaf, pred) = match plan {
+            LogicalPlan::Filter { input, predicate } => (&**input, Some(predicate)),
+            _ => (plan, None),
+        };
+        let (relation, _) = leaf_parts(leaf)?;
+        if !self.resolver.streams(relation) {
+            return None;
+        }
+        Some((leaf, pred))
+    }
+
+    /// Hash join with a streamed probe side: the build (right) child
+    /// materializes and hashes first, then the probe leaf streams morsel by
+    /// morsel and each morsel's matches are emitted to `consume` while the
+    /// decoded chunk is still cache-hot — the probe relation itself is
+    /// never materialized. Pairs are emitted probe-major with build rows
+    /// ascending within a probe row (morsel-local probe indices, absolute
+    /// build indices), i.e. exactly [`join_pairs`]' order, and the
+    /// accounting recorded after the drain matches the materialized join
+    /// value for value — so the path engages regardless of morsel size,
+    /// reactor threads or partition count and every observable stays
+    /// config-invariant. Returns `Ok(None)` before any side effects unless
+    /// the probe side is a streamable (optionally filtered) leaf and every
+    /// probe key is a bare column: computed keys would be re-evaluated per
+    /// morsel, and only bare columns are guaranteed the chunk-invariant
+    /// layouts the typed chain dispatch relies on. On success returns the
+    /// join's output row count and the build relation.
+    fn join_probe_streamed(
+        &mut self,
+        left: &LogicalPlan,
+        right: &LogicalPlan,
+        on: &[(xdb_sql::Expr, xdb_sql::Expr)],
+        residual: Option<&xdb_sql::Expr>,
+        consume: &mut dyn FnMut(ProbeOut<'_>) -> Result<()>,
+    ) -> Result<Option<(u64, ExecRel)>> {
+        if on.is_empty() {
+            return Ok(None); // nested-loop joins keep the materialized path
+        }
+        let Some((leaf, filter_pred)) = self.probe_stream_parts(left) else {
+            return Ok(None);
+        };
+        let lschema = left.schema();
+        let mut key_idx: Vec<usize> = Vec::with_capacity(on.len());
+        for (l, _) in on {
+            match compile(l, &lschema)? {
+                PhysExpr::Column(i) => key_idx.push(i),
+                _ => return Ok(None),
+            }
+        }
+        // Committed. Build side first (as in the materialized path), then
+        // stream the probe against the finished chain table.
+        let rrel_e = match self.stream_concat(right)? {
+            Some(r) => r,
+            None => self.run_rel(right)?,
+        };
+        let rrel = rrel_e.as_ref();
+        let rschema = right.schema();
+        let residual_c = match residual {
+            Some(r) => Some(compile(r, &lschema.join(&rschema))?),
+            None => None,
+        };
+        let pred_c = match filter_pred {
+            Some(p) => Some(compile(p, &leaf.schema())?),
+            None => None,
+        };
+        let rkeys: Vec<PhysExpr> = on
+            .iter()
+            .map(|(_, r)| compile(r, &rschema))
+            .collect::<Result<_>>()?;
+        let bcols: Vec<Column> = rkeys
+            .iter()
+            .map(|k| expr_column(k, rrel))
+            .collect::<Result<_>>()?;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut chain = ProbeChainKind::Unset;
+        let mut rows_filt = 0u64;
+        let mut out_rows = 0u64;
+        let (mut lsel, mut rsel) = (Vec::new(), Vec::new());
+        let streamed = {
+            let mut sink = |m: &Relation| -> Result<()> {
+                let filtered;
+                let rel = match &pred_c {
+                    Some(p) => {
+                        let sel = filter_selection(p, m)?;
+                        rows_filt += sel.len() as u64;
+                        if sel.len() == m.len() {
+                            m
+                        } else {
+                            filtered = gather_relation(m, &sel);
+                            &filtered
+                        }
+                    }
+                    None => m,
+                };
+                let pcols: Vec<Column> = key_idx.iter().map(|&i| rel.column(i).clone()).collect();
+                if let ProbeChainKind::Unset = chain {
+                    // Dispatch on the first morsel's layouts exactly as the
+                    // materialized join dispatches on the full columns, and
+                    // build the chain table once.
+                    chain = match single_key(&bcols, &pcols) {
+                        Some((Column::Int(b), Column::Int(_))) => {
+                            build_chain(&typed_keys(b), &mut scratch.int_heads, &mut scratch.next);
+                            ProbeChainKind::Int
+                        }
+                        Some((Column::Date(b), Column::Date(_))) => {
+                            build_chain(&typed_keys(b), &mut scratch.date_heads, &mut scratch.next);
+                            ProbeChainKind::Date
+                        }
+                        Some((Column::Str(b), Column::Str(_))) => {
+                            build_chain(&typed_keys(b), &mut scratch.str_heads, &mut scratch.next);
+                            ProbeChainKind::Str
+                        }
+                        _ => {
+                            build_chain(
+                                &generic_keys(&bcols, rrel.len()),
+                                &mut scratch.gen_heads,
+                                &mut scratch.next,
+                            );
+                            ProbeChainKind::Gen
+                        }
+                    };
+                }
+                lsel.clear();
+                rsel.clear();
+                let n = rel.len();
+                match (&chain, pcols.as_slice()) {
+                    (ProbeChainKind::Int, [Column::Int(p)]) => probe_chain(
+                        (0..n).map(|i| p.get(i).copied()),
+                        &scratch.int_heads,
+                        &scratch.next,
+                        &mut lsel,
+                        &mut rsel,
+                    ),
+                    (ProbeChainKind::Date, [Column::Date(p)]) => probe_chain(
+                        (0..n).map(|i| p.get(i).copied()),
+                        &scratch.date_heads,
+                        &scratch.next,
+                        &mut lsel,
+                        &mut rsel,
+                    ),
+                    (ProbeChainKind::Str, [Column::Str(p)]) => probe_chain(
+                        (0..n).map(|i| p.get(i).cloned()),
+                        &scratch.str_heads,
+                        &scratch.next,
+                        &mut lsel,
+                        &mut rsel,
+                    ),
+                    (ProbeChainKind::Gen, _) => probe_chain(
+                        generic_keys(&pcols, n).into_iter(),
+                        &scratch.gen_heads,
+                        &scratch.next,
+                        &mut lsel,
+                        &mut rsel,
+                    ),
+                    // Bare columns off a stream decoder keep one layout for
+                    // the whole edge, so the typed arms cannot drift.
+                    _ => {
+                        return Err(EngineError::Execution(
+                            "streamed probe key layout drifted between morsels".into(),
+                        ))
+                    }
+                }
+                match &residual_c {
+                    None => {
+                        out_rows += lsel.len() as u64;
+                        consume(ProbeOut::Sels {
+                            morsel: rel,
+                            build: rrel,
+                            lsel: &lsel,
+                            rsel: &rsel,
+                        })
+                    }
+                    Some(res) => {
+                        let mut jf = Vec::with_capacity(rel.width() + rrel.width());
+                        jf.extend(rel.fields.iter().cloned());
+                        jf.extend(rrel.fields.iter().cloned());
+                        let jm = gather_pair(rel, rrel, &lsel, &rsel, jf);
+                        let sel = filter_selection(res, &jm)?;
+                        let out = if sel.len() == jm.len() {
+                            jm
+                        } else {
+                            gather_relation(&jm, &sel)
+                        };
+                        out_rows += out.len() as u64;
+                        consume(ProbeOut::Rows(&out))
+                    }
+                }
+            };
+            self.stream_leaf(leaf, &mut sink)
+        };
+        self.scratch = scratch;
+        let nrows = match streamed? {
+            Some(n) => n,
+            None => {
+                return Err(EngineError::Execution(
+                    "resolver advertised a streamable probe leaf but did not stream it".into(),
+                ))
+            }
+        };
+        let build_rows = rrel_e.len() as u64;
+        let probe_rows = if pred_c.is_some() {
+            self.scan_units += nrows as f64 * weights::FILTER;
+            self.op(OpStat {
+                op: "filter",
+                rows_in: nrows as u64,
+                rows_out: rows_filt,
+                ..OpStat::default()
+            });
+            rows_filt
+        } else {
+            nrows as u64
+        };
+        self.olap_units += (probe_rows as f64 + build_rows as f64) * weights::JOIN;
+        self.olap_units += out_rows as f64 * weights::JOIN * 0.5;
+        self.op(OpStat {
+            op: "hash join",
+            rows_in: probe_rows + build_rows,
+            rows_out: out_rows,
+            build_rows,
+            probe_rows,
+        });
+        Ok(Some((out_rows, rrel_e)))
+    }
+
+    /// Streamed-probe materializing join: matches append straight from
+    /// each cache-hot probe morsel (and the build relation) into the
+    /// output builders, so the join output is written exactly once and the
+    /// probe side never materializes. Output bits match the materialized
+    /// join: same pair order, same gather order, layouts from the first
+    /// morsel (which the decoder keeps chunk-invariant).
+    fn join_streamed(
+        &mut self,
+        left: &LogicalPlan,
+        right: &LogicalPlan,
+        on: &[(xdb_sql::Expr, xdb_sql::Expr)],
+        residual: Option<&xdb_sql::Expr>,
+    ) -> Result<Option<ExecRel>> {
+        let mut fields: Option<Vec<(String, DataType)>> = None;
+        let mut cols: Vec<Column> = Vec::new();
+        let mut rows = 0usize;
+        let mut consume = |out: ProbeOut<'_>| -> Result<()> {
+            match out {
+                ProbeOut::Sels {
+                    morsel,
+                    build,
+                    lsel,
+                    rsel,
+                } => {
+                    if fields.is_none() {
+                        let mut f = Vec::with_capacity(morsel.width() + build.width());
+                        f.extend(morsel.fields.iter().cloned());
+                        f.extend(build.fields.iter().cloned());
+                        fields = Some(f);
+                        cols = morsel
+                            .columns()
+                            .iter()
+                            .chain(build.columns())
+                            .map(Column::empty_like)
+                            .collect();
+                    }
+                    let lw = morsel.width();
+                    for (j, c) in morsel.columns().iter().enumerate() {
+                        cols[j].append_gather(c, lsel);
+                    }
+                    for (j, c) in build.columns().iter().enumerate() {
+                        cols[lw + j].append_gather(c, rsel);
+                    }
+                    rows += lsel.len();
+                }
+                ProbeOut::Rows(r) => {
+                    if fields.is_none() {
+                        fields = Some(r.fields.clone());
+                        cols = r.columns().iter().map(Column::empty_like).collect();
+                    }
+                    for (dst, src) in cols.iter_mut().zip(r.columns()) {
+                        dst.append_range(src, 0, r.len());
+                    }
+                    rows += r.len();
+                }
+            }
+            Ok(())
+        };
+        let Some((_, rrel_e)) =
+            self.join_probe_streamed(left, right, on, residual, &mut consume)?
+        else {
+            return Ok(None);
+        };
+        let out = match fields {
+            Some(f) => Relation::from_columns(f, cols, rows),
+            None => {
+                // Zero probe morsels: schema from the declared leaf fields
+                // plus the build relation (the `MorselConcat` fallback rule).
+                let leaf = match left {
+                    LogicalPlan::Filter { input, .. } => &**input,
+                    other => other,
+                };
+                let (_, lfields) = leaf_parts(leaf).expect("streamed probe engaged on a non-leaf");
+                let rrel = rrel_e.as_ref();
+                let mut f: Vec<(String, DataType)> = lfields.to_vec();
+                f.extend(rrel.fields.iter().cloned());
+                let mut c: Vec<Column> =
+                    lfields.iter().map(|(_, t)| Column::empty_of(*t)).collect();
+                c.extend(rrel.columns().iter().map(Column::empty_like));
+                Relation::from_columns(f, c, 0)
+            }
+        };
+        Ok(Some(ExecRel::Owned(out)))
+    }
+
+    /// Fused streamed aggregation over a streamed-probe join: each probe
+    /// morsel's matches gather into a small cache-hot joined morsel that
+    /// folds straight into the streaming grouper, so neither the probe
+    /// relation nor the join output is ever materialized. Single (or no)
+    /// group key only — the shapes [`StreamGrouper`] reproduces
+    /// bit-identically to the materialized kernels.
+    fn aggregate_join_streamed(
+        &mut self,
+        input: &LogicalPlan,
+        group_by: &[(xdb_sql::Expr, String)],
+        aggregates: &[(AggCall, String)],
+    ) -> Result<Option<ExecRel>> {
+        let LogicalPlan::Join {
+            left,
+            right,
+            on,
+            residual,
+        } = input
+        else {
+            return Ok(None);
+        };
+        if group_by.len() > 1 {
+            return Ok(None);
+        }
+        let schema = input.schema();
+        let group_c: Vec<PhysExpr> = group_by
+            .iter()
+            .map(|(e, _)| compile(e, &schema))
+            .collect::<Result<_>>()?;
+        let agg_c: Vec<(AggFunc, Option<PhysExpr>, bool)> = aggregates
+            .iter()
+            .map(|(a, _)| {
+                let arg = match &a.arg {
+                    Some(e) => Some(compile(e, &schema)?),
+                    None => None,
+                };
+                Ok((a.func, arg, a.distinct))
+            })
+            .collect::<Result<_>>()?;
+        let new_accs = || -> Vec<Accumulator> {
+            agg_c
+                .iter()
+                .map(|(f, _, distinct)| Accumulator::new(*f, *distinct))
+                .collect()
+        };
+        let mut grouper = StreamGrouper::new(group_c.is_empty());
+        let mut consume = |out: ProbeOut<'_>| -> Result<()> {
+            let joined;
+            let rel: &Relation = match out {
+                ProbeOut::Sels {
+                    morsel,
+                    build,
+                    lsel,
+                    rsel,
+                } => {
+                    let mut jf = Vec::with_capacity(morsel.width() + build.width());
+                    jf.extend(morsel.fields.iter().cloned());
+                    jf.extend(build.fields.iter().cloned());
+                    joined = gather_pair(morsel, build, lsel, rsel, jf);
+                    &joined
+                }
+                ProbeOut::Rows(r) => r,
+            };
+            if rel.is_empty() {
+                return Ok(());
+            }
+            let key_col = match group_c.first() {
+                Some(g) => Some(expr_column(g, rel)?),
+                None => None,
+            };
+            let arg_cols: Vec<Option<Column>> = agg_c
+                .iter()
+                .map(|(_, arg, _)| match arg {
+                    Some(a) => Ok(Some(expr_column(a, rel)?)),
+                    None => Ok(None),
+                })
+                .collect::<Result<_>>()?;
+            grouper.fold(rel.len(), key_col.as_ref(), &arg_cols, &new_accs);
+            Ok(())
+        };
+        let Some((out_rows, _)) =
+            self.join_probe_streamed(left, right, on, residual.as_ref(), &mut consume)?
+        else {
+            return Ok(None);
+        };
+        self.olap_units += out_rows as f64 * weights::AGGREGATE;
+        let mut groups = grouper.into_groups();
+        // Global aggregate over an empty join still yields one row.
+        if group_c.is_empty() && groups.is_empty() {
+            groups.push(GroupOut {
+                first_row: 0,
+                key: vec![],
+                accs: new_accs(),
+            });
+        }
+        Ok(Some(self.finish_aggregate(
+            &schema, group_by, aggregates, out_rows, groups,
+        )))
+    }
+
     fn join(
         &mut self,
         left: &LogicalPlan,
@@ -368,8 +1049,17 @@ impl<'a> Execution<'a> {
         on: &[(xdb_sql::Expr, xdb_sql::Expr)],
         residual: Option<&xdb_sql::Expr>,
     ) -> Result<ExecRel> {
+        if let Some(out) = self.join_streamed(left, right, on, residual)? {
+            return Ok(out);
+        }
         let lrel_e = self.run_rel(left)?;
-        let rrel_e = self.run_rel(right)?;
+        // The build side must be fully materialized before probing, but
+        // when reactor workers decode the edge its morsels can concatenate
+        // while later chunks are still in flight.
+        let rrel_e = match self.stream_concat(right)? {
+            Some(r) => r,
+            None => self.run_rel(right)?,
+        };
         let (lrel, rrel) = (lrel_e.as_ref(), rrel_e.as_ref());
         let lschema = left.schema();
         let rschema = right.schema();
@@ -586,6 +1276,12 @@ impl<'a> Execution<'a> {
         group_by: &[(xdb_sql::Expr, String)],
         aggregates: &[(AggCall, String)],
     ) -> Result<ExecRel> {
+        if let Some(out) = self.aggregate_streamed(input, group_by, aggregates)? {
+            return Ok(out);
+        }
+        if let Some(out) = self.aggregate_join_streamed(input, group_by, aggregates)? {
+            return Ok(out);
+        }
         let rel_e = self.run_rel(input)?;
         let rel = rel_e.as_ref();
         let schema = input.schema();
@@ -725,10 +1421,23 @@ impl<'a> Execution<'a> {
                 accs: new_accs(),
             });
         }
+        Ok(self.finish_aggregate(&schema, group_by, aggregates, rel.len() as u64, groups))
+    }
 
+    /// Shared tail of the materialized and streamed aggregation paths:
+    /// materialize groups (key values, then finished accumulators) into
+    /// the output relation and record the operator stat.
+    fn finish_aggregate(
+        &mut self,
+        schema: &PlanSchema,
+        group_by: &[(xdb_sql::Expr, String)],
+        aggregates: &[(AggCall, String)],
+        rows_in: u64,
+        groups: Vec<GroupOut>,
+    ) -> ExecRel {
         // Output schema derived from the input schema — no need to
         // reconstruct (and deep-clone) the plan node.
-        let fields: Vec<(String, DataType)> = aggregate_schema(&schema, group_by, aggregates)
+        let fields: Vec<(String, DataType)> = aggregate_schema(schema, group_by, aggregates)
             .fields
             .into_iter()
             .map(|f| (f.name, f.data_type))
@@ -750,15 +1459,15 @@ impl<'a> Execution<'a> {
         }
         self.op(OpStat {
             op: "aggregate",
-            rows_in: rel.len() as u64,
+            rows_in,
             rows_out: ngroups as u64,
             ..OpStat::default()
         });
-        Ok(ExecRel::Owned(Relation::from_columns(
+        ExecRel::Owned(Relation::from_columns(
             fields,
             builders.into_iter().map(ColumnBuilder::finish).collect(),
             ngroups,
-        )))
+        ))
     }
 }
 
@@ -768,6 +1477,226 @@ struct GroupOut {
     first_row: u32,
     key: Vec<Value>,
     accs: Vec<Accumulator>,
+}
+
+/// Leaf shapes a streamed edge can replace: a scan or placeholder node.
+fn leaf_parts(plan: &LogicalPlan) -> Option<(&str, &[(String, DataType)])> {
+    match plan {
+        LogicalPlan::Scan {
+            relation, fields, ..
+        } => Some((relation, fields)),
+        LogicalPlan::Placeholder { name, fields, .. } => Some((name, fields)),
+        _ => None,
+    }
+}
+
+/// Incremental row-wise concatenation of morsels sharing one schema.
+/// Schema and column layouts come from the first morsel (the decoder
+/// keeps layouts chunk-invariant), so the result is bit-identical to
+/// decoding the whole edge at once.
+struct MorselConcat {
+    fields: Option<Vec<(String, DataType)>>,
+    cols: Vec<Column>,
+    rows: usize,
+}
+
+impl MorselConcat {
+    fn new() -> MorselConcat {
+        MorselConcat {
+            fields: None,
+            cols: Vec::new(),
+            rows: 0,
+        }
+    }
+
+    /// Append `m`'s rows — all of them, or the subset selected by `sel`
+    /// (ascending), gathered and concatenated in one pass.
+    fn append(&mut self, m: &Relation, sel: Option<&[u32]>) {
+        if self.fields.is_none() {
+            self.fields = Some(m.fields.clone());
+            self.cols = m.columns().iter().map(Column::empty_like).collect();
+        }
+        match sel {
+            None => {
+                for (dst, src) in self.cols.iter_mut().zip(m.columns()) {
+                    dst.append_range(src, 0, m.len());
+                }
+                self.rows += m.len();
+            }
+            Some(sel) => {
+                for (dst, src) in self.cols.iter_mut().zip(m.columns()) {
+                    dst.append_gather(src, sel);
+                }
+                self.rows += sel.len();
+            }
+        }
+    }
+
+    /// Finish into a relation; `fallback` supplies the schema when the
+    /// stream delivered no morsels at all.
+    fn finish(self, fallback: &[(String, DataType)]) -> Relation {
+        match self.fields {
+            Some(f) => Relation::from_columns(f, self.cols, self.rows),
+            None => Relation::from_columns(
+                fallback.to_vec(),
+                fallback.iter().map(|(_, t)| Column::empty_of(*t)).collect(),
+                0,
+            ),
+        }
+    }
+}
+
+/// Hash index over streamed group keys. Single-column Int/Str keys use
+/// native-value tables (the streaming analogue of `group_single_typed`);
+/// every other key shape falls back to owned `Value` keys. The layout
+/// only changes hashing — the emitted key `Value`s and the accumulator
+/// feed order match the materialized kernels exactly.
+enum GroupIndex {
+    /// No group keys: one global group.
+    Global,
+    /// Key column layout not yet seen.
+    Unset,
+    Int(HashMap<Option<i64>, usize>),
+    Str(HashMap<Option<Arc<str>>, usize>),
+    Gen(HashMap<Vec<Value>, usize>),
+}
+
+/// Streaming group-by state: groups stay in first-seen order across
+/// morsels, each seeing exactly the row sequence a sequential pass over
+/// the materialized input would feed it.
+struct StreamGrouper {
+    index: GroupIndex,
+    groups: Vec<GroupOut>,
+    rows: u32,
+}
+
+impl StreamGrouper {
+    fn new(global: bool) -> StreamGrouper {
+        StreamGrouper {
+            index: if global {
+                GroupIndex::Global
+            } else {
+                GroupIndex::Unset
+            },
+            groups: Vec::new(),
+            rows: 0,
+        }
+    }
+
+    /// Rebuild the index with `Value` keys: taken when the key column's
+    /// layout drifts between morsels (a computed key expression may
+    /// materialize different layouts per chunk). Group identity is
+    /// value-based, so existing groups carry over unchanged.
+    fn degrade_to_gen(&mut self) {
+        let mut map = HashMap::new();
+        for (gi, g) in self.groups.iter().enumerate() {
+            map.insert(g.key.clone(), gi);
+        }
+        self.index = GroupIndex::Gen(map);
+    }
+
+    /// Fold one morsel (already filtered): `n` rows, the single key
+    /// column (`None` for global aggregates), one materialized column per
+    /// accumulator argument.
+    fn fold(
+        &mut self,
+        n: usize,
+        key_col: Option<&Column>,
+        arg_cols: &[Option<Column>],
+        new_accs: &dyn Fn() -> Vec<Accumulator>,
+    ) {
+        if let GroupIndex::Unset = self.index {
+            self.index = match key_col {
+                Some(Column::Int(_)) => GroupIndex::Int(HashMap::new()),
+                Some(Column::Str(_)) => GroupIndex::Str(HashMap::new()),
+                _ => GroupIndex::Gen(HashMap::new()),
+            };
+        }
+        let drift = !matches!(
+            (&self.index, key_col),
+            (GroupIndex::Global, _)
+                | (GroupIndex::Gen(_), _)
+                | (GroupIndex::Int(_), Some(Column::Int(_)))
+                | (GroupIndex::Str(_), Some(Column::Str(_)))
+        );
+        if drift {
+            self.degrade_to_gen();
+        }
+        for i in 0..n {
+            let gi = match (&mut self.index, key_col) {
+                (GroupIndex::Global, _) => {
+                    if self.groups.is_empty() {
+                        self.groups.push(GroupOut {
+                            first_row: 0,
+                            key: vec![],
+                            accs: new_accs(),
+                        });
+                    }
+                    0
+                }
+                (GroupIndex::Int(map), Some(Column::Int(c))) => {
+                    match map.entry(c.get(i).copied()) {
+                        Entry::Occupied(e) => *e.get(),
+                        Entry::Vacant(e) => {
+                            let gi = self.groups.len();
+                            let key = vec![e.key().map_or(Value::Null, Value::Int)];
+                            e.insert(gi);
+                            self.groups.push(GroupOut {
+                                first_row: self.rows,
+                                key,
+                                accs: new_accs(),
+                            });
+                            gi
+                        }
+                    }
+                }
+                (GroupIndex::Str(map), Some(Column::Str(c))) => {
+                    match map.entry(c.get(i).cloned()) {
+                        Entry::Occupied(e) => *e.get(),
+                        Entry::Vacant(e) => {
+                            let gi = self.groups.len();
+                            let key = vec![e
+                                .key()
+                                .as_ref()
+                                .map_or(Value::Null, |s| Value::Str(s.clone()))];
+                            e.insert(gi);
+                            self.groups.push(GroupOut {
+                                first_row: self.rows,
+                                key,
+                                accs: new_accs(),
+                            });
+                            gi
+                        }
+                    }
+                }
+                (GroupIndex::Gen(map), Some(col)) => match map.entry(vec![col.value(i)]) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(e) => {
+                        let gi = self.groups.len();
+                        let key = e.key().clone();
+                        e.insert(gi);
+                        self.groups.push(GroupOut {
+                            first_row: self.rows,
+                            key,
+                            accs: new_accs(),
+                        });
+                        gi
+                    }
+                },
+                // `drift` above routed every other combination to `Gen`,
+                // and `Unset` only exists before the first morsel.
+                _ => unreachable!("stream grouper index out of sync with key layout"),
+            };
+            for (acc, col) in self.groups[gi].accs.iter_mut().zip(arg_cols.iter()) {
+                acc.update(col.as_ref().map(|c| c.value(i)));
+            }
+            self.rows += 1;
+        }
+    }
+
+    fn into_groups(self) -> Vec<GroupOut> {
+        self.groups
+    }
 }
 
 /// Single-column typed group-by kernel: the hash table is keyed on native
@@ -1101,6 +2030,56 @@ fn generic_keys(cols: &[Column], n: usize) -> Vec<Option<Vec<Value>>> {
             Some(k)
         })
         .collect()
+}
+
+/// One streamed probe morsel's join matches, before materialization.
+enum ProbeOut<'a> {
+    /// Match selections: morsel-local probe rows (`lsel`) against absolute
+    /// build rows (`rsel`) — the consumer gathers them itself, so the
+    /// plain join pays no intermediate copy.
+    Sels {
+        morsel: &'a Relation,
+        build: &'a Relation,
+        lsel: &'a [u32],
+        rsel: &'a [u32],
+    },
+    /// Residual-filtered joined rows, already gathered.
+    Rows(&'a Relation),
+}
+
+/// Which scratch chain table a streamed probe committed to (decided on the
+/// first morsel's key layouts, like the materialized join's dispatch).
+enum ProbeChainKind {
+    Unset,
+    Int,
+    Date,
+    Str,
+    Gen,
+}
+
+/// Probe one morsel's keys against a chained build table, appending
+/// (probe, build) pairs in [`join_pairs`]' emission order: probe-major,
+/// build rows ascending within a probe row.
+fn probe_chain<K: Hash + Eq>(
+    keys: impl Iterator<Item = Option<K>>,
+    heads: &HashMap<K, u32>,
+    next: &[u32],
+    lsel: &mut Vec<u32>,
+    rsel: &mut Vec<u32>,
+) {
+    for (i, k) in keys.enumerate() {
+        let Some(k) = k else { continue };
+        let Some(&h) = heads.get(&k) else { continue };
+        let mut j = h;
+        loop {
+            lsel.push(i as u32);
+            rsel.push(j);
+            j = next[j as usize];
+            if j == NO_NEXT {
+                break;
+            }
+        }
+    }
 }
 
 /// Build a chained hash table over the build keys: `heads[k]` is the first

@@ -21,23 +21,24 @@
 //! - `raw` — the fallback: `Float` bit patterns, tagged `Mixed` values,
 //!   and any column where the candidate codec does not beat raw.
 //!
-//! Selection is deterministic: encode the candidate, compare with the raw
-//! body, keep the smaller (the candidate wins ties). Decoding rebuilds the
-//! exact [`Column`] variant — all-NULL typed columns included — so query
-//! results and downstream raw-byte accounting are bit-identical to an
-//! unencoded transfer.
+//! Selection is deterministic: size the candidate and the raw body
+//! exactly (a cheap pass that materializes neither), keep the smaller
+//! (the candidate wins ties), and only then emit the winner's payload.
+//! Decoding rebuilds the exact [`Column`] variant — all-NULL typed
+//! columns included — so query results and downstream raw-byte
+//! accounting are bit-identical to an unencoded transfer.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use xdb_sql::column::Bitmap;
+use xdb_sql::hash::FastMap;
 use xdb_sql::{Column, TypedCol, Value};
 
 /// Per-frame framing cost in bytes: `nrows` + `ncols`, each `u32`.
 const FRAME_HEADER_BYTES: u64 = 8;
 /// Per-column framing cost: variant tag (1) + codec tag (1) + payload
 /// length (4).
-const COLUMN_HEADER_BYTES: u64 = 6;
+pub const COLUMN_HEADER_BYTES: u64 = 6;
 
 /// Which encoding a column's payload uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -186,32 +187,18 @@ pub fn chunk_count(rows: u64, chunk_rows: usize) -> u64 {
 /// Encode a relation's columns for one edge. `nrows` is carried for empty
 /// relations (no columns or zero-length columns).
 pub fn encode(columns: &[Column], nrows: usize) -> Encoded {
-    let columns = columns.iter().map(encode_column).collect();
-    Encoded { columns, nrows }
+    Encoded {
+        columns: columns.iter().map(encode_column).collect(),
+        nrows,
+    }
 }
 
 fn encode_column(col: &Column) -> EncodedColumn {
     match col {
-        Column::Int(c) => {
-            let pack = int_forpack_body(c);
-            let raw = int_raw_body(c);
-            pick(TAG_INT, Codec::ForPack, pack, raw)
-        }
-        Column::Date(c) => {
-            let pack = date_forpack_body(c);
-            let raw = date_raw_body(c);
-            pick(TAG_DATE, Codec::ForPack, pack, raw)
-        }
-        Column::Str(c) => {
-            let dict = str_dict_body(c);
-            let raw = str_raw_body(c);
-            pick(TAG_STR, Codec::Dict, dict, raw)
-        }
-        Column::Bool(c) => {
-            let rle = bool_rle_body(c);
-            let raw = bool_raw_body(c);
-            pick(TAG_BOOL, Codec::Rle, rle, raw)
-        }
+        Column::Int(c) => encode_int(c),
+        Column::Date(c) => encode_date(c),
+        Column::Str(c) => encode_str(c),
+        Column::Bool(c) => encode_bool(c),
         Column::Float(c) => EncodedColumn {
             tag: TAG_FLOAT,
             codec: Codec::Raw,
@@ -225,153 +212,447 @@ fn encode_column(col: &Column) -> EncodedColumn {
     }
 }
 
-/// Deterministic codec selection: the candidate wins unless raw is
-/// strictly smaller.
-fn pick(tag: u8, codec: Codec, candidate: Vec<u8>, raw: Vec<u8>) -> EncodedColumn {
-    if raw.len() < candidate.len() {
+// ---------------------------------------------------------------------------
+// Sizing-only measurement
+// ---------------------------------------------------------------------------
+
+/// Sizing-only twin of [`Encoded`]: the exact codec choice and payload
+/// length of every column, with no payload materialized.
+///
+/// Several edges only ever consume the byte *accounting* of the codec —
+/// the mediator and Sclera baselines re-load a relation they already hold
+/// in memory, and the final-result edge charges the ledger without the
+/// client decoding anything. For those, [`measure`] produces
+/// [`WireStats`] guaranteed equal to `encode(..).stats(..)` (the sizing
+/// rules are shared and property-tested) at a fraction of the cost.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    /// `(codec, payload length)` per column.
+    columns: Vec<(Codec, u64)>,
+    nrows: usize,
+}
+
+impl Measured {
+    /// Same formula as [`Encoded::encoded_bytes`].
+    pub fn encoded_bytes(&self) -> u64 {
+        if self.nrows == 0 {
+            return 0;
+        }
+        FRAME_HEADER_BYTES
+            + self
+                .columns
+                .iter()
+                .map(|(_, len)| COLUMN_HEADER_BYTES + len)
+                .sum::<u64>()
+    }
+
+    /// Same label order and omission rule as [`Encoded::codec_bytes`].
+    pub fn codec_bytes(&self) -> Vec<(&'static str, u64)> {
+        let mut out = Vec::new();
+        if self.nrows == 0 {
+            return out;
+        }
+        for codec in [Codec::Dict, Codec::ForPack, Codec::Rle, Codec::Raw] {
+            let bytes: u64 = self
+                .columns
+                .iter()
+                .filter(|(c, _)| *c == codec)
+                .map(|(_, len)| COLUMN_HEADER_BYTES + len)
+                .sum();
+            if bytes > 0 {
+                out.push((codec.label(), bytes));
+            }
+        }
+        out
+    }
+
+    pub fn stats(&self, chunk_rows: usize) -> WireStats {
+        WireStats {
+            encoded_bytes: self.encoded_bytes(),
+            chunks: chunk_count(self.nrows as u64, chunk_rows),
+            codec_bytes: self.codec_bytes(),
+        }
+    }
+
+    /// `(codec, payload length)` per column, in schema order.
+    pub fn columns(&self) -> &[(Codec, u64)] {
+        &self.columns
+    }
+}
+
+/// Size an edge without encoding it. See [`Measured`].
+pub fn measure(columns: &[Column], nrows: usize) -> Measured {
+    Measured {
+        columns: columns.iter().map(measure_column).collect(),
+        nrows,
+    }
+}
+
+/// Exact byte count of the null-run prefix [`put_null_runs`] emits.
+fn null_runs_len(nulls: &Bitmap) -> usize {
+    let mut scratch = Vec::new();
+    put_null_runs(&mut scratch, nulls);
+    scratch.len()
+}
+
+fn measure_column(col: &Column) -> (Codec, u64) {
+    let (codec, len) = match col {
+        Column::Int(c) => {
+            let prefix = null_runs_len(&c.nulls);
+            let mut count = 0u64;
+            let mut vmin = i64::MAX;
+            let mut vmax = i64::MIN;
+            for v in present_values(c) {
+                count += 1;
+                vmin = vmin.min(*v);
+                vmax = vmax.max(*v);
+            }
+            let min = if count == 0 { 0 } else { vmin };
+            let max_delta = if count == 0 {
+                0
+            } else {
+                vmax.wrapping_sub(min) as u64
+            };
+            let width = bits_for(max_delta);
+            let pack = prefix + varint_len(zigzag(min)) + 1 + packed_bytes(count, width);
+            let raw = prefix + 8 * count as usize;
+            if raw < pack {
+                (Codec::Raw, raw)
+            } else {
+                (Codec::ForPack, pack)
+            }
+        }
+        Column::Date(c) => {
+            let prefix = null_runs_len(&c.nulls);
+            let mut count = 0u64;
+            let mut vmin = i64::MAX;
+            let mut vmax = i64::MIN;
+            for v in present_values(c) {
+                count += 1;
+                vmin = vmin.min(*v as i64);
+                vmax = vmax.max(*v as i64);
+            }
+            let min = if count == 0 { 0 } else { vmin };
+            let max_delta = if count == 0 {
+                0
+            } else {
+                vmax.wrapping_sub(min) as u64
+            };
+            let width = bits_for(max_delta);
+            let pack = prefix + varint_len(zigzag(min)) + 1 + packed_bytes(count, width);
+            let raw = prefix + 4 * count as usize;
+            if raw < pack {
+                (Codec::Raw, raw)
+            } else {
+                (Codec::ForPack, pack)
+            }
+        }
+        Column::Str(c) => {
+            let prefix = null_runs_len(&c.nulls);
+            let mut index: FastMap<&str, u64> = FastMap::default();
+            let mut raw_body = 0usize;
+            let mut dict_entries = 0usize;
+            let mut dict_len = 0u64;
+            let mut present = 0u64;
+            for v in present_values(c) {
+                raw_body += varint_len(v.len() as u64) + v.len();
+                present += 1;
+                index.entry(v.as_ref()).or_insert_with(|| {
+                    dict_entries += varint_len(v.len() as u64) + v.len();
+                    dict_len += 1;
+                    dict_len - 1
+                });
+            }
+            let width = bits_for(dict_len.saturating_sub(1));
+            let dict = prefix + varint_len(dict_len) + dict_entries + packed_bytes(present, width);
+            let raw = prefix + raw_body;
+            if raw < dict {
+                (Codec::Raw, raw)
+            } else {
+                (Codec::Dict, dict)
+            }
+        }
+        Column::Bool(c) => {
+            let prefix = null_runs_len(&c.nulls);
+            let mut count = 0usize;
+            let mut nruns = 0u64;
+            let mut run_bytes = 0usize;
+            let mut last: Option<bool> = None;
+            let mut run_len = 0u64;
+            for v in present_values(c) {
+                count += 1;
+                if last == Some(*v) {
+                    run_len += 1;
+                } else {
+                    if last.is_some() {
+                        run_bytes += 1 + varint_len(run_len);
+                    }
+                    nruns += 1;
+                    last = Some(*v);
+                    run_len = 1;
+                }
+            }
+            if last.is_some() {
+                run_bytes += 1 + varint_len(run_len);
+            }
+            let rle = prefix + varint_len(nruns) + run_bytes;
+            let raw = prefix + count;
+            if raw < rle {
+                (Codec::Raw, raw)
+            } else {
+                (Codec::Rle, rle)
+            }
+        }
+        Column::Float(c) => {
+            let prefix = null_runs_len(&c.nulls);
+            (Codec::Raw, prefix + 8 * (c.len() - c.nulls.count_ones()))
+        }
+        Column::Mixed(values) => {
+            let mut len = 0usize;
+            for v in values.iter() {
+                len += match v {
+                    Value::Null => 1,
+                    Value::Int(i) => 1 + varint_len(zigzag(*i)),
+                    Value::Float(_) => 1 + 8,
+                    Value::Str(s) => 1 + varint_len(s.len() as u64) + s.len(),
+                    Value::Date(d) => 1 + varint_len(zigzag(*d as i64)),
+                    Value::Bool(_) => 2,
+                };
+            }
+            (Codec::Raw, len)
+        }
+    };
+    (codec, len as u64)
+}
+
+/// Exact byte count [`put_varint`] would emit for `v`.
+fn varint_len(mut v: u64) -> usize {
+    let mut n = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        n += 1;
+    }
+    n
+}
+
+/// Exact byte count a [`BitWriter`] produces for `count` values of
+/// `width` bits each.
+fn packed_bytes(count: u64, width: u8) -> usize {
+    ((count * u64::from(width)).div_ceil(8)) as usize
+}
+
+/// Frame-of-reference sizing/emission for `Int` columns. The sizing pass
+/// computes both body sizes exactly (min/max/count over present values)
+/// without materializing either payload; only the winner is emitted. Raw
+/// wins iff strictly smaller, same rule the byte-compare selection used.
+fn encode_int(c: &TypedCol<i64>) -> EncodedColumn {
+    let mut prefix = Vec::new();
+    put_null_runs(&mut prefix, &c.nulls);
+    let mut count = 0u64;
+    let mut vmin = i64::MAX;
+    let mut vmax = i64::MIN;
+    for v in present_values(c) {
+        count += 1;
+        vmin = vmin.min(*v);
+        vmax = vmax.max(*v);
+    }
+    let min = if count == 0 { 0 } else { vmin };
+    // The per-value deltas `v.wrapping_sub(min) as u64` are exactly the
+    // true differences (they fit u64 by construction), so the largest is
+    // the delta of the maximum value.
+    let max_delta = if count == 0 {
+        0
+    } else {
+        vmax.wrapping_sub(min) as u64
+    };
+    let width = bits_for(max_delta);
+    let pack_size = prefix.len() + varint_len(zigzag(min)) + 1 + packed_bytes(count, width);
+    let raw_size = prefix.len() + 8 * count as usize;
+    let mut out = prefix;
+    out.reserve_exact(pack_size.min(raw_size) - out.len());
+    if raw_size < pack_size {
+        for v in present_values(c) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
         EncodedColumn {
-            tag,
+            tag: TAG_INT,
             codec: Codec::Raw,
-            payload: raw,
+            payload: out,
         }
     } else {
+        put_varint(&mut out, zigzag(min));
+        out.push(width);
+        let mut bw = BitWriter::new();
+        for v in present_values(c) {
+            bw.put(v.wrapping_sub(min) as u64, width);
+        }
+        out.extend_from_slice(&bw.finish());
         EncodedColumn {
-            tag,
-            codec,
-            payload: candidate,
+            tag: TAG_INT,
+            codec: Codec::ForPack,
+            payload: out,
         }
     }
 }
 
-fn int_forpack_body(c: &TypedCol<i64>) -> Vec<u8> {
-    let mut out = Vec::new();
-    put_null_runs(&mut out, &c.nulls);
-    let present: Vec<i64> = present_values(c).copied().collect();
-    let min = present.iter().copied().min().unwrap_or(0);
-    let max_delta = present
-        .iter()
-        .map(|v| v.wrapping_sub(min) as u64)
-        .max()
-        .unwrap_or(0);
-    let width = bits_for(max_delta);
-    put_varint(&mut out, zigzag(min));
-    out.push(width);
-    let mut bw = BitWriter::new();
-    for v in &present {
-        bw.put(v.wrapping_sub(min) as u64, width);
-    }
-    out.extend_from_slice(&bw.finish());
-    out
-}
-
-fn int_raw_body(c: &TypedCol<i64>) -> Vec<u8> {
-    let mut out = Vec::new();
-    put_null_runs(&mut out, &c.nulls);
+/// `Date` twin of [`encode_int`]: values widen to `i64` for the packed
+/// body, raw ships 4 bytes per present value.
+fn encode_date(c: &TypedCol<i32>) -> EncodedColumn {
+    let mut prefix = Vec::new();
+    put_null_runs(&mut prefix, &c.nulls);
+    let mut count = 0u64;
+    let mut vmin = i64::MAX;
+    let mut vmax = i64::MIN;
     for v in present_values(c) {
-        out.extend_from_slice(&v.to_le_bytes());
+        count += 1;
+        vmin = vmin.min(*v as i64);
+        vmax = vmax.max(*v as i64);
     }
-    out
-}
-
-fn date_forpack_body(c: &TypedCol<i32>) -> Vec<u8> {
-    let mut out = Vec::new();
-    put_null_runs(&mut out, &c.nulls);
-    let present: Vec<i64> = present_values(c).map(|v| *v as i64).collect();
-    let min = present.iter().copied().min().unwrap_or(0);
-    let max_delta = present
-        .iter()
-        .map(|v| v.wrapping_sub(min) as u64)
-        .max()
-        .unwrap_or(0);
+    let min = if count == 0 { 0 } else { vmin };
+    let max_delta = if count == 0 {
+        0
+    } else {
+        vmax.wrapping_sub(min) as u64
+    };
     let width = bits_for(max_delta);
-    put_varint(&mut out, zigzag(min));
-    out.push(width);
-    let mut bw = BitWriter::new();
-    for v in &present {
-        bw.put(v.wrapping_sub(min) as u64, width);
+    let pack_size = prefix.len() + varint_len(zigzag(min)) + 1 + packed_bytes(count, width);
+    let raw_size = prefix.len() + 4 * count as usize;
+    let mut out = prefix;
+    out.reserve_exact(pack_size.min(raw_size) - out.len());
+    if raw_size < pack_size {
+        for v in present_values(c) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        EncodedColumn {
+            tag: TAG_DATE,
+            codec: Codec::Raw,
+            payload: out,
+        }
+    } else {
+        put_varint(&mut out, zigzag(min));
+        out.push(width);
+        let mut bw = BitWriter::new();
+        for v in present_values(c) {
+            bw.put((*v as i64).wrapping_sub(min) as u64, width);
+        }
+        out.extend_from_slice(&bw.finish());
+        EncodedColumn {
+            tag: TAG_DATE,
+            codec: Codec::ForPack,
+            payload: out,
+        }
     }
-    out.extend_from_slice(&bw.finish());
-    out
 }
 
-fn date_raw_body(c: &TypedCol<i32>) -> Vec<u8> {
-    let mut out = Vec::new();
-    put_null_runs(&mut out, &c.nulls);
-    for v in present_values(c) {
-        out.extend_from_slice(&v.to_le_bytes());
-    }
-    out
-}
-
-fn str_dict_body(c: &TypedCol<Arc<str>>) -> Vec<u8> {
-    let mut out = Vec::new();
-    put_null_runs(&mut out, &c.nulls);
-    // First-appearance dictionary over present values.
-    let mut index: HashMap<&str, u64> = HashMap::new();
+/// First-appearance dictionary sizing/emission for `Str` columns. One
+/// pass builds the dictionary index and the exact raw/dict body sizes;
+/// only the winning payload is materialized.
+fn encode_str(c: &TypedCol<Arc<str>>) -> EncodedColumn {
+    let mut prefix = Vec::new();
+    put_null_runs(&mut prefix, &c.nulls);
+    // FNV instead of SipHash: dictionary ids are assigned in scan order, so
+    // the emitted bytes cannot depend on the hasher.
+    let mut index: FastMap<&str, u64> = FastMap::default();
     let mut dict: Vec<&Arc<str>> = Vec::new();
-    let mut ids: Vec<u64> = Vec::new();
+    let mut ids: Vec<u64> = Vec::with_capacity(c.len());
+    let mut raw_body = 0usize;
+    let mut dict_entries = 0usize;
     for v in present_values(c) {
+        raw_body += varint_len(v.len() as u64) + v.len();
         let next = dict.len() as u64;
         let id = *index.entry(v.as_ref()).or_insert_with(|| {
+            dict_entries += varint_len(v.len() as u64) + v.len();
             dict.push(v);
             next
         });
         ids.push(id);
     }
-    put_varint(&mut out, dict.len() as u64);
-    for entry in &dict {
-        put_varint(&mut out, entry.len() as u64);
-        out.extend_from_slice(entry.as_bytes());
-    }
     let width = bits_for((dict.len() as u64).saturating_sub(1));
-    let mut bw = BitWriter::new();
-    for id in &ids {
-        bw.put(*id, width);
+    let dict_size = prefix.len()
+        + varint_len(dict.len() as u64)
+        + dict_entries
+        + packed_bytes(ids.len() as u64, width);
+    let raw_size = prefix.len() + raw_body;
+    let mut out = prefix;
+    out.reserve_exact(dict_size.min(raw_size) - out.len());
+    if raw_size < dict_size {
+        for v in present_values(c) {
+            put_varint(&mut out, v.len() as u64);
+            out.extend_from_slice(v.as_bytes());
+        }
+        EncodedColumn {
+            tag: TAG_STR,
+            codec: Codec::Raw,
+            payload: out,
+        }
+    } else {
+        put_varint(&mut out, dict.len() as u64);
+        for entry in &dict {
+            put_varint(&mut out, entry.len() as u64);
+            out.extend_from_slice(entry.as_bytes());
+        }
+        let mut bw = BitWriter::new();
+        for id in &ids {
+            bw.put(*id, width);
+        }
+        out.extend_from_slice(&bw.finish());
+        EncodedColumn {
+            tag: TAG_STR,
+            codec: Codec::Dict,
+            payload: out,
+        }
     }
-    out.extend_from_slice(&bw.finish());
-    out
 }
 
-fn str_raw_body(c: &TypedCol<Arc<str>>) -> Vec<u8> {
-    let mut out = Vec::new();
-    put_null_runs(&mut out, &c.nulls);
-    for v in present_values(c) {
-        put_varint(&mut out, v.len() as u64);
-        out.extend_from_slice(v.as_bytes());
-    }
-    out
-}
-
-fn bool_rle_body(c: &TypedCol<bool>) -> Vec<u8> {
-    let mut out = Vec::new();
-    put_null_runs(&mut out, &c.nulls);
+/// Run-length sizing/emission for `Bool` columns.
+fn encode_bool(c: &TypedCol<bool>) -> EncodedColumn {
+    let mut prefix = Vec::new();
+    put_null_runs(&mut prefix, &c.nulls);
     let mut runs: Vec<(bool, u64)> = Vec::new();
+    let mut count = 0usize;
     for v in present_values(c) {
+        count += 1;
         match runs.last_mut() {
             Some((val, len)) if *val == *v => *len += 1,
             _ => runs.push((*v, 1)),
         }
     }
-    put_varint(&mut out, runs.len() as u64);
-    for (v, len) in &runs {
-        out.push(u8::from(*v));
-        put_varint(&mut out, *len);
+    let rle_size = prefix.len()
+        + varint_len(runs.len() as u64)
+        + runs
+            .iter()
+            .map(|(_, len)| 1 + varint_len(*len))
+            .sum::<usize>();
+    let raw_size = prefix.len() + count;
+    let mut out = prefix;
+    out.reserve_exact(rle_size.min(raw_size) - out.len());
+    if raw_size < rle_size {
+        for v in present_values(c) {
+            out.push(u8::from(*v));
+        }
+        EncodedColumn {
+            tag: TAG_BOOL,
+            codec: Codec::Raw,
+            payload: out,
+        }
+    } else {
+        put_varint(&mut out, runs.len() as u64);
+        for (v, len) in &runs {
+            out.push(u8::from(*v));
+            put_varint(&mut out, *len);
+        }
+        EncodedColumn {
+            tag: TAG_BOOL,
+            codec: Codec::Rle,
+            payload: out,
+        }
     }
-    out
-}
-
-fn bool_raw_body(c: &TypedCol<bool>) -> Vec<u8> {
-    let mut out = Vec::new();
-    put_null_runs(&mut out, &c.nulls);
-    for v in present_values(c) {
-        out.push(u8::from(*v));
-    }
-    out
 }
 
 fn float_raw_body(c: &TypedCol<f64>) -> Vec<u8> {
     let mut out = Vec::new();
     put_null_runs(&mut out, &c.nulls);
+    out.reserve_exact(8 * (c.len() - c.nulls.count_ones()));
     for v in present_values(c) {
         out.extend_from_slice(&v.to_bits().to_le_bytes());
     }
@@ -434,10 +715,19 @@ pub struct StreamDecoder<'a> {
 
 impl<'a> StreamDecoder<'a> {
     pub fn new(enc: &'a Encoded) -> StreamDecoder<'a> {
+        StreamDecoder::with_morsel_capacity(enc, enc.nrows)
+    }
+
+    /// Like [`StreamDecoder::new`] but sizing the per-column accumulators
+    /// for `capacity`-row morsels instead of the whole edge — the right
+    /// constructor when every chunk is drained via
+    /// [`StreamDecoder::take_columns`] rather than accumulated for one
+    /// final [`StreamDecoder::finish`].
+    pub fn with_morsel_capacity(enc: &'a Encoded, capacity: usize) -> StreamDecoder<'a> {
         let columns = enc
             .columns
             .iter()
-            .map(|c| ColDecoder::new(c, enc.nrows))
+            .map(|c| ColDecoder::new(c, capacity.min(enc.nrows)))
             .collect();
         StreamDecoder {
             columns,
@@ -458,6 +748,22 @@ impl<'a> StreamDecoder<'a> {
             col.take(k);
         }
         self.remaining -= k;
+    }
+
+    /// Decode the next `rows` rows (clamped to what remains) and hand
+    /// them back as standalone morsel columns, leaving the accumulators
+    /// empty for the next morsel. Driving this per chunk yields columns
+    /// whose concatenation is bit-identical to one [`StreamDecoder::finish`].
+    pub fn take_columns(&mut self, rows: usize) -> Vec<Column> {
+        let k = rows.min(self.remaining);
+        for col in &mut self.columns {
+            col.take(k);
+        }
+        self.remaining -= k;
+        self.columns
+            .iter_mut()
+            .map(|c| c.take_morsel(self.remaining.min(k)))
+            .collect()
     }
 
     /// Finish the stream, yielding the reconstructed columns. Panics if
@@ -714,6 +1020,37 @@ impl<'a> ColDecoder<'a> {
             ColDecoder::Str { acc, .. } => Column::Str(Arc::new(acc)),
             ColDecoder::Bool { acc, .. } => Column::Bool(Arc::new(acc)),
             ColDecoder::Mixed { acc, .. } => Column::Mixed(Arc::new(acc)),
+        }
+    }
+
+    /// Swap the accumulated rows out as one morsel column, leaving a
+    /// fresh accumulator (sized for `next_cap` rows) behind.
+    fn take_morsel(&mut self, next_cap: usize) -> Column {
+        match self {
+            ColDecoder::Int { acc, .. } => Column::Int(Arc::new(std::mem::replace(
+                acc,
+                TypedCol::with_capacity(next_cap),
+            ))),
+            ColDecoder::Date { acc, .. } => Column::Date(Arc::new(std::mem::replace(
+                acc,
+                TypedCol::with_capacity(next_cap),
+            ))),
+            ColDecoder::Float { acc, .. } => Column::Float(Arc::new(std::mem::replace(
+                acc,
+                TypedCol::with_capacity(next_cap),
+            ))),
+            ColDecoder::Str { acc, .. } => Column::Str(Arc::new(std::mem::replace(
+                acc,
+                TypedCol::with_capacity(next_cap),
+            ))),
+            ColDecoder::Bool { acc, .. } => Column::Bool(Arc::new(std::mem::replace(
+                acc,
+                TypedCol::with_capacity(next_cap),
+            ))),
+            ColDecoder::Mixed { acc, .. } => Column::Mixed(Arc::new(std::mem::replace(
+                acc,
+                Vec::with_capacity(next_cap),
+            ))),
         }
     }
 }
@@ -1174,6 +1511,44 @@ mod tests {
             assert_eq!(decode_chunked(&enc, chunk), whole);
         }
         assert_eq!(enc.stats(0).chunks, 1);
+    }
+
+    #[test]
+    fn take_columns_morsels_match_whole_decode() {
+        let ints = col(&(0..997)
+            .map(|i| {
+                if i % 13 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i * 37)
+                }
+            })
+            .collect::<Vec<_>>());
+        let strs = col(&(0..997)
+            .map(|i| Value::Str(Arc::from(["north", "south", "east", "west"][i % 4])))
+            .collect::<Vec<_>>());
+        let enc = encode(&[ints, strs], 997);
+        let whole = decode(&enc);
+        for chunk in [1usize, 7, 256, 4096] {
+            let mut dec = StreamDecoder::with_morsel_capacity(&enc, chunk);
+            let mut row = 0;
+            while dec.remaining() > 0 {
+                let morsel = dec.take_columns(chunk);
+                let k = morsel[0].len();
+                assert!(k > 0 && k <= chunk);
+                for (w, m) in whole.iter().zip(&morsel) {
+                    assert!(
+                        std::mem::discriminant(w) == std::mem::discriminant(m),
+                        "morsel variant must match whole-decode variant"
+                    );
+                    for i in 0..k {
+                        assert_eq!(w.value(row + i), m.value(i));
+                    }
+                }
+                row += k;
+            }
+            assert_eq!(row, 997);
+        }
     }
 
     #[test]

@@ -112,4 +112,27 @@ proptest! {
             prop_assert!(stats.codec_bytes.is_empty());
         }
     }
+
+    /// The sizing-only pass prices an edge exactly as the real encoder
+    /// would — byte-for-byte, codec-for-codec — on arbitrary columns. This
+    /// is the contract that lets stats-only edges (mediator re-loads, the
+    /// final-result hop) skip payload materialization entirely.
+    #[test]
+    fn measure_matches_encode(cols in relation(), pick in 0usize..6) {
+        let chunk = [1usize, 3, 7, 64, 4096, 0][pick];
+        let n = cols[0].len();
+        let enc = wire::encode(&cols, n);
+        let measured = wire::measure(&cols, n);
+        prop_assert_eq!(measured.encoded_bytes(), enc.encoded_bytes());
+        prop_assert_eq!(measured.codec_bytes(), enc.codec_bytes());
+        let es = enc.stats(chunk);
+        let ms = measured.stats(chunk);
+        prop_assert_eq!(ms.encoded_bytes, es.encoded_bytes);
+        prop_assert_eq!(ms.chunks, es.chunks);
+        prop_assert_eq!(ms.codec_bytes, es.codec_bytes);
+        for (col, (codec, len)) in enc.columns().iter().zip(wire::measure(&cols, n).columns()) {
+            prop_assert_eq!(*codec, col.codec());
+            prop_assert_eq!(wire::COLUMN_HEADER_BYTES + len, col.encoded_bytes());
+        }
+    }
 }

@@ -174,6 +174,26 @@ impl<T: Clone + Default> TypedCol<T> {
             }
         }
     }
+
+    /// Append the rows of `other` selected by `sel`, in `sel` order,
+    /// preserving nulls exactly.
+    fn append_gather(&mut self, other: &TypedCol<T>, sel: &[u32]) {
+        if other.nulls.none_set() {
+            for &i in sel {
+                self.data.push(other.data[i as usize].clone());
+                self.nulls.push(false);
+            }
+        } else {
+            for &i in sel {
+                if other.nulls.get(i as usize) {
+                    self.push_null();
+                } else {
+                    self.data.push(other.data[i as usize].clone());
+                    self.nulls.push(false);
+                }
+            }
+        }
+    }
 }
 
 // ------------------------------------------------------------------ Column
@@ -311,6 +331,24 @@ impl Column {
                 Arc::make_mut(a).extend_from_slice(&b[start..start + len]);
             }
             _ => panic!("append_range: column variant mismatch"),
+        }
+    }
+
+    /// Append the rows of `other` (same variant) selected by `sel`, in
+    /// `sel` order — the fused filter half of morsel-wise ingestion
+    /// (gather and concatenate in one pass, no intermediate column).
+    /// Panics on variant mismatch.
+    pub fn append_gather(&mut self, other: &Column, sel: &[u32]) {
+        match (self, other) {
+            (Column::Int(a), Column::Int(b)) => Arc::make_mut(a).append_gather(b, sel),
+            (Column::Float(a), Column::Float(b)) => Arc::make_mut(a).append_gather(b, sel),
+            (Column::Str(a), Column::Str(b)) => Arc::make_mut(a).append_gather(b, sel),
+            (Column::Date(a), Column::Date(b)) => Arc::make_mut(a).append_gather(b, sel),
+            (Column::Bool(a), Column::Bool(b)) => Arc::make_mut(a).append_gather(b, sel),
+            (Column::Mixed(a), Column::Mixed(b)) => {
+                Arc::make_mut(a).extend(sel.iter().map(|&i| b[i as usize].clone()));
+            }
+            _ => panic!("append_gather: column variant mismatch"),
         }
     }
 
@@ -672,6 +710,34 @@ mod tests {
         let h = col.head(2);
         assert_eq!(h.len(), 2);
         assert_eq!(h.value(1), Value::Null);
+    }
+
+    #[test]
+    fn append_gather_matches_gather_then_append() {
+        let src = Column::from_values(vec![
+            Value::str("a"),
+            Value::Null,
+            Value::str("c"),
+            Value::str("d"),
+        ]);
+        let sel = [3u32, 1, 0];
+        let mut direct = src.empty_like();
+        direct.append_gather(&src, &sel);
+        let mut via_gather = src.empty_like();
+        let g = src.gather(&sel);
+        via_gather.append_range(&g, 0, g.len());
+        assert_eq!(
+            direct.iter().collect::<Vec<_>>(),
+            via_gather.iter().collect::<Vec<_>>()
+        );
+        // Mixed layout goes through the Value path.
+        let mixed = Column::Mixed(Arc::new(vec![Value::Int(1), Value::Float(2.0)]));
+        let mut out = mixed.empty_like();
+        out.append_gather(&mixed, &[1, 0]);
+        assert_eq!(
+            out.iter().collect::<Vec<_>>(),
+            vec![Value::Float(2.0), Value::Int(1)]
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod ast;
 pub mod bind;
 pub mod column;
 pub mod display;
+pub mod hash;
 pub mod lexer;
 pub mod optimize;
 pub mod parser;

@@ -34,6 +34,13 @@ XDB_STREAM_CHUNK=0 cargo run --release -q -p xdb-bench --bin repro -- \
   --sf 0.002 fig9 --out target/tier1-smoke-unchunked.txt
 cmp target/tier1-smoke-report.txt target/tier1-smoke-unchunked.txt
 
+# Reactor smoke test: the morsel-driven edge reactor moves decode and
+# consumer work onto a worker pool, but every deterministic observable
+# must stay byte-identical to the fully sequential engine.
+XDB_REACTOR_THREADS=2 cargo run --release -q -p xdb-bench --bin repro -- \
+  --sf 0.002 fig9 --out target/tier1-smoke-reactor.txt
+cmp target/tier1-smoke-reactor.txt target/tier1-smoke-seq.txt
+
 # Telemetry smoke test: the workload monitor must render its dashboard
 # plus Prometheus/JSON exports, the exports must be non-empty, and the
 # structured event log must export as JSON lines.

@@ -31,11 +31,17 @@
 //!                                # breach (scripts/bench_gate.sh)
 //! repro profile                  # critical-path bottleneck table over
 //!                                # the six TD1 queries
+//! repro calibrate --runs 2       # cost-model observatory: predicted-vs-
+//!                                # observed calibration error per engine/
+//!                                # codec/edge shape + per-query placement
+//!                                # regret (--td 1|2|3 picks the table
+//!                                # distribution)
 //! repro drift --baseline dir/ --current dir/ [--band PCT]
 //!                                # performance-drift detection between
 //!                                # two history stores: exit 1 on plan
-//!                                # flips, latency drift, or critical-
-//!                                # path composition shifts
+//!                                # flips, latency drift, critical-path
+//!                                # composition shifts, or cost-model
+//!                                # calibration drift
 //! repro --history dir/ profile   # record query history (JSON lines) to
 //!                                # dir/history.jsonl (XDB_HISTORY_DIR
 //!                                # works for any target)
@@ -45,7 +51,7 @@
 
 use std::io::Write;
 use xdb_bench::experiments as exp;
-use xdb_bench::{drift, gate, monitor, profiler, tenants};
+use xdb_bench::{calibrate, drift, gate, monitor, profiler, tenants};
 use xdb_obs::json;
 use xdb_tpch::{TableDist, TpchQuery};
 
@@ -75,6 +81,7 @@ fn main() {
     let mut drift_baseline: Option<String> = None;
     let mut drift_current: Option<String> = None;
     let mut drift_band = drift::DEFAULT_NOISE_PCT;
+    let mut calibrate_td = TableDist::Td1;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -117,6 +124,17 @@ fn main() {
             "--history" => history_dir = Some(it.next().expect("--history takes a directory")),
             "--log-level" => {
                 log_level = Some(it.next().expect("--log-level takes debug|info|warn|error"));
+            }
+            "--td" => {
+                calibrate_td = match it.next().as_deref() {
+                    Some("1") | Some("td1") => TableDist::Td1,
+                    Some("2") | Some("td2") => TableDist::Td2,
+                    Some("3") | Some("td3") => TableDist::Td3,
+                    other => {
+                        eprintln!("repro: --td takes 1|2|3, got {other:?}");
+                        std::process::exit(2);
+                    }
+                };
             }
             "--baseline" => drift_baseline = Some(it.next().expect("--baseline takes a directory")),
             "--current" => drift_current = Some(it.next().expect("--current takes a directory")),
@@ -170,6 +188,7 @@ fn main() {
              \x20      repro [--sf X] [--runs R] [--tenants N] [--digest prefix] tenants\n\
              \x20      repro gate [--exec-baseline B --exec-current C] [--monitor-baseline B]\n\
              \x20      repro [--sf X] [--history dir] profile\n\
+             \x20      repro [--sf X] [--runs N] [--td 1|2|3] calibrate\n\
              \x20      repro drift --baseline dir --current dir [--band PCT]\n\
              \x20      repro --check-trace out.json"
         );
@@ -288,6 +307,12 @@ fn main() {
             std::fs::write(path, json).expect("write --json file");
             eprintln!("(monitor JSON incl. tenant series -> {path})");
         }
+    }
+    // `calibrate` is likewise not part of `all`: it re-runs the six-query
+    // workload with the cost-model observatory and has its own report.
+    if targets.iter().any(|t| t == "calibrate") {
+        let report = calibrate::run_calibrate(calibrate_td, sf, runs).expect("calibrate workload");
+        write!(out, "{}", report.render()).unwrap();
     }
     // `profile` is likewise not part of `all`: it re-runs the six-query
     // workload with critical-path analysis and has its own table format.
@@ -409,9 +434,10 @@ fn run_gate(
 }
 
 /// `repro drift`: compare two history directories; exit 1 when any drift
-/// was found (plan flip, latency beyond the band, composition shift, or
-/// a baseline query missing from the current store), 2 on usage or load
-/// errors (including schema-version mismatches).
+/// was found (plan flip, latency beyond the band, composition shift,
+/// cost-model calibration drift, or a baseline query missing from the
+/// current store), 2 on usage or load errors (including schema-version
+/// mismatches).
 fn run_drift(baseline: Option<String>, current: Option<String>, band_pct: f64) {
     let (Some(base), Some(cur)) = (baseline, current) else {
         eprintln!("drift: pass --baseline dir/ and --current dir/");

@@ -1,0 +1,263 @@
+//! `repro calibrate` — the cost-model observatory report.
+//!
+//! Runs the six-query TPC-H workload against a TDx on-premise federation
+//! with an in-memory history store, then folds every run's
+//! predicted-vs-observed cost observation (see `xdb_core::observatory`)
+//! into calibration-error distributions — wire-time error per consuming
+//! engine, byte error per wire codec, wire-time error per edge shape,
+//! compute-unit calibration per engine — plus a per-query
+//! placement-regret table (observed cost of the chosen plan vs the
+//! model's best rejected candidate).
+//!
+//! Everything is taken off the simulated clock and the deterministic
+//! ledger, so the whole report is bit-identical across invocations and
+//! executor modes.
+
+use crate::experiments::{env, CLOUD};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use xdb_core::{Xdb, XdbOptions};
+use xdb_engine::error::Result;
+use xdb_engine::profile::EngineProfile;
+use xdb_net::Scenario;
+use xdb_obs::costmodel::ErrorStats;
+use xdb_obs::{summarize, CalibrationSummary, Telemetry};
+use xdb_tpch::{ProfileAssignment, TableDist, TpchQuery};
+
+/// Per-query regret/error aggregation (means per run).
+#[derive(Debug, Clone, Default)]
+pub struct QueryCalibration {
+    pub query: String,
+    pub runs: u64,
+    /// Cross-database placement decisions per run.
+    pub decisions: f64,
+    /// Mean predicted cost of the chosen candidates (Eq. 1 ms) per run.
+    pub predicted_ms: f64,
+    /// Mean observed cost (compute terms + re-priced movements) per run.
+    pub observed_ms: f64,
+    /// Mean positive placement regret per run.
+    pub regret_ms: f64,
+    /// Mean |wire-time prediction error| in percent across matched edges.
+    pub wire_abs_err_pct: f64,
+}
+
+/// Output of [`run_calibrate`].
+pub struct CalibrateReport {
+    pub sf: f64,
+    pub runs: usize,
+    pub td: TableDist,
+    pub summary: CalibrationSummary,
+    /// Workload order (Q1..), one row per TPC-H query.
+    pub per_query: Vec<QueryCalibration>,
+}
+
+/// Run the six-query workload `runs` times on `td` and aggregate the
+/// cost-model observatory records. Honors `XDB_SEQUENTIAL=1`; the report
+/// is bit-identical either way.
+pub fn run_calibrate(td: TableDist, sf: f64, runs: usize) -> Result<CalibrateReport> {
+    let parallel = std::env::var_os("XDB_SEQUENTIAL").is_none();
+    // Isolated telemetry with an in-memory history store: the observatory
+    // bundle rides every history record, which is exactly the join this
+    // report aggregates.
+    let telemetry = Telemetry::new_handle();
+    telemetry.history.enable_memory();
+    let mut e = env(
+        td,
+        sf,
+        Scenario::OnPremise,
+        &ProfileAssignment::uniform(EngineProfile::postgres()),
+    )?;
+    e.catalog.set_telemetry(Arc::clone(&telemetry));
+    e.cluster.set_telemetry(Arc::clone(&telemetry));
+    for q in TpchQuery::ALL {
+        telemetry.history.set_label(q.name());
+        for _ in 0..runs {
+            e.cluster.ledger.clear();
+            let xdb = Xdb::new(&e.cluster, &e.catalog)
+                .with_client_node(CLOUD)
+                .with_options(XdbOptions {
+                    parallel_execution: parallel,
+                    ..Default::default()
+                });
+            xdb.submit(q.sql())?;
+        }
+    }
+    telemetry.history.set_label("");
+    let records = telemetry.history.records();
+    let summary = summarize(&records);
+
+    let mut per: BTreeMap<String, QueryCalibration> = BTreeMap::new();
+    for r in &records {
+        let qc = per
+            .entry(r.label.clone())
+            .or_insert_with(|| QueryCalibration {
+                query: r.label.clone(),
+                ..Default::default()
+            });
+        qc.runs += 1;
+        qc.decisions += r.cost.decisions.len() as f64;
+        qc.predicted_ms += r.cost.decisions.iter().map(|d| d.predicted_ms).sum::<f64>();
+        qc.observed_ms += r.cost.decisions.iter().map(|d| d.observed_ms).sum::<f64>();
+        qc.regret_ms += r.cost.regret_ms();
+        qc.wire_abs_err_pct += r.cost.wire_abs_err_pct();
+    }
+    let per_query = TpchQuery::ALL
+        .iter()
+        .filter_map(|q| per.remove(q.name()))
+        .map(|mut qc| {
+            let n = qc.runs.max(1) as f64;
+            qc.decisions /= n;
+            qc.predicted_ms /= n;
+            qc.observed_ms /= n;
+            qc.regret_ms /= n;
+            qc.wire_abs_err_pct /= n;
+            qc
+        })
+        .collect();
+    Ok(CalibrateReport {
+        sf,
+        runs,
+        td,
+        summary,
+        per_query,
+    })
+}
+
+fn stats_table(out: &mut String, header: &str, rows: &BTreeMap<String, ErrorStats>) {
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(
+        out,
+        "  {:<28} {:>5} {:>9} {:>9} {:>9} {:>9}",
+        "key", "n", "mean%", "mean|%|", "min%", "max%"
+    );
+    for (key, s) in rows {
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>5} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            key,
+            s.count,
+            s.mean_pct(),
+            s.mean_abs_pct(),
+            s.min_pct,
+            s.max_pct
+        );
+    }
+}
+
+impl CalibrateReport {
+    /// The text report `repro calibrate` prints.
+    pub fn render(&self) -> String {
+        let s = &self.summary;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== cost-model observatory: {} calibration (sf {}, {} run(s) per query) ==",
+            self.td.name(),
+            self.sf,
+            self.runs
+        );
+        let _ = writeln!(
+            out,
+            "decisions {}, matched edges {}, unmatched edges {}",
+            s.decisions, s.matched_edges, s.unmatched_edges
+        );
+        let _ = writeln!(
+            out,
+            "placement regret: {:.3} ms positive, {:+.3} ms net",
+            s.regret_ms, s.net_regret_ms
+        );
+        stats_table(
+            &mut out,
+            "wire-time prediction error by engine:",
+            &s.wire_by_engine,
+        );
+        stats_table(
+            &mut out,
+            "byte prediction error by codec (estimated raw vs wire encoded):",
+            &s.bytes_by_codec,
+        );
+        stats_table(
+            &mut out,
+            "wire-time prediction error by edge shape:",
+            &s.wire_by_shape,
+        );
+        let _ = writeln!(out, "compute calibration by engine (reference units):");
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>12} {:>12} {:>7}",
+            "engine", "pred ms", "obs ms", "ratio"
+        );
+        for (engine, (pred, obs)) in &s.compute_by_engine {
+            let ratio = if *obs > 0.0 { pred / obs } else { 0.0 };
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>12.3} {:>12.3} {:>6.2}x",
+                engine, pred, obs, ratio
+            );
+        }
+        let _ = writeln!(out, "per-query placement regret:");
+        let _ = writeln!(
+            out,
+            "  {:<6} {:>5} {:>5} {:>12} {:>12} {:>10} {:>10}",
+            "query", "runs", "dec", "pred ms", "obs ms", "regret ms", "wire|%|"
+        );
+        for q in &self.per_query {
+            let _ = writeln!(
+                out,
+                "  {:<6} {:>5} {:>5.0} {:>12.3} {:>12.3} {:>10.3} {:>10.1}",
+                q.query,
+                q.runs,
+                q.decisions,
+                q.predicted_ms,
+                q.observed_ms,
+                q.regret_ms,
+                q.wire_abs_err_pct
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEST_SF: f64 = 0.002;
+
+    #[test]
+    fn calibrate_covers_workload_and_renders() {
+        let report = run_calibrate(TableDist::Td1, TEST_SF, 1).unwrap();
+        let s = &report.summary;
+        assert!(s.decisions > 0, "no placement decisions recorded");
+        assert!(s.matched_edges > 0, "no ledger edges joined");
+        assert!(!s.wire_by_engine.is_empty());
+        assert!(!s.bytes_by_codec.is_empty());
+        assert!(!s.wire_by_shape.is_empty());
+        assert!(!s.compute_by_engine.is_empty());
+        // All six queries run and the label survives into the table.
+        assert_eq!(report.per_query.len(), TpchQuery::ALL.len());
+        for q in &report.per_query {
+            assert_eq!(q.runs, 1);
+            assert!(q.predicted_ms >= 0.0);
+        }
+        // At least one query makes a real cross-database decision.
+        assert!(report.per_query.iter().any(|q| q.decisions > 0.0));
+        let text = report.render();
+        assert!(text.contains("cost-model observatory"), "{text}");
+        assert!(text.contains("placement regret"), "{text}");
+        assert!(text.contains("prediction error by engine"), "{text}");
+        assert!(text.contains("by codec"), "{text}");
+        assert!(text.contains("by edge shape"), "{text}");
+        for q in TpchQuery::ALL {
+            assert!(text.contains(q.name()), "{text}");
+        }
+    }
+
+    #[test]
+    fn calibrate_is_deterministic_across_invocations() {
+        let a = run_calibrate(TableDist::Td1, TEST_SF, 1).unwrap();
+        let b = run_calibrate(TableDist::Td1, TEST_SF, 1).unwrap();
+        assert_eq!(a.render(), b.render());
+    }
+}

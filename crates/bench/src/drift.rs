@@ -11,7 +11,13 @@
 //!    noise band (default ±5%);
 //! 3. **Composition shifts** — the critical-path category mix changed:
 //!    a different dominant category (e.g. compute-bound → transfer-
-//!    bound) or any category's share moving by more than 15 points.
+//!    bound) or any category's share moving by more than 15 points;
+//! 4. **Calibration drift** — the cost-model observatory's mean
+//!    |wire-time prediction error| moved by more than 10 points: the
+//!    Eq. 1–3 model got systematically better or worse at pricing the
+//!    wire (e.g. a cost-profile or codec skew). Skipped when either side
+//!    carries no observatory data (schema-v1 baselines), so old baselines
+//!    keep working.
 //!
 //! Everything compares simulated-clock state, so a self-compare of two
 //! runs of the same build is *exactly* zero findings — any finding is a
@@ -20,6 +26,7 @@
 //! `XDB_BENCH_GATE=1`.
 
 use std::collections::BTreeMap;
+use xdb_obs::costmodel::{error_pct, ErrorStats};
 use xdb_obs::history::{load_history_dir, HistoryRecord};
 
 /// Default latency noise band, percent.
@@ -27,6 +34,9 @@ pub const DEFAULT_NOISE_PCT: f64 = 5.0;
 /// A category's critical-path share moving by more than this many
 /// percentage points is a composition shift.
 pub const COMPOSITION_POINTS: f64 = 15.0;
+/// The observatory's mean |wire-time prediction error| moving by more
+/// than this many percentage points is calibration drift.
+pub const CALIBRATION_POINTS: f64 = 10.0;
 
 /// What kind of drift a finding describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +47,8 @@ pub enum DriftKind {
     Latency,
     /// Critical-path composition changed.
     Composition,
+    /// Cost-model wire-time prediction error moved beyond the band.
+    Calibration,
     /// A baseline query group is absent from the current store.
     Coverage,
 }
@@ -47,6 +59,7 @@ impl DriftKind {
             DriftKind::PlanFlip => "plan-flip",
             DriftKind::Latency => "latency",
             DriftKind::Composition => "composition",
+            DriftKind::Calibration => "calibration",
             DriftKind::Coverage => "coverage",
         }
     }
@@ -112,6 +125,10 @@ struct Group {
     mean_total_ms: f64,
     /// Mean critical-path share per category, percent.
     shares: BTreeMap<String, f64>,
+    /// Wire-time prediction error across every matched observatory edge
+    /// of the group. `count == 0` for schema-v1 records without cost
+    /// observations.
+    cal: ErrorStats,
 }
 
 fn group(records: &[HistoryRecord]) -> BTreeMap<(String, String), Group> {
@@ -148,6 +165,14 @@ fn group(records: &[HistoryRecord]) -> BTreeMap<(String, String), Group> {
             for v in shares.values_mut() {
                 *v /= rs.len() as f64;
             }
+            let mut cal = ErrorStats::default();
+            for r in rs.iter() {
+                for d in &r.cost.decisions {
+                    for e in d.edges.iter().filter(|e| e.matched) {
+                        cal.push(error_pct(e.pred_wire_ms, e.obs_wire_ms));
+                    }
+                }
+            }
             (
                 key,
                 Group {
@@ -155,6 +180,7 @@ fn group(records: &[HistoryRecord]) -> BTreeMap<(String, String), Group> {
                     fingerprints,
                     mean_total_ms,
                     shares,
+                    cal,
                 },
             )
         })
@@ -216,6 +242,21 @@ pub fn compare(
                     detail: format!(
                         "mean total {:.3} ms -> {:.3} ms ({:+.1}%, band ±{}%)",
                         b.mean_total_ms, c.mean_total_ms, delta_pct, noise_pct
+                    ),
+                });
+            }
+        }
+        // Calibration drift needs observatory data on both sides: v1
+        // baselines (no cost observations) are simply not checked.
+        if b.cal.count > 0 && c.cal.count > 0 {
+            let (be, ce) = (b.cal.mean_abs_pct(), c.cal.mean_abs_pct());
+            if (ce - be).abs() > CALIBRATION_POINTS {
+                report.findings.push(DriftFinding {
+                    kind: DriftKind::Calibration,
+                    query: c.display.clone(),
+                    detail: format!(
+                        "mean |wire-time prediction error| moved {be:.1}% -> {ce:.1}% \
+                         (>{CALIBRATION_POINTS} points)"
                     ),
                 });
             }
@@ -293,7 +334,32 @@ mod tests {
             ],
             edges: Vec::new(),
             statements: Vec::new(),
+            cost: Default::default(),
         }
+    }
+
+    /// Attach an observatory bundle with one matched wire edge priced
+    /// `pred_wire_ms` by the model and `obs_wire_ms` by the ledger.
+    fn with_cal(mut r: HistoryRecord, pred_wire_ms: f64, obs_wire_ms: f64) -> HistoryRecord {
+        r.cost = xdb_obs::CostObservation {
+            decisions: vec![xdb_obs::DecisionObs {
+                dbms: "hdb".to_string(),
+                edges: vec![xdb_obs::EdgeJoin {
+                    from: "cdb".to_string(),
+                    to: "hdb".to_string(),
+                    movement: "implicit".to_string(),
+                    engine: "hdb".to_string(),
+                    codec: "dict".to_string(),
+                    pred_wire_ms,
+                    obs_wire_ms,
+                    matched: true,
+                    ..Default::default()
+                }],
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        r
     }
 
     #[test]
@@ -344,6 +410,45 @@ mod tests {
             .any(|f| f.kind == DriftKind::Composition
                 && f.detail.contains("compute-bound")
                 && f.detail.contains("transfer-bound")));
+    }
+
+    #[test]
+    fn cost_profile_skew_is_flagged_as_calibration_drift() {
+        // Baseline: the model prices the wire perfectly. Current: the same
+        // edge costs 4x the prediction (an injected cost-profile skew) —
+        // the |error| jumps 0% -> 75%, far past the 10-point band.
+        let base = vec![with_cal(record("Q3", "aaaa", 100.0), 10.0, 10.0)];
+        let skew = vec![with_cal(record("Q3", "aaaa", 100.0), 10.0, 40.0)];
+        let report = compare(&base, &skew, DEFAULT_NOISE_PCT);
+        assert!(!report.passed());
+        let f = report
+            .findings
+            .iter()
+            .find(|f| f.kind == DriftKind::Calibration)
+            .expect("calibration finding");
+        assert!(
+            f.detail.contains("wire-time prediction error"),
+            "{}",
+            f.detail
+        );
+        assert!(
+            report.render().contains("calibration"),
+            "{}",
+            report.render()
+        );
+        // Self-compare with observatory data stays clean.
+        assert!(compare(&base, &base, DEFAULT_NOISE_PCT).passed());
+    }
+
+    #[test]
+    fn v1_baselines_without_cost_data_skip_the_calibration_check() {
+        // A schema-v1 baseline has no observatory bundle; even a current
+        // store with large prediction error must not be compared against
+        // nothing.
+        let base = vec![record("Q3", "aaaa", 100.0)];
+        let cur = vec![with_cal(record("Q3", "aaaa", 100.0), 10.0, 40.0)];
+        let report = compare(&base, &cur, DEFAULT_NOISE_PCT);
+        assert!(report.passed(), "{}", report.render());
     }
 
     #[test]

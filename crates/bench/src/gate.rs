@@ -29,8 +29,10 @@ pub const MONITOR_THRESHOLD_PCT: f64 = 0.5;
 /// `BENCH_monitor.json`). The gate rejects mismatched-version baselines
 /// instead of mis-parsing them. v2 added the engine-link profile
 /// dimension (`onprem` / `geo`): rows carry a `"profile"` field and gate
-/// keys read `profile/query/deployment/metric`.
-pub const MONITOR_SCHEMA_VERSION: u64 = 2;
+/// keys read `profile/query/deployment/metric`. v3 added the per-codec
+/// byte split (`.../codec_bytes/<codec>`) and the cost-model observatory
+/// series (`.../cal_abs_err_pct`, `.../regret_ms` on XDB cells).
+pub const MONITOR_SCHEMA_VERSION: u64 = 3;
 
 /// One gated series.
 #[derive(Debug, Clone)]
@@ -259,11 +261,11 @@ mod tests {
 
     #[test]
     fn parses_monitor_snapshot_format() {
-        let text = r#"{"bench": "monitor", "schema_version": 2,
-            "values": {"onprem/Q3/xdb/p50_ms": 12.5, "onprem/Q3/xdb/mean_bytes": 1024}}"#;
+        let text = r#"{"bench": "monitor", "schema_version": 3,
+            "values": {"onprem/Q3/xdb/p50_ms": 12.5, "onprem/Q3/xdb/cal_abs_err_pct": 4.2}}"#;
         let m = parse_monitor_snapshot(text).unwrap();
         assert_eq!(m["onprem/Q3/xdb/p50_ms"], 12.5);
-        assert!(parse_monitor_snapshot(r#"{"schema_version": 2, "values": {}}"#).is_err());
+        assert!(parse_monitor_snapshot(r#"{"schema_version": 3, "values": {}}"#).is_err());
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! - `cargo bench -p xdb-bench` — Criterion benchmarks, one per
 //!   table/figure, timing each reproduction pipeline at a small scale.
 
+pub mod calibrate;
 pub mod drift;
 pub mod experiments;
 pub mod gate;

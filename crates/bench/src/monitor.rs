@@ -60,6 +60,19 @@ pub struct MonitorRow {
     pub mean_encoded_bytes: f64,
     /// Consultation-cache hit rate over the probes this cell issued.
     pub cache_hit_rate: f64,
+    /// Mean encoded bytes per run split by wire codec, over every ledger
+    /// edge of the run (codec name → bytes). This is the per-codec split
+    /// the history store already records per edge
+    /// (`Transfer::codec_bytes`), surfaced per dashboard cell.
+    pub codec_bytes: Vec<(String, f64)>,
+    /// Mean |predicted vs observed wire-time error| in percent over the
+    /// cost-model observatory's matched edges (XDB cells only; mediators
+    /// make no Eq. 1–3 placement decisions).
+    pub cal_abs_err_pct: f64,
+    /// Mean positive placement regret per run in simulated ms (XDB cells
+    /// only): observed cost of the chosen plan beyond the model's best
+    /// rejected candidate.
+    pub regret_ms: f64,
 }
 
 /// Aggregated monitor output plus the registries behind it.
@@ -114,6 +127,11 @@ pub fn run_monitor_with(
         envs.push((pname, e));
     }
     let fleet = fleet.expect("at least one monitor profile");
+    // Per-cell accumulators the registry does not model: the per-codec
+    // byte split (variable key set) and the observatory error/regret sums.
+    type Cell = (String, String, String);
+    let mut codec_cells: BTreeMap<Cell, BTreeMap<String, f64>> = BTreeMap::new();
+    let mut cal_cells: BTreeMap<Cell, (f64, f64)> = BTreeMap::new();
     for (pname, e) in &envs {
         for q in TpchQuery::ALL {
             for dep in DEPLOYMENTS {
@@ -122,16 +140,20 @@ pub fn run_monitor_with(
                     // the per-run consultation delta, immune to everything
                     // the workload did before.
                     let before = e.catalog.metrics_snapshot();
-                    let (latency_ms, moved, encoded) = run_one(e, dep, q.sql(), parallel)?;
+                    let sample = run_one(e, dep, q.sql(), parallel)?;
                     let delta = e.catalog.metrics_snapshot().diff(&before);
                     let labels = [
                         ("profile", *pname),
                         ("query", q.name()),
                         ("deployment", dep),
                     ];
-                    registry.observe("monitor.latency_ms", &labels, latency_ms);
-                    registry.observe("monitor.bytes_moved", &labels, moved as f64);
-                    registry.observe("monitor.encoded_bytes_moved", &labels, encoded as f64);
+                    registry.observe("monitor.latency_ms", &labels, sample.latency_ms);
+                    registry.observe("monitor.bytes_moved", &labels, sample.moved as f64);
+                    registry.observe(
+                        "monitor.encoded_bytes_moved",
+                        &labels,
+                        sample.encoded as f64,
+                    );
                     registry.counter_add("monitor.runs", &labels, 1.0);
                     registry.counter_add(
                         "monitor.cache_hits",
@@ -143,6 +165,32 @@ pub fn run_monitor_with(
                         &labels,
                         delta.get("consult.cache_misses"),
                     );
+                    let cell = (pname.to_string(), q.name().to_string(), dep.to_string());
+                    let codecs = codec_cells.entry(cell.clone()).or_default();
+                    for (codec, bytes) in sample.codec_bytes {
+                        registry.counter_add(
+                            "monitor.codec_bytes",
+                            &[
+                                ("profile", pname),
+                                ("query", q.name()),
+                                ("deployment", dep),
+                                ("codec", codec),
+                            ],
+                            bytes as f64,
+                        );
+                        *codecs.entry(codec.to_string()).or_insert(0.0) += bytes as f64;
+                    }
+                    if dep == "xdb" {
+                        registry.observe(
+                            "monitor.cal_abs_err_pct",
+                            &labels,
+                            sample.cal_abs_err_pct,
+                        );
+                        registry.observe("monitor.regret_ms", &labels, sample.regret_ms);
+                        let cal = cal_cells.entry(cell).or_insert((0.0, 0.0));
+                        cal.0 += sample.cal_abs_err_pct;
+                        cal.1 += sample.regret_ms;
+                    }
                 }
             }
         }
@@ -177,6 +225,16 @@ pub fn run_monitor_with(
                 };
                 let hits = registry.value("monitor.cache_hits", &labels);
                 let probes = hits + registry.value("monitor.cache_misses", &labels);
+                let cell = (pname.to_string(), q.name().to_string(), dep.to_string());
+                let per_run = |sum: f64| if n > 0 { sum / n as f64 } else { 0.0 };
+                let codec_bytes: Vec<(String, f64)> = codec_cells
+                    .get(&cell)
+                    .map(|m| m.iter().map(|(k, v)| (k.clone(), per_run(*v))).collect())
+                    .unwrap_or_default();
+                let (cal_abs_err_pct, regret_ms) = cal_cells
+                    .get(&cell)
+                    .map(|(err, regret)| (per_run(*err), per_run(*regret)))
+                    .unwrap_or((0.0, 0.0));
                 rows.push(MonitorRow {
                     profile: pname,
                     query: q.name(),
@@ -188,6 +246,9 @@ pub fn run_monitor_with(
                     mean_bytes,
                     mean_encoded_bytes,
                     cache_hit_rate: if probes > 0.0 { hits / probes } else { 0.0 },
+                    codec_bytes,
+                    cal_abs_err_pct,
+                    regret_ms,
                 });
             }
         }
@@ -215,10 +276,34 @@ pub fn run_monitor_with(
     })
 }
 
-/// Execute `sql` once under `deployment`, returning (latency_ms,
-/// bytes_moved). Latency is end-to-end simulated time including the
-/// middleware phases, matching what each system's user would observe.
-fn run_one(e: &Env, deployment: &str, sql: &str, parallel: bool) -> Result<(f64, u64, u64)> {
+/// One run's observations, taken off the per-run ledger and (for XDB)
+/// the query's cost-model observatory record.
+struct RunSample {
+    latency_ms: f64,
+    moved: u64,
+    encoded: u64,
+    /// Encoded bytes per wire codec over every ledger edge of the run.
+    codec_bytes: Vec<(&'static str, u64)>,
+    cal_abs_err_pct: f64,
+    regret_ms: f64,
+}
+
+/// Sum the per-codec byte split across every edge the run appended to the
+/// (cleared-per-run) ledger.
+fn codec_split(e: &Env) -> Vec<(&'static str, u64)> {
+    let mut split: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for t in e.cluster.ledger.snapshot() {
+        for (codec, bytes) in t.codec_bytes {
+            *split.entry(codec).or_insert(0) += bytes;
+        }
+    }
+    split.into_iter().collect()
+}
+
+/// Execute `sql` once under `deployment`. Latency is end-to-end simulated
+/// time including the middleware phases, matching what each system's user
+/// would observe.
+fn run_one(e: &Env, deployment: &str, sql: &str, parallel: bool) -> Result<RunSample> {
     e.cluster.ledger.clear();
     match deployment {
         "xdb" => {
@@ -236,21 +321,49 @@ fn run_one(e: &Env, deployment: &str, sql: &str, parallel: bool) -> Result<(f64,
                 .ledger
                 .encoded_bytes_for(Purpose::InterDbmsPipeline)
                 + e.cluster.ledger.encoded_bytes_for(Purpose::Materialization);
-            Ok((out.breakdown.total_ms(), moved, encoded))
+            Ok(RunSample {
+                latency_ms: out.breakdown.total_ms(),
+                moved,
+                encoded,
+                codec_bytes: codec_split(e),
+                cal_abs_err_pct: out.cost.wire_abs_err_pct(),
+                regret_ms: out.cost.regret_ms(),
+            })
         }
         "garlic" => {
             let r =
                 Mediator::new(&e.cluster, &e.catalog, MediatorConfig::garlic(CLOUD)).submit(sql)?;
-            Ok((r.total_ms, r.fetch_bytes, r.fetch_encoded_bytes))
+            Ok(RunSample {
+                latency_ms: r.total_ms,
+                moved: r.fetch_bytes,
+                encoded: r.fetch_encoded_bytes,
+                codec_bytes: codec_split(e),
+                cal_abs_err_pct: 0.0,
+                regret_ms: 0.0,
+            })
         }
         "presto4" => {
             let r = Mediator::new(&e.cluster, &e.catalog, MediatorConfig::presto(CLOUD, 4))
                 .submit(sql)?;
-            Ok((r.total_ms, r.fetch_bytes, r.fetch_encoded_bytes))
+            Ok(RunSample {
+                latency_ms: r.total_ms,
+                moved: r.fetch_bytes,
+                encoded: r.fetch_encoded_bytes,
+                codec_bytes: codec_split(e),
+                cal_abs_err_pct: 0.0,
+                regret_ms: 0.0,
+            })
         }
         "sclera" => {
             let r = Sclera::new(&e.cluster, &e.catalog, CLOUD).submit(sql)?;
-            Ok((r.total_ms, r.moved_bytes, r.moved_encoded_bytes))
+            Ok(RunSample {
+                latency_ms: r.total_ms,
+                moved: r.moved_bytes,
+                encoded: r.moved_encoded_bytes,
+                codec_bytes: codec_split(e),
+                cal_abs_err_pct: 0.0,
+                regret_ms: 0.0,
+            })
         }
         other => Err(EngineError::Unsupported(format!(
             "unknown deployment {other:?}"
@@ -269,7 +382,7 @@ impl MonitorReport {
         );
         let _ = writeln!(
             out,
-            "{:<7} {:<6} {:<10} {:>4} {:>12} {:>12} {:>12} {:>12} {:>10} {:>7} {:>10}",
+            "{:<7} {:<6} {:<10} {:>4} {:>12} {:>12} {:>12} {:>12} {:>10} {:>7} {:>10} {:>8} {:>10}",
             "profile",
             "query",
             "deploy",
@@ -280,10 +393,13 @@ impl MonitorReport {
             "moved KB",
             "wire KB",
             "ratio",
-            "cache hit"
+            "cache hit",
+            "calerr%",
+            "regret ms"
         );
         let mut raw_total = 0.0f64;
         let mut enc_total = 0.0f64;
+        let mut codec_totals: BTreeMap<&str, f64> = BTreeMap::new();
         for r in &self.rows {
             let ratio = if r.mean_encoded_bytes > 0.0 {
                 r.mean_bytes / r.mean_encoded_bytes
@@ -292,9 +408,12 @@ impl MonitorReport {
             };
             raw_total += r.mean_bytes;
             enc_total += r.mean_encoded_bytes;
+            for (codec, bytes) in &r.codec_bytes {
+                *codec_totals.entry(codec).or_insert(0.0) += bytes * r.runs as f64;
+            }
             let _ = writeln!(
                 out,
-                "{:<7} {:<6} {:<10} {:>4} {:>12.3} {:>12.3} {:>12.3} {:>12.1} {:>10.1} {:>6.2}x {:>9.1}%",
+                "{:<7} {:<6} {:<10} {:>4} {:>12.3} {:>12.3} {:>12.3} {:>12.1} {:>10.1} {:>6.2}x {:>9.1}% {:>8.1} {:>10.3}",
                 r.profile,
                 r.query,
                 r.deployment,
@@ -305,7 +424,9 @@ impl MonitorReport {
                 r.mean_bytes / 1e3,
                 r.mean_encoded_bytes / 1e3,
                 ratio,
-                100.0 * r.cache_hit_rate
+                100.0 * r.cache_hit_rate,
+                r.cal_abs_err_pct,
+                r.regret_ms
             );
         }
         if enc_total > 0.0 {
@@ -316,6 +437,13 @@ impl MonitorReport {
                 enc_total / 1e3,
                 raw_total / enc_total
             );
+        }
+        if !codec_totals.is_empty() {
+            let mut line = String::from("codec split (all wire edges):");
+            for (codec, bytes) in &codec_totals {
+                let _ = write!(line, " {codec}={:.1}KB", bytes / 1e3);
+            }
+            let _ = writeln!(out, "{line}");
         }
         let mut hwm_line = String::from("live delegation objects (high-water):");
         let mut max = 0.0f64;
@@ -353,6 +481,25 @@ impl MonitorReport {
                 format!("{}/{}/{}/mean_enc_bytes", r.profile, r.query, r.deployment),
                 r.mean_encoded_bytes,
             );
+            for (codec, bytes) in &r.codec_bytes {
+                v.insert(
+                    format!(
+                        "{}/{}/{}/codec_bytes/{}",
+                        r.profile, r.query, r.deployment, codec
+                    ),
+                    *bytes,
+                );
+            }
+            if r.deployment == "xdb" {
+                v.insert(
+                    format!("{}/{}/{}/cal_abs_err_pct", r.profile, r.query, r.deployment),
+                    r.cal_abs_err_pct,
+                );
+                v.insert(
+                    format!("{}/{}/{}/regret_ms", r.profile, r.query, r.deployment),
+                    r.regret_ms,
+                );
+            }
         }
         v
     }
@@ -386,11 +533,23 @@ impl MonitorReport {
         }
         out.push_str("  \"rows\": [\n");
         for (i, r) in self.rows.iter().enumerate() {
+            let mut codecs = String::from("{");
+            for (j, (codec, bytes)) in r.codec_bytes.iter().enumerate() {
+                let _ = write!(
+                    codecs,
+                    "{}{}: {}",
+                    if j > 0 { ", " } else { "" },
+                    json_string(codec),
+                    json_number(*bytes)
+                );
+            }
+            codecs.push('}');
             let _ = writeln!(
                 out,
                 "    {{\"profile\": {}, \"query\": {}, \"deployment\": {}, \"runs\": {}, \
                  \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}, \
-                 \"mean_bytes\": {}, \"mean_enc_bytes\": {}, \"cache_hit_rate\": {}}}{}",
+                 \"mean_bytes\": {}, \"mean_enc_bytes\": {}, \"cache_hit_rate\": {}, \
+                 \"codec_bytes\": {}, \"cal_abs_err_pct\": {}, \"regret_ms\": {}}}{}",
                 json_string(r.profile),
                 json_string(r.query),
                 json_string(r.deployment),
@@ -401,6 +560,9 @@ impl MonitorReport {
                 json_number(r.mean_bytes),
                 json_number(r.mean_encoded_bytes),
                 json_number(r.cache_hit_rate),
+                codecs,
+                json_number(r.cal_abs_err_pct),
+                json_number(r.regret_ms),
                 if i + 1 < self.rows.len() { "," } else { "" }
             );
         }
@@ -530,6 +692,51 @@ mod tests {
         let rows = parsed.get("rows").and_then(json::Value::as_array).unwrap();
         assert_eq!(rows.len(), report.rows.len());
         assert!(parsed.get("values").is_some());
+    }
+
+    #[test]
+    fn observatory_columns_and_codec_split_populated() {
+        let report = run_monitor_with(TEST_SF, 1, Some(Telemetry::new_handle())).unwrap();
+        for r in &report.rows {
+            // Every cell moved compressed data, so the per-codec split the
+            // history store records must surface here too.
+            assert!(
+                !r.codec_bytes.is_empty(),
+                "{}/{}/{} has no codec split",
+                r.profile,
+                r.query,
+                r.deployment
+            );
+            let split: f64 = r.codec_bytes.iter().map(|(_, b)| *b).sum();
+            assert!(split > 0.0);
+            if r.deployment != "xdb" {
+                // Mediators make no Eq. 1–3 placement decisions.
+                assert_eq!(r.cal_abs_err_pct, 0.0);
+                assert_eq!(r.regret_ms, 0.0);
+            }
+        }
+        // The observatory bites on at least one XDB cell: the estimator
+        // prices raw bytes, the wire moves encoded bytes, so the error
+        // series cannot be identically zero.
+        assert!(
+            report
+                .rows
+                .iter()
+                .filter(|r| r.deployment == "xdb")
+                .any(|r| r.cal_abs_err_pct > 0.0),
+            "no xdb cell reports calibration error"
+        );
+        let v = report.flat_values();
+        assert!(v.keys().any(|k| k.contains("/codec_bytes/")), "{v:?}");
+        assert!(v.keys().any(|k| k.ends_with("/cal_abs_err_pct")));
+        assert!(v.keys().any(|k| k.ends_with("/regret_ms")));
+        let parsed = json::parse(&report.to_json()).expect("monitor JSON parses");
+        let rows = parsed.get("rows").and_then(json::Value::as_array).unwrap();
+        for row in rows {
+            assert!(row.get("codec_bytes").is_some());
+            assert!(row.get("cal_abs_err_pct").is_some());
+            assert!(row.get("regret_ms").is_some());
+        }
     }
 
     #[test]

@@ -79,6 +79,14 @@ pub struct PlacementDecision {
     /// Consulting round-trips actually *paid* for this decision (cache
     /// hits are free).
     pub paid_consults: u64,
+    /// Estimator summary of the left input as the optimizer saw it — the
+    /// predicted side of the cost-model observatory's per-edge ledger.
+    pub left: InputSide,
+    /// Estimator summary of the right input.
+    pub right: InputSide,
+    /// Estimated output rows of the probe join (zero for heuristic
+    /// policies, which never build the probe).
+    pub out_rows: f64,
 }
 
 /// Annotation outcome: the delegation plan plus consulting accounting.
@@ -604,12 +612,16 @@ impl<'a> Annotator<'a> {
                             chosen: placement.clone(),
                             candidates: costed,
                             paid_consults: self.consults - paid_before,
+                            left: l_side.clone(),
+                            right: r_side.clone(),
+                            out_rows,
                         });
                         placement
                     }
                     // ScleraDB-style heuristic: the left input's home
                     // wins; the moved side is materialized.
                     PlacementPolicy::LeftInput => {
+                        let est = Estimator::new(self.catalog);
                         let p = Placement {
                             dbms: l.dbms.clone(),
                             left_move: Movement::Implicit,
@@ -621,12 +633,24 @@ impl<'a> Annotator<'a> {
                             chosen: p.clone(),
                             candidates: Vec::new(),
                             paid_consults: 0,
+                            left: InputSide {
+                                dbms: l.dbms.clone(),
+                                rows: est.rows(&l.fragment),
+                                bytes: est.bytes(&l.fragment),
+                            },
+                            right: InputSide {
+                                dbms: r.dbms.clone(),
+                                rows: est.rows(&r.fragment),
+                                bytes: est.bytes(&r.fragment),
+                            },
+                            out_rows: 0.0,
                         });
                         p
                     }
                     // Mediator decomposition: every cross-database
                     // operator runs at the mediator; inputs are fetched.
                     PlacementPolicy::Mediator(node) => {
+                        let est = Estimator::new(self.catalog);
                         let p = Placement {
                             dbms: node.clone(),
                             left_move: Movement::Implicit,
@@ -638,6 +662,17 @@ impl<'a> Annotator<'a> {
                             chosen: p.clone(),
                             candidates: Vec::new(),
                             paid_consults: 0,
+                            left: InputSide {
+                                dbms: l.dbms.clone(),
+                                rows: est.rows(&l.fragment),
+                                bytes: est.bytes(&l.fragment),
+                            },
+                            right: InputSide {
+                                dbms: r.dbms.clone(),
+                                rows: est.rows(&r.fragment),
+                                bytes: est.bytes(&r.fragment),
+                            },
+                            out_rows: 0.0,
                         });
                         p
                     }

@@ -65,6 +65,38 @@ impl Calibration {
         })
     }
 
+    /// Derive the same per-engine factors as [`Calibration::probe`]
+    /// without touching any catalog. The probe ships one identical plan
+    /// to every engine, so each EXPLAIN reports `C × cpu_tuple_cost_ms ×
+    /// olap_factor` with the same plan-shape constant `C` — the factor
+    /// reduces to the profile-unit ratio. Side-effect-free, so the
+    /// cost-model observatory can scale compute costs mid-query (a real
+    /// probe would create/drop tables, bumping DDL generations and
+    /// invalidating consult caches — visibly perturbing the run).
+    pub fn analytic(cluster: &Cluster) -> Calibration {
+        let mut factors = HashMap::new();
+        let mut reference: Option<(String, f64)> = None;
+        for node in cluster.node_names() {
+            let Ok(engine) = cluster.engine(&node) else {
+                continue;
+            };
+            let unit = (engine.profile.cpu_tuple_cost_ms * engine.profile.olap_factor).max(1e-12);
+            match &reference {
+                None => {
+                    factors.insert(node.clone(), 1.0);
+                    reference = Some((node.clone(), unit));
+                }
+                Some((_, ref_unit)) => {
+                    factors.insert(node.clone(), ref_unit / unit);
+                }
+            }
+        }
+        Calibration {
+            factors,
+            reference: reference.map(|(n, _)| n),
+        }
+    }
+
     /// Convert a cost reported by `node` into reference units.
     pub fn to_reference(&self, node: &str, cost: f64) -> f64 {
         cost * self.factors.get(node).copied().unwrap_or(1.0)
@@ -111,6 +143,24 @@ mod tests {
         let a = cal.to_reference("pg", pg_cost);
         let b = cal.to_reference("maria", maria_cost);
         assert!((a - b).abs() / a < 1e-6);
+    }
+
+    #[test]
+    fn analytic_matches_probe_factors() {
+        // The observatory's side-effect-free derivation must agree with
+        // the real probe on both homogeneous and heterogeneous clusters.
+        let mut cluster = Cluster::new(Topology::lan(&[]));
+        cluster.add_engine("pg", EngineProfile::postgres());
+        cluster.add_engine("maria", EngineProfile::mariadb());
+        cluster.add_engine("hive", EngineProfile::hive());
+        let probed = Calibration::probe(&cluster).unwrap();
+        let analytic = Calibration::analytic(&cluster);
+        assert_eq!(probed.reference_node(), analytic.reference_node());
+        for node in ["pg", "maria", "hive"] {
+            let p = probed.factor(node).unwrap();
+            let a = analytic.factor(node).unwrap();
+            assert!((p - a).abs() / p < 1e-9, "{node}: probe {p} analytic {a}");
+        }
     }
 
     #[test]

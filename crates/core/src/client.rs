@@ -96,6 +96,11 @@ pub struct QueryOutcome {
     /// counters. Deterministic — parallel and sequential executors emit
     /// bit-identical traces.
     pub trace: QueryTrace,
+    /// Cost-model observatory bundle: every placement decision's predicted
+    /// Eq. 1–3 components (chosen + rejected candidates) joined against
+    /// the observed wire edges and statement work of this run. Purely
+    /// derived — empty when the plan had no cross-database decisions.
+    pub cost: xdb_obs::CostObservation,
 }
 
 impl QueryOutcome {
@@ -460,6 +465,7 @@ impl<'a> Xdb<'a> {
         );
         Ok(Planned {
             fragment_keys: annotation.fragment_keys,
+            decisions: annotation.decisions,
             delegation: annotation.plan,
             script,
             collector,
@@ -510,6 +516,7 @@ impl<'a> Xdb<'a> {
             overhead_ms,
             consults,
             query_id,
+            decisions,
             ..
         } = planned;
         let telemetry = self.cluster.telemetry();
@@ -604,6 +611,18 @@ impl<'a> Xdb<'a> {
         );
         let trace = collector.finish();
         let breakdown = PhaseBreakdown::from_trace(&trace);
+        // Cost-model observatory: join the predicted placement decisions
+        // against the ledger records this query appended and its statement
+        // work. Reads only final state, so it cannot perturb any
+        // deterministic observable.
+        let ledger_records = self.cluster.ledger.snapshot();
+        let cost = crate::observatory::build_cost_observation(
+            self.cluster,
+            &decisions,
+            &ledger_records[ledger_mark.min(ledger_records.len())..],
+            &statements_from_trace(&trace),
+        );
+        drop(ledger_records);
         telemetry
             .metrics
             .observe("xdb.phase_ms", &[("phase", "exec")], outcome.exec_ms);
@@ -642,6 +661,7 @@ impl<'a> Xdb<'a> {
                     query_id,
                     ledger_mark,
                     &trace,
+                    &cost,
                 );
                 telemetry.history.append(record);
             }
@@ -688,6 +708,7 @@ impl<'a> Xdb<'a> {
             query_id,
             script,
             trace,
+            cost,
         })
     }
 
@@ -714,6 +735,7 @@ impl<'a> Xdb<'a> {
         query_id: u64,
         ledger_mark: usize,
         trace: &QueryTrace,
+        cost: &xdb_obs::CostObservation,
     ) -> HistoryRecord {
         let telemetry = self.cluster.telemetry();
         let records = self.cluster.ledger.snapshot();
@@ -733,15 +755,7 @@ impl<'a> Xdb<'a> {
                     .collect(),
             })
             .collect();
-        let statements = trace
-            .counters
-            .iter()
-            .filter_map(|(k, v)| {
-                k.strip_prefix("node.")
-                    .and_then(|rest| rest.strip_suffix(".work_ms"))
-                    .map(|engine| (engine.to_string(), *v))
-            })
-            .collect();
+        let statements = statements_from_trace(trace);
         let critical = crit
             .map(|c| {
                 c.attribution
@@ -776,6 +790,7 @@ impl<'a> Xdb<'a> {
             critical,
             edges,
             statements,
+            cost: cost.clone(),
         }
     }
 
@@ -859,12 +874,29 @@ pub(crate) struct Planned {
     pub(crate) query_id: u64,
     /// Canonical fragment key per task (annotation-time canonicalization).
     pub(crate) fragment_keys: std::collections::HashMap<usize, String>,
+    /// Placement decisions in annotation order — the predicted half of
+    /// the cost-model observatory, joined post-execution by `submit`.
+    pub(crate) decisions: Vec<crate::annotate::PlacementDecision>,
     /// Metadata probes issued during prep (hits + fetches). A warm replan
     /// of the same query answers all of them from the consultation cache.
     pub(crate) prep_probes: u64,
     /// EXPLAIN probes issued during annotation (hits + misses).
     pub(crate) ann_probes: u64,
     pub(crate) lopt_ms: f64,
+}
+
+/// Per-engine statement work from the trace counters
+/// (`node.<engine>.work_ms`), in the counters' deterministic order.
+fn statements_from_trace(trace: &QueryTrace) -> Vec<(String, f64)> {
+    trace
+        .counters
+        .iter()
+        .filter_map(|(k, v)| {
+            k.strip_prefix("node.")
+                .and_then(|rest| rest.strip_suffix(".work_ms"))
+                .map(|engine| (engine.to_string(), *v))
+        })
+        .collect()
 }
 
 fn collect_tables(from: &[TableRef], out: &mut Vec<String>) {

@@ -64,28 +64,44 @@ pub fn movement_cost(
     bytes: f64,
     x: Movement,
 ) -> f64 {
+    movement_cost_split(topology, src, a, a_profile, src_startup_ms, rows, bytes, x).1
+}
+
+/// [`movement_cost`] with the pure wire time broken out: returns
+/// `(wire_ms, total_ms)`. The wire term is what the observatory re-prices
+/// with observed encoded bytes; the remainder is per-row engine overhead.
+#[allow(clippy::too_many_arguments)] // mirrors Eq. 2–3's parameter list
+pub fn movement_cost_split(
+    topology: &Topology,
+    src: &NodeId,
+    a: &NodeId,
+    a_profile: &EngineProfile,
+    src_startup_ms: f64,
+    rows: f64,
+    bytes: f64,
+    x: Movement,
+) -> (f64, f64) {
     if src == a {
-        return 0.0;
+        return (0.0, 0.0);
     }
-    let move_cost =
-        topology.transfer_ms(src, a, bytes.max(0.0) as u64, a_profile.protocol_overhead);
-    match x {
+    let wire = topology.transfer_ms(src, a, bytes.max(0.0) as u64, a_profile.protocol_overhead);
+    let total = match x {
         // Implicit: wire cost + per-row wrapper fetch overhead γ at the
         // consumer. The producer's start-up overlaps with the consumer's
         // pipeline, so it is not charged here.
-        Movement::Implicit => move_cost + rows * a_profile.foreign_row_cost_ms,
+        Movement::Implicit => wire + rows * a_profile.foreign_row_cost_ms,
         // Explicit: wire cost + scanCost — writing the materialized copy
         // and reading it back once (Eq. 3's scan of the relation at `a`).
         // Materialization serializes the producer's query *before* the
         // consumer runs, so the producer's start-up lands on the critical
         // path.
         Movement::Explicit => {
-            move_cost
-                + src_startup_ms
+            wire + src_startup_ms
                 + rows * a_profile.write_cost_ms
                 + rows * a_profile.cpu_tuple_cost_ms * crate::cost::SCAN_WEIGHT
         }
-    }
+    };
+    (wire, total)
 }
 
 /// Weight of re-scanning a materialized relation (mirrors
@@ -109,6 +125,31 @@ pub fn join_exec_cost(
     }
 }
 
+/// Eq. 1–3 cost split of one candidate, in simulated milliseconds. The
+/// invariant `total() == CandidateCost::cost` holds exactly (same
+/// floating-point additions, same order).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostComponents {
+    /// Pure wire time of the left input (`topology.transfer_ms` over the
+    /// estimated raw bytes); zero when the input is local to `a`.
+    pub wire_left_ms: f64,
+    pub wire_right_ms: f64,
+    /// Full Eq. 2–3 movement cost of the left input (wire + per-row
+    /// wrapper/write overhead); includes `wire_left_ms`.
+    pub move_left_ms: f64,
+    pub move_right_ms: f64,
+    /// Eq. 1 join execution cost at `a`.
+    pub exec_ms: f64,
+    /// Consumer engine start-up charged by placing the stage at `a`.
+    pub startup_ms: f64,
+}
+
+impl CostComponents {
+    pub fn total(&self) -> f64 {
+        self.exec_ms + self.move_left_ms + self.move_right_ms + self.startup_ms
+    }
+}
+
 /// One fully-costed `(a, x_l, x_r)` option considered by
 /// [`decide_placement`] — kept for observability: the trace records what
 /// the optimizer weighed, not just what it chose.
@@ -121,6 +162,8 @@ pub struct CandidateCost {
     /// Consulting round-trips paid evaluating this option (always 1: one
     /// EXPLAIN-style probe per `(a, x_l, x_r)` combination).
     pub consults: u64,
+    /// Per-component split of `cost`, for the cost-model observatory.
+    pub components: CostComponents,
 }
 
 /// Solve Equation 1 for one cross-database binary operator.
@@ -187,7 +230,7 @@ pub fn decide_placement_detailed(
         for &xl in left_opts {
             for &xr in right_opts {
                 consults += 1;
-                let move_l = movement_cost(
+                let (wire_l, move_l) = movement_cost_split(
                     topology,
                     &left.dbms,
                     a,
@@ -197,7 +240,7 @@ pub fn decide_placement_detailed(
                     left.bytes,
                     xl,
                 );
-                let move_r = movement_cost(
+                let (wire_r, move_r) = movement_cost_split(
                     topology,
                     &right.dbms,
                     a,
@@ -223,6 +266,14 @@ pub fn decide_placement_detailed(
                     right_move: xr,
                     cost,
                     consults: 1,
+                    components: CostComponents {
+                        wire_left_ms: wire_l,
+                        wire_right_ms: wire_r,
+                        move_left_ms: move_l,
+                        move_right_ms: move_r,
+                        exec_ms: exec,
+                        startup_ms: a_profile.startup_ms,
+                    },
                 });
                 let better = match &best {
                     Some(b) => cost < b.cost - 1e-12,
@@ -374,6 +425,39 @@ mod tests {
         );
         assert_eq!(forced.left_move, Movement::Implicit);
         assert_eq!(forced.right_move, Movement::Implicit);
+    }
+
+    #[test]
+    fn candidate_components_sum_to_cost_exactly() {
+        let (topo, _) = setup();
+        let profiles = |_: &NodeId| EngineProfile::postgres();
+        let l = side("db1", 100_000.0);
+        let r = side("db2", 200_000.0);
+        let (_, costed) = decide_placement_detailed(
+            &topo,
+            &profiles,
+            &l,
+            &r,
+            200_000.0,
+            &[l.dbms.clone(), r.dbms.clone()],
+            None,
+        );
+        assert!(!costed.is_empty());
+        for c in &costed {
+            // Bit-exact: the breakdown is the same additions in the same
+            // order as the total the optimizer compared.
+            assert_eq!(c.components.total(), c.cost);
+            assert!(c.components.wire_left_ms <= c.components.move_left_ms);
+            assert!(c.components.wire_right_ms <= c.components.move_right_ms);
+            // The moved side's wire term is exactly the topology's price
+            // for the estimated raw bytes.
+            if c.dbms != l.dbms {
+                let p = profiles(&c.dbms);
+                let expect =
+                    topo.transfer_ms(&l.dbms, &c.dbms, l.bytes as u64, p.protocol_overhead);
+                assert_eq!(c.components.wire_left_ms, expect);
+            }
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod consult_cache;
 pub mod cost;
 pub mod delegation;
 pub mod global;
+pub mod observatory;
 pub mod plan;
 pub mod scenario;
 pub mod session;

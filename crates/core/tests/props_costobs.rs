@@ -1,0 +1,137 @@
+//! Cost-model observatory determinism properties: the predicted-vs-
+//! observed cost record of a query is part of the deterministic observable
+//! surface. For any TD1 query, turning the edge reactor on or off,
+//! switching executors, changing the partition count, or changing the
+//! transport morsel size must leave the serialized [`CostObservation`]
+//! bit-identical — the observatory reads only simulated-clock state
+//! (decisions, ledger, trace counters), never the wall clock or the
+//! scheduler.
+//!
+//! Plus the exact-accounting invariants every single run must uphold:
+//! the chosen candidate's predicted total is its component sum bit-exactly
+//! (same additions, same order as Eq. 1), and the per-decision consult
+//! charges sum to the annotation phase of the `PhaseBreakdown` exactly.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use xdb_core::{GlobalCatalog, Xdb, XdbOptions};
+use xdb_engine::profile::EngineProfile;
+use xdb_net::{NodeId, Scenario};
+use xdb_obs::Telemetry;
+use xdb_tpch::{build_cluster, ProfileAssignment, TableDist, TpchQuery};
+
+/// Name of the managed-cloud client node (mirrors the bench harness).
+const CLOUD: &str = "cloud";
+
+/// Query ids come from a process-global counter and their decimal width
+/// leaks into control-message byte counts; pairs under comparison are
+/// serialized and retried until both ids have the same width (same
+/// pattern as the reactor and telemetry tests).
+static SUBMIT_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
+/// One full TD1 submission under the given executor knobs; returns the
+/// query id and the serialized cost observation, after checking the
+/// run's exact-accounting invariants.
+fn run(
+    q: TpchQuery,
+    reactor_threads: usize,
+    partitions: usize,
+    chunk: usize,
+    parallel: bool,
+) -> (u64, String) {
+    let mut cluster = build_cluster(
+        TableDist::Td1,
+        0.002,
+        Scenario::OnPremise,
+        &ProfileAssignment::uniform(EngineProfile::postgres()),
+    )
+    .unwrap();
+    cluster.topology.add_cloud_node(NodeId::new(CLOUD));
+    let telemetry = Telemetry::new_handle();
+    cluster.set_telemetry(Arc::clone(&telemetry));
+    cluster.set_exec_partitions(partitions);
+    let mut catalog = GlobalCatalog::discover(&cluster).unwrap();
+    catalog.set_telemetry(Arc::clone(&telemetry));
+    let xdb = Xdb::new(&cluster, &catalog)
+        .with_client_node(CLOUD)
+        .with_options(XdbOptions {
+            parallel_execution: parallel,
+            stream_chunk_rows: chunk,
+            reactor_threads,
+            ..Default::default()
+        });
+    let outcome = xdb.submit(q.sql()).unwrap();
+
+    // Exact accounting, every run: the chosen candidate's Eq. 1 total is
+    // its component sum with no extra rounding...
+    for d in &outcome.cost.decisions {
+        let chosen: Vec<_> = d.candidates.iter().filter(|c| c.chosen).collect();
+        assert_eq!(chosen.len(), 1, "{}: decision {}", q.name(), d.index);
+        let c = chosen[0];
+        assert_eq!(
+            c.predicted_ms,
+            c.exec_ms + c.move_left_ms + c.move_right_ms + c.startup_ms,
+            "{}: component sum drifts from Eq. 1 total",
+            q.name()
+        );
+        assert_eq!(d.predicted_ms, c.predicted_ms);
+    }
+    // ...and the per-decision consult charges reproduce the annotator's
+    // PhaseBreakdown cost bit-exactly.
+    let consult_total: f64 = outcome.cost.decisions.iter().map(|d| d.consult_ms).sum();
+    assert_eq!(consult_total, outcome.cost.consult_ms, "{}", q.name());
+    assert_eq!(consult_total, outcome.breakdown.ann_ms, "{}", q.name());
+
+    (outcome.query_id, outcome.cost.to_json())
+}
+
+/// Run the reference configuration and the sampled one back-to-back,
+/// retrying until both query ids render at the same decimal width.
+fn comparable_pair(
+    q: TpchQuery,
+    a: (usize, usize, usize, bool),
+    b: (usize, usize, usize, bool),
+) -> (String, String) {
+    let _guard = SUBMIT_LOCK.lock();
+    loop {
+        let (ida, fa) = run(q, a.0, a.1, a.2, a.3);
+        let (idb, fb) = run(q, b.0, b.1, b.2, b.3);
+        if ida.to_string().len() == idb.to_string().len() {
+            return (fa, fb);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn cost_records_are_bit_identical_across_executor_knobs(
+        qi in 0usize..TpchQuery::ALL.len(),
+        rpick in 0usize..2,
+        ppick in 0usize..3,
+        cpick in 0usize..3,
+        parallel in any::<bool>(),
+    ) {
+        let q = TpchQuery::ALL[qi];
+        let reactor_threads = [0usize, 2][rpick];
+        let partitions = [1usize, 2, 8][ppick];
+        let chunk = [1usize, 4096, 0][cpick];
+        // Reference: reactor off, single partition, unbounded edges, the
+        // sequential executor — the plainest possible run.
+        let (reference, sampled) = comparable_pair(
+            q,
+            (0, 1, 0, false),
+            (reactor_threads, partitions, chunk, parallel),
+        );
+        prop_assert_eq!(
+            reference,
+            sampled,
+            "{} cost record diverges at reactor={} partitions={} chunk={} parallel={}",
+            q.name(),
+            reactor_threads,
+            partitions,
+            chunk,
+            parallel
+        );
+    }
+}

@@ -102,6 +102,66 @@ fn telemetry_identical_sequential_vs_parallel() {
 }
 
 #[test]
+fn quarantine_audit_covers_every_metric_family() {
+    // The metric quarantine is the determinism contract's enforcement
+    // point: `deterministic_snapshot()` must drop *every* family under the
+    // quarantined prefixes (`sched.*`, `net.chunks*`, `net.codec.*`) and
+    // nothing else — and everything it keeps must be bit-identical between
+    // the sequential and parallel executors.
+    use xdb_obs::metrics::{CHUNKS_PREFIX, CODEC_PREFIX, SCHED_PREFIX};
+    let _guard = SUBMIT_LOCK.lock();
+    let quarantined = |k: &&String| {
+        k.starts_with(SCHED_PREFIX) || k.starts_with(CHUNKS_PREFIX) || k.starts_with(CODEC_PREFIX)
+    };
+    let run = |parallel: bool| {
+        let (cluster, catalog, telemetry) = setup();
+        let xdb = Xdb::new(&cluster, &catalog).with_options(XdbOptions {
+            parallel_execution: parallel,
+            ..Default::default()
+        });
+        let out = xdb.submit(scenario::EXAMPLE_QUERY).unwrap();
+        (
+            out.query_id,
+            telemetry.metrics.snapshot(),
+            telemetry.metrics.deterministic_snapshot(),
+        )
+    };
+    loop {
+        let (ida, full_seq, det_seq) = run(false);
+        let (idb, full_par, det_par) = run(true);
+        // Same-width query ids, like run_comparable_pair.
+        if ida.to_string().len() != idb.to_string().len() {
+            continue;
+        }
+        // The workload really exercises quarantined families — otherwise
+        // this audit would pass vacuously.
+        assert!(
+            full_par
+                .counters
+                .keys()
+                .any(|k| k.starts_with(SCHED_PREFIX)),
+            "workload emitted no sched.* series"
+        );
+        // No quarantined family leaks into the deterministic snapshot.
+        for snap in [&det_seq, &det_par] {
+            let leaked: Vec<&String> = snap.counters.keys().filter(quarantined).collect();
+            assert!(leaked.is_empty(), "quarantined series leaked: {leaked:?}");
+        }
+        // The deterministic snapshot is exactly the full snapshot minus
+        // the quarantined prefixes — no family is silently dropped.
+        for (full, det) in [(&full_seq, &det_seq), (&full_par, &det_par)] {
+            let expected: Vec<&String> = full.counters.keys().filter(|k| !quarantined(k)).collect();
+            let got: Vec<&String> = det.counters.keys().collect();
+            assert_eq!(expected, got);
+        }
+        // Every deterministic family survives the sequential-vs-parallel
+        // diff, value for value.
+        assert_eq!(det_seq.counters, det_par.counters);
+        break;
+    }
+}
+
+#[test]
 fn telemetry_independent_of_partition_count() {
     // Simulated values must not depend on how many partitions the columnar
     // executor fans out over; only the `exec.partitions` gauge itself (and

@@ -1,0 +1,573 @@
+//! The cost-model observatory: predicted-vs-observed accounting for every
+//! cross-database placement decision.
+//!
+//! The annotator solves Eq. 1–3 over *estimated* raw bytes and static
+//! per-engine profiles; the telemetry layer observes what actually
+//! happened — true encoded bytes per wire edge, per-engine statement work,
+//! consult cache hits. This module is the measurement half of a
+//! feedback-driven cost model (RHEEMix-style): it defines the record types
+//! that pair each decision's predicted cost components (the chosen
+//! alternative AND every rejected candidate) with the observed outcome,
+//! plus the error/regret arithmetic and the per-(engine, codec, edge
+//! shape) aggregation that `repro calibrate` reports.
+//!
+//! Everything here is **purely observational**: records are derived from
+//! already-deterministic state (annotation decisions, the script-ordered
+//! transfer ledger, simulated-clock statement work), so they are
+//! bit-identical across the sequential and parallel executors, reactor
+//! on/off, partition counts, and stream-chunk sizes. Producing a record
+//! never feeds back into planning or execution.
+//!
+//! **Placement regret** (per decision): the observed cost of the chosen
+//! plan minus the model-predicted cost of the best *rejected* candidate.
+//! The observed cost re-prices the chosen candidate's movement terms with
+//! the observed wire (encoded bytes through the same link model) and
+//! observed row counts, keeping the predicted compute terms — so regret
+//! isolates the movement mispricing the wire codec introduces. Positive
+//! regret means observation says a rejected candidate was modeled cheaper
+//! than what the chosen plan actually cost: those are the systematically
+//! wrong decisions, rankable by regret.
+
+use crate::history::HistoryRecord;
+use crate::json;
+use crate::trace::{json_number, json_string};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One costed `(a, x_l, x_r)` alternative, with its Eq. 1–3 component
+/// split (all in simulated ms; `predicted_ms` is the exact total the
+/// optimizer compared).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CandidateObs {
+    pub dbms: String,
+    /// `implicit` / `explicit`.
+    pub left_move: String,
+    pub right_move: String,
+    pub predicted_ms: f64,
+    /// Pure wire time of the left input over estimated raw bytes.
+    pub wire_left_ms: f64,
+    pub wire_right_ms: f64,
+    /// Full Eq. 2–3 movement cost (includes the wire term).
+    pub move_left_ms: f64,
+    pub move_right_ms: f64,
+    /// Eq. 1 join execution cost at `dbms`.
+    pub exec_ms: f64,
+    pub startup_ms: f64,
+    /// Multiplicative factor aligning this engine's compute cost to the
+    /// calibration reference unit (`calibration.rs`).
+    pub calib_factor: f64,
+    pub chosen: bool,
+}
+
+/// One predicted wire edge of a decision joined against the observed
+/// transfer ledger record it produced.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EdgeJoin {
+    pub from: String,
+    pub to: String,
+    /// `implicit` / `explicit`.
+    pub movement: String,
+    /// Consuming engine node (whose protocol overhead priced the wire).
+    pub engine: String,
+    /// Dominant codec of the observed payload by encoded bytes
+    /// (lexicographic tie-break); `none` when the edge was not matched.
+    pub codec: String,
+    pub pred_rows: u64,
+    /// Estimated raw bytes the model charged.
+    pub pred_bytes: u64,
+    pub pred_wire_ms: f64,
+    pub obs_rows: u64,
+    pub obs_bytes: u64,
+    /// True post-codec bytes that crossed the wire.
+    pub obs_encoded_bytes: u64,
+    /// The same link model re-priced with `obs_encoded_bytes`.
+    pub obs_wire_ms: f64,
+    /// False when no ledger record matched (e.g. the edge collapsed);
+    /// unmatched edges are excluded from error aggregation.
+    pub matched: bool,
+}
+
+impl EdgeJoin {
+    /// `from->to/movement` — the aggregation key for edge-shape stats.
+    pub fn shape(&self) -> String {
+        format!("{}->{}/{}", self.from, self.to, self.movement)
+    }
+}
+
+/// One placement decision: predicted components for every candidate,
+/// joined observations for the chosen movements, error and regret.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DecisionObs {
+    /// Annotation (bottom-up) order of the decision within its query.
+    pub index: u64,
+    /// Chosen engine node.
+    pub dbms: String,
+    /// Consult cost charged to the `ann` phase for this decision
+    /// (`paid_consults × CONSULT_ROUNDTRIP_MS`).
+    pub consult_ms: f64,
+    /// Predicted Eq. 1 total of the chosen candidate (zero for heuristic
+    /// policies, which cost nothing).
+    pub predicted_ms: f64,
+    /// Chosen cost re-priced with observed wire/rows (see module docs).
+    pub observed_ms: f64,
+    /// Model-predicted cost of the cheapest rejected candidate; zero when
+    /// nothing was rejected.
+    pub best_rejected_ms: f64,
+    /// `observed_ms - best_rejected_ms` when a rejected candidate exists,
+    /// else zero. Positive = observation ranks a rejected plan cheaper.
+    pub regret_ms: f64,
+    pub candidates: Vec<CandidateObs>,
+    pub edges: Vec<EdgeJoin>,
+}
+
+/// Per-query bundle attached to [`HistoryRecord`] (schema v2).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CostObservation {
+    pub decisions: Vec<DecisionObs>,
+    /// Σ chosen `exec + startup` across decisions, scaled to the
+    /// calibration reference unit. Covers cross-database stages only.
+    pub pred_compute_ms: f64,
+    /// Σ per-engine statement work — full statements, so the gap to
+    /// `pred_compute_ms` measures the unmodeled (leaf/local) work too.
+    pub obs_compute_ms: f64,
+    /// Σ chosen wire terms over matched edges.
+    pub pred_transfer_ms: f64,
+    /// The same edges re-priced with observed encoded bytes.
+    pub obs_transfer_ms: f64,
+    /// Σ per-decision consult cost — equals the `ann` phase exactly.
+    pub consult_ms: f64,
+}
+
+impl CostObservation {
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// Signed total regret across decisions.
+    pub fn net_regret_ms(&self) -> f64 {
+        self.decisions.iter().map(|d| d.regret_ms).sum()
+    }
+
+    /// Positive-only total regret (the gate series: only observed-worse
+    /// choices count against the model).
+    pub fn regret_ms(&self) -> f64 {
+        self.decisions.iter().map(|d| d.regret_ms.max(0.0)).sum()
+    }
+
+    /// Mean |wire-time prediction error| in percent over matched edges;
+    /// zero when nothing matched.
+    pub fn wire_abs_err_pct(&self) -> f64 {
+        let mut stats = ErrorStats::default();
+        for d in &self.decisions {
+            for e in d.edges.iter().filter(|e| e.matched) {
+                stats.push(error_pct(e.pred_wire_ms, e.obs_wire_ms));
+            }
+        }
+        stats.mean_abs_pct()
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        let _ = write!(
+            out,
+            "{{\"pred_compute_ms\":{},\"obs_compute_ms\":{},\"pred_transfer_ms\":{},\
+             \"obs_transfer_ms\":{},\"consult_ms\":{},\"decisions\":[",
+            json_number(self.pred_compute_ms),
+            json_number(self.obs_compute_ms),
+            json_number(self.pred_transfer_ms),
+            json_number(self.obs_transfer_ms),
+            json_number(self.consult_ms),
+        );
+        for (i, d) in self.decisions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"index\":{},\"dbms\":{},\"consult_ms\":{},\"predicted_ms\":{},\
+                 \"observed_ms\":{},\"best_rejected_ms\":{},\"regret_ms\":{},\"candidates\":[",
+                d.index,
+                json_string(&d.dbms),
+                json_number(d.consult_ms),
+                json_number(d.predicted_ms),
+                json_number(d.observed_ms),
+                json_number(d.best_rejected_ms),
+                json_number(d.regret_ms),
+            );
+            for (j, c) in d.candidates.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"dbms\":{},\"left_move\":{},\"right_move\":{},\"predicted_ms\":{},\
+                     \"wire_left_ms\":{},\"wire_right_ms\":{},\"move_left_ms\":{},\
+                     \"move_right_ms\":{},\"exec_ms\":{},\"startup_ms\":{},\
+                     \"calib_factor\":{},\"chosen\":{}}}",
+                    json_string(&c.dbms),
+                    json_string(&c.left_move),
+                    json_string(&c.right_move),
+                    json_number(c.predicted_ms),
+                    json_number(c.wire_left_ms),
+                    json_number(c.wire_right_ms),
+                    json_number(c.move_left_ms),
+                    json_number(c.move_right_ms),
+                    json_number(c.exec_ms),
+                    json_number(c.startup_ms),
+                    json_number(c.calib_factor),
+                    c.chosen,
+                );
+            }
+            out.push_str("],\"edges\":[");
+            for (j, e) in d.edges.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"from\":{},\"to\":{},\"movement\":{},\"engine\":{},\"codec\":{},\
+                     \"pred_rows\":{},\"pred_bytes\":{},\"pred_wire_ms\":{},\"obs_rows\":{},\
+                     \"obs_bytes\":{},\"obs_encoded_bytes\":{},\"obs_wire_ms\":{},\
+                     \"matched\":{}}}",
+                    json_string(&e.from),
+                    json_string(&e.to),
+                    json_string(&e.movement),
+                    json_string(&e.engine),
+                    json_string(&e.codec),
+                    e.pred_rows,
+                    e.pred_bytes,
+                    json_number(e.pred_wire_ms),
+                    e.obs_rows,
+                    e.obs_bytes,
+                    e.obs_encoded_bytes,
+                    json_number(e.obs_wire_ms),
+                    e.matched,
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    pub fn from_json(v: &json::Value) -> CostObservation {
+        let num = |o: &json::Value, key: &str| o.get(key).and_then(json::Value::as_f64);
+        let string = |o: &json::Value, key: &str| {
+            o.get(key)
+                .and_then(json::Value::as_str)
+                .unwrap_or("")
+                .to_string()
+        };
+        let boolean = |o: &json::Value, key: &str| match o.get(key) {
+            Some(json::Value::Bool(b)) => *b,
+            _ => false,
+        };
+        let mut decisions = Vec::new();
+        if let Some(items) = v.get("decisions").and_then(json::Value::as_array) {
+            for d in items {
+                let mut candidates = Vec::new();
+                if let Some(cands) = d.get("candidates").and_then(json::Value::as_array) {
+                    for c in cands {
+                        candidates.push(CandidateObs {
+                            dbms: string(c, "dbms"),
+                            left_move: string(c, "left_move"),
+                            right_move: string(c, "right_move"),
+                            predicted_ms: num(c, "predicted_ms").unwrap_or(0.0),
+                            wire_left_ms: num(c, "wire_left_ms").unwrap_or(0.0),
+                            wire_right_ms: num(c, "wire_right_ms").unwrap_or(0.0),
+                            move_left_ms: num(c, "move_left_ms").unwrap_or(0.0),
+                            move_right_ms: num(c, "move_right_ms").unwrap_or(0.0),
+                            exec_ms: num(c, "exec_ms").unwrap_or(0.0),
+                            startup_ms: num(c, "startup_ms").unwrap_or(0.0),
+                            calib_factor: num(c, "calib_factor").unwrap_or(1.0),
+                            chosen: boolean(c, "chosen"),
+                        });
+                    }
+                }
+                let mut edges = Vec::new();
+                if let Some(es) = d.get("edges").and_then(json::Value::as_array) {
+                    for e in es {
+                        edges.push(EdgeJoin {
+                            from: string(e, "from"),
+                            to: string(e, "to"),
+                            movement: string(e, "movement"),
+                            engine: string(e, "engine"),
+                            codec: string(e, "codec"),
+                            pred_rows: num(e, "pred_rows").unwrap_or(0.0) as u64,
+                            pred_bytes: num(e, "pred_bytes").unwrap_or(0.0) as u64,
+                            pred_wire_ms: num(e, "pred_wire_ms").unwrap_or(0.0),
+                            obs_rows: num(e, "obs_rows").unwrap_or(0.0) as u64,
+                            obs_bytes: num(e, "obs_bytes").unwrap_or(0.0) as u64,
+                            obs_encoded_bytes: num(e, "obs_encoded_bytes").unwrap_or(0.0) as u64,
+                            obs_wire_ms: num(e, "obs_wire_ms").unwrap_or(0.0),
+                            matched: boolean(e, "matched"),
+                        });
+                    }
+                }
+                decisions.push(DecisionObs {
+                    index: num(d, "index").unwrap_or(0.0) as u64,
+                    dbms: string(d, "dbms"),
+                    consult_ms: num(d, "consult_ms").unwrap_or(0.0),
+                    predicted_ms: num(d, "predicted_ms").unwrap_or(0.0),
+                    observed_ms: num(d, "observed_ms").unwrap_or(0.0),
+                    best_rejected_ms: num(d, "best_rejected_ms").unwrap_or(0.0),
+                    regret_ms: num(d, "regret_ms").unwrap_or(0.0),
+                    candidates,
+                    edges,
+                });
+            }
+        }
+        CostObservation {
+            decisions,
+            pred_compute_ms: num(v, "pred_compute_ms").unwrap_or(0.0),
+            obs_compute_ms: num(v, "obs_compute_ms").unwrap_or(0.0),
+            pred_transfer_ms: num(v, "pred_transfer_ms").unwrap_or(0.0),
+            obs_transfer_ms: num(v, "obs_transfer_ms").unwrap_or(0.0),
+            consult_ms: num(v, "consult_ms").unwrap_or(0.0),
+        }
+    }
+}
+
+/// Signed prediction error in percent of the observed value. Both zero →
+/// 0%; observed zero but a prediction made → +100% (the model predicted
+/// cost where none materialized).
+pub fn error_pct(predicted: f64, observed: f64) -> f64 {
+    if observed.abs() < 1e-12 {
+        if predicted.abs() < 1e-12 {
+            0.0
+        } else {
+            100.0
+        }
+    } else {
+        (predicted - observed) / observed * 100.0
+    }
+}
+
+/// Streaming error-distribution accumulator (deterministic: plain sums in
+/// push order).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ErrorStats {
+    pub count: u64,
+    pub sum_pct: f64,
+    pub sum_abs_pct: f64,
+    pub min_pct: f64,
+    pub max_pct: f64,
+}
+
+impl ErrorStats {
+    pub fn push(&mut self, pct: f64) {
+        if self.count == 0 {
+            self.min_pct = pct;
+            self.max_pct = pct;
+        } else {
+            self.min_pct = self.min_pct.min(pct);
+            self.max_pct = self.max_pct.max(pct);
+        }
+        self.count += 1;
+        self.sum_pct += pct;
+        self.sum_abs_pct += pct.abs();
+    }
+
+    pub fn mean_pct(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_pct / self.count as f64
+        }
+    }
+
+    pub fn mean_abs_pct(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_abs_pct / self.count as f64
+        }
+    }
+}
+
+/// Aggregated calibration view over a set of history records — what
+/// `repro calibrate` renders and the bench gate snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct CalibrationSummary {
+    /// Wire-time prediction error per consuming engine node.
+    pub wire_by_engine: BTreeMap<String, ErrorStats>,
+    /// Byte prediction error (estimated raw vs observed encoded) per
+    /// dominant codec.
+    pub bytes_by_codec: BTreeMap<String, ErrorStats>,
+    /// Wire-time prediction error per `from->to/movement` edge shape.
+    pub wire_by_shape: BTreeMap<String, ErrorStats>,
+    /// Per-engine `(predicted cross-database compute, observed statement
+    /// work)` in ms.
+    pub compute_by_engine: BTreeMap<String, (f64, f64)>,
+    pub decisions: u64,
+    pub matched_edges: u64,
+    pub unmatched_edges: u64,
+    /// Positive-only regret total across all records.
+    pub regret_ms: f64,
+    /// Signed regret total.
+    pub net_regret_ms: f64,
+}
+
+/// Fold the cost observations of `records` into one summary. Records
+/// without cost observations (schema v1 baselines) contribute nothing.
+pub fn summarize(records: &[HistoryRecord]) -> CalibrationSummary {
+    let mut s = CalibrationSummary::default();
+    for r in records {
+        for d in &r.cost.decisions {
+            s.decisions += 1;
+            s.regret_ms += d.regret_ms.max(0.0);
+            s.net_regret_ms += d.regret_ms;
+            let chosen = d.candidates.iter().find(|c| c.chosen);
+            if let Some(c) = chosen {
+                let e = s.compute_by_engine.entry(d.dbms.clone()).or_default();
+                e.0 += (c.exec_ms + c.startup_ms) * c.calib_factor;
+            }
+            for e in &d.edges {
+                if !e.matched {
+                    s.unmatched_edges += 1;
+                    continue;
+                }
+                s.matched_edges += 1;
+                let wire_err = error_pct(e.pred_wire_ms, e.obs_wire_ms);
+                s.wire_by_engine
+                    .entry(e.engine.clone())
+                    .or_default()
+                    .push(wire_err);
+                s.wire_by_shape.entry(e.shape()).or_default().push(wire_err);
+                s.bytes_by_codec
+                    .entry(e.codec.clone())
+                    .or_default()
+                    .push(error_pct(e.pred_bytes as f64, e.obs_encoded_bytes as f64));
+            }
+        }
+        for (engine, ms) in &r.statements {
+            s.compute_by_engine.entry(engine.clone()).or_default().1 += ms;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_cost() -> CostObservation {
+        CostObservation {
+            decisions: vec![DecisionObs {
+                index: 0,
+                dbms: "hdb".to_string(),
+                consult_ms: 24.0,
+                predicted_ms: 100.5,
+                observed_ms: 80.25,
+                best_rejected_ms: 90.0,
+                regret_ms: -9.75,
+                candidates: vec![
+                    CandidateObs {
+                        dbms: "hdb".to_string(),
+                        left_move: "implicit".to_string(),
+                        right_move: "implicit".to_string(),
+                        predicted_ms: 100.5,
+                        wire_left_ms: 10.0,
+                        wire_right_ms: 0.0,
+                        move_left_ms: 20.0,
+                        move_right_ms: 0.0,
+                        exec_ms: 70.5,
+                        startup_ms: 10.0,
+                        calib_factor: 1.0,
+                        chosen: true,
+                    },
+                    CandidateObs {
+                        dbms: "cdb".to_string(),
+                        left_move: "implicit".to_string(),
+                        right_move: "explicit".to_string(),
+                        predicted_ms: 90.0,
+                        calib_factor: 0.5,
+                        ..Default::default()
+                    },
+                ],
+                edges: vec![EdgeJoin {
+                    from: "cdb".to_string(),
+                    to: "hdb".to_string(),
+                    movement: "implicit".to_string(),
+                    engine: "hdb".to_string(),
+                    codec: "dict".to_string(),
+                    pred_rows: 100,
+                    pred_bytes: 5000,
+                    pred_wire_ms: 10.0,
+                    obs_rows: 100,
+                    obs_bytes: 5000,
+                    obs_encoded_bytes: 2000,
+                    obs_wire_ms: 4.0,
+                    matched: true,
+                }],
+            }],
+            pred_compute_ms: 80.5,
+            obs_compute_ms: 120.0,
+            pred_transfer_ms: 10.0,
+            obs_transfer_ms: 4.0,
+            consult_ms: 24.0,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let c = sample_cost();
+        let v = json::parse(&c.to_json()).unwrap();
+        assert_eq!(CostObservation::from_json(&v), c);
+        let empty = CostObservation::default();
+        let v = json::parse(&empty.to_json()).unwrap();
+        assert_eq!(CostObservation::from_json(&v), empty);
+    }
+
+    #[test]
+    fn error_pct_handles_zero_observations() {
+        assert_eq!(error_pct(0.0, 0.0), 0.0);
+        assert_eq!(error_pct(5.0, 0.0), 100.0);
+        assert!((error_pct(15.0, 10.0) - 50.0).abs() < 1e-12);
+        assert!((error_pct(5.0, 10.0) + 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_track_min_max_and_means() {
+        let mut s = ErrorStats::default();
+        s.push(-50.0);
+        s.push(150.0);
+        assert_eq!(s.count, 2);
+        assert!((s.mean_pct() - 50.0).abs() < 1e-12);
+        assert!((s.mean_abs_pct() - 100.0).abs() < 1e-12);
+        assert_eq!(s.min_pct, -50.0);
+        assert_eq!(s.max_pct, 150.0);
+    }
+
+    #[test]
+    fn regret_totals_split_signed_and_positive() {
+        let mut c = sample_cost();
+        assert_eq!(c.regret_ms(), 0.0);
+        assert_eq!(c.net_regret_ms(), -9.75);
+        c.decisions[0].regret_ms = 12.5;
+        assert_eq!(c.regret_ms(), 12.5);
+        // 150% wire error on the single matched edge: 10 pred vs 4 obs.
+        assert!((c.wire_abs_err_pct() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summarize_groups_by_engine_codec_and_shape() {
+        let mut r = HistoryRecord {
+            cost: sample_cost(),
+            ..Default::default()
+        };
+        r.statements = vec![("hdb".to_string(), 120.0)];
+        let s = summarize(&[r]);
+        assert_eq!(s.decisions, 1);
+        assert_eq!(s.matched_edges, 1);
+        assert_eq!(s.unmatched_edges, 0);
+        assert!(s.wire_by_engine.contains_key("hdb"));
+        assert!(s.bytes_by_codec.contains_key("dict"));
+        assert!(s.wire_by_shape.contains_key("cdb->hdb/implicit"));
+        let (pred, obs) = s.compute_by_engine["hdb"];
+        assert!((pred - 80.5).abs() < 1e-12);
+        assert!((obs - 120.0).abs() < 1e-12);
+        assert_eq!(s.regret_ms, 0.0);
+        assert!((s.net_regret_ms + 9.75).abs() < 1e-12);
+    }
+}

@@ -25,8 +25,16 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Version of the record layout; the drift detector and bench gate reject
-/// mismatched baselines instead of mis-parsing them.
-pub const HISTORY_SCHEMA_VERSION: u64 = 1;
+/// *newer* baselines instead of mis-parsing them. Older versions down to
+/// [`HISTORY_MIN_SCHEMA_VERSION`] still parse: a v1 record is a v2 record
+/// with an empty cost observation.
+///
+/// v1 → v2: added the `cost` object (the cost-model observatory's
+/// predicted-vs-observed decision ledger, see [`crate::costmodel`]).
+pub const HISTORY_SCHEMA_VERSION: u64 = 2;
+
+/// Oldest record layout the parser still accepts.
+pub const HISTORY_MIN_SCHEMA_VERSION: u64 = 1;
 
 /// File name of the JSON-lines store inside a history directory.
 pub const HISTORY_FILE: &str = "history.jsonl";
@@ -80,6 +88,10 @@ pub struct HistoryRecord {
     pub edges: Vec<EdgeObs>,
     /// Per-engine statement work (`engine -> simulated work ms`).
     pub statements: Vec<(String, f64)>,
+    /// Cost-model observatory bundle (schema v2): predicted-vs-observed
+    /// accounting per placement decision. Empty for v1 records and for
+    /// runs without cross-database decisions.
+    pub cost: crate::costmodel::CostObservation,
 }
 
 impl HistoryRecord {
@@ -177,7 +189,9 @@ impl HistoryRecord {
             }
             let _ = write!(out, "{}:{}", json_string(engine), json_number(*ms));
         }
-        out.push_str("}}");
+        out.push_str("},\"cost\":");
+        out.push_str(&self.cost.to_json());
+        out.push('}');
         out
     }
 
@@ -266,13 +280,20 @@ impl HistoryRecord {
             critical,
             edges,
             statements: pairs("statements")?,
+            // Absent in v1 records — parse to the empty observation.
+            cost: v
+                .get("cost")
+                .map(crate::costmodel::CostObservation::from_json)
+                .unwrap_or_default(),
         })
     }
 }
 
-/// Parse a JSON-lines history export. Every record must carry the
-/// supported [`HISTORY_SCHEMA_VERSION`] — a mismatch is an error, not a
-/// silent mis-parse.
+/// Parse a JSON-lines history export. Records must carry a supported
+/// schema version ([`HISTORY_MIN_SCHEMA_VERSION`] ..=
+/// [`HISTORY_SCHEMA_VERSION`]) — anything newer or older is an error, not
+/// a silent mis-parse. v1 baselines stay readable so pre-observatory
+/// drift baselines keep working.
 pub fn parse_history_jsonl(text: &str) -> Result<Vec<HistoryRecord>, String> {
     let mut out = Vec::new();
     for (i, line) in text.lines().enumerate() {
@@ -282,11 +303,14 @@ pub fn parse_history_jsonl(text: &str) -> Result<Vec<HistoryRecord>, String> {
         let v = json::parse(line).map_err(|e| format!("history line {}: {e}", i + 1))?;
         let record =
             HistoryRecord::from_json(&v).map_err(|e| format!("history line {}: {e}", i + 1))?;
-        if record.schema_version != HISTORY_SCHEMA_VERSION {
+        if record.schema_version < HISTORY_MIN_SCHEMA_VERSION
+            || record.schema_version > HISTORY_SCHEMA_VERSION
+        {
             return Err(format!(
-                "history line {}: schema_version {} (this build supports {})",
+                "history line {}: schema_version {} (this build supports {}..={})",
                 i + 1,
                 record.schema_version,
+                HISTORY_MIN_SCHEMA_VERSION,
                 HISTORY_SCHEMA_VERSION
             ));
         }
@@ -443,6 +467,46 @@ mod tests {
                 codecs: vec![("dict".to_string(), 300), ("raw".to_string(), 100)],
             }],
             statements: vec![("cdb".to_string(), 12.5), ("hdb".to_string(), 30.25)],
+            cost: crate::costmodel::CostObservation {
+                decisions: vec![crate::costmodel::DecisionObs {
+                    index: 0,
+                    dbms: "hdb".to_string(),
+                    consult_ms: 24.0,
+                    predicted_ms: 61.5,
+                    observed_ms: 55.25,
+                    best_rejected_ms: 70.0,
+                    regret_ms: -14.75,
+                    candidates: vec![crate::costmodel::CandidateObs {
+                        dbms: "hdb".to_string(),
+                        left_move: "implicit".to_string(),
+                        right_move: "implicit".to_string(),
+                        predicted_ms: 61.5,
+                        calib_factor: 1.0,
+                        chosen: true,
+                        ..Default::default()
+                    }],
+                    edges: vec![crate::costmodel::EdgeJoin {
+                        from: "cdb".to_string(),
+                        to: "hdb".to_string(),
+                        movement: "implicit".to_string(),
+                        engine: "hdb".to_string(),
+                        codec: "dict".to_string(),
+                        pred_rows: 10,
+                        pred_bytes: 1000,
+                        pred_wire_ms: 8.0,
+                        obs_rows: 10,
+                        obs_bytes: 1000,
+                        obs_encoded_bytes: 400,
+                        obs_wire_ms: 3.2,
+                        matched: true,
+                    }],
+                }],
+                pred_compute_ms: 30.0,
+                obs_compute_ms: 42.75,
+                pred_transfer_ms: 8.0,
+                obs_transfer_ms: 3.2,
+                consult_ms: 24.0,
+            },
         }
     }
 
@@ -458,14 +522,38 @@ mod tests {
     }
 
     #[test]
-    fn jsonl_rejects_mismatched_schema_version() {
+    fn jsonl_rejects_newer_schema_version() {
         let mut r = sample();
         let ok = parse_history_jsonl(&format!("{}\n", r.to_json())).unwrap();
         assert_eq!(ok.len(), 1);
         r.schema_version = HISTORY_SCHEMA_VERSION + 1;
         let err = parse_history_jsonl(&r.to_json()).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
+        r.schema_version = HISTORY_MIN_SCHEMA_VERSION - 1;
+        let err = parse_history_jsonl(&r.to_json()).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
         assert!(parse_history_jsonl("not json").is_err());
+    }
+
+    #[test]
+    fn jsonl_accepts_v1_records_without_cost_object() {
+        // A pre-observatory record: schema_version 1, no "cost" key. It
+        // must parse (old drift baselines stay usable) with an empty cost
+        // observation.
+        let v1 = r#"{"schema_version":1,"label":"Q3","deployment":"xdb",
+            "sql_fnv":"00fe12ab34cd56ef","fingerprint":"0123456789abcdef",
+            "query_id":7,"total_ms":10.5,"phases":{"prep":1.0,"exec":9.5},
+            "consult_hits":0,"consult_misses":2,"crit_spans":3,
+            "critical":[{"category":"compute","location":"cdb","ms":9.0}],
+            "edges":[{"from":"cdb","to":"hdb","purpose":"inter_dbms_pipeline",
+            "bytes":100,"encoded_bytes":40,"rows":2,"codecs":{"raw":40}}],
+            "statements":{"cdb":9.0}}"#
+            .replace('\n', "");
+        let parsed = parse_history_jsonl(&v1).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].schema_version, 1);
+        assert!(parsed[0].cost.is_empty());
+        assert_eq!(parsed[0].edges.len(), 1);
     }
 
     #[test]

@@ -37,6 +37,7 @@
 //! node.
 
 pub mod collect;
+pub mod costmodel;
 pub mod critical;
 pub mod event;
 pub mod history;
@@ -48,6 +49,10 @@ pub mod telemetry;
 pub mod trace;
 
 pub use collect::{disabled_collector, TraceCollector, TraceCtx};
+pub use costmodel::{
+    error_pct, summarize, CalibrationSummary, CandidateObs, CostObservation, DecisionObs, EdgeJoin,
+    ErrorStats,
+};
 pub use critical::{critical_path, critical_paths, CritCategory, CriticalPath, CriticalStep};
 pub use event::{Event, EventLog, Level};
 pub use history::{HistoryRecord, HistorySink, HISTORY_SCHEMA_VERSION};

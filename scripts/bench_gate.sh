@@ -13,7 +13,12 @@
 # The monitor baseline also carries the multi-tenant admission series
 # (tenants/folded/..., tenants/unfolded/..., tenants/mean_fold_hits);
 # `repro gate` re-runs that workload at the baseline's recorded
-# tenants/tenant_rounds shape whenever those keys are present.
+# tenants/tenant_rounds shape whenever those keys are present. Since
+# monitor schema v3 it additionally gates the cost-model observatory
+# series — per-cell calibration error (.../cal_abs_err_pct), placement
+# regret (.../regret_ms), and the per-codec byte split
+# (.../codec_bytes/<codec>) — so a cost-model or codec skew fails here
+# even when latency stays flat.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -62,8 +67,9 @@ cargo run -q --release -p xdb-bench --bin repro -- gate \
 
 # Drift gate: re-run the TD1 profile with the history store on and
 # compare the fresh records against the checked-in BENCH_history/
-# baseline — plan flips, latency drift, and critical-path composition
-# shifts fail with an attributed explanation. The fresh history dir is
+# baseline — plan flips, latency drift, critical-path composition
+# shifts, and cost-model calibration drift fail with an attributed
+# explanation. The fresh history dir is
 # archived next to the BENCH_*.json snapshots for inspection.
 # Re-baseline after an intentional change with
 #   rm -rf BENCH_history && repro --sf 0.002 --history BENCH_history profile

@@ -83,6 +83,17 @@ cargo run --release -q -p xdb-bench --bin repro -- drift \
   | tee target/tier1-drift.txt
 grep -q 'no drift' target/tier1-drift.txt
 
+# Cost-model observatory smoke test: `repro calibrate` must render a
+# non-empty report with the predicted-vs-observed error distributions per
+# engine/codec/edge shape and the per-query placement-regret table.
+cargo run --release -q -p xdb-bench --bin repro -- \
+  --sf 0.002 --runs 2 calibrate --out target/tier1-calibrate.txt
+grep -q 'cost-model observatory' target/tier1-calibrate.txt
+grep -q 'prediction error by engine' target/tier1-calibrate.txt
+grep -q 'by codec' target/tier1-calibrate.txt
+grep -q 'by edge shape' target/tier1-calibrate.txt
+grep -q 'per-query placement regret' target/tier1-calibrate.txt
+
 # Bench regression gate (opt-in: wall-clock benches are too noisy for CI
 # defaults). XDB_BENCH_GATE=1 re-measures the exec kernels and the monitor
 # workload and fails on threshold regressions vs BENCH_exec.json /

@@ -36,12 +36,24 @@
 //!                                # codec/edge shape + per-query placement
 //!                                # regret (--td 1|2|3 picks the table
 //!                                # distribution)
-//! repro drift --baseline dir/ --current dir/ [--band PCT]
+//! repro drift --baseline dir/ --current dir/ [--band PCT] [--flip-rate PCT]
 //!                                # performance-drift detection between
 //!                                # two history stores: exit 1 on plan
 //!                                # flips, latency drift, critical-path
 //!                                # composition shifts, or cost-model
-//!                                # calibration drift
+//!                                # calibration drift; --flip-rate
+//!                                # tolerates that share of plan flips
+//!                                # between learned-cost histories
+//! repro replay [--profiles dir/] [--td 1|2|3]
+//!                                # learned-vs-static cost-model replay:
+//!                                # re-annotate the workload under both
+//!                                # pricing modes, report every plan flip
+//!                                # with predicted + measured deltas
+//! repro --profiles dir/ fig9     # seed the learned cost profiles of any
+//!                                # target from dir/history.jsonl
+//!                                # (XDB_PROFILE_DIR works too;
+//!                                # XDB_STATIC_COSTS=1 disables learned
+//!                                # pricing entirely)
 //! repro --history dir/ profile   # record query history (JSON lines) to
 //!                                # dir/history.jsonl (XDB_HISTORY_DIR
 //!                                # works for any target)
@@ -51,7 +63,7 @@
 
 use std::io::Write;
 use xdb_bench::experiments as exp;
-use xdb_bench::{calibrate, drift, gate, monitor, profiler, tenants};
+use xdb_bench::{calibrate, drift, gate, monitor, profiler, replay, tenants};
 use xdb_obs::json;
 use xdb_tpch::{TableDist, TpchQuery};
 
@@ -81,6 +93,8 @@ fn main() {
     let mut drift_baseline: Option<String> = None;
     let mut drift_current: Option<String> = None;
     let mut drift_band = drift::DEFAULT_NOISE_PCT;
+    let mut flip_rate: Option<f64> = None;
+    let mut profiles_dir: Option<String> = None;
     let mut calibrate_td = TableDist::Td1;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -144,6 +158,16 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--band takes a percentage");
             }
+            "--flip-rate" => {
+                flip_rate = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--flip-rate takes a percentage"),
+                );
+            }
+            "--profiles" => {
+                profiles_dir = Some(it.next().expect("--profiles takes a history directory"));
+            }
             _ => targets.push(a.to_ascii_lowercase()),
         }
     }
@@ -168,6 +192,26 @@ fn main() {
         }
         eprintln!("(history: recording to {dir}/history.jsonl)");
     }
+    // Learned cost profiles: aggregate a recorded workload's history into
+    // per-(engine, edge-shape) pricing factors and seed every catalog this
+    // process builds with them.  The store is also handed to `replay` as
+    // its learned arm.
+    let mut loaded_profiles: Option<xdb_core::CostProfiles> = None;
+    let mut profile_source = String::from("(workload self-calibration)");
+    if let Some(dir) = &profiles_dir {
+        match xdb_core::CostProfiles::from_history_dir(dir) {
+            Ok(p) => {
+                eprintln!("(profiles: {} from {dir})", p.describe());
+                xdb_core::set_seed_profiles(Some(p.clone()));
+                profile_source = dir.clone();
+                loaded_profiles = Some(p);
+            }
+            Err(e) => {
+                eprintln!("repro: cannot load cost profiles from {dir}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     if let Some(path) = check_path {
         check_trace(&path);
         return;
@@ -177,7 +221,7 @@ fn main() {
         return;
     }
     if targets.iter().any(|t| t == "drift") {
-        run_drift(drift_baseline, drift_current, drift_band);
+        run_drift(drift_baseline, drift_current, drift_band, flip_rate);
         return;
     }
     if targets.is_empty() && trace_path.is_none() {
@@ -189,7 +233,8 @@ fn main() {
              \x20      repro gate [--exec-baseline B --exec-current C] [--monitor-baseline B]\n\
              \x20      repro [--sf X] [--history dir] profile\n\
              \x20      repro [--sf X] [--runs N] [--td 1|2|3] calibrate\n\
-             \x20      repro drift --baseline dir --current dir [--band PCT]\n\
+             \x20      repro [--sf X] [--td 1|2|3] [--profiles dir] replay\n\
+             \x20      repro drift --baseline dir --current dir [--band PCT] [--flip-rate PCT]\n\
              \x20      repro --check-trace out.json"
         );
         std::process::exit(2);
@@ -312,6 +357,24 @@ fn main() {
     // workload with the cost-model observatory and has its own report.
     if targets.iter().any(|t| t == "calibrate") {
         let report = calibrate::run_calibrate(calibrate_td, sf, runs).expect("calibrate workload");
+        write!(out, "{}", report.render()).unwrap();
+    }
+    // `replay` is likewise not part of `all`: it re-annotates the workload
+    // under static and learned pricing and reports every plan flip.  With
+    // no --profiles directory it first runs the workload once with live
+    // feedback enabled and replays against that self-calibrated store.
+    if targets.iter().any(|t| t == "replay") {
+        let profiles = match loaded_profiles {
+            Some(p) => p,
+            None => replay::learn_profiles(calibrate_td, sf).expect("profile-learning workload"),
+        };
+        let store = if profiles.is_empty() {
+            None
+        } else {
+            Some(profiles)
+        };
+        let report = replay::run_replay(calibrate_td, sf, store.as_ref(), &profile_source)
+            .expect("replay workload");
         write!(out, "{}", report.render()).unwrap();
     }
     // `profile` is likewise not part of `all`: it re-runs the six-query
@@ -437,13 +500,20 @@ fn run_gate(
 /// was found (plan flip, latency beyond the band, composition shift,
 /// cost-model calibration drift, or a baseline query missing from the
 /// current store), 2 on usage or load errors (including schema-version
-/// mismatches).
-fn run_drift(baseline: Option<String>, current: Option<String>, band_pct: f64) {
+/// mismatches).  With `--flip-rate PCT`, plan flips between learned-cost
+/// histories are tolerated up to that share of compared plan groups —
+/// learned pricing is *expected* to move plans as profiles accrue.
+fn run_drift(
+    baseline: Option<String>,
+    current: Option<String>,
+    band_pct: f64,
+    flip_rate: Option<f64>,
+) {
     let (Some(base), Some(cur)) = (baseline, current) else {
         eprintln!("drift: pass --baseline dir/ and --current dir/");
         std::process::exit(2);
     };
-    let report = drift::compare_dirs(&base, &cur, band_pct).unwrap_or_else(|e| {
+    let report = drift::compare_dirs_with(&base, &cur, band_pct, flip_rate).unwrap_or_else(|e| {
         eprintln!("drift: {e}");
         std::process::exit(2);
     });

@@ -31,6 +31,11 @@ use xdb_obs::history::{load_history_dir, HistoryRecord};
 
 /// Default latency noise band, percent.
 pub const DEFAULT_NOISE_PCT: f64 = 5.0;
+/// Default tolerated share of query groups whose plan may flip between
+/// two *learned-cost* histories (`repro drift --flip-rate`). Feedback is
+/// expected to re-place some queries as profiles converge; more than this
+/// share flipping at once signals an unstable or corrupted profile store.
+pub const DEFAULT_FLIP_RATE_PCT: f64 = 25.0;
 /// A category's critical-path share moving by more than this many
 /// percentage points is a composition shift.
 pub const COMPOSITION_POINTS: f64 = 15.0;
@@ -51,6 +56,9 @@ pub enum DriftKind {
     Calibration,
     /// A baseline query group is absent from the current store.
     Coverage,
+    /// Learned-cost histories: more query groups flipped plans than the
+    /// tolerated share.
+    FlipRate,
 }
 
 impl DriftKind {
@@ -61,6 +69,7 @@ impl DriftKind {
             DriftKind::Composition => "composition",
             DriftKind::Calibration => "calibration",
             DriftKind::Coverage => "coverage",
+            DriftKind::FlipRate => "flip-rate",
         }
     }
 }
@@ -83,6 +92,9 @@ pub struct DriftReport {
     /// Query groups only in the current store (informational).
     pub new_groups: usize,
     pub findings: Vec<DriftFinding>,
+    /// Plan flips tolerated under a `--flip-rate` budget (informational:
+    /// learned-cost feedback is *expected* to re-place some queries).
+    pub tolerated: Vec<DriftFinding>,
 }
 
 impl DriftReport {
@@ -102,10 +114,24 @@ impl DriftReport {
                 self.new_groups
             ));
         }
+        if !self.tolerated.is_empty() {
+            out.push_str(&format!(
+                ", {} tolerated plan flip(s)",
+                self.tolerated.len()
+            ));
+        }
         out.push('\n');
         for f in &self.findings {
             out.push_str(&format!(
                 "  [{:<11}] {}: {}\n",
+                f.kind.label(),
+                f.query,
+                f.detail
+            ));
+        }
+        for f in &self.tolerated {
+            out.push_str(&format!(
+                "  (tolerated) [{:<11}] {}: {}\n",
                 f.kind.label(),
                 f.query,
                 f.detail
@@ -201,12 +227,36 @@ pub fn compare(
     current: &[HistoryRecord],
     noise_pct: f64,
 ) -> DriftReport {
+    compare_with(baseline, current, noise_pct, None)
+}
+
+/// [`compare`] with an optional plan-flip budget for learned-cost
+/// histories.
+///
+/// When `flip_tolerance_pct` is set *and both stores carry learned-cost
+/// records* (schema v3's `learned_costs` marker), individual plan flips
+/// are tolerated — reported informationally — up to that share of the
+/// compared query groups; beyond it a single [`DriftKind::FlipRate`]
+/// finding fails the report. When either side predates the marker (a v2
+/// or static-cost baseline), flips keep their original strict
+/// [`DriftKind::PlanFlip`] semantics, so existing baselines behave
+/// unchanged.
+pub fn compare_with(
+    baseline: &[HistoryRecord],
+    current: &[HistoryRecord],
+    noise_pct: f64,
+    flip_tolerance_pct: Option<f64>,
+) -> DriftReport {
+    let learned_mode = flip_tolerance_pct.is_some()
+        && baseline.iter().any(|r| r.learned_costs)
+        && current.iter().any(|r| r.learned_costs);
     let base = group(baseline);
     let cur = group(current);
     let mut report = DriftReport {
         new_groups: cur.keys().filter(|k| !base.contains_key(*k)).count(),
         ..DriftReport::default()
     };
+    let mut flips: Vec<DriftFinding> = Vec::new();
     for (key, b) in &base {
         let Some(c) = cur.get(key) else {
             report.findings.push(DriftFinding {
@@ -224,14 +274,19 @@ pub fn compare(
         };
         report.compared += 1;
         if b.fingerprints != c.fingerprints {
-            report.findings.push(DriftFinding {
+            let finding = DriftFinding {
                 kind: DriftKind::PlanFlip,
                 query: c.display.clone(),
                 detail: format!(
                     "plan fingerprint changed: baseline {:?} -> current {:?}",
                     b.fingerprints, c.fingerprints
                 ),
-            });
+            };
+            if learned_mode {
+                flips.push(finding);
+            } else {
+                report.findings.push(finding);
+            }
         }
         if b.mean_total_ms > 0.0 {
             let delta_pct = 100.0 * (c.mean_total_ms - b.mean_total_ms) / b.mean_total_ms;
@@ -294,17 +349,44 @@ pub fn compare(
             }
         }
     }
+    if learned_mode && !flips.is_empty() {
+        let tolerance = flip_tolerance_pct.unwrap_or(DEFAULT_FLIP_RATE_PCT);
+        let rate = 100.0 * flips.len() as f64 / report.compared.max(1) as f64;
+        if rate > tolerance {
+            report.findings.push(DriftFinding {
+                kind: DriftKind::FlipRate,
+                query: "(all groups)".to_string(),
+                detail: format!(
+                    "{} of {} learned-cost group(s) flipped plans ({rate:.0}%, \
+                     tolerated {tolerance:.0}%)",
+                    flips.len(),
+                    report.compared
+                ),
+            });
+        }
+        report.tolerated = flips;
+    }
     report
 }
 
 /// Load two history directories and compare them.
 pub fn compare_dirs(baseline: &str, current: &str, noise_pct: f64) -> Result<DriftReport, String> {
+    compare_dirs_with(baseline, current, noise_pct, None)
+}
+
+/// [`compare_dirs`] with a plan-flip budget (see [`compare_with`]).
+pub fn compare_dirs_with(
+    baseline: &str,
+    current: &str,
+    noise_pct: f64,
+    flip_tolerance_pct: Option<f64>,
+) -> Result<DriftReport, String> {
     let base = load_history_dir(baseline)?;
     let cur = load_history_dir(current)?;
     if base.is_empty() {
         return Err(format!("baseline {baseline} holds no history records"));
     }
-    Ok(compare(&base, &cur, noise_pct))
+    Ok(compare_with(&base, &cur, noise_pct, flip_tolerance_pct))
 }
 
 #[cfg(test)]
@@ -335,6 +417,7 @@ mod tests {
             edges: Vec::new(),
             statements: Vec::new(),
             cost: Default::default(),
+            learned_costs: false,
         }
     }
 
@@ -449,6 +532,62 @@ mod tests {
         let cur = vec![with_cal(record("Q3", "aaaa", 100.0), 10.0, 40.0)];
         let report = compare(&base, &cur, DEFAULT_NOISE_PCT);
         assert!(report.passed(), "{}", report.render());
+    }
+
+    fn learned(mut r: HistoryRecord, fingerprint: &str) -> HistoryRecord {
+        r.learned_costs = true;
+        r.fingerprint = fingerprint.to_string();
+        r
+    }
+
+    #[test]
+    fn flip_rate_tolerates_learned_flips_within_budget() {
+        // 4 groups, 1 flips = 25% — inside a 30% budget.
+        let base: Vec<_> = ["Q1", "Q2", "Q3", "Q4"]
+            .iter()
+            .map(|q| learned(record(q, "aaaa", 100.0), "aaaa"))
+            .collect();
+        let mut cur = base.clone();
+        cur[0] = learned(record("Q1", "ffff", 100.0), "ffff");
+        let report = compare_with(&base, &cur, DEFAULT_NOISE_PCT, Some(30.0));
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.tolerated.len(), 1);
+        assert_eq!(report.tolerated[0].kind, DriftKind::PlanFlip);
+        assert!(report.render().contains("tolerated"), "{}", report.render());
+    }
+
+    #[test]
+    fn flip_rate_beyond_budget_is_a_finding() {
+        let base: Vec<_> = ["Q1", "Q2", "Q3", "Q4"]
+            .iter()
+            .map(|q| learned(record(q, "aaaa", 100.0), "aaaa"))
+            .collect();
+        let mut cur = base.clone();
+        cur[0] = learned(record("Q1", "ffff", 100.0), "ffff");
+        cur[1] = learned(record("Q2", "gggg", 100.0), "gggg");
+        // 50% of groups flipped against a 25% budget.
+        let report = compare_with(&base, &cur, DEFAULT_NOISE_PCT, Some(DEFAULT_FLIP_RATE_PCT));
+        assert!(!report.passed());
+        let f = report
+            .findings
+            .iter()
+            .find(|f| f.kind == DriftKind::FlipRate)
+            .expect("flip-rate finding");
+        assert!(f.detail.contains("2 of 4"), "{}", f.detail);
+        assert_eq!(report.tolerated.len(), 2);
+        assert!(report.render().contains("flip-rate"), "{}", report.render());
+    }
+
+    #[test]
+    fn v2_baselines_without_learned_marker_keep_strict_flips() {
+        // Baseline predates the learned_costs marker: even with a flip
+        // budget requested, a flip is the original hard PlanFlip finding.
+        let base = vec![record("Q1", "aaaa", 100.0)];
+        let cur = vec![learned(record("Q1", "ffff", 100.0), "ffff")];
+        let report = compare_with(&base, &cur, DEFAULT_NOISE_PCT, Some(DEFAULT_FLIP_RATE_PCT));
+        assert!(!report.passed());
+        assert_eq!(report.findings[0].kind, DriftKind::PlanFlip);
+        assert!(report.tolerated.is_empty());
     }
 
     #[test]

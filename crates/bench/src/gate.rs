@@ -31,8 +31,12 @@ pub const MONITOR_THRESHOLD_PCT: f64 = 0.5;
 /// dimension (`onprem` / `geo`): rows carry a `"profile"` field and gate
 /// keys read `profile/query/deployment/metric`. v3 added the per-codec
 /// byte split (`.../codec_bytes/<codec>`) and the cost-model observatory
-/// series (`.../cal_abs_err_pct`, `.../regret_ms` on XDB cells).
-pub const MONITOR_SCHEMA_VERSION: u64 = 3;
+/// series (`.../cal_abs_err_pct`, `.../regret_ms` on XDB cells). v4 added
+/// the learned-cost plan-flip share (`.../plan_flip_rate` on XDB cells):
+/// each run's learned-cost plan compared against a static-cost re-plan of
+/// the same SQL, so a pricing or feedback change that silently starts (or
+/// stops) flipping plans fails the gate even when latency stays flat.
+pub const MONITOR_SCHEMA_VERSION: u64 = 4;
 
 /// One gated series.
 #[derive(Debug, Clone)]
@@ -261,11 +265,11 @@ mod tests {
 
     #[test]
     fn parses_monitor_snapshot_format() {
-        let text = r#"{"bench": "monitor", "schema_version": 3,
-            "values": {"onprem/Q3/xdb/p50_ms": 12.5, "onprem/Q3/xdb/cal_abs_err_pct": 4.2}}"#;
+        let text = r#"{"bench": "monitor", "schema_version": 4,
+            "values": {"onprem/Q3/xdb/p50_ms": 12.5, "onprem/Q3/xdb/plan_flip_rate": 0.0}}"#;
         let m = parse_monitor_snapshot(text).unwrap();
         assert_eq!(m["onprem/Q3/xdb/p50_ms"], 12.5);
-        assert!(parse_monitor_snapshot(r#"{"schema_version": 3, "values": {}}"#).is_err());
+        assert!(parse_monitor_snapshot(r#"{"schema_version": 4, "values": {}}"#).is_err());
     }
 
     #[test]

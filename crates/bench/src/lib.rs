@@ -16,7 +16,12 @@
 //! - `repro profile` — critical-path bottleneck attribution for the TD1
 //!   workload ([`profiler`]);
 //! - `repro drift --baseline dir/ --current dir/` — performance-drift
-//!   detection over query-history stores ([`drift`]);
+//!   detection over query-history stores ([`drift`]), with a
+//!   `--flip-rate` budget for learned-cost histories;
+//! - `repro replay [--profiles dir/]` — learned-vs-static cost-model
+//!   replay ([`replay`]): re-annotates the workload under both pricing
+//!   modes and reports every plan flip with predicted and measured
+//!   deltas;
 //! - `cargo bench -p xdb-bench` — Criterion benchmarks, one per
 //!   table/figure, timing each reproduction pipeline at a small scale.
 
@@ -26,5 +31,6 @@ pub mod experiments;
 pub mod gate;
 pub mod monitor;
 pub mod profiler;
+pub mod replay;
 pub mod report;
 pub mod tenants;

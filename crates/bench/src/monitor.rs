@@ -73,6 +73,11 @@ pub struct MonitorRow {
     /// only): observed cost of the chosen plan beyond the model's best
     /// rejected candidate.
     pub regret_ms: f64,
+    /// Share of this cell's runs whose learned-cost plan differs from the
+    /// static-cost plan for the same SQL (XDB cells only; schema v4).
+    /// Flips are expected as profiles accrue — the gate's job is to catch
+    /// the *rate* moving, which means pricing or feedback changed.
+    pub plan_flip_rate: f64,
 }
 
 /// Aggregated monitor output plus the registries behind it.
@@ -132,6 +137,7 @@ pub fn run_monitor_with(
     type Cell = (String, String, String);
     let mut codec_cells: BTreeMap<Cell, BTreeMap<String, f64>> = BTreeMap::new();
     let mut cal_cells: BTreeMap<Cell, (f64, f64)> = BTreeMap::new();
+    let mut flip_cells: BTreeMap<Cell, f64> = BTreeMap::new();
     for (pname, e) in &envs {
         for q in TpchQuery::ALL {
             for dep in DEPLOYMENTS {
@@ -187,9 +193,29 @@ pub fn run_monitor_with(
                             sample.cal_abs_err_pct,
                         );
                         registry.observe("monitor.regret_ms", &labels, sample.regret_ms);
-                        let cal = cal_cells.entry(cell).or_insert((0.0, 0.0));
+                        let cal = cal_cells.entry(cell.clone()).or_insert((0.0, 0.0));
                         cal.0 += sample.cal_abs_err_pct;
                         cal.1 += sample.regret_ms;
+                        // Did learned pricing change the plan? Re-plan the
+                        // same SQL with the kill switch thrown and compare
+                        // fingerprints. Planning is side-effect-free (no
+                        // DDL), so later cells only see the extra consult
+                        // traffic this probe shares with every other run.
+                        let static_xdb = Xdb::new(&e.cluster, &e.catalog)
+                            .with_client_node(CLOUD)
+                            .with_options(XdbOptions {
+                                parallel_execution: parallel,
+                                learned_costs: false,
+                                ..Default::default()
+                            });
+                        let (static_plan, _, _, _) = static_xdb.plan(q.sql())?;
+                        let static_fp = xdb_core::annotate::plan_fingerprint(&static_plan);
+                        let flipped = match &sample.fingerprint {
+                            Some(fp) => (*fp != static_fp) as u64 as f64,
+                            None => 0.0,
+                        };
+                        registry.observe("monitor.plan_flip", &labels, flipped);
+                        *flip_cells.entry(cell).or_insert(0.0) += flipped;
                     }
                 }
             }
@@ -235,6 +261,7 @@ pub fn run_monitor_with(
                     .get(&cell)
                     .map(|(err, regret)| (per_run(*err), per_run(*regret)))
                     .unwrap_or((0.0, 0.0));
+                let plan_flip_rate = flip_cells.get(&cell).map(|f| per_run(*f)).unwrap_or(0.0);
                 rows.push(MonitorRow {
                     profile: pname,
                     query: q.name(),
@@ -249,6 +276,7 @@ pub fn run_monitor_with(
                     codec_bytes,
                     cal_abs_err_pct,
                     regret_ms,
+                    plan_flip_rate,
                 });
             }
         }
@@ -286,6 +314,9 @@ struct RunSample {
     codec_bytes: Vec<(&'static str, u64)>,
     cal_abs_err_pct: f64,
     regret_ms: f64,
+    /// Canonical fingerprint of the executed plan (XDB only) — compared
+    /// against a static-cost re-plan to detect learned-pricing flips.
+    fingerprint: Option<String>,
 }
 
 /// Sum the per-codec byte split across every edge the run appended to the
@@ -328,6 +359,7 @@ fn run_one(e: &Env, deployment: &str, sql: &str, parallel: bool) -> Result<RunSa
                 codec_bytes: codec_split(e),
                 cal_abs_err_pct: out.cost.wire_abs_err_pct(),
                 regret_ms: out.cost.regret_ms(),
+                fingerprint: Some(xdb_core::annotate::plan_fingerprint(&out.delegation)),
             })
         }
         "garlic" => {
@@ -340,6 +372,7 @@ fn run_one(e: &Env, deployment: &str, sql: &str, parallel: bool) -> Result<RunSa
                 codec_bytes: codec_split(e),
                 cal_abs_err_pct: 0.0,
                 regret_ms: 0.0,
+                fingerprint: None,
             })
         }
         "presto4" => {
@@ -352,6 +385,7 @@ fn run_one(e: &Env, deployment: &str, sql: &str, parallel: bool) -> Result<RunSa
                 codec_bytes: codec_split(e),
                 cal_abs_err_pct: 0.0,
                 regret_ms: 0.0,
+                fingerprint: None,
             })
         }
         "sclera" => {
@@ -363,6 +397,7 @@ fn run_one(e: &Env, deployment: &str, sql: &str, parallel: bool) -> Result<RunSa
                 codec_bytes: codec_split(e),
                 cal_abs_err_pct: 0.0,
                 regret_ms: 0.0,
+                fingerprint: None,
             })
         }
         other => Err(EngineError::Unsupported(format!(
@@ -499,6 +534,10 @@ impl MonitorReport {
                     format!("{}/{}/{}/regret_ms", r.profile, r.query, r.deployment),
                     r.regret_ms,
                 );
+                v.insert(
+                    format!("{}/{}/{}/plan_flip_rate", r.profile, r.query, r.deployment),
+                    r.plan_flip_rate,
+                );
             }
         }
         v
@@ -549,7 +588,8 @@ impl MonitorReport {
                 "    {{\"profile\": {}, \"query\": {}, \"deployment\": {}, \"runs\": {}, \
                  \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}, \
                  \"mean_bytes\": {}, \"mean_enc_bytes\": {}, \"cache_hit_rate\": {}, \
-                 \"codec_bytes\": {}, \"cal_abs_err_pct\": {}, \"regret_ms\": {}}}{}",
+                 \"codec_bytes\": {}, \"cal_abs_err_pct\": {}, \"regret_ms\": {}, \
+                 \"plan_flip_rate\": {}}}{}",
                 json_string(r.profile),
                 json_string(r.query),
                 json_string(r.deployment),
@@ -563,6 +603,7 @@ impl MonitorReport {
                 codecs,
                 json_number(r.cal_abs_err_pct),
                 json_number(r.regret_ms),
+                json_number(r.plan_flip_rate),
                 if i + 1 < self.rows.len() { "," } else { "" }
             );
         }
@@ -730,12 +771,28 @@ mod tests {
         assert!(v.keys().any(|k| k.contains("/codec_bytes/")), "{v:?}");
         assert!(v.keys().any(|k| k.ends_with("/cal_abs_err_pct")));
         assert!(v.keys().any(|k| k.ends_with("/regret_ms")));
+        assert!(v.keys().any(|k| k.ends_with("/plan_flip_rate")));
         let parsed = json::parse(&report.to_json()).expect("monitor JSON parses");
         let rows = parsed.get("rows").and_then(json::Value::as_array).unwrap();
         for row in rows {
             assert!(row.get("codec_bytes").is_some());
             assert!(row.get("cal_abs_err_pct").is_some());
             assert!(row.get("regret_ms").is_some());
+            assert!(row.get("plan_flip_rate").is_some());
+        }
+        // Flip rates are shares of runs: [0, 1] on xdb cells, 0 elsewhere.
+        for r in &report.rows {
+            assert!(
+                (0.0..=1.0).contains(&r.plan_flip_rate),
+                "{}/{}/{}: flip rate {}",
+                r.profile,
+                r.query,
+                r.deployment,
+                r.plan_flip_rate
+            );
+            if r.deployment != "xdb" {
+                assert_eq!(r.plan_flip_rate, 0.0);
+            }
         }
     }
 

@@ -1,0 +1,116 @@
+//! Calibration property: the observatory's side-effect-free
+//! [`Calibration::analytic`] derivation must agree with the real
+//! [`Calibration::probe`] — same reference node, factors equal to 1e-9
+//! relative — on every cluster the harness can build: all three table
+//! distributions × both profile assignments × a range of scale factors,
+//! plus degenerate shapes (clusters whose resident relations are empty or
+//! single-row). The probe ships its own synthetic table, so resident data
+//! must never leak into the factors.
+
+use proptest::prelude::*;
+use xdb_core::calibration::Calibration;
+use xdb_engine::cluster::Cluster;
+use xdb_engine::profile::EngineProfile;
+use xdb_engine::relation::Relation;
+use xdb_net::{Scenario, Topology};
+use xdb_sql::value::{DataType, Value};
+use xdb_tpch::{build_cluster, ProfileAssignment, TableDist};
+
+/// Probe and analytic must agree on every node of `cluster`.
+fn assert_probe_matches_analytic(cluster: &Cluster, tag: &str) -> Result<(), TestCaseError> {
+    let probed = Calibration::probe(cluster).expect("probe");
+    let analytic = Calibration::analytic(cluster);
+    prop_assert_eq!(
+        probed.reference_node(),
+        analytic.reference_node(),
+        "{}: reference node diverged",
+        tag
+    );
+    for node in cluster.node_names() {
+        let p = probed.factor(&node).expect("probed factor");
+        let a = analytic.factor(&node).expect("analytic factor");
+        prop_assert!(
+            (p - a).abs() <= 1e-9 * p.abs().max(1.0),
+            "{}/{}: probe {} vs analytic {}",
+            tag,
+            node,
+            p,
+            a
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// All three table distributions, both profile assignments, several
+    /// scale factors and scenarios: resident TPC-H data never perturbs
+    /// the calibration factors.
+    #[test]
+    fn analytic_matches_probe_on_every_distribution(
+        tdi in 0usize..TableDist::ALL.len(),
+        hetero in any::<bool>(),
+        sfi in 0usize..3,
+        cloud in any::<bool>(),
+    ) {
+        let td = TableDist::ALL[tdi];
+        let sf = [0.0005, 0.002, 0.01][sfi];
+        let scenario = if cloud { Scenario::GeoDistributed } else { Scenario::OnPremise };
+        let profiles = if hetero {
+            ProfileAssignment::heterogeneous()
+        } else {
+            ProfileAssignment::uniform(EngineProfile::postgres())
+        };
+        let cluster = build_cluster(td, sf, scenario, &profiles).unwrap();
+        let tag = format!("{td:?}/sf{sf}/hetero={hetero}/{scenario:?}");
+        assert_probe_matches_analytic(&cluster, &tag)?;
+    }
+
+    /// Degenerate resident shapes: empty relations and single-row edge
+    /// tables, across heterogeneous engines. The probe still calibrates
+    /// off its own synthetic table, so factors stay finite, positive, and
+    /// equal to the analytic derivation.
+    #[test]
+    fn analytic_matches_probe_on_degenerate_relations(
+        rows in 0usize..2,
+        hetero in any::<bool>(),
+    ) {
+        let mut cluster = Cluster::new(Topology::lan(&[]));
+        let profiles: Vec<(&str, EngineProfile)> = if hetero {
+            vec![
+                ("pg", EngineProfile::postgres()),
+                ("maria", EngineProfile::mariadb()),
+                ("hive", EngineProfile::hive()),
+            ]
+        } else {
+            vec![
+                ("pg", EngineProfile::postgres()),
+                ("pg2", EngineProfile::postgres()),
+            ]
+        };
+        for (name, profile) in profiles {
+            cluster.add_engine(name, profile);
+            let rel = Relation::new(
+                vec![
+                    ("k".to_string(), DataType::Int),
+                    ("v".to_string(), DataType::Float),
+                ],
+                (0..rows)
+                    .map(|i| vec![Value::Int(i as i64), Value::Float(i as f64)])
+                    .collect(),
+            );
+            cluster
+                .engine(name)
+                .unwrap()
+                .load_table(&format!("edge_{name}"), rel)
+                .unwrap();
+        }
+        let tag = format!("degenerate rows={rows} hetero={hetero}");
+        assert_probe_matches_analytic(&cluster, &tag)?;
+        let cal = Calibration::analytic(&cluster);
+        for node in cluster.node_names() {
+            let f = cal.factor(&node).unwrap();
+            prop_assert!(f.is_finite() && f > 0.0, "{}/{}: factor {}", tag, node, f);
+        }
+    }
+}

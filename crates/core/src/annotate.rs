@@ -11,7 +11,7 @@
 //! own task, leaving a `?` placeholder (dummy operator) behind.
 
 use crate::consult_cache::ConsultReply;
-use crate::cost::{decide_placement_detailed, CandidateCost, InputSide, Placement};
+use crate::cost::{decide_placement_with_profiles, CandidateCost, InputSide, Placement};
 use crate::global::GlobalCatalog;
 use crate::plan::{placeholder_alias, placeholder_name, DelegationPlan, Edge, Task};
 use std::collections::HashMap;
@@ -66,6 +66,10 @@ pub struct AnnotateOptions {
     /// cross-database operator is charged as a fresh consulting
     /// round-trip, as if the middleware never memoized probe answers.
     pub no_consult_cache: bool,
+    /// Price candidates with the static Eq. 1–3 model only, ignoring any
+    /// learned cost profiles in the catalog (the `XDB_STATIC_COSTS=1`
+    /// kill switch; also the mode of `repro replay`'s baseline arm).
+    pub static_costs: bool,
 }
 
 /// One cross-database placement decision, recorded for observability: the
@@ -226,6 +230,12 @@ pub struct Annotator<'a> {
     cache_hits: u64,
     cache_misses: u64,
     decisions: Vec<PlacementDecision>,
+    /// Snapshot of the catalog's learned cost profiles, taken once per
+    /// annotation run so every decision in one plan prices against the
+    /// same feedback state. `None` in static mode or when nothing has
+    /// been learned — candidate costing is then bit-exactly the static
+    /// model.
+    learned: Option<crate::profiles::CostProfiles>,
 }
 
 impl<'a> Annotator<'a> {
@@ -234,6 +244,11 @@ impl<'a> Annotator<'a> {
         cluster: &'a Cluster,
         options: AnnotateOptions,
     ) -> Annotator<'a> {
+        let learned = if options.static_costs {
+            None
+        } else {
+            catalog.learned_profiles()
+        };
         Annotator {
             catalog,
             cluster,
@@ -244,6 +259,7 @@ impl<'a> Annotator<'a> {
             cache_hits: 0,
             cache_misses: 0,
             decisions: Vec::new(),
+            learned,
         }
     }
 
@@ -596,7 +612,7 @@ impl<'a> Annotator<'a> {
                                     .unwrap_or_else(|_| xdb_engine::EngineProfile::postgres())
                             })
                         };
-                        let (placement, costed) = decide_placement_detailed(
+                        let (placement, costed) = decide_placement_with_profiles(
                             &self.cluster.topology,
                             &profiles,
                             &l_side,
@@ -604,6 +620,7 @@ impl<'a> Annotator<'a> {
                             out_rows,
                             &candidates,
                             self.options.force_movement,
+                            self.learned.as_ref(),
                         );
                         if !use_cache {
                             self.consults += placement.consults;

@@ -163,6 +163,24 @@ pub struct XdbOptions {
     /// attribution. `None` disables the slow-query log. Defaults from
     /// `XDB_SLOW_QUERY_MS`.
     pub slow_query_ms: Option<f64>,
+    /// Price placement/movement candidates through the catalog's learned
+    /// cost profiles and feed each executed query's cost observation back
+    /// into them. On by default; `XDB_STATIC_COSTS=1` (or setting this to
+    /// false) reproduces the static Eq. 1–3 model bit-exactly — plans,
+    /// traces, and every deterministic snapshot match the pre-feedback
+    /// build.
+    pub learned_costs: bool,
+    /// Keep pricing through the learned profiles but stop absorbing new
+    /// observations. Used wherever absorption order would otherwise be
+    /// scheduling-dependent (concurrent session admission) and by the
+    /// fixed-profile arms of `repro replay`.
+    pub freeze_profiles: bool,
+}
+
+/// The `XDB_STATIC_COSTS` default for [`XdbOptions::learned_costs`]: any
+/// non-empty value other than `0` disables learned pricing.
+pub fn default_learned_costs() -> bool {
+    !matches!(std::env::var("XDB_STATIC_COSTS"), Ok(v) if !v.trim().is_empty() && v.trim() != "0")
 }
 
 /// The `XDB_SLOW_QUERY_MS` default for [`XdbOptions::slow_query_ms`]
@@ -186,6 +204,8 @@ impl Default for XdbOptions {
             stream_chunk_rows: xdb_engine::default_stream_chunk_rows(),
             reactor_threads: xdb_net::reactor::default_threads(),
             slow_query_ms: default_slow_query_ms(),
+            learned_costs: default_learned_costs(),
+            freeze_profiles: false,
         }
     }
 }
@@ -364,8 +384,11 @@ impl<'a> Xdb<'a> {
 
         // ann (+ finalization).
         self.catalog.clear_placeholders();
-        let annotation = Annotator::new(self.catalog, self.cluster, self.options.annotate.clone())
-            .run(&optimized)?;
+        let mut aopts = self.options.annotate.clone();
+        if !self.options.learned_costs {
+            aopts.static_costs = true;
+        }
+        let annotation = Annotator::new(self.catalog, self.cluster, aopts).run(&optimized)?;
         let ann_ms = annotation.consults as f64 * params::CONSULT_ROUNDTRIP_MS;
         let ann_span = collector.span(
             SpanKind::Phase,
@@ -616,13 +639,21 @@ impl<'a> Xdb<'a> {
         // work. Reads only final state, so it cannot perturb any
         // deterministic observable.
         let ledger_records = self.cluster.ledger.snapshot();
+        let statements = statements_from_trace(&trace);
         let cost = crate::observatory::build_cost_observation(
             self.cluster,
             &decisions,
             &ledger_records[ledger_mark.min(ledger_records.len())..],
-            &statements_from_trace(&trace),
+            &statements,
         );
         drop(ledger_records);
+        // Feedback: fold this query's observation into the catalog's
+        // learned profiles. The observation is bit-identical across
+        // executors / reactor settings / chunk sizes, so feedback
+        // preserves the cross-axis determinism of every later plan.
+        if self.options.learned_costs && !self.options.freeze_profiles && !cost.is_empty() {
+            self.catalog.absorb_cost_observation(&cost, &statements);
+        }
         telemetry
             .metrics
             .observe("xdb.phase_ms", &[("phase", "exec")], outcome.exec_ms);
@@ -791,6 +822,7 @@ impl<'a> Xdb<'a> {
             edges,
             statements,
             cost: cost.clone(),
+            learned_costs: self.options.learned_costs,
         }
     }
 

@@ -21,6 +21,7 @@
 //! Without this refinement explicit movement would never be chosen,
 //! contradicting the paper's own optimal plans (Fig 5a).
 
+use crate::profiles::CostProfiles;
 use xdb_engine::profile::EngineProfile;
 use xdb_net::{Movement, NodeId, Topology};
 
@@ -81,10 +82,54 @@ pub fn movement_cost_split(
     bytes: f64,
     x: Movement,
 ) -> (f64, f64) {
+    movement_cost_split_learned(
+        topology,
+        src,
+        a,
+        a_profile,
+        src_startup_ms,
+        rows,
+        bytes,
+        x,
+        None,
+    )
+}
+
+/// [`movement_cost_split`] re-priced through learned cost profiles.
+///
+/// With `learned = None` — or when the store has no sample at any
+/// granularity for the edge — this is **bit-exactly** the static model:
+/// the learned branches are skipped entirely, not multiplied by 1.0.
+/// Otherwise:
+///
+/// - the wire term prices the *learned encoded* byte volume
+///   (`bytes × wire_ratio(src→a/x)`) instead of the raw estimate;
+/// - an explicit move's serialized producer start-up is scaled by the
+///   producer engine's learned compute factor.
+#[allow(clippy::too_many_arguments)] // mirrors Eq. 2–3's parameter list
+pub fn movement_cost_split_learned(
+    topology: &Topology,
+    src: &NodeId,
+    a: &NodeId,
+    a_profile: &EngineProfile,
+    src_startup_ms: f64,
+    rows: f64,
+    bytes: f64,
+    x: Movement,
+    learned: Option<&CostProfiles>,
+) -> (f64, f64) {
     if src == a {
         return (0.0, 0.0);
     }
-    let wire = topology.transfer_ms(src, a, bytes.max(0.0) as u64, a_profile.protocol_overhead);
+    let wire = match learned.and_then(|p| p.wire_ratio(src.as_str(), a.as_str(), x)) {
+        Some(r) => topology.transfer_ms(
+            src,
+            a,
+            (bytes.max(0.0) * r) as u64,
+            a_profile.protocol_overhead,
+        ),
+        None => topology.transfer_ms(src, a, bytes.max(0.0) as u64, a_profile.protocol_overhead),
+    };
     let total = match x {
         // Implicit: wire cost + per-row wrapper fetch overhead γ at the
         // consumer. The producer's start-up overlaps with the consumer's
@@ -96,7 +141,11 @@ pub fn movement_cost_split(
         // consumer runs, so the producer's start-up lands on the critical
         // path.
         Movement::Explicit => {
-            wire + src_startup_ms
+            let src_startup = match learned.and_then(|p| p.compute_factor(src.as_str())) {
+                Some(f) => src_startup_ms * f,
+                None => src_startup_ms,
+            };
+            wire + src_startup
                 + rows * a_profile.write_cost_ms
                 + rows * a_profile.cpu_tuple_cost_ms * crate::cost::SCAN_WEIGHT
         }
@@ -205,6 +254,42 @@ pub fn decide_placement_detailed(
     candidates: &[NodeId],
     force_movement: Option<Movement>,
 ) -> (Placement, Vec<CandidateCost>) {
+    decide_placement_with_profiles(
+        topology,
+        profiles,
+        left,
+        right,
+        out_rows,
+        candidates,
+        force_movement,
+        None,
+    )
+}
+
+/// [`decide_placement_detailed`] with every candidate re-priced through
+/// learned cost profiles. With `learned = None` (or an empty/irrelevant
+/// store) every arithmetic operation is identical to the static path —
+/// the bit-exact contract behind the `XDB_STATIC_COSTS=1` kill switch.
+///
+/// Learned re-pricing per candidate `a`:
+/// - movement terms via [`movement_cost_split_learned`] (encoded-byte
+///   wire estimates, calibrated producer start-up);
+/// - Eq. 1 exec and consumer start-up scaled by `a`'s learned compute
+///   factor (observed statement work per predicted compute unit).
+///
+/// The `CostComponents` breakdown stores the *scaled* values, so the
+/// `total() == cost` invariant holds bit-exactly in both modes.
+#[allow(clippy::too_many_arguments)] // mirrors decide_placement_detailed + profile store
+pub fn decide_placement_with_profiles(
+    topology: &Topology,
+    profiles: &dyn Fn(&NodeId) -> EngineProfile,
+    left: &InputSide,
+    right: &InputSide,
+    out_rows: f64,
+    candidates: &[NodeId],
+    force_movement: Option<Movement>,
+    learned: Option<&CostProfiles>,
+) -> (Placement, Vec<CandidateCost>) {
     let movements: &[Movement] = match force_movement {
         Some(Movement::Implicit) => &[Movement::Implicit],
         Some(Movement::Explicit) => &[Movement::Explicit],
@@ -230,7 +315,7 @@ pub fn decide_placement_detailed(
         for &xl in left_opts {
             for &xr in right_opts {
                 consults += 1;
-                let (wire_l, move_l) = movement_cost_split(
+                let (wire_l, move_l) = movement_cost_split_learned(
                     topology,
                     &left.dbms,
                     a,
@@ -239,8 +324,9 @@ pub fn decide_placement_detailed(
                     left.rows,
                     left.bytes,
                     xl,
+                    learned,
                 );
-                let (wire_r, move_r) = movement_cost_split(
+                let (wire_r, move_r) = movement_cost_split_learned(
                     topology,
                     &right.dbms,
                     a,
@@ -249,17 +335,23 @@ pub fn decide_placement_detailed(
                     right.rows,
                     right.bytes,
                     xr,
+                    learned,
                 );
                 let any_materialized = (xl == Movement::Explicit && &left.dbms != a)
                     || (xr == Movement::Explicit && &right.dbms != a);
-                let exec =
+                let exec_static =
                     join_exec_cost(a_profile, left.rows, right.rows, out_rows, any_materialized);
                 // Placing the operator at `a` pulls another pipeline stage
                 // onto that engine: its per-query start-up is part of
                 // cost(o, a). This is what steers plans away from
                 // high-start-up engines (Hive) in the heterogeneous setup
-                // (Fig 10).
-                let cost = exec + move_l + move_r + a_profile.startup_ms;
+                // (Fig 10). A learned compute factor calibrates both the
+                // exec and start-up terms to `a`'s observed statement work.
+                let (exec, startup) = match learned.and_then(|p| p.compute_factor(a.as_str())) {
+                    Some(f) => (exec_static * f, a_profile.startup_ms * f),
+                    None => (exec_static, a_profile.startup_ms),
+                };
+                let cost = exec + move_l + move_r + startup;
                 costed.push(CandidateCost {
                     dbms: a.clone(),
                     left_move: xl,
@@ -272,7 +364,7 @@ pub fn decide_placement_detailed(
                         move_left_ms: move_l,
                         move_right_ms: move_r,
                         exec_ms: exec,
-                        startup_ms: a_profile.startup_ms,
+                        startup_ms: startup,
                     },
                 });
                 let better = match &best {
@@ -456,6 +548,171 @@ mod tests {
                 let expect =
                     topo.transfer_ms(&l.dbms, &c.dbms, l.bytes as u64, p.protocol_overhead);
                 assert_eq!(c.components.wire_left_ms, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_profiles_match_static_costs_bit_exactly() {
+        let (topo, _) = setup();
+        let profiles = |_: &NodeId| EngineProfile::postgres();
+        let l = side("db1", 100_000.0);
+        let r = side("db2", 200_000.0);
+        let cands = [l.dbms.clone(), r.dbms.clone()];
+        let empty = CostProfiles::default();
+        let (p_static, c_static) =
+            decide_placement_detailed(&topo, &profiles, &l, &r, 2e5, &cands, None);
+        let (p_learned, c_learned) = decide_placement_with_profiles(
+            &topo,
+            &profiles,
+            &l,
+            &r,
+            2e5,
+            &cands,
+            None,
+            Some(&empty),
+        );
+        assert_eq!(p_static, p_learned);
+        assert_eq!(c_static, c_learned);
+    }
+
+    #[test]
+    fn learned_wire_ratio_reprices_the_moved_side() {
+        let (topo, _) = setup();
+        let l = side("db1", 100_000.0);
+        let r = side("db2", 200_000.0);
+        // History: db1's exports compress 4x on the wire; saturate the
+        // prior so the smoothed factor sits at the observed mean.
+        let mut learned = CostProfiles::default();
+        for _ in 0..1000 {
+            learned.observe_wire("db1", "db2", Movement::Implicit, 0.25);
+        }
+        let p = EngineProfile::postgres();
+        let (wire_static, _) = movement_cost_split(
+            &topo,
+            &l.dbms,
+            &r.dbms,
+            &p,
+            p.startup_ms,
+            l.rows,
+            l.bytes,
+            Movement::Implicit,
+        );
+        let (wire_learned, _) = movement_cost_split_learned(
+            &topo,
+            &l.dbms,
+            &r.dbms,
+            &p,
+            p.startup_ms,
+            l.rows,
+            l.bytes,
+            Movement::Implicit,
+            Some(&learned),
+        );
+        assert!(
+            wire_learned < wire_static * 0.5,
+            "{wire_learned} vs {wire_static}"
+        );
+        // An edge the store never saw by shape, link, or consuming engine
+        // still falls back to the global ratio — learned compression is a
+        // federation-wide signal until finer-grained samples arrive.
+        let (wire_other, _) = movement_cost_split_learned(
+            &topo,
+            &r.dbms,
+            &NodeId::new("db3"),
+            &p,
+            p.startup_ms,
+            r.rows,
+            r.bytes,
+            Movement::Implicit,
+            Some(&learned),
+        );
+        let (wire_other_static, _) = movement_cost_split(
+            &topo,
+            &r.dbms,
+            &NodeId::new("db3"),
+            &p,
+            p.startup_ms,
+            r.rows,
+            r.bytes,
+            Movement::Implicit,
+        );
+        assert!(wire_other < wire_other_static, "{wire_other}");
+    }
+
+    #[test]
+    fn asymmetric_wire_ratios_flip_the_placement_side() {
+        let (topo, _) = setup();
+        let profiles = |_: &NodeId| EngineProfile::postgres();
+        // Statically the tie goes to moving the (slightly) smaller left
+        // side into db2.
+        let l = side("db1", 90_000.0);
+        let r = side("db2", 100_000.0);
+        let cands = [l.dbms.clone(), r.dbms.clone()];
+        let (static_placement, _) =
+            decide_placement_detailed(&topo, &profiles, &l, &r, 1e5, &cands, None);
+        assert_eq!(static_placement.dbms.as_str(), "db2");
+        // Learned: db1→db2 traffic barely compresses while db2→db1
+        // compresses 10x (e.g. dictionary-coded strings), so moving the
+        // *right* side is actually cheaper.
+        let mut learned = CostProfiles::default();
+        for _ in 0..1000 {
+            learned.observe_wire("db1", "db2", Movement::Implicit, 1.0);
+            learned.observe_wire("db1", "db2", Movement::Explicit, 1.0);
+            learned.observe_wire("db2", "db1", Movement::Implicit, 0.1);
+            learned.observe_wire("db2", "db1", Movement::Explicit, 0.1);
+        }
+        let (learned_placement, costed) = decide_placement_with_profiles(
+            &topo,
+            &profiles,
+            &l,
+            &r,
+            1e5,
+            &cands,
+            None,
+            Some(&learned),
+        );
+        assert_eq!(learned_placement.dbms.as_str(), "db1");
+        // Same search space, same consult accounting, exact breakdowns.
+        assert_eq!(learned_placement.consults, static_placement.consults);
+        for c in &costed {
+            assert_eq!(c.components.total(), c.cost);
+        }
+    }
+
+    #[test]
+    fn learned_compute_factor_scales_exec_and_startup() {
+        let (topo, _) = setup();
+        let profiles = |_: &NodeId| EngineProfile::postgres();
+        let l = side("db1", 100_000.0);
+        let r = side("db2", 200_000.0);
+        let cands = [l.dbms.clone(), r.dbms.clone()];
+        let mut learned = CostProfiles::default();
+        for _ in 0..1000 {
+            learned.observe_compute("db2", 1.8);
+        }
+        let (_, c_static) = decide_placement_detailed(&topo, &profiles, &l, &r, 2e5, &cands, None);
+        let (_, c_learned) = decide_placement_with_profiles(
+            &topo,
+            &profiles,
+            &l,
+            &r,
+            2e5,
+            &cands,
+            None,
+            Some(&learned),
+        );
+        let f = learned.compute_factor("db2").unwrap();
+        assert!(f > 1.7, "{f}");
+        for (s, c) in c_static.iter().zip(&c_learned) {
+            assert_eq!(c.components.total(), c.cost);
+            if c.dbms.as_str() == "db2" {
+                assert!((c.components.exec_ms - s.components.exec_ms * f).abs() < 1e-9);
+                assert!((c.components.startup_ms - s.components.startup_ms * f).abs() < 1e-9);
+            } else {
+                // db1 was never observed: untouched.
+                assert_eq!(c.components.exec_ms, s.components.exec_ms);
+                assert_eq!(c.components.startup_ms, s.components.startup_ms);
             }
         }
     }

@@ -47,6 +47,10 @@ pub struct GlobalCatalog {
     /// cluster's handle so consultation counters land next to the engine
     /// and network metrics of the same federation.
     telemetry: Arc<Telemetry>,
+    /// Learned cost profiles (feedback from the cost-model observatory),
+    /// seeded from `XDB_PROFILE_DIR` / `repro --profiles` and grown by
+    /// [`GlobalCatalog::absorb_cost_observation`] after each query.
+    profiles: RwLock<crate::profiles::CostProfiles>,
 }
 
 impl GlobalCatalog {
@@ -58,6 +62,7 @@ impl GlobalCatalog {
             metadata_fetches: RwLock::new(0),
             consult_cache: ConsultCache::new(),
             telemetry: Arc::clone(xdb_obs::telemetry::global()),
+            profiles: RwLock::new(crate::profiles::seed_profiles()),
         }
     }
 
@@ -195,6 +200,38 @@ impl GlobalCatalog {
 
     pub fn reset_metadata_counter(&self) {
         *self.metadata_fetches.write() = 0;
+    }
+
+    /// Clone of the current learned cost profiles.
+    pub fn profiles_snapshot(&self) -> crate::profiles::CostProfiles {
+        self.profiles.read().clone()
+    }
+
+    /// The profiles the annotator should price against: `None` while
+    /// nothing has been learned, so candidate costing stays bit-exactly
+    /// on the static model until real feedback exists.
+    pub fn learned_profiles(&self) -> Option<crate::profiles::CostProfiles> {
+        let p = self.profiles.read();
+        if p.is_empty() {
+            None
+        } else {
+            Some(p.clone())
+        }
+    }
+
+    /// Replace the learned profiles wholesale (replay/calibration arms).
+    pub fn set_profiles(&self, profiles: crate::profiles::CostProfiles) {
+        *self.profiles.write() = profiles;
+    }
+
+    /// Fold one executed query's cost observation (plus per-engine
+    /// statement work) into the learned profiles.
+    pub fn absorb_cost_observation(
+        &self,
+        cost: &xdb_obs::costmodel::CostObservation,
+        statements: &[(String, f64)],
+    ) {
+        self.profiles.write().absorb(cost, statements);
     }
 
     /// Register the estimated cardinality of a task-output placeholder so

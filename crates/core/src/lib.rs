@@ -29,6 +29,7 @@ pub mod delegation;
 pub mod global;
 pub mod observatory;
 pub mod plan;
+pub mod profiles;
 pub mod scenario;
 pub mod session;
 
@@ -40,4 +41,5 @@ pub use delegation::{
 };
 pub use global::GlobalCatalog;
 pub use plan::{DelegationPlan, Edge, Task};
+pub use profiles::{set_seed_profiles, CostProfiles};
 pub use session::{QueryServer, SessionOptions, SessionReport, Submission, TenantOutcome};

@@ -1,0 +1,683 @@
+//! Learned cost profiles: the feedback half of the cost model.
+//!
+//! The observatory (`crate::observatory`, `xdb_obs::costmodel`) measures
+//! what every cross-database decision actually cost — true encoded bytes
+//! per wire edge, per-engine statement work, consult charges. This module
+//! aggregates those [`CostObservation`]s into **smoothed multiplicative
+//! factors** that re-price future decisions:
+//!
+//! - **wire ratio** per edge shape (`from->to/movement`, with
+//!   `from->to` / consuming-engine / global fallbacks): observed encoded
+//!   bytes per estimated raw byte. Applied to the byte term of
+//!   `cost::movement_cost_split`, it turns the model's raw-byte wire price
+//!   into a learned encoded-byte estimate.
+//! - **compute factor** per engine: observed statement work per predicted
+//!   cross-database compute unit (`exec + startup` of chosen candidates).
+//!   Applied to Eq. 1's exec/startup terms.
+//! - **consult factor**: observed consult latency per modeled
+//!   `CONSULT_ROUNDTRIP_MS`. In the simulated federation the two coincide
+//!   (factor 1); the store keeps the slot so a real deployment's probe
+//!   latencies calibrate the same way. It is reported, not applied.
+//!
+//! **Smoothing and confidence.** Every factor is the sample mean blended
+//! toward the static model's implicit 1.0 with a pseudo-count prior:
+//! `(Σ samples + K) / (n + K)` with `K =` [`CONFIDENCE_PRIOR`] — one or
+//! two outlier observations barely move a price, a consistent workload
+//! history converges to the observed mean — then clamped to a per-factor
+//! range ([`WIRE_RATIO_CLAMP`], [`COMPUTE_FACTOR_CLAMP`]) so a corrupted
+//! or adversarial history cannot invert the cost order outright.
+//!
+//! **Determinism.** A store's state is a function of the *multiset* of
+//! absorbed samples, not their order: samples are kept sorted
+//! (`f64::total_cmp`) and every sum runs in sorted order, so merging
+//! history files in any order — or absorbing the same observations from
+//! concurrent sessions in any interleaving — yields bit-identical factors.
+//! Observations themselves are bit-identical across executors, reactor
+//! on/off, partition counts, and stream-chunk sizes (the observatory's
+//! contract), so feedback preserves the repo's cross-axis determinism.
+//!
+//! Persistence is schema-versioned JSON (`profiles.json`); history
+//! directories (`history.jsonl`) are also accepted as a profile source via
+//! [`CostProfiles::from_history_dir`] / `XDB_PROFILE_DIR` /
+//! `repro --profiles dir/`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::OnceLock;
+use xdb_net::{edge_pair, edge_shape, Movement};
+use xdb_obs::costmodel::CostObservation;
+use xdb_obs::history::{load_history_dir, HistoryRecord};
+use xdb_obs::json;
+use xdb_obs::trace::{json_number, json_string};
+
+/// Version of the on-disk profile layout. v1 → v2: added the `consult`
+/// factor samples.
+pub const PROFILES_SCHEMA_VERSION: u64 = 2;
+
+/// Oldest profile layout the parser still accepts (v1 files simply lack
+/// the `consult` key).
+pub const PROFILES_MIN_SCHEMA_VERSION: u64 = 1;
+
+/// File name of a persisted profile store inside a directory.
+pub const PROFILES_FILE: &str = "profiles.json";
+
+/// Pseudo-count prior pulling every learned factor toward the static
+/// model's 1.0 (see module docs).
+pub const CONFIDENCE_PRIOR: f64 = 2.0;
+
+/// Clamp range for learned wire (encoded/raw byte) ratios. The lower
+/// bound keeps a pathological history from pricing any transfer at ~zero;
+/// the upper bound caps codec-overhead blowups.
+pub const WIRE_RATIO_CLAMP: (f64, f64) = (0.05, 2.0);
+
+/// Clamp range for learned per-engine compute-unit factors. Observed
+/// statement work includes leaf/local stages the Eq. 1 terms never
+/// modeled, so the raw ratio runs high; the clamp bounds how far learned
+/// compute units may drift from the static profile.
+pub const COMPUTE_FACTOR_CLAMP: (f64, f64) = (0.5, 2.0);
+
+/// Clamp range for the consult-latency factor.
+pub const CONSULT_FACTOR_CLAMP: (f64, f64) = (0.5, 2.0);
+
+/// One factor's observed samples, kept sorted (`total_cmp`) so sums —
+/// and therefore smoothed factors — are independent of absorb/merge
+/// order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FactorStat {
+    samples: Vec<f64>,
+}
+
+impl FactorStat {
+    /// Fold one observed ratio in. Non-finite or non-positive samples are
+    /// dropped: a degenerate edge (zero estimated bytes, poisoned
+    /// arithmetic) must not poison the factor.
+    pub fn observe(&mut self, ratio: f64) {
+        if !ratio.is_finite() || ratio <= 0.0 {
+            return;
+        }
+        let at = self
+            .samples
+            .partition_point(|s| s.total_cmp(&ratio).is_lt());
+        self.samples.insert(at, ratio);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sum in ascending sample order — the order-independent sum the
+    /// smoothing is built on.
+    fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// Unsmoothed sample mean (diagnostics); 1.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            1.0
+        } else {
+            self.sum() / self.samples.len() as f64
+        }
+    }
+
+    /// Confidence-smoothed factor: `(Σ + K) / (n + K)` clamped to
+    /// `clamp`, `None` when no samples were absorbed (the caller then
+    /// falls through to the next granularity, ultimately to the static
+    /// model).
+    pub fn factor(&self, clamp: (f64, f64)) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let n = self.samples.len() as f64;
+        let smoothed = (self.sum() + CONFIDENCE_PRIOR) / (n + CONFIDENCE_PRIOR);
+        Some(smoothed.clamp(clamp.0, clamp.1))
+    }
+
+    /// Union of both sample multisets (order-independent by
+    /// construction).
+    pub fn merge(&mut self, other: &FactorStat) {
+        for &s in &other.samples {
+            self.observe(s);
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, s) in self.samples.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_number(*s));
+        }
+        out.push(']');
+        out
+    }
+
+    fn from_json(v: &json::Value) -> Result<FactorStat, String> {
+        let Some(items) = v.as_array() else {
+            return Err("factor samples are not an array".to_string());
+        };
+        let mut stat = FactorStat::default();
+        for item in items {
+            let Some(s) = item.as_f64() else {
+                return Err("factor sample is not a number".to_string());
+            };
+            stat.observe(s);
+        }
+        Ok(stat)
+    }
+}
+
+/// The learned-profile store (see module docs).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CostProfiles {
+    /// Wire ratio per `from->to/movement` edge shape.
+    wire_by_shape: BTreeMap<String, FactorStat>,
+    /// Wire ratio per `from->to` link, any movement.
+    wire_by_pair: BTreeMap<String, FactorStat>,
+    /// Wire ratio per consuming engine node.
+    wire_by_engine: BTreeMap<String, FactorStat>,
+    /// Wire ratio across every observed edge.
+    wire_global: FactorStat,
+    /// Observed-vs-predicted compute units per engine node.
+    compute_by_engine: BTreeMap<String, FactorStat>,
+    /// Observed-vs-modeled consult latency.
+    consult: FactorStat,
+}
+
+impl CostProfiles {
+    pub fn is_empty(&self) -> bool {
+        self.wire_by_shape.is_empty()
+            && self.wire_by_pair.is_empty()
+            && self.wire_by_engine.is_empty()
+            && self.wire_global.is_empty()
+            && self.compute_by_engine.is_empty()
+            && self.consult.is_empty()
+    }
+
+    /// Total absorbed samples across every factor (wire samples counted
+    /// once, via the global accumulator).
+    pub fn samples(&self) -> u64 {
+        self.wire_global.count()
+            + self
+                .compute_by_engine
+                .values()
+                .map(FactorStat::count)
+                .sum::<u64>()
+            + self.consult.count()
+    }
+
+    /// Learned encoded-per-raw byte ratio for moving data `from → to` via
+    /// `movement`: most specific granularity with samples wins
+    /// (shape → link → consuming engine → global); `None` when nothing
+    /// relevant was ever observed (callers keep the static raw-byte
+    /// price).
+    pub fn wire_ratio(&self, from: &str, to: &str, movement: Movement) -> Option<f64> {
+        self.wire_by_shape
+            .get(&edge_shape(from, to, movement))
+            .and_then(|s| s.factor(WIRE_RATIO_CLAMP))
+            .or_else(|| {
+                self.wire_by_pair
+                    .get(&edge_pair(from, to))
+                    .and_then(|s| s.factor(WIRE_RATIO_CLAMP))
+            })
+            .or_else(|| {
+                self.wire_by_engine
+                    .get(to)
+                    .and_then(|s| s.factor(WIRE_RATIO_CLAMP))
+            })
+            .or_else(|| self.wire_global.factor(WIRE_RATIO_CLAMP))
+    }
+
+    /// Learned compute-unit factor for `engine`; `None` keeps the static
+    /// profile's units.
+    pub fn compute_factor(&self, engine: &str) -> Option<f64> {
+        self.compute_by_engine
+            .get(engine)
+            .and_then(|s| s.factor(COMPUTE_FACTOR_CLAMP))
+    }
+
+    /// Learned consult-latency factor (reported, not applied — see module
+    /// docs).
+    pub fn consult_factor(&self) -> Option<f64> {
+        self.consult.factor(CONSULT_FACTOR_CLAMP)
+    }
+
+    /// Record one wire encoded-per-raw ratio for an edge, at every
+    /// granularity (shape, link, consuming engine, global).
+    pub fn observe_wire(&mut self, from: &str, to: &str, movement: Movement, ratio: f64) {
+        self.wire_by_shape
+            .entry(edge_shape(from, to, movement))
+            .or_default()
+            .observe(ratio);
+        self.wire_by_pair
+            .entry(edge_pair(from, to))
+            .or_default()
+            .observe(ratio);
+        self.wire_by_engine
+            .entry(to.to_string())
+            .or_default()
+            .observe(ratio);
+        self.wire_global.observe(ratio);
+    }
+
+    /// Record one observed-per-predicted compute-unit ratio for an engine.
+    pub fn observe_compute(&mut self, engine: &str, ratio: f64) {
+        self.compute_by_engine
+            .entry(engine.to_string())
+            .or_default()
+            .observe(ratio);
+    }
+
+    /// Fold one query's cost observation (plus its per-engine statement
+    /// work) into the store.
+    pub fn absorb(&mut self, cost: &CostObservation, statements: &[(String, f64)]) {
+        let mut pred_compute: BTreeMap<&str, f64> = BTreeMap::new();
+        let mut modeled_consult = 0.0;
+        for d in &cost.decisions {
+            if let Some(c) = d.candidates.iter().find(|c| c.chosen) {
+                *pred_compute.entry(d.dbms.as_str()).or_default() += c.exec_ms + c.startup_ms;
+            }
+            modeled_consult += d.consult_ms;
+            for e in d.edges.iter().filter(|e| e.matched) {
+                if e.pred_bytes == 0 {
+                    continue;
+                }
+                let ratio = e.obs_encoded_bytes as f64 / e.pred_bytes as f64;
+                let movement = if e.movement == Movement::Explicit.label() {
+                    Movement::Explicit
+                } else {
+                    Movement::Implicit
+                };
+                self.observe_wire(&e.from, &e.to, movement, ratio);
+            }
+        }
+        for (engine, obs_ms) in statements {
+            if let Some(pred) = pred_compute.get(engine.as_str()) {
+                if *pred > 0.0 && *obs_ms > 0.0 {
+                    self.compute_by_engine
+                        .entry(engine.clone())
+                        .or_default()
+                        .observe(obs_ms / pred);
+                }
+            }
+        }
+        // In the simulated federation the observed consult charge equals
+        // the modeled one exactly; a real deployment's probe latencies
+        // would land here as a ≠1 factor.
+        if modeled_consult > 0.0 {
+            self.consult.observe(cost.consult_ms / modeled_consult);
+        }
+    }
+
+    /// Fold one history record in (its cost bundle + statement work).
+    pub fn absorb_record(&mut self, record: &HistoryRecord) {
+        self.absorb(&record.cost, &record.statements);
+    }
+
+    /// Build a store from a set of history records.
+    pub fn from_history(records: &[HistoryRecord]) -> CostProfiles {
+        let mut p = CostProfiles::default();
+        for r in records {
+            p.absorb_record(r);
+        }
+        p
+    }
+
+    /// Build a store from `<dir>/history.jsonl` (the `repro --history` /
+    /// `XDB_HISTORY_DIR` output format).
+    pub fn from_history_dir(dir: impl AsRef<Path>) -> Result<CostProfiles, String> {
+        Ok(Self::from_history(&load_history_dir(dir)?))
+    }
+
+    /// Union with another store. Order-independent: merging A into B and
+    /// B into A produce bit-identical factors, regardless of how the
+    /// sample sets overlap.
+    pub fn merge(&mut self, other: &CostProfiles) {
+        for (k, s) in &other.wire_by_shape {
+            self.wire_by_shape.entry(k.clone()).or_default().merge(s);
+        }
+        for (k, s) in &other.wire_by_pair {
+            self.wire_by_pair.entry(k.clone()).or_default().merge(s);
+        }
+        for (k, s) in &other.wire_by_engine {
+            self.wire_by_engine.entry(k.clone()).or_default().merge(s);
+        }
+        self.wire_global.merge(&other.wire_global);
+        for (k, s) in &other.compute_by_engine {
+            self.compute_by_engine
+                .entry(k.clone())
+                .or_default()
+                .merge(s);
+        }
+        self.consult.merge(&other.consult);
+    }
+
+    /// One-line description for reports.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} wire sample(s) across {} edge shape(s), {} engine compute factor(s), \
+             {} consult sample(s)",
+            self.wire_global.count(),
+            self.wire_by_shape.len(),
+            self.compute_by_engine.len(),
+            self.consult.count()
+        )
+    }
+
+    fn map_to_json(out: &mut String, key: &str, map: &BTreeMap<String, FactorStat>) {
+        let _ = write!(out, "\"{key}\":{{");
+        for (i, (k, s)) in map.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_string(k), s.to_json());
+        }
+        out.push('}');
+    }
+
+    /// One JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        let _ = write!(out, "{{\"schema_version\":{PROFILES_SCHEMA_VERSION},");
+        Self::map_to_json(&mut out, "wire_shape", &self.wire_by_shape);
+        out.push(',');
+        Self::map_to_json(&mut out, "wire_pair", &self.wire_by_pair);
+        out.push(',');
+        Self::map_to_json(&mut out, "wire_engine", &self.wire_by_engine);
+        let _ = write!(out, ",\"wire_global\":{}", self.wire_global.to_json());
+        out.push(',');
+        Self::map_to_json(&mut out, "compute_engine", &self.compute_by_engine);
+        let _ = write!(out, ",\"consult\":{}", self.consult.to_json());
+        out.push('}');
+        out
+    }
+
+    fn map_from_json(
+        v: &json::Value,
+        key: &str,
+        required: bool,
+    ) -> Result<BTreeMap<String, FactorStat>, String> {
+        match v.get(key) {
+            Some(json::Value::Object(items)) => {
+                let mut map = BTreeMap::new();
+                for (k, samples) in items {
+                    let stat = FactorStat::from_json(samples)
+                        .map_err(|e| format!("profiles {key:?} entry {k:?}: {e}"))?;
+                    map.insert(k.clone(), stat);
+                }
+                Ok(map)
+            }
+            None if !required => Ok(BTreeMap::new()),
+            _ => Err(format!("profiles missing object {key:?}")),
+        }
+    }
+
+    /// Parse a store back out of its JSON form. Rejects unsupported
+    /// schema versions and malformed factor tables with a clear error.
+    pub fn from_json(v: &json::Value) -> Result<CostProfiles, String> {
+        let version = v
+            .get("schema_version")
+            .and_then(json::Value::as_f64)
+            .ok_or_else(|| "profiles missing numeric \"schema_version\"".to_string())?
+            as u64;
+        if !(PROFILES_MIN_SCHEMA_VERSION..=PROFILES_SCHEMA_VERSION).contains(&version) {
+            return Err(format!(
+                "profiles schema_version {version} (this build supports {}..={})",
+                PROFILES_MIN_SCHEMA_VERSION, PROFILES_SCHEMA_VERSION
+            ));
+        }
+        let consult = match v.get("consult") {
+            // Absent in v1 files — parse to the empty factor.
+            None => FactorStat::default(),
+            Some(samples) => {
+                FactorStat::from_json(samples).map_err(|e| format!("profiles \"consult\": {e}"))?
+            }
+        };
+        let wire_global = match v.get("wire_global") {
+            None => FactorStat::default(),
+            Some(samples) => FactorStat::from_json(samples)
+                .map_err(|e| format!("profiles \"wire_global\": {e}"))?,
+        };
+        Ok(CostProfiles {
+            wire_by_shape: Self::map_from_json(v, "wire_shape", true)?,
+            wire_by_pair: Self::map_from_json(v, "wire_pair", false)?,
+            wire_by_engine: Self::map_from_json(v, "wire_engine", false)?,
+            wire_global,
+            compute_by_engine: Self::map_from_json(v, "compute_engine", true)?,
+            consult,
+        })
+    }
+
+    /// Write the store to `path` as schema-versioned JSON.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), String> {
+        let path = path.as_ref();
+        std::fs::write(path, format!("{}\n", self.to_json()))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+
+    /// Read a store back from `path`; corrupt or unsupported files are a
+    /// clear error, never a silently-empty store.
+    pub fn load(path: impl AsRef<Path>) -> Result<CostProfiles, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let v = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&v).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// Process-wide seed override (takes precedence over `XDB_PROFILE_DIR`),
+/// set by `repro --profiles dir/` before any catalog is built.
+static SEED_OVERRIDE: parking_lot::Mutex<Option<CostProfiles>> = parking_lot::Mutex::new(None);
+
+/// Lazily-loaded `XDB_PROFILE_DIR` seed (read once per process).
+static ENV_SEED: OnceLock<Option<CostProfiles>> = OnceLock::new();
+
+/// Install a process-wide profile seed: every [`crate::GlobalCatalog`]
+/// built afterwards starts from a clone of `profiles` (pass `None` to
+/// clear). This is how `repro --profiles dir/` threads a history-derived
+/// store into experiment harnesses that build their own catalogs.
+pub fn set_seed_profiles(profiles: Option<CostProfiles>) {
+    *SEED_OVERRIDE.lock() = profiles;
+}
+
+/// The seed a fresh catalog starts from: the explicit override if set,
+/// else `XDB_PROFILE_DIR` (loaded once; a load failure warns and seeds
+/// empty), else the empty store.
+pub(crate) fn seed_profiles() -> CostProfiles {
+    if let Some(p) = SEED_OVERRIDE.lock().clone() {
+        return p;
+    }
+    ENV_SEED
+        .get_or_init(|| {
+            let dir = std::env::var_os("XDB_PROFILE_DIR")?;
+            match CostProfiles::from_history_dir(&dir) {
+                Ok(p) => Some(p),
+                Err(e) => {
+                    eprintln!("profiles: cannot load XDB_PROFILE_DIR: {e}");
+                    None
+                }
+            }
+        })
+        .clone()
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdb_obs::costmodel::{CandidateObs, DecisionObs, EdgeJoin};
+
+    fn observation(encoded: u64, raw: u64) -> CostObservation {
+        CostObservation {
+            decisions: vec![DecisionObs {
+                dbms: "hdb".to_string(),
+                consult_ms: 24.0,
+                candidates: vec![CandidateObs {
+                    dbms: "hdb".to_string(),
+                    exec_ms: 50.0,
+                    startup_ms: 10.0,
+                    chosen: true,
+                    ..Default::default()
+                }],
+                edges: vec![EdgeJoin {
+                    from: "cdb".to_string(),
+                    to: "hdb".to_string(),
+                    movement: "implicit".to_string(),
+                    engine: "hdb".to_string(),
+                    codec: "dict".to_string(),
+                    pred_bytes: raw,
+                    obs_encoded_bytes: encoded,
+                    matched: true,
+                    ..Default::default()
+                }],
+                ..Default::default()
+            }],
+            consult_ms: 24.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn absorb_learns_wire_compute_and_consult_factors() {
+        let mut p = CostProfiles::default();
+        assert!(p.is_empty());
+        assert_eq!(p.wire_ratio("cdb", "hdb", Movement::Implicit), None);
+        p.absorb(&observation(400, 1000), &[("hdb".to_string(), 90.0)]);
+        // One 0.4 sample, prior K=2 toward 1.0: (0.4 + 2) / 3 = 0.8.
+        let r = p.wire_ratio("cdb", "hdb", Movement::Implicit).unwrap();
+        assert!((r - 0.8).abs() < 1e-12, "{r}");
+        // Unknown shape falls back through pair/engine/global to the same
+        // single sample.
+        assert_eq!(p.wire_ratio("cdb", "hdb", Movement::Explicit), Some(r));
+        assert_eq!(p.wire_ratio("vdb", "hdb", Movement::Implicit), Some(r));
+        assert_eq!(p.wire_ratio("vdb", "cdb", Movement::Implicit), Some(r));
+        // Compute: 90 observed over 60 predicted = 1.5; (1.5+2)/3 ≈ 1.1667.
+        let f = p.compute_factor("hdb").unwrap();
+        assert!((f - (1.5 + 2.0) / 3.0).abs() < 1e-12, "{f}");
+        assert_eq!(p.compute_factor("cdb"), None);
+        // Consult: observed equals modeled → factor 1.
+        assert_eq!(p.consult_factor(), Some(1.0));
+        assert!(!p.is_empty());
+        assert_eq!(p.samples(), 3);
+    }
+
+    #[test]
+    fn factors_converge_to_sample_mean_and_clamp() {
+        let mut s = FactorStat::default();
+        for _ in 0..1000 {
+            s.observe(0.4);
+        }
+        let f = s.factor(WIRE_RATIO_CLAMP).unwrap();
+        assert!((f - 0.4).abs() < 2e-3, "{f}");
+        // Clamps hold against extreme histories.
+        let mut tiny = FactorStat::default();
+        for _ in 0..100_000 {
+            tiny.observe(1e-9);
+        }
+        assert_eq!(tiny.factor(WIRE_RATIO_CLAMP), Some(WIRE_RATIO_CLAMP.0));
+        let mut huge = FactorStat::default();
+        for _ in 0..100_000 {
+            huge.observe(1e9);
+        }
+        assert_eq!(huge.factor(WIRE_RATIO_CLAMP), Some(WIRE_RATIO_CLAMP.1));
+        // Degenerate samples are dropped outright.
+        let mut bad = FactorStat::default();
+        bad.observe(f64::NAN);
+        bad.observe(f64::INFINITY);
+        bad.observe(0.0);
+        bad.observe(-3.0);
+        assert!(bad.is_empty());
+        assert_eq!(bad.factor(WIRE_RATIO_CLAMP), None);
+    }
+
+    #[test]
+    fn zero_byte_edges_are_ignored() {
+        let mut p = CostProfiles::default();
+        p.absorb(&observation(0, 0), &[]);
+        assert_eq!(p.wire_ratio("cdb", "hdb", Movement::Implicit), None);
+        // A zero-encoded observation over real predicted bytes *is* a
+        // sample (total collapse), dropped by the positivity guard.
+        p.absorb(&observation(0, 1000), &[]);
+        assert_eq!(p.wire_ratio("cdb", "hdb", Movement::Implicit), None);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = CostProfiles::default();
+        a.absorb(&observation(400, 1000), &[("hdb".to_string(), 90.0)]);
+        a.absorb(&observation(300, 1000), &[("hdb".to_string(), 70.0)]);
+        let mut b = CostProfiles::default();
+        b.absorb(&observation(900, 1000), &[("hdb".to_string(), 120.0)]);
+        // Overlapping sample sets: c shares b's observations.
+        let mut c = CostProfiles::default();
+        c.absorb(&observation(900, 1000), &[("hdb".to_string(), 120.0)]);
+        c.absorb(&observation(500, 1000), &[]);
+
+        let mut abc = a.clone();
+        abc.merge(&b);
+        abc.merge(&c);
+        let mut cba = c.clone();
+        cba.merge(&b);
+        cba.merge(&a);
+        assert_eq!(abc, cba);
+        assert_eq!(abc.to_json(), cba.to_json());
+        assert_eq!(
+            abc.wire_ratio("cdb", "hdb", Movement::Implicit),
+            cba.wire_ratio("cdb", "hdb", Movement::Implicit)
+        );
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let mut p = CostProfiles::default();
+        p.absorb(&observation(400, 1000), &[("hdb".to_string(), 90.0)]);
+        p.absorb(&observation(123, 777), &[("hdb".to_string(), 55.5)]);
+        let v = json::parse(&p.to_json()).unwrap();
+        let back = CostProfiles::from_json(&v).unwrap();
+        assert_eq!(back, p);
+        let empty = CostProfiles::default();
+        let v = json::parse(&empty.to_json()).unwrap();
+        assert_eq!(CostProfiles::from_json(&v).unwrap(), empty);
+    }
+
+    #[test]
+    fn from_json_rejects_bad_versions_and_shapes() {
+        let newer = format!(
+            "{{\"schema_version\":{},\"wire_shape\":{{}},\"compute_engine\":{{}}}}",
+            PROFILES_SCHEMA_VERSION + 1
+        );
+        let err = CostProfiles::from_json(&json::parse(&newer).unwrap()).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+        let missing = "{\"wire_shape\":{}}";
+        let err = CostProfiles::from_json(&json::parse(missing).unwrap()).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+        let bad = "{\"schema_version\":2,\"wire_shape\":{\"a->b/implicit\":\"zap\"},\
+                   \"compute_engine\":{}}";
+        let err = CostProfiles::from_json(&json::parse(bad).unwrap()).unwrap_err();
+        assert!(err.contains("a->b/implicit"), "{err}");
+    }
+
+    #[test]
+    fn v1_files_read_by_v2_code() {
+        // A v1 file: no "consult", no "wire_pair"/"wire_engine"/
+        // "wire_global" fallbacks — just the shape and compute tables.
+        let v1 = "{\"schema_version\":1,\
+                  \"wire_shape\":{\"cdb->hdb/implicit\":[0.25,0.5]},\
+                  \"compute_engine\":{\"hdb\":[1.25]}}";
+        let p = CostProfiles::from_json(&json::parse(v1).unwrap()).unwrap();
+        let r = p.wire_ratio("cdb", "hdb", Movement::Implicit).unwrap();
+        // (0.25 + 0.5 + 2) / 4
+        assert!((r - 0.6875).abs() < 1e-12, "{r}");
+        // No fallback tables in v1: unknown shapes stay static.
+        assert_eq!(p.wire_ratio("vdb", "hdb", Movement::Implicit), None);
+        assert!(p.compute_factor("hdb").is_some());
+        assert_eq!(p.consult_factor(), None);
+    }
+}

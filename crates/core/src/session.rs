@@ -242,7 +242,12 @@ impl<'a> QueryServer<'a> {
         catalog: &'a GlobalCatalog,
         options: SessionOptions,
     ) -> QueryServer<'a> {
-        let xdb = Xdb::new(cluster, catalog).with_options(options.xdb.clone());
+        let mut xdb_options = options.xdb.clone();
+        // Concurrent admission would absorb cost observations in
+        // scheduling order; freeze the profiles so tenant plans — and the
+        // gated latency series derived from them — stay deterministic.
+        xdb_options.freeze_profiles = true;
+        let xdb = Xdb::new(cluster, catalog).with_options(xdb_options);
         QueryServer { xdb, options }
     }
 

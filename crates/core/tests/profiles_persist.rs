@@ -1,0 +1,213 @@
+//! Learned-cost-profile persistence: the on-disk schema contract.
+//!
+//! The profile store follows the same forward-compat discipline as the
+//! query-history store: v1 files written by earlier builds must load in
+//! this build, corrupt files must be a loud error naming the file (never
+//! a silently-empty store), and merging history shards must be
+//! order-independent so fleet-wide aggregation can proceed in any order.
+
+use xdb_core::CostProfiles;
+use xdb_net::Movement;
+use xdb_obs::costmodel::{CandidateObs, CostObservation, DecisionObs, EdgeJoin};
+use xdb_obs::history::HistoryRecord;
+
+/// A scratch directory unique to this test, cleaned up on drop.
+struct Scratch(std::path::PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("xdb_profiles_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> std::path::PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A store with every factor table populated.
+fn sample_store() -> CostProfiles {
+    let mut p = CostProfiles::default();
+    p.observe_wire("db1", "db2", Movement::Implicit, 0.25);
+    p.observe_wire("db1", "db2", Movement::Explicit, 0.5);
+    p.observe_wire("db2", "db1", Movement::Implicit, 1.25);
+    p.observe_compute("db1", 1.5);
+    p.observe_compute("db2", 0.75);
+    p
+}
+
+#[test]
+fn saved_store_roundtrips_through_disk() {
+    let scratch = Scratch::new("roundtrip");
+    let path = scratch.path(xdb_core::profiles::PROFILES_FILE);
+    let store = sample_store();
+    store.save(&path).unwrap();
+    let back = CostProfiles::load(&path).unwrap();
+    assert_eq!(store.to_json(), back.to_json());
+    assert_eq!(
+        store.wire_ratio("db1", "db2", Movement::Implicit),
+        back.wire_ratio("db1", "db2", Movement::Implicit)
+    );
+    assert_eq!(store.compute_factor("db1"), back.compute_factor("db1"));
+}
+
+#[test]
+fn v1_file_on_disk_is_read_by_v2_code() {
+    let scratch = Scratch::new("v1");
+    let path = scratch.path("profiles.json");
+    // A v1 file has only the per-shape wire table and the per-engine
+    // compute table — no consult factor, no coarser fallback tables.
+    std::fs::write(
+        &path,
+        "{\"schema_version\":1,\
+          \"wire_shape\":{\"db1->db2/implicit\":[0.25,0.5]},\
+          \"compute_engine\":{\"db1\":[1.5]}}\n",
+    )
+    .unwrap();
+    let p = CostProfiles::load(&path).unwrap();
+    // (0.25 + 0.5 + prior 2.0) / (2 + 2.0)
+    assert_eq!(p.wire_ratio("db1", "db2", Movement::Implicit), Some(0.6875));
+    assert_eq!(p.compute_factor("db1"), Some(3.5 / 3.0));
+    // v1 has no coarser tables: an unseen edge has nothing to fall
+    // back to.
+    assert_eq!(p.wire_ratio("db9", "db8", Movement::Explicit), None);
+    assert_eq!(p.consult_factor(), None);
+    // Re-saving upgrades the file to the current schema.
+    p.save(&path).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains(&format!(
+        "\"schema_version\":{}",
+        xdb_core::profiles::PROFILES_SCHEMA_VERSION
+    )));
+}
+
+#[test]
+fn corrupt_files_are_rejected_with_the_path() {
+    let scratch = Scratch::new("corrupt");
+    for (name, text) in [
+        ("garbage.json", "not json at all"),
+        ("truncated.json", "{\"schema_version\":2,\"wire_shape\":{"),
+        (
+            "noversion.json",
+            "{\"wire_shape\":{},\"compute_engine\":{}}",
+        ),
+        (
+            "future.json",
+            "{\"schema_version\":99,\"wire_shape\":{},\"compute_engine\":{}}",
+        ),
+        (
+            "badsample.json",
+            "{\"schema_version\":2,\"wire_shape\":{\"a->b/implicit\":[\"x\"]},\
+              \"compute_engine\":{}}",
+        ),
+    ] {
+        let path = scratch.path(name);
+        std::fs::write(&path, text).unwrap();
+        let err = CostProfiles::load(&path).expect_err(name);
+        assert!(
+            err.contains(name),
+            "error for {name} should name the file: {err}"
+        );
+    }
+    // A missing file is equally loud.
+    let err = CostProfiles::load(scratch.path("absent.json")).unwrap_err();
+    assert!(err.contains("absent.json"), "{err}");
+}
+
+/// One history record carrying a single matched edge and one engine's
+/// statement work, enough for `absorb` to learn from.
+fn record(from: &str, to: &str, pred_bytes: u64, obs_encoded: u64, obs_ms: f64) -> HistoryRecord {
+    HistoryRecord {
+        schema_version: 3,
+        label: "Qx".into(),
+        deployment: "xdb".into(),
+        sql_fnv: format!("{pred_bytes:x}"),
+        fingerprint: "f".into(),
+        statements: vec![(to.to_string(), obs_ms)],
+        cost: CostObservation {
+            decisions: vec![DecisionObs {
+                dbms: to.to_string(),
+                consult_ms: 1.0,
+                candidates: vec![CandidateObs {
+                    dbms: to.to_string(),
+                    exec_ms: 2.0,
+                    startup_ms: 1.0,
+                    chosen: true,
+                    ..Default::default()
+                }],
+                edges: vec![EdgeJoin {
+                    from: from.to_string(),
+                    to: to.to_string(),
+                    movement: "implicit".into(),
+                    pred_bytes,
+                    obs_encoded_bytes: obs_encoded,
+                    matched: true,
+                    ..Default::default()
+                }],
+                ..Default::default()
+            }],
+            consult_ms: 1.0,
+            ..Default::default()
+        },
+        learned_costs: false,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn history_shards_merge_order_independently() {
+    // Two shards with overlapping edge shapes, loaded in both orders.
+    let shard_a = [
+        record("db1", "db2", 1000, 250, 3.0),
+        record("db2", "db1", 2000, 1000, 4.5),
+    ];
+    let shard_b = [
+        record("db1", "db2", 4000, 3000, 2.4),
+        record("db3", "db2", 500, 400, 6.0),
+    ];
+    let write = |scratch: &Scratch, order: &[&[HistoryRecord]]| {
+        let mut text = String::new();
+        for shard in order {
+            for r in *shard {
+                text.push_str(&r.to_json());
+                text.push('\n');
+            }
+        }
+        std::fs::write(scratch.path("history.jsonl"), text).unwrap();
+    };
+
+    let ab = Scratch::new("order_ab");
+    write(&ab, &[&shard_a, &shard_b]);
+    let ba = Scratch::new("order_ba");
+    write(&ba, &[&shard_b, &shard_a]);
+
+    let p_ab = CostProfiles::from_history_dir(&ab.0).unwrap();
+    let p_ba = CostProfiles::from_history_dir(&ba.0).unwrap();
+    assert!(!p_ab.is_empty());
+    // Bit-identical factors AND bit-identical serialized form, whichever
+    // order the shards arrived in.
+    assert_eq!(p_ab.to_json(), p_ba.to_json());
+    assert_eq!(
+        p_ab.wire_ratio("db1", "db2", Movement::Implicit),
+        p_ba.wire_ratio("db1", "db2", Movement::Implicit)
+    );
+
+    // And explicit merge of separately-built stores agrees with the
+    // concatenated load.
+    let a = CostProfiles::from_history(&shard_a);
+    let b = CostProfiles::from_history(&shard_b);
+    let mut merged = a.clone();
+    merged.merge(&b);
+    let mut merged_rev = b;
+    merged_rev.merge(&a);
+    assert_eq!(merged.to_json(), p_ab.to_json());
+    assert_eq!(merged_rev.to_json(), p_ab.to_json());
+}

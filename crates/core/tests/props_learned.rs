@@ -1,0 +1,173 @@
+//! Learned-cost determinism property: with a FIXED profile store, the
+//! learned pricing path must be exactly as deterministic as the static
+//! one — for any TD1 query, turning the edge reactor on or off, changing
+//! the executor partition count, or changing the transport morsel size
+//! must leave every deterministic observable bit-identical (result rows,
+//! simulated breakdown, transfer ledger, canonical trace, deterministic
+//! telemetry snapshot). Learned pricing may *flip plans* relative to
+//! static pricing, but never relative to itself.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use xdb_core::{CostProfiles, GlobalCatalog, Xdb, XdbOptions};
+use xdb_engine::profile::EngineProfile;
+use xdb_net::{Movement, NodeId, Scenario};
+use xdb_obs::Telemetry;
+use xdb_tpch::{build_cluster, ProfileAssignment, TableDist, TpchQuery};
+
+/// Name of the managed-cloud client node (mirrors the bench harness).
+const CLOUD: &str = "cloud";
+
+/// Serialize submissions so the process-global query-id width matches
+/// within each compared pair (same pattern as the reactor tests).
+static SUBMIT_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
+/// A fixed, hand-built profile store with strong per-direction asymmetry
+/// so the learned path actually reprices movement (and flips plans for
+/// some queries — the point is that the flip itself is deterministic).
+fn fixed_profiles() -> CostProfiles {
+    let mut p = CostProfiles::default();
+    for _ in 0..8 {
+        for m in [Movement::Implicit, Movement::Explicit] {
+            p.observe_wire("db1", "db2", m, 0.12);
+            p.observe_wire("db2", "db1", m, 1.6);
+            p.observe_wire("db2", "db3", m, 0.3);
+            p.observe_wire("db3", "db2", m, 0.9);
+        }
+        p.observe_compute("db1", 1.4);
+        p.observe_compute("db2", 0.7);
+    }
+    p
+}
+
+/// Replace every decimal run after `xdb_q` / `"query":` with `N` so two
+/// runs with different global query ids compare equal byte-for-byte.
+fn normalize_ids(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        out.push(bytes[i] as char);
+        let here = &s[..=i];
+        if here.ends_with("xdb_q") || here.ends_with("\"query\":") {
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+            if j > i + 1 {
+                out.push('N');
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// One full TD1 submission priced through the fixed profile store under
+/// the given executor knobs; returns the query id and the complete
+/// observable fingerprint of the run.
+fn run(
+    q: TpchQuery,
+    reactor_threads: usize,
+    partitions: usize,
+    chunk: usize,
+    parallel: bool,
+) -> (u64, String) {
+    let mut cluster = build_cluster(
+        TableDist::Td1,
+        0.002,
+        Scenario::OnPremise,
+        &ProfileAssignment::uniform(EngineProfile::postgres()),
+    )
+    .unwrap();
+    cluster.topology.add_cloud_node(NodeId::new(CLOUD));
+    let telemetry = Telemetry::new_handle();
+    cluster.set_telemetry(Arc::clone(&telemetry));
+    cluster.set_exec_partitions(partitions);
+    let mut catalog = GlobalCatalog::discover(&cluster).unwrap();
+    catalog.set_telemetry(Arc::clone(&telemetry));
+    catalog.set_profiles(fixed_profiles());
+    let xdb = Xdb::new(&cluster, &catalog)
+        .with_client_node(CLOUD)
+        .with_options(XdbOptions {
+            parallel_execution: parallel,
+            stream_chunk_rows: chunk,
+            reactor_threads,
+            learned_costs: true,
+            // Frozen: the store is the fixed input under test, not a
+            // moving target.
+            freeze_profiles: true,
+            ..Default::default()
+        });
+    let outcome = xdb.submit(q.sql()).unwrap();
+    let mut fp = String::new();
+    for i in 0..outcome.relation.len() {
+        for c in 0..outcome.relation.width() {
+            fp.push_str(&format!("{:?}|", outcome.relation.value(i, c)));
+        }
+        fp.push('\n');
+    }
+    fp.push_str(&format!("{:?}\n", outcome.breakdown));
+    for t in cluster.ledger.snapshot() {
+        fp.push_str(&format!("{t:?}\n"));
+    }
+    fp.push_str(&outcome.trace.canonical());
+    for line in telemetry.metrics.deterministic_snapshot().render().lines() {
+        if !line.starts_with("exec.partitions") {
+            fp.push_str(line);
+            fp.push('\n');
+        }
+    }
+    (outcome.query_id, normalize_ids(&fp))
+}
+
+/// Run the reference configuration and the sampled one back-to-back,
+/// retrying until both query ids render at the same decimal width.
+fn comparable_pair(
+    q: TpchQuery,
+    a: (usize, usize, usize, bool),
+    b: (usize, usize, usize, bool),
+) -> (String, String) {
+    let _guard = SUBMIT_LOCK.lock();
+    loop {
+        let (ida, fa) = run(q, a.0, a.1, a.2, a.3);
+        let (idb, fb) = run(q, b.0, b.1, b.2, b.3);
+        if ida.to_string().len() == idb.to_string().len() {
+            return (fa, fb);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn learned_pricing_is_unobservable_to_executor_knobs(
+        qi in 0usize..TpchQuery::ALL.len(),
+        rpick in 0usize..2,
+        ppick in 0usize..3,
+        cpick in 0usize..3,
+        parallel in any::<bool>(),
+    ) {
+        let q = TpchQuery::ALL[qi];
+        let reactor_threads = [0usize, 2][rpick];
+        let partitions = [1usize, 2, 8][ppick];
+        let chunk = [1usize, 4096, 0][cpick];
+        let (reference, sampled) = comparable_pair(
+            q,
+            (0, 1, 0, false),
+            (reactor_threads, partitions, chunk, parallel),
+        );
+        prop_assert_eq!(
+            reference,
+            sampled,
+            "{} (learned costs) diverges at reactor={} partitions={} chunk={} parallel={}",
+            q.name(),
+            reactor_threads,
+            partitions,
+            chunk,
+            parallel
+        );
+    }
+}

@@ -25,6 +25,6 @@ pub mod wire;
 
 pub use ledger::{Ledger, Purpose, Transfer};
 pub use reactor::{EdgeChannel, PoisonGuard, Poisoned};
-pub use timing::{compose_finish, mediator_finish, EdgeTiming, Movement};
+pub use timing::{compose_finish, edge_pair, edge_shape, mediator_finish, EdgeTiming, Movement};
 pub use topology::{Link, NodeId, Scenario, Topology};
 pub use wire::{Codec, Encoded, StreamDecoder, WireStats};

@@ -24,6 +24,18 @@ pub enum Movement {
     Explicit,
 }
 
+impl Movement {
+    /// Canonical lowercase label (`implicit` / `explicit`) — the spelling
+    /// used by history records, the cost-model observatory, and learned
+    /// cost-profile keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            Movement::Implicit => "implicit",
+            Movement::Explicit => "explicit",
+        }
+    }
+}
+
 impl std::fmt::Display for Movement {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
@@ -31,6 +43,20 @@ impl std::fmt::Display for Movement {
             Movement::Explicit => "e",
         })
     }
+}
+
+/// Canonical `from->to/movement` edge-shape key: the aggregation key
+/// shared by the observatory's per-shape error tables and the learned
+/// cost-profile store, so observed ratios land exactly where candidate
+/// costing looks them up.
+pub fn edge_shape(from: &str, to: &str, movement: Movement) -> String {
+    format!("{from}->{to}/{}", movement.label())
+}
+
+/// The movement-agnostic `from->to` link key (fallback granularity of the
+/// learned profile store).
+pub fn edge_pair(from: &str, to: &str) -> String {
+    format!("{from}->{to}")
 }
 
 /// Timing contribution of one in-edge of a task.

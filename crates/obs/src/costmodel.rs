@@ -330,8 +330,18 @@ impl CostObservation {
 
 /// Signed prediction error in percent of the observed value. Both zero →
 /// 0%; observed zero but a prediction made → +100% (the model predicted
-/// cost where none materialized).
+/// cost where none materialized). Degenerate inputs — a NaN/∞ estimate, or
+/// an observed value so small the ratio overflows — are clamped to the
+/// same ±100% sentinel instead of leaking non-finite percentages into
+/// calibrate/drift output (zero-byte and zero-row edges hit this path).
 pub fn error_pct(predicted: f64, observed: f64) -> f64 {
+    if !predicted.is_finite() || !observed.is_finite() {
+        return if predicted.to_bits() == observed.to_bits() {
+            0.0
+        } else {
+            100.0
+        };
+    }
     if observed.abs() < 1e-12 {
         if predicted.abs() < 1e-12 {
             0.0
@@ -339,7 +349,12 @@ pub fn error_pct(predicted: f64, observed: f64) -> f64 {
             100.0
         }
     } else {
-        (predicted - observed) / observed * 100.0
+        let pct = (predicted - observed) / observed * 100.0;
+        if pct.is_finite() {
+            pct
+        } else {
+            100.0_f64.copysign(pct)
+        }
     }
 }
 
@@ -355,7 +370,13 @@ pub struct ErrorStats {
 }
 
 impl ErrorStats {
+    /// Fold one percentage sample in. Non-finite samples are dropped: one
+    /// degenerate edge (zero bytes, zero rows, a poisoned estimate) must
+    /// not turn every mean/min/max of its group into NaN/∞.
     pub fn push(&mut self, pct: f64) {
+        if !pct.is_finite() {
+            return;
+        }
         if self.count == 0 {
             self.min_pct = pct;
             self.max_pct = pct;
@@ -525,6 +546,76 @@ mod tests {
         assert_eq!(error_pct(5.0, 0.0), 100.0);
         assert!((error_pct(15.0, 10.0) - 50.0).abs() < 1e-12);
         assert!((error_pct(5.0, 10.0) + 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_pct_never_returns_non_finite() {
+        // Degenerate edges: poisoned estimates and near-zero observations
+        // must come back as finite sentinel percentages, never NaN/∞.
+        assert_eq!(error_pct(f64::NAN, 5.0), 100.0);
+        assert_eq!(error_pct(5.0, f64::NAN), 100.0);
+        assert_eq!(error_pct(f64::INFINITY, 5.0), 100.0);
+        assert_eq!(error_pct(f64::NAN, f64::NAN), 0.0);
+        assert_eq!(error_pct(f64::INFINITY, f64::INFINITY), 0.0);
+        // Observed barely above the zero threshold with a huge prediction:
+        // the raw ratio overflows, the guard clamps it.
+        let pct = error_pct(f64::MAX, 2e-12);
+        assert!(pct.is_finite());
+        assert_eq!(pct, 100.0);
+        let pct = error_pct(-f64::MAX, 2e-12);
+        assert!(pct.is_finite());
+        assert_eq!(pct, -100.0);
+    }
+
+    #[test]
+    fn stats_drop_non_finite_samples() {
+        let mut s = ErrorStats::default();
+        s.push(f64::NAN);
+        s.push(f64::INFINITY);
+        s.push(f64::NEG_INFINITY);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_pct(), 0.0);
+        assert_eq!(s.mean_abs_pct(), 0.0);
+        s.push(40.0);
+        s.push(f64::NAN); // ignored between valid samples too
+        s.push(-20.0);
+        assert_eq!(s.count, 2);
+        assert!((s.mean_pct() - 10.0).abs() < 1e-12);
+        assert!((s.mean_abs_pct() - 30.0).abs() < 1e-12);
+        assert_eq!(s.min_pct, -20.0);
+        assert_eq!(s.max_pct, 40.0);
+    }
+
+    #[test]
+    fn summarize_keeps_zero_byte_edges_finite() {
+        // A matched edge that moved zero rows and zero bytes (an empty
+        // relation) must not poison the per-codec/per-shape tables.
+        let mut c = sample_cost();
+        c.decisions[0].edges.push(EdgeJoin {
+            from: "cdb".to_string(),
+            to: "vdb".to_string(),
+            movement: "implicit".to_string(),
+            engine: "vdb".to_string(),
+            codec: "raw".to_string(),
+            matched: true,
+            ..Default::default()
+        });
+        let r = HistoryRecord {
+            cost: c,
+            ..Default::default()
+        };
+        let s = summarize(&[r]);
+        assert_eq!(s.matched_edges, 2);
+        for table in [&s.wire_by_engine, &s.bytes_by_codec, &s.wire_by_shape] {
+            for stats in table.values() {
+                assert!(stats.mean_pct().is_finite());
+                assert!(stats.mean_abs_pct().is_finite());
+                assert!(stats.min_pct.is_finite());
+                assert!(stats.max_pct.is_finite());
+            }
+        }
+        // The zero/zero edge lands as an exact 0% error, not NaN.
+        assert_eq!(s.bytes_by_codec["raw"].mean_pct(), 0.0);
     }
 
     #[test]

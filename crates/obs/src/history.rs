@@ -31,7 +31,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 ///
 /// v1 → v2: added the `cost` object (the cost-model observatory's
 /// predicted-vs-observed decision ledger, see [`crate::costmodel`]).
-pub const HISTORY_SCHEMA_VERSION: u64 = 2;
+///
+/// v2 → v3: added the `learned_costs` marker — whether the run was priced
+/// through the learned cost profiles (feedback-driven costing) or the
+/// static Eq. 1–3 model. Absent in v1/v2 records → `false`, so drift's
+/// plan-flip-rate tolerance only engages when *both* sides of a
+/// comparison are learned-cost histories.
+pub const HISTORY_SCHEMA_VERSION: u64 = 3;
 
 /// Oldest record layout the parser still accepts.
 pub const HISTORY_MIN_SCHEMA_VERSION: u64 = 1;
@@ -92,6 +98,9 @@ pub struct HistoryRecord {
     /// accounting per placement decision. Empty for v1 records and for
     /// runs without cross-database decisions.
     pub cost: crate::costmodel::CostObservation,
+    /// Whether the run was priced through learned cost profiles (schema
+    /// v3); `false` for v1/v2 records and static-cost runs.
+    pub learned_costs: bool,
 }
 
 impl HistoryRecord {
@@ -191,6 +200,7 @@ impl HistoryRecord {
         }
         out.push_str("},\"cost\":");
         out.push_str(&self.cost.to_json());
+        let _ = write!(out, ",\"learned_costs\":{}", self.learned_costs);
         out.push('}');
         out
     }
@@ -285,6 +295,8 @@ impl HistoryRecord {
                 .get("cost")
                 .map(crate::costmodel::CostObservation::from_json)
                 .unwrap_or_default(),
+            // Absent in v1/v2 records — those predate learned costing.
+            learned_costs: matches!(v.get("learned_costs"), Some(json::Value::Bool(true))),
         })
     }
 }
@@ -507,6 +519,7 @@ mod tests {
                 obs_transfer_ms: 3.2,
                 consult_ms: 24.0,
             },
+            learned_costs: true,
         }
     }
 
@@ -553,7 +566,24 @@ mod tests {
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0].schema_version, 1);
         assert!(parsed[0].cost.is_empty());
+        assert!(!parsed[0].learned_costs);
         assert_eq!(parsed[0].edges.len(), 1);
+    }
+
+    #[test]
+    fn jsonl_accepts_v2_records_without_learned_marker() {
+        // A v2 (pre-learned-profiles) record: carries a cost object but no
+        // "learned_costs" key. It must parse with the marker false, which
+        // is what keeps drift's flip-rate tolerance off for old baselines.
+        let mut r = sample();
+        r.schema_version = 2;
+        let v2 = r.to_json().replace(",\"learned_costs\":true", "");
+        assert!(!v2.contains("learned_costs"));
+        let parsed = parse_history_jsonl(&v2).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].schema_version, 2);
+        assert!(!parsed[0].learned_costs);
+        assert!(!parsed[0].cost.is_empty());
     }
 
     #[test]

@@ -26,7 +26,7 @@ current=$(mktemp /tmp/bench_gate_exec.XXXXXX.json)
 trap 'rm -f "$current"' EXIT
 
 echo "bench_gate: re-running exec_kernels micro-benchmarks..."
-raw=$(for b in exec_kernels wire_codec exec_stream_overlap; do
+raw=$(for b in exec_kernels annotate_learned_vs_static wire_codec exec_stream_overlap; do
   cargo bench -q -p xdb-bench --bench "$b" 2>&1 | grep 'time:' || true
 done)
 if [ -z "$raw" ]; then

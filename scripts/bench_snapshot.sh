@@ -6,7 +6,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=BENCH_exec.json
-raw=$(for b in exec_kernels wire_codec exec_stream_overlap; do
+raw=$(for b in exec_kernels annotate_learned_vs_static wire_codec exec_stream_overlap; do
   cargo bench -q -p xdb-bench --bench "$b" 2>&1 | grep 'time:' || true
 done)
 if [ -z "$raw" ]; then

@@ -94,6 +94,33 @@ grep -q 'by codec' target/tier1-calibrate.txt
 grep -q 'by edge shape' target/tier1-calibrate.txt
 grep -q 'per-query placement regret' target/tier1-calibrate.txt
 
+# Learned cost-model smoke test: the feedback loop must keep result rows
+# bit-identical while it re-prices plans, the XDB_STATIC_COSTS kill
+# switch must be fully deterministic (it reproduces the pre-learned
+# plans bit-exactly — covered by the replay arms and the core unit
+# tests), profiles must seed from a recorded history via --profiles, and
+# a history compared against itself under a flip budget must stay clean.
+rm -rf target/tier1-profiles
+cargo run --release -q -p xdb-bench --bin repro -- \
+  --sf 0.002 --history target/tier1-profiles fig9 --out /dev/null
+cargo run --release -q -p xdb-bench --bin repro -- \
+  --sf 0.002 --profiles target/tier1-profiles replay \
+  --out target/tier1-replay.txt
+grep -q 'plan flips:' target/tier1-replay.txt
+grep -q 'result rows: bit-identical across arms' target/tier1-replay.txt
+cargo run --release -q -p xdb-bench --bin repro -- \
+  --sf 0.002 replay --out target/tier1-replay-self.txt
+grep -q 'result rows: bit-identical across arms' target/tier1-replay-self.txt
+XDB_STATIC_COSTS=1 cargo run --release -q -p xdb-bench --bin repro -- \
+  --sf 0.002 fig9 --out target/tier1-smoke-static.txt
+XDB_STATIC_COSTS=1 cargo run --release -q -p xdb-bench --bin repro -- \
+  --sf 0.002 fig9 --out target/tier1-smoke-static-again.txt
+cmp target/tier1-smoke-static.txt target/tier1-smoke-static-again.txt
+cargo run --release -q -p xdb-bench --bin repro -- drift \
+  --baseline target/tier1-profiles --current target/tier1-profiles \
+  --flip-rate 25 | tee target/tier1-drift-flip.txt
+grep -q 'no drift' target/tier1-drift-flip.txt
+
 # Bench regression gate (opt-in: wall-clock benches are too noisy for CI
 # defaults). XDB_BENCH_GATE=1 re-measures the exec kernels and the monitor
 # workload and fails on threshold regressions vs BENCH_exec.json /

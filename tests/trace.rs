@@ -211,6 +211,10 @@ fn plan_and_submit_consult_accounting_agree() {
     let (c1, g1) = federation(TableDist::Td1);
     let (c2, g2) = federation(TableDist::Td1);
     for q in TpchQuery::ALL {
+        // Each submit on `c2` feeds its cost observation back into the
+        // learned profiles, re-pricing later plans. Mirror that state into
+        // the plan-only federation so both planners price identically.
+        g1.set_profiles(g2.profiles_snapshot());
         let (_, _, plan_b, plan_consults) = Xdb::new(&c1, &g1).plan(q.sql()).unwrap();
         let out = Xdb::new(&c2, &g2).submit(q.sql()).unwrap();
         assert_eq!(plan_consults, out.consult_roundtrips, "{}", q.name());
